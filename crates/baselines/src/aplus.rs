@@ -1,0 +1,240 @@
+//! A+ — Adjusted Anchored Neighbourhood Regression (Timofte et al. \[32\]).
+//!
+//! k-means anchors are learned over low-resolution patch features; each
+//! anchor owns a ridge regressor fitted on the training pairs assigned to
+//! it (its "neighbourhood"). Prediction routes every test patch to its
+//! nearest anchor and applies that anchor's precomputed linear map —
+//! giving example-based quality at interpolation-like speed.
+
+use crate::interp::bicubic_resize;
+use crate::linalg::{matvec, ridge};
+use crate::patches::{kmeans, nearest_centroid, sample_corpus, PATCH};
+use crate::SuperResolver;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_traffic::Dataset;
+
+/// Configuration of the A+ baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct AplusConfig {
+    /// Number of anchors (k-means centroids).
+    pub anchors: usize,
+    /// Training patch pairs to sample.
+    pub corpus: usize,
+    /// Ridge regularisation λ.
+    pub lambda: f32,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+    /// Patch stride at prediction time.
+    pub stride: usize,
+}
+
+impl Default for AplusConfig {
+    fn default() -> Self {
+        AplusConfig {
+            anchors: 64,
+            corpus: 4000,
+            lambda: 0.1,
+            kmeans_iters: 8,
+            stride: 2,
+        }
+    }
+}
+
+impl AplusConfig {
+    /// Small preset for unit tests.
+    pub fn tiny() -> Self {
+        AplusConfig {
+            anchors: 8,
+            corpus: 400,
+            lambda: 0.1,
+            kmeans_iters: 4,
+            stride: 2,
+        }
+    }
+}
+
+/// The A+ method (state: anchors and their regressors).
+pub struct AplusSr {
+    cfg: AplusConfig,
+    /// Anchor centroids `[anchors, PATCH²]`.
+    anchors: Option<Tensor>,
+    /// Per-anchor regressors `[PATCH², PATCH²]` mapping lo-feature →
+    /// hi-residual.
+    regressors: Vec<Tensor>,
+}
+
+impl AplusSr {
+    /// Creates the method with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(AplusConfig::default())
+    }
+
+    /// Creates the method with an explicit configuration.
+    pub fn with_config(cfg: AplusConfig) -> Self {
+        AplusSr {
+            cfg,
+            anchors: None,
+            regressors: Vec::new(),
+        }
+    }
+}
+
+impl Default for AplusSr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuperResolver for AplusSr {
+    fn name(&self) -> &'static str {
+        "A+"
+    }
+
+    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
+        let corpus = sample_corpus(ds, self.cfg.corpus, rng)?;
+        let anchors = kmeans(&corpus.lo, self.cfg.anchors, self.cfg.kmeans_iters, rng)?;
+        let f = PATCH * PATCH;
+        let n = corpus.len();
+        // Assign each sample to its nearest anchor.
+        let lo = corpus.lo.as_slice();
+        let hi = corpus.hi.as_slice();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.cfg.anchors];
+        for i in 0..n {
+            let a = nearest_centroid(&anchors, &lo[i * f..(i + 1) * f]);
+            members[a].push(i);
+        }
+        // Per-anchor ridge regression over its neighbourhood. An anchor
+        // with too few members falls back to the zero map (= bicubic).
+        let mut regressors = Vec::with_capacity(self.cfg.anchors);
+        for m in &members {
+            if m.len() < f / 2 {
+                regressors.push(Tensor::zeros([f, f]));
+                continue;
+            }
+            let mut x = Vec::with_capacity(m.len() * f);
+            let mut y = Vec::with_capacity(m.len() * f);
+            for &i in m {
+                x.extend_from_slice(&lo[i * f..(i + 1) * f]);
+                y.extend_from_slice(&hi[i * f..(i + 1) * f]);
+            }
+            let x = Tensor::from_vec([m.len(), f], x)?;
+            let y = Tensor::from_vec([m.len(), f], y)?;
+            regressors.push(ridge(&x, &y, self.cfg.lambda)?);
+        }
+        self.anchors = Some(anchors);
+        self.regressors = regressors;
+        Ok(())
+    }
+
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let anchors = self.anchors.as_ref().ok_or(TensorError::InvalidShape {
+            op: "AplusSr::predict",
+            reason: "fit() must be called before predict()".into(),
+        })?;
+        let g = ds.layout().grid;
+        let coarse = crate::latest_coarse(ds, t)?;
+        let base = bicubic_resize(&coarse, g, g)?;
+        let bs = base.as_slice();
+        let f = PATCH * PATCH;
+        let mut sum = vec![0.0f64; g * g];
+        let mut cnt = vec![0u32; g * g];
+        let mut y = 0;
+        loop {
+            let y0 = y.min(g - PATCH);
+            let mut x = 0;
+            loop {
+                let x0 = x.min(g - PATCH);
+                let mut feat = Vec::with_capacity(f);
+                for r in 0..PATCH {
+                    feat.extend_from_slice(&bs[(y0 + r) * g + x0..(y0 + r) * g + x0 + PATCH]);
+                }
+                let mean = feat.iter().sum::<f32>() / f as f32;
+                for v in &mut feat {
+                    *v -= mean;
+                }
+                let a = nearest_centroid(anchors, &feat);
+                // detail = Wᵀ·feat (ridge returns W with X·W ≈ Y layout).
+                let feat_t = Tensor::from_vec([f], feat)?;
+                let w_t = self.regressors[a].transpose2d()?;
+                let detail = matvec(&w_t, &feat_t)?;
+                let d = detail.as_slice();
+                for r in 0..PATCH {
+                    for c in 0..PATCH {
+                        let gi = (y0 + r) * g + (x0 + c);
+                        sum[gi] += (bs[gi] + d[r * PATCH + c]) as f64;
+                        cnt[gi] += 1;
+                    }
+                }
+                if x0 == g - PATCH {
+                    break;
+                }
+                x += self.cfg.stride;
+            }
+            if y0 == g - PATCH {
+                break;
+            }
+            y += self.cfg.stride;
+        }
+        let data = sum
+            .into_iter()
+            .zip(cnt)
+            .map(|(s, c)| (s / c.max(1) as f64) as f32)
+            .collect();
+        Tensor::from_vec([g, g], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BicubicSr;
+    use mtsr_metrics::nrmse;
+    use mtsr_traffic::{
+        CityConfig, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+    };
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn predict_requires_fit() {
+        let ds = dataset(1);
+        let t = ds.usable_indices(Split::Test)[0];
+        assert!(AplusSr::with_config(AplusConfig::tiny())
+            .predict(&ds, t)
+            .is_err());
+    }
+
+    #[test]
+    fn fit_predict_shapes() {
+        let ds = dataset(2);
+        let t = ds.usable_indices(Split::Test)[0];
+        let mut ap = AplusSr::with_config(AplusConfig::tiny());
+        ap.fit(&ds, &mut Rng::seed_from(5)).unwrap();
+        let pred = ap.predict(&ds, t).unwrap();
+        assert_eq!(pred.dims(), &[20, 20]);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn aplus_not_wildly_worse_than_bicubic() {
+        let ds = dataset(3);
+        let mut ap = AplusSr::with_config(AplusConfig::tiny());
+        ap.fit(&ds, &mut Rng::seed_from(6)).unwrap();
+        let mut bi = BicubicSr::new();
+        let (mut e_ap, mut e_bi) = (0.0, 0.0);
+        for &t in ds.usable_indices(Split::Test).iter().take(4) {
+            let truth = ds.fine_frame_raw(t).unwrap();
+            e_ap += nrmse(&ds.denormalize(&ap.predict(&ds, t).unwrap()), &truth).unwrap();
+            e_bi += nrmse(&ds.denormalize(&bi.predict(&ds, t).unwrap()), &truth).unwrap();
+        }
+        // A learned residual on real structure shouldn't explode relative
+        // to its own base interpolation.
+        assert!(e_ap < 2.0 * e_bi, "A+ {e_ap} vs bicubic {e_bi}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Bicubic interpolation baseline \[30\].
+
+use crate::interp::bicubic_resize;
+use crate::SuperResolver;
+use mtsr_tensor::{Result, Rng, Tensor};
+use mtsr_traffic::Dataset;
+
+/// Bicubic upscaling of the coarse square projection to the fine grid —
+/// "a popular non-parametric tool frequently used to enhance the
+/// resolution of images" (§5.3).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BicubicSr;
+
+impl BicubicSr {
+    /// Creates the method (stateless).
+    pub fn new() -> Self {
+        BicubicSr
+    }
+}
+
+impl SuperResolver for BicubicSr {
+    fn name(&self) -> &'static str {
+        "Bicubic"
+    }
+
+    fn fit(&mut self, _ds: &Dataset, _rng: &mut Rng) -> Result<()> {
+        Ok(())
+    }
+
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let coarse = crate::latest_coarse(ds, t)?;
+        let g = ds.layout().grid;
+        bicubic_resize(&coarse, g, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_metrics::nrmse;
+    use mtsr_traffic::{
+        CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+    };
+
+    fn dataset() -> Dataset {
+        let mut rng = Rng::seed_from(21);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn predicts_fine_grid_shape() {
+        let ds = dataset();
+        let t = ds.usable_indices(Split::Test)[0];
+        let pred = BicubicSr::new().predict(&ds, t).unwrap();
+        assert_eq!(pred.dims(), &[20, 20]);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn bicubic_roughly_tracks_ground_truth() {
+        // On denormalised traffic the interpolation must achieve a sane
+        // NRMSE (clearly below a trivially bad predictor's ~1.0).
+        let ds = dataset();
+        let t = ds.usable_indices(Split::Test)[0];
+        let pred_raw = ds.denormalize(&BicubicSr::new().predict(&ds, t).unwrap());
+        let truth_raw = ds.fine_frame_raw(t).unwrap();
+        let e = nrmse(&pred_raw, &truth_raw).unwrap();
+        assert!(e < 1.5, "bicubic NRMSE {e}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Image resampling kernels: bicubic (Catmull-Rom family, a = −0.5) and
+//! nearest-neighbour resize, shared by several baselines.
+
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Keys cubic convolution kernel with a = −0.5 (the classic bicubic) \[30\].
+fn cubic_kernel(x: f32) -> f32 {
+    const A: f32 = -0.5;
+    let x = x.abs();
+    if x <= 1.0 {
+        (A + 2.0) * x * x * x - (A + 3.0) * x * x + 1.0
+    } else if x < 2.0 {
+        A * x * x * x - 5.0 * A * x * x + 8.0 * A * x - 4.0 * A
+    } else {
+        0.0
+    }
+}
+
+fn check_2d(src: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    let d = src.dims();
+    if d.len() != 2 || d[0] == 0 || d[1] == 0 {
+        return Err(TensorError::InvalidShape {
+            op,
+            reason: format!("expected non-empty [H, W], got {}", src.shape()),
+        });
+    }
+    Ok((d[0], d[1]))
+}
+
+/// Bicubic resize of a `[h, w]` image to `[oh, ow]`, edge-clamped.
+pub fn bicubic_resize(src: &Tensor, oh: usize, ow: usize) -> Result<Tensor> {
+    let (h, w) = check_2d(src, "bicubic_resize")?;
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidShape {
+            op: "bicubic_resize",
+            reason: "output dims must be positive".into(),
+        });
+    }
+    let s = src.as_slice();
+    let mut out = Tensor::zeros([oh, ow]);
+    let o = out.as_mut_slice();
+    let fy = h as f32 / oh as f32;
+    let fx = w as f32 / ow as f32;
+    let clamp = |v: isize, n: usize| v.clamp(0, n as isize - 1) as usize;
+    for oy in 0..oh {
+        // Centre-aligned source coordinate.
+        let sy = (oy as f32 + 0.5) * fy - 0.5;
+        let y0 = sy.floor() as isize;
+        let dy = sy - y0 as f32;
+        let wy: [f32; 4] = [
+            cubic_kernel(dy + 1.0),
+            cubic_kernel(dy),
+            cubic_kernel(dy - 1.0),
+            cubic_kernel(dy - 2.0),
+        ];
+        for ox in 0..ow {
+            let sx = (ox as f32 + 0.5) * fx - 0.5;
+            let x0 = sx.floor() as isize;
+            let dx = sx - x0 as f32;
+            let wx: [f32; 4] = [
+                cubic_kernel(dx + 1.0),
+                cubic_kernel(dx),
+                cubic_kernel(dx - 1.0),
+                cubic_kernel(dx - 2.0),
+            ];
+            let mut acc = 0.0f32;
+            for (j, &wyj) in wy.iter().enumerate() {
+                let yy = clamp(y0 - 1 + j as isize, h);
+                let row = &s[yy * w..(yy + 1) * w];
+                let mut racc = 0.0f32;
+                for (i, &wxi) in wx.iter().enumerate() {
+                    let xx = clamp(x0 - 1 + i as isize, w);
+                    racc += wxi * row[xx];
+                }
+                acc += wyj * racc;
+            }
+            o[oy * ow + ox] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Nearest-neighbour resize (used for quick masks and sanity baselines).
+pub fn nearest_resize(src: &Tensor, oh: usize, ow: usize) -> Result<Tensor> {
+    let (h, w) = check_2d(src, "nearest_resize")?;
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidShape {
+            op: "nearest_resize",
+            reason: "output dims must be positive".into(),
+        });
+    }
+    let s = src.as_slice();
+    let mut out = Tensor::zeros([oh, ow]);
+    let o = out.as_mut_slice();
+    for oy in 0..oh {
+        let sy = (oy * h / oh).min(h - 1);
+        for ox in 0..ow {
+            let sx = (ox * w / ow).min(w - 1);
+            o[oy * ow + ox] = s[sy * w + sx];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    #[test]
+    fn kernel_partition_of_unity() {
+        // Σ_j k(d + j) = 1 for any phase d — bicubic preserves constants.
+        for &d in &[0.0f32, 0.25, 0.5, 0.9] {
+            let s = cubic_kernel(d + 1.0) + cubic_kernel(d) + cubic_kernel(d - 1.0)
+                + cubic_kernel(d - 2.0);
+            assert!((s - 1.0).abs() < 1e-5, "phase {d}: {s}");
+        }
+    }
+
+    #[test]
+    fn identity_resize_is_identity() {
+        let mut rng = Rng::seed_from(1);
+        let img = Tensor::rand_uniform([7, 9], 0.0, 10.0, &mut rng);
+        let out = bicubic_resize(&img, 7, 9).unwrap();
+        for (a, b) in out.as_slice().iter().zip(img.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_image_stays_constant() {
+        let img = Tensor::full([4, 4], 3.5);
+        let up = bicubic_resize(&img, 16, 16).unwrap();
+        for v in up.as_slice() {
+            assert!((v - 3.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn upscaling_interpolates_gradient() {
+        // A horizontal ramp stays monotone after upscaling.
+        let img = Tensor::from_vec([1, 4], vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let up = bicubic_resize(&img, 1, 16).unwrap();
+        let v = up.as_slice();
+        for i in 1..16 {
+            assert!(v[i] >= v[i - 1] - 1e-3, "not monotone at {i}");
+        }
+    }
+
+    #[test]
+    fn bicubic_beats_nearest_on_smooth_fields() {
+        // Downsample a smooth field, upsample both ways: bicubic closer.
+        let mut fine = Tensor::zeros([16, 16]);
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = ((y as f32 / 5.0).sin() + (x as f32 / 4.0).cos()) * 10.0;
+                fine.set(&[y, x], v).unwrap();
+            }
+        }
+        // 4×4 block means.
+        let mut coarse = Tensor::zeros([4, 4]);
+        for by in 0..4 {
+            for bx in 0..4 {
+                let mut s = 0.0;
+                for y in 0..4 {
+                    for x in 0..4 {
+                        s += fine.get(&[by * 4 + y, bx * 4 + x]).unwrap();
+                    }
+                }
+                coarse.set(&[by, bx], s / 16.0).unwrap();
+            }
+        }
+        let bi = bicubic_resize(&coarse, 16, 16).unwrap();
+        let nn = nearest_resize(&coarse, 16, 16).unwrap();
+        let e_bi = bi.mse(&fine).unwrap();
+        let e_nn = nn.mse(&fine).unwrap();
+        assert!(e_bi < e_nn, "bicubic {e_bi} vs nearest {e_nn}");
+    }
+
+    #[test]
+    fn nearest_exact_on_integer_factors() {
+        let img = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let up = nearest_resize(&img, 4, 4).unwrap();
+        assert_eq!(up.get(&[0, 0]), Some(1.0));
+        assert_eq!(up.get(&[0, 3]), Some(2.0));
+        assert_eq!(up.get(&[3, 0]), Some(3.0));
+        assert_eq!(up.get(&[3, 3]), Some(4.0));
+    }
+
+    #[test]
+    fn error_paths() {
+        let img = Tensor::zeros([4]);
+        assert!(bicubic_resize(&img, 2, 2).is_err());
+        let img = Tensor::zeros([2, 2]);
+        assert!(bicubic_resize(&img, 0, 2).is_err());
+        assert!(nearest_resize(&img, 2, 0).is_err());
+    }
+}

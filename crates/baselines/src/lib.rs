@@ -1,0 +1,40 @@
+//! # mtsr-baselines
+//!
+//! The comparison methods of the paper's evaluation (§5.3):
+//!
+//! * [`UniformSr`] — the operators' uniformity assumption \[8\]: every
+//!   sub-cell takes its probe's mean;
+//! * [`BicubicSr`] — bicubic interpolation \[30\] of the coarse frame;
+//! * [`SparseCodingSr`] — sparse-coding super-resolution (Yang et al.
+//!   \[31\]): a learned joint low/high-resolution patch dictionary with
+//!   orthogonal-matching-pursuit coding;
+//! * [`AplusSr`] — A+ adjusted anchored neighbourhood regression
+//!   (Timofte et al. \[32\]): per-anchor ridge regressors over patch
+//!   features;
+//! * [`SrcnnSr`] — SRCNN (Dong et al. \[14\]): the three-layer
+//!   convolutional network, trained on bicubic-upscaled inputs.
+//!
+//! All methods implement [`SuperResolver`], taking the current coarse
+//! snapshot (they are single-frame image-SR techniques — only
+//! ZipNet(-GAN) exploits the temporal dimension) and producing a
+//! fine-grained prediction on the normalised scale of the dataset.
+
+pub mod aplus;
+pub mod bicubic;
+pub mod interp;
+pub mod linalg;
+pub mod patches;
+pub mod sparse_coding;
+pub mod srcnn;
+pub mod uniform;
+
+pub use aplus::AplusSr;
+pub use bicubic::BicubicSr;
+pub use sparse_coding::SparseCodingSr;
+pub use srcnn::SrcnnSr;
+pub use uniform::UniformSr;
+
+/// Re-export of the shared method interface (defined next to `Dataset`).
+pub use mtsr_traffic::sr::SuperResolver;
+
+pub(crate) use mtsr_traffic::sr::latest_coarse;

@@ -1,0 +1,237 @@
+//! Small dense linear algebra for the regression-based baselines:
+//! Gaussian elimination with partial pivoting, ridge solves and
+//! least-squares projections. Sizes here are patch-dictionary scale
+//! (tens of unknowns), so an O(n³) direct solver is the right tool.
+
+use mtsr_tensor::matmul::{matmul, matmul_tn};
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Solves `A · X = B` for square `A: [n, n]`, `B: [n, m]` via Gaussian
+/// elimination with partial pivoting. Fails on (numerically) singular `A`.
+pub fn solve(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let ad = a.dims();
+    let bd = b.dims();
+    if ad.len() != 2 || ad[0] != ad[1] || bd.len() != 2 || bd[0] != ad[0] {
+        return Err(TensorError::InvalidShape {
+            op: "solve",
+            reason: format!("need A [n,n], B [n,m]; got {} / {}", a.shape(), b.shape()),
+        });
+    }
+    let n = ad[0];
+    let m = bd[1];
+    // Augmented working copies in f64 for stability.
+    let mut aw: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    let mut bw: Vec<f64> = b.as_slice().iter().map(|&v| v as f64).collect();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = aw[col * n + col].abs();
+        for r in col + 1..n {
+            let v = aw[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(TensorError::InvalidShape {
+                op: "solve",
+                reason: format!("singular matrix (pivot {best:e} at column {col})"),
+            });
+        }
+        if piv != col {
+            for k in 0..n {
+                aw.swap(col * n + k, piv * n + k);
+            }
+            for k in 0..m {
+                bw.swap(col * m + k, piv * m + k);
+            }
+        }
+        let d = aw[col * n + col];
+        for r in col + 1..n {
+            let f = aw[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                aw[r * n + k] -= f * aw[col * n + k];
+            }
+            for k in 0..m {
+                bw[r * m + k] -= f * bw[col * m + k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n * m];
+    for r in (0..n).rev() {
+        for k in 0..m {
+            let mut s = bw[r * m + k];
+            for c in r + 1..n {
+                s -= aw[r * n + c] * x[c * m + k];
+            }
+            x[r * m + k] = s / aw[r * n + r];
+        }
+    }
+    Tensor::from_vec([n, m], x.into_iter().map(|v| v as f32).collect())
+}
+
+/// Ridge regression: returns `W: [p, q]` minimising
+/// `‖X·W − Y‖² + λ‖W‖²` for `X: [n, p]`, `Y: [n, q]`,
+/// i.e. `W = (XᵀX + λI)⁻¹ XᵀY`.
+pub fn ridge(x: &Tensor, y: &Tensor, lambda: f32) -> Result<Tensor> {
+    let xd = x.dims();
+    let yd = y.dims();
+    if xd.len() != 2 || yd.len() != 2 || xd[0] != yd[0] {
+        return Err(TensorError::InvalidShape {
+            op: "ridge",
+            reason: format!("need X [n,p], Y [n,q]; got {} / {}", x.shape(), y.shape()),
+        });
+    }
+    let p = xd[1];
+    let mut gram = matmul_tn(x, x)?; // [p, p]
+    for i in 0..p {
+        let v = gram.get(&[i, i]).expect("diag") + lambda;
+        gram.set(&[i, i], v)?;
+    }
+    let xty = matmul_tn(x, y)?; // [p, q]
+    solve(&gram, &xty)
+}
+
+/// Least-squares coefficients of `y ≈ D · α` for a fixed column
+/// sub-dictionary: solves the normal equations over the selected columns.
+///
+/// `d`: `[f, k]` dictionary, `cols`: selected column indices, `y`: `[f]`.
+/// Returns the coefficient vector over `cols`. Used by the OMP inner loop.
+pub fn lstsq_columns(d: &Tensor, cols: &[usize], y: &Tensor) -> Result<Vec<f32>> {
+    let dd = d.dims();
+    if dd.len() != 2 || y.dims() != [dd[0]] {
+        return Err(TensorError::InvalidShape {
+            op: "lstsq_columns",
+            reason: format!("need D [f,k], y [f]; got {} / {}", d.shape(), y.shape()),
+        });
+    }
+    let f = dd[0];
+    let k = cols.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    // Sub-matrix [f, k].
+    let mut sub = Tensor::zeros([f, k]);
+    {
+        let s = sub.as_mut_slice();
+        let dsl = d.as_slice();
+        for (j, &c) in cols.iter().enumerate() {
+            for r in 0..f {
+                s[r * k + j] = dsl[r * dd[1] + c];
+            }
+        }
+    }
+    let yv = y.reshaped([f, 1])?;
+    let gram = matmul_tn(&sub, &sub)?;
+    // Tiny Tikhonov term guards collinear atom selections.
+    let mut gram = gram;
+    for i in 0..k {
+        let v = gram.get(&[i, i]).expect("diag") + 1e-8;
+        gram.set(&[i, i], v)?;
+    }
+    let rhs = matmul_tn(&sub, &yv)?;
+    let alpha = solve(&gram, &rhs)?;
+    Ok(alpha.as_slice().to_vec())
+}
+
+/// Dense matrix-vector product `A·v` for `A: [n, m]`, `v: [m]`.
+pub fn matvec(a: &Tensor, v: &Tensor) -> Result<Tensor> {
+    let col = v.reshaped([v.numel(), 1])?;
+    let out = matmul(a, &col)?;
+    let n = out.dims()[0];
+    out.reshape([n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Tensor::from_vec([2, 2], vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([2, 1], vec![5.0, 10.0]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!((x.as_slice()[0] - 1.0).abs() < 1e-5);
+        assert!((x.as_slice()[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let b = Tensor::from_vec([2, 1], vec![7.0, 9.0]).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!((x.as_slice()[0] - 9.0).abs() < 1e-6);
+        assert!((x.as_slice()[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_random_roundtrip() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::rand_normal([6, 6], 0.0, 1.0, &mut rng);
+        let x_true = Tensor::rand_normal([6, 2], 0.0, 1.0, &mut rng);
+        let b = matmul(&a, &x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (u, v) in x.as_slice().iter().zip(x_true.as_slice()) {
+            assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        let b = Tensor::from_vec([2, 1], vec![1.0, 2.0]).unwrap();
+        assert!(solve(&a, &b).is_err());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_map_with_small_lambda() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::rand_normal([50, 4], 0.0, 1.0, &mut rng);
+        let w_true = Tensor::rand_normal([4, 2], 0.0, 1.0, &mut rng);
+        let y = matmul(&x, &w_true).unwrap();
+        let w = ridge(&x, &y, 1e-6).unwrap();
+        for (u, v) in w.as_slice().iter().zip(w_true.as_slice()) {
+            assert!((u - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::rand_normal([30, 3], 0.0, 1.0, &mut rng);
+        let y = Tensor::rand_normal([30, 1], 0.0, 1.0, &mut rng);
+        let w_small = ridge(&x, &y, 1e-6).unwrap();
+        let w_big = ridge(&x, &y, 1e4).unwrap();
+        assert!(w_big.sq_norm() < 1e-3 * w_small.sq_norm());
+    }
+
+    #[test]
+    fn lstsq_columns_exact_when_y_in_span() {
+        let mut rng = Rng::seed_from(4);
+        let d = Tensor::rand_normal([8, 5], 0.0, 1.0, &mut rng);
+        // y = 2·col1 − col3
+        let ds = d.as_slice();
+        let y: Vec<f32> = (0..8).map(|r| 2.0 * ds[r * 5 + 1] - ds[r * 5 + 3]).collect();
+        let y = Tensor::from_vec([8], y).unwrap();
+        let alpha = lstsq_columns(&d, &[1, 3], &y).unwrap();
+        assert!((alpha[0] - 2.0).abs() < 1e-4);
+        assert!((alpha[1] + 1.0).abs() < 1e-4);
+        assert!(lstsq_columns(&d, &[], &y).unwrap().is_empty());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Tensor::from_vec([2, 3], vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]).unwrap();
+        let v = Tensor::from_vec([3], vec![3.0, 4.0, 5.0]).unwrap();
+        let out = matvec(&a, &v).unwrap();
+        assert_eq!(out.as_slice(), &[13.0, -1.0]);
+    }
+}

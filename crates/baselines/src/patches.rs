@@ -1,0 +1,236 @@
+//! Patch machinery shared by the example-based SR baselines (SC and A+):
+//! extraction of low/high-resolution training patch pairs, feature
+//! normalisation and k-means clustering for dictionary/anchor seeding.
+
+use crate::interp::bicubic_resize;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_traffic::{Dataset, Split};
+
+/// Side of the square patches both methods operate on.
+pub const PATCH: usize = 5;
+
+/// A training corpus of patch pairs on the normalised traffic scale:
+/// `lo` holds bicubic-upscale patch features, `hi` the residual
+/// (truth − bicubic) patches the methods learn to predict.
+#[derive(Debug, Clone)]
+pub struct PatchCorpus {
+    /// Low-resolution features, `[n, PATCH²]`.
+    pub lo: Tensor,
+    /// High-resolution residual targets, `[n, PATCH²]`.
+    pub hi: Tensor,
+}
+
+impl PatchCorpus {
+    /// Number of patch pairs.
+    pub fn len(&self) -> usize {
+        self.lo.dims()[0]
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Extracts a flattened `PATCH×PATCH` patch at `(y, x)` from `[g, g]`.
+fn patch_at(img: &Tensor, y: usize, x: usize, g: usize) -> Vec<f32> {
+    let s = img.as_slice();
+    let mut out = Vec::with_capacity(PATCH * PATCH);
+    for r in 0..PATCH {
+        out.extend_from_slice(&s[(y + r) * g + x..(y + r) * g + x + PATCH]);
+    }
+    out
+}
+
+/// Samples `count` training patch pairs from the dataset's training split.
+///
+/// For each sampled frame: the bicubic upscale of the coarse frame is the
+/// *low-resolution rendition*; patches of it (mean-removed) are features,
+/// and the co-located residual patches of the true fine frame are targets
+/// — exactly the example-based SR setup of [31, 32].
+pub fn sample_corpus(ds: &Dataset, count: usize, rng: &mut Rng) -> Result<PatchCorpus> {
+    let g = ds.layout().grid;
+    if g < PATCH {
+        return Err(TensorError::InvalidShape {
+            op: "sample_corpus",
+            reason: format!("grid {g} smaller than patch {PATCH}"),
+        });
+    }
+    let idx = ds.usable_indices(Split::Train);
+    let mut lo = Vec::with_capacity(count * PATCH * PATCH);
+    let mut hi = Vec::with_capacity(count * PATCH * PATCH);
+    // Cache the expensive per-frame bicubic across patch draws.
+    let mut cached_t = usize::MAX;
+    let mut cached_up = Tensor::zeros([g, g]);
+    let mut cached_fine = Tensor::zeros([g, g]);
+    for _ in 0..count {
+        let t = idx[rng.below(idx.len())];
+        if t != cached_t {
+            let sample = ds.sample_at(t)?;
+            let coarse = crate::latest_coarse(ds, t)?;
+            cached_up = bicubic_resize(&coarse, g, g)?;
+            cached_fine = sample.target.reshaped([g, g])?;
+            cached_t = t;
+        }
+        let y = rng.below(g - PATCH + 1);
+        let x = rng.below(g - PATCH + 1);
+        let mut pl = patch_at(&cached_up, y, x, g);
+        let ph_abs = patch_at(&cached_fine, y, x, g);
+        // Feature: mean-removed low-res patch. Target: residual over the
+        // bicubic prediction (so a zero output reproduces bicubic).
+        let mean = pl.iter().sum::<f32>() / pl.len() as f32;
+        for v in &mut pl {
+            *v -= mean;
+        }
+        let ph: Vec<f32> = ph_abs
+            .iter()
+            .zip(patch_at(&cached_up, y, x, g))
+            .map(|(&t, b)| t - b)
+            .collect();
+        lo.extend_from_slice(&pl);
+        hi.extend_from_slice(&ph);
+    }
+    Ok(PatchCorpus {
+        lo: Tensor::from_vec([count, PATCH * PATCH], lo)?,
+        hi: Tensor::from_vec([count, PATCH * PATCH], hi)?,
+    })
+}
+
+/// Plain k-means (Lloyd's algorithm) over the rows of `data: [n, f]`.
+/// Returns `[k, f]` centroids. Deterministic given `rng`; empty clusters
+/// are re-seeded from random points.
+pub fn kmeans(data: &Tensor, k: usize, iters: usize, rng: &mut Rng) -> Result<Tensor> {
+    let d = data.dims();
+    if d.len() != 2 || d[0] < k || k == 0 {
+        return Err(TensorError::InvalidShape {
+            op: "kmeans",
+            reason: format!("need [n≥k, f] data, got {} with k={k}", data.shape()),
+        });
+    }
+    let (n, f) = (d[0], d[1]);
+    let rows = data.as_slice();
+    // k-means++-lite seeding: random distinct rows.
+    let seeds = rng.sample_indices(n, k);
+    let mut cent: Vec<f32> = Vec::with_capacity(k * f);
+    for &s in &seeds {
+        cent.extend_from_slice(&rows[s * f..(s + 1) * f]);
+    }
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step.
+        for i in 0..n {
+            let row = &rows[i * f..(i + 1) * f];
+            let mut best = (f32::INFINITY, 0usize);
+            for c in 0..k {
+                let cr = &cent[c * f..(c + 1) * f];
+                let mut dist = 0.0f32;
+                for (a, b) in row.iter().zip(cr) {
+                    dist += (a - b) * (a - b);
+                }
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            assign[i] = best.1;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * f];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assign[i];
+            counts[c] += 1;
+            for j in 0..f {
+                sums[c * f + j] += rows[i * f + j] as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed dead centroid.
+                let s = rng.below(n);
+                cent[c * f..(c + 1) * f].copy_from_slice(&rows[s * f..(s + 1) * f]);
+            } else {
+                for j in 0..f {
+                    cent[c * f + j] = (sums[c * f + j] / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+    Tensor::from_vec([k, f], cent)
+}
+
+/// Nearest centroid index for a feature row.
+pub fn nearest_centroid(centroids: &Tensor, row: &[f32]) -> usize {
+    let d = centroids.dims();
+    let (k, f) = (d[0], d[1]);
+    let c = centroids.as_slice();
+    let mut best = (f32::INFINITY, 0usize);
+    for ci in 0..k {
+        let cr = &c[ci * f..(ci + 1) * f];
+        let mut dist = 0.0f32;
+        for (a, b) in row.iter().zip(cr) {
+            dist += (a - b) * (a - b);
+        }
+        if dist < best.0 {
+            best = (dist, ci);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_traffic::{CityConfig, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout};
+
+    fn dataset() -> Dataset {
+        let mut rng = Rng::seed_from(31);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn corpus_shapes_and_feature_centering() {
+        let ds = dataset();
+        let corpus = sample_corpus(&ds, 64, &mut Rng::seed_from(1)).unwrap();
+        assert_eq!(corpus.len(), 64);
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.lo.dims(), &[64, 25]);
+        assert_eq!(corpus.hi.dims(), &[64, 25]);
+        // Each low-res feature row is mean-removed.
+        let lo = corpus.lo.as_slice();
+        for i in 0..64 {
+            let m: f32 = lo[i * 25..(i + 1) * 25].iter().sum::<f32>() / 25.0;
+            assert!(m.abs() < 1e-4, "row {i} mean {m}");
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut rng = Rng::seed_from(2);
+        // Two blobs at ±10.
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let c = if i % 2 == 0 { 10.0 } else { -10.0 };
+            data.push(c + rng.normal(0.0, 0.5));
+            data.push(c + rng.normal(0.0, 0.5));
+        }
+        let t = Tensor::from_vec([40, 2], data).unwrap();
+        let cent = kmeans(&t, 2, 10, &mut rng).unwrap();
+        let c0 = cent.get(&[0, 0]).unwrap();
+        let c1 = cent.get(&[1, 0]).unwrap();
+        assert!((c0 - c1).abs() > 15.0, "centroids {c0} vs {c1}");
+        // Nearest-centroid routing is consistent.
+        let near_pos = nearest_centroid(&cent, &[10.0, 10.0]);
+        let near_neg = nearest_centroid(&cent, &[-10.0, -10.0]);
+        assert_ne!(near_pos, near_neg);
+    }
+
+    #[test]
+    fn kmeans_rejects_bad_inputs() {
+        let t = Tensor::zeros([3, 2]);
+        assert!(kmeans(&t, 5, 3, &mut Rng::seed_from(3)).is_err());
+        assert!(kmeans(&t, 0, 3, &mut Rng::seed_from(3)).is_err());
+    }
+}

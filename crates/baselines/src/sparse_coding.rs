@@ -1,0 +1,326 @@
+//! Sparse-coding super-resolution (Yang et al. \[31\]).
+//!
+//! A coupled low/high-resolution patch dictionary is learned from training
+//! pairs; at test time each low-resolution patch is sparse-coded over the
+//! low-res dictionary with orthogonal matching pursuit (OMP) and the code
+//! is applied to the high-res dictionary to synthesise the residual detail
+//! on top of the bicubic upscale. Overlapping patch predictions are
+//! averaged.
+
+use crate::interp::bicubic_resize;
+use crate::linalg::lstsq_columns;
+use crate::patches::{kmeans, sample_corpus, PATCH};
+use crate::SuperResolver;
+use mtsr_tensor::matmul::matmul_tn;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_traffic::Dataset;
+
+/// Configuration of the SC baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ScConfig {
+    /// Dictionary size (atoms).
+    pub atoms: usize,
+    /// OMP sparsity (non-zero coefficients per patch).
+    pub sparsity: usize,
+    /// Training patch pairs to sample.
+    pub corpus: usize,
+    /// k-means iterations for dictionary seeding.
+    pub kmeans_iters: usize,
+    /// Patch stride at prediction time (1 = maximally overlapped).
+    pub stride: usize,
+}
+
+impl Default for ScConfig {
+    fn default() -> Self {
+        ScConfig {
+            atoms: 128,
+            sparsity: 4,
+            corpus: 4000,
+            kmeans_iters: 8,
+            stride: 2,
+        }
+    }
+}
+
+impl ScConfig {
+    /// Small preset for unit tests.
+    pub fn tiny() -> Self {
+        ScConfig {
+            atoms: 24,
+            sparsity: 3,
+            corpus: 400,
+            kmeans_iters: 4,
+            stride: 2,
+        }
+    }
+}
+
+/// The Sparse Coding method (state: the coupled dictionary).
+pub struct SparseCodingSr {
+    cfg: ScConfig,
+    /// Low-res dictionary `[PATCH², atoms]`, unit-norm columns.
+    d_lo: Option<Tensor>,
+    /// High-res dictionary `[PATCH², atoms]` (scaled jointly with `d_lo`).
+    d_hi: Option<Tensor>,
+}
+
+impl SparseCodingSr {
+    /// Creates the method with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ScConfig::default())
+    }
+
+    /// Creates the method with an explicit configuration.
+    pub fn with_config(cfg: ScConfig) -> Self {
+        SparseCodingSr {
+            cfg,
+            d_lo: None,
+            d_hi: None,
+        }
+    }
+
+    /// OMP: greedily selects up to `sparsity` atoms and least-squares
+    /// refits the residual after each selection.
+    fn omp(&self, d_lo: &Tensor, y: &Tensor) -> Result<(Vec<usize>, Vec<f32>)> {
+        let atoms = d_lo.dims()[1];
+        let mut selected: Vec<usize> = Vec::new();
+        let mut coef: Vec<f32> = Vec::new();
+        let mut residual = y.clone();
+        for _ in 0..self.cfg.sparsity.min(atoms) {
+            // Correlations of every atom with the residual: D_loᵀ r.
+            let r_col = residual.reshaped([residual.numel(), 1])?;
+            let corr = matmul_tn(d_lo, &r_col)?;
+            let c = corr.as_slice();
+            let mut best = (0.0f32, usize::MAX);
+            for (i, &v) in c.iter().enumerate() {
+                if !selected.contains(&i) && v.abs() > best.0 {
+                    best = (v.abs(), i);
+                }
+            }
+            if best.1 == usize::MAX || best.0 < 1e-6 {
+                break; // residual orthogonal to remaining atoms
+            }
+            selected.push(best.1);
+            coef = lstsq_columns(d_lo, &selected, y)?;
+            // Recompute residual = y − D_sel α.
+            let mut recon = vec![0.0f32; y.numel()];
+            let dsl = d_lo.as_slice();
+            for (j, &a) in selected.iter().zip(&coef) {
+                for (r, rv) in recon.iter_mut().enumerate() {
+                    *rv += a * dsl[r * atoms + j];
+                }
+            }
+            residual = y.zip(
+                &Tensor::from_vec([y.numel()], recon)?,
+                "omp_residual",
+                |a, b| a - b,
+            )?;
+        }
+        Ok((selected, coef))
+    }
+}
+
+impl Default for SparseCodingSr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuperResolver for SparseCodingSr {
+    fn name(&self) -> &'static str {
+        "SC"
+    }
+
+    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
+        let corpus = sample_corpus(ds, self.cfg.corpus, rng)?;
+        // Joint dictionary: k-means centroids of concatenated [lo | hi]
+        // vectors, then split and column-normalised by the lo part (the
+        // standard coupled-dictionary construction).
+        let n = corpus.len();
+        let f = PATCH * PATCH;
+        let mut joint = Vec::with_capacity(n * 2 * f);
+        for i in 0..n {
+            joint.extend_from_slice(&corpus.lo.as_slice()[i * f..(i + 1) * f]);
+            joint.extend_from_slice(&corpus.hi.as_slice()[i * f..(i + 1) * f]);
+        }
+        let joint = Tensor::from_vec([n, 2 * f], joint)?;
+        let cent = kmeans(&joint, self.cfg.atoms, self.cfg.kmeans_iters, rng)?;
+        // Split into column dictionaries [f, atoms].
+        let mut d_lo = Tensor::zeros([f, self.cfg.atoms]);
+        let mut d_hi = Tensor::zeros([f, self.cfg.atoms]);
+        {
+            let c = cent.as_slice();
+            let dl = d_lo.as_mut_slice();
+            let dh = d_hi.as_mut_slice();
+            for a in 0..self.cfg.atoms {
+                // Normalise each atom by its lo-part norm so OMP
+                // correlations are comparable; scale hi jointly to keep the
+                // coupling.
+                let lo_part = &c[a * 2 * f..a * 2 * f + f];
+                let norm = lo_part.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+                for r in 0..f {
+                    dl[r * self.cfg.atoms + a] = c[a * 2 * f + r] / norm;
+                    dh[r * self.cfg.atoms + a] = c[a * 2 * f + f + r] / norm;
+                }
+            }
+        }
+        self.d_lo = Some(d_lo);
+        self.d_hi = Some(d_hi);
+        Ok(())
+    }
+
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let (d_lo, d_hi) = match (&self.d_lo, &self.d_hi) {
+            (Some(a), Some(b)) => (a.clone(), b.clone()),
+            _ => {
+                return Err(TensorError::InvalidShape {
+                    op: "SparseCodingSr::predict",
+                    reason: "fit() must be called before predict()".into(),
+                })
+            }
+        };
+        let g = ds.layout().grid;
+        let coarse = crate::latest_coarse(ds, t)?;
+        let base = bicubic_resize(&coarse, g, g)?;
+        let mut sum = vec![0.0f64; g * g];
+        let mut cnt = vec![0u32; g * g];
+        let bs = base.as_slice();
+        let atoms = self.cfg.atoms;
+        let f = PATCH * PATCH;
+        let mut y = 0;
+        loop {
+            let y0 = y.min(g - PATCH);
+            let mut x = 0;
+            loop {
+                let x0 = x.min(g - PATCH);
+                // Mean-removed low-res feature patch.
+                let mut feat = Vec::with_capacity(f);
+                for r in 0..PATCH {
+                    feat.extend_from_slice(&bs[(y0 + r) * g + x0..(y0 + r) * g + x0 + PATCH]);
+                }
+                let mean = feat.iter().sum::<f32>() / f as f32;
+                for v in &mut feat {
+                    *v -= mean;
+                }
+                let feat_t = Tensor::from_vec([f], feat)?;
+                let (sel, coef) = self.omp(&d_lo, &feat_t)?;
+                // Residual detail = D_hi α.
+                let dh = d_hi.as_slice();
+                for r in 0..PATCH {
+                    for c in 0..PATCH {
+                        let fi = r * PATCH + c;
+                        let mut detail = 0.0f32;
+                        for (j, &a) in sel.iter().zip(&coef) {
+                            detail += a * dh[fi * atoms + j];
+                        }
+                        let gi = (y0 + r) * g + (x0 + c);
+                        sum[gi] += (bs[gi] + detail) as f64;
+                        cnt[gi] += 1;
+                    }
+                }
+                if x0 == g - PATCH {
+                    break;
+                }
+                x += self.cfg.stride;
+            }
+            if y0 == g - PATCH {
+                break;
+            }
+            y += self.cfg.stride;
+        }
+        let data = sum
+            .into_iter()
+            .zip(cnt)
+            .map(|(s, c)| (s / c.max(1) as f64) as f32)
+            .collect();
+        Tensor::from_vec([g, g], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BicubicSr;
+    use mtsr_traffic::{
+        CityConfig, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+    };
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn predict_requires_fit() {
+        let ds = dataset(1);
+        let t = ds.usable_indices(Split::Test)[0];
+        let mut sc = SparseCodingSr::with_config(ScConfig::tiny());
+        assert!(sc.predict(&ds, t).is_err());
+    }
+
+    #[test]
+    fn fit_predict_shapes_and_finiteness() {
+        let ds = dataset(2);
+        let t = ds.usable_indices(Split::Test)[0];
+        let mut sc = SparseCodingSr::with_config(ScConfig::tiny());
+        sc.fit(&ds, &mut Rng::seed_from(7)).unwrap();
+        let pred = sc.predict(&ds, t).unwrap();
+        assert_eq!(pred.dims(), &[20, 20]);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn sc_stays_in_the_neighbourhood_of_bicubic() {
+        // SC = bicubic + learned residual; on a tiny corpus it must not
+        // catastrophically diverge from its own base predictor.
+        let ds = dataset(3);
+        let t = ds.usable_indices(Split::Test)[0];
+        let mut sc = SparseCodingSr::with_config(ScConfig::tiny());
+        sc.fit(&ds, &mut Rng::seed_from(8)).unwrap();
+        let p_sc = sc.predict(&ds, t).unwrap();
+        let p_bi = BicubicSr::new().predict(&ds, t).unwrap();
+        let diff = p_sc.mse(&p_bi).unwrap();
+        let scale = p_bi.variance();
+        assert!(diff < 4.0 * scale.max(1e-3), "diff {diff} vs var {scale}");
+    }
+
+    #[test]
+    fn omp_recovers_sparse_combination() {
+        let mut rng = Rng::seed_from(4);
+        let f = PATCH * PATCH;
+        // Random unit-norm dictionary.
+        let mut d = Tensor::rand_normal([f, 12], 0.0, 1.0, &mut rng);
+        for a in 0..12 {
+            let mut n = 0.0f32;
+            for r in 0..f {
+                n += d.get(&[r, a]).unwrap().powi(2);
+            }
+            let n = n.sqrt();
+            for r in 0..f {
+                let v = d.get(&[r, a]).unwrap() / n;
+                d.set(&[r, a], v).unwrap();
+            }
+        }
+        // y = 3·atom2 − 2·atom7.
+        let mut y = vec![0.0f32; f];
+        for r in 0..f {
+            y[r] = 3.0 * d.get(&[r, 2]).unwrap() - 2.0 * d.get(&[r, 7]).unwrap();
+        }
+        let y = Tensor::from_vec([f], y).unwrap();
+        let sc = SparseCodingSr::with_config(ScConfig {
+            sparsity: 2,
+            ..ScConfig::tiny()
+        });
+        let (sel, coef) = sc.omp(&d, &y).unwrap();
+        let mut pairs: Vec<(usize, f32)> = sel.into_iter().zip(coef).collect();
+        pairs.sort_by_key(|p| p.0);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, 2);
+        assert!((pairs[0].1 - 3.0).abs() < 1e-3);
+        assert_eq!(pairs[1].0, 7);
+        assert!((pairs[1].1 + 2.0).abs() < 1e-3);
+    }
+}

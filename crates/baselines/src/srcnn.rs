@@ -1,0 +1,230 @@
+//! SRCNN (Dong et al. \[14\]) — the paper's deep-learning comparator:
+//! "a benchmark deep learning architecture that comprises three
+//! convolutional layers", applied to the bicubic-upscaled coarse frame.
+
+use crate::interp::bicubic_resize;
+use crate::SuperResolver;
+use mtsr_nn::{Conv2d, Layer, LeakyReLU, Sequential};
+use mtsr_nn::{loss::mse_loss, Adam, Optimizer};
+use mtsr_tensor::conv::Conv2dSpec;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_traffic::{Dataset, Split};
+
+/// Configuration of the SRCNN baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct SrcnnConfig {
+    /// Feature maps of the first layer (original paper: 64).
+    pub f1: usize,
+    /// Feature maps of the second layer (original paper: 32).
+    pub f2: usize,
+    /// Kernel sizes of the 9-1-5 architecture.
+    pub kernels: (usize, usize, usize),
+    /// Training steps (minibatch updates).
+    pub steps: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for SrcnnConfig {
+    /// The original 9-1-5 SRCNN with 64/32 feature maps.
+    fn default() -> Self {
+        SrcnnConfig {
+            f1: 64,
+            f2: 32,
+            kernels: (9, 1, 5),
+            steps: 400,
+            batch: 8,
+            lr: 1e-3,
+        }
+    }
+}
+
+impl SrcnnConfig {
+    /// Small preset for unit tests and quick experiments.
+    pub fn tiny() -> Self {
+        SrcnnConfig {
+            f1: 12,
+            f2: 8,
+            kernels: (5, 1, 3),
+            steps: 60,
+            batch: 4,
+            lr: 2e-3,
+        }
+    }
+}
+
+/// The SRCNN method (state: the trained network).
+pub struct SrcnnSr {
+    cfg: SrcnnConfig,
+    net: Option<Sequential>,
+    /// Training-loss trace (one entry per step), for convergence tests.
+    pub loss_trace: Vec<f32>,
+}
+
+impl SrcnnSr {
+    /// Creates the method with the default (paper) configuration.
+    pub fn new() -> Self {
+        Self::with_config(SrcnnConfig::default())
+    }
+
+    /// Creates the method with an explicit configuration.
+    pub fn with_config(cfg: SrcnnConfig) -> Self {
+        SrcnnSr {
+            cfg,
+            net: None,
+            loss_trace: Vec::new(),
+        }
+    }
+
+    fn build_net(&self, rng: &mut Rng) -> Sequential {
+        let (k1, k2, k3) = self.cfg.kernels;
+        Sequential::new()
+            .push(Conv2d::new(
+                "srcnn1",
+                1,
+                self.cfg.f1,
+                (k1, k1),
+                Conv2dSpec::same(k1),
+                rng,
+            ))
+            .push(LeakyReLU::new(0.0)) // plain ReLU as in the original
+            .push(Conv2d::new(
+                "srcnn2",
+                self.cfg.f1,
+                self.cfg.f2,
+                (k2, k2),
+                Conv2dSpec::same(k2),
+                rng,
+            ))
+            .push(LeakyReLU::new(0.0))
+            .push(Conv2d::new(
+                "srcnn3",
+                self.cfg.f2,
+                1,
+                (k3, k3),
+                Conv2dSpec::same(k3),
+                rng,
+            ))
+    }
+
+    /// Bicubic-upscales the latest coarse frame of each batched input
+    /// `[N, 1, S, h, w]` to `[N, 1, g, g]`.
+    fn upscale_batch(ds: &Dataset, inputs: &Tensor) -> Result<Tensor> {
+        let dims = inputs.dims();
+        let (n, s, h, w) = (dims[0], dims[2], dims[3], dims[4]);
+        let g_h = dims_target(ds, h);
+        let per = h * w;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = (i * s + (s - 1)) * per;
+            let last = Tensor::from_vec([h, w], inputs.as_slice()[base..base + per].to_vec())?;
+            let up = bicubic_resize(&last, g_h, g_h)?;
+            out.push(up.reshape([1, g_h, g_h])?);
+        }
+        Tensor::stack(&out)
+    }
+}
+
+/// Target spatial side for an input of coarse side `h`: scale by the
+/// dataset's grid/square ratio (handles cropped training windows too).
+fn dims_target(ds: &Dataset, h: usize) -> usize {
+    let factor = ds.layout().grid / ds.layout().square;
+    h * factor
+}
+
+impl Default for SrcnnSr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuperResolver for SrcnnSr {
+    fn name(&self) -> &'static str {
+        "SRCNN"
+    }
+
+    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
+        let mut net = self.build_net(rng);
+        let mut opt = Adam::new(self.cfg.lr);
+        self.loss_trace.clear();
+        for _ in 0..self.cfg.steps {
+            let (inputs, targets) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
+            let up = Self::upscale_batch(ds, &inputs)?;
+            let target_dims = targets.dims().to_vec(); // [N, 1, H, W]
+            let pred = net.forward(&up, true)?;
+            if pred.dims() != target_dims {
+                return Err(TensorError::ShapeMismatch {
+                    op: "SrcnnSr::fit",
+                    lhs: pred.dims().to_vec(),
+                    rhs: target_dims,
+                });
+            }
+            let (loss, grad) = mse_loss(&pred, &targets)?;
+            self.loss_trace.push(loss);
+            net.backward(&grad)?;
+            opt.step(&mut net);
+        }
+        self.net = Some(net);
+        Ok(())
+    }
+
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let net = self.net.as_mut().ok_or(TensorError::InvalidShape {
+            op: "SrcnnSr::predict",
+            reason: "fit() must be called before predict()".into(),
+        })?;
+        let g = ds.layout().grid;
+        let coarse = crate::latest_coarse(ds, t)?;
+        let up = bicubic_resize(&coarse, g, g)?;
+        let x = up.reshape([1, 1, g, g])?;
+        let y = net.forward(&x, false)?;
+        y.reshape([g, g])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_traffic::{CityConfig, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout};
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn predict_requires_fit() {
+        let ds = dataset(1);
+        let t = ds.usable_indices(Split::Test)[0];
+        assert!(SrcnnSr::with_config(SrcnnConfig::tiny())
+            .predict(&ds, t)
+            .is_err());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = dataset(2);
+        let mut m = SrcnnSr::with_config(SrcnnConfig::tiny());
+        m.fit(&ds, &mut Rng::seed_from(3)).unwrap();
+        let trace = &m.loss_trace;
+        let head: f32 = trace[..8].iter().sum::<f32>() / 8.0;
+        let tail: f32 = trace[trace.len() - 8..].iter().sum::<f32>() / 8.0;
+        assert!(tail < head, "loss did not decrease: {head} → {tail}");
+    }
+
+    #[test]
+    fn prediction_shape_and_finiteness() {
+        let ds = dataset(4);
+        let t = ds.usable_indices(Split::Test)[0];
+        let mut m = SrcnnSr::with_config(SrcnnConfig::tiny());
+        m.fit(&ds, &mut Rng::seed_from(5)).unwrap();
+        let p = m.predict(&ds, t).unwrap();
+        assert_eq!(p.dims(), &[20, 20]);
+        assert!(p.is_finite());
+    }
+}

@@ -1,0 +1,91 @@
+//! Uniform interpolation — the operators' standard assumption \[8\] that
+//! "users and traffic are uniformly distributed, irrespective of the
+//! geographical layout of coverage areas".
+
+use crate::SuperResolver;
+use mtsr_tensor::{Result, Rng, Tensor};
+use mtsr_traffic::Dataset;
+
+/// Assigns every sub-cell its probe's mean. Exact on the probe averages
+/// by construction (mass-preserving) but blind to sub-probe structure.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UniformSr;
+
+impl UniformSr {
+    /// Creates the method (stateless).
+    pub fn new() -> Self {
+        UniformSr
+    }
+}
+
+impl SuperResolver for UniformSr {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn fit(&mut self, _ds: &Dataset, _rng: &mut Rng) -> Result<()> {
+        Ok(())
+    }
+
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let coarse = crate::latest_coarse(ds, t)?;
+        let layout = ds.layout();
+        // The square projection stores probe means in layout order; the
+        // first `num_probes` entries are real, the rest padding.
+        let means = coarse.as_slice()[..layout.num_probes()].to_vec();
+        layout.uniform_upsample(&means)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_traffic::{CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout};
+
+    fn dataset(instance: MtsrInstance, grid_cfg: CityConfig) -> Dataset {
+        let mut rng = Rng::seed_from(11);
+        let gen = MilanGenerator::new(&grid_cfg, &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), instance).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn uniform_is_piecewise_constant_and_mass_preserving() {
+        let ds = dataset(MtsrInstance::Up4, CityConfig::tiny());
+        let t = ds.usable_indices(mtsr_traffic::Split::Test)[0];
+        let mut m = UniformSr::new();
+        m.fit(&ds, &mut Rng::seed_from(0)).unwrap();
+        let pred = m.predict(&ds, t).unwrap();
+        assert_eq!(pred.dims(), &[20, 20]);
+        // Constant within each 4×4 probe block.
+        for by in 0..5 {
+            for bx in 0..5 {
+                let v = pred.get(&[by * 4, bx * 4]).unwrap();
+                for y in 0..4 {
+                    for x in 0..4 {
+                        assert_eq!(pred.get(&[by * 4 + y, bx * 4 + x]), Some(v));
+                    }
+                }
+            }
+        }
+        // Aggregating the prediction reproduces the coarse input exactly.
+        let truth = ds.sample_at(t).unwrap().target;
+        let truth2d = truth.reshaped([20, 20]).unwrap();
+        let agg_pred = ds.layout().aggregate(&pred).unwrap();
+        let agg_truth = ds.layout().aggregate(&truth2d).unwrap();
+        for (a, b) in agg_pred.iter().zip(&agg_truth) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn uniform_has_nonzero_error_on_structured_traffic() {
+        let ds = dataset(MtsrInstance::Up4, CityConfig::tiny());
+        let t = ds.usable_indices(mtsr_traffic::Split::Test)[0];
+        let mut m = UniformSr::new();
+        let pred = m.predict(&ds, t).unwrap();
+        let truth = ds.sample_at(t).unwrap().target.reshaped([20, 20]).unwrap();
+        assert!(pred.mse(&truth).unwrap() > 0.0);
+    }
+}

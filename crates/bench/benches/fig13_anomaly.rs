@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 13**: robustness to abnormal traffic (§5.5).
+//!
+//! A synthetic social-event surge is injected into *suburban* test frames
+//! only — the model never saw such a pattern in training. Paper shape:
+//! ZipNet-GAN "still successfully identifies the locations of abnormal
+//! traffic, given averaged and smoothed inputs", i.e. it can act as an
+//! anomaly detector from coarse measurements alone.
+
+use mtsr_bench::{
+    ascii_heatmap, bench_dataset_config, bench_train_cfg, write_csv, BENCH_GRID, BENCH_S,
+};
+use mtsr_tensor::{Rng, Tensor};
+use mtsr_traffic::{
+    AnomalyEvent, CityConfig, Dataset, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+    SuperResolver,
+};
+use zipnet_core::{ArchScale, MtsrModel};
+
+fn region_mean(t: &Tensor, cy: usize, cx: usize, r: usize) -> f32 {
+    let g = t.dims()[0];
+    let (mut s, mut n) = (0.0f32, 0usize);
+    for y in cy.saturating_sub(r)..(cy + r + 1).min(g) {
+        for x in cx.saturating_sub(r)..(cx + r + 1).min(g) {
+            s += t.get(&[y, x]).expect("in range");
+            n += 1;
+        }
+    }
+    s / n as f32
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(303);
+    let mut city = CityConfig::small();
+    city.grid = BENCH_GRID;
+    let gen = MilanGenerator::new(&city, &mut rng).expect("generator");
+    let cfg = bench_dataset_config(BENCH_S);
+    let movie_clean = gen.generate(cfg.total(), &mut rng).expect("movie");
+    let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Mixture).expect("layout");
+
+    // Inject the event into every test frame (so the S-frame history of a
+    // test target contains it too).
+    let event = AnomalyEvent::suburban(BENCH_GRID, 2500.0);
+    let mut movie_anom = movie_clean.clone();
+    let test_start = cfg.train + cfg.valid;
+    event
+        .apply_to_movie(&mut movie_anom, test_start..cfg.total())
+        .expect("inject");
+
+    let ds_clean = Dataset::build(&movie_clean, layout.clone(), cfg).expect("clean ds");
+    let ds_anom = Dataset::build(&movie_anom, layout, cfg).expect("anom ds");
+
+    // Train on clean data only.
+    let mut model = MtsrModel::zipnet_gan(ArchScale::Tiny, bench_train_cfg());
+    model.fit(&ds_clean, &mut Rng::seed_from(7)).expect("fit");
+
+    let t = ds_anom.usable_indices(Split::Test)[8];
+    let truth = ds_anom.fine_frame_raw(t).expect("truth");
+    let input = ds_anom.coarse_frame_raw(t).expect("input");
+    let pred_anom = ds_anom.denormalize(&model.predict(&ds_anom, t).expect("predict"));
+    let pred_clean = ds_clean.denormalize(&model.predict(&ds_clean, t).expect("predict"));
+
+    println!("Fig. 13 — anomaly robustness, mixture instance (bench scale)");
+    println!(
+        "{}",
+        ascii_heatmap(&input, "Coarse-grained meas. (input, smoothed event)")
+    );
+    println!("{}", ascii_heatmap(&truth, "Ground truth (with suburban event)"));
+    println!("{}", ascii_heatmap(&pred_anom, "ZipNet-GAN prediction"));
+
+    let r = 2;
+    let at_event_pred = region_mean(&pred_anom, event.y, event.x, r);
+    let at_event_clean = region_mean(&pred_clean, event.y, event.x, r);
+    let at_event_truth = region_mean(&truth, event.y, event.x, r);
+    let response = at_event_pred - at_event_clean;
+    println!("event centre ({}, {}), radius {:.1} cells", event.y, event.x, event.radius);
+    println!("true event-region traffic:        {at_event_truth:8.0} MB");
+    println!("predicted with event in input:    {at_event_pred:8.0} MB");
+    println!("predicted without event (clean):  {at_event_clean:8.0} MB");
+    println!("model response to the anomaly:    {response:8.0} MB");
+    // A suburban event reaches the model through a 5x5/10x10 probe, i.e.
+    // diluted 25-100x; the detection signal is the *relative* lift of the
+    // inference at the event site over the clean-input inference.
+    let lift = at_event_pred / at_event_clean.max(1.0);
+    println!(
+        "\nShape check: event-site inference lift {lift:.2}x over clean input ({})",
+        if lift > 1.5 {
+            "PASS — event localised from coarse aggregates"
+        } else {
+            "WEAK at this training budget"
+        }
+    );
+    write_csv(
+        "fig13_anomaly.csv",
+        "event_y,event_x,truth_mb,pred_with_event_mb,pred_clean_mb,response_mb",
+        &[format!(
+            "{},{},{:.1},{:.1},{:.1},{:.1}",
+            event.y, event.x, at_event_truth, at_event_pred, at_event_clean, response
+        )],
+    );
+}

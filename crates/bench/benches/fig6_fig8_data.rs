@@ -1,0 +1,101 @@
+//! Regenerates the two *data* figures of the paper:
+//!
+//! * **Fig. 6** — spatial distribution of traffic at off-peak vs peak
+//!   times (20 MB … 5 496 MB per 10-minute interval), here over the
+//!   synthetic Milan substitute;
+//! * **Fig. 8** — the mixture-deployment coverage map: probe granularity
+//!   projected onto the city (small probes in the dense centre, large in
+//!   the suburbs).
+//!
+//! Also prints the CDR-level statistics of the underlying event stream,
+//! grounding the §1 claim that record streams are orders of magnitude
+//! heavier than the coarse aggregates MTSR needs.
+
+use mtsr_bench::{ascii_heatmap, write_csv, BENCH_GRID};
+use mtsr_tensor::{Rng, Tensor};
+use mtsr_traffic::cdr::{cdr_stats, records_per_day, sample_cdr_stream, CdrConfig};
+use mtsr_traffic::{CityConfig, MilanGenerator, MtsrInstance, ProbeLayout};
+
+fn main() {
+    let mut rng = Rng::seed_from(42);
+    let mut city_cfg = CityConfig::small();
+    city_cfg.grid = BENCH_GRID;
+    let gen = MilanGenerator::new(&city_cfg, &mut rng).expect("generator");
+    let movie = gen.generate(144, &mut rng).expect("one day of traffic");
+
+    // Fig. 6: off-peak (04:00) vs peak (13:00) snapshots.
+    let offpeak = movie.index_axis0(4 * 6).expect("frame");
+    let peak = movie.index_axis0(13 * 6).expect("frame");
+    println!("Fig. 6 — spatial distribution of traffic (synthetic Milan substitute)");
+    println!("{}", ascii_heatmap(&offpeak, "off-peak (04:00)"));
+    println!("{}", ascii_heatmap(&peak, "peak (13:00)"));
+    println!(
+        "volume range over the day: {:.0}..{:.0} MB per cell-interval (paper: 20..5496 MB)",
+        movie.min(),
+        movie.max()
+    );
+
+    // Fig. 8: mixture coverage granularity map.
+    let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Mixture).expect("layout");
+    let mut granularity = Tensor::zeros([BENCH_GRID, BENCH_GRID]);
+    for p in &layout.probes {
+        for y in p.y..p.y + p.h {
+            for x in p.x..p.x + p.w {
+                // Invert so fine probing shows hot in the heat map.
+                granularity
+                    .set(&[y, x], 1.0 / (p.h * p.w) as f32)
+                    .expect("in range");
+            }
+        }
+    }
+    println!("\nFig. 8 — mixture deployment: probe granularity map (bright = fine 2x2 probes)");
+    println!("{}", ascii_heatmap(&granularity, "probe granularity (1/coverage)"));
+    let dist = layout.size_distribution();
+    println!(
+        "probe mix: {}  ({} probes over {} cells, avg r_f {:.0})",
+        dist.iter()
+            .map(|(s, f)| format!("{:.0}% {s}x{s}", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(", "),
+        layout.num_probes(),
+        BENCH_GRID * BENCH_GRID,
+        layout.avg_upscaling()
+    );
+
+    // CDR-level grounding (§1/§4): the raw record stream vs probe points.
+    let cdr_cfg = CdrConfig::default();
+    let one_hour = Tensor::from_vec(
+        [6, BENCH_GRID, BENCH_GRID],
+        movie.as_slice()[13 * 6 * BENCH_GRID * BENCH_GRID..(13 * 6 + 6) * BENCH_GRID * BENCH_GRID]
+            .to_vec(),
+    )
+    .expect("hour slice");
+    let stream = sample_cdr_stream(&one_hour, &cdr_cfg, &mut rng).expect("cdr stream");
+    let stats = cdr_stats(&stream, &cdr_cfg);
+    println!("\nCDR stream underneath one peak hour of this (scaled) city:");
+    println!(
+        "  {} records (≈ {:.0}/interval, {:.0}/day), mean {:.2} MB, {:.0}% at the 5 MB cut",
+        stats.records,
+        stats.records_per_interval,
+        records_per_day(&stats),
+        stats.mean_volume_mb,
+        100.0 * stats.cut_fraction
+    );
+    println!(
+        "  vs {} coarse measurement points per interval for the mixture probes — {}x fewer",
+        layout.num_probes(),
+        (stats.records_per_interval / layout.num_probes() as f32).round()
+    );
+
+    write_csv(
+        "fig6_fig8_data.csv",
+        "metric,value",
+        &[
+            format!("volume_min_mb,{:.1}", movie.min()),
+            format!("volume_max_mb,{:.1}", movie.max()),
+            format!("mixture_probes,{}", layout.num_probes()),
+            format!("cdr_records_per_interval,{:.1}", stats.records_per_interval),
+            format!("cdr_mean_volume_mb,{:.3}", stats.mean_volume_mb),
+        ],
+    );
+}

@@ -1,0 +1,126 @@
+//! Probe-position robustness — §5's claim that ZipNet(-GAN) infers
+//! fine-grained traffic "irrespective to the coverage and the position of
+//! the probes".
+//!
+//! Mechanism under test: the §4 cropping augmentation trains the
+//! generator on windows at *every* offset, so at inference time a probe
+//! lattice shifted relative to the city content costs nothing. We train
+//! with augmentation, then evaluate on windows whose origins are
+//! (a) aligned with the training-city probe lattice and (b) deliberately
+//! misaligned (odd offsets) — the misaligned windows are exactly what a
+//! differently-positioned probe deployment would report.
+
+use mtsr_bench::{
+    bench_dataset_config, bench_train_cfg, evenly_spaced, print_table, write_csv, BENCH_GRID,
+    BENCH_S,
+};
+use mtsr_metrics::nrmse;
+use mtsr_tensor::{Rng, Tensor};
+use mtsr_traffic::augment::{crop, AugmentConfig};
+use mtsr_traffic::{
+    CityConfig, Dataset, MilanGenerator, ProbeLayout, Split, SuperResolver,
+};
+use zipnet_core::{ArchScale, MtsrModel};
+
+const WINDOW: usize = 32;
+const PROBE: usize = 4;
+
+fn eval_offsets(
+    model: &mut MtsrModel,
+    ds: &Dataset,
+    offsets: &[(usize, usize)],
+) -> f64 {
+    let win_layout = ProbeLayout::uniform(WINDOW, PROBE).expect("window layout");
+    let moments = ds.moments();
+    let idx = ds.usable_indices(Split::Test);
+    let frames = evenly_spaced(&idx, 8);
+    let gen = model.generator_mut().expect("fitted");
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for &t in &frames {
+        for &(oy, ox) in offsets {
+            // Coarse input: aggregate the cropped raw frames of the S-step
+            // history with the window's probe lattice (what probes placed
+            // at this offset would have reported), then normalise.
+            let s = ds.s();
+            let cw = WINDOW / PROBE;
+            let mut input = Tensor::zeros([1, 1, s, cw, cw]);
+            for (si, ft) in (t + 1 - s..=t).enumerate() {
+                let raw = ds.fine_frame_raw(ft).expect("frame");
+                let cropped = crop(&raw, oy, ox, WINDOW).expect("crop");
+                let coarse = win_layout
+                    .coarse_frame(&cropped)
+                    .expect("aggregate")
+                    .normalize(&moments)
+                    .expect("normalize");
+                input.as_mut_slice()[si * cw * cw..(si + 1) * cw * cw]
+                    .copy_from_slice(coarse.as_slice());
+            }
+            use mtsr_nn::layer::Layer;
+            let pred = gen.forward(&input, false).expect("forward");
+            let pred = pred
+                .reshape([WINDOW, WINDOW])
+                .expect("reshape")
+                .denormalize(&moments);
+            let truth = crop(&ds.fine_frame_raw(t).expect("frame"), oy, ox, WINDOW)
+                .expect("crop");
+            total += nrmse(&pred, &truth).expect("nrmse") as f64;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+fn main() {
+    // Dataset with the §4 cropping augmentation enabled.
+    let mut rng = Rng::seed_from(870);
+    let mut city = CityConfig::small();
+    city.grid = BENCH_GRID;
+    let gen_data = MilanGenerator::new(&city, &mut rng).expect("generator");
+    let mut cfg = bench_dataset_config(BENCH_S);
+    cfg.augment = Some(AugmentConfig {
+        window: WINDOW,
+        stride: 1,
+    });
+    let movie = gen_data.generate(cfg.total(), &mut rng).expect("movie");
+    let layout = ProbeLayout::uniform(BENCH_GRID, PROBE).expect("layout");
+    let ds = Dataset::build(&movie, layout, cfg).expect("dataset");
+
+    let mut model = MtsrModel::zipnet(ArchScale::Tiny, bench_train_cfg());
+    eprintln!("[robustness] training with {}-offset crop augmentation...", WINDOW);
+    model.fit(&ds, &mut Rng::seed_from(871)).expect("fit");
+
+    // Aligned window origins sit on the probe lattice; misaligned ones are
+    // offset by 1–3 cells (a probe deployment shifted against the city).
+    let aligned: Vec<(usize, usize)> = vec![(0, 0), (4, 4), (0, 8), (8, 0)];
+    let misaligned: Vec<(usize, usize)> = vec![(1, 2), (3, 1), (2, 7), (5, 3)];
+    let e_aligned = eval_offsets(&mut model, &ds, &aligned);
+    let e_misaligned = eval_offsets(&mut model, &ds, &misaligned);
+    let rel = (e_misaligned - e_aligned) / e_aligned;
+
+    print_table(
+        "Probe-position robustness (ZipNet + §4 augmentation, up-4 windows)",
+        &["probe alignment", "NRMSE"],
+        &[
+            vec!["on-lattice".into(), format!("{e_aligned:.3}")],
+            vec!["shifted (1-3 cells)".into(), format!("{e_misaligned:.3}")],
+            vec!["relative change".into(), format!("{:+.1}%", 100.0 * rel)],
+        ],
+    );
+    write_csv(
+        "robustness_probe_position.csv",
+        "alignment,nrmse",
+        &[
+            format!("aligned,{e_aligned:.4}"),
+            format!("misaligned,{e_misaligned:.4}"),
+        ],
+    );
+    println!(
+        "\nShape check: paper claims position-irrespective inference — {}",
+        if rel.abs() < 0.15 {
+            "PASS (within 15%)"
+        } else {
+            "deviation above 15% at this budget"
+        }
+    );
+}

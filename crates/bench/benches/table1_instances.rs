@@ -1,0 +1,81 @@
+//! Regenerates **Table 1**: configuration of the four MTSR instances
+//! (probe coverage, upscaling factor n_f, coverage r_f, and — for the
+//! mixture — the probe-size distribution of Fig. 8).
+//!
+//! Runs at both the paper grid (100×100) and the bench grid (40×40).
+
+use mtsr_bench::{print_table, write_csv, BENCH_GRID};
+use mtsr_tensor::Rng;
+use mtsr_traffic::{city::City, CityConfig, MtsrInstance, ProbeLayout};
+
+fn rows_for_grid(grid: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut cfg = if grid >= 100 {
+        CityConfig::paper()
+    } else {
+        CityConfig::small()
+    };
+    cfg.grid = grid;
+    let city = City::build(&cfg, &mut Rng::seed_from(seed)).expect("city");
+    MtsrInstance::all()
+        .iter()
+        .map(|&inst| {
+            let layout = ProbeLayout::for_instance(&city, inst).expect("layout");
+            layout.verify_partition().expect("partition");
+            let config = match inst {
+                MtsrInstance::Up2 => "probes cover 2x2 sub-cells".to_string(),
+                MtsrInstance::Up4 => "probes cover 4x4 sub-cells".to_string(),
+                MtsrInstance::Up10 => "probes cover 10x10 sub-cells".to_string(),
+                MtsrInstance::Mixture => {
+                    let dist = layout.size_distribution();
+                    dist.iter()
+                        .map(|(s, f)| format!("{:.0}% cover {s}x{s}", f * 100.0))
+                        .collect::<Vec<_>>()
+                        .join(" / ")
+                }
+            };
+            let nf_avg = layout.avg_upscaling().sqrt();
+            vec![
+                inst.label().to_string(),
+                config,
+                format!("{nf_avg:.0}"),
+                format!("{:.0}", layout.avg_upscaling()),
+                layout.num_probes().to_string(),
+                layout.square.to_string(),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let header = [
+        "instance",
+        "configuration",
+        "n_f (avg)",
+        "r_f (avg)",
+        "probes",
+        "input side",
+    ];
+    for grid in [100usize, BENCH_GRID] {
+        let rows = rows_for_grid(grid, 42);
+        print_table(
+            &format!("Table 1: MTSR instance configurations (grid {grid}x{grid})"),
+            &header,
+            &rows,
+        );
+        write_csv(
+            &format!("table1_grid{grid}.csv"),
+            &header.join(","),
+            &rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|c| c.replace(',', ";"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!("\nPaper reference (Table 1): up-2 n_f=2 r_f=4; up-4 n_f=4 r_f=16;");
+    println!("up-10 n_f=10 r_f=100; mixture avg n_f=4 (7% 10x10, 44% 4x4, 49% 2x2).");
+}

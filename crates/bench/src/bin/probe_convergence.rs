@@ -1,0 +1,81 @@
+//! Calibration tool: how does ZipNet validation NRMSE evolve with
+//! training budget on the bench dataset, and where do the interpolation
+//! baselines sit on the same frames?
+//!
+//! ```sh
+//! cargo run --release -p mtsr-bench --bin probe_convergence -- [up2|up4|up10]
+//! # env: CH=<channels> ZM=<zipper modules> LR=<initial lr>
+//! ```
+//!
+//! Used to pick the step budgets in `bench_train_cfg` (see EXPERIMENTS.md
+//! scale notes); ten rounds of 100 steps, reporting train MSE and
+//! denormalised validation NRMSE after each round.
+use mtsr_bench::{bench_dataset, BENCH_S};
+use mtsr_metrics::nrmse;
+use mtsr_tensor::Rng;
+use mtsr_traffic::{MtsrInstance, Split, SuperResolver};
+use zipnet_core::{
+    Discriminator, DiscriminatorConfig, GanTrainer, GanTrainingConfig, ZipNet, ZipNetConfig,
+};
+
+fn main() {
+    let inst = match std::env::args().nth(1).as_deref() {
+        Some("up10") => MtsrInstance::Up10,
+        Some("up4") => MtsrInstance::Up4,
+        _ => MtsrInstance::Up2,
+    };
+    let ds = bench_dataset(inst, BENCH_S, 100).unwrap();
+    let upscale = ds.layout().grid / ds.layout().square;
+    let mut rng = Rng::seed_from(1);
+    let mut cfg = ZipNetConfig::tiny(upscale, BENCH_S);
+    if let Ok(c) = std::env::var("CH") { cfg.channels = c.parse().unwrap(); }
+    if let Ok(z) = std::env::var("ZM") { cfg.zipper_modules = z.parse().unwrap(); }
+    let gen = ZipNet::new(&cfg, &mut rng).unwrap();
+    let disc = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).unwrap();
+    let lr0: f32 = std::env::var("LR").ok().and_then(|v| v.parse().ok()).unwrap_or(2e-3);
+    let tcfg = GanTrainingConfig { batch: 8, lr: lr0, pretrain_steps: 100,
+        adversarial_steps: 0, n_g: 1, n_d: 1, loss: zipnet_core::GanLoss::Empirical,
+        schedule: None, clip_norm: Some(5.0), adv_lr_factor: 1.0 };
+    let mut trainer = GanTrainer::new(gen, disc, tcfg);
+    let eval = |trainer: &mut GanTrainer, ds: &mtsr_traffic::Dataset| -> f32 {
+        // NRMSE over 8 evenly spaced validation frames, denormalised.
+        let idx = mtsr_bench::evenly_spaced(&ds.usable_indices(Split::Valid), 8);
+        let mut s = 0.0;
+        let mut wrapper = |t: usize| -> f32 {
+            let sm = ds.sample_at(t).unwrap();
+            let d = sm.input.dims().to_vec();
+            let x = sm.input.reshaped([1, d[0], d[1], d[2], d[3]]).unwrap();
+            use mtsr_nn::layer::Layer;
+            let p = trainer.generator_mut().forward(&x, false).unwrap();
+            let g = ds.layout().grid;
+            let p = ds.denormalize(&p.reshape([g, g]).unwrap());
+            let tr = ds.fine_frame_raw(t).unwrap();
+            nrmse(&p, &tr).unwrap()
+        };
+        for &t in idx.iter() { s += wrapper(t); }
+        s / idx.len() as f32
+    };
+    // Baselines on the same frames.
+    {
+        use mtsr_baselines::{BicubicSr, UniformSr};
+        for (name, mut m) in [("uniform", Box::new(UniformSr::new()) as Box<dyn SuperResolver>), ("bicubic", Box::new(BicubicSr::new()))] {
+            m.fit(&ds, &mut Rng::seed_from(0)).unwrap();
+            let idx = mtsr_bench::evenly_spaced(&ds.usable_indices(Split::Valid), 8);
+            let mut e = 0.0;
+            for &t in &idx {
+                let p = ds.denormalize(&m.predict(&ds, t).unwrap());
+                e += nrmse(&p, &ds.fine_frame_raw(t).unwrap()).unwrap();
+            }
+            println!("{name} val-NRMSE {:.4}", e / idx.len() as f32);
+        }
+    }
+    let t0 = std::time::Instant::now();
+    for round in 1..=10 {
+        // Exponential decay: halve the lr every 3 rounds.
+        trainer.set_learning_rate(lr0 * 0.5f32.powf((round - 1) as f32 / 3.0));
+        let trace = trainer.pretrain(&ds, &mut rng).unwrap();
+        let last = trace.last().copied().unwrap();
+        println!("steps {:4}: train-mse {:.4}  val-NRMSE {:.4}  ({:.0?})",
+            round * 100, last, eval(&mut trainer, &ds), t0.elapsed());
+    }
+}

@@ -1,0 +1,288 @@
+//! # mtsr-bench
+//!
+//! Shared harness for the experiment benches: one bench target per table
+//! and figure of the paper (see `DESIGN.md` §4 for the index). Each bench
+//! prints a paper-style table and writes machine-readable CSV under
+//! `target/experiments/`.
+//!
+//! ## Scaling
+//!
+//! The paper trains for 2–3 days on a GPU cluster; this harness runs on
+//! whatever CPU is available (often a single core), so every bench uses
+//! the **bench scale**: a 40×40 synthetic city (the smallest grid that
+//! supports all four Table 1 instances including the mixture), S = 3
+//! historical frames, and the `Tiny` architecture preset with a raised
+//! learning rate. The architecture topology, losses, and training
+//! algorithm are exactly the paper's; only widths, depths, steps and grid
+//! shrink. Relative method ordering is the reproduction target, not
+//! absolute numbers (`EXPERIMENTS.md` records both).
+
+use mtsr_metrics::{score_snapshots, Scores, MILAN_PEAK_MB};
+use mtsr_tensor::{Result, Rng, Tensor};
+use mtsr_traffic::{
+    CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+    SuperResolver,
+};
+use std::io::Write as _;
+use std::path::PathBuf;
+use zipnet_core::GanTrainingConfig;
+
+/// Grid side used by the benches (smallest supporting the mixture).
+pub const BENCH_GRID: usize = 40;
+/// Temporal input length used by most benches.
+pub const BENCH_S: usize = 3;
+/// Test snapshots scored per method.
+pub const BENCH_EVAL_SNAPSHOTS: usize = 20;
+
+/// Dataset splits for the bench scale: 4 synthetic days, *day-aligned*
+/// (2 train / 1 validation / 1 test) so every split covers the full
+/// diurnal cycle — the scaled analogue of the paper's 40/10/10 days.
+pub fn bench_dataset_config(s: usize) -> DatasetConfig {
+    DatasetConfig {
+        s,
+        train: 288,
+        valid: 144,
+        test: 144,
+        augment: None,
+    }
+}
+
+/// Builds the bench-scale city/traffic/probe dataset for one instance.
+/// Deterministic in `seed`; the same seed gives every method the same data.
+pub fn bench_dataset(instance: MtsrInstance, s: usize, seed: u64) -> Result<Dataset> {
+    let mut rng = Rng::seed_from(seed);
+    let mut city = CityConfig::small();
+    city.grid = BENCH_GRID;
+    let gen = MilanGenerator::new(&city, &mut rng)?;
+    let cfg = bench_dataset_config(s);
+    let movie = gen.generate(cfg.total(), &mut rng)?;
+    let layout = ProbeLayout::for_instance(gen.city(), instance)?;
+    Dataset::build(&movie, layout, cfg)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Training configuration for the learned methods at bench scale: the
+/// paper's Algorithm 1 with n_G = n_D = 1 and the Eq. 9 loss, but a raised
+/// learning rate and a small step budget so a single CPU core finishes in
+/// minutes per figure.
+///
+/// Overridable for deeper runs via `MTSR_PRETRAIN`, `MTSR_ADV` and
+/// `MTSR_BATCH` environment variables.
+pub fn bench_train_cfg() -> GanTrainingConfig {
+    GanTrainingConfig {
+        batch: env_usize("MTSR_BATCH", 8),
+        lr: 1e-3,
+        pretrain_steps: env_usize("MTSR_PRETRAIN", 300),
+        adversarial_steps: env_usize("MTSR_ADV", 40),
+        n_g: 1,
+        n_d: 1,
+        loss: zipnet_core::GanLoss::Empirical,
+        // Halve the rate every 200 steps and clip pathological gradients —
+        // both materially improve small-budget CPU convergence.
+        schedule: Some(mtsr_nn::LrSchedule::Exponential {
+            lr: 1e-3,
+            period: 200,
+            factor: 0.5,
+        }),
+        clip_norm: Some(5.0),
+        // Gentle adversarial fine-tuning (see `adv_lr_factor` docs).
+        adv_lr_factor: 0.2,
+    }
+}
+
+/// Fits `method` on the dataset and scores it over the first
+/// `max_snapshots` usable test frames, on the denormalised (MB) scale.
+pub fn fit_and_score(
+    method: &mut dyn SuperResolver,
+    ds: &Dataset,
+    max_snapshots: usize,
+    seed: u64,
+) -> Result<Scores> {
+    let mut rng = Rng::seed_from(seed);
+    method.fit(ds, &mut rng)?;
+    score_method(method, ds, max_snapshots)
+}
+
+/// Picks up to `n` evenly spaced elements (so evaluation covers the full
+/// diurnal cycle of the test day rather than one consecutive stretch).
+pub fn evenly_spaced(idx: &[usize], n: usize) -> Vec<usize> {
+    if idx.len() <= n {
+        return idx.to_vec();
+    }
+    (0..n)
+        .map(|i| idx[i * (idx.len() - 1) / (n - 1).max(1)])
+        .collect()
+}
+
+/// Scores an already-fitted method over evenly spaced test snapshots.
+pub fn score_method(
+    method: &mut dyn SuperResolver,
+    ds: &Dataset,
+    max_snapshots: usize,
+) -> Result<Scores> {
+    let idx = ds.usable_indices(Split::Test);
+    let mut pairs = Vec::new();
+    for t in evenly_spaced(&idx, max_snapshots) {
+        let pred = ds.denormalize(&method.predict(ds, t)?);
+        let truth = ds.fine_frame_raw(t)?;
+        pairs.push((pred, truth));
+    }
+    score_snapshots(&pairs, MILAN_PEAK_MB)
+}
+
+/// Directory (created on demand) where benches drop their CSV outputs.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file into [`experiments_dir`].
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = experiments_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write csv");
+    for r in rows {
+        writeln!(f, "{r}").expect("write csv");
+    }
+    println!("  [csv] {}", path.display());
+}
+
+/// Prints a fixed-width table with a title line.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Renders a `[H, W]` traffic map as an ASCII heat map (the bench-output
+/// stand-in for the paper's 3-D surface plots of Figs. 10–13).
+pub fn ascii_heatmap(t: &Tensor, title: &str) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let d = t.dims();
+    let (h, w) = (d[0], d[1]);
+    let (lo, hi) = (t.min(), t.max());
+    let span = (hi - lo).max(1e-9);
+    let mut out = format!("--- {title} (min {lo:.0} MB, max {hi:.0} MB) ---\n");
+    // Downsample tall maps to keep output readable.
+    let step = (h / 40).max(1);
+    for y in (0..h).step_by(step) {
+        for x in (0..w).step_by(step) {
+            let v = t.get(&[y, x]).expect("in range");
+            let idx = (((v - lo) / span) * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The seven methods of Fig. 9, freshly constructed at bench scale.
+pub fn fig9_methods() -> Vec<Box<dyn SuperResolver>> {
+    use mtsr_baselines::{
+        aplus::AplusConfig, sparse_coding::ScConfig, srcnn::SrcnnConfig, AplusSr, BicubicSr,
+        SparseCodingSr, SrcnnSr, UniformSr,
+    };
+    use zipnet_core::{ArchScale, MtsrModel};
+    vec![
+        Box::new(UniformSr::new()),
+        Box::new(BicubicSr::new()),
+        Box::new(SparseCodingSr::with_config(ScConfig {
+            atoms: 64,
+            corpus: 2000,
+            ..ScConfig::default()
+        })),
+        Box::new(AplusSr::with_config(AplusConfig {
+            anchors: 32,
+            corpus: 2000,
+            ..AplusConfig::default()
+        })),
+        Box::new(SrcnnSr::with_config(SrcnnConfig {
+            f1: 16,
+            f2: 12,
+            kernels: (9, 1, 5),
+            steps: 150,
+            batch: 4,
+            lr: 1e-3,
+        })),
+        Box::new(MtsrModel::zipnet(ArchScale::Tiny, bench_train_cfg())),
+        Box::new(MtsrModel::zipnet_gan(ArchScale::Tiny, bench_train_cfg())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_baselines::UniformSr;
+
+    #[test]
+    fn bench_dataset_builds_for_all_instances() {
+        for inst in MtsrInstance::all() {
+            let ds = bench_dataset(inst, BENCH_S, 1).unwrap();
+            assert_eq!(ds.layout().grid, BENCH_GRID, "{inst:?}");
+            assert!(!ds.usable_indices(Split::Test).is_empty());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_data() {
+        let a = bench_dataset(MtsrInstance::Up4, BENCH_S, 7).unwrap();
+        let b = bench_dataset(MtsrInstance::Up4, BENCH_S, 7).unwrap();
+        assert_eq!(a.fine_frame_raw(5).unwrap(), b.fine_frame_raw(5).unwrap());
+    }
+
+    #[test]
+    fn scoring_uniform_produces_sane_numbers() {
+        let ds = bench_dataset(MtsrInstance::Up4, BENCH_S, 2).unwrap();
+        let mut m = UniformSr::new();
+        let s = fit_and_score(&mut m, &ds, 5, 3).unwrap();
+        assert!(s.nrmse > 0.0 && s.nrmse < 3.0, "NRMSE {}", s.nrmse);
+        assert!(s.psnr > 10.0 && s.psnr < 150.0, "PSNR {}", s.psnr);
+        assert!(s.ssim > 0.0 && s.ssim <= 1.0, "SSIM {}", s.ssim);
+    }
+
+    #[test]
+    fn heatmap_renders() {
+        let t = Tensor::arange(16).reshape([4, 4]).unwrap();
+        let s = ascii_heatmap(&t, "test");
+        assert!(s.contains("test"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fig9_method_roster_matches_paper() {
+        let names: Vec<&str> = fig9_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Uniform", "Bicubic", "SC", "A+", "SRCNN", "ZipNet", "ZipNet-GAN"]
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Architecture configuration and presets.
+//!
+//! `ZipNetConfig::paper()` matches §3.2 exactly (24 zipper modules, three
+//! tail conv blocks, 1–3 upscaling blocks depending on the factor, S = 6,
+//! α = 0.1, Adam λ = 1e-4); `small()`/`tiny()` shrink channel widths and
+//! depth so the same architecture trains on a CPU in seconds-to-minutes.
+//! Benches always report which preset they used.
+
+use mtsr_tensor::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Splits an upscaling factor into per-block spatial strides.
+///
+/// The paper uses 1 block for up-2, 2 for up-4 and 3 for up-10, so: prime
+/// factors are grouped down to at most three blocks, and a stride-1
+/// refinement block is appended when a large factor (≥ 10) leaves fewer
+/// than three (up-10 → `[2, 5, 1]`).
+pub fn upscale_blocks(nf: usize) -> Result<Vec<usize>> {
+    if nf == 0 {
+        return Err(TensorError::InvalidConv {
+            reason: "upscaling factor must be positive".into(),
+        });
+    }
+    if nf == 1 {
+        return Ok(vec![1]);
+    }
+    // Prime factorisation, ascending.
+    let mut n = nf;
+    let mut factors = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n % p == 0 {
+            factors.push(p);
+            n /= p;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    // Group to at most 3 blocks by merging the two smallest.
+    while factors.len() > 3 {
+        factors.sort_unstable();
+        let merged = factors[0] * factors[1];
+        factors.drain(0..2);
+        factors.push(merged);
+    }
+    factors.sort_unstable();
+    if nf >= 10 && factors.len() < 3 {
+        factors.push(1);
+    }
+    Ok(factors)
+}
+
+/// Skip-connection topology of the convolutional core — the §3.2 design
+/// choice the skip ablation exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkipMode {
+    /// The paper's zipper: staggered skips linking every two modules plus
+    /// a global input→output skip (Fig. 4).
+    Zipper,
+    /// Plain ResNet residuals: each module adds its own input \[16\].
+    ResNet,
+    /// No skip connections (the degradation-prone deep baseline).
+    None,
+}
+
+/// Generator (ZipNet) architecture configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipNetConfig {
+    /// Temporal input length `S` (number of historical coarse frames).
+    pub s: usize,
+    /// Spatial upscaling factor n_f from coarse input to fine output.
+    pub upscale: usize,
+    /// Feature maps carried through the upscaling and zipper stages.
+    pub channels: usize,
+    /// Number of modules `B` in the zipper convolutional core (paper: 24).
+    pub zipper_modules: usize,
+    /// LeakyReLU slope α (paper: "a small positive constant (e.g. 0.1)").
+    pub leaky_alpha: f32,
+    /// Core skip topology (paper: [`SkipMode::Zipper`]).
+    pub skip_mode: SkipMode,
+}
+
+impl ZipNetConfig {
+    /// The architecture as described in §3.2 of the paper.
+    pub fn paper(upscale: usize, s: usize) -> Self {
+        ZipNetConfig {
+            s,
+            upscale,
+            channels: 32,
+            zipper_modules: 24,
+            leaky_alpha: 0.1,
+            skip_mode: SkipMode::Zipper,
+        }
+    }
+
+    /// Reduced width/depth for CPU-scale experiments (same topology).
+    pub fn small(upscale: usize, s: usize) -> Self {
+        ZipNetConfig {
+            s,
+            upscale,
+            channels: 16,
+            zipper_modules: 8,
+            leaky_alpha: 0.1,
+            skip_mode: SkipMode::Zipper,
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn tiny(upscale: usize, s: usize) -> Self {
+        ZipNetConfig {
+            s,
+            upscale,
+            channels: 6,
+            zipper_modules: 4,
+            leaky_alpha: 0.1,
+            skip_mode: SkipMode::Zipper,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.s == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "ZipNetConfig",
+                reason: "temporal length S must be positive".into(),
+            });
+        }
+        if self.channels == 0 || self.zipper_modules == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "ZipNetConfig",
+                reason: "channels and zipper modules must be positive".into(),
+            });
+        }
+        if !(self.leaky_alpha > 0.0 && self.leaky_alpha < 1.0) {
+            return Err(TensorError::InvalidShape {
+                op: "ZipNetConfig",
+                reason: format!("leaky α must be in (0, 1), got {}", self.leaky_alpha),
+            });
+        }
+        upscale_blocks(self.upscale)?;
+        Ok(())
+    }
+}
+
+/// Discriminator (simplified VGG, §3.2/Fig. 5) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscriminatorConfig {
+    /// Feature maps of the first conv block; doubles every other block.
+    pub base_channels: usize,
+    /// Number of conv blocks (paper: 6).
+    pub blocks: usize,
+    /// LeakyReLU slope.
+    pub leaky_alpha: f32,
+}
+
+impl DiscriminatorConfig {
+    /// The six-block VGG-style discriminator of Fig. 5.
+    pub fn paper() -> Self {
+        DiscriminatorConfig {
+            base_channels: 32,
+            blocks: 6,
+            leaky_alpha: 0.1,
+        }
+    }
+
+    /// Reduced preset for CPU-scale experiments.
+    pub fn small() -> Self {
+        DiscriminatorConfig {
+            base_channels: 12,
+            blocks: 4,
+            leaky_alpha: 0.1,
+        }
+    }
+
+    /// Minimal preset for unit tests.
+    pub fn tiny() -> Self {
+        DiscriminatorConfig {
+            base_channels: 6,
+            blocks: 3,
+            leaky_alpha: 0.1,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.base_channels == 0 || self.blocks == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "DiscriminatorConfig",
+                reason: "channels and blocks must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_block_counts() {
+        // §3.2: "the number of upscaling blocks increases with the
+        // resolution of the input (from 1 to 3)".
+        assert_eq!(upscale_blocks(2).unwrap(), vec![2]);
+        assert_eq!(upscale_blocks(4).unwrap(), vec![2, 2]);
+        assert_eq!(upscale_blocks(10).unwrap(), vec![2, 5, 1]);
+    }
+
+    #[test]
+    fn block_products_recover_factor() {
+        for nf in [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 25] {
+            let blocks = upscale_blocks(nf).unwrap();
+            assert!(blocks.len() <= 3, "nf={nf}: {blocks:?}");
+            assert_eq!(blocks.iter().product::<usize>(), nf, "nf={nf}");
+        }
+        assert!(upscale_blocks(0).is_err());
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(ZipNetConfig::paper(10, 6).validate().is_ok());
+        assert!(ZipNetConfig::small(4, 6).validate().is_ok());
+        assert!(ZipNetConfig::tiny(2, 3).validate().is_ok());
+        assert!(DiscriminatorConfig::paper().validate().is_ok());
+        assert!(DiscriminatorConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_preset_matches_section_3_2() {
+        let c = ZipNetConfig::paper(10, 6);
+        assert_eq!(c.zipper_modules, 24);
+        assert_eq!(c.s, 6);
+        assert!((c.leaky_alpha - 0.1).abs() < 1e-6);
+        let d = DiscriminatorConfig::paper();
+        assert_eq!(d.blocks, 6);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = ZipNetConfig::tiny(2, 3);
+        c.s = 0;
+        assert!(c.validate().is_err());
+        let mut c = ZipNetConfig::tiny(2, 3);
+        c.leaky_alpha = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ZipNetConfig::tiny(2, 3);
+        c.zipper_modules = 0;
+        assert!(c.validate().is_err());
+        let mut d = DiscriminatorConfig::tiny();
+        d.blocks = 0;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Anomaly detection on inferred fine-grained maps — the §5.5/§6 use
+//! case ("our proposal can perform as an anomaly detector operating only
+//! with coarse measurements", "events localisation & response").
+//!
+//! [`TrafficAnomalyDetector`] maintains per-cell, per-time-of-day
+//! baselines (exponential moving mean and variance, one profile per
+//! bucket of the day) and scores each new map by its per-cell z-score
+//! against the learned profile. Feeding it *inferred* fine-grained maps
+//! from coarse probes turns ZipNet-GAN into a city-scale event detector.
+
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// One detected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Cell row.
+    pub y: usize,
+    /// Cell column.
+    pub x: usize,
+    /// z-score of the cell against its profile.
+    pub score: f32,
+}
+
+/// Per-cell, per-time-of-day baseline profile with z-score detection.
+pub struct TrafficAnomalyDetector {
+    grid: usize,
+    buckets: usize,
+    /// Exponential smoothing factor for the running profile.
+    alpha: f32,
+    /// z-score above which a cell is flagged.
+    threshold: f32,
+    /// Running mean per bucket, `[buckets]` of `[grid·grid]`.
+    mean: Vec<Vec<f32>>,
+    /// Running variance per bucket.
+    var: Vec<Vec<f32>>,
+    /// Updates seen per bucket (for warm-up gating).
+    seen: Vec<usize>,
+}
+
+impl TrafficAnomalyDetector {
+    /// Creates a detector over a `grid`-sized city with `buckets`
+    /// time-of-day bins (e.g. 24 for hourly profiles).
+    pub fn new(grid: usize, buckets: usize, alpha: f32, threshold: f32) -> Result<Self> {
+        if grid == 0 || buckets == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "TrafficAnomalyDetector",
+                reason: "grid and buckets must be positive".into(),
+            });
+        }
+        if !(0.0 < alpha && alpha <= 1.0) || !(threshold > 0.0) {
+            return Err(TensorError::InvalidShape {
+                op: "TrafficAnomalyDetector",
+                reason: format!("bad alpha {alpha} or threshold {threshold}"),
+            });
+        }
+        Ok(TrafficAnomalyDetector {
+            grid,
+            buckets,
+            alpha,
+            threshold,
+            mean: vec![vec![0.0; grid * grid]; buckets],
+            var: vec![vec![0.0; grid * grid]; buckets],
+            seen: vec![0; buckets],
+        })
+    }
+
+    /// Number of profile updates a bucket needs before it reports
+    /// detections (variance estimates are garbage before that).
+    pub const WARMUP: usize = 5;
+
+    fn check_frame(&self, map: &Tensor) -> Result<()> {
+        if map.dims() != [self.grid, self.grid] {
+            return Err(TensorError::ShapeMismatch {
+                op: "TrafficAnomalyDetector",
+                lhs: map.dims().to_vec(),
+                rhs: vec![self.grid, self.grid],
+            });
+        }
+        map.check_finite("TrafficAnomalyDetector")
+    }
+
+    /// Scores `map` against the profile of `bucket` *without* updating it.
+    /// Returns the per-cell z-score map (zeros while the bucket is cold).
+    pub fn score(&self, bucket: usize, map: &Tensor) -> Result<Tensor> {
+        self.check_frame(map)?;
+        let b = bucket % self.buckets;
+        let mut out = Tensor::zeros([self.grid, self.grid]);
+        if self.seen[b] < Self::WARMUP {
+            return Ok(out);
+        }
+        let (mean, var) = (&self.mean[b], &self.var[b]);
+        let o = out.as_mut_slice();
+        for (i, (&v, z)) in map.as_slice().iter().zip(o.iter_mut()).enumerate() {
+            // Exponentially weighted variance is noisy early on; the
+            // 2%-of-mean floor keeps borderline cells from producing
+            // spurious extreme z-scores.
+            let sd = var[i].sqrt().max(0.02 * mean[i].abs()).max(1e-3);
+            *z = (v - mean[i]) / sd;
+        }
+        Ok(out)
+    }
+
+    /// Scores `map`, returns cells above the threshold (highest first),
+    /// then folds the map into the bucket's profile.
+    pub fn observe(&mut self, bucket: usize, map: &Tensor) -> Result<Vec<Detection>> {
+        let scores = self.score(bucket, map)?;
+        let mut detections: Vec<Detection> = Vec::new();
+        {
+            let s = scores.as_slice();
+            for y in 0..self.grid {
+                for x in 0..self.grid {
+                    let score = s[y * self.grid + x];
+                    if score > self.threshold {
+                        detections.push(Detection { y, x, score });
+                    }
+                }
+            }
+        }
+        detections.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+
+        // Profile update (EW mean/variance).
+        let b = bucket % self.buckets;
+        let a = if self.seen[b] == 0 { 1.0 } else { self.alpha };
+        let (mean, var) = (&mut self.mean[b], &mut self.var[b]);
+        for (i, &v) in map.as_slice().iter().enumerate() {
+            let d = v - mean[i];
+            mean[i] += a * d;
+            var[i] = (1.0 - a) * (var[i] + a * d * d);
+        }
+        self.seen[b] += 1;
+        Ok(detections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    fn normal_map(grid: usize, rng: &mut Rng) -> Tensor {
+        // Stable spatial pattern + small noise.
+        let mut t = Tensor::zeros([grid, grid]);
+        for y in 0..grid {
+            for x in 0..grid {
+                let base = 100.0 + 10.0 * (y as f32) + 5.0 * (x as f32);
+                t.set(&[y, x], base + rng.normal(0.0, 2.0)).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn no_detections_on_normal_traffic() {
+        let mut det = TrafficAnomalyDetector::new(8, 1, 0.3, 8.0).unwrap();
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..30 {
+            let hits = det.observe(0, &normal_map(8, &mut rng)).unwrap();
+            assert!(hits.is_empty(), "false positives: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn localises_a_surge() {
+        let mut det = TrafficAnomalyDetector::new(8, 1, 0.3, 8.0).unwrap();
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..20 {
+            det.observe(0, &normal_map(8, &mut rng)).unwrap();
+        }
+        let mut event = normal_map(8, &mut rng);
+        let v = event.get(&[5, 2]).unwrap();
+        event.set(&[5, 2], v + 500.0).unwrap();
+        let hits = det.observe(0, &event).unwrap();
+        assert!(!hits.is_empty());
+        assert_eq!((hits[0].y, hits[0].x), (5, 2));
+        assert!(hits[0].score > 8.0);
+    }
+
+    #[test]
+    fn buckets_keep_independent_profiles() {
+        // Bucket 0 sees low traffic, bucket 1 high; a high map is anomalous
+        // for bucket 0 only.
+        let mut det = TrafficAnomalyDetector::new(4, 2, 0.3, 5.0).unwrap();
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..20 {
+            let low = Tensor::full([4, 4], 10.0).add(&Tensor::rand_normal([4, 4], 0.0, 0.5, &mut rng)).unwrap();
+            let high = Tensor::full([4, 4], 1000.0).add(&Tensor::rand_normal([4, 4], 0.0, 0.5, &mut rng)).unwrap();
+            det.observe(0, &low).unwrap();
+            det.observe(1, &high).unwrap();
+        }
+        let probe = Tensor::full([4, 4], 1000.0);
+        let z0 = det.score(0, &probe).unwrap();
+        let z1 = det.score(1, &probe).unwrap();
+        assert!(z0.max() > 5.0, "high traffic anomalous at night: {}", z0.max());
+        assert!(z1.max().abs() < 5.0, "high traffic normal at noon: {}", z1.max());
+    }
+
+    #[test]
+    fn cold_buckets_stay_silent() {
+        let mut det = TrafficAnomalyDetector::new(4, 1, 0.5, 3.0).unwrap();
+        let spike = Tensor::full([4, 4], 1e6);
+        // First few observations are warm-up: no detections even on wild maps.
+        for _ in 0..TrafficAnomalyDetector::WARMUP {
+            let hits = det.observe(0, &spike).unwrap();
+            assert!(hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn validation_and_errors() {
+        assert!(TrafficAnomalyDetector::new(0, 1, 0.5, 3.0).is_err());
+        assert!(TrafficAnomalyDetector::new(4, 0, 0.5, 3.0).is_err());
+        assert!(TrafficAnomalyDetector::new(4, 1, 0.0, 3.0).is_err());
+        assert!(TrafficAnomalyDetector::new(4, 1, 0.5, -1.0).is_err());
+        let mut det = TrafficAnomalyDetector::new(4, 1, 0.5, 3.0).unwrap();
+        assert!(det.observe(0, &Tensor::zeros([5, 5])).is_err());
+        let mut bad = Tensor::zeros([4, 4]);
+        bad.as_mut_slice()[0] = f32::NAN;
+        assert!(det.observe(0, &bad).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! The discriminator — a simplified VGG-net (§3.2, Fig. 5).
+//!
+//! Six convolutional blocks (conv + BN + LReLU) whose "number of feature
+//! maps doubles every other layer", bridged to a scalar decision by global
+//! average pooling and a dense layer. The network outputs a *logit*;
+//! probabilities (the sigmoid of Fig. 5) are taken inside the loss
+//! ([`mtsr_nn::loss::bce_with_logits`] / `log_sigmoid`) for numerical
+//! stability, and via [`Discriminator::prob`] for inspection.
+
+use crate::config::DiscriminatorConfig;
+use mtsr_nn::layer::Layer;
+use mtsr_nn::layers::{BatchNorm, Conv2d, Dense, GlobalAvgPool, LeakyReLU};
+use mtsr_nn::loss::sigmoid;
+use mtsr_nn::param::Param;
+use mtsr_nn::Sequential;
+use mtsr_tensor::conv::Conv2dSpec;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+
+/// The VGG-style discriminator. Input `[N, 1, H, W]` (a fine-grained
+/// traffic snapshot, real or generated), output `[N, 1]` logits.
+pub struct Discriminator {
+    cfg: DiscriminatorConfig,
+    features: Sequential,
+    pool: GlobalAvgPool,
+    head: Dense,
+}
+
+impl Discriminator {
+    /// Builds the discriminator from a configuration.
+    pub fn new(cfg: &DiscriminatorConfig, rng: &mut Rng) -> Result<Self> {
+        cfg.validate()?;
+        let mut features = Sequential::new();
+        let mut c_in = 1;
+        let mut c_out = cfg.base_channels;
+        for b in 0..cfg.blocks {
+            // Stride 2 every other block halves the map size (VGG-style
+            // downsampling without pooling layers).
+            let stride = if b % 2 == 1 { 2 } else { 1 };
+            features.push_boxed(Box::new(Conv2d::new(
+                &format!("d{b}.conv"),
+                c_in,
+                c_out,
+                (3, 3),
+                Conv2dSpec {
+                    stride: (stride, stride),
+                    pad: (1, 1),
+                },
+                rng,
+            )));
+            features.push_boxed(Box::new(BatchNorm::new(&format!("d{b}.bn"), c_out)));
+            features.push_boxed(Box::new(LeakyReLU::new(cfg.leaky_alpha)));
+            c_in = c_out;
+            // "The number of feature maps doubles every other layer."
+            if b % 2 == 1 {
+                c_out *= 2;
+            }
+        }
+        Ok(Discriminator {
+            cfg: cfg.clone(),
+            features,
+            pool: GlobalAvgPool::new(),
+            head: Dense::new("d.head", c_in, 1, rng),
+        })
+    }
+
+    /// The configuration the discriminator was built with.
+    pub fn config(&self) -> &DiscriminatorConfig {
+        &self.cfg
+    }
+
+    /// Convenience: forward pass returning probabilities `σ(logit) ∈ (0,1)`
+    /// (inference only; training losses consume the raw logits).
+    pub fn prob(&mut self, x: &Tensor) -> Result<Tensor> {
+        let z = self.forward(x, false)?;
+        Ok(z.map(sigmoid))
+    }
+}
+
+impl Layer for Discriminator {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let d = x.dims();
+        if d.len() != 4 || d[1] != 1 {
+            return Err(TensorError::InvalidShape {
+                op: "Discriminator",
+                reason: format!("expected [N, 1, H, W], got {}", x.shape()),
+            });
+        }
+        let f = self.features.forward(x, train)?;
+        let p = self.pool.forward(&f, train)?;
+        self.head.forward(&p, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g = self.head.backward(grad_out)?;
+        let g = self.pool.backward(&g)?;
+        self.features.backward(&g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.features.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.features.visit_buffers(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "Discriminator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logit_shape_and_prob_range() {
+        let mut rng = Rng::seed_from(1);
+        let mut d = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).unwrap();
+        let x = Tensor::rand_normal([3, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let z = d.forward(&x, true).unwrap();
+        assert_eq!(z.dims(), &[3, 1]);
+        let p = d.prob(&x).unwrap();
+        assert!(p.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn feature_maps_double_every_other_block() {
+        let mut rng = Rng::seed_from(2);
+        let mut d = Discriminator::new(&DiscriminatorConfig::paper(), &mut rng).unwrap();
+        let mut widths = Vec::new();
+        d.visit_params(&mut |p| {
+            if p.name.ends_with(".conv.weight") {
+                widths.push(p.value.dims()[0]);
+            }
+        });
+        // 6 blocks, base 32: 32, 32, 64, 64, 128, 128.
+        assert_eq!(widths, vec![32, 32, 64, 64, 128, 128]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = Rng::seed_from(3);
+        let mut cfg = DiscriminatorConfig::tiny();
+        cfg.blocks = 2;
+        let d = Discriminator::new(&cfg, &mut rng).unwrap();
+        mtsr_nn::grad_check::check_layer_gradients(Box::new(d), &[2, 1, 6, 6], 11);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = Rng::seed_from(4);
+        let mut d = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).unwrap();
+        assert!(d.forward(&Tensor::zeros([1, 3, 8, 8]), true).is_err());
+        assert!(d.forward(&Tensor::zeros([8, 8]), true).is_err());
+    }
+
+    #[test]
+    fn handles_any_input_size_via_global_pool() {
+        let mut rng = Rng::seed_from(5);
+        let mut d = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).unwrap();
+        for hw in [12usize, 20, 25] {
+            let x = Tensor::rand_normal([1, 1, hw, hw], 0.0, 1.0, &mut rng);
+            let z = d.forward(&x, false).unwrap();
+            assert_eq!(z.dims(), &[1, 1], "hw = {hw}");
+        }
+    }
+}

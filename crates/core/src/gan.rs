@@ -1,0 +1,488 @@
+//! Adversarial training of ZipNet-GAN — §3.3, §3.4, Algorithm 1.
+//!
+//! The generator is first pre-trained to convergence on plain MSE
+//! (Eq. 10), then generator and discriminator are trained iteratively
+//! (`n_G = n_D = 1` in the paper) with Adam (λ = 1e-4):
+//!
+//! * the discriminator minimises the standard binary cross-entropy
+//!   (the negation of Eq. 5's maximisation);
+//! * the generator minimises either the paper's **empirical loss**
+//!   (Eq. 9) `mean_t (1 − 2·log D(G(F^S_t))) · ‖D^H_t − G(F^S_t)‖²`, or —
+//!   for the ablation reproducing the paper's motivation — the
+//!   **fixed-σ² loss** (Eq. 8) `mean_t ‖D^H_t − G‖² − 2σ²·log D(G)`.
+//!
+//! The generator's output gradient is the sum of the direct MSE path and
+//! the path through the discriminator; the latter is obtained by
+//! backpropagating per-sample logit gradients through `D` (whose own
+//! parameter gradients from that pass are discarded).
+
+use crate::discriminator::Discriminator;
+use crate::zipnet::ZipNet;
+use mtsr_nn::clip::clip_grad_norm;
+use mtsr_nn::layer::{Layer, LayerExt};
+use mtsr_nn::loss::{bce_with_logits, log_sigmoid, mse_loss, per_sample_mse, sigmoid};
+use mtsr_nn::{Adam, LrSchedule, Optimizer};
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_traffic::{Dataset, Split};
+
+/// Generator objective: the paper's Eq. 9, or Eq. 8 with a fixed σ².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GanLoss {
+    /// Eq. 9: the MSE-weighted adversarial term. "Significantly stabilises
+    /// the training process" (§3.3).
+    Empirical,
+    /// Eq. 8 with a manually chosen trade-off weight σ² (the formulation
+    /// of \[15\] that the paper found unstable).
+    FixedSigma(f32),
+}
+
+/// Training-loop configuration (Algorithm 1 inputs).
+#[derive(Debug, Clone, Copy)]
+pub struct GanTrainingConfig {
+    /// Minibatch size m.
+    pub batch: usize,
+    /// Adam learning rate λ (paper: 1e-4).
+    pub lr: f32,
+    /// Generator pre-training steps (Eq. 10 minimisation).
+    pub pretrain_steps: usize,
+    /// Adversarial outer iterations.
+    pub adversarial_steps: usize,
+    /// Generator sub-epochs n_G per outer iteration (paper: 1).
+    pub n_g: usize,
+    /// Discriminator sub-epochs n_D per outer iteration (paper: 1).
+    pub n_d: usize,
+    /// Generator objective.
+    pub loss: GanLoss,
+    /// Optional learning-rate schedule over steps (overrides `lr` when
+    /// set; the paper uses a constant rate).
+    pub schedule: Option<LrSchedule>,
+    /// Optional global-norm gradient clipping (CPU-scale stability guard;
+    /// not in the paper).
+    pub clip_norm: Option<f32>,
+    /// Learning-rate multiplier applied during the adversarial phase.
+    ///
+    /// The paper pre-trains the generator *to convergence* before the
+    /// adversarial phase, so λ = 1e-4 fine-tunes gently. At CPU-scale
+    /// budgets pre-training stops early and the same rate lets the fresh
+    /// discriminator disrupt the generator; a factor < 1 restores the
+    /// paper's gentle-fine-tune regime. 1.0 reproduces the paper exactly.
+    pub adv_lr_factor: f32,
+}
+
+impl GanTrainingConfig {
+    /// Paper hyper-parameters (λ = 1e-4, n_G = n_D = 1, Eq. 9 loss); step
+    /// counts must still be chosen by the caller to fit the compute
+    /// budget.
+    pub fn paper(pretrain_steps: usize, adversarial_steps: usize, batch: usize) -> Self {
+        GanTrainingConfig {
+            batch,
+            lr: 1e-4,
+            pretrain_steps,
+            adversarial_steps,
+            n_g: 1,
+            n_d: 1,
+            loss: GanLoss::Empirical,
+            schedule: None,
+            clip_norm: None,
+            adv_lr_factor: 1.0,
+        }
+    }
+
+    /// Small fast preset for tests.
+    pub fn tiny() -> Self {
+        GanTrainingConfig {
+            batch: 4,
+            lr: 1e-3,
+            pretrain_steps: 30,
+            adversarial_steps: 10,
+            n_g: 1,
+            n_d: 1,
+            loss: GanLoss::Empirical,
+            schedule: None,
+            clip_norm: None,
+            adv_lr_factor: 1.0,
+        }
+    }
+}
+
+/// What happened during training — the observable for the loss ablation.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Pre-training MSE trace (Eq. 10), one entry per step.
+    pub pretrain_mse: Vec<f32>,
+    /// Generator loss trace during the adversarial phase.
+    pub g_loss: Vec<f32>,
+    /// Discriminator loss trace (sum of real and fake BCE).
+    pub d_loss: Vec<f32>,
+    /// True when a non-finite loss was observed (training aborted).
+    pub diverged: bool,
+}
+
+impl TrainingReport {
+    /// Heuristic collapse detector: the discriminator has become
+    /// near-perfect (loss ≈ 0) over the last `k` iterations, which starves
+    /// the generator of gradients — the failure mode §3.3 attributes to a
+    /// small σ².
+    pub fn collapsed(&self, k: usize) -> bool {
+        if self.d_loss.len() < k {
+            return false;
+        }
+        let tail = &self.d_loss[self.d_loss.len() - k..];
+        tail.iter().sum::<f32>() / (k as f32) < 0.02
+    }
+}
+
+/// The ZipNet-GAN trainer (Algorithm 1).
+pub struct GanTrainer {
+    gen: ZipNet,
+    disc: Discriminator,
+    opt_g: Adam,
+    opt_d: Adam,
+    cfg: GanTrainingConfig,
+    /// Global step counter driving the optional schedule.
+    step: usize,
+}
+
+impl GanTrainer {
+    /// Creates a trainer over freshly built (or pre-loaded) networks.
+    pub fn new(gen: ZipNet, disc: Discriminator, cfg: GanTrainingConfig) -> Self {
+        let (opt_g, opt_d) = (Adam::new(cfg.lr), Adam::new(cfg.lr));
+        GanTrainer {
+            gen,
+            disc,
+            opt_g,
+            opt_d,
+            cfg,
+            step: 0,
+        }
+    }
+
+    /// Applies the schedule (if any) for the current step and bumps the
+    /// counter. `adversarial` applies the adversarial-phase rate factor.
+    fn tick_schedule(&mut self, adversarial: bool) {
+        let base = match self.cfg.schedule {
+            Some(s) => s.lr_at(self.step),
+            None => self.cfg.lr,
+        };
+        let factor = if adversarial {
+            self.cfg.adv_lr_factor
+        } else {
+            1.0
+        };
+        self.opt_g.set_learning_rate(base * factor);
+        self.opt_d.set_learning_rate(base * factor);
+        self.step += 1;
+    }
+
+    /// Pre-trains the generator by minimising Eq. 10 (line 2 of
+    /// Algorithm 1). Returns the MSE trace.
+    pub fn pretrain(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<Vec<f32>> {
+        let mut trace = Vec::with_capacity(self.cfg.pretrain_steps);
+        for _ in 0..self.cfg.pretrain_steps {
+            let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
+            let pred = self.gen.forward(&x, true)?;
+            let (loss, grad) = mse_loss(&pred, &y)?;
+            if !loss.is_finite() {
+                return Err(TensorError::NonFinite { op: "pretrain" });
+            }
+            trace.push(loss);
+            self.gen.backward(&grad)?;
+            self.tick_schedule(false);
+            if let Some(c) = self.cfg.clip_norm {
+                clip_grad_norm(&mut self.gen, c);
+            }
+            self.opt_g.step(&mut self.gen);
+        }
+        Ok(trace)
+    }
+
+    /// One discriminator update (Algorithm 1 lines 4–8).
+    fn discriminator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<f32> {
+        let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
+        let fake = self.gen.forward(&x, true)?; // detached: G gets no update here
+        let n = self.cfg.batch;
+
+        // Fake pass: D should output 0.
+        let z_fake = self.disc.forward(&fake, true)?;
+        let (loss_fake, g_fake) = bce_with_logits(&z_fake, &Tensor::zeros([n, 1]))?;
+        self.disc.backward(&g_fake)?;
+
+        // Real pass: D should output 1.
+        let z_real = self.disc.forward(&y, true)?;
+        let (loss_real, g_real) = bce_with_logits(&z_real, &Tensor::ones([n, 1]))?;
+        self.disc.backward(&g_real)?;
+
+        self.tick_schedule(true);
+        if let Some(c) = self.cfg.clip_norm {
+            clip_grad_norm(&mut self.disc, c);
+        }
+        self.opt_d.step(&mut self.disc);
+        Ok(loss_fake + loss_real)
+    }
+
+    /// One generator update (Algorithm 1 lines 9–13) under the configured
+    /// objective. Returns the generator loss.
+    fn generator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<f32> {
+        let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
+        let pred = self.gen.forward(&x, true)?;
+        let z = self.disc.forward(&pred, true)?; // [N, 1] logits
+        let n = self.cfg.batch;
+        let pixels: usize = pred.numel() / n;
+        let mses = per_sample_mse(&pred, &y)?;
+        let logits = z.as_slice().to_vec();
+
+        // Per-sample scalar pieces of the two objectives.
+        //   Eq. 9: L_i = (1 − 2·log D_i) · mse_i
+        //          ∂L_i/∂pred = (1 − 2·log D_i)·∂mse_i/∂pred
+        //                        − 2·mse_i·σ(−z_i)·∂z_i/∂pred
+        //   Eq. 8: L_i = mse_i − 2σ²·log D_i
+        //          ∂L_i/∂pred = ∂mse_i/∂pred − 2σ²·σ(−z_i)·∂z_i/∂pred
+        let (mse_coef, z_coef): (Vec<f32>, Vec<f32>) = match self.cfg.loss {
+            GanLoss::Empirical => (
+                logits.iter().map(|&zi| 1.0 - 2.0 * log_sigmoid(zi)).collect(),
+                logits
+                    .iter()
+                    .zip(&mses)
+                    .map(|(&zi, &mi)| -2.0 * mi * sigmoid(-zi))
+                    .collect(),
+            ),
+            GanLoss::FixedSigma(sigma2) => (
+                vec![1.0; n],
+                logits
+                    .iter()
+                    .map(|&zi| -2.0 * sigma2 * sigmoid(-zi))
+                    .collect(),
+            ),
+        };
+        let loss = match self.cfg.loss {
+            GanLoss::Empirical => {
+                mses.iter()
+                    .zip(&mse_coef)
+                    .map(|(&m, &a)| a * m)
+                    .sum::<f32>()
+                    / n as f32
+            }
+            GanLoss::FixedSigma(sigma2) => {
+                logits
+                    .iter()
+                    .zip(&mses)
+                    .map(|(&zi, &mi)| mi - 2.0 * sigma2 * log_sigmoid(zi))
+                    .sum::<f32>()
+                    / n as f32
+            }
+        };
+        if !loss.is_finite() {
+            return Err(TensorError::NonFinite { op: "generator_step" });
+        }
+
+        // MSE path: a_i · 2(pred − y)/pixels, averaged over the batch.
+        let mut grad = pred.sub(&y)?;
+        {
+            let gslice = grad.as_mut_slice();
+            for i in 0..n {
+                let c = mse_coef[i] * 2.0 / (pixels as f32 * n as f32);
+                for v in &mut gslice[i * pixels..(i + 1) * pixels] {
+                    *v *= c;
+                }
+            }
+        }
+        // Adversarial path: backprop the per-sample logit gradients
+        // through D to the generator output.
+        let dz = Tensor::from_vec(
+            [n, 1],
+            z_coef.iter().map(|&c| c / n as f32).collect(),
+        )?;
+        let g_through_d = self.disc.backward(&dz)?;
+        // The discriminator accumulated parameter gradients during that
+        // pass that belong to the *generator's* objective — discard them.
+        self.disc.zero_grad();
+
+        grad.add_assign(&g_through_d)?;
+        self.gen.backward(&grad)?;
+        self.tick_schedule(true);
+        if let Some(c) = self.cfg.clip_norm {
+            clip_grad_norm(&mut self.gen, c);
+        }
+        self.opt_g.step(&mut self.gen);
+        Ok(loss)
+    }
+
+    /// Runs the full Algorithm 1: pre-training followed by the iterative
+    /// adversarial phase. On divergence (non-finite loss) training stops
+    /// and the report is flagged rather than returning an error — the
+    /// loss-function ablation *wants* to observe divergence.
+    pub fn train(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<TrainingReport> {
+        let mut report = TrainingReport::default();
+        match self.pretrain(ds, rng) {
+            Ok(trace) => report.pretrain_mse = trace,
+            Err(TensorError::NonFinite { .. }) => {
+                report.diverged = true;
+                return Ok(report);
+            }
+            Err(e) => return Err(e),
+        }
+        for _ in 0..self.cfg.adversarial_steps {
+            for _ in 0..self.cfg.n_d {
+                match self.discriminator_step(ds, rng) {
+                    Ok(l) if l.is_finite() => report.d_loss.push(l),
+                    Ok(_) | Err(TensorError::NonFinite { .. }) => {
+                        report.diverged = true;
+                        return Ok(report);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            for _ in 0..self.cfg.n_g {
+                match self.generator_step(ds, rng) {
+                    Ok(l) => report.g_loss.push(l),
+                    Err(TensorError::NonFinite { .. }) => {
+                        report.diverged = true;
+                        return Ok(report);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Overrides both optimizers' learning rate (for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.opt_g.set_learning_rate(lr);
+        self.opt_d.set_learning_rate(lr);
+    }
+
+    /// Mean validation/test MSE of the current generator over up to
+    /// `max_samples` full frames.
+    pub fn evaluate_mse(&mut self, ds: &Dataset, split: Split, max_samples: usize) -> Result<f32> {
+        let idx = ds.usable_indices(split);
+        let take = idx.len().min(max_samples.max(1));
+        let mut total = 0.0f64;
+        for &t in idx.iter().take(take) {
+            let s = ds.sample_at(t)?;
+            let dims = s.input.dims().to_vec();
+            let x = s.input.reshaped([1, dims[0], dims[1], dims[2], dims[3]])?;
+            let pred = self.gen.forward(&x, false)?;
+            let tgt_dims = s.target.dims().to_vec();
+            let y = s.target.reshaped([1, tgt_dims[0], tgt_dims[1], tgt_dims[2]])?;
+            total += pred.mse(&y)? as f64;
+        }
+        Ok((total / take as f64) as f32)
+    }
+
+    /// Access to the generator (e.g. for checkpointing mid-training).
+    pub fn generator_mut(&mut self) -> &mut ZipNet {
+        &mut self.gen
+    }
+
+    /// Access to the discriminator.
+    pub fn discriminator_mut(&mut self) -> &mut Discriminator {
+        &mut self.disc
+    }
+
+    /// Consumes the trainer, returning the trained generator — "the
+    /// discriminator will be abandoned in the inference phase" (§5.4).
+    pub fn into_generator(self) -> ZipNet {
+        self.gen
+    }
+
+    /// Consumes the trainer returning both networks (saliency analysis
+    /// needs the discriminator too).
+    pub fn into_parts(self) -> (ZipNet, Discriminator) {
+        (self.gen, self.disc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DiscriminatorConfig, ZipNetConfig};
+    use mtsr_traffic::{CityConfig, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout};
+
+    fn tiny_setup(seed: u64) -> (Dataset, GanTrainer) {
+        let mut rng = Rng::seed_from(seed);
+        let gen_data = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen_data
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
+        let layout = ProbeLayout::for_instance(gen_data.city(), MtsrInstance::Up4).unwrap();
+        let ds = Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap();
+        let g = ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut rng).unwrap();
+        let d = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).unwrap();
+        let trainer = GanTrainer::new(g, d, GanTrainingConfig::tiny());
+        (ds, trainer)
+    }
+
+    #[test]
+    fn pretraining_reduces_mse() {
+        let (ds, mut trainer) = tiny_setup(1);
+        let trace = trainer.pretrain(&ds, &mut Rng::seed_from(2)).unwrap();
+        assert_eq!(trace.len(), 30);
+        let head: f32 = trace[..5].iter().sum::<f32>() / 5.0;
+        let tail: f32 = trace[25..].iter().sum::<f32>() / 5.0;
+        assert!(tail < head, "pretrain MSE did not drop: {head} → {tail}");
+    }
+
+    #[test]
+    fn full_algorithm1_runs_without_collapse() {
+        let (ds, mut trainer) = tiny_setup(3);
+        let report = trainer.train(&ds, &mut Rng::seed_from(4)).unwrap();
+        assert!(!report.diverged, "empirical loss must not diverge");
+        assert_eq!(report.g_loss.len(), 10);
+        assert_eq!(report.d_loss.len(), 10);
+        assert!(!report.collapsed(5));
+        assert!(report.g_loss.iter().all(|l| l.is_finite()));
+        // Eq. 9 weights are ≥ 1·mse ≥ 0: generator loss is non-negative.
+        assert!(report.g_loss.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn adversarial_phase_does_not_destroy_generator() {
+        let (ds, mut trainer) = tiny_setup(5);
+        let mut rng = Rng::seed_from(6);
+        trainer.pretrain(&ds, &mut rng).unwrap();
+        let before = trainer.evaluate_mse(&ds, Split::Valid, 4).unwrap();
+        for _ in 0..5 {
+            trainer.discriminator_step(&ds, &mut rng).unwrap();
+            trainer.generator_step(&ds, &mut rng).unwrap();
+        }
+        let after = trainer.evaluate_mse(&ds, Split::Valid, 4).unwrap();
+        // The GAN phase trades a little MSE for fidelity; it must not blow
+        // the generator up (§5.4: "does not necessarily enhance overall
+        // accuracy" — but also never destroys it).
+        assert!(after < 3.0 * before + 0.5, "MSE exploded: {before} → {after}");
+    }
+
+    #[test]
+    fn fixed_sigma_loss_mode_runs() {
+        let (ds, mut trainer) = tiny_setup(7);
+        trainer.cfg.loss = GanLoss::FixedSigma(0.1);
+        trainer.cfg.adversarial_steps = 3;
+        let report = trainer.train(&ds, &mut Rng::seed_from(8)).unwrap();
+        assert_eq!(report.g_loss.len() + report.d_loss.len() > 0, true);
+    }
+
+    #[test]
+    fn collapse_detector_logic() {
+        let mut r = TrainingReport::default();
+        r.d_loss = vec![0.001; 20];
+        assert!(r.collapsed(10));
+        r.d_loss = vec![0.5; 20];
+        assert!(!r.collapsed(10));
+        r.d_loss = vec![0.001; 3];
+        assert!(!r.collapsed(10)); // not enough history
+    }
+
+    #[test]
+    fn into_parts_returns_trained_networks() {
+        let (ds, mut trainer) = tiny_setup(9);
+        trainer.cfg.pretrain_steps = 2;
+        trainer.cfg.adversarial_steps = 1;
+        trainer.train(&ds, &mut Rng::seed_from(10)).unwrap();
+        let (mut g, mut d) = trainer.into_parts();
+        let x = Tensor::zeros([1, 1, 3, 5, 5]);
+        let y = g.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 20, 20]);
+        assert_eq!(d.forward(&y, false).unwrap().dims(), &[1, 1]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # zipnet-core
+//!
+//! The primary contribution of *ZipNet-GAN: Inferring Fine-grained Mobile
+//! Traffic Patterns via a Generative Adversarial Neural Network* (Zhang,
+//! Ouyang & Patras, ACM CoNEXT 2017), reimplemented in Rust:
+//!
+//! * [`ZipNet`] — the deep zipper-network generator (3D upscaling blocks,
+//!   24-module zipper core with staggered + global skip connections,
+//!   convolutional tail) — §3.2, Figs. 3–4;
+//! * [`Discriminator`] — the simplified VGG-net discriminator — Fig. 5;
+//! * [`GanTrainer`] — Algorithm 1 with the paper's empirical loss (Eq. 9)
+//!   and the fixed-σ² loss (Eq. 8) kept for the stability ablation;
+//! * [`MtsrModel`] / [`MtsrPipeline`] — end-to-end inference, including
+//!   the §4 sliding-window + moving-average reassembly;
+//! * [`saliency`] — the §5.6 input-gradient analysis behind Fig. 15.
+//!
+//! ```no_run
+//! use mtsr_tensor::Rng;
+//! use mtsr_traffic::{CityConfig, Dataset, DatasetConfig, MilanGenerator,
+//!                    MtsrInstance, ProbeLayout, Split, SuperResolver};
+//! use zipnet_core::{ArchScale, GanTrainingConfig, MtsrModel};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let gen = MilanGenerator::new(&CityConfig::small(), &mut rng)?;
+//! let movie = gen.generate(DatasetConfig::small().total(), &mut rng)?;
+//! let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4)?;
+//! let ds = Dataset::build(&movie, layout, DatasetConfig::small())?;
+//!
+//! let mut model = MtsrModel::zipnet_gan(
+//!     ArchScale::Small,
+//!     GanTrainingConfig::paper(500, 100, 8),
+//! );
+//! model.fit(&ds, &mut rng)?;
+//! let t = ds.usable_indices(Split::Test)[0];
+//! let fine = ds.denormalize(&model.predict(&ds, t)?);
+//! println!("predicted {} MB total", fine.sum());
+//! # Ok::<(), mtsr_tensor::TensorError>(())
+//! ```
+
+pub mod config;
+pub mod detector;
+pub mod discriminator;
+pub mod gan;
+pub mod pipeline;
+pub mod saliency;
+pub mod streaming;
+pub mod zipnet;
+
+pub use config::{upscale_blocks, DiscriminatorConfig, SkipMode, ZipNetConfig};
+pub use discriminator::Discriminator;
+pub use gan::{GanLoss, GanTrainer, GanTrainingConfig, TrainingReport};
+pub use detector::{Detection, TrafficAnomalyDetector};
+pub use pipeline::{ArchScale, MtsrModel, MtsrPipeline};
+pub use streaming::StreamingPredictor;
+pub use zipnet::ZipNet;

@@ -1,0 +1,380 @@
+//! End-to-end MTSR inference: the [`MtsrModel`] wrapper that makes
+//! ZipNet and ZipNet-GAN drop-in [`SuperResolver`]s, and the sliding
+//! window + moving-average reassembly pipeline of §4.
+
+use crate::config::{DiscriminatorConfig, ZipNetConfig};
+use crate::discriminator::Discriminator;
+use crate::gan::{GanTrainer, GanTrainingConfig, TrainingReport};
+use crate::zipnet::ZipNet;
+use mtsr_nn::layer::Layer;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_traffic::augment::reassemble;
+use mtsr_traffic::{Dataset, SuperResolver};
+
+/// Architecture scale presets (see `ZipNetConfig`). The paper scale is a
+/// GPU-days budget; the scaled presets keep the exact topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchScale {
+    /// §3.2 architecture verbatim (24 zipper modules, 32 channels, VGG-6).
+    Paper,
+    /// Reduced widths for CPU experiments.
+    Small,
+    /// Minimal preset for unit tests.
+    Tiny,
+}
+
+impl ArchScale {
+    fn gen_config(&self, upscale: usize, s: usize) -> ZipNetConfig {
+        match self {
+            ArchScale::Paper => ZipNetConfig::paper(upscale, s),
+            ArchScale::Small => ZipNetConfig::small(upscale, s),
+            ArchScale::Tiny => ZipNetConfig::tiny(upscale, s),
+        }
+    }
+
+    fn disc_config(&self) -> DiscriminatorConfig {
+        match self {
+            ArchScale::Paper => DiscriminatorConfig::paper(),
+            ArchScale::Small => DiscriminatorConfig::small(),
+            ArchScale::Tiny => DiscriminatorConfig::tiny(),
+        }
+    }
+}
+
+/// ZipNet or ZipNet-GAN packaged as a [`SuperResolver`].
+///
+/// `fit` builds the generator for the dataset's geometry (upscale factor
+/// `grid/square`, temporal length `S`), pre-trains it on Eq. 10 and — in
+/// GAN mode — runs the adversarial phase of Algorithm 1. The trained
+/// discriminator is kept for saliency analysis but, per §5.4, plays no
+/// part in prediction.
+pub struct MtsrModel {
+    scale: ArchScale,
+    train_cfg: GanTrainingConfig,
+    adversarial: bool,
+    gen: Option<ZipNet>,
+    disc: Option<Discriminator>,
+    /// Training traces from the last `fit` (loss curves, divergence flag).
+    pub report: Option<TrainingReport>,
+}
+
+impl MtsrModel {
+    /// Plain ZipNet: generator trained with MSE only (Eq. 10) — the
+    /// paper's "ZipNet" bar in Fig. 9.
+    pub fn zipnet(scale: ArchScale, train_cfg: GanTrainingConfig) -> Self {
+        MtsrModel {
+            scale,
+            train_cfg,
+            adversarial: false,
+            gen: None,
+            disc: None,
+            report: None,
+        }
+    }
+
+    /// Full ZipNet-GAN: pre-training plus the adversarial phase.
+    pub fn zipnet_gan(scale: ArchScale, train_cfg: GanTrainingConfig) -> Self {
+        MtsrModel {
+            adversarial: true,
+            ..Self::zipnet(scale, train_cfg)
+        }
+    }
+
+    /// The trained generator, if `fit` has run.
+    pub fn generator_mut(&mut self) -> Option<&mut ZipNet> {
+        self.gen.as_mut()
+    }
+
+    /// The trained discriminator (GAN mode only).
+    pub fn discriminator_mut(&mut self) -> Option<&mut Discriminator> {
+        self.disc.as_mut()
+    }
+
+    /// Installs an externally trained generator (checkpoint restore).
+    pub fn with_generator(mut self, gen: ZipNet) -> Self {
+        self.gen = Some(gen);
+        self
+    }
+
+    /// Simultaneous mutable access to the generator and (if present) the
+    /// discriminator — the saliency analysis needs both at once.
+    pub fn parts_mut(&mut self) -> Option<(&mut ZipNet, Option<&mut Discriminator>)> {
+        match (&mut self.gen, &mut self.disc) {
+            (Some(g), d) => Some((g, d.as_mut())),
+            (None, _) => None,
+        }
+    }
+}
+
+impl SuperResolver for MtsrModel {
+    fn name(&self) -> &'static str {
+        if self.adversarial {
+            "ZipNet-GAN"
+        } else {
+            "ZipNet"
+        }
+    }
+
+    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
+        let layout = ds.layout();
+        if layout.grid % layout.square != 0 {
+            return Err(TensorError::InvalidShape {
+                op: "MtsrModel::fit",
+                reason: format!(
+                    "grid {} not an integer multiple of projection square {}",
+                    layout.grid, layout.square
+                ),
+            });
+        }
+        let upscale = layout.grid / layout.square;
+        let gen_cfg = self.scale.gen_config(upscale, ds.s());
+        let gen = ZipNet::new(&gen_cfg, rng)?;
+        let disc = Discriminator::new(&self.scale.disc_config(), rng)?;
+        let mut trainer = GanTrainer::new(gen, disc, self.train_cfg);
+        let report = if self.adversarial {
+            trainer.train(ds, rng)?
+        } else {
+            let mut r = TrainingReport::default();
+            r.pretrain_mse = trainer.pretrain(ds, rng)?;
+            r
+        };
+        if report.diverged {
+            return Err(TensorError::NonFinite {
+                op: "MtsrModel::fit",
+            });
+        }
+        let (gen, disc) = trainer.into_parts();
+        self.gen = Some(gen);
+        self.disc = Some(disc);
+        self.report = Some(report);
+        Ok(())
+    }
+
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let gen = self.gen.as_mut().ok_or(TensorError::InvalidShape {
+            op: "MtsrModel::predict",
+            reason: "fit() must be called before predict()".into(),
+        })?;
+        let s = ds.sample_at(t)?;
+        let dims = s.input.dims().to_vec(); // [1, S, h, w]
+        let x = s.input.reshaped([1, dims[0], dims[1], dims[2], dims[3]])?;
+        // ZipNet is fully convolutional, so the full coarse frame maps to
+        // the full fine frame in one shot.
+        let pred = gen.forward(&x, false)?;
+        let g = ds.layout().grid;
+        pred.reshape([g, g])
+    }
+}
+
+/// The §4 sliding-window inference procedure: predict overlapping
+/// `window`-sized sub-frames and reassemble the city-wide map with the
+/// moving-average filter.
+///
+/// This is how a generator trained on cropped sub-frames (the paper's
+/// 80×80) serves the full 100×100 grid. Window origins step by `stride`
+/// sub-cells; both must align with the probe lattice so coarse crops are
+/// exact probe measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct MtsrPipeline {
+    /// Fine-grid window side (paper: 80).
+    pub window: usize,
+    /// Fine-grid origin stride (paper: 1-cell offsets in training; larger
+    /// strides trade accuracy for speed at inference).
+    pub stride: usize,
+}
+
+impl MtsrPipeline {
+    /// Creates a pipeline configuration.
+    pub fn new(window: usize, stride: usize) -> Self {
+        MtsrPipeline { window, stride }
+    }
+
+    /// Predicts the full fine-grained frame at target index `t` by
+    /// sliding the generator over aligned windows.
+    pub fn predict_full(&self, gen: &mut ZipNet, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let layout = ds.layout();
+        let g = layout.grid;
+        let n = layout.uniform_size().ok_or(TensorError::InvalidShape {
+            op: "MtsrPipeline",
+            reason: "sliding-window inference requires a homogeneous probe layout".into(),
+        })?;
+        if self.window == 0 || self.window > g || self.window % n != 0 {
+            return Err(TensorError::InvalidShape {
+                op: "MtsrPipeline",
+                reason: format!(
+                    "window {} must be a positive multiple of probe size {n} within grid {g}",
+                    self.window
+                ),
+            });
+        }
+        if self.stride == 0 || self.stride % n != 0 {
+            return Err(TensorError::InvalidShape {
+                op: "MtsrPipeline",
+                reason: format!("stride {} must be a positive multiple of {n}", self.stride),
+            });
+        }
+        let sample = ds.sample_at(t)?;
+        let in_dims = sample.input.dims().to_vec(); // [1, S, sq, sq]
+        let (s, sq) = (in_dims[1], in_dims[2]);
+        let per = sq * sq;
+
+        // Window origins on the fine grid (clamped to cover the edge).
+        let mut origins = Vec::new();
+        let mut y = 0;
+        loop {
+            let y0 = y.min(g - self.window);
+            let mut x = 0;
+            loop {
+                let x0 = x.min(g - self.window);
+                origins.push((y0, x0));
+                if x0 == g - self.window {
+                    break;
+                }
+                x += self.stride;
+            }
+            if y0 == g - self.window {
+                break;
+            }
+            y += self.stride;
+        }
+
+        let cw = self.window / n; // coarse window side
+        let mut predictions = Vec::with_capacity(origins.len());
+        for &(y0, x0) in &origins {
+            // Crop the S coarse frames at the aligned coarse origin.
+            let (cy, cx) = (y0 / n, x0 / n);
+            let mut win = Tensor::zeros([1, 1, s, cw, cw]);
+            {
+                let src = sample.input.as_slice();
+                let dst = win.as_mut_slice();
+                for si in 0..s {
+                    for r in 0..cw {
+                        let src_off = si * per + (cy + r) * sq + cx;
+                        let dst_off = (si * cw + r) * cw;
+                        dst[dst_off..dst_off + cw]
+                            .copy_from_slice(&src[src_off..src_off + cw]);
+                    }
+                }
+            }
+            let pred = gen.forward(&win, false)?;
+            predictions.push(((y0, x0), pred.reshape([self.window, self.window])?));
+        }
+        reassemble(&predictions, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_metrics::nrmse;
+    use mtsr_traffic::{
+        CityConfig, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+    };
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn model_names() {
+        let cfg = GanTrainingConfig::tiny();
+        assert_eq!(MtsrModel::zipnet(ArchScale::Tiny, cfg).name(), "ZipNet");
+        assert_eq!(
+            MtsrModel::zipnet_gan(ArchScale::Tiny, cfg).name(),
+            "ZipNet-GAN"
+        );
+    }
+
+    #[test]
+    fn predict_requires_fit() {
+        let ds = tiny_dataset(1);
+        let t = ds.usable_indices(Split::Test)[0];
+        let mut m = MtsrModel::zipnet(ArchScale::Tiny, GanTrainingConfig::tiny());
+        assert!(m.predict(&ds, t).is_err());
+    }
+
+    #[test]
+    fn zipnet_beats_uninitialised_scale_after_fit() {
+        let ds = tiny_dataset(2);
+        let mut cfg = GanTrainingConfig::tiny();
+        cfg.pretrain_steps = 60;
+        let mut m = MtsrModel::zipnet(ArchScale::Tiny, cfg);
+        m.fit(&ds, &mut Rng::seed_from(3)).unwrap();
+        let t = ds.usable_indices(Split::Test)[0];
+        let pred = m.predict(&ds, t).unwrap();
+        assert_eq!(pred.dims(), &[20, 20]);
+        let truth = ds.fine_frame_raw(t).unwrap();
+        let e = nrmse(&ds.denormalize(&pred), &truth).unwrap();
+        assert!(e < 1.5, "trained ZipNet NRMSE {e}");
+        assert!(m.report.as_ref().unwrap().pretrain_mse.len() == 60);
+    }
+
+    #[test]
+    fn gan_mode_fit_records_adversarial_losses() {
+        let ds = tiny_dataset(4);
+        let mut cfg = GanTrainingConfig::tiny();
+        cfg.pretrain_steps = 10;
+        cfg.adversarial_steps = 4;
+        let mut m = MtsrModel::zipnet_gan(ArchScale::Tiny, cfg);
+        m.fit(&ds, &mut Rng::seed_from(5)).unwrap();
+        let r = m.report.as_ref().unwrap();
+        assert_eq!(r.g_loss.len(), 4);
+        assert!(m.discriminator_mut().is_some());
+    }
+
+    #[test]
+    fn pipeline_matches_full_frame_on_single_window() {
+        // window == grid: the pipeline must agree with direct prediction.
+        let ds = tiny_dataset(6);
+        let mut cfg = GanTrainingConfig::tiny();
+        cfg.pretrain_steps = 5;
+        let mut m = MtsrModel::zipnet(ArchScale::Tiny, cfg);
+        m.fit(&ds, &mut Rng::seed_from(7)).unwrap();
+        let t = ds.usable_indices(Split::Test)[0];
+        let direct = m.predict(&ds, t).unwrap();
+        let pipe = MtsrPipeline::new(20, 20);
+        let windowed = pipe
+            .predict_full(m.generator_mut().unwrap(), &ds, t)
+            .unwrap();
+        for (a, b) in windowed.as_slice().iter().zip(direct.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pipeline_overlapping_windows_cover_grid() {
+        let ds = tiny_dataset(8);
+        let mut cfg = GanTrainingConfig::tiny();
+        cfg.pretrain_steps = 5;
+        let mut m = MtsrModel::zipnet(ArchScale::Tiny, cfg);
+        m.fit(&ds, &mut Rng::seed_from(9)).unwrap();
+        let t = ds.usable_indices(Split::Test)[0];
+        let pipe = MtsrPipeline::new(12, 4);
+        let out = pipe
+            .predict_full(m.generator_mut().unwrap(), &ds, t)
+            .unwrap();
+        assert_eq!(out.dims(), &[20, 20]);
+        assert!(out.is_finite());
+    }
+
+    #[test]
+    fn pipeline_validates_alignment() {
+        let ds = tiny_dataset(10);
+        let mut cfg = GanTrainingConfig::tiny();
+        cfg.pretrain_steps = 2;
+        let mut m = MtsrModel::zipnet(ArchScale::Tiny, cfg);
+        m.fit(&ds, &mut Rng::seed_from(11)).unwrap();
+        let t = ds.usable_indices(Split::Test)[0];
+        let gen = m.generator_mut().unwrap();
+        // window not a multiple of probe size 4
+        assert!(MtsrPipeline::new(10, 4).predict_full(gen, &ds, t).is_err());
+        // stride not a multiple
+        assert!(MtsrPipeline::new(12, 3).predict_full(gen, &ds, t).is_err());
+        // window larger than grid
+        assert!(MtsrPipeline::new(24, 4).predict_full(gen, &ds, t).is_err());
+    }
+}

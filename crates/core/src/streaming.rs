@@ -1,0 +1,218 @@
+//! Streaming inference — §6: "once trained, the proposed technique can
+//! continuously perform inferences on live streams, unlike
+//! post-processing approaches that only work off-line".
+//!
+//! [`StreamingPredictor`] wraps a trained generator with a ring buffer of
+//! the last `S` coarse frames: a gateway feeds each new probe report as it
+//! arrives and receives the fine-grained city map as soon as the history
+//! is warm.
+
+use crate::zipnet::ZipNet;
+use mtsr_nn::layer::Layer;
+use mtsr_tensor::stats::Moments;
+use mtsr_tensor::{Result, Tensor, TensorError};
+use std::collections::VecDeque;
+
+/// Online MTSR over a live coarse-measurement stream.
+pub struct StreamingPredictor {
+    gen: ZipNet,
+    moments: Moments,
+    /// Last up-to-S normalised coarse frames, oldest first.
+    window: VecDeque<Tensor>,
+    /// Coarse frame side, fixed by the first frame pushed.
+    frame_side: Option<usize>,
+}
+
+impl StreamingPredictor {
+    /// Wraps a trained generator. `moments` must be the normalisation
+    /// moments of the dataset the generator was trained on (available
+    /// from `Dataset::moments()`).
+    pub fn new(gen: ZipNet, moments: Moments) -> Result<Self> {
+        if !(moments.std > 0.0) {
+            return Err(TensorError::InvalidShape {
+                op: "StreamingPredictor",
+                reason: "moments.std must be positive".into(),
+            });
+        }
+        Ok(StreamingPredictor {
+            gen,
+            moments,
+            window: VecDeque::new(),
+            frame_side: None,
+        })
+    }
+
+    /// Temporal window length `S` required before predictions start.
+    pub fn required_history(&self) -> usize {
+        self.gen.config().s
+    }
+
+    /// True once enough frames have been pushed to predict.
+    pub fn ready(&self) -> bool {
+        self.window.len() == self.required_history()
+    }
+
+    /// Discards the buffered history (e.g. after a probe outage).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    /// Pushes the newest coarse frame (raw MB scale, `[sq, sq]`) and, once
+    /// warm, returns the inferred fine-grained map in MB
+    /// (`[sq·n_f, sq·n_f]`).
+    pub fn push(&mut self, coarse_mb: &Tensor) -> Result<Option<Tensor>> {
+        let d = coarse_mb.dims();
+        if d.len() != 2 || d[0] != d[1] {
+            return Err(TensorError::InvalidShape {
+                op: "StreamingPredictor::push",
+                reason: format!("expected square [sq, sq] frame, got {}", coarse_mb.shape()),
+            });
+        }
+        match self.frame_side {
+            None => self.frame_side = Some(d[0]),
+            Some(side) if side != d[0] => {
+                return Err(TensorError::InvalidShape {
+                    op: "StreamingPredictor::push",
+                    reason: format!("frame side changed from {side} to {}", d[0]),
+                });
+            }
+            Some(_) => {}
+        }
+        coarse_mb.check_finite("StreamingPredictor::push")?;
+        let s = self.required_history();
+        self.window.push_back(coarse_mb.normalize(&self.moments)?);
+        while self.window.len() > s {
+            self.window.pop_front();
+        }
+        if !self.ready() {
+            return Ok(None);
+        }
+        // Pack [1, 1, S, sq, sq] oldest → newest.
+        let sq = self.frame_side.expect("set on first push");
+        let mut x = Tensor::zeros([1, 1, s, sq, sq]);
+        {
+            let dst = x.as_mut_slice();
+            for (i, f) in self.window.iter().enumerate() {
+                dst[i * sq * sq..(i + 1) * sq * sq].copy_from_slice(f.as_slice());
+            }
+        }
+        let pred = self.gen.forward(&x, false)?;
+        let side = pred.dims()[2];
+        Ok(Some(
+            pred.reshape([side, side])?.denormalize(&self.moments),
+        ))
+    }
+
+    /// Consumes the predictor, returning the generator (for checkpointing).
+    pub fn into_generator(self) -> ZipNet {
+        self.gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZipNetConfig;
+    use crate::pipeline::{ArchScale, MtsrModel};
+    use crate::gan::GanTrainingConfig;
+    use mtsr_tensor::Rng;
+    use mtsr_traffic::{
+        CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
+        SuperResolver,
+    };
+
+    fn fitted_model_and_dataset() -> (MtsrModel, Dataset) {
+        let mut rng = Rng::seed_from(1);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let cfg = DatasetConfig::tiny();
+        let movie = gen.generate(cfg.total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
+        let ds = Dataset::build(&movie, layout, cfg).unwrap();
+        let mut model = MtsrModel::zipnet(
+            ArchScale::Tiny,
+            GanTrainingConfig {
+                pretrain_steps: 20,
+                adversarial_steps: 0,
+                ..GanTrainingConfig::tiny()
+            },
+        );
+        model.fit(&ds, &mut Rng::seed_from(2)).unwrap();
+        (model, ds)
+    }
+
+    #[test]
+    fn streaming_matches_batch_prediction() {
+        let (mut model, ds) = fitted_model_and_dataset();
+        let t = ds.usable_indices(Split::Test)[3];
+        let batch_pred = ds.denormalize(&model.predict(&ds, t).unwrap());
+
+        // Rebuild a streaming predictor around the same generator weights.
+        let bytes = mtsr_nn::io::to_bytes(model.generator_mut().unwrap());
+        let mut gen = crate::zipnet::ZipNet::new(
+            &ZipNetConfig::tiny(4, 3),
+            &mut Rng::seed_from(99),
+        )
+        .unwrap();
+        mtsr_nn::io::from_bytes(&mut gen, bytes).unwrap();
+        let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
+
+        // Feed the raw coarse frames t-2, t-1, t.
+        let mut out = None;
+        for ft in t + 1 - 3..=t {
+            let frame = ds.coarse_frame_raw(ft).unwrap();
+            out = stream.push(&frame).unwrap();
+        }
+        let stream_pred = out.expect("ready after S frames");
+        assert_eq!(stream_pred.dims(), batch_pred.dims());
+        for (a, b) in stream_pred.as_slice().iter().zip(batch_pred.as_slice()) {
+            assert!((a - b).abs() < 1e-2 + 1e-3 * b.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warmup_and_reset_behaviour() {
+        let (mut model, ds) = fitted_model_and_dataset();
+        let bytes = mtsr_nn::io::to_bytes(model.generator_mut().unwrap());
+        let mut gen =
+            crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(5)).unwrap();
+        mtsr_nn::io::from_bytes(&mut gen, bytes).unwrap();
+        let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
+        assert_eq!(stream.required_history(), 3);
+        assert!(!stream.ready());
+        let f = ds.coarse_frame_raw(4).unwrap();
+        assert!(stream.push(&f).unwrap().is_none());
+        assert!(stream.push(&f).unwrap().is_none());
+        assert!(stream.push(&f).unwrap().is_some()); // warm
+        assert!(stream.ready());
+        stream.reset();
+        assert!(!stream.ready());
+        assert!(stream.push(&f).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_frames() {
+        let (mut model, ds) = fitted_model_and_dataset();
+        let bytes = mtsr_nn::io::to_bytes(model.generator_mut().unwrap());
+        let mut gen =
+            crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(6)).unwrap();
+        mtsr_nn::io::from_bytes(&mut gen, bytes).unwrap();
+        let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
+        // Non-square frame.
+        assert!(stream.push(&Tensor::zeros([3, 5])).is_err());
+        // NaN frame.
+        let mut bad = Tensor::zeros([5, 5]);
+        bad.as_mut_slice()[0] = f32::NAN;
+        assert!(stream.push(&bad).is_err());
+        // Frame size change mid-stream.
+        stream.push(&Tensor::ones([5, 5])).unwrap();
+        assert!(stream.push(&Tensor::ones([6, 6])).is_err());
+    }
+
+    #[test]
+    fn constructor_validates_moments() {
+        let mut rng = Rng::seed_from(7);
+        let gen = crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).unwrap();
+        let bad = Moments { mean: 0.0, std: 0.0 };
+        assert!(StreamingPredictor::new(gen, bad).is_err());
+    }
+}

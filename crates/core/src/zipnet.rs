@@ -1,0 +1,505 @@
+//! The deep Zipper Network (ZipNet) generator — §3.2, Figs. 3 and 4.
+//!
+//! Three stages:
+//!
+//! 1. **3D upscaling blocks** (1–3, by upscaling factor): a 3D
+//!    deconvolution that upsamples the spatial axes while preserving the
+//!    temporal axis, followed by three 3D convolutions, each with batch
+//!    normalisation and LeakyReLU — "key to jointly extracting spatial and
+//!    temporal features specific to mobile traffic".
+//! 2. **Zipper convolutional core**: `K` modules `B` (conv + BN + LReLU)
+//!    with *staggered* skip connections linking every two modules and a
+//!    *global* skip connection adding the core's input to its output —
+//!    the ResNet extension that gives the network its name. A learnable
+//!    temporal-collapse convolution (kernel `S×1×1`) bridges the 3D
+//!    upscaling output into the 2D core.
+//! 3. **Convolutional tail**: three plain conv blocks with growing feature
+//!    maps making the final prediction (no skips).
+//!
+//! The whole generator is a [`Layer`], so input gradients (needed for the
+//! Fig. 15 saliency analysis) come from the same `backward` used in
+//! training.
+
+use crate::config::{upscale_blocks, SkipMode, ZipNetConfig};
+use mtsr_nn::layer::Layer;
+use mtsr_nn::layers::{BatchNorm, Conv2d, Conv3d, ConvTranspose3d, LeakyReLU};
+use mtsr_nn::param::Param;
+use mtsr_nn::Sequential;
+use mtsr_tensor::conv::{Conv2dSpec, Conv3dSpec};
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+
+/// One zipper module `B`: conv 3×3 + BN + LReLU (Fig. 4).
+fn module_b(name: &str, channels: usize, alpha: f32, rng: &mut Rng) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(
+            &format!("{name}.conv"),
+            channels,
+            channels,
+            (3, 3),
+            Conv2dSpec::same(3),
+            rng,
+        ))
+        .push(BatchNorm::new(&format!("{name}.bn"), channels))
+        .push(LeakyReLU::new(alpha))
+}
+
+/// One 3D upscaling block: deconv (spatial stride `f`) + BN + LReLU,
+/// then three conv3d + BN + LReLU stages.
+fn upscale_block(
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    f: usize,
+    alpha: f32,
+    rng: &mut Rng,
+) -> Sequential {
+    // Spatial kernel = stride gives exact integer upscaling; the temporal
+    // axis keeps its extent (kernel 3, pad 1) so all S frames survive.
+    let (tk, tp) = if f == 1 { (1, 0) } else { (3, 1) };
+    let deconv_spec = Conv3dSpec {
+        stride: (1, f, f),
+        pad: (tp, 0, 0),
+    };
+    let mut seq = Sequential::new()
+        .push(ConvTranspose3d::new(
+            &format!("{name}.deconv"),
+            c_in,
+            c_out,
+            (tk, f, f),
+            deconv_spec,
+            rng,
+        ))
+        .push(BatchNorm::new(&format!("{name}.bn0"), c_out))
+        .push(LeakyReLU::new(alpha));
+    for i in 0..3 {
+        seq = seq
+            .push(Conv3d::new(
+                &format!("{name}.conv{i}"),
+                c_out,
+                c_out,
+                (3, 3, 3),
+                Conv3dSpec::same(3, 3),
+                rng,
+            ))
+            .push(BatchNorm::new(&format!("{name}.bn{}", i + 1), c_out))
+            .push(LeakyReLU::new(alpha));
+    }
+    seq
+}
+
+/// The ZipNet generator. Input `[N, 1, S, h, w]`, output `[N, 1, H, W]`
+/// with `H = h·n_f`, `W = w·n_f`.
+pub struct ZipNet {
+    cfg: ZipNetConfig,
+    upscale: Sequential,
+    temporal_collapse: Conv3d,
+    collapse_norm: BatchNorm,
+    collapse_act: LeakyReLU,
+    zipper: Vec<Sequential>,
+    tail: Sequential,
+    /// Shape of the 3D tensor entering the temporal collapse (restored
+    /// when reshaping the gradient on the way back).
+    cached_pre_collapse_dims: Option<Vec<usize>>,
+}
+
+impl ZipNet {
+    /// Builds the generator from a configuration.
+    pub fn new(cfg: &ZipNetConfig, rng: &mut Rng) -> Result<Self> {
+        cfg.validate()?;
+        let factors = upscale_blocks(cfg.upscale)?;
+        let mut upscale = Sequential::new();
+        let mut c_in = 1;
+        for (i, &f) in factors.iter().enumerate() {
+            upscale.push_boxed(Box::new(upscale_block(
+                &format!("up{i}"),
+                c_in,
+                cfg.channels,
+                f,
+                cfg.leaky_alpha,
+                rng,
+            )));
+            c_in = cfg.channels;
+        }
+        let temporal_collapse = Conv3d::new(
+            "collapse",
+            cfg.channels,
+            cfg.channels,
+            (cfg.s, 1, 1),
+            Conv3dSpec {
+                stride: (1, 1, 1),
+                pad: (0, 0, 0),
+            },
+            rng,
+        );
+        let zipper = (0..cfg.zipper_modules)
+            .map(|i| module_b(&format!("zip{i}"), cfg.channels, cfg.leaky_alpha, rng))
+            .collect();
+        let c = cfg.channels;
+        let tail = Sequential::new()
+            .push(Conv2d::new("tail0", c, 2 * c, (3, 3), Conv2dSpec::same(3), rng))
+            .push(BatchNorm::new("tail0.bn", 2 * c))
+            .push(LeakyReLU::new(cfg.leaky_alpha))
+            .push(Conv2d::new("tail1", 2 * c, 4 * c, (3, 3), Conv2dSpec::same(3), rng))
+            .push(BatchNorm::new("tail1.bn", 4 * c))
+            .push(LeakyReLU::new(cfg.leaky_alpha))
+            .push(Conv2d::new("tail2", 4 * c, 1, (3, 3), Conv2dSpec::same(3), rng));
+        Ok(ZipNet {
+            cfg: cfg.clone(),
+            upscale,
+            temporal_collapse,
+            collapse_norm: BatchNorm::new("collapse.bn", cfg.channels),
+            collapse_act: LeakyReLU::new(cfg.leaky_alpha),
+            zipper,
+            tail,
+            cached_pre_collapse_dims: None,
+        })
+    }
+
+    /// The configuration the generator was built with.
+    pub fn config(&self) -> &ZipNetConfig {
+        &self.cfg
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<()> {
+        let d = x.dims();
+        if d.len() != 5 || d[1] != 1 || d[2] != self.cfg.s {
+            return Err(TensorError::InvalidShape {
+                op: "ZipNet",
+                reason: format!(
+                    "expected input [N, 1, S={}, h, w], got {}",
+                    self.cfg.s,
+                    x.shape()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for ZipNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        self.check_input(x)?;
+        // Stage 1: 3D upscaling to [N, C, S, H, W].
+        let up = self.upscale.forward(x, train)?;
+        // Bridge: learnable temporal collapse to [N, C, 1, H, W] → 2D.
+        let tc = self.temporal_collapse.forward(&up, train)?;
+        let d = tc.dims().to_vec();
+        self.cached_pre_collapse_dims = Some(d.clone());
+        let flat = tc.reshape([d[0], d[1], d[3], d[4]])?;
+        let z0 = self
+            .collapse_act
+            .forward(&self.collapse_norm.forward(&flat, train)?, train)?;
+
+        // Stage 2: convolutional core. Topology by skip mode:
+        //   Zipper (paper):  a_1 = B_1(a_0); a_i = B_i(a_{i−1}) + a_{i−2};
+        //                    core_out = a_K + a_0 (global skip)
+        //   ResNet:          a_i = B_i(a_{i−1}) + a_{i−1}
+        //   None:            a_i = B_i(a_{i−1})
+        let k = self.zipper.len();
+        let mode = self.cfg.skip_mode;
+        let mut acts: Vec<Tensor> = Vec::with_capacity(k + 1);
+        acts.push(z0);
+        for i in 0..k {
+            let prev = acts[i].clone();
+            let mut out = self.zipper[i].forward(&prev, train)?;
+            match mode {
+                SkipMode::Zipper if i >= 1 => out = out.add(&acts[i - 1])?,
+                SkipMode::ResNet => out = out.add(&acts[i])?,
+                _ => {}
+            }
+            acts.push(out);
+        }
+        let core_out = match mode {
+            SkipMode::Zipper => acts[k].add(&acts[0])?,
+            _ => acts[k].clone(),
+        };
+
+        // Stage 3: plain conv tail.
+        self.tail.forward(&core_out, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g_core = self.tail.backward(grad_out)?;
+
+        // Zipper backward: mirror of the forward recurrence.
+        let k = self.zipper.len();
+        //   da[i] = ∂L/∂a_i, accumulated from all consumers of a_i.
+        let mut da: Vec<Option<Tensor>> = vec![None; k + 1];
+        let add_into = |slot: &mut Option<Tensor>, g: &Tensor| -> Result<()> {
+            match slot {
+                Some(t) => t.add_assign(g),
+                None => {
+                    *slot = Some(g.clone());
+                    Ok(())
+                }
+            }
+        };
+        let mode = self.cfg.skip_mode;
+        add_into(&mut da[k], &g_core)?;
+        if mode == SkipMode::Zipper {
+            add_into(&mut da[0], &g_core)?; // global skip: core_out = a_K + a_0
+        }
+        for i in (1..=k).rev() {
+            let g_i = da[i].take().ok_or(TensorError::InvalidShape {
+                op: "ZipNet.backward",
+                reason: format!("missing gradient for zipper activation {i}"),
+            })?;
+            // Through the module: a_i ← B_i(a_{i−1}).
+            let g_prev = self.zipper[i - 1].backward(&g_i)?;
+            add_into(&mut da[i - 1], &g_prev)?;
+            match mode {
+                // Through the staggered skip: a_i ← + a_{i−2}.
+                SkipMode::Zipper if i >= 2 => add_into(&mut da[i - 2], &g_i)?,
+                // Through the residual: a_i ← + a_{i−1}.
+                SkipMode::ResNet => add_into(&mut da[i - 1], &g_i)?,
+                _ => {}
+            }
+        }
+        let g_z0 = da[0].take().expect("zipper input gradient present");
+
+        // Bridge backward.
+        let g_flat = self
+            .collapse_norm
+            .backward(&self.collapse_act.backward(&g_z0)?)?;
+        let d = self
+            .cached_pre_collapse_dims
+            .as_ref()
+            .ok_or(TensorError::InvalidShape {
+                op: "ZipNet.backward",
+                reason: "backward called before forward".into(),
+            })?
+            .clone();
+        let g_tc = g_flat.reshape(d)?;
+        let g_up = self.temporal_collapse.backward(&g_tc)?;
+
+        self.upscale.backward(&g_up)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.upscale.visit_params(f);
+        self.temporal_collapse.visit_params(f);
+        self.collapse_norm.visit_params(f);
+        for m in &mut self.zipper {
+            m.visit_params(f);
+        }
+        self.tail.visit_params(f);
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.upscale.visit_buffers(f);
+        self.collapse_norm.visit_buffers(f);
+        for m in &mut self.zipper {
+            m.visit_buffers(f);
+        }
+        self.tail.visit_buffers(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "ZipNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_nn::layer::LayerExt;
+
+    #[test]
+    fn output_shapes_per_instance() {
+        let mut rng = Rng::seed_from(1);
+        for (nf, h) in [(2usize, 6usize), (4, 4), (10, 2)] {
+            let cfg = ZipNetConfig::tiny(nf, 3);
+            let mut net = ZipNet::new(&cfg, &mut rng).unwrap();
+            let x = Tensor::rand_normal([2, 1, 3, h, h], 0.0, 1.0, &mut rng);
+            let y = net.forward(&x, true).unwrap();
+            assert_eq!(y.dims(), &[2, 1, h * nf, h * nf], "nf = {nf}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = ZipNetConfig::tiny(2, 3);
+        let mut net = ZipNet::new(&cfg, &mut rng).unwrap();
+        assert!(net.forward(&Tensor::zeros([1, 1, 4, 5, 5]), true).is_err()); // wrong S
+        assert!(net.forward(&Tensor::zeros([1, 2, 3, 5, 5]), true).is_err()); // wrong C
+        assert!(net.forward(&Tensor::zeros([1, 3, 5, 5]), true).is_err()); // wrong rank
+        assert!(net.backward(&Tensor::zeros([1, 1, 10, 10])).is_err());
+    }
+
+    /// End-to-end gradient check through deconv3d, temporal collapse,
+    /// zipper skips and the tail. The composed network's curvature makes
+    /// coordinate-wise finite differences at a fixed ε unreliable, so this
+    /// uses the sharper directional-derivative test instead: along the
+    /// analytic gradient g, `(L(x+εg) − L(x−εg))/2ε → ‖g‖²` as ε → 0.
+    #[test]
+    fn gradients_match_directional_derivative() {
+        let mut rng = Rng::seed_from(3);
+        let mut cfg = ZipNetConfig::tiny(2, 2);
+        cfg.channels = 3;
+        cfg.zipper_modules = 3;
+        let mut net = ZipNet::new(&cfg, &mut rng).unwrap();
+        let x = Tensor::rand_normal([2, 1, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true).unwrap();
+        let r = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
+        net.zero_grad();
+        net.forward(&x, true).unwrap();
+        let gx = net.backward(&r).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        let gnorm2 = gx.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>();
+        assert!(gnorm2 > 0.0);
+
+        let probe = |net: &mut ZipNet, x: &Tensor| -> f64 {
+            let y = net.forward(x, true).unwrap();
+            y.as_slice()
+                .iter()
+                .zip(r.as_slice())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum()
+        };
+        let mut prev_rel = f64::INFINITY;
+        for eps in [3e-2f32, 1e-2, 3e-3] {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            for ((p, m), &g) in xp
+                .as_mut_slice()
+                .iter_mut()
+                .zip(xm.as_mut_slice())
+                .zip(gx.as_slice())
+            {
+                *p += eps * g;
+                *m -= eps * g;
+            }
+            let num = (probe(&mut net, &xp) - probe(&mut net, &xm)) / (2.0 * eps as f64);
+            let rel = (num - gnorm2).abs() / gnorm2;
+            // Truncation error must shrink as ε shrinks (O(ε²) for a
+            // correct gradient) ...
+            assert!(rel < prev_rel + 1e-3, "eps {eps}: rel {rel} vs {prev_rel}");
+            prev_rel = rel;
+        }
+        // ... and land close at the smallest ε.
+        assert!(prev_rel < 0.05, "directional derivative rel error {prev_rel}");
+    }
+
+    #[test]
+    fn parameter_count_grows_with_width_and_depth() {
+        let mut rng = Rng::seed_from(4);
+        let mut tiny = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).unwrap();
+        let mut small = ZipNet::new(&ZipNetConfig::small(2, 3), &mut rng).unwrap();
+        assert!(small.num_params() > 4 * tiny.num_params());
+    }
+
+    #[test]
+    fn up10_uses_three_upscale_stages() {
+        // Structural check via the paper's 1-to-3 upscaling-block rule:
+        // a 10× generator must contain three deconvolutions.
+        let mut rng = Rng::seed_from(5);
+        let mut net = ZipNet::new(&ZipNetConfig::tiny(10, 2), &mut rng).unwrap();
+        let mut deconvs = 0;
+        net.visit_params(&mut |p| {
+            if p.name.contains(".deconv.weight") {
+                deconvs += 1;
+            }
+        });
+        assert_eq!(deconvs, 3);
+        let mut net2 = ZipNet::new(&ZipNetConfig::tiny(2, 2), &mut rng).unwrap();
+        let mut deconvs2 = 0;
+        net2.visit_params(&mut |p| {
+            if p.name.contains(".deconv.weight") {
+                deconvs2 += 1;
+            }
+        });
+        assert_eq!(deconvs2, 1);
+    }
+
+    #[test]
+    fn deterministic_construction_and_forward() {
+        let cfg = ZipNetConfig::tiny(2, 3);
+        let mut a = ZipNet::new(&cfg, &mut Rng::seed_from(9)).unwrap();
+        let mut b = ZipNet::new(&cfg, &mut Rng::seed_from(9)).unwrap();
+        let x = Tensor::rand_normal([1, 1, 3, 4, 4], 0.0, 1.0, &mut Rng::seed_from(1));
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn skip_mode_variants_forward_and_grad() {
+        // All three core topologies must produce the right shapes and pass
+        // the directional-derivative check (the ablation bench trains all
+        // three).
+        for mode in [SkipMode::Zipper, SkipMode::ResNet, SkipMode::None] {
+            let mut rng = Rng::seed_from(21);
+            let mut cfg = ZipNetConfig::tiny(2, 2);
+            cfg.channels = 2;
+            cfg.zipper_modules = 3;
+            cfg.skip_mode = mode;
+            let mut net = ZipNet::new(&cfg, &mut rng).unwrap();
+            let x = Tensor::rand_normal([1, 1, 2, 3, 3], 0.0, 1.0, &mut rng);
+            let y = net.forward(&x, true).unwrap();
+            assert_eq!(y.dims(), &[1, 1, 6, 6], "{mode:?}");
+            let r = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
+            net.zero_grad();
+            net.forward(&x, true).unwrap();
+            let gx = net.backward(&r).unwrap();
+            let gnorm2 = gx
+                .as_slice()
+                .iter()
+                .map(|&v| (v as f64).powi(2))
+                .sum::<f64>();
+            let mut probe = |xq: &Tensor| -> f64 {
+                let y = net.forward(xq, true).unwrap();
+                y.as_slice()
+                    .iter()
+                    .zip(r.as_slice())
+                    .map(|(&a, &b)| a as f64 * b as f64)
+                    .sum()
+            };
+            // A correct gradient makes the directional derivative converge
+            // to ‖g‖² as ε shrinks; a wrong one converges elsewhere.
+            let mut best_rel = f64::INFINITY;
+            for eps in [1e-2f32, 3e-3, 1e-3] {
+                let mut xp = x.clone();
+                let mut xm = x.clone();
+                for ((p, m), &g) in xp
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(xm.as_mut_slice())
+                    .zip(gx.as_slice())
+                {
+                    *p += eps * g;
+                    *m -= eps * g;
+                }
+                let num = (probe(&xp) - probe(&xm)) / (2.0 * eps as f64);
+                best_rel = best_rel.min((num - gnorm2).abs() / gnorm2.max(1e-12));
+            }
+            assert!(best_rel < 0.12, "{mode:?}: directional rel error {best_rel}");
+        }
+    }
+
+    #[test]
+    fn skip_modes_change_the_function() {
+        let x = Tensor::rand_normal([1, 1, 2, 4, 4], 0.0, 1.0, &mut Rng::seed_from(3));
+        let mut outs = Vec::new();
+        for mode in [SkipMode::Zipper, SkipMode::ResNet, SkipMode::None] {
+            let mut cfg = ZipNetConfig::tiny(2, 2);
+            cfg.skip_mode = mode;
+            // Same seed: identical weights, different wiring.
+            let mut net = ZipNet::new(&cfg, &mut Rng::seed_from(5)).unwrap();
+            outs.push(net.forward(&x, false).unwrap());
+        }
+        assert_ne!(outs[0], outs[1]);
+        assert_ne!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let cfg = ZipNetConfig::tiny(2, 3);
+        let mut net = ZipNet::new(&cfg, &mut Rng::seed_from(10)).unwrap();
+        let x = Tensor::rand_normal([1, 1, 3, 4, 4], 0.0, 1.0, &mut Rng::seed_from(2));
+        net.forward(&x, true).unwrap(); // make running stats non-trivial
+        let y_ref = net.forward(&x, false).unwrap();
+        let bytes = mtsr_nn::io::to_bytes(&mut net);
+        let mut net2 = ZipNet::new(&cfg, &mut Rng::seed_from(999)).unwrap();
+        mtsr_nn::io::from_bytes(&mut net2, bytes).unwrap();
+        assert_eq!(net2.forward(&x, false).unwrap(), y_ref);
+    }
+}

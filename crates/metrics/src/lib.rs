@@ -1,0 +1,349 @@
+//! # mtsr-metrics
+//!
+//! The paper's evaluation metrics (§5.3):
+//!
+//! * [`nrmse`] — Normalised Root Mean Square Error (Eq. 11): RMSE divided
+//!   by the ground-truth mean. Lower is better.
+//! * [`psnr`] — Peak Signal-to-Noise Ratio in dB (Eq. 12), with the peak
+//!   being the highest traffic volume observed in one cell (5 496 MB for
+//!   the Milan data). Higher is better.
+//! * [`ssim`] — Structural Similarity Index (Eq. 13), the global
+//!   mean/variance/covariance form with the usual `c₁, c₂` stabilisers.
+//!   Higher is better.
+//!
+//! Plus auxiliary measures ([`mae`], Pearson correlation via
+//! `mtsr_tensor::stats`) used in the extended experiment tables.
+
+pub mod region;
+
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Peak traffic volume (MB per 10-minute interval) observed in the Milan
+/// data set; the paper plugs this into the PSNR formula.
+pub const MILAN_PEAK_MB: f32 = 5496.0;
+
+fn check_pair(pred: &Tensor, truth: &Tensor, op: &'static str) -> Result<()> {
+    pred.shape().check_same(truth.shape(), op)?;
+    if pred.numel() == 0 {
+        return Err(TensorError::InvalidShape {
+            op,
+            reason: "empty tensors".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Normalised Root Mean Square Error (paper Eq. 11):
+///
+/// `NRMSE = √(Σᵢ (h̃ᵢ − hᵢ)² / I) / mean(h)`.
+///
+/// Fails when the ground-truth mean is zero (undefined normalisation).
+pub fn nrmse(pred: &Tensor, truth: &Tensor) -> Result<f32> {
+    check_pair(pred, truth, "nrmse")?;
+    let mean = truth.mean();
+    if mean.abs() < f32::EPSILON {
+        return Err(TensorError::InvalidShape {
+            op: "nrmse",
+            reason: "ground-truth mean is zero".into(),
+        });
+    }
+    Ok(pred.mse(truth)?.sqrt() / mean)
+}
+
+/// Peak Signal-to-Noise Ratio in dB (paper Eq. 12):
+///
+/// `PSNR = 20·log₁₀(peak) − 10·log₁₀(MSE)`.
+///
+/// `peak` is the maximum observable value ([`MILAN_PEAK_MB`] for
+/// traffic in MB). Identical tensors would yield `+∞`; the result is
+/// capped at 150 dB so downstream averaging stays meaningful.
+pub fn psnr(pred: &Tensor, truth: &Tensor, peak: f32) -> Result<f32> {
+    check_pair(pred, truth, "psnr")?;
+    if !(peak > 0.0) {
+        return Err(TensorError::InvalidShape {
+            op: "psnr",
+            reason: format!("peak must be positive, got {peak}"),
+        });
+    }
+    let mse = pred.mse(truth)?;
+    if mse <= 0.0 {
+        return Ok(150.0);
+    }
+    Ok((20.0 * peak.log10() - 10.0 * mse.log10()).min(150.0))
+}
+
+/// Structural Similarity Index (paper Eq. 13):
+///
+/// `SSIM = ((2·μ_x·μ_y + c₁)(2·cov + c₂)) /
+///         ((μ_x² + μ_y² + c₁)(σ_x² + σ_y² + c₂))`
+///
+/// with `c₁ = (0.01·L)²`, `c₂ = (0.03·L)²` for dynamic range `L`.
+/// Result lies in `[-1, 1]`; 1 iff the images are identical.
+pub fn ssim(pred: &Tensor, truth: &Tensor, dynamic_range: f32) -> Result<f32> {
+    check_pair(pred, truth, "ssim")?;
+    if !(dynamic_range > 0.0) {
+        return Err(TensorError::InvalidShape {
+            op: "ssim",
+            reason: format!("dynamic range must be positive, got {dynamic_range}"),
+        });
+    }
+    let c1 = (0.01 * dynamic_range).powi(2);
+    let c2 = (0.03 * dynamic_range).powi(2);
+    let mx = pred.mean();
+    let my = truth.mean();
+    let vx = pred.variance();
+    let vy = truth.variance();
+    let cov = pred.covariance(truth)?;
+    Ok(((2.0 * mx * my + c1) * (2.0 * cov + c2))
+        / ((mx * mx + my * my + c1) * (vx + vy + c2)))
+}
+
+/// Mean SSIM over sliding windows — the form common in image-quality
+/// work \[35\]; more sensitive to local structure than the global Eq. 13.
+///
+/// `window` must fit inside the `[H, W]` images; stride is `window / 2`
+/// (50% overlap).
+pub fn ssim_windowed(
+    pred: &Tensor,
+    truth: &Tensor,
+    dynamic_range: f32,
+    window: usize,
+) -> Result<f32> {
+    check_pair(pred, truth, "ssim_windowed")?;
+    let dims = pred.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op: "ssim_windowed",
+            reason: format!("expected [H, W] images, got {}", pred.shape()),
+        });
+    }
+    let (h, w) = (dims[0], dims[1]);
+    if window == 0 || window > h || window > w {
+        return Err(TensorError::InvalidShape {
+            op: "ssim_windowed",
+            reason: format!("window {window} does not fit {h}x{w}"),
+        });
+    }
+    let stride = (window / 2).max(1);
+    let extract = |t: &Tensor, y0: usize, x0: usize| -> Tensor {
+        let mut out = Tensor::zeros([window, window]);
+        let src = t.as_slice();
+        let dst = out.as_mut_slice();
+        for r in 0..window {
+            let s = (y0 + r) * w + x0;
+            dst[r * window..(r + 1) * window].copy_from_slice(&src[s..s + window]);
+        }
+        out
+    };
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let mut y = 0;
+    loop {
+        let y0 = y.min(h - window);
+        let mut x = 0;
+        loop {
+            let x0 = x.min(w - window);
+            let wp = extract(pred, y0, x0);
+            let wt = extract(truth, y0, x0);
+            total += ssim(&wp, &wt, dynamic_range)? as f64;
+            count += 1;
+            if x0 == w - window {
+                break;
+            }
+            x += stride;
+        }
+        if y0 == h - window {
+            break;
+        }
+        y += stride;
+    }
+    Ok((total / count as f64) as f32)
+}
+
+/// Mean absolute error — an auxiliary robustness measure.
+pub fn mae(pred: &Tensor, truth: &Tensor) -> Result<f32> {
+    check_pair(pred, truth, "mae")?;
+    let s: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(&a, &b)| ((a - b) as f64).abs())
+        .sum();
+    Ok((s / pred.numel() as f64) as f32)
+}
+
+/// Aggregated scores of one method on one experiment — a row of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    /// Mean NRMSE over evaluated snapshots (lower better).
+    pub nrmse: f32,
+    /// Mean PSNR in dB (higher better).
+    pub psnr: f32,
+    /// Mean SSIM (higher better).
+    pub ssim: f32,
+}
+
+/// Averages per-snapshot metric evaluations into a [`Scores`] row.
+pub fn score_snapshots(pairs: &[(Tensor, Tensor)], peak: f32) -> Result<Scores> {
+    if pairs.is_empty() {
+        return Err(TensorError::InvalidShape {
+            op: "score_snapshots",
+            reason: "no snapshots to score".into(),
+        });
+    }
+    let (mut sn, mut sp, mut ss) = (0.0f64, 0.0f64, 0.0f64);
+    for (pred, truth) in pairs {
+        sn += nrmse(pred, truth)? as f64;
+        sp += psnr(pred, truth, peak)? as f64;
+        ss += ssim(pred, truth, peak)? as f64;
+    }
+    let n = pairs.len() as f64;
+    Ok(Scores {
+        nrmse: (sn / n) as f32,
+        psnr: (sp / n) as f32,
+        ssim: (ss / n) as f32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    fn pair(seed: u64) -> (Tensor, Tensor) {
+        let mut rng = Rng::seed_from(seed);
+        let truth = Tensor::rand_uniform([16, 16], 10.0, 100.0, &mut rng);
+        let noise = Tensor::rand_normal([16, 16], 0.0, 5.0, &mut rng);
+        let pred = truth.add(&noise).unwrap();
+        (pred, truth)
+    }
+
+    #[test]
+    fn nrmse_zero_iff_identical() {
+        let (_, truth) = pair(1);
+        assert_eq!(nrmse(&truth, &truth).unwrap(), 0.0);
+        let (pred, truth) = pair(2);
+        assert!(nrmse(&pred, &truth).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn nrmse_hand_computed() {
+        // truth = [2, 2], pred = [1, 3]: RMSE = 1, mean = 2 → NRMSE = 0.5.
+        let truth = Tensor::from_vec([2], vec![2.0, 2.0]).unwrap();
+        let pred = Tensor::from_vec([2], vec![1.0, 3.0]).unwrap();
+        assert!((nrmse(&pred, &truth).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nrmse_scale_invariant() {
+        // Scaling both tensors leaves NRMSE unchanged (the point of the
+        // normalisation, §5.3: "comparing data sets with different scales").
+        let (pred, truth) = pair(3);
+        let a = nrmse(&pred, &truth).unwrap();
+        let b = nrmse(&pred.scale(7.0), &truth.scale(7.0)).unwrap();
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nrmse_rejects_zero_mean_truth() {
+        let truth = Tensor::from_vec([2], vec![-1.0, 1.0]).unwrap();
+        let pred = Tensor::zeros([2]);
+        assert!(nrmse(&pred, &truth).is_err());
+    }
+
+    #[test]
+    fn psnr_monotone_in_error() {
+        let truth = Tensor::full([8, 8], 100.0);
+        let p1 = truth.add_scalar(1.0);
+        let p10 = truth.add_scalar(10.0);
+        let a = psnr(&p1, &truth, MILAN_PEAK_MB).unwrap();
+        let b = psnr(&p10, &truth, MILAN_PEAK_MB).unwrap();
+        assert!(a > b);
+        // 10× the error costs exactly 20 dB.
+        assert!((a - b - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psnr_identical_capped() {
+        let (_, truth) = pair(4);
+        assert_eq!(psnr(&truth, &truth, MILAN_PEAK_MB).unwrap(), 150.0);
+    }
+
+    #[test]
+    fn psnr_hand_computed() {
+        // peak 100, MSE 1 → 20·log10(100) = 40 dB.
+        let truth = Tensor::zeros([4]);
+        let pred = Tensor::ones([4]);
+        assert!((psnr(&pred, &truth, 100.0).unwrap() - 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ssim_bounds_and_identity() {
+        let (pred, truth) = pair(5);
+        let s = ssim(&pred, &truth, MILAN_PEAK_MB).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+        assert!((ssim(&truth, &truth, MILAN_PEAK_MB).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssim_detects_structure_loss() {
+        // A constant predictor has no structure: SSIM far below a noisy
+        // but structure-preserving predictor.
+        let mut rng = Rng::seed_from(6);
+        let truth = Tensor::rand_uniform([12, 12], 0.0, 1000.0, &mut rng);
+        let flat = Tensor::full([12, 12], truth.mean());
+        let noisy = truth
+            .add(&Tensor::rand_normal([12, 12], 0.0, 30.0, &mut rng))
+            .unwrap();
+        let s_flat = ssim(&flat, &truth, 1000.0).unwrap();
+        let s_noisy = ssim(&noisy, &truth, 1000.0).unwrap();
+        assert!(s_noisy > 2.0 * s_flat, "noisy {s_noisy} vs flat {s_flat}");
+    }
+
+    #[test]
+    fn windowed_ssim_agrees_on_identity_and_penalises_local_damage() {
+        let mut rng = Rng::seed_from(7);
+        let truth = Tensor::rand_uniform([16, 16], 0.0, 100.0, &mut rng);
+        assert!((ssim_windowed(&truth, &truth, 100.0, 8).unwrap() - 1.0).abs() < 1e-6);
+        // Zero out one quadrant: windowed SSIM must drop.
+        let mut damaged = truth.clone();
+        for y in 0..8 {
+            for x in 0..8 {
+                damaged.set(&[y, x], 0.0).unwrap();
+            }
+        }
+        let s = ssim_windowed(&damaged, &truth, 100.0, 8).unwrap();
+        assert!(s < 0.9, "windowed ssim {s}");
+        assert!(ssim_windowed(&truth, &truth, 100.0, 20).is_err());
+    }
+
+    #[test]
+    fn mae_hand_computed() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([3], vec![2.0, 2.0, 1.0]).unwrap();
+        assert!((mae(&a, &b).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_snapshots_averages() {
+        let (p1, t1) = pair(8);
+        let (p2, t2) = pair(9);
+        let s = score_snapshots(&[(p1.clone(), t1.clone()), (p2, t2)], MILAN_PEAK_MB).unwrap();
+        assert!(s.nrmse > 0.0 && s.psnr > 0.0 && s.ssim > 0.0);
+        let s1 = score_snapshots(&[(p1, t1)], MILAN_PEAK_MB).unwrap();
+        assert_ne!(s, s1);
+        assert!(score_snapshots(&[], MILAN_PEAK_MB).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let a = Tensor::zeros([4]);
+        let b = Tensor::zeros([5]);
+        assert!(nrmse(&a, &b).is_err());
+        assert!(psnr(&a, &b, 1.0).is_err());
+        assert!(ssim(&a, &b, 1.0).is_err());
+        assert!(mae(&a, &b).is_err());
+        assert!(psnr(&a, &a, 0.0).is_err());
+        assert!(ssim(&a, &a, -1.0).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-region evaluation: centre vs ring vs suburb.
+//!
+//! The paper's qualitative analysis repeatedly distinguishes the dense
+//! city centre (where weak methods "significantly under-estimate the
+//! traffic volume") from the suburbs. This module makes that analysis
+//! quantitative: partition the grid into concentric regions by distance
+//! from the centre and score each region separately.
+
+use crate::{nrmse, psnr, ssim, Scores};
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// The three concentric regions used in the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Inner disc (≤ 1/3 of the max centre distance).
+    Centre,
+    /// Middle annulus.
+    Ring,
+    /// Outer area.
+    Suburb,
+}
+
+impl Region {
+    /// All regions, inside-out.
+    pub fn all() -> [Region; 3] {
+        [Region::Centre, Region::Ring, Region::Suburb]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Region::Centre => "centre",
+            Region::Ring => "ring",
+            Region::Suburb => "suburb",
+        }
+    }
+}
+
+/// Region of a cell in a `grid`-sized map (by normalised distance from
+/// the grid centre; thresholds 1/3 and 2/3).
+pub fn region_of(grid: usize, y: usize, x: usize) -> Region {
+    let g = grid as f32;
+    let dy = y as f32 + 0.5 - g / 2.0;
+    let dx = x as f32 + 0.5 - g / 2.0;
+    let r = (dy * dy + dx * dx).sqrt() / ((g / 2.0) * std::f32::consts::SQRT_2);
+    if r < 1.0 / 3.0 {
+        Region::Centre
+    } else if r < 2.0 / 3.0 {
+        Region::Ring
+    } else {
+        Region::Suburb
+    }
+}
+
+/// Extracts the cells of one region as flat tensors `(pred, truth)`.
+fn region_cells(pred: &Tensor, truth: &Tensor, region: Region) -> Result<(Tensor, Tensor)> {
+    let d = pred.dims();
+    if d.len() != 2 || d[0] != d[1] {
+        return Err(TensorError::InvalidShape {
+            op: "region_cells",
+            reason: format!("expected square [g, g] maps, got {}", pred.shape()),
+        });
+    }
+    pred.shape().check_same(truth.shape(), "region_cells")?;
+    let g = d[0];
+    let (mut p, mut t) = (Vec::new(), Vec::new());
+    let (ps, ts) = (pred.as_slice(), truth.as_slice());
+    for y in 0..g {
+        for x in 0..g {
+            if region_of(g, y, x) == region {
+                p.push(ps[y * g + x]);
+                t.push(ts[y * g + x]);
+            }
+        }
+    }
+    let n = p.len();
+    Ok((Tensor::from_vec([n], p)?, Tensor::from_vec([n], t)?))
+}
+
+/// Scores one prediction against truth within each region.
+///
+/// Returns `(region, Scores)` triples inside-out. SSIM here is computed
+/// over the flattened region cells (global form over the region's
+/// distribution, not a windowed image metric).
+pub fn score_by_region(pred: &Tensor, truth: &Tensor, peak: f32) -> Result<Vec<(Region, Scores)>> {
+    let mut out = Vec::with_capacity(3);
+    for region in Region::all() {
+        let (p, t) = region_cells(pred, truth, region)?;
+        if p.numel() == 0 {
+            continue;
+        }
+        out.push((
+            region,
+            Scores {
+                nrmse: nrmse(&p, &t)?,
+                psnr: psnr(&p, &t, peak)?,
+                ssim: ssim(&p, &t, peak)?,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+/// Relative bias of the predicted total volume in a region:
+/// `(Σpred − Σtruth)/Σtruth` — negative means the method under-estimates
+/// the region, the failure the paper calls out for the city centre.
+pub fn region_volume_bias(pred: &Tensor, truth: &Tensor, region: Region) -> Result<f32> {
+    let (p, t) = region_cells(pred, truth, region)?;
+    let total_t = t.sum();
+    if total_t.abs() < f32::EPSILON {
+        return Err(TensorError::InvalidShape {
+            op: "region_volume_bias",
+            reason: "region has zero true volume".into(),
+        });
+    }
+    Ok((p.sum() - total_t) / total_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    #[test]
+    fn regions_partition_the_grid() {
+        let g = 24;
+        let mut counts = [0usize; 3];
+        for y in 0..g {
+            for x in 0..g {
+                match region_of(g, y, x) {
+                    Region::Centre => counts[0] += 1,
+                    Region::Ring => counts[1] += 1,
+                    Region::Suburb => counts[2] += 1,
+                }
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), g * g);
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        // Grid centre cell is Centre, corner is Suburb.
+        assert_eq!(region_of(g, g / 2, g / 2), Region::Centre);
+        assert_eq!(region_of(g, 0, 0), Region::Suburb);
+    }
+
+    #[test]
+    fn per_region_scores_isolate_local_damage() {
+        let mut rng = Rng::seed_from(1);
+        let truth = Tensor::rand_uniform([20, 20], 100.0, 1000.0, &mut rng);
+        // Damage only the centre: halve its values.
+        let mut pred = truth.clone();
+        for y in 0..20 {
+            for x in 0..20 {
+                if region_of(20, y, x) == Region::Centre {
+                    let v = pred.get(&[y, x]).unwrap();
+                    pred.set(&[y, x], v / 2.0).unwrap();
+                }
+            }
+        }
+        let scores = score_by_region(&pred, &truth, 5496.0).unwrap();
+        let get = |r: Region| scores.iter().find(|(rr, _)| *rr == r).unwrap().1;
+        assert!(get(Region::Centre).nrmse > 0.3);
+        assert!(get(Region::Suburb).nrmse < 1e-6);
+        assert!(get(Region::Ring).nrmse < 1e-6);
+    }
+
+    #[test]
+    fn volume_bias_signs() {
+        let mut rng = Rng::seed_from(2);
+        let truth = Tensor::rand_uniform([16, 16], 100.0, 200.0, &mut rng);
+        let under = truth.scale(0.6);
+        let over = truth.scale(1.4);
+        let b_under = region_volume_bias(&under, &truth, Region::Centre).unwrap();
+        let b_over = region_volume_bias(&over, &truth, Region::Centre).unwrap();
+        assert!((b_under + 0.4).abs() < 1e-4, "{b_under}");
+        assert!((b_over - 0.4).abs() < 1e-4, "{b_over}");
+        assert_eq!(
+            region_volume_bias(&truth, &truth, Region::Suburb).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn error_paths() {
+        let a = Tensor::zeros([4, 5]);
+        let b = Tensor::zeros([4, 5]);
+        assert!(score_by_region(&a, &b, 1.0).is_err()); // not square
+        let z = Tensor::zeros([8, 8]);
+        assert!(region_volume_bias(&z, &z, Region::Centre).is_err()); // zero volume
+        let sq = Tensor::ones([8, 8]);
+        let wrong = Tensor::ones([6, 6]);
+        assert!(score_by_region(&sq, &wrong, 1.0).is_err());
+    }
+
+    #[test]
+    fn labels_and_ordering() {
+        let all = Region::all();
+        assert_eq!(all[0].label(), "centre");
+        assert_eq!(all[2].label(), "suburb");
+    }
+}

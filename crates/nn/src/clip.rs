@@ -1,0 +1,102 @@
+//! Gradient clipping by global norm.
+//!
+//! GAN generators occasionally receive huge gradients when the
+//! discriminator becomes briefly over-confident; clipping the global norm
+//! is the standard guard. The paper does not mention clipping (GPU-scale
+//! batches smooth this out); the CPU-scale trainer exposes it as an
+//! option.
+
+use crate::layer::Layer;
+
+/// Global L2 norm of all accumulated parameter gradients.
+pub fn global_grad_norm(layer: &mut dyn Layer) -> f32 {
+    let mut sq = 0.0f64;
+    layer.visit_params(&mut |p| {
+        sq += p.grad.sq_norm() as f64;
+    });
+    (sq as f32).sqrt()
+}
+
+/// Scales all gradients so their global norm is at most `max_norm`.
+///
+/// Returns the pre-clipping norm. No-op when the norm is already within
+/// bounds or zero.
+pub fn clip_grad_norm(layer: &mut dyn Layer, max_norm: f32) -> f32 {
+    let norm = global_grad_norm(layer);
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        layer.visit_params(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g *= scale;
+            }
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use mtsr_tensor::{Result, Tensor};
+
+    struct TwoParams {
+        a: Param,
+        b: Param,
+    }
+    impl Layer for TwoParams {
+        fn forward(&mut self, x: &Tensor, _t: bool) -> Result<Tensor> {
+            Ok(x.clone())
+        }
+        fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            Ok(g.clone())
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+        fn name(&self) -> &'static str {
+            "TwoParams"
+        }
+    }
+
+    fn layer_with_grads(ga: Vec<f32>, gb: Vec<f32>) -> TwoParams {
+        let mut a = Param::new("a", Tensor::zeros([ga.len()]));
+        let na = ga.len();
+        a.grad = Tensor::from_vec([na], ga).unwrap();
+        let mut b = Param::new("b", Tensor::zeros([gb.len()]));
+        let nb = gb.len();
+        b.grad = Tensor::from_vec([nb], gb).unwrap();
+        TwoParams { a, b }
+    }
+
+    #[test]
+    fn norm_spans_all_params() {
+        let mut l = layer_with_grads(vec![3.0], vec![4.0]);
+        assert!((global_grad_norm(&mut l) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_rescales_to_max_norm() {
+        let mut l = layer_with_grads(vec![3.0], vec![4.0]);
+        let pre = clip_grad_norm(&mut l, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((global_grad_norm(&mut l) - 1.0).abs() < 1e-5);
+        // Direction preserved: components keep their 3:4 ratio.
+        assert!((l.a.grad.as_slice()[0] / l.b.grad.as_slice()[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn within_bounds_is_untouched() {
+        let mut l = layer_with_grads(vec![0.3], vec![0.4]);
+        clip_grad_norm(&mut l, 1.0);
+        assert!((l.a.grad.as_slice()[0] - 0.3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_gradients_are_safe() {
+        let mut l = layer_with_grads(vec![0.0], vec![0.0]);
+        assert_eq!(clip_grad_norm(&mut l, 1.0), 0.0);
+        assert_eq!(global_grad_norm(&mut l), 0.0);
+    }
+}

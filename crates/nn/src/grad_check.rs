@@ -1,0 +1,185 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer in this workspace is validated against central differences:
+//! for a scalar probe loss `L(x, θ) = Σ r ⊙ f(x, θ)` (with a fixed random
+//! weighting `r`), both the input gradient returned by `backward` and the
+//! parameter gradients accumulated into [`Param::grad`](crate::param::Param::grad) must match
+//! `(L(·+ε) − L(·−ε)) / 2ε` on sampled coordinates.
+
+use crate::layer::{Layer, LayerExt};
+use mtsr_tensor::{Rng, Tensor};
+
+/// Relative tolerance for the check: `|num − ana| < TOL · (1 + |ana|)`.
+const TOL: f32 = 3e-2;
+/// Perturbation size (f32 forces a fairly large ε; central differences
+/// keep the truncation error at O(ε²)).
+const EPS: f32 = 1e-2;
+/// How many coordinates of each tensor to probe.
+const PROBES: usize = 8;
+
+fn probe_loss(layer: &mut dyn Layer, x: &Tensor, r: &Tensor) -> f32 {
+    let y = layer.forward(x, true).expect("grad_check forward failed");
+    y.as_slice()
+        .iter()
+        .zip(r.as_slice())
+        .map(|(&a, &b)| (a as f64) * (b as f64))
+        .sum::<f64>() as f32
+}
+
+/// Checks input and parameter gradients of `layer` on a random input of
+/// shape `input_dims`. Panics (with a diagnostic) on mismatch — intended
+/// for use inside `#[test]`s.
+pub fn check_layer_gradients(mut layer: Box<dyn Layer>, input_dims: &[usize], seed: u64) {
+    let mut rng = Rng::seed_from(seed);
+    let x = Tensor::rand_normal(input_dims.to_vec(), 0.0, 1.0, &mut rng);
+    let y = layer.forward(&x, true).expect("forward failed");
+    let r = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
+
+    // Analytic gradients.
+    layer.zero_grad();
+    layer.forward(&x, true).expect("forward failed");
+    let gx = layer.backward(&r).expect("backward failed");
+    assert_eq!(gx.dims(), x.dims(), "input-grad shape mismatch");
+
+    // --- input gradient ---
+    let mut x_pert = x.clone();
+    let n_in = x.numel();
+    for probe in 0..PROBES.min(n_in) {
+        let idx = if n_in <= PROBES {
+            probe
+        } else {
+            rng.below(n_in)
+        };
+        let orig = x_pert.as_slice()[idx];
+        x_pert.as_mut_slice()[idx] = orig + EPS;
+        let lp = probe_loss(layer.as_mut(), &x_pert, &r);
+        x_pert.as_mut_slice()[idx] = orig - EPS;
+        let lm = probe_loss(layer.as_mut(), &x_pert, &r);
+        x_pert.as_mut_slice()[idx] = orig;
+        let num = (lp - lm) / (2.0 * EPS);
+        let ana = gx.as_slice()[idx];
+        assert!(
+            (num - ana).abs() < TOL * (1.0 + ana.abs()),
+            "input grad mismatch at {idx}: numeric {num} vs analytic {ana} ({})",
+            layer.name()
+        );
+    }
+
+    // --- parameter gradients ---
+    // Collect analytic copies first (the perturbation loop below reuses the
+    // same layer).
+    let mut analytic: Vec<(String, Tensor)> = Vec::new();
+    layer.visit_params(&mut |p| analytic.push((p.name.clone(), p.grad.clone())));
+
+    for (pi, (pname, pgrad)) in analytic.iter().enumerate() {
+        let n_p = pgrad.numel();
+        for probe in 0..PROBES.min(n_p) {
+            let idx = if n_p <= PROBES {
+                probe
+            } else {
+                rng.below(n_p)
+            };
+            let mut orig = 0.0;
+            let mut k = 0;
+            layer.visit_params(&mut |p| {
+                if k == pi {
+                    orig = p.value.as_slice()[idx];
+                    p.value.as_mut_slice()[idx] = orig + EPS;
+                }
+                k += 1;
+            });
+            let lp = probe_loss(layer.as_mut(), &x, &r);
+            k = 0;
+            layer.visit_params(&mut |p| {
+                if k == pi {
+                    p.value.as_mut_slice()[idx] = orig - EPS;
+                }
+                k += 1;
+            });
+            let lm = probe_loss(layer.as_mut(), &x, &r);
+            k = 0;
+            layer.visit_params(&mut |p| {
+                if k == pi {
+                    p.value.as_mut_slice()[idx] = orig;
+                }
+                k += 1;
+            });
+            let num = (lp - lm) / (2.0 * EPS);
+            let ana = pgrad.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < TOL * (1.0 + ana.abs()),
+                "param `{pname}` grad mismatch at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use mtsr_tensor::Result;
+
+    /// y = w ⊙ x (elementwise), so dL/dw = r ⊙ x and dL/dx = r ⊙ w.
+    struct Scale {
+        w: Param,
+        cached_x: Option<Tensor>,
+    }
+    impl Layer for Scale {
+        fn forward(&mut self, x: &Tensor, _t: bool) -> Result<Tensor> {
+            self.cached_x = Some(x.clone());
+            self.w.value.mul(x)
+        }
+        fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            let x = self.cached_x.as_ref().unwrap();
+            self.w.grad.add_assign(&g.mul(x)?)?;
+            g.mul(&self.w.value)
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+        fn name(&self) -> &'static str {
+            "Scale"
+        }
+    }
+
+    #[test]
+    fn accepts_correct_layer() {
+        let mut rng = Rng::seed_from(1);
+        let layer = Scale {
+            w: Param::new("w", Tensor::rand_normal([6], 0.0, 1.0, &mut rng)),
+            cached_x: None,
+        };
+        check_layer_gradients(Box::new(layer), &[6], 2);
+    }
+
+    /// Deliberately wrong backward (forgets the factor x).
+    struct BrokenScale {
+        w: Param,
+    }
+    impl Layer for BrokenScale {
+        fn forward(&mut self, x: &Tensor, _t: bool) -> Result<Tensor> {
+            self.w.value.mul(x)
+        }
+        fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            self.w.grad.add_assign(g)?; // wrong: missing ⊙ x
+            Ok(g.clone())
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+        fn name(&self) -> &'static str {
+            "BrokenScale"
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grad mismatch")]
+    fn rejects_broken_layer() {
+        let mut rng = Rng::seed_from(3);
+        let layer = BrokenScale {
+            w: Param::new("w", Tensor::rand_normal([6], 0.0, 2.0, &mut rng)),
+        };
+        check_layer_gradients(Box::new(layer), &[6], 4);
+    }
+}

@@ -1,0 +1,79 @@
+//! Weight initialisation schemes.
+//!
+//! Convolutions feeding LeakyReLU activations use He (Kaiming) normal
+//! initialisation — the standard choice for ResNet-family models like
+//! ZipNet \[16\]; the sigmoid-terminated dense head of the discriminator
+//! uses Xavier/Glorot.
+
+use mtsr_tensor::{Rng, Shape, Tensor};
+
+/// He-normal: `N(0, √(2 / fan_in))`, with the LeakyReLU gain correction
+/// `√(2 / (1 + α²))` folded in.
+pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, leaky_alpha: f32, rng: &mut Rng) -> Tensor {
+    let gain = (2.0 / (1.0 + leaky_alpha * leaky_alpha)).sqrt();
+    let std = gain / (fan_in as f32).sqrt();
+    Tensor::rand_normal(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Fan-in of a conv kernel `[Co, Ci, k...]`: `Ci · Πk`.
+pub fn conv_fan_in(w_dims: &[usize]) -> usize {
+    w_dims[1..].iter().product()
+}
+
+/// Fan-out of a conv kernel `[Co, Ci, k...]`: `Co · Πk`.
+pub fn conv_fan_out(w_dims: &[usize]) -> usize {
+    w_dims[0] * w_dims[2..].iter().product::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = Rng::seed_from(1);
+        let w_small = he_normal([64, 64], 16, 0.0, &mut rng);
+        let w_big = he_normal([64, 64], 1024, 0.0, &mut rng);
+        assert!(w_small.std() > 3.0 * w_big.std());
+        // fan_in=16, relu gain: std ≈ sqrt(2/16) ≈ 0.3536
+        assert!((w_small.std() - 0.3536).abs() < 0.02);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng::seed_from(2);
+        let w = xavier_uniform([100, 100], 50, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.max() <= bound && w.min() >= -bound);
+        assert!(w.max() > 0.5 * bound); // actually fills the range
+    }
+
+    #[test]
+    fn fan_helpers() {
+        // [Co=8, Ci=4, 3, 3]
+        assert_eq!(conv_fan_in(&[8, 4, 3, 3]), 36);
+        assert_eq!(conv_fan_out(&[8, 4, 3, 3]), 72);
+        // 3D kernel [Co, Ci, kd, kh, kw]
+        assert_eq!(conv_fan_in(&[8, 4, 3, 3, 3]), 108);
+    }
+
+    #[test]
+    fn leaky_gain_increases_std() {
+        let mut rng = Rng::seed_from(3);
+        let relu = he_normal([32, 32], 64, 0.0, &mut rng);
+        let mut rng = Rng::seed_from(3);
+        let leaky = he_normal([32, 32], 64, 0.9, &mut rng);
+        assert!(leaky.std() < relu.std()); // gain shrinks as α→1
+    }
+}

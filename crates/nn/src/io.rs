@@ -1,0 +1,163 @@
+//! Model checkpointing: save/load every parameter and buffer of a layer
+//! tree by name.
+
+use crate::layer::Layer;
+use bytes::Bytes;
+use mtsr_tensor::serialize::{read_named_tensors, write_named_tensors};
+use mtsr_tensor::{Result, Tensor, TensorError};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Serialises all parameters and buffers of `layer` into checkpoint bytes.
+pub fn to_bytes(layer: &mut dyn Layer) -> Bytes {
+    let mut pairs: Vec<(String, Tensor)> = Vec::new();
+    layer.visit_params(&mut |p| pairs.push((p.name.clone(), p.value.clone())));
+    layer.visit_buffers(&mut |p| pairs.push((p.name.clone(), p.value.clone())));
+    write_named_tensors(&pairs)
+}
+
+/// Restores parameters and buffers from checkpoint bytes, matching by
+/// name. Every parameter of `layer` must be present with the right shape;
+/// unknown names in the checkpoint are rejected (they indicate an
+/// architecture mismatch).
+pub fn from_bytes(layer: &mut dyn Layer, bytes: Bytes) -> Result<()> {
+    let mut by_name: HashMap<String, Tensor> = read_named_tensors(bytes)?.into_iter().collect();
+    let mut err: Option<TensorError> = None;
+    let mut restore = |p: &mut crate::param::Param| {
+        if err.is_some() {
+            return;
+        }
+        match by_name.remove(&p.name) {
+            Some(t) if t.shape() == p.value.shape() => p.value = t,
+            Some(t) => {
+                err = Some(TensorError::Serde {
+                    reason: format!(
+                        "shape mismatch for `{}`: checkpoint {} vs model {}",
+                        p.name,
+                        t.shape(),
+                        p.value.shape()
+                    ),
+                });
+            }
+            None => {
+                err = Some(TensorError::Serde {
+                    reason: format!("checkpoint is missing `{}`", p.name),
+                });
+            }
+        }
+    };
+    layer.visit_params(&mut restore);
+    layer.visit_buffers(&mut restore);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if let Some(name) = by_name.keys().next() {
+        return Err(TensorError::Serde {
+            reason: format!("checkpoint contains unknown tensor `{name}`"),
+        });
+    }
+    Ok(())
+}
+
+/// Saves a checkpoint to disk.
+pub fn save(layer: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = to_bytes(layer);
+    std::fs::write(path.as_ref(), &bytes).map_err(|e| TensorError::Serde {
+        reason: format!("write {}: {e}", path.as_ref().display()),
+    })
+}
+
+/// Loads a checkpoint from disk into an already-constructed model.
+pub fn load(layer: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let data = std::fs::read(path.as_ref()).map_err(|e| TensorError::Serde {
+        reason: format!("read {}: {e}", path.as_ref().display()),
+    })?;
+    from_bytes(layer, Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Sequential;
+    use crate::layers::{BatchNorm, Conv2d, LeakyReLU};
+    use mtsr_tensor::conv::Conv2dSpec;
+    use mtsr_tensor::{Rng, Tensor};
+
+    fn tiny_net(seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from(seed);
+        Sequential::new()
+            .push(Conv2d::new("c1", 1, 4, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(BatchNorm::new("bn1", 4))
+            .push(LeakyReLU::default())
+            .push(Conv2d::new("c2", 4, 1, (3, 3), Conv2dSpec::same(3), &mut rng))
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs_exactly() {
+        let mut rng = Rng::seed_from(9);
+        let x = Tensor::rand_normal([2, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let mut net = tiny_net(1);
+        // Run a few training-mode passes so running stats are non-trivial.
+        for _ in 0..3 {
+            net.forward(&x, true).unwrap();
+        }
+        let y_ref = net.forward(&x, false).unwrap();
+        let bytes = to_bytes(&mut net);
+
+        let mut net2 = tiny_net(2); // different init
+        from_bytes(&mut net2, bytes).unwrap();
+        let y2 = net2.forward(&x, false).unwrap();
+        assert_eq!(y_ref, y2);
+    }
+
+    #[test]
+    fn load_rejects_architecture_mismatch() {
+        let mut net = tiny_net(1);
+        let bytes = to_bytes(&mut net);
+        // A net with different channel width must be rejected.
+        let mut rng = Rng::seed_from(3);
+        let mut other = Sequential::new().push(Conv2d::new(
+            "c1",
+            1,
+            8,
+            (3, 3),
+            Conv2dSpec::same(3),
+            &mut rng,
+        ));
+        assert!(from_bytes(&mut other, bytes.clone()).is_err());
+        // A net with extra params not in the checkpoint is also rejected.
+        let mut rng = Rng::seed_from(4);
+        let mut extra = Sequential::new().push(Conv2d::new(
+            "cX",
+            1,
+            4,
+            (3, 3),
+            Conv2dSpec::same(3),
+            &mut rng,
+        ));
+        assert!(from_bytes(&mut extra, bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mtsr_nn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut net = tiny_net(5);
+        save(&mut net, &path).unwrap();
+        let mut net2 = tiny_net(6);
+        load(&mut net2, &path).unwrap();
+        let x = Tensor::ones([1, 1, 5, 5]);
+        assert_eq!(
+            net.forward(&x, false).unwrap(),
+            net2.forward(&x, false).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let mut net = tiny_net(7);
+        assert!(load(&mut net, "/nonexistent/path/ckpt.bin").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! The [`Layer`] abstraction and the [`Sequential`] container.
+
+use crate::param::Param;
+use mtsr_tensor::{Result, Tensor};
+
+/// A differentiable computation stage with explicit backpropagation.
+///
+/// Contract:
+/// * `forward` caches whatever `backward` will need (inputs, masks,
+///   batch statistics). `train` distinguishes training from inference
+///   behaviour (batch-norm uses batch vs running statistics).
+/// * `backward` consumes the gradient w.r.t. the layer *output*, must be
+///   called after a matching `forward`, **accumulates** gradients into the
+///   layer's [`Param`]s and returns the gradient w.r.t. the layer *input*.
+/// * `visit_params` exposes every trainable parameter to optimizers and
+///   checkpointing; layers without parameters simply do nothing.
+pub trait Layer: Send {
+    /// Computes the layer output for `x`.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients, and
+    /// returns the gradient w.r.t. the input of the last `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter (mutably).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits non-trainable buffers (e.g. batch-norm running statistics)
+    /// that must survive checkpointing. Default: none.
+    fn visit_buffers(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Human-readable layer type name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Extension helpers available on every `Layer` (and on containers).
+pub trait LayerExt: Layer {
+    /// Zeroes all accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Snapshot of `(name, value)` pairs for checkpointing.
+    fn named_params(&mut self) -> Vec<(String, Tensor)> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push((p.name.clone(), p.value.clone())));
+        out
+    }
+}
+
+impl<L: Layer + ?Sized> LayerExt for L {}
+
+/// A chain of layers executed in order; `backward` traverses in reverse.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles its input; backward therefore doubles the gradient.
+    struct Doubler;
+    impl Layer for Doubler {
+        fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+            Ok(x.scale(2.0))
+        }
+        fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            Ok(g.scale(2.0))
+        }
+        fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+        fn name(&self) -> &'static str {
+            "Doubler"
+        }
+    }
+
+    #[test]
+    fn sequential_chains_forward_and_backward() {
+        let mut net = Sequential::new().push(Doubler).push(Doubler);
+        let x = Tensor::ones([3]);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[4.0, 4.0, 4.0]);
+        let g = net.backward(&Tensor::ones([3])).unwrap();
+        assert_eq!(g.as_slice(), &[4.0, 4.0, 4.0]);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::arange(4);
+        assert_eq!(net.forward(&x, false).unwrap(), x);
+        assert_eq!(net.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn layer_ext_counts_params() {
+        let mut net = Sequential::new().push(Doubler);
+        assert_eq!(net.num_params(), 0);
+        assert!(net.named_params().is_empty());
+    }
+}

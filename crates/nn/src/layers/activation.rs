@@ -1,0 +1,162 @@
+//! Activation layers.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Leaky rectified linear unit (paper Eq. 3):
+/// `LReLU(x) = x` for `x > 0`, `αx` otherwise.
+pub struct LeakyReLU {
+    alpha: f32,
+    cached_x: Option<Tensor>,
+}
+
+impl LeakyReLU {
+    /// Creates the activation with slope `alpha` (paper suggests 0.1).
+    pub fn new(alpha: f32) -> Self {
+        LeakyReLU {
+            alpha,
+            cached_x: None,
+        }
+    }
+}
+
+impl Default for LeakyReLU {
+    /// The paper's "small positive constant (e.g. 0.1)".
+    fn default() -> Self {
+        LeakyReLU::new(0.1)
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        self.cached_x = Some(x.clone());
+        let a = self.alpha;
+        Ok(x.map(|v| if v > 0.0 { v } else { a * v }))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self.cached_x.as_ref().ok_or(TensorError::InvalidShape {
+            op: "LeakyReLU",
+            reason: "backward called before forward".into(),
+        })?;
+        let a = self.alpha;
+        grad_out.zip(x, "leaky_relu_backward", |g, xv| {
+            if xv > 0.0 {
+                g
+            } else {
+                a * g
+            }
+        })
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "LeakyReLU"
+    }
+}
+
+/// Logistic sigmoid `σ(x) = 1/(1+e^{−x})`.
+///
+/// The discriminator's probability head. For *training* the discriminator
+/// prefer keeping the network at logits and using
+/// [`crate::loss::bce_with_logits`], which is numerically stabler; this
+/// layer exists for inference-time probability output.
+pub struct Sigmoid {
+    cached_y: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Sigmoid { cached_y: None }
+    }
+}
+
+impl Default for Sigmoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable scalar sigmoid used by both the layer and the loss module.
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let y = x.map(sigmoid);
+        self.cached_y = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self.cached_y.as_ref().ok_or(TensorError::InvalidShape {
+            op: "Sigmoid",
+            reason: "backward called before forward".into(),
+        })?;
+        grad_out.zip(y, "sigmoid_backward", |g, yv| g * yv * (1.0 - yv))
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_relu_values() {
+        let mut l = LeakyReLU::new(0.1);
+        let x = Tensor::from_vec([4], vec![-2.0, -0.5, 0.0, 3.0]).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[-0.2, -0.05, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_gradient() {
+        let mut l = LeakyReLU::new(0.1);
+        let x = Tensor::from_vec([3], vec![-1.0, 2.0, -3.0]).unwrap();
+        l.forward(&x, true).unwrap();
+        let g = l.backward(&Tensor::ones([3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.1, 1.0, 0.1]);
+    }
+
+    #[test]
+    fn sigmoid_values_and_range() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec([3], vec![0.0, 100.0, -100.0]).unwrap();
+        let y = s.forward(&x, true).unwrap();
+        assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 1.0).abs() < 1e-6);
+        assert!(y.as_slice()[2].abs() < 1e-6);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn sigmoid_gradient_peak_at_zero() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec([2], vec![0.0, 4.0]).unwrap();
+        s.forward(&x, true).unwrap();
+        let g = s.backward(&Tensor::ones([2])).unwrap();
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!(g.as_slice()[1] < 0.25);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(LeakyReLU::default().backward(&Tensor::ones([1])).is_err());
+        assert!(Sigmoid::new().backward(&Tensor::ones([1])).is_err());
+    }
+}

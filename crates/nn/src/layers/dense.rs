@@ -1,0 +1,118 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_uniform;
+use crate::layer::Layer;
+use crate::param::Param;
+use mtsr_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+
+/// Dense (fully-connected) layer: `y = x·Wᵀ + b`, `x: [N, F_in]`,
+/// `W: [F_out, F_in]`, `b: [F_out]`.
+///
+/// Used as the decision head of the discriminator after global pooling.
+pub struct Dense {
+    w: Param,
+    b: Param,
+    cached_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Builds the layer with Xavier-uniform weights.
+    pub fn new(name: &str, f_in: usize, f_out: usize, rng: &mut Rng) -> Self {
+        let w = xavier_uniform([f_out, f_in], f_in, f_out, rng);
+        Dense {
+            w: Param::new(format!("{name}.weight"), w),
+            b: Param::new(format!("{name}.bias"), Tensor::zeros([f_out])),
+            cached_x: None,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        if x.dims().len() != 2 || x.dims()[1] != self.w.value.dims()[1] {
+            return Err(TensorError::InvalidShape {
+                op: "Dense",
+                reason: format!(
+                    "expected [N, {}], got {}",
+                    self.w.value.dims()[1],
+                    x.shape()
+                ),
+            });
+        }
+        self.cached_x = Some(x.clone());
+        let y = matmul_nt(x, &self.w.value)?; // [N, F_out]
+        y.apply_per_channel(&self.b.value, |v, b| v + b)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self.cached_x.as_ref().ok_or(TensorError::InvalidShape {
+            op: "Dense",
+            reason: "backward called before forward".into(),
+        })?;
+        // db = Σ_n g;  dW = gᵀ·x;  dx = g·W
+        self.b.grad.add_assign(&grad_out.sum_per_channel()?)?;
+        let dw = matmul_tn(grad_out, x)?;
+        self.w.grad.add_assign(&dw)?;
+        matmul(grad_out, &self.w.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_layer_gradients;
+    use crate::layer::LayerExt;
+
+    #[test]
+    fn forward_shape_and_param_count() {
+        let mut rng = Rng::seed_from(1);
+        let mut d = Dense::new("fc", 8, 3, &mut rng);
+        let x = Tensor::rand_normal([5, 8], 0.0, 1.0, &mut rng);
+        let y = d.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[5, 3]);
+        assert_eq!(d.num_params(), 8 * 3 + 3);
+    }
+
+    #[test]
+    fn known_linear_map() {
+        let mut rng = Rng::seed_from(2);
+        let mut d = Dense::new("fc", 2, 1, &mut rng);
+        // Overwrite weights with a known map: y = 2x0 - x1 + 0.5
+        d.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                p.value = Tensor::from_vec([1, 2], vec![2.0, -1.0]).unwrap();
+            } else {
+                p.value = Tensor::from_vec([1], vec![0.5]).unwrap();
+            }
+        });
+        let x = Tensor::from_vec([1, 2], vec![3.0, 4.0]).unwrap();
+        let y = d.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = Rng::seed_from(3);
+        let d = Dense::new("fc", 6, 4, &mut rng);
+        check_layer_gradients(Box::new(d), &[3, 6], 9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut rng = Rng::seed_from(4);
+        let mut d = Dense::new("fc", 4, 2, &mut rng);
+        assert!(d.forward(&Tensor::zeros([2, 5]), true).is_err());
+        assert!(d.forward(&Tensor::zeros([4]), true).is_err());
+        assert!(d.backward(&Tensor::zeros([2, 2])).is_err());
+    }
+}

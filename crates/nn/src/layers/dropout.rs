@@ -1,0 +1,136 @@
+//! Inverted dropout.
+//!
+//! Not used by the paper's architectures (batch-norm does the heavy
+//! regularisation lifting there), but a standard tool when training the
+//! SRCNN baseline or ZipNet variants on small traffic datasets where
+//! over-fitting is the dominant failure mode (§4 discusses exactly that
+//! risk before introducing the cropping augmentation).
+
+use crate::layer::Layer;
+use crate::param::Param;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use std::cell::RefCell;
+
+/// Inverted dropout: in training, zeroes each activation with probability
+/// `p` and scales survivors by `1/(1−p)` so the expected activation is
+/// unchanged; in inference it is the identity.
+pub struct Dropout {
+    p: f32,
+    /// Layer-owned RNG so the mask sequence is deterministic per layer
+    /// (forward must mutate it, hence the cell).
+    rng: RefCell<Rng>,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates the layer with drop probability `p ∈ [0, 1)`, seeded
+    /// deterministically.
+    pub fn new(p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(TensorError::InvalidShape {
+                op: "Dropout",
+                reason: format!("drop probability must be in [0, 1), got {p}"),
+            });
+        }
+        Ok(Dropout {
+            p,
+            rng: RefCell::new(Rng::seed_from(seed)),
+            mask: None,
+        })
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            self.mask = None; // identity path
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.borrow_mut();
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.next_f32() < keep { scale } else { 0.0 })
+            .collect();
+        drop(rng);
+        let mask = Tensor::from_vec(x.shape().clone(), mask_data)?;
+        let y = x.mul(&mask)?;
+        self.mask = Some(mask);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.mask {
+            None => Ok(grad_out.clone()), // identity (eval or p = 0)
+            Some(mask) => grad_out.mul(mask),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1).unwrap();
+        let x = Tensor::arange(16);
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+        assert_eq!(d.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2).unwrap();
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x, true).unwrap();
+        // Inverted scaling keeps the mean ≈ 1.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly 30% of activations dropped.
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped {frac}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut d = Dropout::new(0.5, 3).unwrap();
+        let x = Tensor::ones([64]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones([64])).unwrap();
+        // Gradient flows exactly where activations survived.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv == &0.0, gv == &0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 4).unwrap();
+        let x = Tensor::arange(8);
+        assert_eq!(d.forward(&x, true).unwrap(), x);
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Dropout::new(1.0, 5).is_err());
+        assert!(Dropout::new(-0.1, 5).is_err());
+        assert!(Dropout::new(0.99, 5).is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = Dropout::new(0.5, seed).unwrap();
+            d.forward(&Tensor::ones([32]), true).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

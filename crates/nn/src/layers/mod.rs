@@ -1,0 +1,18 @@
+//! Concrete layers: convolutions (2D/3D, plain and transposed),
+//! batch normalisation, activations, dense, pooling and reshaping.
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod norm;
+mod pool;
+mod reshape;
+
+pub use activation::{LeakyReLU, Sigmoid};
+pub use conv::{Conv2d, Conv3d, ConvTranspose2d, ConvTranspose3d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use norm::BatchNorm;
+pub use pool::GlobalAvgPool;
+pub use reshape::Flatten;

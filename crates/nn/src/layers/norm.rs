@@ -1,0 +1,259 @@
+//! Batch normalisation \[20\], over the channel axis of `[N, C, ...]`
+//! activations (2D and 3D feature maps alike).
+
+use crate::layer::Layer;
+use crate::param::Param;
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Batch normalisation with learnable affine (γ, β) and running statistics
+/// for inference.
+///
+/// Training mode normalises with batch statistics and updates the running
+/// mean/variance with exponential momentum; inference mode uses the
+/// running statistics (and backward through inference mode is supported —
+/// the Fig. 15 saliency probe backpropagates through a frozen net).
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    /// Running mean (buffer, not trained).
+    running_mean: Param,
+    /// Running variance (buffer, not trained).
+    running_var: Param,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    /// Normalised activations x̂.
+    x_hat: Tensor,
+    /// Per-channel 1/√(σ²+ε) used in the forward pass.
+    inv_std: Tensor,
+    /// Whether batch statistics (training) were used.
+    used_batch_stats: bool,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer over `channels` feature maps.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones([channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros([channels])),
+            running_mean: Param::new(format!("{name}.running_mean"), Tensor::zeros([channels])),
+            running_var: Param::new(format!("{name}.running_var"), Tensor::ones([channels])),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Overrides the running-statistics momentum (default 0.1).
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        if x.dims().len() < 2 || x.dims()[1] != self.gamma.value.dims()[0] {
+            return Err(TensorError::InvalidShape {
+                op: "BatchNorm",
+                reason: format!(
+                    "expected [N, {}, ...], got {}",
+                    self.gamma.value.dims()[0],
+                    x.shape()
+                ),
+            });
+        }
+        let (mean, var) = if train {
+            let m = x.mean_per_channel()?;
+            let v = x.var_per_channel(&m)?;
+            // running = (1 − momentum)·running + momentum·batch
+            let mom = self.momentum;
+            self.running_mean.value = self
+                .running_mean
+                .value
+                .scale(1.0 - mom)
+                .add(&m.scale(mom))?;
+            self.running_var.value = self
+                .running_var
+                .value
+                .scale(1.0 - mom)
+                .add(&v.scale(mom))?;
+            (m, v)
+        } else {
+            (
+                self.running_mean.value.clone(),
+                self.running_var.value.clone(),
+            )
+        };
+        let eps = self.eps;
+        let inv_std = var.map(|v| 1.0 / (v + eps).sqrt());
+        let x_hat = x
+            .apply_per_channel(&mean, |v, mu| v - mu)?
+            .apply_per_channel(&inv_std, |v, s| v * s)?;
+        let y = x_hat
+            .apply_per_channel(&self.gamma.value, |v, g| v * g)?
+            .apply_per_channel(&self.beta.value, |v, b| v + b)?;
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            used_batch_stats: train,
+        });
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(TensorError::InvalidShape {
+            op: "BatchNorm",
+            reason: "backward called before forward".into(),
+        })?;
+        grad_out
+            .shape()
+            .check_same(cache.x_hat.shape(), "BatchNorm.backward")?;
+
+        // Parameter gradients.
+        let dgamma = grad_out.mul(&cache.x_hat)?.sum_per_channel()?;
+        let dbeta = grad_out.sum_per_channel()?;
+        self.gamma.grad.add_assign(&dgamma)?;
+        self.beta.grad.add_assign(&dbeta)?;
+
+        // dx̂ = g · γ
+        let dx_hat = grad_out.apply_per_channel(&self.gamma.value, |g, ga| g * ga)?;
+
+        if !cache.used_batch_stats {
+            // Inference statistics are constants w.r.t. x:
+            // dx = dx̂ / √(σ²_run + ε).
+            return dx_hat.apply_per_channel(&cache.inv_std, |g, s| g * s);
+        }
+
+        // Batch statistics: the mean and variance depend on x, giving the
+        // classic three-term formula
+        //   dx = inv_std · (dx̂ − mean(dx̂) − x̂ · mean(dx̂ ⊙ x̂))
+        // with means taken per channel over N·spatial.
+        let dims = grad_out.dims();
+        let reduce_n = (dims[0] * dims[2..].iter().product::<usize>().max(1)) as f32;
+        let mean_dxhat = dx_hat.sum_per_channel()?.scale(1.0 / reduce_n);
+        let mean_dxhat_xhat = dx_hat
+            .mul(&cache.x_hat)?
+            .sum_per_channel()?
+            .scale(1.0 / reduce_n);
+        let centered = dx_hat.apply_per_channel(&mean_dxhat, |g, m| g - m)?;
+        let correction = cache
+            .x_hat
+            .apply_per_channel(&mean_dxhat_xhat, |xh, m| xh * m)?;
+        centered
+            .sub(&correction)?
+            .apply_per_channel(&cache.inv_std, |g, s| g * s)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    /// Running statistics must survive checkpointing so inference after
+    /// load matches inference before save.
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    #[test]
+    fn training_forward_normalises_per_channel() {
+        let mut rng = Rng::seed_from(1);
+        let mut bn = BatchNorm::new("bn", 3);
+        let x = Tensor::rand_normal([4, 3, 5, 5], 7.0, 3.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        let m = y.mean_per_channel().unwrap();
+        let v = y.var_per_channel(&m).unwrap();
+        for c in 0..3 {
+            assert!(m.as_slice()[c].abs() < 1e-4, "mean ch{c}");
+            assert!((v.as_slice()[c] - 1.0).abs() < 1e-3, "var ch{c}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_data_moments() {
+        let mut rng = Rng::seed_from(2);
+        let mut bn = BatchNorm::new("bn", 2).with_momentum(0.5);
+        for _ in 0..50 {
+            let x = Tensor::rand_normal([8, 2, 4, 4], 5.0, 2.0, &mut rng);
+            bn.forward(&x, true).unwrap();
+        }
+        let mut rm = None;
+        bn.visit_buffers(&mut |p| {
+            if p.name.ends_with("running_mean") {
+                rm = Some(p.value.clone());
+            }
+        });
+        let rm = rm.unwrap();
+        for c in 0..2 {
+            assert!((rm.as_slice()[c] - 5.0).abs() < 0.3, "running mean ch{c}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm::new("bn", 1);
+        // Without any training step, running stats are (0, 1): eval output
+        // equals input (γ=1, β=0, ε tiny).
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = bn.forward(&x, false).unwrap();
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        // Full-layer gradient check including the batch-stat coupling.
+        crate::grad_check::check_layer_gradients(
+            Box::new(BatchNorm::new("bn", 2)),
+            &[3, 2, 4, 4],
+            7,
+        );
+    }
+
+    #[test]
+    fn inference_backward_is_plain_scaling() {
+        let mut bn = BatchNorm::new("bn", 1);
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![3.0, -1.0]).unwrap();
+        bn.forward(&x, false).unwrap();
+        let g = bn.backward(&Tensor::ones([1, 1, 1, 2])).unwrap();
+        // running var = 1, γ = 1 → dx ≈ g.
+        for v in g.as_slice() {
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let mut bn = BatchNorm::new("bn", 4);
+        assert!(bn.forward(&Tensor::zeros([1, 3, 2, 2]), true).is_err());
+        assert!(bn.backward(&Tensor::zeros([1, 4, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn works_on_3d_feature_maps() {
+        let mut rng = Rng::seed_from(3);
+        let mut bn = BatchNorm::new("bn", 2);
+        let x = Tensor::rand_normal([2, 2, 3, 4, 4], 1.0, 2.0, &mut rng);
+        let y = bn.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        let m = y.mean_per_channel().unwrap();
+        assert!(m.as_slice().iter().all(|v| v.abs() < 1e-4));
+    }
+}

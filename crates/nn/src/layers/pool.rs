@@ -1,0 +1,128 @@
+//! Pooling layers.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Global average pooling: `[N, C, ...spatial] → [N, C]`.
+///
+/// Bridges the discriminator's conv stack to its dense decision head
+/// regardless of the MTSR instance's spatial size.
+pub struct GlobalAvgPool {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_dims: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let dims = x.dims();
+        if dims.len() < 3 {
+            return Err(TensorError::InvalidShape {
+                op: "GlobalAvgPool",
+                reason: format!("expected [N, C, ...spatial], got {}", x.shape()),
+            });
+        }
+        let (n, c) = (dims[0], dims[1]);
+        let spatial: usize = dims[2..].iter().product();
+        let mut out = Tensor::zeros([n, c]);
+        let xs = x.as_slice();
+        let os = out.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * spatial;
+                let s: f64 = xs[base..base + spatial].iter().map(|&v| v as f64).sum();
+                os[ni * c + ci] = (s / spatial as f64) as f32;
+            }
+        }
+        self.cached_dims = Some(dims.to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or(TensorError::InvalidShape {
+            op: "GlobalAvgPool",
+            reason: "backward called before forward".into(),
+        })?;
+        let (n, c) = (dims[0], dims[1]);
+        if grad_out.dims() != [n, c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "GlobalAvgPool.backward",
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![n, c],
+            });
+        }
+        let spatial: usize = dims[2..].iter().product();
+        let scale = 1.0 / spatial as f32;
+        let mut gx = Tensor::zeros(dims.clone());
+        let gs = grad_out.as_slice();
+        let go = gx.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = gs[ni * c + ci] * scale;
+                let base = (ni * c + ci) * spatial;
+                go[base..base + spatial].fill(g);
+            }
+        }
+        Ok(gx)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_each_channel() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
+            .unwrap();
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn backward_spreads_gradient_uniformly() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        p.forward(&x, true).unwrap();
+        let g = p.backward(&Tensor::from_vec([1, 1], vec![8.0]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn works_on_3d_maps() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::ones([2, 3, 2, 4, 4]);
+        let y = p.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut p = GlobalAvgPool::new();
+        assert!(p.forward(&Tensor::zeros([2, 3]), true).is_err());
+        assert!(p.backward(&Tensor::zeros([1, 1])).is_err());
+        p.forward(&Tensor::zeros([1, 2, 2, 2]), true).unwrap();
+        assert!(p.backward(&Tensor::zeros([1, 3])).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Shape-adapting layers.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Flattens `[N, ...] → [N, Π...]`; backward restores the original shape.
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        let dims = x.dims();
+        if dims.is_empty() {
+            return Err(TensorError::InvalidShape {
+                op: "Flatten",
+                reason: "cannot flatten a scalar".into(),
+            });
+        }
+        self.cached_dims = Some(dims.to_vec());
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        x.reshaped([n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self.cached_dims.as_ref().ok_or(TensorError::InvalidShape {
+            op: "Flatten",
+            reason: "backward called before forward".into(),
+        })?;
+        grad_out.reshaped(dims.clone())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::arange(24).reshape([2, 3, 4]).unwrap();
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = f.backward(&y).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4]);
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(Flatten::new().backward(&Tensor::ones([2, 2])).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # mtsr-nn
+//!
+//! A deep-learning framework with explicit layer-wise backpropagation,
+//! built on [`mtsr_tensor`]. This is the training substrate the ZipNet-GAN
+//! reproduction stands on (the paper used TensorFlow on a GPU cluster; see
+//! `DESIGN.md` for the substitution note).
+//!
+//! Design: every [`Layer`] caches whatever it needs during `forward` and
+//! implements `backward(grad_out) → grad_in`, *accumulating* parameter
+//! gradients into its [`Param`]s. This is the classic Caffe model. It
+//! computes exactly the same gradients tape autodiff would for the
+//! feed-forward graphs used here, is testable layer-by-layer against
+//! finite differences ([`grad_check`]), and yields input gradients for
+//! free — which §5.6 of the paper (gradient saliency, Fig. 15) needs.
+//!
+//! Composite objectives such as the paper's Eq. 9 — where the generator's
+//! output gradient is the *sum* of an MSE path and a
+//! backprop-through-the-discriminator path — fall out naturally: run both
+//! backward passes and add the gradients at the junction tensor.
+
+pub mod clip;
+pub mod grad_check;
+pub mod init;
+pub mod io;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+
+pub use layer::{Layer, Sequential};
+pub use layers::{
+    BatchNorm, Conv2d, Conv3d, ConvTranspose2d, ConvTranspose3d, Dense, Flatten, GlobalAvgPool,
+    LeakyReLU, Sigmoid,
+};
+pub use loss::{bce_with_logits, mse_loss};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::Param;
+pub use schedule::LrSchedule;

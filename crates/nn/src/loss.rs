@@ -1,0 +1,209 @@
+//! Loss functions and their gradients.
+//!
+//! Each function returns `(scalar_loss, gradient_wrt_prediction)` so the
+//! caller can feed the gradient straight into `Layer::backward`. The GAN
+//! objectives of the paper (Eqs. 5, 8, 9) are composed from these pieces
+//! in `zipnet-core::gan`.
+
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Numerically stable `softplus(x) = ln(1 + eˣ)`.
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `log σ(x)` computed without forming σ(x): `−softplus(−x)`.
+///
+/// This is the `log D(·)` term of the GAN losses, evaluated on the
+/// discriminator's *logits* so that a confident discriminator cannot
+/// produce `ln 0 = −∞`.
+pub fn log_sigmoid(x: f32) -> f32 {
+    -softplus(-x)
+}
+
+/// Mean-squared-error loss (paper Eq. 10): `L = mean((p − t)²)`.
+///
+/// Returns the loss and `∂L/∂p = 2(p − t)/numel`.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    pred.shape().check_same(target.shape(), "mse_loss")?;
+    let n = pred.numel().max(1) as f32;
+    let loss = pred.mse(target)?;
+    let grad = pred.zip(target, "mse_grad", |p, t| 2.0 * (p - t) / n)?;
+    Ok((loss, grad))
+}
+
+/// Binary cross-entropy on logits:
+/// `L = mean( softplus(z) − t·z )  =  mean( −t·ln σ(z) − (1−t)·ln(1−σ(z)) )`.
+///
+/// Returns the loss and `∂L/∂z = (σ(z) − t)/N`. This is the
+/// discriminator's training objective (paper Eq. 5, negated so both
+/// players *minimise*).
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
+    logits.shape().check_same(targets.shape(), "bce_with_logits")?;
+    if targets.as_slice().iter().any(|&t| !(0.0..=1.0).contains(&t)) {
+        return Err(TensorError::InvalidShape {
+            op: "bce_with_logits",
+            reason: "targets must lie in [0, 1]".into(),
+        });
+    }
+    let n = logits.numel().max(1) as f32;
+    let mut loss = 0.0f64;
+    for (&z, &t) in logits.as_slice().iter().zip(targets.as_slice()) {
+        // max(z,0) − z·t + ln(1+e^{−|z|}) — the standard stable form.
+        let l = z.max(0.0) - z * t + (-z.abs()).exp().ln_1p();
+        loss += l as f64;
+    }
+    let grad = logits.zip(targets, "bce_grad", |z, t| (sigmoid(z) - t) / n)?;
+    Ok(((loss / n as f64) as f32, grad))
+}
+
+/// Per-sample mean-squared errors for a batch `[N, ...]`:
+/// `mse_i = mean_j (p_ij − t_ij)²`. Needed by the paper's Eq. 9, which
+/// couples each sample's MSE with its own discriminator score.
+pub fn per_sample_mse(pred: &Tensor, target: &Tensor) -> Result<Vec<f32>> {
+    pred.shape().check_same(target.shape(), "per_sample_mse")?;
+    let dims = pred.dims();
+    if dims.is_empty() {
+        return Err(TensorError::InvalidShape {
+            op: "per_sample_mse",
+            reason: "expected a batched tensor".into(),
+        });
+    }
+    let n = dims[0];
+    let inner: usize = dims[1..].iter().product::<usize>().max(1);
+    let (p, t) = (pred.as_slice(), target.as_slice());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut s = 0.0f64;
+        for j in 0..inner {
+            let d = (p[i * inner + j] - t[i * inner + j]) as f64;
+            s += d * d;
+        }
+        out.push((s / inner as f64) as f32);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    #[test]
+    fn softplus_stable_and_correct() {
+        assert!((softplus(0.0) - 2.0f32.ln()).abs() < 1e-6);
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) >= 0.0 && softplus(-100.0) < 1e-6);
+        assert!(softplus(f32::MAX).is_finite());
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let naive = (1.0 / (1.0 + (-x).exp())).ln();
+            assert!((log_sigmoid(x) - naive).abs() < 1e-5, "x = {x}");
+        }
+        assert!(log_sigmoid(-80.0).is_finite()); // naive would be -inf via ln(0)
+    }
+
+    #[test]
+    fn mse_loss_and_grad() {
+        let p = Tensor::from_vec([2], vec![1.0, 3.0]).unwrap();
+        let t = Tensor::from_vec([2], vec![0.0, 0.0]).unwrap();
+        let (l, g) = mse_loss(&p, &t).unwrap();
+        assert_eq!(l, 5.0); // (1 + 9)/2
+        assert_eq!(g.as_slice(), &[1.0, 3.0]); // 2(p−t)/2
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let mut rng = Rng::seed_from(1);
+        let mut p = Tensor::rand_normal([6], 0.0, 1.0, &mut rng);
+        let t = Tensor::rand_normal([6], 0.0, 1.0, &mut rng);
+        let (_, g) = mse_loss(&p, &t).unwrap();
+        let eps = 1e-3;
+        for i in 0..6 {
+            let orig = p.as_slice()[i];
+            p.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = mse_loss(&p, &t).unwrap();
+            p.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = mse_loss(&p, &t).unwrap();
+            p.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_known_values() {
+        // z = 0 → σ = 0.5 → loss = ln 2 regardless of target.
+        let z = Tensor::zeros([1]);
+        let t1 = Tensor::ones([1]);
+        let (l, g) = bce_with_logits(&z, &t1).unwrap();
+        assert!((l - 2.0f32.ln()).abs() < 1e-6);
+        assert!((g.as_slice()[0] + 0.5).abs() < 1e-6); // σ(0) − 1 = −0.5
+    }
+
+    #[test]
+    fn bce_extreme_logits_stay_finite() {
+        let z = Tensor::from_vec([2], vec![80.0, -80.0]).unwrap();
+        let t = Tensor::from_vec([2], vec![0.0, 1.0]).unwrap();
+        let (l, g) = bce_with_logits(&z, &t).unwrap();
+        assert!(l.is_finite());
+        assert!(g.is_finite());
+        assert!(l > 39.0); // ≈ mean(80, 80)/2 per element
+    }
+
+    #[test]
+    fn bce_rejects_bad_targets() {
+        let z = Tensor::zeros([1]);
+        let t = Tensor::from_vec([1], vec![1.5]).unwrap();
+        assert!(bce_with_logits(&z, &t).is_err());
+    }
+
+    #[test]
+    fn per_sample_mse_matches_global() {
+        let mut rng = Rng::seed_from(2);
+        let p = Tensor::rand_normal([4, 5], 0.0, 1.0, &mut rng);
+        let t = Tensor::rand_normal([4, 5], 0.0, 1.0, &mut rng);
+        let per = per_sample_mse(&p, &t).unwrap();
+        assert_eq!(per.len(), 4);
+        let mean_per = per.iter().sum::<f32>() / 4.0;
+        assert!((mean_per - p.mse(&t).unwrap()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(3);
+        let mut z = Tensor::rand_normal([5], 0.0, 2.0, &mut rng);
+        let t = Tensor::from_vec([5], vec![1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+        let (_, g) = bce_with_logits(&z, &t).unwrap();
+        let eps = 1e-3;
+        for i in 0..5 {
+            let orig = z.as_slice()[i];
+            z.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = bce_with_logits(&z, &t).unwrap();
+            z.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = bce_with_logits(&z, &t).unwrap();
+            z.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+}

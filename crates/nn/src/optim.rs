@@ -1,0 +1,252 @@
+//! Optimizers: SGD (with momentum) and Adam \[28\].
+//!
+//! Algorithm 1 of the paper uses Adam with learning rate 1e-4; SGD is kept
+//! as the plain comparator and for the ablation of the paper's claim that
+//! "Adam yields faster convergence as compared to traditional SGD".
+
+use crate::layer::Layer;
+use crate::param::Param;
+
+/// An optimizer consumes accumulated gradients and updates values.
+pub trait Optimizer {
+    /// Applies one update step to every parameter of `layer`, then zeroes
+    /// the gradients.
+    fn step(&mut self, layer: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0 }
+    }
+
+    /// SGD with momentum `μ`: `m ← μ·m + g; w ← w − lr·m`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum }
+    }
+
+    fn update(&self, p: &mut Param) {
+        let lr = self.lr;
+        if self.momentum == 0.0 {
+            let grad = p.grad.clone();
+            p.value.axpy(-lr, &grad).expect("shape invariant");
+        } else {
+            let mu = self.momentum;
+            for ((m, &g), w) in p
+                .m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_mut_slice().iter_mut())
+            {
+                // Borrow note: value and m are distinct tensors, the zip is
+                // only over the value slice re-borrowed below.
+                *m = mu * *m + g;
+                *w -= lr * *m;
+            }
+        }
+        p.zero_grad();
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        let this = self.clone();
+        layer.visit_params(&mut |p| this.update(p));
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam \[28\] with bias correction; the paper's optimizer (λ = 1e-4).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// Global step counter (for bias correction).
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Paper configuration: Adam with λ = 1e-4 (§3.4).
+    pub fn paper() -> Self {
+        Adam::new(1e-4)
+    }
+
+    fn update(&self, p: &mut Param, t: u64) {
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let n = p.value.numel();
+        let grad = p.grad.as_slice().to_vec();
+        let m = p.m.as_mut_slice();
+        for i in 0..n {
+            m[i] = b1 * m[i] + (1.0 - b1) * grad[i];
+        }
+        let v = p.v.as_mut_slice();
+        for i in 0..n {
+            v[i] = b2 * v[i] + (1.0 - b2) * grad[i] * grad[i];
+        }
+        let m_snapshot = p.m.as_slice().to_vec();
+        let v_snapshot = p.v.as_slice().to_vec();
+        let w = p.value.as_mut_slice();
+        for i in 0..n {
+            let m_hat = m_snapshot[i] / bc1;
+            let v_hat = v_snapshot[i] / bc2;
+            w[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+        p.zero_grad();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, layer: &mut dyn Layer) {
+        self.t += 1;
+        let t = self.t;
+        let this = self.clone();
+        layer.visit_params(&mut |p| this.update(p, t));
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::param::Param;
+    use mtsr_tensor::{Result, Tensor};
+
+    /// One-parameter quadratic bowl: L(w) = ½‖w‖², dL/dw = w.
+    struct Bowl {
+        p: Param,
+    }
+    impl Bowl {
+        fn new(init: Vec<f32>) -> Self {
+            let n = init.len();
+            Bowl {
+                p: Param::new("w", Tensor::from_vec([n], init).unwrap()),
+            }
+        }
+        fn set_grad_to_value(&mut self) {
+            self.p.grad = self.p.value.clone();
+        }
+        fn norm(&self) -> f32 {
+            self.p.value.sq_norm().sqrt()
+        }
+    }
+    impl Layer for Bowl {
+        fn forward(&mut self, x: &Tensor, _t: bool) -> Result<Tensor> {
+            Ok(x.clone())
+        }
+        fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            Ok(g.clone())
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+        fn name(&self) -> &'static str {
+            "Bowl"
+        }
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut bowl = Bowl::new(vec![10.0, -10.0]);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            bowl.set_grad_to_value();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.norm() < 1e-3, "norm {}", bowl.norm());
+    }
+
+    #[test]
+    fn sgd_momentum_descends() {
+        let mut bowl = Bowl::new(vec![10.0, -10.0]);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..200 {
+            bowl.set_grad_to_value();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.norm() < 1e-2, "norm {}", bowl.norm());
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut bowl = Bowl::new(vec![5.0, -3.0, 1.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            bowl.set_grad_to_value();
+            opt.step(&mut bowl);
+        }
+        assert!(bowl.norm() < 1e-2, "norm {}", bowl.norm());
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the very first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        let mut bowl = Bowl::new(vec![1000.0]);
+        let mut opt = Adam::new(0.01);
+        bowl.set_grad_to_value();
+        opt.step(&mut bowl);
+        let moved = 1000.0 - bowl.p.value.as_slice()[0];
+        assert!((moved - 0.01).abs() < 1e-4, "moved {moved}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut bowl = Bowl::new(vec![1.0]);
+        bowl.set_grad_to_value();
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut bowl);
+        assert_eq!(bowl.p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::paper();
+        assert_eq!(opt.learning_rate(), 1e-4);
+        opt.set_learning_rate(1e-3);
+        assert_eq!(opt.learning_rate(), 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Trainable parameters.
+
+use mtsr_tensor::Tensor;
+
+/// A trainable parameter: value, accumulated gradient, and the two Adam
+/// moment buffers.
+///
+/// Keeping optimizer state inside the parameter (rather than keyed by
+/// pointer identity in the optimizer) makes checkpointing trivial and lets
+/// optimizers stay stateless apart from hyper-parameters and the step
+/// counter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable, checkpoint-stable name (e.g. `"zip3.conv.weight"`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// First-moment buffer (Adam `m`, or SGD momentum).
+    pub m: Tensor,
+    /// Second-moment buffer (Adam `v`).
+    pub v: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient and moments.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let shape = value.shape().clone();
+        Param {
+            name: name.into(),
+            grad: Tensor::zeros(shape.clone()),
+            m: Tensor::zeros(shape.clone()),
+            v: Tensor::zeros(shape),
+            value,
+        }
+    }
+
+    /// Zeroes the accumulated gradient (moments are preserved).
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_state() {
+        let p = Param::new("w", Tensor::ones([2, 3]));
+        assert_eq!(p.name, "w");
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.m.sum(), 0.0);
+        assert_eq!(p.v.sum(), 0.0);
+        assert_eq!(p.numel(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears_only_grad() {
+        let mut p = Param::new("w", Tensor::ones([2]));
+        p.grad = Tensor::ones([2]);
+        p.m = Tensor::ones([2]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.m.sum(), 2.0);
+    }
+}

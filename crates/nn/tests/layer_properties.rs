@@ -1,0 +1,131 @@
+//! Property-based layer tests: every layer passes the finite-difference
+//! gradient check over randomly drawn architectures and input shapes, and
+//! training-mode invariants hold for arbitrary data.
+
+use mtsr_nn::grad_check::check_layer_gradients;
+use mtsr_nn::layer::{Layer, LayerExt};
+use mtsr_nn::layers::{BatchNorm, Conv2d, ConvTranspose2d, Dense, GlobalAvgPool, LeakyReLU};
+use mtsr_nn::Sequential;
+use mtsr_tensor::conv::Conv2dSpec;
+use mtsr_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random conv configurations pass the gradient check.
+    #[test]
+    fn conv2d_random_configs_grad_check(
+        c_in in 1usize..4, c_out in 1usize..4, k in prop::sample::select(vec![1usize, 3]),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let layer = Conv2d::new("c", c_in, c_out, (k, k), Conv2dSpec::same(k), &mut rng);
+        check_layer_gradients(Box::new(layer), &[1, c_in, 5, 5], seed ^ 1);
+    }
+
+    /// Random deconv configurations pass the gradient check.
+    #[test]
+    fn deconv2d_random_configs_grad_check(
+        c_in in 1usize..3, c_out in 1usize..3, stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let layer = ConvTranspose2d::new(
+            "d", c_in, c_out, (stride, stride), Conv2dSpec::new(stride, 0), &mut rng,
+        );
+        check_layer_gradients(Box::new(layer), &[1, c_in, 4, 4], seed ^ 2);
+    }
+
+    /// Random dense configurations pass the gradient check.
+    #[test]
+    fn dense_random_configs_grad_check(
+        f_in in 1usize..8, f_out in 1usize..8, n in 1usize..4, seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let layer = Dense::new("fc", f_in, f_out, &mut rng);
+        check_layer_gradients(Box::new(layer), &[n, f_in], seed ^ 3);
+    }
+
+    /// Batch-norm output is exactly standardised per channel in training
+    /// mode for any input distribution.
+    #[test]
+    fn batchnorm_standardises_any_distribution(
+        mean in -100.0f32..100.0, std in 0.5f32..50.0, seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut bn = BatchNorm::new("bn", 2);
+        let x = Tensor::rand_normal([4, 2, 6, 6], mean, std, &mut rng);
+        let y = bn.forward(&x, true).expect("forward");
+        let m = y.mean_per_channel().expect("mean");
+        let v = y.var_per_channel(&m).expect("var");
+        for c in 0..2 {
+            prop_assert!(m.as_slice()[c].abs() < 1e-3, "mean {}", m.as_slice()[c]);
+            prop_assert!((v.as_slice()[c] - 1.0).abs() < 1e-2, "var {}", v.as_slice()[c]);
+        }
+    }
+
+    /// A full stack (conv → BN → LReLU → pool → dense) backpropagates a
+    /// gradient of the right shape with all-finite values for any input.
+    #[test]
+    fn full_stack_backprop_is_finite(seed in any::<u64>(), scale in 0.1f32..10.0) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Sequential::new()
+            .push(Conv2d::new("c", 1, 3, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(BatchNorm::new("bn", 3))
+            .push(LeakyReLU::new(0.1))
+            .push(GlobalAvgPool::new())
+            .push(Dense::new("fc", 3, 1, &mut rng));
+        let x = Tensor::rand_normal([2, 1, 6, 6], 0.0, scale, &mut rng);
+        let y = net.forward(&x, true).expect("forward");
+        prop_assert_eq!(y.dims(), &[2, 1]);
+        prop_assert!(y.is_finite());
+        let g = net.backward(&Tensor::ones([2, 1])).expect("backward");
+        prop_assert_eq!(g.dims(), x.dims());
+        prop_assert!(g.is_finite());
+        // Parameter gradients all finite too.
+        let mut all_finite = true;
+        net.visit_params(&mut |p| all_finite &= p.grad.is_finite());
+        prop_assert!(all_finite);
+    }
+
+    /// zero_grad really zeroes everything, whatever was accumulated.
+    #[test]
+    fn zero_grad_property(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = Sequential::new()
+            .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(BatchNorm::new("bn", 2));
+        let x = Tensor::rand_normal([1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        net.forward(&x, true).expect("forward");
+        net.backward(&Tensor::ones([1, 2, 4, 4])).expect("backward");
+        let mut nonzero = 0;
+        net.visit_params(&mut |p| nonzero += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count());
+        prop_assert!(nonzero > 0, "backward should have produced gradients");
+        net.zero_grad();
+        let mut remaining = 0;
+        net.visit_params(&mut |p| remaining += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count());
+        prop_assert_eq!(remaining, 0);
+    }
+
+    /// Checkpoint round-trips preserve inference for arbitrary nets.
+    #[test]
+    fn checkpoint_roundtrip_property(seed in any::<u64>(), width in 1usize..5) {
+        let mut rng = Rng::seed_from(seed);
+        let build = |rng: &mut Rng| {
+            Sequential::new()
+                .push(Conv2d::new("c1", 1, width, (3, 3), Conv2dSpec::same(3), rng))
+                .push(BatchNorm::new("bn", width))
+                .push(LeakyReLU::new(0.1))
+                .push(Conv2d::new("c2", width, 1, (3, 3), Conv2dSpec::same(3), rng))
+        };
+        let mut net = build(&mut rng);
+        let x = Tensor::rand_normal([1, 1, 5, 5], 0.0, 1.0, &mut rng);
+        net.forward(&x, true).expect("warm running stats");
+        let y_ref = net.forward(&x, false).expect("reference");
+        let bytes = mtsr_nn::io::to_bytes(&mut net);
+        let mut other = build(&mut Rng::seed_from(seed ^ 0xABCD));
+        mtsr_nn::io::from_bytes(&mut other, bytes).expect("load");
+        prop_assert_eq!(other.forward(&x, false).expect("restored"), y_ref);
+    }
+}

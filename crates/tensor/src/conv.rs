@@ -1,0 +1,803 @@
+//! Convolution primitives: forward, backward-data and backward-weights for
+//! 2D and 3D convolutions, plus transposed convolutions.
+//!
+//! All six transposed-convolution functions are *derived* from the three
+//! plain-convolution primitives through the adjoint identities
+//!
+//! ```text
+//! deconv_fwd(x, W)          =  conv_bwd_data(x, W)
+//! deconv_bwd_data(gy, W)    =  conv_fwd(gy, W)
+//! deconv_bwd_weights(x, gy) =  conv_bwd_weights(input = gy, gout = x)
+//! ```
+//!
+//! so a single adjoint-consistency test of the conv triple covers the
+//! deconvolutions ZipNet's 3D upscaling blocks rely on.
+//!
+//! Layouts (row-major):
+//! * 2D activations `[N, C, H, W]`, conv weights `[Cout, Cin, KH, KW]`,
+//!   transposed-conv weights `[Cin, Cout, KH, KW]` (PyTorch convention);
+//! * 3D activations `[N, C, D, H, W]`, weights gain a leading kernel-depth
+//!   axis after the channel pair.
+
+use crate::error::{Result, TensorError};
+use crate::im2col::{col2im2d, col2im3d, im2col2d, im2col3d, Geom2d, Geom3d};
+use crate::matmul::{sgemm_nt_serial, sgemm_serial, sgemm_tn_serial};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Stride/padding pair for 2D convolutions, `(vertical, horizontal)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// `(sh, sw)` stride.
+    pub stride: (usize, usize),
+    /// `(ph, pw)` symmetric zero-padding.
+    pub pad: (usize, usize),
+}
+
+impl Conv2dSpec {
+    /// Unit-stride convolution with "same" padding for odd kernels.
+    pub fn same(kernel: usize) -> Self {
+        Conv2dSpec {
+            stride: (1, 1),
+            pad: (kernel / 2, kernel / 2),
+        }
+    }
+
+    /// Uniform stride/pad constructor.
+    pub fn new(stride: usize, pad: usize) -> Self {
+        Conv2dSpec {
+            stride: (stride, stride),
+            pad: (pad, pad),
+        }
+    }
+}
+
+/// Stride/padding triple for 3D convolutions, `(temporal, vertical, horizontal)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv3dSpec {
+    /// `(sd, sh, sw)` stride.
+    pub stride: (usize, usize, usize),
+    /// `(pd, ph, pw)` symmetric zero-padding.
+    pub pad: (usize, usize, usize),
+}
+
+impl Conv3dSpec {
+    /// Unit-stride, "same" padding for odd kernels on every axis.
+    pub fn same(kd: usize, k: usize) -> Self {
+        Conv3dSpec {
+            stride: (1, 1, 1),
+            pad: (kd / 2, k / 2, k / 2),
+        }
+    }
+}
+
+fn geom2d(x_dims: &[usize], w_dims: &[usize], spec: &Conv2dSpec) -> Result<Geom2d> {
+    if x_dims.len() != 4 || w_dims.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "conv2d",
+            reason: format!(
+                "expected input [N,C,H,W] and weight [Co,Ci,KH,KW], got {x_dims:?} / {w_dims:?}"
+            ),
+        });
+    }
+    if x_dims[1] != w_dims[1] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d(channels)",
+            lhs: x_dims.to_vec(),
+            rhs: w_dims.to_vec(),
+        });
+    }
+    let g = Geom2d {
+        c: x_dims[1],
+        h: x_dims[2],
+        w: x_dims[3],
+        kh: w_dims[2],
+        kw: w_dims[3],
+        sh: spec.stride.0,
+        sw: spec.stride.1,
+        ph: spec.pad.0,
+        pw: spec.pad.1,
+    };
+    g.validate()?;
+    Ok(g)
+}
+
+/// 2D convolution forward: `[N,Ci,H,W] ⊛ [Co,Ci,KH,KW] → [N,Co,OH,OW]`.
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let g = geom2d(x.dims(), w.dims(), spec)?;
+    let (n, co) = (x.dims()[0], w.dims()[0]);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let in_sz = g.c * g.h * g.w;
+    let out_sz = co * oh * ow;
+    let col_sz = g.col_rows() * g.col_cols();
+    let mut out = Tensor::zeros([n, co, oh, ow]);
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    out.as_mut_slice()
+        .par_chunks_mut(out_sz)
+        .enumerate()
+        .for_each(|(ni, o)| {
+            let mut cols = vec![0.0f32; col_sz];
+            im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+            sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
+        });
+    Ok(out)
+}
+
+/// 2D convolution backward-data: gradient w.r.t. the input.
+///
+/// `input_hw` is the original `(H, W)` (not always recoverable from the
+/// output size when strides don't divide evenly).
+pub fn conv2d_backward_data(
+    gout: &Tensor,
+    w: &Tensor,
+    spec: &Conv2dSpec,
+    input_hw: (usize, usize),
+) -> Result<Tensor> {
+    let (n, co) = (gout.dims()[0], gout.dims()[1]);
+    let ci = w.dims()[1];
+    let g = geom2d(&[n, ci, input_hw.0, input_hw.1], w.dims(), spec)?;
+    if gout.dims() != [n, co, g.out_h(), g.out_w()] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_data",
+            lhs: gout.dims().to_vec(),
+            rhs: vec![n, co, g.out_h(), g.out_w()],
+        });
+    }
+    if w.dims()[0] != co {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_data(channels)",
+            lhs: gout.dims().to_vec(),
+            rhs: w.dims().to_vec(),
+        });
+    }
+    let in_sz = ci * input_hw.0 * input_hw.1;
+    let out_sz = co * g.out_h() * g.out_w();
+    let col_sz = g.col_rows() * g.col_cols();
+    let mut gx = Tensor::zeros([n, ci, input_hw.0, input_hw.1]);
+    let gs = gout.as_slice();
+    let ws = w.as_slice();
+    gx.as_mut_slice()
+        .par_chunks_mut(in_sz)
+        .enumerate()
+        .for_each(|(ni, gxi)| {
+            let mut cols = vec![0.0f32; col_sz];
+            // cols = Wᵀ · gout_n  ([Ci·KH·KW, Co] x [Co, OH·OW])
+            sgemm_tn_serial(
+                ws,
+                &gs[ni * out_sz..(ni + 1) * out_sz],
+                &mut cols,
+                g.col_rows(),
+                co,
+                g.col_cols(),
+                false,
+            );
+            col2im2d(&cols, &g, gxi);
+        });
+    Ok(gx)
+}
+
+/// 2D convolution backward-weights: gradient w.r.t. the kernel, summed over
+/// the batch.
+pub fn conv2d_backward_weights(
+    x: &Tensor,
+    gout: &Tensor,
+    spec: &Conv2dSpec,
+    kernel_hw: (usize, usize),
+) -> Result<Tensor> {
+    let (n, ci) = (x.dims()[0], x.dims()[1]);
+    let co = gout.dims()[1];
+    let w_dims = [co, ci, kernel_hw.0, kernel_hw.1];
+    let g = geom2d(x.dims(), &w_dims, spec)?;
+    if gout.dims() != [n, co, g.out_h(), g.out_w()] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward_weights",
+            lhs: gout.dims().to_vec(),
+            rhs: vec![n, co, g.out_h(), g.out_w()],
+        });
+    }
+    let in_sz = ci * g.h * g.w;
+    let out_sz = co * g.out_h() * g.out_w();
+    let col_sz = g.col_rows() * g.col_cols();
+    let xs = x.as_slice();
+    let gs = gout.as_slice();
+    // Per-sample partial gradients reduced with a tree sum.
+    let wlen = co * g.col_rows();
+    let dw = (0..n)
+        .into_par_iter()
+        .fold(
+            || vec![0.0f32; wlen],
+            |mut acc, ni| {
+                let mut cols = vec![0.0f32; col_sz];
+                im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+                // dW += gout_n · colsᵀ  ([Co, OH·OW] x [OH·OW, Ci·KH·KW])
+                sgemm_nt_serial(
+                    &gs[ni * out_sz..(ni + 1) * out_sz],
+                    &cols,
+                    &mut acc,
+                    co,
+                    g.col_cols(),
+                    g.col_rows(),
+                    true,
+                );
+                acc
+            },
+        )
+        .reduce(
+            || vec![0.0f32; wlen],
+            |mut a, b| {
+                for (av, bv) in a.iter_mut().zip(b) {
+                    *av += bv;
+                }
+                a
+            },
+        );
+    Tensor::from_vec(w_dims.to_vec(), dw)
+}
+
+/// Output spatial size of a transposed 2D convolution:
+/// `(H−1)·s − 2·p + K` per axis.
+pub fn deconv2d_out_hw(
+    in_hw: (usize, usize),
+    kernel: (usize, usize),
+    spec: &Conv2dSpec,
+) -> Result<(usize, usize)> {
+    let oh = (in_hw.0 - 1) * spec.stride.0 + kernel.0;
+    let ow = (in_hw.1 - 1) * spec.stride.1 + kernel.1;
+    if oh < 2 * spec.pad.0 || ow < 2 * spec.pad.1 {
+        return Err(TensorError::InvalidConv {
+            reason: format!("deconv output {oh}x{ow} smaller than padding crop"),
+        });
+    }
+    Ok((oh - 2 * spec.pad.0, ow - 2 * spec.pad.1))
+}
+
+/// Transposed 2D convolution forward:
+/// `[N,Ci,H,W] ⊛ᵀ [Ci,Co,KH,KW] → [N,Co,OH,OW]`.
+pub fn conv_transpose2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let d = x.dims();
+    if d.len() != 4 || w.dims().len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "conv_transpose2d",
+            reason: format!(
+                "expected input [N,Ci,H,W] and weight [Ci,Co,KH,KW], got {:?} / {:?}",
+                d,
+                w.dims()
+            ),
+        });
+    }
+    let (oh, ow) = deconv2d_out_hw((d[2], d[3]), (w.dims()[2], w.dims()[3]), spec)?;
+    // x plays the role of the conv output-gradient; the adjoint conv runs
+    // over the *deconv output* geometry.
+    conv2d_backward_data(x, w, spec, (oh, ow))
+}
+
+/// Transposed 2D convolution backward-data (= plain conv forward of the
+/// output gradient).
+pub fn conv_transpose2d_backward_data(
+    gout: &Tensor,
+    w: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor> {
+    conv2d_forward(gout, w, spec)
+}
+
+/// Transposed 2D convolution backward-weights.
+pub fn conv_transpose2d_backward_weights(
+    x: &Tensor,
+    gout: &Tensor,
+    spec: &Conv2dSpec,
+    kernel_hw: (usize, usize),
+) -> Result<Tensor> {
+    // Roles swap: the deconv *output gradient* is the conv input, the deconv
+    // *input* is the conv output-gradient.
+    conv2d_backward_weights(gout, x, spec, kernel_hw)
+}
+
+fn geom3d(x_dims: &[usize], w_dims: &[usize], spec: &Conv3dSpec) -> Result<Geom3d> {
+    if x_dims.len() != 5 || w_dims.len() != 5 {
+        return Err(TensorError::InvalidShape {
+            op: "conv3d",
+            reason: format!(
+                "expected input [N,C,D,H,W] and weight [Co,Ci,KD,KH,KW], got {x_dims:?} / {w_dims:?}"
+            ),
+        });
+    }
+    if x_dims[1] != w_dims[1] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv3d(channels)",
+            lhs: x_dims.to_vec(),
+            rhs: w_dims.to_vec(),
+        });
+    }
+    let g = Geom3d {
+        c: x_dims[1],
+        d: x_dims[2],
+        h: x_dims[3],
+        w: x_dims[4],
+        kd: w_dims[2],
+        kh: w_dims[3],
+        kw: w_dims[4],
+        sd: spec.stride.0,
+        sh: spec.stride.1,
+        sw: spec.stride.2,
+        pd: spec.pad.0,
+        ph: spec.pad.1,
+        pw: spec.pad.2,
+    };
+    g.validate()?;
+    Ok(g)
+}
+
+/// 3D convolution forward: `[N,Ci,D,H,W] ⊛ [Co,Ci,KD,KH,KW] → [N,Co,OD,OH,OW]`.
+pub fn conv3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Result<Tensor> {
+    let g = geom3d(x.dims(), w.dims(), spec)?;
+    let (n, co) = (x.dims()[0], w.dims()[0]);
+    let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
+    let in_sz = g.c * g.d * g.h * g.w;
+    let out_sz = co * od * oh * ow;
+    let col_sz = g.col_rows() * g.col_cols();
+    let mut out = Tensor::zeros([n, co, od, oh, ow]);
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    out.as_mut_slice()
+        .par_chunks_mut(out_sz)
+        .enumerate()
+        .for_each(|(ni, o)| {
+            let mut cols = vec![0.0f32; col_sz];
+            im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+            sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
+        });
+    Ok(out)
+}
+
+/// 3D convolution backward-data. `input_dhw` is the original `(D, H, W)`.
+pub fn conv3d_backward_data(
+    gout: &Tensor,
+    w: &Tensor,
+    spec: &Conv3dSpec,
+    input_dhw: (usize, usize, usize),
+) -> Result<Tensor> {
+    let (n, co) = (gout.dims()[0], gout.dims()[1]);
+    let ci = w.dims()[1];
+    let g = geom3d(
+        &[n, ci, input_dhw.0, input_dhw.1, input_dhw.2],
+        w.dims(),
+        spec,
+    )?;
+    if gout.dims() != [n, co, g.out_d(), g.out_h(), g.out_w()] || w.dims()[0] != co {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv3d_backward_data",
+            lhs: gout.dims().to_vec(),
+            rhs: vec![n, co, g.out_d(), g.out_h(), g.out_w()],
+        });
+    }
+    let in_sz = ci * g.d * g.h * g.w;
+    let out_sz = co * g.out_d() * g.out_h() * g.out_w();
+    let col_sz = g.col_rows() * g.col_cols();
+    let mut gx = Tensor::zeros([n, ci, input_dhw.0, input_dhw.1, input_dhw.2]);
+    let gs = gout.as_slice();
+    let ws = w.as_slice();
+    gx.as_mut_slice()
+        .par_chunks_mut(in_sz)
+        .enumerate()
+        .for_each(|(ni, gxi)| {
+            let mut cols = vec![0.0f32; col_sz];
+            sgemm_tn_serial(
+                ws,
+                &gs[ni * out_sz..(ni + 1) * out_sz],
+                &mut cols,
+                g.col_rows(),
+                co,
+                g.col_cols(),
+                false,
+            );
+            col2im3d(&cols, &g, gxi);
+        });
+    Ok(gx)
+}
+
+/// 3D convolution backward-weights, summed over the batch.
+pub fn conv3d_backward_weights(
+    x: &Tensor,
+    gout: &Tensor,
+    spec: &Conv3dSpec,
+    kernel_dhw: (usize, usize, usize),
+) -> Result<Tensor> {
+    let (n, ci) = (x.dims()[0], x.dims()[1]);
+    let co = gout.dims()[1];
+    let w_dims = [co, ci, kernel_dhw.0, kernel_dhw.1, kernel_dhw.2];
+    let g = geom3d(x.dims(), &w_dims, spec)?;
+    if gout.dims() != [n, co, g.out_d(), g.out_h(), g.out_w()] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv3d_backward_weights",
+            lhs: gout.dims().to_vec(),
+            rhs: vec![n, co, g.out_d(), g.out_h(), g.out_w()],
+        });
+    }
+    let in_sz = ci * g.d * g.h * g.w;
+    let out_sz = co * g.out_d() * g.out_h() * g.out_w();
+    let col_sz = g.col_rows() * g.col_cols();
+    let xs = x.as_slice();
+    let gs = gout.as_slice();
+    let wlen = co * g.col_rows();
+    let dw = (0..n)
+        .into_par_iter()
+        .fold(
+            || vec![0.0f32; wlen],
+            |mut acc, ni| {
+                let mut cols = vec![0.0f32; col_sz];
+                im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+                sgemm_nt_serial(
+                    &gs[ni * out_sz..(ni + 1) * out_sz],
+                    &cols,
+                    &mut acc,
+                    co,
+                    g.col_cols(),
+                    g.col_rows(),
+                    true,
+                );
+                acc
+            },
+        )
+        .reduce(
+            || vec![0.0f32; wlen],
+            |mut a, b| {
+                for (av, bv) in a.iter_mut().zip(b) {
+                    *av += bv;
+                }
+                a
+            },
+        );
+    Tensor::from_vec(w_dims.to_vec(), dw)
+}
+
+/// Output `(D, H, W)` of a transposed 3D convolution.
+pub fn deconv3d_out_dhw(
+    in_dhw: (usize, usize, usize),
+    kernel: (usize, usize, usize),
+    spec: &Conv3dSpec,
+) -> Result<(usize, usize, usize)> {
+    let od = (in_dhw.0 - 1) * spec.stride.0 + kernel.0;
+    let oh = (in_dhw.1 - 1) * spec.stride.1 + kernel.1;
+    let ow = (in_dhw.2 - 1) * spec.stride.2 + kernel.2;
+    if od < 2 * spec.pad.0 || oh < 2 * spec.pad.1 || ow < 2 * spec.pad.2 {
+        return Err(TensorError::InvalidConv {
+            reason: format!("deconv3d output {od}x{oh}x{ow} smaller than padding crop"),
+        });
+    }
+    Ok((
+        od - 2 * spec.pad.0,
+        oh - 2 * spec.pad.1,
+        ow - 2 * spec.pad.2,
+    ))
+}
+
+/// Transposed 3D convolution forward:
+/// `[N,Ci,D,H,W] ⊛ᵀ [Ci,Co,KD,KH,KW] → [N,Co,OD,OH,OW]`.
+///
+/// This is the upsampling operation of ZipNet's 3D upscaling blocks.
+pub fn conv_transpose3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Result<Tensor> {
+    let d = x.dims();
+    if d.len() != 5 || w.dims().len() != 5 {
+        return Err(TensorError::InvalidShape {
+            op: "conv_transpose3d",
+            reason: format!(
+                "expected input [N,Ci,D,H,W] and weight [Ci,Co,KD,KH,KW], got {:?} / {:?}",
+                d,
+                w.dims()
+            ),
+        });
+    }
+    let out = deconv3d_out_dhw(
+        (d[2], d[3], d[4]),
+        (w.dims()[2], w.dims()[3], w.dims()[4]),
+        spec,
+    )?;
+    conv3d_backward_data(x, w, spec, out)
+}
+
+/// Transposed 3D convolution backward-data.
+pub fn conv_transpose3d_backward_data(
+    gout: &Tensor,
+    w: &Tensor,
+    spec: &Conv3dSpec,
+) -> Result<Tensor> {
+    conv3d_forward(gout, w, spec)
+}
+
+/// Transposed 3D convolution backward-weights.
+pub fn conv_transpose3d_backward_weights(
+    x: &Tensor,
+    gout: &Tensor,
+    spec: &Conv3dSpec,
+    kernel_dhw: (usize, usize, usize),
+) -> Result<Tensor> {
+    conv3d_backward_weights(gout, x, spec, kernel_dhw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Direct 6-loop reference convolution.
+    fn conv2d_naive(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let (n, ci, h, wid) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (co, kh, kw) = (w.dims()[0], w.dims()[2], w.dims()[3]);
+        let (sh, sw) = spec.stride;
+        let (ph, pw) = spec.pad;
+        let oh = (h + 2 * ph - kh) / sh + 1;
+        let ow = (wid + 2 * pw - kw) / sw + 1;
+        let mut out = Tensor::zeros([n, co, oh, ow]);
+        for ni in 0..n {
+            for coi in 0..co {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = 0.0f64;
+                        for cii in 0..ci {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * sh + ky) as isize - ph as isize;
+                                    let ix = (ox * sw + kx) as isize - pw as isize;
+                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= wid as isize {
+                                        continue;
+                                    }
+                                    let xv =
+                                        x.get(&[ni, cii, iy as usize, ix as usize]).unwrap();
+                                    let wv = w.get(&[coi, cii, ky, kx]).unwrap();
+                                    s += xv as f64 * wv as f64;
+                                }
+                            }
+                        }
+                        out.set(&[ni, coi, oy, ox], s as f32).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+        assert_eq!(a.dims(), b.dims(), "{what}: dims");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!((x - y).abs() < tol, "{what}: elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_naive() {
+        let mut rng = Rng::seed_from(1);
+        for &(s, p, k) in &[(1usize, 1usize, 3usize), (2, 1, 3), (1, 0, 1), (2, 0, 2)] {
+            let x = Tensor::rand_normal([2, 3, 8, 9], 0.0, 1.0, &mut rng);
+            let w = Tensor::rand_normal([4, 3, k, k], 0.0, 0.5, &mut rng);
+            let spec = Conv2dSpec::new(s, p);
+            let fast = conv2d_forward(&x, &w, &spec).unwrap();
+            let slow = conv2d_naive(&x, &w, &spec);
+            assert_close(&fast, &slow, 1e-3, &format!("s={s} p={p} k={k}"));
+        }
+    }
+
+    /// Adjoint test: <conv(x), y> == <x, conv_bwd_data(y)> for random x, y.
+    #[test]
+    fn conv2d_backward_data_is_adjoint() {
+        let mut rng = Rng::seed_from(2);
+        let spec = Conv2dSpec::new(2, 1);
+        let x = Tensor::rand_normal([2, 3, 7, 7], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([5, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let y_shape_probe = conv2d_forward(&x, &w, &spec).unwrap();
+        let y = Tensor::rand_normal(y_shape_probe.dims().to_vec(), 0.0, 1.0, &mut rng);
+        let lhs: f64 = conv2d_forward(&x, &w, &spec)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let gx = conv2d_backward_data(&y, &w, &spec, (7, 7)).unwrap();
+        let rhs: f64 = gx
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    /// Gradient-of-weights test against finite differences on a tiny conv.
+    #[test]
+    fn conv2d_backward_weights_finite_difference() {
+        let mut rng = Rng::seed_from(3);
+        let spec = Conv2dSpec::new(1, 1);
+        let x = Tensor::rand_normal([1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let mut w = Tensor::rand_normal([2, 2, 3, 3], 0.0, 0.5, &mut rng);
+        // Loss = sum(conv(x, w)); dL/dout = ones.
+        let out = conv2d_forward(&x, &w, &spec).unwrap();
+        let gout = Tensor::ones(out.dims().to_vec());
+        let dw = conv2d_backward_weights(&x, &gout, &spec, (3, 3)).unwrap();
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 17, 35] {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = conv2d_forward(&x, &w, &spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = conv2d_forward(&x, &w, &spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn deconv2d_shapes_and_exact_upscale() {
+        // kernel == stride, pad 0: exact integer upscaling.
+        let spec = Conv2dSpec::new(2, 0);
+        assert_eq!(deconv2d_out_hw((5, 5), (2, 2), &spec).unwrap(), (10, 10));
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::rand_normal([1, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([3, 4, 2, 2], 0.0, 0.5, &mut rng);
+        let y = conv_transpose2d_forward(&x, &w, &spec).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 10, 10]);
+    }
+
+    #[test]
+    fn deconv2d_is_adjoint_of_conv2d() {
+        // deconv_W and conv_W must be exact adjoints by construction.
+        let mut rng = Rng::seed_from(5);
+        let spec = Conv2dSpec::new(2, 1);
+        let w = Tensor::rand_normal([3, 4, 3, 3], 0.0, 0.5, &mut rng); // [Ci_d=3, Co_d=4]
+        let x = Tensor::rand_normal([2, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let y = conv_transpose2d_forward(&x, &w, &spec).unwrap();
+        let z = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(z.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        // adjoint of deconv = conv with the same weight
+        let back = conv2d_forward(&z, &w, &spec).unwrap();
+        let rhs: f64 = back
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn deconv2d_backward_weights_finite_difference() {
+        let mut rng = Rng::seed_from(6);
+        let spec = Conv2dSpec::new(2, 0);
+        let x = Tensor::rand_normal([1, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let mut w = Tensor::rand_normal([2, 3, 2, 2], 0.0, 0.5, &mut rng);
+        let out = conv_transpose2d_forward(&x, &w, &spec).unwrap();
+        let gout = Tensor::ones(out.dims().to_vec());
+        let dw = conv_transpose2d_backward_weights(&x, &gout, &spec, (2, 2)).unwrap();
+        assert_eq!(dw.dims(), w.dims());
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 11, 23] {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = conv_transpose2d_forward(&x, &w, &spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = conv_transpose2d_forward(&x, &w, &spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv3d_reduces_to_conv2d_when_depth_one() {
+        // A [N,C,1,H,W] conv3d with kd=1 must equal the conv2d result.
+        let mut rng = Rng::seed_from(7);
+        let x2 = Tensor::rand_normal([2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let w2 = Tensor::rand_normal([4, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let spec2 = Conv2dSpec::new(1, 1);
+        let ref2 = conv2d_forward(&x2, &w2, &spec2).unwrap();
+
+        let x3 = x2.reshaped([2, 3, 1, 6, 6]).unwrap();
+        let w3 = w2.reshaped([4, 3, 1, 3, 3]).unwrap();
+        let spec3 = Conv3dSpec {
+            stride: (1, 1, 1),
+            pad: (0, 1, 1),
+        };
+        let out3 = conv3d_forward(&x3, &w3, &spec3).unwrap();
+        assert_eq!(out3.dims(), &[2, 4, 1, 6, 6]);
+        let flat = out3.reshaped([2, 4, 6, 6]).unwrap();
+        for (a, b) in flat.as_slice().iter().zip(ref2.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv3d_backward_data_is_adjoint() {
+        let mut rng = Rng::seed_from(8);
+        let spec = Conv3dSpec::same(3, 3);
+        let x = Tensor::rand_normal([1, 2, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([3, 2, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let y = conv3d_forward(&x, &w, &spec).unwrap();
+        let z = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
+        let lhs: f64 = y
+            .as_slice()
+            .iter()
+            .zip(z.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let gx = conv3d_backward_data(&z, &w, &spec, (4, 5, 5)).unwrap();
+        let rhs: f64 = gx
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv3d_backward_weights_finite_difference() {
+        let mut rng = Rng::seed_from(9);
+        let spec = Conv3dSpec::same(3, 3);
+        let x = Tensor::rand_normal([1, 2, 3, 4, 4], 0.0, 1.0, &mut rng);
+        let mut w = Tensor::rand_normal([2, 2, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let out = conv3d_forward(&x, &w, &spec).unwrap();
+        let gout = Tensor::ones(out.dims().to_vec());
+        let dw = conv3d_backward_weights(&x, &gout, &spec, (3, 3, 3)).unwrap();
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 13, 54, 107] {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = conv3d_forward(&x, &w, &spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = conv3d_forward(&x, &w, &spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn deconv3d_upscales_spatially_only() {
+        // ZipNet upscale block: temporal axis preserved (kd=3, sd=1, pd=1),
+        // spatial axes doubled (k=s=2, p=0).
+        let spec = Conv3dSpec {
+            stride: (1, 2, 2),
+            pad: (1, 0, 0),
+        };
+        assert_eq!(
+            deconv3d_out_dhw((6, 5, 5), (3, 2, 2), &spec).unwrap(),
+            (6, 10, 10)
+        );
+        let mut rng = Rng::seed_from(10);
+        let x = Tensor::rand_normal([1, 4, 6, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([4, 8, 3, 2, 2], 0.0, 0.5, &mut rng);
+        let y = conv_transpose3d_forward(&x, &w, &spec).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 6, 10, 10]);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let x = Tensor::zeros([1, 3, 4, 4]);
+        let w_bad_ci = Tensor::zeros([2, 5, 3, 3]);
+        assert!(conv2d_forward(&x, &w_bad_ci, &Conv2dSpec::new(1, 1)).is_err());
+        let w_bad_rank = Tensor::zeros([2, 3, 3]);
+        assert!(conv2d_forward(&x, &w_bad_rank, &Conv2dSpec::new(1, 1)).is_err());
+        let gout_bad = Tensor::zeros([1, 2, 9, 9]);
+        let w = Tensor::zeros([2, 3, 3, 3]);
+        assert!(conv2d_backward_data(&gout_bad, &w, &Conv2dSpec::new(1, 1), (4, 4)).is_err());
+    }
+}

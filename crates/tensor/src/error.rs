@@ -1,0 +1,102 @@
+//! Typed errors for tensor operations.
+//!
+//! Shape mismatches and malformed inputs are programmer errors in most deep
+//! learning frameworks and panic; here they are surfaced as values so that
+//! the model-construction layer (`mtsr-nn`) can validate configurations and
+//! report which layer is misconfigured instead of aborting mid-training.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Error type for all tensor and convolution primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operands have incompatible shapes (e.g. elementwise op on
+    /// differently shaped tensors, or GEMM with mismatched inner dims).
+    ShapeMismatch {
+        /// Operation that failed, e.g. `"add"` or `"matmul"`.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A shape is invalid in isolation (zero-sized dim where not allowed,
+    /// wrong rank, element count not matching the data buffer, ...).
+    InvalidShape {
+        /// Operation that failed.
+        op: &'static str,
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A convolution geometry is impossible (kernel larger than padded
+    /// input, zero stride, ...).
+    InvalidConv {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A non-finite value (NaN or ±inf) was detected where the caller
+    /// requested a finiteness guard (used for GAN-collapse detection).
+    NonFinite {
+        /// Operation or tensor name where the value surfaced.
+        op: &'static str,
+    },
+    /// Checkpoint (de)serialization failed.
+    Serde {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::InvalidShape { op, reason } => {
+                write!(f, "invalid shape in `{op}`: {reason}")
+            }
+            TensorError::InvalidConv { reason } => write!(f, "invalid convolution: {reason}"),
+            TensorError::NonFinite { op } => write!(f, "non-finite value detected in `{op}`"),
+            TensorError::Serde { reason } => write!(f, "tensor serialization error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = TensorError::NonFinite { op: "loss" };
+        let b = TensorError::NonFinite { op: "loss" };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::InvalidConv {
+            reason: "stride 0".into(),
+        });
+        assert!(e.to_string().contains("stride 0"));
+    }
+}

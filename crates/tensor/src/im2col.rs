@@ -1,0 +1,561 @@
+//! Patch gather/scatter (im2col / col2im) for 2D and 3D convolutions.
+//!
+//! `im2col` unrolls every receptive field of a `[C, H, W]` (or
+//! `[C, D, H, W]`) sample into one column of a matrix, so that a
+//! convolution becomes a single GEMM with the kernel matrix. `col2im` is
+//! its exact adjoint (a scatter-*add*), which is what backward-data and
+//! transposed convolutions need.
+//!
+//! The 3D variants carry the temporal axis `D` that ZipNet's 3D upscaling
+//! blocks use to mix the `S` historical traffic frames (§3.2).
+
+use crate::error::{Result, TensorError};
+
+/// Geometry of a 2D convolution over one `[C, H, W]` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geom2d {
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Vertical zero-padding (symmetric).
+    pub ph: usize,
+    /// Horizontal zero-padding (symmetric).
+    pub pw: usize,
+}
+
+impl Geom2d {
+    /// Output height `⌊(H + 2·ph − kh)/sh⌋ + 1`.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.ph - self.kh) / self.sh + 1
+    }
+
+    /// Output width `⌊(W + 2·pw − kw)/sw⌋ + 1`.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pw - self.kw) / self.sw + 1
+    }
+
+    /// Rows of the im2col matrix: `C·kh·kw`.
+    pub fn col_rows(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Columns of the im2col matrix: `out_h·out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validates that the geometry is realisable.
+    pub fn validate(&self) -> Result<()> {
+        if self.sh == 0 || self.sw == 0 {
+            return Err(TensorError::InvalidConv {
+                reason: "stride must be positive".into(),
+            });
+        }
+        if self.kh == 0 || self.kw == 0 || self.c == 0 {
+            return Err(TensorError::InvalidConv {
+                reason: "kernel dims and channels must be positive".into(),
+            });
+        }
+        if self.h + 2 * self.ph < self.kh || self.w + 2 * self.pw < self.kw {
+            return Err(TensorError::InvalidConv {
+                reason: format!(
+                    "kernel {}x{} larger than padded input {}x{}",
+                    self.kh,
+                    self.kw,
+                    self.h + 2 * self.ph,
+                    self.w + 2 * self.pw
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Gathers input patches into `cols` (`[C·kh·kw, OH·OW]`, row-major).
+///
+/// `x` is one `[C, H, W]` sample; out-of-bounds (padding) taps read zero.
+pub fn im2col2d(x: &[f32], g: &Geom2d, cols: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert_eq!(x.len(), g.c * g.h * g.w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let ncols = oh * ow;
+    for c in 0..g.c {
+        let x_c = &x[c * g.h * g.w..(c + 1) * g.h * g.w];
+        for kh in 0..g.kh {
+            for kw in 0..g.kw {
+                let row = (c * g.kh + kh) * g.kw + kw;
+                let out_row = &mut cols[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * g.sh + kh) as isize - g.ph as isize;
+                    let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= g.h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let x_row = &x_c[iy as usize * g.w..(iy as usize + 1) * g.w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * g.sw + kw) as isize - g.pw as isize;
+                        *d = if ix < 0 || ix >= g.w as isize {
+                            0.0
+                        } else {
+                            x_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds `cols` back into `x` — the exact adjoint of [`im2col2d`].
+///
+/// `x` is *accumulated into*, not overwritten; zero it first when computing
+/// a fresh gradient.
+pub fn col2im2d(cols: &[f32], g: &Geom2d, x: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert_eq!(x.len(), g.c * g.h * g.w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let ncols = oh * ow;
+    for c in 0..g.c {
+        let x_c = &mut x[c * g.h * g.w..(c + 1) * g.h * g.w];
+        for kh in 0..g.kh {
+            for kw in 0..g.kw {
+                let row = (c * g.kh + kh) * g.kw + kw;
+                let src_row = &cols[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * g.sh + kh) as isize - g.ph as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        continue;
+                    }
+                    let x_row = &mut x_c[iy as usize * g.w..(iy as usize + 1) * g.w];
+                    let src = &src_row[oy * ow..(oy + 1) * ow];
+                    for (ox, &s) in src.iter().enumerate() {
+                        let ix = (ox * g.sw + kw) as isize - g.pw as isize;
+                        if ix >= 0 && ix < g.w as isize {
+                            x_row[ix as usize] += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Geometry of a 3D convolution over one `[C, D, H, W]` sample (`D` is the
+/// temporal axis holding the `S` historical frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geom3d {
+    /// Input channels.
+    pub c: usize,
+    /// Temporal depth.
+    pub d: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel depth (temporal extent).
+    pub kd: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Temporal stride.
+    pub sd: usize,
+    /// Vertical stride.
+    pub sh: usize,
+    /// Horizontal stride.
+    pub sw: usize,
+    /// Temporal padding.
+    pub pd: usize,
+    /// Vertical padding.
+    pub ph: usize,
+    /// Horizontal padding.
+    pub pw: usize,
+}
+
+impl Geom3d {
+    /// Output temporal depth.
+    pub fn out_d(&self) -> usize {
+        (self.d + 2 * self.pd - self.kd) / self.sd + 1
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.ph - self.kh) / self.sh + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pw - self.kw) / self.sw + 1
+    }
+
+    /// Rows of the im2col matrix: `C·kd·kh·kw`.
+    pub fn col_rows(&self) -> usize {
+        self.c * self.kd * self.kh * self.kw
+    }
+
+    /// Columns of the im2col matrix: `OD·OH·OW`.
+    pub fn col_cols(&self) -> usize {
+        self.out_d() * self.out_h() * self.out_w()
+    }
+
+    /// Validates that the geometry is realisable.
+    pub fn validate(&self) -> Result<()> {
+        if self.sd == 0 || self.sh == 0 || self.sw == 0 {
+            return Err(TensorError::InvalidConv {
+                reason: "stride must be positive".into(),
+            });
+        }
+        if self.kd == 0 || self.kh == 0 || self.kw == 0 || self.c == 0 {
+            return Err(TensorError::InvalidConv {
+                reason: "kernel dims and channels must be positive".into(),
+            });
+        }
+        if self.d + 2 * self.pd < self.kd
+            || self.h + 2 * self.ph < self.kh
+            || self.w + 2 * self.pw < self.kw
+        {
+            return Err(TensorError::InvalidConv {
+                reason: format!(
+                    "kernel {}x{}x{} larger than padded input {}x{}x{}",
+                    self.kd,
+                    self.kh,
+                    self.kw,
+                    self.d + 2 * self.pd,
+                    self.h + 2 * self.ph,
+                    self.w + 2 * self.pw
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// 3D analogue of [`im2col2d`]: gathers `[C, D, H, W]` patches into
+/// `[C·kd·kh·kw, OD·OH·OW]`.
+pub fn im2col3d(x: &[f32], g: &Geom3d, cols: &mut [f32]) {
+    let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
+    debug_assert_eq!(x.len(), g.c * g.d * g.h * g.w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let ncols = od * oh * ow;
+    let plane = g.h * g.w;
+    for c in 0..g.c {
+        let x_c = &x[c * g.d * plane..(c + 1) * g.d * plane];
+        for kd in 0..g.kd {
+            for kh in 0..g.kh {
+                for kw in 0..g.kw {
+                    let row = ((c * g.kd + kd) * g.kh + kh) * g.kw + kw;
+                    let out_row = &mut cols[row * ncols..(row + 1) * ncols];
+                    for oz in 0..od {
+                        let iz = (oz * g.sd + kd) as isize - g.pd as isize;
+                        for oy in 0..oh {
+                            let iy = (oy * g.sh + kh) as isize - g.ph as isize;
+                            let base = (oz * oh + oy) * ow;
+                            let dst = &mut out_row[base..base + ow];
+                            if iz < 0 || iz >= g.d as isize || iy < 0 || iy >= g.h as isize {
+                                dst.fill(0.0);
+                                continue;
+                            }
+                            let x_row = &x_c[(iz as usize * g.h + iy as usize) * g.w..];
+                            for (ox, dv) in dst.iter_mut().enumerate() {
+                                let ix = (ox * g.sw + kw) as isize - g.pw as isize;
+                                *dv = if ix < 0 || ix >= g.w as isize {
+                                    0.0
+                                } else {
+                                    x_row[ix as usize]
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 3D analogue of [`col2im2d`] (scatter-add adjoint of [`im2col3d`]).
+pub fn col2im3d(cols: &[f32], g: &Geom3d, x: &mut [f32]) {
+    let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
+    debug_assert_eq!(x.len(), g.c * g.d * g.h * g.w);
+    debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let ncols = od * oh * ow;
+    let plane = g.h * g.w;
+    for c in 0..g.c {
+        let x_c = &mut x[c * g.d * plane..(c + 1) * g.d * plane];
+        for kd in 0..g.kd {
+            for kh in 0..g.kh {
+                for kw in 0..g.kw {
+                    let row = ((c * g.kd + kd) * g.kh + kh) * g.kw + kw;
+                    let src_row = &cols[row * ncols..(row + 1) * ncols];
+                    for oz in 0..od {
+                        let iz = (oz * g.sd + kd) as isize - g.pd as isize;
+                        if iz < 0 || iz >= g.d as isize {
+                            continue;
+                        }
+                        for oy in 0..oh {
+                            let iy = (oy * g.sh + kh) as isize - g.ph as isize;
+                            if iy < 0 || iy >= g.h as isize {
+                                continue;
+                            }
+                            let base = (oz * oh + oy) * ow;
+                            let src = &src_row[base..base + ow];
+                            let x_row = &mut x_c
+                                [(iz as usize * g.h + iy as usize) * g.w
+                                    ..(iz as usize * g.h + iy as usize) * g.w + g.w];
+                            for (ox, &s) in src.iter().enumerate() {
+                                let ix = (ox * g.sw + kw) as isize - g.pw as isize;
+                                if ix >= 0 && ix < g.w as isize {
+                                    x_row[ix as usize] += s;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn geom2d_output_sizes() {
+        // "same" conv: 3x3 kernel, stride 1, pad 1.
+        let g = Geom2d {
+            c: 1,
+            h: 8,
+            w: 8,
+            kh: 3,
+            kw: 3,
+            sh: 1,
+            sw: 1,
+            ph: 1,
+            pw: 1,
+        };
+        assert_eq!((g.out_h(), g.out_w()), (8, 8));
+        // stride-2 downsample
+        let g2 = Geom2d { sh: 2, sw: 2, ..g };
+        assert_eq!((g2.out_h(), g2.out_w()), (4, 4));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn geom_validation_rejects_bad() {
+        let g = Geom2d {
+            c: 1,
+            h: 2,
+            w: 2,
+            kh: 5,
+            kw: 5,
+            sh: 1,
+            sw: 1,
+            ph: 0,
+            pw: 0,
+        };
+        assert!(g.validate().is_err());
+        let g0 = Geom2d {
+            sh: 0,
+            kh: 1,
+            kw: 1,
+            ..g
+        };
+        assert!(g0.validate().is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: cols equal the input verbatim.
+        let g = Geom2d {
+            c: 2,
+            h: 3,
+            w: 3,
+            kh: 1,
+            kw: 1,
+            sh: 1,
+            sw: 1,
+            ph: 0,
+            pw: 0,
+        };
+        let x: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col2d(&x, &g, &mut cols);
+        assert_eq!(cols, x);
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // 2x2 input, 2x2 kernel, no pad: single column = the whole input.
+        let g = Geom2d {
+            c: 1,
+            h: 2,
+            w: 2,
+            kh: 2,
+            kw: 2,
+            sh: 1,
+            sw: 1,
+            ph: 0,
+            pw: 0,
+        };
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0; 4];
+        im2col2d(&x, &g, &mut cols);
+        assert_eq!(cols, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_padding_reads_zero() {
+        let g = Geom2d {
+            c: 1,
+            h: 1,
+            w: 1,
+            kh: 3,
+            kw: 3,
+            sh: 1,
+            sw: 1,
+            ph: 1,
+            pw: 1,
+        };
+        let x = vec![5.0];
+        let mut cols = vec![-1.0; 9];
+        im2col2d(&x, &g, &mut cols);
+        // centre tap sees the value, all others see padding zeros
+        let expect = vec![0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(cols, expect);
+    }
+
+    /// The defining property of the adjoint pair: for all x, y
+    /// `⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩`.
+    #[test]
+    fn col2im_is_adjoint_of_im2col_2d() {
+        let mut rng = Rng::seed_from(17);
+        for &(h, w, k, s, p) in &[(5, 7, 3, 1, 1), (8, 8, 3, 2, 1), (6, 6, 2, 2, 0)] {
+            let g = Geom2d {
+                c: 3,
+                h,
+                w,
+                kh: k,
+                kw: k,
+                sh: s,
+                sw: s,
+                ph: p,
+                pw: p,
+            };
+            let x = Tensor::rand_normal([g.c * h * w], 0.0, 1.0, &mut rng);
+            let y = Tensor::rand_normal([g.col_rows() * g.col_cols()], 0.0, 1.0, &mut rng);
+            let mut ix = vec![0.0; y.numel()];
+            im2col2d(x.as_slice(), &g, &mut ix);
+            let lhs: f64 = ix
+                .iter()
+                .zip(y.as_slice())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum();
+            let mut cy = vec![0.0; x.numel()];
+            col2im2d(y.as_slice(), &g, &mut cy);
+            let rhs: f64 = cy
+                .iter()
+                .zip(x.as_slice())
+                .map(|(&a, &b)| a as f64 * b as f64)
+                .sum();
+            assert!((lhs - rhs).abs() < 1e-3, "h={h} w={w} k={k} s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col_3d() {
+        let mut rng = Rng::seed_from(23);
+        let g = Geom3d {
+            c: 2,
+            d: 4,
+            h: 5,
+            w: 5,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            sd: 1,
+            sh: 2,
+            sw: 2,
+            pd: 1,
+            ph: 1,
+            pw: 1,
+        };
+        g.validate().unwrap();
+        let x = Tensor::rand_normal([g.c * g.d * g.h * g.w], 0.0, 1.0, &mut rng);
+        let y = Tensor::rand_normal([g.col_rows() * g.col_cols()], 0.0, 1.0, &mut rng);
+        let mut ix = vec![0.0; y.numel()];
+        im2col3d(x.as_slice(), &g, &mut ix);
+        let lhs: f64 = ix
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        let mut cy = vec![0.0; x.numel()];
+        col2im3d(y.as_slice(), &g, &mut cy);
+        let rhs: f64 = cy
+            .iter()
+            .zip(x.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn im2col3d_temporal_axis() {
+        // depth-only kernel: 1 channel, D=3, H=W=1, kernel (2,1,1).
+        let g = Geom3d {
+            c: 1,
+            d: 3,
+            h: 1,
+            w: 1,
+            kd: 2,
+            kh: 1,
+            kw: 1,
+            sd: 1,
+            sh: 1,
+            sw: 1,
+            pd: 0,
+            ph: 0,
+            pw: 0,
+        };
+        let x = vec![10.0, 20.0, 30.0];
+        let mut cols = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col3d(&x, &g, &mut cols);
+        // rows = 2 (kd), cols = 2 (od): row0 = frames [10,20], row1 = [20,30]
+        assert_eq!(cols, vec![10.0, 20.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn geom3d_sizes() {
+        let g = Geom3d {
+            c: 1,
+            d: 6,
+            h: 10,
+            w: 10,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            sd: 1,
+            sh: 1,
+            sw: 1,
+            pd: 1,
+            ph: 1,
+            pw: 1,
+        };
+        assert_eq!((g.out_d(), g.out_h(), g.out_w()), (6, 10, 10));
+        assert!(g.validate().is_ok());
+    }
+}

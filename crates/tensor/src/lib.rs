@@ -1,0 +1,38 @@
+//! # mtsr-tensor
+//!
+//! N-dimensional `f32` tensor substrate for the ZipNet-GAN reproduction.
+//!
+//! The ZipNet-GAN paper trains deep convolutional GANs with TensorFlow on a
+//! GPU cluster. Rust has no comparably mature training stack, so this crate
+//! provides the numerical substrate from scratch:
+//!
+//! * [`Tensor`] — a dense row-major `f32` tensor with shape algebra,
+//!   elementwise/broadcast arithmetic and reductions;
+//! * [`matmul`] — a blocked, rayon-parallel GEMM used to lower convolutions;
+//! * [`im2col`] — 2D and 3D patch-gather/scatter (im2col / col2im);
+//! * [`conv`] — convolution primitives (forward, backward-data,
+//!   backward-weights) for 2D and 3D, plus transposed convolutions derived
+//!   from the same adjoint triple;
+//! * [`rng`] — a deterministic xoshiro256++ generator so every experiment in
+//!   the repo is bit-reproducible from a seed;
+//! * [`serialize`] — a small binary tensor format for model checkpoints.
+//!
+//! Everything upstream (`mtsr-nn`, `zipnet-core`, the baselines) builds on
+//! these primitives; no layer above this crate touches raw buffers.
+
+pub mod conv;
+pub mod error;
+pub mod im2col;
+pub mod matmul;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+pub mod serialize;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use error::{Result, TensorError};
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,389 @@
+//! Blocked, rayon-parallel single-precision matrix multiplication.
+//!
+//! Every convolution in the workspace lowers to GEMM via im2col, so this is
+//! the hot kernel of the entire reproduction. The implementation uses the
+//! `i-k-j` loop order (for row-major operands the inner loop is a
+//! contiguous fused multiply-add over a row of `B`), parallelised across
+//! row blocks of `A` with rayon. That is not MKL-grade, but it is within a
+//! small factor of peak for the matrix shapes conv layers produce and it
+//! contains no unsafe code.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows-per-task granularity for rayon. Small enough to load-balance the
+/// skinny matrices conv layers produce, large enough to amortise task spawn.
+const ROW_BLOCK: usize = 16;
+
+/// `C = A · B` for row-major slices, `A: m×k`, `B: k×n`, `C: m×n`.
+///
+/// `c` is overwritten. Panics on slice-length mismatch (callers go through
+/// the shape-checked [`matmul`] wrapper).
+pub fn sgemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "sgemm: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm: bad C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    // Parallelise over row blocks of A/C; each task owns a disjoint &mut
+    // chunk of C, so no synchronisation is needed.
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = c_blk.len() / n;
+            c_blk.fill(0.0);
+            for r in 0..rows {
+                let i = row0 + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c_blk[r * n..(r + 1) * n];
+                for (l, &a_il) in a_row.iter().enumerate() {
+                    if a_il == 0.0 {
+                        continue; // zero-padding rows are common in im2col buffers
+                    }
+                    let b_row = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += a_il * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// `C += A · B` — accumulating variant used for gradient accumulation
+/// across a batch.
+pub fn sgemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "sgemm_acc: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_acc: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_acc: bad C length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    c.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, c_blk)| {
+            let row0 = blk * ROW_BLOCK;
+            let rows = c_blk.len() / n;
+            for r in 0..rows {
+                let i = row0 + r;
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c_blk[r * n..(r + 1) * n];
+                for (l, &a_il) in a_row.iter().enumerate() {
+                    if a_il == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += a_il * bv;
+                    }
+                }
+            }
+        });
+}
+
+/// Serial `C = A · B` (optionally accumulating).
+///
+/// Convolution kernels parallelise across the batch with rayon and call
+/// this serial kernel per sample; using the parallel [`sgemm`] there would
+/// nest thread pools for no benefit on the small per-sample matrices.
+pub fn sgemm_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "sgemm_serial: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_serial: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_serial: bad C length");
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (l, &a_il) in a_row.iter().enumerate() {
+            if a_il == 0.0 {
+                continue;
+            }
+            let b_row = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_il * bv;
+            }
+        }
+    }
+}
+
+/// Serial `C = Aᵀ · B` without materialising the transpose
+/// (`A: k×m`, `B: k×n`, `C: m×n`).
+pub fn sgemm_tn_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), k * m, "sgemm_tn_serial: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_tn_serial: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_tn_serial: bad C length");
+    if !accumulate {
+        c.fill(0.0);
+    }
+    // l-i-j order: for each k-row, rank-1 update of C; both B-row reads and
+    // C-row writes are contiguous.
+    for l in 0..k {
+        let a_row = &a[l * m..(l + 1) * m];
+        let b_row = &b[l * n..(l + 1) * n];
+        for (i, &a_li) in a_row.iter().enumerate() {
+            if a_li == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_li * bv;
+            }
+        }
+    }
+}
+
+/// Serial `C = A · Bᵀ` (`A: m×k`, `B: n×k`, `C: m×n`).
+pub fn sgemm_nt_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "sgemm_nt_serial: bad A length");
+    assert_eq!(b.len(), n * k, "sgemm_nt_serial: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_nt_serial: bad C length");
+    if !accumulate {
+        c.fill(0.0);
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                s += av * bv;
+            }
+            *cv += s;
+        }
+    }
+}
+
+fn rank2_dims(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    let d = t.dims();
+    if d.len() != 2 {
+        return Err(TensorError::InvalidShape {
+            op,
+            reason: format!("expected rank-2 operand, got {}", t.shape()),
+        });
+    }
+    Ok((d[0], d[1]))
+}
+
+/// Shape-checked matrix product of two rank-2 tensors.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = rank2_dims(a, "matmul")?;
+    let (k2, n) = rank2_dims(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros([m, n]);
+    sgemm(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    Ok(c)
+}
+
+/// `Aᵀ · B` (A is `k×m`): the shape that appears in backward-weights.
+///
+/// Materialises the transpose once; for conv-sized operands the O(mk) copy
+/// is negligible next to the O(mkn) product and keeps one fast kernel.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let at = a.transpose2d()?;
+    matmul(&at, b)
+}
+
+/// `A · Bᵀ` (B is `n×k`): the shape that appears in backward-data.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let bt = b.transpose2d()?;
+    matmul(a, &bt)
+}
+
+/// Naive triple-loop reference used by tests and property checks.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = rank2_dims(a, "matmul_naive")?;
+    let (k2, n) = rank2_dims(b, "matmul_naive")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_naive",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros([m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f64;
+            for l in 0..k {
+                s += av[i * k + l] as f64 * bv[l * n + j] as f64;
+            }
+            cv[i * n + j] = s as f32;
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from(1);
+        let a = Tensor::rand_normal([7, 7], 0.0, 1.0, &mut rng);
+        let mut eye = Tensor::zeros([7, 7]);
+        for i in 0..7 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        let c = matmul(&a, &eye).unwrap();
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_shapes() {
+        let mut rng = Rng::seed_from(2);
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (33, 17, 29), (64, 10, 2)] {
+            let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_naive(&a, &b).unwrap();
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "m={m} k={k} n={n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::rand_normal([6, 4], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([6, 5], 0.0, 1.0, &mut rng);
+        // matmul_tn(a, b) == aᵀ b
+        let tn = matmul_tn(&a, &b).unwrap();
+        let refr = matmul_naive(&a.transpose2d().unwrap(), &b).unwrap();
+        assert_eq!(tn.dims(), &[4, 5]);
+        for (x, y) in tn.as_slice().iter().zip(refr.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        // matmul_nt(aᵀ·shape, ...)
+        let c = Tensor::rand_normal([5, 4], 0.0, 1.0, &mut rng);
+        let nt = matmul_nt(&a, &c).unwrap(); // [6,4]x[5,4]ᵀ -> [6,5]
+        let refr = matmul_naive(&a, &c.transpose2d().unwrap()).unwrap();
+        for (x, y) in nt.as_slice().iter().zip(refr.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros([3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn accumulating_gemm_adds() {
+        let a = Tensor::ones([2, 2]);
+        let b = Tensor::ones([2, 2]);
+        let mut c = Tensor::ones([2, 2]);
+        sgemm_acc(a.as_slice(), b.as_slice(), c.as_mut_slice(), 2, 2, 2);
+        assert_eq!(c.as_slice(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn serial_variants_match_parallel() {
+        let mut rng = Rng::seed_from(4);
+        let (m, k, n) = (9, 11, 7);
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        let refr = matmul_naive(&a, &b).unwrap();
+
+        let mut c = vec![0.0; m * n];
+        sgemm_serial(a.as_slice(), b.as_slice(), &mut c, m, k, n, false);
+        for (x, y) in c.iter().zip(refr.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        // tn: pass aᵀ
+        let at = a.transpose2d().unwrap();
+        let mut c2 = vec![0.0; m * n];
+        sgemm_tn_serial(at.as_slice(), b.as_slice(), &mut c2, m, k, n, false);
+        for (x, y) in c2.iter().zip(refr.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        // nt: pass bᵀ
+        let bt = b.transpose2d().unwrap();
+        let mut c3 = vec![0.0; m * n];
+        sgemm_nt_serial(a.as_slice(), bt.as_slice(), &mut c3, m, k, n, false);
+        for (x, y) in c3.iter().zip(refr.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn serial_accumulate_flag() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        sgemm_serial(&a, &b, &mut c, 2, 2, 2, true);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+        sgemm_serial(&a, &b, &mut c, 2, 2, 2, false);
+        assert_eq!(c, vec![2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        // k == 0: product of [2,0]x[0,3] is a zero matrix.
+        let a = Tensor::zeros([2, 0]);
+        let b = Tensor::zeros([0, 3]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Elementwise arithmetic, scalar ops and axis reductions.
+//!
+//! All binary ops require identical shapes (explicitness over silent
+//! broadcasting — the handful of places that need broadcasting, e.g. conv
+//! bias addition and batch-norm affine transforms, use the dedicated
+//! channel-wise helpers at the bottom of this module, which document the
+//! `[N, C, spatial...]` layout they assume).
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "div", |a, b| a / b)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += alpha * other` (the BLAS axpy), used by optimizers
+    /// to avoid allocating in the update loop.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.shape().check_same(other.shape(), "axpy")?;
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// In-place elementwise addition.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.axpy(1.0, other)
+    }
+
+    /// Squared L2 norm `Σ x²` (f64 accumulator).
+    pub fn sq_norm(&self) -> f32 {
+        self.as_slice()
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>() as f32
+    }
+
+    /// Mean squared difference `mean((a-b)²)` — the workhorse of Eq. 10.
+    pub fn mse(&self, other: &Tensor) -> Result<f32> {
+        self.shape().check_same(other.shape(), "mse")?;
+        let n = self.numel().max(1) as f64;
+        let s: f64 = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        Ok((s / n) as f32)
+    }
+
+    /// Per-channel mean over batch and spatial dims.
+    ///
+    /// Input layout `[N, C, ...spatial]`; returns a `[C]` tensor. This is
+    /// the reduction batch-norm uses.
+    pub fn mean_per_channel(&self) -> Result<Tensor> {
+        let dims = self.dims();
+        if dims.len() < 2 {
+            return Err(TensorError::InvalidShape {
+                op: "mean_per_channel",
+                reason: format!("need rank >= 2, got {}", self.shape()),
+            });
+        }
+        let (n, c) = (dims[0], dims[1]);
+        let spatial: usize = dims[2..].iter().product::<usize>().max(1);
+        let mut acc = vec![0.0f64; c];
+        let data = self.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * spatial;
+                let mut s = 0.0f64;
+                for &v in &data[base..base + spatial] {
+                    s += v as f64;
+                }
+                acc[ci] += s;
+            }
+        }
+        let denom = (n * spatial).max(1) as f64;
+        Tensor::from_vec([c], acc.into_iter().map(|x| (x / denom) as f32).collect())
+    }
+
+    /// Per-channel biased variance over batch and spatial dims, given the
+    /// per-channel mean. Layout as in [`Tensor::mean_per_channel`].
+    pub fn var_per_channel(&self, mean: &Tensor) -> Result<Tensor> {
+        let dims = self.dims();
+        if dims.len() < 2 {
+            return Err(TensorError::InvalidShape {
+                op: "var_per_channel",
+                reason: format!("need rank >= 2, got {}", self.shape()),
+            });
+        }
+        let (n, c) = (dims[0], dims[1]);
+        if mean.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "var_per_channel",
+                lhs: dims.to_vec(),
+                rhs: mean.dims().to_vec(),
+            });
+        }
+        let spatial: usize = dims[2..].iter().product::<usize>().max(1);
+        let mut acc = vec![0.0f64; c];
+        let data = self.as_slice();
+        let m = mean.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * spatial;
+                let mu = m[ci] as f64;
+                let mut s = 0.0f64;
+                for &v in &data[base..base + spatial] {
+                    let d = v as f64 - mu;
+                    s += d * d;
+                }
+                acc[ci] += s;
+            }
+        }
+        let denom = (n * spatial).max(1) as f64;
+        Tensor::from_vec([c], acc.into_iter().map(|x| (x / denom) as f32).collect())
+    }
+
+    /// Applies `x ↦ f(x, p[c])` per channel, where `p` is a `[C]` tensor and
+    /// `self` is `[N, C, ...spatial]`. Covers bias-add (`f = +`) and
+    /// batch-norm scale (`f = *`) without general broadcasting machinery.
+    pub fn apply_per_channel(&self, p: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        let dims = self.dims();
+        if dims.len() < 2 {
+            return Err(TensorError::InvalidShape {
+                op: "apply_per_channel",
+                reason: format!("need rank >= 2, got {}", self.shape()),
+            });
+        }
+        let (n, c) = (dims[0], dims[1]);
+        if p.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "apply_per_channel",
+                lhs: dims.to_vec(),
+                rhs: p.dims().to_vec(),
+            });
+        }
+        let spatial: usize = dims[2..].iter().product::<usize>().max(1);
+        let mut out = self.clone();
+        let ps = p.as_slice().to_vec();
+        let o = out.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * spatial;
+                let pv = ps[ci];
+                for v in &mut o[base..base + spatial] {
+                    *v = f(*v, pv);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reduces `[N, C, ...spatial]` to `[C]` by summing `g(x)` over batch
+    /// and spatial positions — the gradient-side companion of
+    /// [`Tensor::apply_per_channel`] (e.g. bias gradients are
+    /// `sum_per_channel` of the output gradient with `g = identity`).
+    pub fn sum_per_channel(&self) -> Result<Tensor> {
+        let dims = self.dims();
+        if dims.len() < 2 {
+            return Err(TensorError::InvalidShape {
+                op: "sum_per_channel",
+                reason: format!("need rank >= 2, got {}", self.shape()),
+            });
+        }
+        let (n, c) = (dims[0], dims[1]);
+        let spatial: usize = dims[2..].iter().product::<usize>().max(1);
+        let mut acc = vec![0.0f64; c];
+        let data = self.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * spatial;
+                let mut s = 0.0f64;
+                for &v in &data[base..base + spatial] {
+                    s += v as f64;
+                }
+                acc[ci] += s;
+            }
+        }
+        Tensor::from_vec([c], acc.into_iter().map(|x| x as f32).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec([n], v).unwrap()
+    }
+
+    #[test]
+    fn binary_ops() {
+        let a = t(vec![1.0, 2.0, 3.0]);
+        let b = t(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(vec![1.0, -1.0]);
+        assert_eq!(a.add_scalar(2.0).as_slice(), &[3.0, 1.0]);
+        assert_eq!(a.scale(-3.0).as_slice(), &[-3.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = t(vec![1.0, 2.0]);
+        let g = t(vec![10.0, 20.0]);
+        a.axpy(-0.1, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+        let wrong = t(vec![1.0]);
+        assert!(a.axpy(1.0, &wrong).is_err());
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let a = t(vec![0.0, 0.0]);
+        let b = t(vec![3.0, 4.0]);
+        assert_eq!(a.mse(&b).unwrap(), 12.5); // (9+16)/2
+        assert_eq!(a.mse(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sq_norm() {
+        assert_eq!(t(vec![3.0, 4.0]).sq_norm(), 25.0);
+    }
+
+    #[test]
+    fn channel_mean_var() {
+        // [N=2, C=2, spatial=2]; channel 0 holds {1,2,3,4}, channel 1 {10,10,10,10}
+        let x = Tensor::from_vec(
+            [2, 2, 2],
+            vec![1.0, 2.0, 10.0, 10.0, 3.0, 4.0, 10.0, 10.0],
+        )
+        .unwrap();
+        let m = x.mean_per_channel().unwrap();
+        assert_eq!(m.as_slice(), &[2.5, 10.0]);
+        let v = x.var_per_channel(&m).unwrap();
+        assert_eq!(v.as_slice(), &[1.25, 0.0]);
+    }
+
+    #[test]
+    fn apply_and_sum_per_channel() {
+        let x = Tensor::ones([1, 2, 3]);
+        let bias = t(vec![1.0, -1.0]);
+        let y = x.apply_per_channel(&bias, |a, b| a + b).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 2.0, 2.0, 0.0, 0.0, 0.0]);
+        let s = y.sum_per_channel().unwrap();
+        assert_eq!(s.as_slice(), &[6.0, 0.0]);
+    }
+
+    #[test]
+    fn channel_helpers_reject_bad_shapes() {
+        let x = Tensor::ones([4]);
+        assert!(x.mean_per_channel().is_err());
+        let x = Tensor::ones([1, 2, 2]);
+        let badp = Tensor::ones([3]);
+        assert!(x.apply_per_channel(&badp, |a, _| a).is_err());
+        assert!(x.var_per_channel(&badp).is_err());
+    }
+
+    #[test]
+    fn rank2_channel_reduction_treats_spatial_as_one() {
+        // [N=3, C=2] without spatial dims: mean over batch only.
+        let x = Tensor::from_vec([3, 2], vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]).unwrap();
+        let m = x.mean_per_channel().unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 0.0]);
+    }
+}

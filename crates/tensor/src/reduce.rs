@@ -1,0 +1,162 @@
+//! Axis-wise reductions: sum / mean / max / min along one dimension.
+//!
+//! The channel-specialised reductions in [`crate::ops`] cover the hot
+//! batch-norm path; these general reductions serve analysis code — e.g.
+//! collapsing a `[T, g, g]` traffic movie into per-cell daily means or
+//! per-frame totals — without hand-rolled index loops at every call site.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+fn axis_geometry(t: &Tensor, axis: usize, op: &'static str) -> Result<(usize, usize, usize)> {
+    let dims = t.dims();
+    if axis >= dims.len() {
+        return Err(TensorError::InvalidShape {
+            op,
+            reason: format!("axis {axis} out of range for {}", t.shape()),
+        });
+    }
+    let outer: usize = dims[..axis].iter().product();
+    let len = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    Ok((outer, len, inner))
+}
+
+fn reduced_dims(t: &Tensor, axis: usize) -> Vec<usize> {
+    t.dims()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &d)| (i != axis).then_some(d))
+        .collect()
+}
+
+impl Tensor {
+    /// Generic fold along `axis`: the result drops that dimension.
+    fn reduce_axis(
+        &self,
+        axis: usize,
+        op: &'static str,
+        init: f64,
+        f: impl Fn(f64, f32) -> f64,
+        finish: impl Fn(f64, usize) -> f32,
+    ) -> Result<Tensor> {
+        let (outer, len, inner) = axis_geometry(self, axis, op)?;
+        if len == 0 {
+            return Err(TensorError::InvalidShape {
+                op,
+                reason: "cannot reduce over an empty axis".into(),
+            });
+        }
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; outer * inner];
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut acc = init;
+                for l in 0..len {
+                    acc = f(acc, src[(o * len + l) * inner + i]);
+                }
+                out[o * inner + i] = finish(acc, len);
+            }
+        }
+        Tensor::from_vec(reduced_dims(self, axis), out)
+    }
+
+    /// Sum along `axis`; the result drops that dimension.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, "sum_axis", 0.0, |a, v| a + v as f64, |a, _| a as f32)
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(
+            axis,
+            "mean_axis",
+            0.0,
+            |a, v| a + v as f64,
+            |a, n| (a / n as f64) as f32,
+        )
+    }
+
+    /// Maximum along `axis`.
+    pub fn max_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(
+            axis,
+            "max_axis",
+            f64::NEG_INFINITY,
+            |a, v| a.max(v as f64),
+            |a, _| a as f32,
+        )
+    }
+
+    /// Minimum along `axis`.
+    pub fn min_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(
+            axis,
+            "min_axis",
+            f64::INFINITY,
+            |a, v| a.min(v as f64),
+            |a, _| a as f32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie() -> Tensor {
+        // [T=2, 2, 2]: frame0 = [[1,2],[3,4]], frame1 = [[10,20],[30,40]]
+        Tensor::from_vec([2, 2, 2], vec![1., 2., 3., 4., 10., 20., 30., 40.]).unwrap()
+    }
+
+    #[test]
+    fn sum_over_time_gives_per_cell_totals() {
+        let m = movie();
+        let s = m.sum_axis(0).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[11., 22., 33., 44.]);
+    }
+
+    #[test]
+    fn mean_over_cells_gives_per_frame_profile() {
+        let m = movie();
+        // Reduce the last axis twice → per-frame scalars.
+        let rows = m.mean_axis(2).unwrap(); // [2, 2]
+        let frames = rows.mean_axis(1).unwrap(); // [2]
+        assert_eq!(frames.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn max_min_axis() {
+        let m = movie();
+        let mx = m.max_axis(0).unwrap();
+        assert_eq!(mx.as_slice(), &[10., 20., 30., 40.]);
+        let mn = m.min_axis(2).unwrap();
+        assert_eq!(mn.dims(), &[2, 2]);
+        assert_eq!(mn.as_slice(), &[1., 3., 10., 30.]);
+    }
+
+    #[test]
+    fn middle_axis_reduction() {
+        let m = movie();
+        let s = m.sum_axis(1).unwrap(); // sum rows within each frame
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[4., 6., 40., 60.]);
+    }
+
+    #[test]
+    fn agrees_with_global_reductions() {
+        let m = movie();
+        let total_via_axes = m.sum_axis(0).unwrap().sum_axis(0).unwrap().sum_axis(0).unwrap();
+        assert_eq!(total_via_axes.dims(), &[] as &[usize]);
+        assert!((total_via_axes.as_slice()[0] - m.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn error_paths() {
+        let m = movie();
+        assert!(m.sum_axis(3).is_err());
+        let empty = Tensor::zeros([2, 0, 2]);
+        assert!(empty.mean_axis(1).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Binary tensor (de)serialization for model checkpoints.
+//!
+//! Format (little-endian throughout):
+//!
+//! ```text
+//! magic  u32  = 0x5A4E5447  ("ZNTG")
+//! rank   u32
+//! dims   rank × u64
+//! data   numel × f32
+//! ```
+//!
+//! A checkpoint file is a sequence of `(name, tensor)` records written by
+//! [`write_named_tensors`]; `mtsr-nn::io` builds model save/load on top.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic marker guarding against reading foreign files as checkpoints.
+pub const MAGIC: u32 = 0x5A4E_5447;
+
+/// Serialises a single tensor into `buf`.
+pub fn write_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(t.shape().rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Deserialises a single tensor, consuming its bytes from `buf`.
+pub fn read_tensor(buf: &mut Bytes) -> Result<Tensor> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Serde {
+            reason: "truncated header".into(),
+        });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TensorError::Serde {
+            reason: format!("bad magic 0x{magic:08X}"),
+        });
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 16 {
+        return Err(TensorError::Serde {
+            reason: format!("implausible rank {rank}"),
+        });
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Serde {
+            reason: "truncated dims".into(),
+        });
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let shape = Shape::new(dims);
+    let n = shape.numel();
+    if buf.remaining() < n * 4 {
+        return Err(TensorError::Serde {
+            reason: format!(
+                "truncated data: need {} bytes, have {}",
+                n * 4,
+                buf.remaining()
+            ),
+        });
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Writes a string with a u32 length prefix.
+fn write_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed string.
+fn read_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(TensorError::Serde {
+            reason: "truncated string length".into(),
+        });
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > 1 << 20 || buf.remaining() < len {
+        return Err(TensorError::Serde {
+            reason: format!("bad string length {len}"),
+        });
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|e| TensorError::Serde {
+        reason: format!("invalid utf-8 in name: {e}"),
+    })
+}
+
+/// Serialises named tensors (a model checkpoint) into one buffer.
+pub fn write_named_tensors(pairs: &[(String, Tensor)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(pairs.len() as u32);
+    for (name, t) in pairs {
+        write_str(&mut buf, name);
+        write_tensor(&mut buf, t);
+    }
+    buf.freeze()
+}
+
+/// Deserialises a checkpoint written by [`write_named_tensors`].
+pub fn read_named_tensors(mut buf: Bytes) -> Result<Vec<(String, Tensor)>> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Serde {
+            reason: "truncated checkpoint header".into(),
+        });
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TensorError::Serde {
+            reason: format!("bad checkpoint magic 0x{magic:08X}"),
+        });
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = read_str(&mut buf)?;
+        let t = read_tensor(&mut buf)?;
+        out.push((name, t));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut rng = Rng::seed_from(1);
+        let t = Tensor::rand_normal([3, 4, 5], 0.0, 1.0, &mut rng);
+        let mut buf = BytesMut::new();
+        write_tensor(&mut buf, &t);
+        let back = read_tensor(&mut buf.freeze()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::full(Shape::scalar(), 2.5);
+        let mut buf = BytesMut::new();
+        write_tensor(&mut buf, &t);
+        let back = read_tensor(&mut buf.freeze()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn named_roundtrip_preserves_order() {
+        let mut rng = Rng::seed_from(2);
+        let pairs = vec![
+            ("conv1.weight".to_string(), Tensor::rand_normal([2, 3], 0.0, 1.0, &mut rng)),
+            ("conv1.bias".to_string(), Tensor::zeros([2])),
+            ("bn.gamma".to_string(), Tensor::ones([4])),
+        ];
+        let bytes = write_named_tensors(&pairs);
+        let back = read_named_tensors(bytes).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xDEADBEEF);
+        buf.put_u32_le(1);
+        assert!(read_tensor(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = Tensor::ones([10]);
+        let mut buf = BytesMut::new();
+        write_tensor(&mut buf, &t);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..full.len() - 8);
+        assert!(read_tensor(&mut cut).is_err());
+        assert!(read_tensor(&mut Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_rank() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(99);
+        assert!(read_tensor(&mut buf.freeze()).is_err());
+    }
+}

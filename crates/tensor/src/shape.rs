@@ -1,0 +1,189 @@
+//! Shape algebra: dimensions, row-major strides and index arithmetic.
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense row-major tensor.
+///
+/// A `Shape` is an ordered list of dimension extents. The last dimension is
+/// contiguous in memory (row-major / C order), which is the layout every
+/// kernel in this workspace assumes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A rank-0 (scalar) shape with one element.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`. Panics if out of range (programmer error).
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// `strides()[i]` is the linear-offset increment when index `i`
+    /// increases by one.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index. Returns `None` if the index is out
+    /// of bounds or has the wrong rank.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.0.len() {
+            return None;
+        }
+        let mut off = 0;
+        let strides = self.strides();
+        for (i, (&ix, &dim)) in index.iter().zip(self.0.iter()).enumerate() {
+            if ix >= dim {
+                return None;
+            }
+            off += ix * strides[i];
+        }
+        Some(off)
+    }
+
+    /// Checks that `numel()` matches `len`, for buffer/shape pairing.
+    pub fn check_len(&self, len: usize, op: &'static str) -> Result<()> {
+        if self.numel() != len {
+            return Err(TensorError::InvalidShape {
+                op,
+                reason: format!(
+                    "shape {:?} has {} elements but buffer has {}",
+                    self.0,
+                    self.numel(),
+                    len
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns `Ok(())` when both shapes are identical, a `ShapeMismatch`
+    /// otherwise. Used by elementwise kernels.
+    pub fn check_same(&self, other: &Shape, op: &'static str) -> Result<()> {
+        if self != other {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.0.clone(),
+                rhs: other.0.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), Some(0));
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), Some(0));
+        assert_eq!(s.offset(&[1, 2, 3]), Some(12 + 8 + 3));
+        assert_eq!(s.offset(&[2, 0, 0]), None); // out of bounds
+        assert_eq!(s.offset(&[0, 0]), None); // wrong rank
+    }
+
+    #[test]
+    fn check_same_reports_both_shapes() {
+        let a = Shape::new([2, 3]);
+        let b = Shape::new([3, 2]);
+        let err = a.check_same(&b, "add").unwrap_err();
+        match err {
+            TensorError::ShapeMismatch { lhs, rhs, .. } => {
+                assert_eq!(lhs, vec![2, 3]);
+                assert_eq!(rhs, vec![3, 2]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_len_guards_buffer_pairing() {
+        let s = Shape::new([2, 2]);
+        assert!(s.check_len(4, "test").is_ok());
+        assert!(s.check_len(5, "test").is_err());
+    }
+
+    #[test]
+    fn zero_dim_numel_is_zero() {
+        let s = Shape::new([2, 0, 4]);
+        assert_eq!(s.numel(), 0);
+    }
+
+    #[test]
+    fn display_renders_like_list() {
+        assert_eq!(Shape::new([5, 7]).to_string(), "[5, 7]");
+    }
+}

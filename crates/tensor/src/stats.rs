@@ -1,0 +1,154 @@
+//! Descriptive statistics and normalisation helpers.
+//!
+//! The paper normalises all traffic data "by subtraction of the mean and
+//! division by the standard deviation" before training (§5.2); these are
+//! the primitives that normalisation, the metrics crate and the SSIM
+//! window statistics build on.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Mean and (biased) standard deviation of a tensor, as used by the
+/// paper's z-score normalisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Biased (population) standard deviation.
+    pub std: f32,
+}
+
+impl Tensor {
+    /// Population (biased) variance of all elements.
+    pub fn variance(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        let m = self.mean() as f64;
+        let s: f64 = self
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - m;
+                d * d
+            })
+            .sum();
+        (s / self.numel() as f64) as f32
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Mean and standard deviation in one pass pair.
+    pub fn moments(&self) -> Moments {
+        Moments {
+            mean: self.mean(),
+            std: self.std(),
+        }
+    }
+
+    /// Covariance between two same-shaped tensors (population).
+    pub fn covariance(&self, other: &Tensor) -> Result<f32> {
+        self.shape().check_same(other.shape(), "covariance")?;
+        if self.numel() == 0 {
+            return Ok(0.0);
+        }
+        let ma = self.mean() as f64;
+        let mb = other.mean() as f64;
+        let s: f64 = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| (a as f64 - ma) * (b as f64 - mb))
+            .sum();
+        Ok((s / self.numel() as f64) as f32)
+    }
+
+    /// Pearson correlation coefficient; 0.0 when either side is constant.
+    pub fn correlation(&self, other: &Tensor) -> Result<f32> {
+        let cov = self.covariance(other)?;
+        let denom = self.std() * other.std();
+        Ok(if denom > 0.0 { cov / denom } else { 0.0 })
+    }
+
+    /// Z-score normalisation `x ↦ (x − mean)/std` with the given moments.
+    ///
+    /// Fails when `std` is not strictly positive (a constant dataset cannot
+    /// be z-scored; surfacing it beats silently dividing by zero).
+    pub fn normalize(&self, m: &Moments) -> Result<Tensor> {
+        if !(m.std > 0.0) {
+            return Err(TensorError::InvalidShape {
+                op: "normalize",
+                reason: format!("standard deviation must be positive, got {}", m.std),
+            });
+        }
+        Ok(self.map(|x| (x - m.mean) / m.std))
+    }
+
+    /// Inverse of [`Tensor::normalize`]: `x ↦ x·std + mean`.
+    pub fn denormalize(&self, m: &Moments) -> Tensor {
+        self.map(|x| x * m.std + m.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn variance_and_std() {
+        let t = Tensor::from_vec([4], vec![2.0, 4.0, 4.0, 6.0]).unwrap();
+        assert!((t.variance() - 2.0).abs() < 1e-6);
+        assert!((t.std() - 2.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(Tensor::zeros([0]).variance(), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_self_is_variance() {
+        let mut rng = Rng::seed_from(1);
+        let t = Tensor::rand_normal([100], 1.0, 2.0, &mut rng);
+        let c = t.covariance(&t).unwrap();
+        assert!((c - t.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn correlation_bounds_and_signs() {
+        let a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = a.scale(5.0).add_scalar(1.0);
+        assert!((a.correlation(&b).unwrap() - 1.0).abs() < 1e-6);
+        let c = a.scale(-2.0);
+        assert!((a.correlation(&c).unwrap() + 1.0).abs() < 1e-6);
+        let constant = Tensor::ones([3]);
+        assert_eq!(a.correlation(&constant).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let t = Tensor::rand_normal([256], 10.0, 3.0, &mut rng);
+        let m = t.moments();
+        let z = t.normalize(&m).unwrap();
+        assert!(z.mean().abs() < 1e-4);
+        assert!((z.std() - 1.0).abs() < 1e-3);
+        let back = z.denormalize(&m);
+        for (x, y) in back.as_slice().iter().zip(t.as_slice()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn normalize_rejects_constant_data() {
+        let t = Tensor::ones([8]);
+        assert!(t.normalize(&t.moments()).is_err());
+    }
+
+    #[test]
+    fn covariance_shape_check() {
+        let a = Tensor::ones([3]);
+        let b = Tensor::ones([4]);
+        assert!(a.covariance(&b).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! The dense row-major `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::rng::Rng;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, heap-allocated `f32` tensor.
+///
+/// This is the single data type flowing through the whole reproduction:
+/// traffic snapshots, im2col buffers, layer activations, gradients and
+/// model weights are all `Tensor`s. The layout convention is:
+///
+/// * 2D feature maps: `[N, C, H, W]`
+/// * 3D (spatio-temporal) feature maps: `[N, C, D, H, W]` where `D` is the
+///   temporal axis (the `S` historical frames of the paper's `F^S_t`)
+/// * matrices: `[rows, cols]`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and a data buffer.
+    ///
+    /// Fails if the element count of `shape` does not match `data.len()`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        shape.check_len(data.len(), "from_vec")?;
+        Ok(Tensor { shape, data })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// `[0, 1, 2, ...]` as a 1-D tensor of length `n`.
+    pub fn arange(n: usize) -> Self {
+        Tensor {
+            shape: Shape::new([n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    /// I.i.d. uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// I.i.d. Gaussian samples with the given mean and standard deviation.
+    pub fn rand_normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut Rng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| rng.normal(mean, std)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index, or `None` when out of bounds.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|off| self.data[off])
+    }
+
+    /// Sets the element at a multi-index. Fails when out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        match self.shape.offset(index) {
+            Some(off) => {
+                self.data[off] = value;
+                Ok(())
+            }
+            None => Err(TensorError::InvalidShape {
+                op: "set",
+                reason: format!("index {index:?} out of bounds for shape {}", self.shape),
+            }),
+        }
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element
+    /// count (no copy of semantics, buffer is moved).
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        shape.check_len(self.data.len(), "reshape")?;
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Like [`Tensor::reshape`] but borrows and clones the buffer.
+    pub fn reshaped(&self, shape: impl Into<Shape>) -> Result<Self> {
+        self.clone().reshape(shape)
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    pub fn zip(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        self.shape.check_same(&other.shape, op)?;
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// Sum of all elements (f64 accumulator to bound drift on large nets).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements; 0.0 for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element; `-inf` for empty tensors.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element; `+inf` for empty tensors.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// True when every element is finite (no NaN / ±inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Returns an error naming `op` if any element is non-finite.
+    ///
+    /// Used as a cheap tripwire around GAN losses, where divergence shows
+    /// up as NaN long before anything else does.
+    pub fn check_finite(&self, op: &'static str) -> Result<()> {
+        if self.is_finite() {
+            Ok(())
+        } else {
+            Err(TensorError::NonFinite { op })
+        }
+    }
+
+    /// Transposes a rank-2 tensor.
+    pub fn transpose2d(&self) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::InvalidShape {
+                op: "transpose2d",
+                reason: format!("expected rank 2, got {}", self.shape),
+            });
+        }
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new([c, r]),
+            data: out,
+        })
+    }
+
+    /// Extracts the `n`-th slice along the first axis (e.g. one sample of a
+    /// batch), as an owned tensor of rank `rank - 1`.
+    pub fn index_axis0(&self, n: usize) -> Result<Self> {
+        if self.shape.rank() == 0 || n >= self.shape.dim(0) {
+            return Err(TensorError::InvalidShape {
+                op: "index_axis0",
+                reason: format!("index {n} out of bounds for shape {}", self.shape),
+            });
+        }
+        let inner: usize = self.shape.dims()[1..].iter().product();
+        let data = self.data[n * inner..(n + 1) * inner].to_vec();
+        Ok(Tensor {
+            shape: Shape::new(self.shape.dims()[1..].to_vec()),
+            data,
+        })
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    pub fn stack(tensors: &[Tensor]) -> Result<Self> {
+        let first = tensors.first().ok_or(TensorError::InvalidShape {
+            op: "stack",
+            reason: "cannot stack zero tensors".into(),
+        })?;
+        let mut data = Vec::with_capacity(first.numel() * tensors.len());
+        for t in tensors {
+            t.shape.check_same(&first.shape, "stack")?;
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![tensors.len()];
+        dims.extend_from_slice(first.shape.dims());
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+
+    /// Concatenates tensors along the first axis (shapes must agree on all
+    /// trailing dims).
+    pub fn concat_axis0(tensors: &[Tensor]) -> Result<Self> {
+        let first = tensors.first().ok_or(TensorError::InvalidShape {
+            op: "concat_axis0",
+            reason: "cannot concat zero tensors".into(),
+        })?;
+        if first.shape.rank() == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "concat_axis0",
+                reason: "cannot concat scalars".into(),
+            });
+        }
+        let tail = &first.shape.dims()[1..];
+        let mut total0 = 0;
+        for t in tensors {
+            if t.shape.rank() != first.shape.rank() || &t.shape.dims()[1..] != tail {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_axis0",
+                    lhs: first.shape.dims().to_vec(),
+                    rhs: t.shape.dims().to_vec(),
+                });
+            }
+            total0 += t.shape.dim(0);
+        }
+        let mut data = Vec::with_capacity(total0 * tail.iter().product::<usize>());
+        for t in tensors {
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![total0];
+        dims.extend_from_slice(tail);
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros([2, 3]).sum(), 0.0);
+        assert_eq!(Tensor::ones([2, 3]).sum(), 6.0);
+        assert_eq!(Tensor::full([2], 2.5).sum(), 5.0);
+        assert_eq!(Tensor::arange(4).as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros([2, 3]);
+        t.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 2]), Some(7.0));
+        assert_eq!(t.get(&[2, 0]), None);
+        assert!(t.set(&[0, 3], 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        assert_eq!(t.get(&[1, 0]), Some(3.0));
+        assert!(t.reshaped([4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::arange(3);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.as_slice(), &[0.0, 2.0, 4.0]);
+        let c = a.zip(&b, "add", |x, y| x + y).unwrap();
+        assert_eq!(c.as_slice(), &[0.0, 3.0, 6.0]);
+        let bad = Tensor::arange(4);
+        assert!(a.zip(&bad, "add", |x, y| x + y).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec([4], vec![1.0, -2.0, 3.0, 0.0]).unwrap();
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn finiteness_guard() {
+        let mut t = Tensor::ones([3]);
+        assert!(t.check_finite("x").is_ok());
+        t.as_mut_slice()[1] = f32::NAN;
+        assert!(!t.is_finite());
+        assert_eq!(
+            t.check_finite("loss"),
+            Err(TensorError::NonFinite { op: "loss" })
+        );
+    }
+
+    #[test]
+    fn transpose2d_works() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]), Some(5.0));
+        assert!(Tensor::arange(6).transpose2d().is_err());
+    }
+
+    #[test]
+    fn index_axis0_extracts_sample() {
+        let t = Tensor::arange(12).reshape([3, 2, 2]).unwrap();
+        let s = t.index_axis0(1).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert!(t.index_axis0(3).is_err());
+    }
+
+    #[test]
+    fn stack_and_concat() {
+        let a = Tensor::ones([2, 2]);
+        let b = Tensor::zeros([2, 2]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.dims(), &[2, 2, 2]);
+        let c = Tensor::concat_axis0(&[a, b]).unwrap();
+        assert_eq!(c.dims(), &[4, 2]);
+        assert_eq!(c.sum(), 4.0);
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn rand_constructors_are_deterministic() {
+        let mut r1 = Rng::seed_from(42);
+        let mut r2 = Rng::seed_from(42);
+        let a = Tensor::rand_normal([16], 0.0, 1.0, &mut r1);
+        let b = Tensor::rand_normal([16], 0.0, 1.0, &mut r2);
+        assert_eq!(a, b);
+        let u = Tensor::rand_uniform([64], -1.0, 1.0, &mut r1);
+        assert!(u.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+}

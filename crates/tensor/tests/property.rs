@@ -1,0 +1,163 @@
+//! Property-based tests of the tensor substrate: algebraic identities
+//! that must hold for arbitrary finite inputs and geometries.
+
+use mtsr_tensor::conv::{
+    conv2d_backward_data, conv2d_forward, conv_transpose2d_forward, Conv2dSpec,
+};
+use mtsr_tensor::matmul::{matmul, matmul_naive};
+use mtsr_tensor::{Rng, Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec([n], v).expect("shape matches")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elementwise addition is commutative and subtraction its inverse.
+    #[test]
+    fn add_commutes_and_sub_inverts(v in prop::collection::vec((-1e3f32..1e3, -1e3f32..1e3), 1..64)) {
+        let (a_v, b_v): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
+        let n = a_v.len();
+        let a = Tensor::from_vec([n], a_v).expect("shape");
+        let b = Tensor::from_vec([n], b_v).expect("shape");
+        let ab = a.add(&b).expect("add");
+        let ba = b.add(&a).expect("add");
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        let back = ab.sub(&b).expect("sub");
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Scaling distributes over addition.
+    #[test]
+    fn scale_distributes(a in tensor_strategy(64), k in -10.0f32..10.0) {
+        let lhs = a.add(&a).expect("add").scale(k);
+        let rhs = a.scale(k).add(&a.scale(k)).expect("add");
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2 + 1e-4 * x.abs());
+        }
+    }
+
+    /// Blocked GEMM agrees with the naive reference on random shapes.
+    #[test]
+    fn matmul_matches_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        let fast = matmul(&a, &b).expect("matmul");
+        let slow = matmul_naive(&a, &b).expect("naive");
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Matmul is linear in its first argument.
+    #[test]
+    fn matmul_linearity(seed in any::<u64>(), alpha in -5.0f32..5.0) {
+        let mut rng = Rng::seed_from(seed);
+        let a1 = Tensor::rand_normal([4, 5], 0.0, 1.0, &mut rng);
+        let a2 = Tensor::rand_normal([4, 5], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([5, 3], 0.0, 1.0, &mut rng);
+        let lhs = matmul(&a1.scale(alpha).add(&a2).expect("add"), &b).expect("matmul");
+        let rhs = matmul(&a1, &b).expect("matmul").scale(alpha)
+            .add(&matmul(&a2, &b).expect("matmul")).expect("add");
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2 + 1e-3 * y.abs());
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(r in 1usize..10, c in 1usize..10, seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::rand_normal([r, c], 0.0, 1.0, &mut rng);
+        let tt = a.transpose2d().expect("t").transpose2d().expect("tt");
+        prop_assert_eq!(tt, a);
+    }
+
+    /// Convolution is linear in the input.
+    #[test]
+    fn conv2d_linearity(seed in any::<u64>(), alpha in -3.0f32..3.0) {
+        let mut rng = Rng::seed_from(seed);
+        let x1 = Tensor::rand_normal([1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let x2 = Tensor::rand_normal([1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let spec = Conv2dSpec::same(3);
+        let lhs = conv2d_forward(&x1.scale(alpha).add(&x2).expect("add"), &w, &spec).expect("conv");
+        let rhs = conv2d_forward(&x1, &w, &spec).expect("conv").scale(alpha)
+            .add(&conv2d_forward(&x2, &w, &spec).expect("conv")).expect("add");
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2 + 1e-3 * b.abs());
+        }
+    }
+
+    /// deconv(x, W) is the exact adjoint of conv(·, W):
+    /// ⟨conv(y, W), x⟩ = ⟨y, deconv(x, W)⟩ for random strides/pads.
+    #[test]
+    fn deconv_is_conv_adjoint(seed in any::<u64>(), stride in 1usize..3, pad in 0usize..2) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Tensor::rand_normal([2, 3, 3, 3], 0.0, 0.5, &mut rng); // [Ci_d, Co_d, k, k]
+        let x = Tensor::rand_normal([1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::new(stride, pad);
+        let dx = match conv_transpose2d_forward(&x, &w, &spec) {
+            Ok(t) => t,
+            Err(_) => return Ok(()), // geometry impossible for this draw
+        };
+        let y = Tensor::rand_normal(dx.dims().to_vec(), 0.0, 1.0, &mut rng);
+        let cy = conv2d_forward(&y, &w, &spec).expect("conv");
+        let lhs: f64 = cy.as_slice().iter().zip(x.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = dx.as_slice().iter().zip(y.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    /// backward-data really is the adjoint of forward for random geometry.
+    #[test]
+    fn conv_backward_data_adjoint(seed in any::<u64>(), stride in 1usize..3) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::rand_normal([1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let spec = Conv2dSpec { stride: (stride, stride), pad: (1, 1) };
+        let y = conv2d_forward(&x, &w, &spec).expect("conv");
+        let g = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
+        let gx = conv2d_backward_data(&g, &w, &spec, (6, 6)).expect("bwd");
+        let lhs: f64 = y.as_slice().iter().zip(g.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(gx.as_slice())
+            .map(|(&a, &b)| a as f64 * b as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    /// Reshape preserves every element in order for any valid factoring.
+    #[test]
+    fn reshape_preserves_order(v in prop::collection::vec(-1e3f32..1e3, 1..48)) {
+        let n = v.len();
+        let t = Tensor::from_vec([n], v.clone()).expect("shape");
+        // Factor n as [a, n/a] for every divisor a.
+        for a in 1..=n {
+            if n % a == 0 {
+                let r = t.reshaped([a, n / a]).expect("reshape");
+                prop_assert_eq!(r.as_slice(), &v[..]);
+                prop_assert_eq!(r.shape(), &Shape::new([a, n / a]));
+            }
+        }
+    }
+
+    /// Statistics: variance is translation-invariant and scales
+    /// quadratically.
+    #[test]
+    fn variance_affine_rules(a in tensor_strategy(64), shift in -100.0f32..100.0, k in -5.0f32..5.0) {
+        let v0 = a.variance();
+        let shifted = a.add_scalar(shift).variance();
+        prop_assert!((v0 - shifted).abs() < 1e-2 * (1.0 + v0.abs()), "{v0} vs {shifted}");
+        let scaled = a.scale(k).variance();
+        prop_assert!((scaled - k * k * v0).abs() < 1e-2 * (1.0 + (k * k * v0).abs()));
+    }
+}

@@ -1,0 +1,184 @@
+//! Anomalous-traffic injection (paper §5.5).
+//!
+//! The paper evaluates robustness by artificially adding "abrupt traffic
+//! demands in suburban areas, which can be regarded as occurrences of
+//! social events (e.g. concert, football match)" to the *test* set only —
+//! the model never sees such patterns in training.
+
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+
+/// A localised traffic surge: a Gaussian bump added to one or more frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyEvent {
+    /// Centre row of the event.
+    pub y: usize,
+    /// Centre column of the event.
+    pub x: usize,
+    /// Spatial radius (Gaussian σ) in cells.
+    pub radius: f32,
+    /// Peak added traffic in MB per interval.
+    pub magnitude_mb: f32,
+}
+
+impl AnomalyEvent {
+    /// A suburban event for a `grid`-sized city: placed in the bottom-left
+    /// quadrant (as in Fig. 13), radius and magnitude scaled to the grid.
+    pub fn suburban(grid: usize, magnitude_mb: f32) -> Self {
+        AnomalyEvent {
+            y: grid * 3 / 4,
+            x: grid / 5,
+            radius: grid as f32 * 0.05,
+            magnitude_mb,
+        }
+    }
+
+    /// A randomly placed event away from the city centre.
+    pub fn random_suburban(grid: usize, magnitude_mb: f32, rng: &mut Rng) -> Self {
+        // Sample until the point is in the outer half of the grid.
+        loop {
+            let y = rng.below(grid);
+            let x = rng.below(grid);
+            let dy = y as f32 - grid as f32 / 2.0;
+            let dx = x as f32 - grid as f32 / 2.0;
+            if (dy * dy + dx * dx).sqrt() > grid as f32 * 0.3 {
+                return AnomalyEvent {
+                    y,
+                    x,
+                    radius: grid as f32 * 0.05,
+                    magnitude_mb,
+                };
+            }
+        }
+    }
+
+    /// Adds the event to one `[g, g]` snapshot in place.
+    pub fn apply(&self, frame: &mut Tensor) -> Result<()> {
+        let dims = frame.dims().to_vec();
+        if dims.len() != 2 {
+            return Err(TensorError::InvalidShape {
+                op: "AnomalyEvent::apply",
+                reason: format!("expected [g, g] frame, got {}", frame.shape()),
+            });
+        }
+        if self.y >= dims[0] || self.x >= dims[1] {
+            return Err(TensorError::InvalidShape {
+                op: "AnomalyEvent::apply",
+                reason: format!("event centre ({}, {}) outside {dims:?}", self.y, self.x),
+            });
+        }
+        let (g_h, g_w) = (dims[0], dims[1]);
+        let f = frame.as_mut_slice();
+        let two_r2 = 2.0 * self.radius * self.radius;
+        for y in 0..g_h {
+            for x in 0..g_w {
+                let d2 = (y as f32 - self.y as f32).powi(2) + (x as f32 - self.x as f32).powi(2);
+                f[y * g_w + x] += self.magnitude_mb * (-d2 / two_r2).exp();
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds the event to a range of frames of a `[T, g, g]` movie.
+    pub fn apply_to_movie(&self, movie: &mut Tensor, t_range: std::ops::Range<usize>) -> Result<()> {
+        let dims = movie.dims().to_vec();
+        if dims.len() != 3 {
+            return Err(TensorError::InvalidShape {
+                op: "AnomalyEvent::apply_to_movie",
+                reason: format!("expected [T, g, g] movie, got {}", movie.shape()),
+            });
+        }
+        if t_range.end > dims[0] {
+            return Err(TensorError::InvalidShape {
+                op: "AnomalyEvent::apply_to_movie",
+                reason: format!("frame range {t_range:?} exceeds T = {}", dims[0]),
+            });
+        }
+        let cells = dims[1] * dims[2];
+        for t in t_range {
+            let mut frame = Tensor::from_vec(
+                [dims[1], dims[2]],
+                movie.as_slice()[t * cells..(t + 1) * cells].to_vec(),
+            )?;
+            self.apply(&mut frame)?;
+            movie.as_mut_slice()[t * cells..(t + 1) * cells].copy_from_slice(frame.as_slice());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_peaks_at_centre() {
+        let mut frame = Tensor::zeros([20, 20]);
+        let ev = AnomalyEvent {
+            y: 10,
+            x: 5,
+            radius: 2.0,
+            magnitude_mb: 500.0,
+        };
+        ev.apply(&mut frame).unwrap();
+        assert!((frame.get(&[10, 5]).unwrap() - 500.0).abs() < 1.0);
+        assert!(frame.get(&[10, 6]).unwrap() < 500.0);
+        assert!(frame.get(&[0, 19]).unwrap() < 1.0); // far away: negligible
+    }
+
+    #[test]
+    fn suburban_event_avoids_centre() {
+        let ev = AnomalyEvent::suburban(40, 1000.0);
+        let dy = ev.y as f32 - 20.0;
+        let dx = ev.x as f32 - 20.0;
+        assert!((dy * dy + dx * dx).sqrt() > 8.0);
+    }
+
+    #[test]
+    fn random_suburban_respects_exclusion_zone() {
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..20 {
+            let ev = AnomalyEvent::random_suburban(40, 100.0, &mut rng);
+            let dy = ev.y as f32 - 20.0;
+            let dx = ev.x as f32 - 20.0;
+            assert!((dy * dy + dx * dx).sqrt() > 12.0);
+        }
+    }
+
+    #[test]
+    fn movie_injection_touches_only_selected_frames() {
+        let mut movie = Tensor::zeros([4, 10, 10]);
+        let ev = AnomalyEvent {
+            y: 5,
+            x: 5,
+            radius: 1.5,
+            magnitude_mb: 100.0,
+        };
+        ev.apply_to_movie(&mut movie, 1..3).unwrap();
+        assert_eq!(movie.get(&[0, 5, 5]).unwrap(), 0.0);
+        assert!(movie.get(&[1, 5, 5]).unwrap() > 99.0);
+        assert!(movie.get(&[2, 5, 5]).unwrap() > 99.0);
+        assert_eq!(movie.get(&[3, 5, 5]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut bad = Tensor::zeros([10]);
+        let ev = AnomalyEvent {
+            y: 0,
+            x: 0,
+            radius: 1.0,
+            magnitude_mb: 1.0,
+        };
+        assert!(ev.apply(&mut bad).is_err());
+        let mut movie = Tensor::zeros([2, 4, 4]);
+        assert!(ev.apply_to_movie(&mut movie, 0..5).is_err());
+        let off = AnomalyEvent {
+            y: 10,
+            x: 0,
+            radius: 1.0,
+            magnitude_mb: 1.0,
+        };
+        let mut frame = Tensor::zeros([4, 4]);
+        assert!(off.apply(&mut frame).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Data processing & augmentation (paper §4).
+//!
+//! The paper crops each 100×100 snapshot into 80×80 "sub-frames" at every
+//! 1-cell offset, producing 441 training points per snapshot, and
+//! reassembles full-grid predictions from overlapping windows with a
+//! moving-average filter.
+
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// Cropping configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AugmentConfig {
+    /// Side of the cropped window (paper: 80).
+    pub window: usize,
+    /// Offset increment between crops (paper: 1).
+    pub stride: usize,
+}
+
+impl AugmentConfig {
+    /// Paper configuration: 80×80 windows at 1-cell offsets.
+    pub fn paper() -> Self {
+        AugmentConfig {
+            window: 80,
+            stride: 1,
+        }
+    }
+
+    /// All crop origins for a `grid`-sized snapshot.
+    pub fn offsets(&self, grid: usize) -> Result<Vec<(usize, usize)>> {
+        if self.window == 0 || self.window > grid || self.stride == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "AugmentConfig::offsets",
+                reason: format!(
+                    "window {} / stride {} invalid for grid {grid}",
+                    self.window, self.stride
+                ),
+            });
+        }
+        let per_dim: Vec<usize> = (0..=(grid - self.window)).step_by(self.stride).collect();
+        let mut out = Vec::with_capacity(per_dim.len() * per_dim.len());
+        for &y in &per_dim {
+            for &x in &per_dim {
+                out.push((y, x));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Crops a `[g, g]` snapshot to `[window, window]` at origin `(y, x)`.
+pub fn crop(frame: &Tensor, y: usize, x: usize, window: usize) -> Result<Tensor> {
+    let dims = frame.dims();
+    if dims.len() != 2 || dims[0] != dims[1] {
+        return Err(TensorError::InvalidShape {
+            op: "crop",
+            reason: format!("expected square [g, g] frame, got {}", frame.shape()),
+        });
+    }
+    let g = dims[0];
+    if y + window > g || x + window > g {
+        return Err(TensorError::InvalidShape {
+            op: "crop",
+            reason: format!("crop ({y}, {x}) size {window} exceeds grid {g}"),
+        });
+    }
+    let src = frame.as_slice();
+    let mut out = Tensor::zeros([window, window]);
+    let dst = out.as_mut_slice();
+    for r in 0..window {
+        let s = (y + r) * g + x;
+        dst[r * window..(r + 1) * window].copy_from_slice(&src[s..s + window]);
+    }
+    Ok(out)
+}
+
+/// Reassembles a full `[grid, grid]` prediction from overlapping window
+/// predictions via the paper's moving-average filter: every cell takes the
+/// mean of all window predictions covering it.
+///
+/// Fails if the windows do not jointly cover the grid.
+pub fn reassemble(
+    windows: &[((usize, usize), Tensor)],
+    grid: usize,
+) -> Result<Tensor> {
+    let mut sum = vec![0.0f64; grid * grid];
+    let mut count = vec![0u32; grid * grid];
+    for ((y, x), w) in windows {
+        let dims = w.dims();
+        if dims.len() != 2 || dims[0] != dims[1] {
+            return Err(TensorError::InvalidShape {
+                op: "reassemble",
+                reason: format!("window must be square, got {}", w.shape()),
+            });
+        }
+        let win = dims[0];
+        if y + win > grid || x + win > grid {
+            return Err(TensorError::InvalidShape {
+                op: "reassemble",
+                reason: format!("window ({y}, {x}) size {win} exceeds grid {grid}"),
+            });
+        }
+        let ws = w.as_slice();
+        for r in 0..win {
+            for c in 0..win {
+                let idx = (y + r) * grid + (x + c);
+                sum[idx] += ws[r * win + c] as f64;
+                count[idx] += 1;
+            }
+        }
+    }
+    if count.iter().any(|&c| c == 0) {
+        return Err(TensorError::InvalidShape {
+            op: "reassemble",
+            reason: "windows do not cover the full grid".into(),
+        });
+    }
+    let data = sum
+        .into_iter()
+        .zip(count)
+        .map(|(s, c)| (s / c as f64) as f32)
+        .collect();
+    Tensor::from_vec([grid, grid], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtsr_tensor::Rng;
+
+    #[test]
+    fn paper_config_yields_441_crops() {
+        // 100×100 grid, 80×80 windows, 1-cell offsets: 21 × 21 = 441 (§4).
+        let offs = AugmentConfig::paper().offsets(100).unwrap();
+        assert_eq!(offs.len(), 441);
+        assert_eq!(offs[0], (0, 0));
+        assert_eq!(*offs.last().unwrap(), (20, 20));
+    }
+
+    #[test]
+    fn stride_reduces_crop_count() {
+        let cfg = AugmentConfig {
+            window: 80,
+            stride: 5,
+        };
+        assert_eq!(cfg.offsets(100).unwrap().len(), 25); // 5 × 5
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let frame = Tensor::arange(16).reshape([4, 4]).unwrap();
+        let c = crop(&frame, 1, 2, 2).unwrap();
+        assert_eq!(c.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+        assert!(crop(&frame, 3, 3, 2).is_err());
+    }
+
+    #[test]
+    fn reassemble_identity_for_single_full_window() {
+        let mut rng = Rng::seed_from(1);
+        let frame = Tensor::rand_uniform([6, 6], 0.0, 10.0, &mut rng);
+        let out = reassemble(&[((0, 0), frame.clone())], 6).unwrap();
+        assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn crop_reassemble_roundtrip() {
+        // Crop everywhere, reassemble: must reproduce the original exactly
+        // (all windows agree, so averaging is the identity).
+        let mut rng = Rng::seed_from(2);
+        let frame = Tensor::rand_uniform([10, 10], 0.0, 100.0, &mut rng);
+        let cfg = AugmentConfig {
+            window: 6,
+            stride: 2,
+        };
+        let windows: Vec<((usize, usize), Tensor)> = cfg
+            .offsets(10)
+            .unwrap()
+            .into_iter()
+            .map(|(y, x)| ((y, x), crop(&frame, y, x, 6).unwrap()))
+            .collect();
+        let back = reassemble(&windows, 10).unwrap();
+        for (a, b) in back.as_slice().iter().zip(frame.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reassemble_averages_disagreeing_windows() {
+        let w1 = Tensor::full([2, 2], 1.0);
+        let w2 = Tensor::full([2, 2], 3.0);
+        let out = reassemble(&[((0, 0), w1), ((0, 0), w2)], 2).unwrap();
+        assert!(out.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn reassemble_requires_full_coverage() {
+        let w = Tensor::ones([2, 2]);
+        assert!(reassemble(&[((0, 0), w)], 4).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(AugmentConfig { window: 0, stride: 1 }.offsets(10).is_err());
+        assert!(AugmentConfig { window: 11, stride: 1 }.offsets(10).is_err());
+        assert!(AugmentConfig { window: 5, stride: 0 }.offsets(10).is_err());
+    }
+}

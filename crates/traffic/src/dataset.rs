@@ -1,0 +1,528 @@
+//! Dataset assembly: splits, normalisation and tensor packing of
+//! `(F^S_t, D^H_t)` training pairs (paper §2, §4, §5.2).
+//!
+//! The paper trains on 40 days of data, validates on the next 10 and tests
+//! on the final 10, normalising everything by subtracting the mean and
+//! dividing by the standard deviation of the data. Inputs are sequences of
+//! `S` coarse-grained frames; targets are the current fine-grained frame.
+
+use crate::augment::{crop, AugmentConfig};
+use crate::probe::ProbeLayout;
+use mtsr_tensor::stats::Moments;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+
+/// Which split a sample is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// Training window (paper: first 40 days).
+    Train,
+    /// Validation window (paper: next 10 days).
+    Valid,
+    /// Test window (paper: final 10 days).
+    Test,
+}
+
+/// Dataset configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Temporal input length `S` (paper default 6; §5.6 sweeps {1, 3, 6}).
+    pub s: usize,
+    /// Number of training frames.
+    pub train: usize,
+    /// Number of validation frames.
+    pub valid: usize,
+    /// Number of test frames.
+    pub test: usize,
+    /// Optional §4 cropping augmentation (homogeneous layouts only).
+    pub augment: Option<AugmentConfig>,
+}
+
+impl DatasetConfig {
+    /// Paper configuration: S = 6, 40/10/10 days of 144 frames, 80×80
+    /// crops at 1-cell offsets.
+    pub fn paper() -> Self {
+        DatasetConfig {
+            s: 6,
+            train: 40 * 144,
+            valid: 10 * 144,
+            test: 10 * 144,
+            augment: Some(AugmentConfig::paper()),
+        }
+    }
+
+    /// Scaled configuration for CPU experiments (no cropping; the scaled
+    /// grids are small enough to train on whole frames).
+    pub fn small() -> Self {
+        DatasetConfig {
+            s: 6,
+            train: 576,
+            valid: 144,
+            test: 144,
+            augment: None,
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            s: 3,
+            train: 48,
+            valid: 16,
+            test: 16,
+            augment: None,
+        }
+    }
+
+    /// Total frames required.
+    pub fn total(&self) -> usize {
+        self.train + self.valid + self.test
+    }
+}
+
+/// One supervised pair: `S` coarse input frames and the fine target.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Frame index `t` of the target.
+    pub t: usize,
+    /// Normalised input `[1, S, h, w]` (channel, depth, height, width).
+    pub input: Tensor,
+    /// Normalised target `[1, H, W]`.
+    pub target: Tensor,
+}
+
+/// A fully assembled MTSR dataset over one probe layout.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    layout: ProbeLayout,
+    cfg: DatasetConfig,
+    /// Normalised fine-grained frames `[T, g, g]`.
+    fine: Tensor,
+    /// Normalised coarse projections `[T, sq, sq]`.
+    coarse: Tensor,
+    moments: Moments,
+}
+
+impl Dataset {
+    /// Builds the dataset from a raw `[T, g, g]` traffic movie.
+    ///
+    /// Normalisation moments are estimated on the *training* fine-grained
+    /// frames only (no test leakage) and applied to both resolutions —
+    /// valid because probe aggregation is a mean, which commutes with the
+    /// affine z-score.
+    pub fn build(movie: &Tensor, layout: ProbeLayout, cfg: DatasetConfig) -> Result<Dataset> {
+        let dims = movie.dims();
+        if dims.len() != 3 || dims[1] != layout.grid || dims[2] != layout.grid {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::build",
+                reason: format!(
+                    "expected [T, {0}, {0}] movie, got {1}",
+                    layout.grid,
+                    movie.shape()
+                ),
+            });
+        }
+        let t_total = dims[0];
+        if cfg.total() > t_total {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::build",
+                reason: format!(
+                    "splits need {} frames but movie has {t_total}",
+                    cfg.total()
+                ),
+            });
+        }
+        if cfg.s == 0 || cfg.s >= cfg.train {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::build",
+                reason: format!("temporal length S = {} invalid for train = {}", cfg.s, cfg.train),
+            });
+        }
+        if let Some(a) = &cfg.augment {
+            let n = layout.uniform_size().ok_or_else(|| TensorError::InvalidShape {
+                op: "Dataset::build",
+                reason: "cropping augmentation requires a homogeneous probe layout".into(),
+            })?;
+            if a.window % n != 0 {
+                return Err(TensorError::InvalidShape {
+                    op: "Dataset::build",
+                    reason: format!("augment window {} not divisible by probe size {n}", a.window),
+                });
+            }
+            a.offsets(layout.grid)?; // validates window/stride vs grid
+        }
+
+        let g = layout.grid;
+        let cells = g * g;
+        // Moments over the raw training frames.
+        let train_raw = Tensor::from_vec(
+            [cfg.train * cells],
+            movie.as_slice()[..cfg.train * cells].to_vec(),
+        )?;
+        let moments = train_raw.moments();
+        if !(moments.std > 0.0) {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::build",
+                reason: "training traffic is constant; cannot normalise".into(),
+            });
+        }
+        let used = Tensor::from_vec(
+            [cfg.total(), g, g],
+            movie.as_slice()[..cfg.total() * cells].to_vec(),
+        )?;
+        let fine = used.normalize(&moments)?;
+
+        // Coarse projection of every (normalised) frame.
+        let sq = layout.square;
+        let mut coarse = Tensor::zeros([cfg.total(), sq, sq]);
+        for t in 0..cfg.total() {
+            let frame = fine.index_axis0(t)?;
+            let c = layout.coarse_frame(&frame)?;
+            coarse.as_mut_slice()[t * sq * sq..(t + 1) * sq * sq].copy_from_slice(c.as_slice());
+        }
+
+        Ok(Dataset {
+            layout,
+            cfg,
+            fine,
+            coarse,
+            moments,
+        })
+    }
+
+    /// The probe layout the dataset was built over.
+    pub fn layout(&self) -> &ProbeLayout {
+        &self.layout
+    }
+
+    /// The configuration used to build the dataset.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.cfg
+    }
+
+    /// Normalisation moments (training split).
+    pub fn moments(&self) -> Moments {
+        self.moments
+    }
+
+    /// Temporal input length `S`.
+    pub fn s(&self) -> usize {
+        self.cfg.s
+    }
+
+    /// Frame-index range of a split.
+    pub fn range(&self, split: Split) -> std::ops::Range<usize> {
+        match split {
+            Split::Train => 0..self.cfg.train,
+            Split::Valid => self.cfg.train..self.cfg.train + self.cfg.valid,
+            Split::Test => self.cfg.train + self.cfg.valid..self.cfg.total(),
+        }
+    }
+
+    /// Target indices of a split that have a full `S`-frame history inside
+    /// the split (no cross-split leakage).
+    pub fn usable_indices(&self, split: Split) -> Vec<usize> {
+        let r = self.range(split);
+        (r.start + self.cfg.s - 1..r.end).collect()
+    }
+
+    /// One full-frame supervised pair at target index `t` (normalised).
+    pub fn sample_at(&self, t: usize) -> Result<Sample> {
+        if t + 1 < self.cfg.s || t >= self.cfg.total() {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::sample_at",
+                reason: format!("target index {t} lacks an S = {} history", self.cfg.s),
+            });
+        }
+        let sq = self.layout.square;
+        let s = self.cfg.s;
+        let per = sq * sq;
+        let mut input = Tensor::zeros([1, s, sq, sq]);
+        let src = self.coarse.as_slice();
+        input.as_mut_slice()[..s * per]
+            .copy_from_slice(&src[(t + 1 - s) * per..(t + 1) * per]);
+        let g = self.layout.grid;
+        let target = Tensor::from_vec(
+            [1, g, g],
+            self.fine.as_slice()[t * g * g..(t + 1) * g * g].to_vec(),
+        )?;
+        Ok(Sample { t, input, target })
+    }
+
+    /// Samples a random minibatch from `split` (Algorithm 1 lines 5/10).
+    ///
+    /// Returns `(inputs [m, 1, S, h, w], targets [m, 1, H, W])`,
+    /// normalised. When the §4 cropping augmentation is configured and the
+    /// split is `Train`, each element is an independently cropped
+    /// sub-frame pair; the input spatial side is then `window/n` and the
+    /// target side `window`.
+    pub fn sample_batch(
+        &self,
+        split: Split,
+        m: usize,
+        rng: &mut Rng,
+    ) -> Result<(Tensor, Tensor)> {
+        let idx = self.usable_indices(split);
+        if idx.is_empty() || m == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::sample_batch",
+                reason: format!("split {split:?} has no usable samples (m = {m})"),
+            });
+        }
+        match (&self.cfg.augment, split) {
+            (Some(aug), Split::Train) => self.augmented_batch(&idx, *aug, m, rng),
+            _ => {
+                let mut inputs = Vec::with_capacity(m);
+                let mut targets = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let t = idx[rng.below(idx.len())];
+                    let s = self.sample_at(t)?;
+                    inputs.push(s.input);
+                    targets.push(s.target);
+                }
+                Ok((Tensor::stack(&inputs)?, Tensor::stack(&targets)?))
+            }
+        }
+    }
+
+    /// Cropped-batch path of [`Dataset::sample_batch`].
+    fn augmented_batch(
+        &self,
+        idx: &[usize],
+        aug: AugmentConfig,
+        m: usize,
+        rng: &mut Rng,
+    ) -> Result<(Tensor, Tensor)> {
+        let n = self
+            .layout
+            .uniform_size()
+            .expect("validated in Dataset::build");
+        let offsets = aug.offsets(self.layout.grid)?;
+        let g = self.layout.grid;
+        let s = self.cfg.s;
+        let win_layout = ProbeLayout::uniform(aug.window, n)?;
+        let mut inputs = Vec::with_capacity(m);
+        let mut targets = Vec::with_capacity(m);
+        for _ in 0..m {
+            let t = idx[rng.below(idx.len())];
+            let (oy, ox) = offsets[rng.below(offsets.len())];
+            // Aggregation is a mean and the frames are already normalised,
+            // so aggregating the normalised crop equals normalising the
+            // aggregated raw crop.
+            let mut in_frames = Vec::with_capacity(s);
+            for dt in 0..s {
+                let ft = t + 1 - s + dt;
+                let fine_frame = Tensor::from_vec(
+                    [g, g],
+                    self.fine.as_slice()[ft * g * g..(ft + 1) * g * g].to_vec(),
+                )?;
+                let cropped = crop(&fine_frame, oy, ox, aug.window)?;
+                in_frames.push(win_layout.coarse_frame(&cropped)?);
+            }
+            let input = Tensor::stack(&in_frames)?; // [S, w/n, w/n]
+            let dims = input.dims().to_vec();
+            inputs.push(input.reshape([1, dims[0], dims[1], dims[2]])?);
+            let fine_frame = Tensor::from_vec(
+                [g, g],
+                self.fine.as_slice()[t * g * g..(t + 1) * g * g].to_vec(),
+            )?;
+            let target = crop(&fine_frame, oy, ox, aug.window)?;
+            targets.push(target.reshape([1, aug.window, aug.window])?);
+        }
+        Ok((Tensor::stack(&inputs)?, Tensor::stack(&targets)?))
+    }
+
+    /// Raw (denormalised) fine-grained frame at index `t` — ground truth
+    /// for evaluation in MB.
+    pub fn fine_frame_raw(&self, t: usize) -> Result<Tensor> {
+        let g = self.layout.grid;
+        if t >= self.cfg.total() {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::fine_frame_raw",
+                reason: format!("frame {t} out of range"),
+            });
+        }
+        let frame = Tensor::from_vec(
+            [g, g],
+            self.fine.as_slice()[t * g * g..(t + 1) * g * g].to_vec(),
+        )?;
+        Ok(frame.denormalize(&self.moments))
+    }
+
+    /// Raw (denormalised) coarse frame at index `t` — what the probes
+    /// actually reported, for plotting inputs.
+    pub fn coarse_frame_raw(&self, t: usize) -> Result<Tensor> {
+        let sq = self.layout.square;
+        if t >= self.cfg.total() {
+            return Err(TensorError::InvalidShape {
+                op: "Dataset::coarse_frame_raw",
+                reason: format!("frame {t} out of range"),
+            });
+        }
+        let frame = Tensor::from_vec(
+            [sq, sq],
+            self.coarse.as_slice()[t * sq * sq..(t + 1) * sq * sq].to_vec(),
+        )?;
+        Ok(frame.denormalize(&self.moments))
+    }
+
+    /// Denormalises a model output back to MB.
+    pub fn denormalize(&self, t: &Tensor) -> Tensor {
+        t.denormalize(&self.moments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::generator::MilanGenerator;
+    use crate::probe::MtsrInstance;
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let cfg = CityConfig::tiny();
+        let gen = MilanGenerator::new(&cfg, &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn shapes_of_full_frame_samples() {
+        let ds = tiny_dataset(1);
+        let t = ds.usable_indices(Split::Train)[0];
+        let s = ds.sample_at(t).unwrap();
+        assert_eq!(s.input.dims(), &[1, 3, 10, 10]); // S=3, 20/2 coarse
+        assert_eq!(s.target.dims(), &[1, 20, 20]);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_ordered() {
+        let ds = tiny_dataset(2);
+        let tr = ds.range(Split::Train);
+        let va = ds.range(Split::Valid);
+        let te = ds.range(Split::Test);
+        assert_eq!(tr.end, va.start);
+        assert_eq!(va.end, te.start);
+        assert_eq!(te.end, DatasetConfig::tiny().total());
+        // usable indices respect the S-history constraint
+        assert_eq!(ds.usable_indices(Split::Train)[0], 2); // S = 3
+        assert_eq!(ds.usable_indices(Split::Valid)[0], va.start + 2);
+    }
+
+    #[test]
+    fn batch_shapes_and_determinism() {
+        let ds = tiny_dataset(3);
+        let (x1, y1) = ds.sample_batch(Split::Train, 4, &mut Rng::seed_from(9)).unwrap();
+        let (x2, y2) = ds.sample_batch(Split::Train, 4, &mut Rng::seed_from(9)).unwrap();
+        assert_eq!(x1.dims(), &[4, 1, 3, 10, 10]);
+        assert_eq!(y1.dims(), &[4, 1, 20, 20]);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn normalisation_roundtrip_recovers_raw_traffic() {
+        let mut rng = Rng::seed_from(4);
+        let cfg = CityConfig::tiny();
+        let gen = MilanGenerator::new(&cfg, &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        let ds = Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap();
+        let t = 5;
+        let raw = ds.fine_frame_raw(t).unwrap();
+        let orig = movie.index_axis0(t).unwrap();
+        for (a, b) in raw.as_slice().iter().zip(orig.as_slice()) {
+            assert!((a - b).abs() < 0.5 + 1e-3 * b.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn training_data_is_zero_mean_unit_std() {
+        let ds = tiny_dataset(5);
+        let g = 20;
+        let train_cells = ds.range(Split::Train).end * g * g;
+        let train = Tensor::from_vec(
+            [train_cells],
+            ds.fine.as_slice()[..train_cells].to_vec(),
+        )
+        .unwrap();
+        assert!(train.mean().abs() < 1e-3);
+        assert!((train.std() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coarse_frames_are_aggregates_of_fine() {
+        let ds = tiny_dataset(6);
+        let t = 7;
+        let fine_raw = ds.fine_frame_raw(t).unwrap();
+        let coarse_raw = ds.coarse_frame_raw(t).unwrap();
+        let direct = ds.layout().coarse_frame(&fine_raw).unwrap();
+        for (a, b) in coarse_raw.as_slice().iter().zip(direct.as_slice()) {
+            assert!((a - b).abs() < 0.5 + 1e-3 * b.abs());
+        }
+    }
+
+    #[test]
+    fn augmented_batches_crop_consistently() {
+        let mut rng = Rng::seed_from(7);
+        let mut city_cfg = CityConfig::tiny();
+        city_cfg.grid = 24;
+        let gen = MilanGenerator::new(&city_cfg, &mut rng).unwrap();
+        let mut ds_cfg = DatasetConfig::tiny();
+        ds_cfg.augment = Some(AugmentConfig {
+            window: 16,
+            stride: 2,
+        });
+        let movie = gen.generate(ds_cfg.total(), &mut rng).unwrap();
+        let layout = ProbeLayout::uniform(24, 4).unwrap();
+        let ds = Dataset::build(&movie, layout, ds_cfg).unwrap();
+        let (x, y) = ds.sample_batch(Split::Train, 3, &mut rng).unwrap();
+        assert_eq!(x.dims(), &[3, 1, 3, 4, 4]); // 16/4 coarse
+        assert_eq!(y.dims(), &[3, 1, 16, 16]);
+        // Validation batches stay full-frame.
+        let (xv, yv) = ds.sample_batch(Split::Valid, 2, &mut rng).unwrap();
+        assert_eq!(xv.dims(), &[2, 1, 3, 6, 6]);
+        assert_eq!(yv.dims(), &[2, 1, 24, 24]);
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        let mut rng = Rng::seed_from(8);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(30, &mut rng).unwrap();
+        let layout = ProbeLayout::uniform(20, 2).unwrap();
+        // Not enough frames.
+        assert!(Dataset::build(&movie, layout.clone(), DatasetConfig::tiny()).is_err());
+        // S too large.
+        let mut cfg = DatasetConfig::tiny();
+        cfg.train = 4;
+        cfg.valid = 2;
+        cfg.test = 2;
+        cfg.s = 4;
+        assert!(Dataset::build(&movie, layout.clone(), cfg).is_err());
+        // Augmentation on a mixture layout is rejected at build time.
+        let mut cfg = DatasetConfig::tiny();
+        cfg.augment = Some(AugmentConfig {
+            window: 10,
+            stride: 1,
+        });
+        let mixture_like = ProbeLayout {
+            grid: 20,
+            probes: ProbeLayout::uniform(20, 2).unwrap().probes.clone(),
+            square: 10,
+        };
+        let mut mixed = mixture_like;
+        mixed.probes[0].h = 1; // no longer homogeneous
+        mixed.probes[0].w = 1;
+        assert!(Dataset::build(&movie, mixed, cfg).is_err());
+    }
+
+    #[test]
+    fn sample_at_bounds() {
+        let ds = tiny_dataset(9);
+        assert!(ds.sample_at(0).is_err()); // S = 3 needs t ≥ 2
+        assert!(ds.sample_at(10_000).is_err());
+        assert!(ds.sample_at(2).is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! Temporal synthesis: turning the static city into a traffic *movie*.
+//!
+//! Each 10-minute snapshot is
+//!
+//! ```text
+//! traffic[t, y, x] = base[y, x] · diurnal(t, phase[y, x]) · weekly(t)
+//!                    · exp(noise[t, y, x])
+//! ```
+//!
+//! where `noise` is an AR(1) process in time whose innovations are
+//! spatially smoothed white noise — giving exactly the two correlations
+//! MTSR exploits: neighbouring cells co-vary (spatial) and consecutive
+//! frames co-vary (temporal, the reason the paper feeds `S` historical
+//! frames).
+
+use crate::city::{City, CityConfig};
+use mtsr_tensor::{Result, Rng, Tensor};
+
+/// Snapshots per day at 10-minute resolution.
+pub const STEPS_PER_DAY: usize = 144;
+
+/// Synthetic Milan-like traffic generator.
+#[derive(Debug, Clone)]
+pub struct MilanGenerator {
+    city: City,
+    /// AR(1) coefficient of the temporal noise (0 = white, →1 = smooth).
+    ar_rho: f32,
+    /// Standard deviation of the multiplicative log-noise innovations.
+    noise_sigma: f32,
+    /// Half-width of the spatial box blur applied to innovations.
+    blur: usize,
+}
+
+impl MilanGenerator {
+    /// Builds a generator over a deterministic synthetic city.
+    pub fn new(cfg: &CityConfig, rng: &mut Rng) -> Result<Self> {
+        Ok(MilanGenerator {
+            city: City::build(cfg, rng)?,
+            ar_rho: 0.9,
+            noise_sigma: 0.18,
+            blur: 2,
+        })
+    }
+
+    /// The underlying city structure.
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+
+    /// Grid side.
+    pub fn grid(&self) -> usize {
+        self.city.grid
+    }
+
+    /// Smooth double-peak diurnal profile in `[0.05, 1]`.
+    ///
+    /// `tod` is the time of day in `[0, 1)`, `phase` the cell's peak hour
+    /// fraction. A narrow main peak at `phase` plus a morning shoulder.
+    fn diurnal(tod: f32, phase: f32) -> f32 {
+        let wrap = |d: f32| {
+            let d = (d - d.floor()).abs();
+            d.min(1.0 - d)
+        };
+        let main = (-0.5 * (wrap(tod - phase) / 0.12).powi(2)).exp();
+        let morning = 0.5 * (-0.5 * (wrap(tod - 8.5 / 24.0) / 0.08).powi(2)).exp();
+        let night_floor = 0.05;
+        night_floor + (1.0 - night_floor) * (main + morning).min(1.0)
+    }
+
+    /// Weekend attenuation: weekdays 1.0, weekends 0.7 (office traffic
+    /// drops; matches the weekly periodicity of the Milan data).
+    fn weekly(t: usize) -> f32 {
+        let day = (t / STEPS_PER_DAY) % 7;
+        if day >= 5 {
+            0.7
+        } else {
+            1.0
+        }
+    }
+
+    /// Box-blurs a `[g, g]` field in place with half-width `r` (separable
+    /// two-pass), used to spatially correlate noise innovations.
+    fn box_blur(field: &mut [f32], g: usize, r: usize) {
+        if r == 0 {
+            return;
+        }
+        let mut tmp = vec![0.0f32; g * g];
+        // Horizontal pass.
+        for y in 0..g {
+            for x in 0..g {
+                let lo = x.saturating_sub(r);
+                let hi = (x + r).min(g - 1);
+                let mut s = 0.0;
+                for xi in lo..=hi {
+                    s += field[y * g + xi];
+                }
+                tmp[y * g + x] = s / (hi - lo + 1) as f32;
+            }
+        }
+        // Vertical pass.
+        for y in 0..g {
+            for x in 0..g {
+                let lo = y.saturating_sub(r);
+                let hi = (y + r).min(g - 1);
+                let mut s = 0.0;
+                for yi in lo..=hi {
+                    s += tmp[yi * g + x];
+                }
+                field[y * g + x] = s / (hi - lo + 1) as f32;
+            }
+        }
+    }
+
+    /// Generates `t_steps` consecutive snapshots as a `[T, g, g]` tensor of
+    /// traffic volumes in MB per 10-minute interval.
+    pub fn generate(&self, t_steps: usize, rng: &mut Rng) -> Result<Tensor> {
+        let g = self.city.grid;
+        let cells = g * g;
+        let mut out = Tensor::zeros([t_steps, g, g]);
+        let base = self.city.base.as_slice();
+        let phase = self.city.phase.as_slice();
+        let mut noise = vec![0.0f32; cells];
+        // Burn-in so the AR process is stationary at t = 0.
+        for _ in 0..20 {
+            self.ar_step(&mut noise, g, rng);
+        }
+        let o = out.as_mut_slice();
+        for t in 0..t_steps {
+            self.ar_step(&mut noise, g, rng);
+            let tod = (t % STEPS_PER_DAY) as f32 / STEPS_PER_DAY as f32;
+            let wk = Self::weekly(t);
+            let frame = &mut o[t * cells..(t + 1) * cells];
+            for i in 0..cells {
+                let v = base[i] * Self::diurnal(tod, phase[i]) * wk * noise[i].exp();
+                frame[i] = v.max(0.1);
+            }
+        }
+        Ok(out)
+    }
+
+    /// One AR(1) step with spatially blurred innovations.
+    fn ar_step(&self, noise: &mut [f32], g: usize, rng: &mut Rng) {
+        let mut innov: Vec<f32> = (0..g * g)
+            .map(|_| rng.normal(0.0, self.noise_sigma))
+            .collect();
+        Self::box_blur(&mut innov, g, self.blur);
+        // Rescale so the stationary variance stays ≈ σ² after blurring.
+        let boost = (2 * self.blur + 1) as f32 * 0.8;
+        let rho = self.ar_rho;
+        let drive = (1.0 - rho * rho).sqrt() * boost;
+        for (n, i) in noise.iter_mut().zip(innov) {
+            *n = rho * *n + drive * i;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_movie(t: usize, seed: u64) -> (MilanGenerator, Tensor) {
+        let mut rng = Rng::seed_from(seed);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let m = gen.generate(t, &mut rng).unwrap();
+        (gen, m)
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (_, a) = small_movie(16, 3);
+        let (_, b) = small_movie(16, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_volumes_positive_and_finite() {
+        let (_, m) = small_movie(STEPS_PER_DAY, 1);
+        assert!(m.is_finite());
+        assert!(m.min() > 0.0);
+    }
+
+    #[test]
+    fn diurnal_cycle_visible() {
+        // Mean traffic at 04:00 must be far below the daily peak.
+        let (gen, m) = small_movie(STEPS_PER_DAY, 2);
+        let g = gen.grid();
+        let frame_mean = |t: usize| {
+            m.as_slice()[t * g * g..(t + 1) * g * g]
+                .iter()
+                .sum::<f32>()
+                / (g * g) as f32
+        };
+        let night = frame_mean(4 * 6); // 04:00
+        let peak = (0..STEPS_PER_DAY)
+            .map(frame_mean)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(peak > 3.0 * night, "peak {peak} vs night {night}");
+    }
+
+    #[test]
+    fn weekend_attenuation() {
+        // Compare the same time-of-day on Friday (day 4) and Saturday (day 5).
+        let (gen, m) = small_movie(7 * STEPS_PER_DAY, 4);
+        let g = gen.grid();
+        let cells = g * g;
+        let mean_day = |day: usize| {
+            let lo = day * STEPS_PER_DAY * cells;
+            let hi = (day + 1) * STEPS_PER_DAY * cells;
+            m.as_slice()[lo..hi].iter().sum::<f32>() / (STEPS_PER_DAY * cells) as f32
+        };
+        assert!(mean_day(5) < 0.9 * mean_day(4));
+    }
+
+    #[test]
+    fn temporal_correlation_is_strong() {
+        // Adjacent frames must correlate far more than frames hours apart.
+        let (_gen, m) = small_movie(STEPS_PER_DAY, 5);
+        let frame = |t: usize| m.index_axis0(t).unwrap();
+        let mid = 12 * 6; // noon, active period
+        let adj = frame(mid).correlation(&frame(mid + 1)).unwrap();
+        assert!(adj > 0.95, "adjacent-frame correlation {adj}");
+    }
+
+    #[test]
+    fn spatial_correlation_decays_with_distance() {
+        // Correlation of a cell's time series with a neighbour beats a
+        // far-away cell (beyond what base structure alone would give, the
+        // blurred innovations guarantee local co-movement).
+        let (gen, m) = small_movie(STEPS_PER_DAY * 2, 6);
+        let g = gen.grid();
+        let series = |y: usize, x: usize| {
+            let v: Vec<f32> = (0..m.dims()[0])
+                .map(|t| m.get(&[t, y, x]).unwrap())
+                .collect();
+            Tensor::from_vec([v.len()], v).unwrap()
+        };
+        let a = series(g / 2, g / 2);
+        let near = series(g / 2, g / 2 + 1);
+        let far = series(1, 1);
+        let c_near = a.correlation(&near).unwrap();
+        let c_far = a.correlation(&far).unwrap();
+        assert!(
+            c_near > c_far,
+            "near correlation {c_near} should beat far {c_far}"
+        );
+    }
+
+    #[test]
+    fn blur_preserves_constant_fields() {
+        let mut f = vec![3.0f32; 25];
+        MilanGenerator::box_blur(&mut f, 5, 2);
+        assert!(f.iter().all(|&v| (v - 3.0).abs() < 1e-5));
+    }
+}

@@ -1,0 +1,43 @@
+//! # mtsr-traffic
+//!
+//! The mobile-traffic substrate of the ZipNet-GAN reproduction.
+//!
+//! The paper evaluates on the Telecom Italia Milan dataset \[29\]: two months
+//! of city-wide cellular traffic at 10-minute resolution over a 100×100
+//! grid of 0.055 km² squares. That dataset is proprietary-download and not
+//! available here, so this crate provides a **synthetic city generator**
+//! ([`MilanGenerator`]) that reproduces the statistics the paper's method
+//! exploits — strong spatial correlation between neighbouring sub-cells,
+//! strong temporal correlation across frames, diurnal/weekly cycles,
+//! heavy-tailed volumes in the paper's 20–5 496 MB range, and a dense city
+//! centre (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! On top of the generator sit the measurement-infrastructure models from
+//! §5.2 / Table 1 of the paper:
+//!
+//! * [`ProbeLayout`] — uniform up-`n` probes and the heterogeneous
+//!   *mixture* deployment of Fig. 8, plus the aggregation operator that
+//!   turns fine-grained snapshots into coarse probe measurements;
+//! * [`Dataset`] — train/validation/test splits, z-score normalisation and
+//!   tensor packing of `(F^S_t, D^H_t)` pairs;
+//! * [`augment`] — the §4 cropping augmentation (441 sub-frames per
+//!   100×100 snapshot) and the moving-average reassembly filter;
+//! * [`anomaly`] — the §5.5 synthetic-event injector.
+
+pub mod anomaly;
+pub mod augment;
+pub mod cdr;
+pub mod city;
+pub mod dataset;
+pub mod generator;
+pub mod milan_csv;
+pub mod probe;
+pub mod sr;
+
+pub use anomaly::AnomalyEvent;
+pub use augment::AugmentConfig;
+pub use city::CityConfig;
+pub use dataset::{Dataset, DatasetConfig, Sample, Split};
+pub use generator::MilanGenerator;
+pub use probe::{MtsrInstance, Probe, ProbeLayout};
+pub use sr::SuperResolver;

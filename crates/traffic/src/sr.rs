@@ -1,0 +1,56 @@
+//! The [`SuperResolver`] interface every MTSR method implements —
+//! interpolators, example-based SR, SRCNN and ZipNet(-GAN) alike — so the
+//! experiment harness can evaluate them uniformly (Fig. 9).
+
+use crate::dataset::Dataset;
+use mtsr_tensor::{Result, Rng, Tensor};
+
+/// A mobile-traffic super-resolution method.
+pub trait SuperResolver: Send {
+    /// Method name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Fits the method on the dataset's training split (no-op for the
+    /// non-parametric interpolators).
+    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()>;
+
+    /// Predicts the fine-grained frame for target index `t`, on the
+    /// dataset's *normalised* scale, shape `[g, g]`.
+    fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor>;
+}
+
+/// Extracts the most recent coarse frame `[sq, sq]` from a dataset sample
+/// (for the single-frame methods; only ZipNet consumes the full history).
+pub fn latest_coarse(ds: &Dataset, t: usize) -> Result<Tensor> {
+    let sample = ds.sample_at(t)?;
+    let dims = sample.input.dims().to_vec(); // [1, S, sq, sq]
+    let (s, h, w) = (dims[1], dims[2], dims[3]);
+    let per = h * w;
+    let last = sample.input.as_slice()[(s - 1) * per..s * per].to_vec();
+    Tensor::from_vec([h, w], last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::dataset::DatasetConfig;
+    use crate::generator::MilanGenerator;
+    use crate::probe::{MtsrInstance, ProbeLayout};
+
+    #[test]
+    fn latest_coarse_matches_last_input_frame() {
+        let mut rng = Rng::seed_from(1);
+        let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
+        let ds = Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap();
+        let t = 5;
+        let last = latest_coarse(&ds, t).unwrap();
+        assert_eq!(last.dims(), &[10, 10]);
+        // The sample's input ends with exactly this frame.
+        let s = ds.sample_at(t).unwrap();
+        let tail = &s.input.as_slice()[2 * 100..3 * 100];
+        assert_eq!(last.as_slice(), tail);
+    }
+}

@@ -1,0 +1,110 @@
+//! Agile network resource management (paper §6): use fine-grained
+//! inferences to provision capacity per sub-cell instead of spreading the
+//! probe aggregate uniformly.
+//!
+//! An operator provisions each cell for `headroom ×` its anticipated
+//! traffic. Under-provisioned cells congest (demand above capacity);
+//! over-provisioned cells waste capacity. This example compares the
+//! congestion/waste trade-off when anticipation comes from (a) the
+//! uniformity assumption the paper criticises [8] and (b) ZipNet-GAN
+//! inference — both computed *only* from the coarse probe aggregates.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use zipnet_gan::core::ArchScale;
+use zipnet_gan::prelude::*;
+use zipnet_gan::tensor::{Tensor, TensorError};
+use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+
+/// Congested traffic (demand above capacity) and wasted capacity, in MB.
+fn provision_outcome(anticipated: &Tensor, actual: &Tensor, headroom: f32) -> (f64, f64) {
+    let mut congested = 0.0f64;
+    let mut wasted = 0.0f64;
+    for (&a, &t) in anticipated.as_slice().iter().zip(actual.as_slice()) {
+        let capacity = headroom * a.max(0.0);
+        if t > capacity {
+            congested += (t - capacity) as f64;
+        } else {
+            wasted += (capacity - t) as f64;
+        }
+    }
+    (congested, wasted)
+}
+
+fn main() -> Result<(), TensorError> {
+    let mut rng = Rng::seed_from(31);
+    let mut city = CityConfig::small();
+    city.grid = 20;
+    let generator = MilanGenerator::new(&city, &mut rng)?;
+    let cfg = DatasetConfig {
+        s: 3,
+        train: 160,
+        valid: 40,
+        test: 60,
+        augment: None,
+    };
+    let movie = generator.generate(cfg.total(), &mut rng)?;
+    let layout = ProbeLayout::for_instance(generator.city(), MtsrInstance::Up4)?;
+    let ds = Dataset::build(&movie, layout, cfg)?;
+
+    let mut train_cfg = GanTrainingConfig::paper(150, 25, 4);
+    train_cfg.lr = 1e-3;
+    let mut model = MtsrModel::zipnet_gan(ArchScale::Tiny, train_cfg);
+    println!("training ZipNet-GAN for the provisioning loop...");
+    model.fit(&ds, &mut rng)?;
+    let mut uniform = UniformSr::new();
+    uniform.fit(&ds, &mut rng)?;
+
+    let headroom = 1.3; // capacity = 1.3x anticipated demand
+    let test_idx = ds.usable_indices(Split::Test);
+    let mut totals = [(0.0f64, 0.0f64); 2]; // (congested, wasted) per method
+    let mut demand = 0.0f64;
+    for &t in test_idx.iter().take(20) {
+        let actual = ds.fine_frame_raw(t)?;
+        demand += actual.sum() as f64;
+        // Both methods anticipate from the *previous* frame's coarse
+        // measurements only (a one-step-ahead provisioning loop).
+        let zip = ds.denormalize(&model.predict(&ds, t - 1)?);
+        let uni = ds.denormalize(&uniform.predict(&ds, t - 1)?);
+        for (i, anticipated) in [&zip, &uni].into_iter().enumerate() {
+            let (c, w) = provision_outcome(anticipated, &actual, headroom);
+            totals[i].0 += c;
+            totals[i].1 += w;
+        }
+    }
+
+    println!("\nprovisioning with {headroom}x headroom over 20 test intervals");
+    println!("total demand: {:.0} MB", demand);
+    for (name, (congested, wasted)) in
+        [("ZipNet-GAN", totals[0]), ("Uniform   ", totals[1])]
+    {
+        println!(
+            "{name}: congested {:8.0} MB ({:4.1}% of demand)   over-provision waste {:8.0} MB",
+            congested,
+            100.0 * congested / demand,
+            wasted
+        );
+    }
+    // The operator's objective is total misallocation: traffic that
+    // congests plus capacity bought for nobody. Uniform can only trade one
+    // for the other; fine-grained anticipation shrinks both at once.
+    let mis_z = totals[0].0 + totals[0].1;
+    let mis_u = totals[1].0 + totals[1].1;
+    println!(
+        "\ntotal misallocated (congested + wasted): ZipNet-GAN {:.0} MB vs Uniform {:.0} MB",
+        mis_z, mis_u
+    );
+    if mis_z < mis_u {
+        println!(
+            "fine-grained inference cuts misallocation by {:.0}% at equal headroom —",
+            100.0 * (1.0 - mis_z / mis_u)
+        );
+        println!("the paper's §6 'agile network resource management' argument.");
+    } else {
+        println!("(at this tiny training budget the inference did not beat uniform;");
+        println!(" increase the training steps — see EXPERIMENTS.md scale notes)");
+    }
+    Ok(())
+}

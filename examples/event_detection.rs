@@ -1,0 +1,91 @@
+//! Events localisation & response (paper §6): use a trained ZipNet-GAN as
+//! an anomaly detector operating only on coarse probe measurements.
+//!
+//! A "football match" traffic surge is injected into a suburban area of
+//! the *test* period. The model — trained on event-free data — receives
+//! only the smoothed coarse aggregates, yet its fine-grained inference
+//! localises the surge (paper §5.5, Fig. 13).
+//!
+//! ```sh
+//! cargo run --release --example event_detection
+//! ```
+
+use zipnet_gan::core::ArchScale;
+use zipnet_gan::prelude::*;
+use zipnet_gan::tensor::{Tensor, TensorError};
+use zipnet_gan::traffic::{AnomalyEvent, Dataset, Split, SuperResolver};
+
+/// Argmax cell of the difference between two traffic maps.
+fn hottest_cell(diff: &Tensor) -> (usize, usize, f32) {
+    let g = diff.dims()[0];
+    let mut best = (0, 0, f32::NEG_INFINITY);
+    for y in 0..g {
+        for x in 0..g {
+            let v = diff.get(&[y, x]).expect("in range");
+            if v > best.2 {
+                best = (y, x, v);
+            }
+        }
+    }
+    best
+}
+
+fn main() -> Result<(), TensorError> {
+    let mut rng = Rng::seed_from(7);
+    let mut city = CityConfig::small();
+    city.grid = 20;
+    let generator = MilanGenerator::new(&city, &mut rng)?;
+    let cfg = DatasetConfig {
+        s: 3,
+        train: 160,
+        valid: 40,
+        test: 60,
+        augment: None,
+    };
+    let clean_movie = generator.generate(cfg.total(), &mut rng)?;
+
+    // Inject a strong localised event into the test window only.
+    let event = AnomalyEvent {
+        y: 15,
+        x: 4,
+        radius: 1.2,
+        magnitude_mb: 3000.0,
+    };
+    let mut event_movie = clean_movie.clone();
+    let test_start = cfg.train + cfg.valid;
+    event.apply_to_movie(&mut event_movie, test_start..cfg.total())?;
+
+    let layout = ProbeLayout::for_instance(generator.city(), MtsrInstance::Up4)?;
+    let ds_clean = Dataset::build(&clean_movie, layout.clone(), cfg)?;
+    let ds_event = Dataset::build(&event_movie, layout, cfg)?;
+
+    // Train on clean traffic only — the model has never seen an event.
+    let mut train_cfg = GanTrainingConfig::paper(150, 20, 4);
+    train_cfg.lr = 1e-3;
+    let mut model = MtsrModel::zipnet_gan(ArchScale::Tiny, train_cfg);
+    println!("training on event-free traffic...");
+    model.fit(&ds_clean, &mut rng)?;
+
+    // At test time the operator only sees coarse aggregates of the event.
+    let t = ds_event.usable_indices(Split::Test)[10];
+    let pred_event = ds_event.denormalize(&model.predict(&ds_event, t)?);
+    let pred_clean = ds_clean.denormalize(&model.predict(&ds_clean, t)?);
+
+    // Anomaly score: where does the inferred map deviate from the
+    // expected (clean-input) inference?
+    let diff = pred_event.sub(&pred_clean)?;
+    let (y, x, surge) = hottest_cell(&diff);
+    println!("injected event at ({}, {}), peak +{:.0} MB", event.y, event.x, event.magnitude_mb);
+    println!("detector localises surge at ({y}, {x}), response +{surge:.0} MB");
+    let dist = (((y as f32 - event.y as f32).powi(2) + (x as f32 - event.x as f32).powi(2)) as f32)
+        .sqrt();
+    println!(
+        "localisation error: {dist:.1} cells — {}",
+        if dist <= 3.0 {
+            "event localised (within 3 cells)"
+        } else {
+            "localisation weak at this tiny training budget"
+        }
+    );
+    Ok(())
+}

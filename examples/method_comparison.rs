@@ -1,0 +1,86 @@
+//! Method shoot-out: all seven techniques of the paper's Fig. 9 on one
+//! MTSR instance, printed as a ranking table — the workload a network
+//! operator would run to choose an inference method for their probe
+//! deployment.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison [up2|up4|up10|mixture]
+//! ```
+
+use zipnet_gan::baselines::{
+    aplus::AplusConfig, sparse_coding::ScConfig, srcnn::SrcnnConfig, AplusSr, BicubicSr,
+    SparseCodingSr, SrcnnSr, UniformSr,
+};
+use zipnet_gan::core::ArchScale;
+use zipnet_gan::metrics::{score_snapshots, MILAN_PEAK_MB};
+use zipnet_gan::prelude::*;
+use zipnet_gan::tensor::TensorError;
+use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+
+fn main() -> Result<(), TensorError> {
+    let instance = match std::env::args().nth(1).as_deref() {
+        Some("up2") => MtsrInstance::Up2,
+        Some("up10") => MtsrInstance::Up10,
+        Some("mixture") => MtsrInstance::Mixture,
+        _ => MtsrInstance::Up4,
+    };
+
+    let mut rng = Rng::seed_from(11);
+    let mut city = CityConfig::small();
+    // The mixture deployment needs a grid ≥ 40; homogeneous probes are
+    // fine on a faster 20-cell city.
+    city.grid = if instance == MtsrInstance::Mixture { 40 } else { 20 };
+    let generator = MilanGenerator::new(&city, &mut rng)?;
+    let cfg = DatasetConfig {
+        s: 3,
+        train: 160,
+        valid: 40,
+        test: 60,
+        augment: None,
+    };
+    let movie = generator.generate(cfg.total(), &mut rng)?;
+    let layout = ProbeLayout::for_instance(generator.city(), instance)?;
+    println!(
+        "instance {}: {} probes over {}x{} cells (avg coverage r_f = {:.0})",
+        instance.label(),
+        layout.num_probes(),
+        city.grid,
+        city.grid,
+        layout.avg_upscaling()
+    );
+    let ds = Dataset::build(&movie, layout, cfg)?;
+
+    let mut train_cfg = GanTrainingConfig::paper(120, 25, 4);
+    train_cfg.lr = 1e-3;
+    let methods: Vec<Box<dyn SuperResolver>> = vec![
+        Box::new(UniformSr::new()),
+        Box::new(BicubicSr::new()),
+        Box::new(SparseCodingSr::with_config(ScConfig::tiny())),
+        Box::new(AplusSr::with_config(AplusConfig::tiny())),
+        Box::new(SrcnnSr::with_config(SrcnnConfig::tiny())),
+        Box::new(MtsrModel::zipnet(ArchScale::Tiny, train_cfg)),
+        Box::new(MtsrModel::zipnet_gan(ArchScale::Tiny, train_cfg)),
+    ];
+
+    let test_idx = ds.usable_indices(Split::Test);
+    let mut results = Vec::new();
+    for mut method in methods {
+        print!("fitting {:<11}... ", method.name());
+        method.fit(&ds, &mut rng)?;
+        let mut pairs = Vec::new();
+        for &t in test_idx.iter().take(15) {
+            let pred = ds.denormalize(&method.predict(&ds, t)?);
+            pairs.push((pred, ds.fine_frame_raw(t)?));
+        }
+        let s = score_snapshots(&pairs, MILAN_PEAK_MB)?;
+        println!("NRMSE {:.3}  PSNR {:6.2}  SSIM {:.3}", s.nrmse, s.psnr, s.ssim);
+        results.push((method.name(), s));
+    }
+
+    results.sort_by(|a, b| a.1.nrmse.partial_cmp(&b.1.nrmse).expect("finite"));
+    println!("\nranking by NRMSE (best first):");
+    for (i, (name, s)) in results.iter().enumerate() {
+        println!("  {}. {:<11} NRMSE {:.3}", i + 1, name, s.nrmse);
+    }
+    Ok(())
+}

@@ -1,0 +1,303 @@
+//! `mtsr` — command-line front-end for the ZipNet-GAN reproduction.
+//!
+//! ```text
+//! mtsr simulate --grid 40 --days 4 --seed 42 --out movie.csv
+//! mtsr train    --instance up4 --grid 40 --steps 300 --gan --seed 42 --out model.ckpt
+//! mtsr eval     --instance up4 --grid 40 --seed 42 --model model.ckpt
+//! mtsr stream   --instance up4 --grid 40 --seed 42 --model model.ckpt --frames 12
+//! ```
+//!
+//! Deterministic: the same `--seed` regenerates the same city, traffic and
+//! splits, so a model trained by `train` is evaluated by `eval` on exactly
+//! the data it expects. Argument parsing is hand-rolled to keep the
+//! dependency set minimal.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use zipnet_gan::core::{
+    ArchScale, GanTrainingConfig, MtsrModel, StreamingPredictor, TrafficAnomalyDetector, ZipNet,
+    ZipNetConfig,
+};
+use zipnet_gan::metrics::{nrmse, psnr, ssim, MILAN_PEAK_MB};
+use zipnet_gan::nn::io as model_io;
+use zipnet_gan::prelude::*;
+use zipnet_gan::tensor::TensorError;
+use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(name) = argv[i].strip_prefix("--") {
+                let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    i += 1;
+                    argv[i].clone()
+                } else {
+                    "true".to_string() // boolean flag
+                };
+                flags.insert(name.to_string(), value);
+            }
+            i += 1;
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> u64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn bool(&self, name: &str) -> bool {
+        self.get(name) == Some("true")
+    }
+}
+
+fn parse_instance(s: Option<&str>) -> Result<MtsrInstance, String> {
+    match s.unwrap_or("up4") {
+        "up2" => Ok(MtsrInstance::Up2),
+        "up4" => Ok(MtsrInstance::Up4),
+        "up10" => Ok(MtsrInstance::Up10),
+        "mixture" => Ok(MtsrInstance::Mixture),
+        other => Err(format!("unknown instance `{other}` (up2|up4|up10|mixture)")),
+    }
+}
+
+/// City + traffic + dataset, deterministic in (grid, days, instance, seed).
+fn build_dataset(
+    grid: usize,
+    days: usize,
+    instance: MtsrInstance,
+    s: usize,
+    seed: u64,
+) -> Result<Dataset, TensorError> {
+    let mut rng = Rng::seed_from(seed);
+    let mut city = CityConfig::small();
+    city.grid = grid;
+    let gen = MilanGenerator::new(&city, &mut rng)?;
+    let frames_per_day = 144;
+    let total = days.max(3) * frames_per_day;
+    let cfg = DatasetConfig {
+        s,
+        train: total - 2 * frames_per_day,
+        valid: frames_per_day,
+        test: frames_per_day,
+        augment: None,
+    };
+    let movie = gen.generate(cfg.total(), &mut rng)?;
+    let layout = ProbeLayout::for_instance(gen.city(), instance)?;
+    Dataset::build(&movie, layout, cfg)
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let grid = args.usize_or("grid", 40);
+    let days = args.usize_or("days", 2);
+    let seed = args.u64_or("seed", 42);
+    let out = args.get("out").unwrap_or("traffic.csv").to_string();
+    let mut rng = Rng::seed_from(seed);
+    let mut city = CityConfig::small();
+    city.grid = grid;
+    let gen = MilanGenerator::new(&city, &mut rng).map_err(|e| e.to_string())?;
+    let movie = gen.generate(days * 144, &mut rng).map_err(|e| e.to_string())?;
+    let mut csv = String::from("t,y,x,traffic_mb\n");
+    let d = movie.dims();
+    for t in 0..d[0] {
+        for y in 0..d[1] {
+            for x in 0..d[2] {
+                let v = movie.get(&[t, y, x]).expect("in range");
+                csv.push_str(&format!("{t},{y},{x},{v:.2}\n"));
+            }
+        }
+    }
+    std::fs::write(&out, csv).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} frames of a {grid}x{grid} city to {out} ({:.0}..{:.0} MB per cell)",
+        d[0],
+        movie.min(),
+        movie.max()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let grid = args.usize_or("grid", 40);
+    let days = args.usize_or("days", 4);
+    let s = args.usize_or("s", 3);
+    let seed = args.u64_or("seed", 42);
+    let steps = args.usize_or("steps", 300);
+    let adv = args.usize_or("adv", if args.bool("gan") { 40 } else { 0 });
+    let out = args.get("out").unwrap_or("model.ckpt").to_string();
+    let instance = parse_instance(args.get("instance"))?;
+    let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+
+    let mut cfg = GanTrainingConfig::paper(steps, adv, 8);
+    cfg.lr = 1e-3;
+    cfg.schedule = Some(zipnet_gan::nn::LrSchedule::Exponential {
+        lr: 1e-3,
+        period: 200,
+        factor: 0.5,
+    });
+    cfg.clip_norm = Some(5.0);
+    let mut model = if args.bool("gan") {
+        MtsrModel::zipnet_gan(ArchScale::Tiny, cfg)
+    } else {
+        MtsrModel::zipnet(ArchScale::Tiny, cfg)
+    };
+    println!(
+        "training {} on {} ({grid}x{grid}, S={s}, {steps}+{adv} steps)...",
+        model.name(),
+        instance.label()
+    );
+    let mut rng = Rng::seed_from(seed ^ 0x5eed);
+    model.fit(&ds, &mut rng).map_err(|e| e.to_string())?;
+    let report = model.report.as_ref().expect("fit stores report");
+    println!(
+        "pre-train MSE {:.4} -> {:.4}{}",
+        report.pretrain_mse.first().copied().unwrap_or(f32::NAN),
+        report.pretrain_mse.last().copied().unwrap_or(f32::NAN),
+        if adv > 0 {
+            format!(", {} adversarial iterations", report.g_loss.len())
+        } else {
+            String::new()
+        }
+    );
+    model_io::save(model.generator_mut().expect("fitted"), &out).map_err(|e| e.to_string())?;
+    println!("saved generator checkpoint to {out}");
+    Ok(())
+}
+
+/// Rebuilds the generator architecture for a dataset and loads weights.
+fn load_generator(ds: &Dataset, path: &str, s: usize) -> Result<ZipNet, String> {
+    let upscale = ds.layout().grid / ds.layout().square;
+    let mut gen = ZipNet::new(&ZipNetConfig::tiny(upscale, s), &mut Rng::seed_from(0))
+        .map_err(|e| e.to_string())?;
+    model_io::load(&mut gen, path).map_err(|e| e.to_string())?;
+    Ok(gen)
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let grid = args.usize_or("grid", 40);
+    let days = args.usize_or("days", 4);
+    let s = args.usize_or("s", 3);
+    let seed = args.u64_or("seed", 42);
+    let model_path = args.get("model").ok_or("--model <ckpt> required")?;
+    let instance = parse_instance(args.get("instance"))?;
+    let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+    let gen = load_generator(&ds, model_path, s)?;
+    let mut model = MtsrModel::zipnet(ArchScale::Tiny, GanTrainingConfig::tiny()).with_generator(gen);
+
+    let idx = ds.usable_indices(Split::Test);
+    let take: Vec<usize> = idx.iter().step_by((idx.len() / 12).max(1)).copied().collect();
+    let (mut se, mut sp, mut ss) = (0.0f64, 0.0f64, 0.0f64);
+    for &t in &take {
+        let pred = ds
+            .denormalize(&model.predict(&ds, t).map_err(|e| e.to_string())?);
+        let truth = ds.fine_frame_raw(t).map_err(|e| e.to_string())?;
+        se += nrmse(&pred, &truth).map_err(|e| e.to_string())? as f64;
+        sp += psnr(&pred, &truth, MILAN_PEAK_MB).map_err(|e| e.to_string())? as f64;
+        ss += ssim(&pred, &truth, MILAN_PEAK_MB).map_err(|e| e.to_string())? as f64;
+    }
+    let n = take.len() as f64;
+    println!(
+        "{} on {} ({} test frames): NRMSE {:.3}  PSNR {:.2} dB  SSIM {:.3}",
+        model_path,
+        instance.label(),
+        take.len(),
+        se / n,
+        sp / n,
+        ss / n
+    );
+    Ok(())
+}
+
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    let grid = args.usize_or("grid", 40);
+    let days = args.usize_or("days", 4);
+    let s = args.usize_or("s", 3);
+    let seed = args.u64_or("seed", 42);
+    let frames = args.usize_or("frames", 12);
+    let model_path = args.get("model").ok_or("--model <ckpt> required")?;
+    let instance = parse_instance(args.get("instance"))?;
+    let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+    let gen = load_generator(&ds, model_path, s)?;
+    let mut stream = StreamingPredictor::new(gen, ds.moments()).map_err(|e| e.to_string())?;
+    let mut detector =
+        TrafficAnomalyDetector::new(grid, 24, 0.3, 6.0).map_err(|e| e.to_string())?;
+
+    let start = ds.range(Split::Test).start;
+    println!("live stream: feeding {frames} coarse frames (S = {s} warm-up)...");
+    for i in 0..frames {
+        let t = start + i;
+        let coarse = ds.coarse_frame_raw(t).map_err(|e| e.to_string())?;
+        match stream.push(&coarse).map_err(|e| e.to_string())? {
+            None => println!("t={t}: warming up"),
+            Some(fine) => {
+                let bucket = (t / 6) % 24; // hourly profile buckets
+                let hits = detector.observe(bucket, &fine).map_err(|e| e.to_string())?;
+                println!(
+                    "t={t}: inferred {}x{} map, total {:.0} MB, {} anomaly flags",
+                    fine.dims()[0],
+                    fine.dims()[1],
+                    fine.sum(),
+                    hits.len()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "mtsr — ZipNet-GAN mobile-traffic super-resolution\n\
+     \n\
+     USAGE:\n\
+       mtsr simulate [--grid N] [--days D] [--seed S] [--out FILE]\n\
+       mtsr train    [--instance up2|up4|up10|mixture] [--grid N] [--days D]\n\
+                     [--s S] [--steps N] [--gan] [--adv N] [--seed S] [--out CKPT]\n\
+       mtsr eval     --model CKPT [--instance ...] [--grid N] [--seed S]\n\
+       mtsr stream   --model CKPT [--frames N] [--instance ...] [--grid N] [--seed S]\n\
+     \n\
+     The same --seed regenerates identical data across subcommands."
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "stream" => cmd_stream(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # zipnet-gan — workspace façade
+//!
+//! One-stop entry point for the ZipNet-GAN reproduction (Zhang, Ouyang &
+//! Patras, ACM CoNEXT 2017). Re-exports the member crates and offers a
+//! [`prelude`] so examples and downstream users can write
+//! `use zipnet_gan::prelude::*;`.
+//!
+//! Crate map (see `DESIGN.md` for the full inventory):
+//!
+//! * [`tensor`] — f32 tensors, GEMM, conv primitives, deterministic RNG
+//! * [`nn`] — layers, losses, optimizers with explicit backprop
+//! * [`traffic`] — synthetic Milan-like traffic, probes, datasets
+//! * [`metrics`] — NRMSE / PSNR / SSIM (paper Eqs. 11–13)
+//! * [`baselines`] — Uniform, Bicubic, SC, A+, SRCNN comparators
+//! * [`core`] — ZipNet generator, discriminator, GAN trainer, pipeline,
+//!   streaming inference and anomaly detection
+//!
+//! A command-line front-end ships as the `mtsr` binary
+//! (`cargo run --release --bin mtsr -- help`): deterministic
+//! simulate / train / eval / stream subcommands over the same API.
+
+pub use mtsr_baselines as baselines;
+pub use mtsr_metrics as metrics;
+pub use mtsr_nn as nn;
+pub use mtsr_tensor as tensor;
+pub use mtsr_traffic as traffic;
+pub use zipnet_core as core;
+
+/// Convenient glob-import surface for examples and quick starts.
+pub mod prelude {
+    pub use mtsr_baselines::{AplusSr, BicubicSr, SparseCodingSr, SrcnnSr, UniformSr};
+    pub use mtsr_metrics::{nrmse, psnr, ssim};
+    pub use mtsr_tensor::{Rng, Shape, Tensor};
+    pub use mtsr_traffic::{
+        AugmentConfig, CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance,
+        ProbeLayout,
+    };
+    pub use zipnet_core::{
+        Discriminator, GanTrainer, GanTrainingConfig, MtsrModel, MtsrPipeline, ZipNet,
+        ZipNetConfig,
+    };
+}

@@ -1,0 +1,218 @@
+//! Workspace integration tests: the full paper workflow — synthetic city
+//! → probes → dataset → training → inference → metrics — exercised across
+//! crate boundaries at tiny scale.
+
+use zipnet_gan::baselines::{BicubicSr, UniformSr};
+use zipnet_gan::core::{ArchScale, GanTrainingConfig, MtsrModel, MtsrPipeline};
+use zipnet_gan::metrics::{nrmse, ssim, MILAN_PEAK_MB};
+use zipnet_gan::prelude::*;
+use zipnet_gan::tensor::Tensor;
+use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+
+fn build_dataset(grid: usize, instance: MtsrInstance, seed: u64) -> Dataset {
+    let mut rng = Rng::seed_from(seed);
+    let mut city = CityConfig::small();
+    city.grid = grid;
+    let generator = MilanGenerator::new(&city, &mut rng).expect("generator");
+    let cfg = DatasetConfig {
+        s: 3,
+        train: 160,
+        valid: 40,
+        test: 60,
+        augment: None,
+    };
+    let movie = generator.generate(cfg.total(), &mut rng).expect("movie");
+    let layout = ProbeLayout::for_instance(generator.city(), instance).expect("layout");
+    Dataset::build(&movie, layout, cfg).expect("dataset")
+}
+
+fn train_cfg(pretrain: usize, adversarial: usize) -> GanTrainingConfig {
+    let mut cfg = GanTrainingConfig::paper(pretrain, adversarial, 4);
+    cfg.lr = 1e-3;
+    cfg
+}
+
+/// The headline claim at miniature scale: a trained ZipNet infers
+/// fine-grained traffic better than the operators' uniformity assumption.
+#[test]
+fn zipnet_beats_uniform_interpolation() {
+    let ds = build_dataset(20, MtsrInstance::Up4, 1);
+    let mut zipnet = MtsrModel::zipnet(ArchScale::Tiny, train_cfg(150, 0));
+    zipnet.fit(&ds, &mut Rng::seed_from(2)).expect("fit");
+    let mut uniform = UniformSr::new();
+    uniform.fit(&ds, &mut Rng::seed_from(2)).expect("fit");
+
+    let (mut e_zip, mut e_uni) = (0.0f32, 0.0f32);
+    for &t in ds.usable_indices(Split::Test).iter().take(10) {
+        let truth = ds.fine_frame_raw(t).expect("truth");
+        let p_zip = ds.denormalize(&zipnet.predict(&ds, t).expect("predict"));
+        let p_uni = ds.denormalize(&uniform.predict(&ds, t).expect("predict"));
+        e_zip += nrmse(&p_zip, &truth).expect("nrmse");
+        e_uni += nrmse(&p_uni, &truth).expect("nrmse");
+    }
+    assert!(
+        e_zip < e_uni,
+        "ZipNet NRMSE {e_zip:.3} should beat Uniform {e_uni:.3}"
+    );
+}
+
+/// Algorithm 1 end-to-end through the public API: the GAN phase completes
+/// without divergence or discriminator collapse, and the final model
+/// produces structured (non-flat) predictions.
+#[test]
+fn zipnet_gan_trains_stably_end_to_end() {
+    let ds = build_dataset(20, MtsrInstance::Up2, 3);
+    let mut model = MtsrModel::zipnet_gan(ArchScale::Tiny, train_cfg(80, 25));
+    model.fit(&ds, &mut Rng::seed_from(4)).expect("fit");
+    let report = model.report.as_ref().expect("report");
+    assert!(!report.diverged);
+    assert!(!report.collapsed(10));
+    assert_eq!(report.g_loss.len(), 25);
+
+    let t = ds.usable_indices(Split::Test)[0];
+    let pred = ds.denormalize(&model.predict(&ds, t).expect("predict"));
+    assert!(pred.is_finite());
+    // A real prediction has spatial structure, unlike a collapsed one.
+    assert!(pred.std() > 1.0, "prediction std {}", pred.std());
+}
+
+/// The per-instance geometry chain holds across crates: every Table 1
+/// instance yields a consistent dataset → model → prediction pipeline.
+#[test]
+fn all_instances_train_and_predict() {
+    for (instance, grid) in [
+        (MtsrInstance::Up2, 20),
+        (MtsrInstance::Up4, 20),
+        (MtsrInstance::Up10, 20),
+        (MtsrInstance::Mixture, 40),
+    ] {
+        let ds = build_dataset(grid, instance, 5);
+        let mut model = MtsrModel::zipnet(ArchScale::Tiny, train_cfg(15, 0));
+        model.fit(&ds, &mut Rng::seed_from(6)).expect("fit");
+        let t = ds.usable_indices(Split::Test)[0];
+        let pred = model.predict(&ds, t).expect("predict");
+        assert_eq!(pred.dims(), &[grid, grid], "{instance:?}");
+        assert!(pred.is_finite(), "{instance:?}");
+    }
+}
+
+/// Sliding-window serving agrees with direct inference when the window
+/// covers the whole grid, and stays sane with overlapping windows.
+#[test]
+fn pipeline_reassembly_consistent_with_direct_prediction() {
+    let ds = build_dataset(20, MtsrInstance::Up4, 7);
+    let mut model = MtsrModel::zipnet(ArchScale::Tiny, train_cfg(30, 0));
+    model.fit(&ds, &mut Rng::seed_from(8)).expect("fit");
+    let t = ds.usable_indices(Split::Test)[1];
+    let direct = model.predict(&ds, t).expect("direct");
+    let gen = model.generator_mut().expect("fitted");
+    let full = MtsrPipeline::new(20, 20)
+        .predict_full(gen, &ds, t)
+        .expect("full window");
+    for (a, b) in full.as_slice().iter().zip(direct.as_slice()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+    let overlapped = MtsrPipeline::new(12, 4)
+        .predict_full(gen, &ds, t)
+        .expect("overlapped");
+    assert_eq!(overlapped.dims(), &[20, 20]);
+    // Overlapped serving should stay close to direct inference.
+    let t2d = direct;
+    let diff = overlapped.mse(&t2d).expect("mse");
+    assert!(diff < 1.0, "window seams too large: {diff}");
+}
+
+/// Checkpoints round-trip through the filesystem across crate boundaries:
+/// a generator saved by `mtsr-nn::io` restores into a fresh `ZipNet` and
+/// reproduces identical inferences.
+#[test]
+fn generator_checkpoint_roundtrip_via_files() {
+    use zipnet_gan::core::{ZipNet, ZipNetConfig};
+    use zipnet_gan::nn::io;
+    use zipnet_gan::nn::layer::Layer;
+
+    let ds = build_dataset(20, MtsrInstance::Up4, 9);
+    let mut model = MtsrModel::zipnet(ArchScale::Tiny, train_cfg(20, 0));
+    model.fit(&ds, &mut Rng::seed_from(10)).expect("fit");
+    let t = ds.usable_indices(Split::Test)[0];
+    let before = model.predict(&ds, t).expect("predict");
+
+    let dir = std::env::temp_dir().join("zipnet_gan_e2e");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("gen.ckpt");
+    io::save(model.generator_mut().expect("fitted"), &path).expect("save");
+
+    let mut restored = ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(999))
+        .expect("fresh generator");
+    io::load(&mut restored, &path).expect("load");
+    let sample = ds.sample_at(t).expect("sample");
+    let d = sample.input.dims().to_vec();
+    let x = sample.input.reshaped([1, d[0], d[1], d[2], d[3]]).expect("reshape");
+    let after = restored.forward(&x, false).expect("forward");
+    let after = after.reshaped([20, 20]).expect("reshape");
+    for (a, b) in after.as_slice().iter().zip(before.as_slice()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Metrics behave sensibly on real model output: SSIM of the prediction
+/// against itself is 1, and against ground truth lies in (0, 1].
+#[test]
+fn metrics_on_model_output() {
+    let ds = build_dataset(20, MtsrInstance::Up4, 11);
+    let mut bicubic = BicubicSr::new();
+    bicubic.fit(&ds, &mut Rng::seed_from(12)).expect("fit");
+    let t = ds.usable_indices(Split::Test)[0];
+    let pred = ds.denormalize(&bicubic.predict(&ds, t).expect("predict"));
+    let truth = ds.fine_frame_raw(t).expect("truth");
+    let s_self = ssim(&pred, &pred, MILAN_PEAK_MB).expect("ssim");
+    assert!((s_self - 1.0).abs() < 1e-6);
+    let s = ssim(&pred, &truth, MILAN_PEAK_MB).expect("ssim");
+    assert!(s > 0.0 && s <= 1.0);
+}
+
+/// The anomaly workflow of §5.5 crosses traffic + core cleanly: injecting
+/// an event into the test window changes the model's local inference.
+#[test]
+fn anomaly_injection_changes_local_inference() {
+    use zipnet_gan::traffic::AnomalyEvent;
+    let mut rng = Rng::seed_from(13);
+    let mut city = CityConfig::small();
+    city.grid = 20;
+    let generator = MilanGenerator::new(&city, &mut rng).expect("generator");
+    let cfg = DatasetConfig {
+        s: 3,
+        train: 120,
+        valid: 30,
+        test: 40,
+        augment: None,
+    };
+    let clean = generator.generate(cfg.total(), &mut rng).expect("movie");
+    let mut with_event = clean.clone();
+    let event = AnomalyEvent {
+        y: 15,
+        x: 5,
+        radius: 1.5,
+        magnitude_mb: 4000.0,
+    };
+    event
+        .apply_to_movie(&mut with_event, (cfg.train + cfg.valid)..cfg.total())
+        .expect("inject");
+    let layout = ProbeLayout::for_instance(generator.city(), MtsrInstance::Up4).expect("layout");
+    let ds_clean = Dataset::build(&clean, layout.clone(), cfg).expect("clean");
+    let ds_event = Dataset::build(&with_event, layout, cfg).expect("event");
+
+    let mut model = MtsrModel::zipnet(ArchScale::Tiny, train_cfg(80, 0));
+    model.fit(&ds_clean, &mut Rng::seed_from(14)).expect("fit");
+    let t = ds_event.usable_indices(Split::Test)[5];
+    let p_clean: Tensor = ds_clean.denormalize(&model.predict(&ds_clean, t).expect("predict"));
+    let p_event: Tensor = ds_event.denormalize(&model.predict(&ds_event, t).expect("predict"));
+    let at = |p: &Tensor| p.get(&[15, 5]).expect("in range");
+    assert!(
+        at(&p_event) > at(&p_clean) + 100.0,
+        "event response too weak: {} vs {}",
+        at(&p_event),
+        at(&p_clean)
+    );
+}

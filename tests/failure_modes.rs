@@ -1,0 +1,149 @@
+//! Failure-injection tests: malformed inputs and misuse must surface as
+//! typed `TensorError`s at crate boundaries, never as panics or silent
+//! corruption.
+
+use zipnet_gan::core::{
+    ArchScale, Discriminator, DiscriminatorConfig, GanTrainingConfig, MtsrModel, ZipNet,
+    ZipNetConfig,
+};
+use zipnet_gan::nn::layer::Layer;
+use zipnet_gan::prelude::*;
+use zipnet_gan::tensor::{Tensor, TensorError};
+use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+
+fn tiny_dataset(seed: u64) -> Dataset {
+    let mut rng = Rng::seed_from(seed);
+    let generator = MilanGenerator::new(&CityConfig::tiny(), &mut rng).expect("generator");
+    let cfg = DatasetConfig::tiny();
+    let movie = generator.generate(cfg.total(), &mut rng).expect("movie");
+    let layout = ProbeLayout::for_instance(generator.city(), MtsrInstance::Up2).expect("layout");
+    Dataset::build(&movie, layout, cfg).expect("dataset")
+}
+
+#[test]
+fn dataset_rejects_movie_layout_mismatch() {
+    let mut rng = Rng::seed_from(1);
+    let generator = MilanGenerator::new(&CityConfig::tiny(), &mut rng).expect("generator");
+    let movie = generator.generate(90, &mut rng).expect("movie"); // 20x20 frames
+    let wrong_layout = ProbeLayout::uniform(40, 4).expect("layout");
+    let err = Dataset::build(&movie, wrong_layout, DatasetConfig::tiny()).unwrap_err();
+    assert!(matches!(err, TensorError::InvalidShape { .. }), "{err}");
+}
+
+#[test]
+fn generator_rejects_wrong_temporal_length() {
+    let mut rng = Rng::seed_from(2);
+    let mut gen = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).expect("generator");
+    // S = 3 expected, feed S = 5.
+    let err = gen.forward(&Tensor::zeros([1, 1, 5, 4, 4]), false).unwrap_err();
+    assert!(matches!(err, TensorError::InvalidShape { .. }), "{err}");
+}
+
+#[test]
+fn discriminator_rejects_multichannel_input() {
+    let mut rng = Rng::seed_from(3);
+    let mut d = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).expect("disc");
+    let err = d.forward(&Tensor::zeros([1, 3, 8, 8]), false).unwrap_err();
+    assert!(matches!(err, TensorError::InvalidShape { .. }), "{err}");
+}
+
+#[test]
+fn nan_poisoned_inputs_are_caught_by_finite_guard() {
+    let mut t = Tensor::ones([4, 4]);
+    t.as_mut_slice()[7] = f32::NAN;
+    assert!(matches!(
+        t.check_finite("poisoned"),
+        Err(TensorError::NonFinite { op: "poisoned" })
+    ));
+    let mut inf = Tensor::ones([2]);
+    inf.as_mut_slice()[0] = f32::INFINITY;
+    assert!(inf.check_finite("inf").is_err());
+}
+
+#[test]
+fn predict_before_fit_is_a_typed_error_everywhere() {
+    let ds = tiny_dataset(4);
+    let t = ds.usable_indices(Split::Test)[0];
+    let mut zipnet = MtsrModel::zipnet(ArchScale::Tiny, GanTrainingConfig::tiny());
+    assert!(zipnet.predict(&ds, t).is_err());
+    use zipnet_gan::baselines::{AplusSr, SparseCodingSr, SrcnnSr};
+    assert!(SparseCodingSr::default().predict(&ds, t).is_err());
+    assert!(AplusSr::default().predict(&ds, t).is_err());
+    use zipnet_gan::baselines::srcnn::SrcnnConfig;
+    assert!(SrcnnSr::with_config(SrcnnConfig::tiny()).predict(&ds, t).is_err());
+}
+
+#[test]
+fn out_of_range_sample_indices_error() {
+    let ds = tiny_dataset(5);
+    assert!(ds.sample_at(0).is_err()); // no S-history
+    assert!(ds.sample_at(10_000).is_err());
+    assert!(ds.fine_frame_raw(10_000).is_err());
+    assert!(ds.coarse_frame_raw(10_000).is_err());
+}
+
+#[test]
+fn checkpoint_corruption_is_detected() {
+    use bytes::Bytes;
+    use zipnet_gan::nn::io;
+    let mut rng = Rng::seed_from(6);
+    let mut gen = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).expect("generator");
+    let bytes = io::to_bytes(&mut gen);
+    // Truncated checkpoint.
+    let cut = bytes.slice(0..bytes.len() / 2);
+    let mut gen2 = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).expect("generator");
+    assert!(io::from_bytes(&mut gen2, cut).is_err());
+    // Garbage bytes.
+    assert!(io::from_bytes(&mut gen2, Bytes::from_static(b"not a checkpoint")).is_err());
+    // Architecture mismatch (different S → different collapse kernel).
+    let mut gen3 = ZipNet::new(&ZipNetConfig::tiny(2, 4), &mut rng).expect("generator");
+    assert!(io::from_bytes(&mut gen3, bytes).is_err());
+}
+
+#[test]
+fn invalid_configs_rejected_at_construction() {
+    let mut rng = Rng::seed_from(7);
+    let mut bad = ZipNetConfig::tiny(2, 3);
+    bad.channels = 0;
+    assert!(ZipNet::new(&bad, &mut rng).is_err());
+    let mut bad = ZipNetConfig::tiny(0, 3);
+    bad.upscale = 0;
+    assert!(ZipNet::new(&bad, &mut rng).is_err());
+    let mut bad_d = DiscriminatorConfig::tiny();
+    bad_d.blocks = 0;
+    assert!(Discriminator::new(&bad_d, &mut rng).is_err());
+}
+
+#[test]
+fn mixture_layout_rejects_small_grids() {
+    let mut rng = Rng::seed_from(8);
+    let generator = MilanGenerator::new(&CityConfig::tiny(), &mut rng).expect("generator");
+    let err = ProbeLayout::for_instance(generator.city(), MtsrInstance::Mixture).unwrap_err();
+    assert!(matches!(err, TensorError::InvalidShape { .. }), "{err}");
+}
+
+#[test]
+fn errors_format_without_panicking() {
+    // Every error variant renders a useful Display string.
+    let errors = vec![
+        TensorError::ShapeMismatch {
+            op: "test",
+            lhs: vec![1, 2],
+            rhs: vec![2, 1],
+        },
+        TensorError::InvalidShape {
+            op: "test",
+            reason: "reason".into(),
+        },
+        TensorError::InvalidConv {
+            reason: "reason".into(),
+        },
+        TensorError::NonFinite { op: "test" },
+        TensorError::Serde {
+            reason: "reason".into(),
+        },
+    ];
+    for e in errors {
+        assert!(!e.to_string().is_empty());
+    }
+}

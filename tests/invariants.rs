@@ -1,0 +1,127 @@
+//! Property-based cross-crate invariants (proptest): relationships that
+//! must hold for *any* valid input, spanning tensor ops, probes, datasets
+//! and metrics.
+
+use proptest::prelude::*;
+use zipnet_gan::metrics::{nrmse, psnr, ssim};
+use zipnet_gan::tensor::{Rng, Tensor};
+use zipnet_gan::traffic::ProbeLayout;
+
+fn finite_grid(side: usize, lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(lo..hi, side * side)
+        .prop_map(move |v| Tensor::from_vec([side, side], v).expect("shape matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mean-aggregation conserves total traffic mass for any layout that
+    /// partitions the grid (Σ probe_mean·coverage = Σ cells).
+    #[test]
+    fn aggregation_conserves_mass(snap in finite_grid(20, 0.0f32, 1000.0), n in prop::sample::select(vec![2usize, 4, 10])) {
+        let layout = ProbeLayout::uniform(20, n).expect("layout");
+        let agg = layout.aggregate(&snap).expect("aggregate");
+        let mass: f64 = agg
+            .iter()
+            .zip(&layout.probes)
+            .map(|(&m, p)| m as f64 * p.coverage() as f64)
+            .sum();
+        let truth: f64 = snap.as_slice().iter().map(|&v| v as f64).sum();
+        prop_assert!((mass - truth).abs() < 1e-2 * truth.abs().max(1.0));
+    }
+
+    /// Uniform upsampling then re-aggregation is the identity on probe
+    /// means (the aggregation operator is a left inverse).
+    #[test]
+    fn upsample_then_aggregate_is_identity(snap in finite_grid(20, 0.0f32, 500.0)) {
+        let layout = ProbeLayout::uniform(20, 4).expect("layout");
+        let means = layout.aggregate(&snap).expect("aggregate");
+        let up = layout.uniform_upsample(&means).expect("upsample");
+        let means2 = layout.aggregate(&up).expect("re-aggregate");
+        for (a, b) in means.iter().zip(&means2) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()));
+        }
+    }
+
+    /// NRMSE is invariant to a joint positive rescaling of prediction and
+    /// truth — the property the paper cites it for (§5.3).
+    #[test]
+    fn nrmse_joint_scale_invariance(
+        pred in finite_grid(8, 1.0f32, 100.0),
+        truth in finite_grid(8, 1.0f32, 100.0),
+        k in 0.1f32..50.0,
+    ) {
+        let a = nrmse(&pred, &truth).expect("nrmse");
+        let b = nrmse(&pred.scale(k), &truth.scale(k)).expect("nrmse scaled");
+        prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()));
+    }
+
+    /// PSNR strictly decreases when the same-signed error grows.
+    #[test]
+    fn psnr_decreases_with_error(truth in finite_grid(8, 1.0f32, 100.0), e in 0.5f32..20.0) {
+        let p_small = truth.add_scalar(e);
+        let p_big = truth.add_scalar(2.0 * e);
+        let a = psnr(&p_small, &truth, 5496.0).expect("psnr");
+        let b = psnr(&p_big, &truth, 5496.0).expect("psnr");
+        prop_assert!(a > b, "psnr {a} should exceed {b}");
+    }
+
+    /// SSIM is symmetric and bounded.
+    #[test]
+    fn ssim_symmetric_and_bounded(
+        a in finite_grid(8, 0.0f32, 1000.0),
+        b in finite_grid(8, 0.0f32, 1000.0),
+    ) {
+        let s1 = ssim(&a, &b, 5496.0).expect("ssim");
+        let s2 = ssim(&b, &a, 5496.0).expect("ssim");
+        prop_assert!((s1 - s2).abs() < 1e-5);
+        prop_assert!((-1.0..=1.0).contains(&s1), "ssim {s1}");
+    }
+
+    /// Tensor serialization round-trips any finite tensor bit-exactly.
+    #[test]
+    fn tensor_serialization_roundtrip(v in prop::collection::vec(-1e6f32..1e6, 1..200)) {
+        use zipnet_gan::tensor::serialize::{read_tensor, write_tensor};
+        let n = v.len();
+        let t = Tensor::from_vec([n], v).expect("shape matches");
+        let mut buf = bytes_mut();
+        write_tensor(&mut buf, &t);
+        let back = read_tensor(&mut buf.freeze()).expect("read");
+        prop_assert_eq!(back, t);
+    }
+
+    /// Crop/reassemble with full offset coverage reconstructs any frame.
+    #[test]
+    fn crop_reassemble_identity(snap in finite_grid(12, 0.0f32, 100.0)) {
+        use zipnet_gan::traffic::augment::{crop, reassemble, AugmentConfig};
+        let cfg = AugmentConfig { window: 8, stride: 2 };
+        let windows: Vec<((usize, usize), Tensor)> = cfg
+            .offsets(12)
+            .expect("offsets")
+            .into_iter()
+            .map(|(y, x)| ((y, x), crop(&snap, y, x, 8).expect("crop")))
+            .collect();
+        let back = reassemble(&windows, 12).expect("reassemble");
+        for (a, b) in back.as_slice().iter().zip(snap.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// The deterministic RNG produces identical streams from identical
+    /// seeds and (virtually always) different streams from different ones.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = Rng::seed_from(seed);
+        let mut b = Rng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from(seed.wrapping_add(1));
+        let diffs = (0..16).filter(|_| a.next_u64() != c.next_u64()).count();
+        prop_assert!(diffs > 0);
+    }
+}
+
+fn bytes_mut() -> bytes::BytesMut {
+    bytes::BytesMut::new()
+}
