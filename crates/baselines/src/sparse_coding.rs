@@ -306,8 +306,8 @@ mod tests {
         }
         // y = 3·atom2 − 2·atom7.
         let mut y = vec![0.0f32; f];
-        for r in 0..f {
-            y[r] = 3.0 * d.get(&[r, 2]).unwrap() - 2.0 * d.get(&[r, 7]).unwrap();
+        for (r, yv) in y.iter_mut().enumerate() {
+            *yv = 3.0 * d.get(&[r, 2]).unwrap() - 2.0 * d.get(&[r, 7]).unwrap();
         }
         let y = Tensor::from_vec([f], y).unwrap();
         let sc = SparseCodingSr::with_config(ScConfig {

@@ -101,6 +101,8 @@ fn main() {
     let idx = |n: &str| names.iter().position(|m| *m == n).expect("method");
     let (zg, zn, uni) = (idx("ZipNet-GAN"), idx("ZipNet"), idx("Uniform"));
     let mut wins = 0;
+    // `ii` indexes the inner dimension of several score arrays at once.
+    #[allow(clippy::needless_range_loop)]
     for ii in 0..instances.len() {
         let best = (0..names.len())
             .min_by(|&a, &b| {

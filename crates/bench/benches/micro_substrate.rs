@@ -1,55 +1,90 @@
-//! Criterion micro-benchmarks of the numerical substrate: GEMM, im2col,
-//! 2D/3D convolution forward/backward, a full ZipNet forward pass and a
-//! full GAN training step. These are throughput benches (no paper
-//! counterpart) used to track the cost of the hot kernels.
+//! Micro-benchmarks of the numerical substrate: GEMM, 2D/3D convolution
+//! forward/backward, a full ZipNet forward pass and a forward+backward
+//! step. These are throughput benches (no paper counterpart) used to
+//! track the cost of the hot kernels.
+//!
+//! Timing goes through the `mtsr-telemetry` span registry — the same
+//! instrumentation the training loop uses — so each row reports the
+//! registry's count/mean/min statistics for the benched closure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mtsr_tensor::conv::{
     conv2d_backward_weights, conv2d_forward, conv3d_forward, conv_transpose3d_forward,
     Conv2dSpec, Conv3dSpec,
 };
 use mtsr_tensor::matmul::matmul;
 use mtsr_tensor::{Rng, Tensor};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-fn bench_matmul(c: &mut Criterion) {
+/// Runs `f` repeatedly for ~`budget`, recording each iteration under an
+/// owned telemetry span, after a few warm-up calls outside the registry.
+fn bench(name: &str, budget: Duration, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget || iters < 10 {
+        let _span = mtsr_telemetry::span_owned(format!("bench.{name}"));
+        f();
+        iters += 1;
+    }
+}
+
+fn report() {
+    let snap = mtsr_telemetry::snapshot();
+    println!(
+        "{:<40} {:>8} {:>12} {:>12}",
+        "bench", "iters", "mean", "min"
+    );
+    for (name, s) in &snap.spans {
+        // Kernel spans (tensor.*, layer.*) are recorded too; the table
+        // keeps only the top-level benched closures.
+        if !name.starts_with("bench.") {
+            continue;
+        }
+        let mean_us = s.total_ns as f64 / s.count.max(1) as f64 / 1e3;
+        println!(
+            "{:<40} {:>8} {:>9.1} us {:>9.1} us",
+            name.trim_start_matches("bench."),
+            s.count,
+            mean_us,
+            s.min_ns as f64 / 1e3,
+        );
+    }
+}
+
+fn bench_matmul(budget: Duration) {
     let mut rng = Rng::seed_from(1);
-    let mut group = c.benchmark_group("matmul");
     for &n in &[64usize, 128, 256] {
         let a = Tensor::rand_normal([n, n], 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal([n, n], 0.0, 1.0, &mut rng);
-        group.throughput(criterion::Throughput::Elements((n * n * n) as u64));
-        group.bench_function(format!("{n}x{n}x{n}"), |bench| {
-            bench.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+        bench(&format!("matmul.{n}x{n}x{n}"), budget, || {
+            matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_conv2d(c: &mut Criterion) {
+fn bench_conv2d(budget: Duration) {
     let mut rng = Rng::seed_from(2);
     let x = Tensor::rand_normal([4, 16, 40, 40], 0.0, 1.0, &mut rng);
     let w = Tensor::rand_normal([16, 16, 3, 3], 0.0, 0.2, &mut rng);
     let spec = Conv2dSpec::same(3);
-    let mut group = c.benchmark_group("conv2d_16ch_40x40_b4");
-    group.bench_function("forward", |b| {
-        b.iter(|| conv2d_forward(std::hint::black_box(&x), &w, &spec).unwrap())
+    bench("conv2d_16ch_40x40_b4.forward", budget, || {
+        conv2d_forward(std::hint::black_box(&x), &w, &spec).unwrap();
     });
     let gout = conv2d_forward(&x, &w, &spec).unwrap();
-    group.bench_function("backward_weights", |b| {
-        b.iter(|| conv2d_backward_weights(&x, std::hint::black_box(&gout), &spec, (3, 3)).unwrap())
+    bench("conv2d_16ch_40x40_b4.backward_weights", budget, || {
+        conv2d_backward_weights(&x, std::hint::black_box(&gout), &spec, (3, 3)).unwrap();
     });
-    group.finish();
 }
 
-fn bench_conv3d(c: &mut Criterion) {
+fn bench_conv3d(budget: Duration) {
     let mut rng = Rng::seed_from(3);
     let x = Tensor::rand_normal([2, 8, 3, 20, 20], 0.0, 1.0, &mut rng);
     let w = Tensor::rand_normal([8, 8, 3, 3, 3], 0.0, 0.2, &mut rng);
     let spec = Conv3dSpec::same(3, 3);
-    let mut group = c.benchmark_group("conv3d_8ch_3x20x20_b2");
-    group.bench_function("forward", |b| {
-        b.iter(|| conv3d_forward(std::hint::black_box(&x), &w, &spec).unwrap())
+    bench("conv3d_8ch_3x20x20_b2.forward", budget, || {
+        conv3d_forward(std::hint::black_box(&x), &w, &spec).unwrap();
     });
     // ZipNet's upscaling deconvolution.
     let wd = Tensor::rand_normal([8, 8, 3, 2, 2], 0.0, 0.2, &mut rng);
@@ -57,45 +92,42 @@ fn bench_conv3d(c: &mut Criterion) {
         stride: (1, 2, 2),
         pad: (1, 0, 0),
     };
-    group.bench_function("deconv_2x_forward", |b| {
-        b.iter(|| conv_transpose3d_forward(std::hint::black_box(&x), &wd, &dspec).unwrap())
+    bench("conv3d_8ch_3x20x20_b2.deconv_2x_forward", budget, || {
+        conv_transpose3d_forward(std::hint::black_box(&x), &wd, &dspec).unwrap();
     });
-    group.finish();
 }
 
-fn bench_zipnet(c: &mut Criterion) {
+fn bench_zipnet(budget: Duration) {
     use mtsr_nn::layer::Layer;
     use zipnet_core::{ZipNet, ZipNetConfig};
     let mut rng = Rng::seed_from(4);
     let cfg = ZipNetConfig::tiny(4, 3);
     let mut net = ZipNet::new(&cfg, &mut rng).unwrap();
     let x = Tensor::rand_normal([2, 1, 3, 10, 10], 0.0, 1.0, &mut rng);
-    let mut group = c.benchmark_group("zipnet_tiny_up4_10to40_b2");
-    group.bench_function("forward", |b| {
-        b.iter(|| net.forward(std::hint::black_box(&x), false).unwrap())
+    bench("zipnet_tiny_up4_10to40_b2.forward", budget, || {
+        net.forward(std::hint::black_box(&x), false).unwrap();
     });
     let y = net.forward(&x, true).unwrap();
     let g = Tensor::rand_normal(y.dims().to_vec(), 0.0, 1.0, &mut rng);
-    group.bench_function("forward_backward", |b| {
-        b.iter(|| {
-            net.forward(std::hint::black_box(&x), true).unwrap();
-            net.backward(&g).unwrap()
-        })
+    bench("zipnet_tiny_up4_10to40_b2.forward_backward", budget, || {
+        net.forward(std::hint::black_box(&x), true).unwrap();
+        net.backward(&g).unwrap();
     });
-    group.finish();
 }
 
-fn config() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(4))
-        .warm_up_time(Duration::from_secs(1))
+fn main() {
+    // Single-core CI budget: short measurement windows. Override the
+    // per-case budget (milliseconds) with MTSR_BENCH_MS.
+    let ms = std::env::var("MTSR_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000u64);
+    let budget = Duration::from_millis(ms);
+    mtsr_telemetry::set_enabled(true);
+    mtsr_telemetry::reset();
+    bench_matmul(budget);
+    bench_conv2d(budget);
+    bench_conv3d(budget);
+    bench_zipnet(budget);
+    report();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_matmul, bench_conv2d, bench_conv3d, bench_zipnet
-}
-criterion_main!(benches);

@@ -7,7 +7,6 @@
 //! Benches always report which preset they used.
 
 use mtsr_tensor::{Result, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// Splits an upscaling factor into per-block spatial strides.
 ///
@@ -29,7 +28,7 @@ pub fn upscale_blocks(nf: usize) -> Result<Vec<usize>> {
     let mut factors = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             factors.push(p);
             n /= p;
         }
@@ -54,7 +53,7 @@ pub fn upscale_blocks(nf: usize) -> Result<Vec<usize>> {
 
 /// Skip-connection topology of the convolutional core — the §3.2 design
 /// choice the skip ablation exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipMode {
     /// The paper's zipper: staggered skips linking every two modules plus
     /// a global input→output skip (Fig. 4).
@@ -66,7 +65,7 @@ pub enum SkipMode {
 }
 
 /// Generator (ZipNet) architecture configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZipNetConfig {
     /// Temporal input length `S` (number of historical coarse frames).
     pub s: usize,
@@ -145,7 +144,7 @@ impl ZipNetConfig {
 }
 
 /// Discriminator (simplified VGG, §3.2/Fig. 5) configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiscriminatorConfig {
     /// Feature maps of the first conv block; doubles every other block.
     pub base_channels: usize,

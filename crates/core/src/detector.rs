@@ -47,7 +47,8 @@ impl TrafficAnomalyDetector {
                 reason: "grid and buckets must be positive".into(),
             });
         }
-        if !(0.0 < alpha && alpha <= 1.0) || !(threshold > 0.0) {
+        let valid = 0.0 < alpha && alpha <= 1.0 && threshold > 0.0;
+        if !valid {
             return Err(TensorError::InvalidShape {
                 op: "TrafficAnomalyDetector",
                 reason: format!("bad alpha {alpha} or threshold {threshold}"),

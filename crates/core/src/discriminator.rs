@@ -86,13 +86,13 @@ impl Layer for Discriminator {
             });
         }
         let f = self.features.forward(x, train)?;
-        let p = self.pool.forward(&f, train)?;
-        self.head.forward(&p, train)
+        let p = self.pool.timed_forward(&f, train)?;
+        self.head.timed_forward(&p, train)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let g = self.head.backward(grad_out)?;
-        let g = self.pool.backward(&g)?;
+        let g = self.head.timed_backward(grad_out)?;
+        let g = self.pool.timed_backward(&g)?;
         self.features.backward(&g)
     }
 

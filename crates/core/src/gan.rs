@@ -18,12 +18,14 @@
 
 use crate::discriminator::Discriminator;
 use crate::zipnet::ZipNet;
-use mtsr_nn::clip::clip_grad_norm;
+use mtsr_nn::clip::{clip_grad_norm, global_grad_norm};
 use mtsr_nn::layer::{Layer, LayerExt};
 use mtsr_nn::loss::{bce_with_logits, log_sigmoid, mse_loss, per_sample_mse, sigmoid};
 use mtsr_nn::{Adam, LrSchedule, Optimizer};
 use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use mtsr_telemetry::{EpochRecord, PhaseReport};
 use mtsr_traffic::{Dataset, Split};
+use std::time::Instant;
 
 /// Generator objective: the paper's Eq. 9, or Eq. 8 with a fixed σ².
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,6 +118,11 @@ pub struct TrainingReport {
     pub d_loss: Vec<f32>,
     /// True when a non-finite loss was observed (training aborted).
     pub diverged: bool,
+    /// Per-phase telemetry (`pretrain`, then `adversarial`): one
+    /// [`EpochRecord`] per step with losses, D(real)/D(fake) means,
+    /// gradient norms and wall-clock. Non-timing fields are deterministic
+    /// for a fixed seed; only the `wall_ms` fields vary run to run.
+    pub phases: Vec<PhaseReport>,
 }
 
 impl TrainingReport {
@@ -130,6 +137,25 @@ impl TrainingReport {
         let tail = &self.d_loss[self.d_loss.len() - k..];
         tail.iter().sum::<f32>() / (k as f32) < 0.02
     }
+}
+
+/// Observables from one discriminator update.
+struct DStepStats {
+    /// Total BCE loss (real + fake halves of Eq. 5).
+    loss: f32,
+    /// Mean `D(real)` over the batch.
+    real_mean: f32,
+    /// Mean `D(G(input))` over the batch.
+    fake_mean: f32,
+    /// Discriminator global gradient norm before clipping.
+    grad_norm: f32,
+}
+
+/// Observables from one generator update.
+struct GStepStats {
+    loss: f32,
+    /// Generator global gradient norm before clipping.
+    grad_norm: f32,
 }
 
 /// The ZipNet-GAN trainer (Algorithm 1).
@@ -177,27 +203,56 @@ impl GanTrainer {
     /// Pre-trains the generator by minimising Eq. 10 (line 2 of
     /// Algorithm 1). Returns the MSE trace.
     pub fn pretrain(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<Vec<f32>> {
+        Ok(self.pretrain_with_telemetry(ds, rng)?.0)
+    }
+
+    /// Pre-training that also records a per-step [`PhaseReport`]. The
+    /// phase reflects the steps completed so far even when the returned
+    /// `Result` is an error (divergence mid-phase).
+    pub(crate) fn pretrain_with_telemetry(
+        &mut self,
+        ds: &Dataset,
+        rng: &mut Rng,
+    ) -> Result<(Vec<f32>, PhaseReport)> {
         let mut trace = Vec::with_capacity(self.cfg.pretrain_steps);
-        for _ in 0..self.cfg.pretrain_steps {
+        let mut phase = PhaseReport {
+            name: "pretrain".to_string(),
+            ..Default::default()
+        };
+        let phase_start = Instant::now();
+        for step in 0..self.cfg.pretrain_steps {
+            let step_start = Instant::now();
             let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
             let pred = self.gen.forward(&x, true)?;
             let (loss, grad) = mse_loss(&pred, &y)?;
             if !loss.is_finite() {
+                phase.wall_ms = phase_start.elapsed().as_secs_f64() * 1e3;
                 return Err(TensorError::NonFinite { op: "pretrain" });
             }
             trace.push(loss);
             self.gen.backward(&grad)?;
+            let g_grad_norm = global_grad_norm(&mut self.gen);
             self.tick_schedule(false);
             if let Some(c) = self.cfg.clip_norm {
                 clip_grad_norm(&mut self.gen, c);
             }
             self.opt_g.step(&mut self.gen);
+            phase.steps += 1;
+            phase.epochs.push(EpochRecord {
+                step: step as u64,
+                g_loss: loss as f64,
+                g_grad_norm: Some(g_grad_norm as f64),
+                wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
+                ..Default::default()
+            });
         }
-        Ok(trace)
+        phase.wall_ms = phase_start.elapsed().as_secs_f64() * 1e3;
+        Ok((trace, phase))
     }
 
-    /// One discriminator update (Algorithm 1 lines 4–8).
-    fn discriminator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<f32> {
+    /// One discriminator update (Algorithm 1 lines 4–8). Returns the total
+    /// BCE loss plus the step's telemetry observables.
+    fn discriminator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<DStepStats> {
         let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
         let fake = self.gen.forward(&x, true)?; // detached: G gets no update here
         let n = self.cfg.batch;
@@ -212,17 +267,25 @@ impl GanTrainer {
         let (loss_real, g_real) = bce_with_logits(&z_real, &Tensor::ones([n, 1]))?;
         self.disc.backward(&g_real)?;
 
+        let grad_norm = global_grad_norm(&mut self.disc);
         self.tick_schedule(true);
         if let Some(c) = self.cfg.clip_norm {
             clip_grad_norm(&mut self.disc, c);
         }
         self.opt_d.step(&mut self.disc);
-        Ok(loss_fake + loss_real)
+        let mean_sigmoid =
+            |z: &Tensor| z.as_slice().iter().map(|&v| sigmoid(v)).sum::<f32>() / n as f32;
+        Ok(DStepStats {
+            loss: loss_fake + loss_real,
+            real_mean: mean_sigmoid(&z_real),
+            fake_mean: mean_sigmoid(&z_fake),
+            grad_norm,
+        })
     }
 
     /// One generator update (Algorithm 1 lines 9–13) under the configured
-    /// objective. Returns the generator loss.
-    fn generator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<f32> {
+    /// objective. Returns the generator loss and gradient norm.
+    fn generator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<GStepStats> {
         let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
         let pred = self.gen.forward(&x, true)?;
         let z = self.disc.forward(&pred, true)?; // [N, 1] logits
@@ -299,12 +362,13 @@ impl GanTrainer {
 
         grad.add_assign(&g_through_d)?;
         self.gen.backward(&grad)?;
+        let grad_norm = global_grad_norm(&mut self.gen);
         self.tick_schedule(true);
         if let Some(c) = self.cfg.clip_norm {
             clip_grad_norm(&mut self.gen, c);
         }
         self.opt_g.step(&mut self.gen);
-        Ok(loss)
+        Ok(GStepStats { loss, grad_norm })
     }
 
     /// Runs the full Algorithm 1: pre-training followed by the iterative
@@ -313,20 +377,44 @@ impl GanTrainer {
     /// loss-function ablation *wants* to observe divergence.
     pub fn train(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<TrainingReport> {
         let mut report = TrainingReport::default();
-        match self.pretrain(ds, rng) {
-            Ok(trace) => report.pretrain_mse = trace,
+        match self.pretrain_with_telemetry(ds, rng) {
+            Ok((trace, phase)) => {
+                report.pretrain_mse = trace;
+                report.phases.push(phase);
+            }
             Err(TensorError::NonFinite { .. }) => {
                 report.diverged = true;
                 return Ok(report);
             }
             Err(e) => return Err(e),
         }
-        for _ in 0..self.cfg.adversarial_steps {
+        let mut adv_phase = PhaseReport {
+            name: "adversarial".to_string(),
+            ..Default::default()
+        };
+        let adv_start = Instant::now();
+        for outer in 0..self.cfg.adversarial_steps {
+            let step_start = Instant::now();
+            // Per outer iteration the epoch record keeps the *last*
+            // sub-step's observables (n_G = n_D = 1 in the paper, so
+            // normally there is exactly one of each).
+            let mut epoch = EpochRecord {
+                step: outer as u64,
+                ..Default::default()
+            };
             for _ in 0..self.cfg.n_d {
                 match self.discriminator_step(ds, rng) {
-                    Ok(l) if l.is_finite() => report.d_loss.push(l),
+                    Ok(s) if s.loss.is_finite() => {
+                        report.d_loss.push(s.loss);
+                        epoch.d_loss = Some(s.loss as f64);
+                        epoch.d_real_mean = Some(s.real_mean as f64);
+                        epoch.d_fake_mean = Some(s.fake_mean as f64);
+                        epoch.d_grad_norm = Some(s.grad_norm as f64);
+                    }
                     Ok(_) | Err(TensorError::NonFinite { .. }) => {
                         report.diverged = true;
+                        adv_phase.wall_ms = adv_start.elapsed().as_secs_f64() * 1e3;
+                        report.phases.push(adv_phase);
                         return Ok(report);
                     }
                     Err(e) => return Err(e),
@@ -334,15 +422,26 @@ impl GanTrainer {
             }
             for _ in 0..self.cfg.n_g {
                 match self.generator_step(ds, rng) {
-                    Ok(l) => report.g_loss.push(l),
+                    Ok(s) => {
+                        report.g_loss.push(s.loss);
+                        epoch.g_loss = s.loss as f64;
+                        epoch.g_grad_norm = Some(s.grad_norm as f64);
+                    }
                     Err(TensorError::NonFinite { .. }) => {
                         report.diverged = true;
+                        adv_phase.wall_ms = adv_start.elapsed().as_secs_f64() * 1e3;
+                        report.phases.push(adv_phase);
                         return Ok(report);
                     }
                     Err(e) => return Err(e),
                 }
             }
+            epoch.wall_ms = step_start.elapsed().as_secs_f64() * 1e3;
+            adv_phase.steps += 1;
+            adv_phase.epochs.push(epoch);
         }
+        adv_phase.wall_ms = adv_start.elapsed().as_secs_f64() * 1e3;
+        report.phases.push(adv_phase);
         Ok(report)
     }
 
@@ -459,13 +558,15 @@ mod tests {
         trainer.cfg.loss = GanLoss::FixedSigma(0.1);
         trainer.cfg.adversarial_steps = 3;
         let report = trainer.train(&ds, &mut Rng::seed_from(8)).unwrap();
-        assert_eq!(report.g_loss.len() + report.d_loss.len() > 0, true);
+        assert!(report.g_loss.len() + report.d_loss.len() > 0);
     }
 
     #[test]
     fn collapse_detector_logic() {
-        let mut r = TrainingReport::default();
-        r.d_loss = vec![0.001; 20];
+        let mut r = TrainingReport {
+            d_loss: vec![0.001; 20],
+            ..Default::default()
+        };
         assert!(r.collapsed(10));
         r.d_loss = vec![0.5; 20];
         assert!(!r.collapsed(10));

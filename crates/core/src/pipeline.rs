@@ -117,7 +117,7 @@ impl SuperResolver for MtsrModel {
 
     fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
         let layout = ds.layout();
-        if layout.grid % layout.square != 0 {
+        if !layout.grid.is_multiple_of(layout.square) {
             return Err(TensorError::InvalidShape {
                 op: "MtsrModel::fit",
                 reason: format!(
@@ -135,7 +135,9 @@ impl SuperResolver for MtsrModel {
             trainer.train(ds, rng)?
         } else {
             let mut r = TrainingReport::default();
-            r.pretrain_mse = trainer.pretrain(ds, rng)?;
+            let (trace, phase) = trainer.pretrain_with_telemetry(ds, rng)?;
+            r.pretrain_mse = trace;
+            r.phases.push(phase);
             r
         };
         if report.diverged {
@@ -198,7 +200,7 @@ impl MtsrPipeline {
             op: "MtsrPipeline",
             reason: "sliding-window inference requires a homogeneous probe layout".into(),
         })?;
-        if self.window == 0 || self.window > g || self.window % n != 0 {
+        if self.window == 0 || self.window > g || !self.window.is_multiple_of(n) {
             return Err(TensorError::InvalidShape {
                 op: "MtsrPipeline",
                 reason: format!(
@@ -207,7 +209,7 @@ impl MtsrPipeline {
                 ),
             });
         }
-        if self.stride == 0 || self.stride % n != 0 {
+        if self.stride == 0 || !self.stride.is_multiple_of(n) {
             return Err(TensorError::InvalidShape {
                 op: "MtsrPipeline",
                 reason: format!("stride {} must be a positive multiple of {n}", self.stride),

@@ -28,7 +28,7 @@ impl StreamingPredictor {
     /// moments of the dataset the generator was trained on (available
     /// from `Dataset::moments()`).
     pub fn new(gen: ZipNet, moments: Moments) -> Result<Self> {
-        if !(moments.std > 0.0) {
+        if moments.std.is_nan() || moments.std <= 0.0 {
             return Err(TensorError::InvalidShape {
                 op: "StreamingPredictor",
                 reason: "moments.std must be positive".into(),
@@ -79,6 +79,7 @@ impl StreamingPredictor {
             Some(_) => {}
         }
         coarse_mb.check_finite("StreamingPredictor::push")?;
+        mtsr_telemetry::add_counter("stream.frames_pushed", 1);
         let s = self.required_history();
         self.window.push_back(coarse_mb.normalize(&self.moments)?);
         while self.window.len() > s {
@@ -96,7 +97,11 @@ impl StreamingPredictor {
                 dst[i * sq * sq..(i + 1) * sq * sq].copy_from_slice(f.as_slice());
             }
         }
-        let pred = self.gen.forward(&x, false)?;
+        let pred = {
+            let _span = mtsr_telemetry::span("stream.predict");
+            self.gen.forward(&x, false)?
+        };
+        mtsr_telemetry::add_counter("stream.predictions", 1);
         let side = pred.dims()[2];
         Ok(Some(
             pred.reshape([side, side])?.denormalize(&self.moments),
@@ -153,7 +158,7 @@ mod tests {
             &mut Rng::seed_from(99),
         )
         .unwrap();
-        mtsr_nn::io::from_bytes(&mut gen, bytes).unwrap();
+        mtsr_nn::io::from_bytes(&mut gen, &bytes).unwrap();
         let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
 
         // Feed the raw coarse frames t-2, t-1, t.
@@ -175,7 +180,7 @@ mod tests {
         let bytes = mtsr_nn::io::to_bytes(model.generator_mut().unwrap());
         let mut gen =
             crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(5)).unwrap();
-        mtsr_nn::io::from_bytes(&mut gen, bytes).unwrap();
+        mtsr_nn::io::from_bytes(&mut gen, &bytes).unwrap();
         let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
         assert_eq!(stream.required_history(), 3);
         assert!(!stream.ready());
@@ -195,7 +200,7 @@ mod tests {
         let bytes = mtsr_nn::io::to_bytes(model.generator_mut().unwrap());
         let mut gen =
             crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(6)).unwrap();
-        mtsr_nn::io::from_bytes(&mut gen, bytes).unwrap();
+        mtsr_nn::io::from_bytes(&mut gen, &bytes).unwrap();
         let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
         // Non-square frame.
         assert!(stream.push(&Tensor::zeros([3, 5])).is_err());

@@ -182,13 +182,13 @@ impl Layer for ZipNet {
         // Stage 1: 3D upscaling to [N, C, S, H, W].
         let up = self.upscale.forward(x, train)?;
         // Bridge: learnable temporal collapse to [N, C, 1, H, W] → 2D.
-        let tc = self.temporal_collapse.forward(&up, train)?;
+        let tc = self.temporal_collapse.timed_forward(&up, train)?;
         let d = tc.dims().to_vec();
         self.cached_pre_collapse_dims = Some(d.clone());
         let flat = tc.reshape([d[0], d[1], d[3], d[4]])?;
         let z0 = self
             .collapse_act
-            .forward(&self.collapse_norm.forward(&flat, train)?, train)?;
+            .timed_forward(&self.collapse_norm.timed_forward(&flat, train)?, train)?;
 
         // Stage 2: convolutional core. Topology by skip mode:
         //   Zipper (paper):  a_1 = B_1(a_0); a_i = B_i(a_{i−1}) + a_{i−2};
@@ -260,7 +260,7 @@ impl Layer for ZipNet {
         // Bridge backward.
         let g_flat = self
             .collapse_norm
-            .backward(&self.collapse_act.backward(&g_z0)?)?;
+            .timed_backward(&self.collapse_act.timed_backward(&g_z0)?)?;
         let d = self
             .cached_pre_collapse_dims
             .as_ref()
@@ -270,7 +270,7 @@ impl Layer for ZipNet {
             })?
             .clone();
         let g_tc = g_flat.reshape(d)?;
-        let g_up = self.temporal_collapse.backward(&g_tc)?;
+        let g_up = self.temporal_collapse.timed_backward(&g_tc)?;
 
         self.upscale.backward(&g_up)
     }
@@ -499,7 +499,7 @@ mod tests {
         let y_ref = net.forward(&x, false).unwrap();
         let bytes = mtsr_nn::io::to_bytes(&mut net);
         let mut net2 = ZipNet::new(&cfg, &mut Rng::seed_from(999)).unwrap();
-        mtsr_nn::io::from_bytes(&mut net2, bytes).unwrap();
+        mtsr_nn::io::from_bytes(&mut net2, &bytes).unwrap();
         assert_eq!(net2.forward(&x, false).unwrap(), y_ref);
     }
 }

@@ -59,7 +59,7 @@ pub fn nrmse(pred: &Tensor, truth: &Tensor) -> Result<f32> {
 /// capped at 150 dB so downstream averaging stays meaningful.
 pub fn psnr(pred: &Tensor, truth: &Tensor, peak: f32) -> Result<f32> {
     check_pair(pred, truth, "psnr")?;
-    if !(peak > 0.0) {
+    if peak.is_nan() || peak <= 0.0 {
         return Err(TensorError::InvalidShape {
             op: "psnr",
             reason: format!("peak must be positive, got {peak}"),
@@ -81,7 +81,7 @@ pub fn psnr(pred: &Tensor, truth: &Tensor, peak: f32) -> Result<f32> {
 /// Result lies in `[-1, 1]`; 1 iff the images are identical.
 pub fn ssim(pred: &Tensor, truth: &Tensor, dynamic_range: f32) -> Result<f32> {
     check_pair(pred, truth, "ssim")?;
-    if !(dynamic_range > 0.0) {
+    if dynamic_range.is_nan() || dynamic_range <= 0.0 {
         return Err(TensorError::InvalidShape {
             op: "ssim",
             reason: format!("dynamic range must be positive, got {dynamic_range}"),

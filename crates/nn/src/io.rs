@@ -2,14 +2,13 @@
 //! tree by name.
 
 use crate::layer::Layer;
-use bytes::Bytes;
 use mtsr_tensor::serialize::{read_named_tensors, write_named_tensors};
 use mtsr_tensor::{Result, Tensor, TensorError};
 use std::collections::HashMap;
 use std::path::Path;
 
 /// Serialises all parameters and buffers of `layer` into checkpoint bytes.
-pub fn to_bytes(layer: &mut dyn Layer) -> Bytes {
+pub fn to_bytes(layer: &mut dyn Layer) -> Vec<u8> {
     let mut pairs: Vec<(String, Tensor)> = Vec::new();
     layer.visit_params(&mut |p| pairs.push((p.name.clone(), p.value.clone())));
     layer.visit_buffers(&mut |p| pairs.push((p.name.clone(), p.value.clone())));
@@ -20,7 +19,7 @@ pub fn to_bytes(layer: &mut dyn Layer) -> Bytes {
 /// name. Every parameter of `layer` must be present with the right shape;
 /// unknown names in the checkpoint are rejected (they indicate an
 /// architecture mismatch).
-pub fn from_bytes(layer: &mut dyn Layer, bytes: Bytes) -> Result<()> {
+pub fn from_bytes(layer: &mut dyn Layer, bytes: &[u8]) -> Result<()> {
     let mut by_name: HashMap<String, Tensor> = read_named_tensors(bytes)?.into_iter().collect();
     let mut err: Option<TensorError> = None;
     let mut restore = |p: &mut crate::param::Param| {
@@ -72,7 +71,7 @@ pub fn load(layer: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
     let data = std::fs::read(path.as_ref()).map_err(|e| TensorError::Serde {
         reason: format!("read {}: {e}", path.as_ref().display()),
     })?;
-    from_bytes(layer, Bytes::from(data))
+    from_bytes(layer, &data)
 }
 
 #[cfg(test)]
@@ -105,7 +104,7 @@ mod tests {
         let bytes = to_bytes(&mut net);
 
         let mut net2 = tiny_net(2); // different init
-        from_bytes(&mut net2, bytes).unwrap();
+        from_bytes(&mut net2, &bytes).unwrap();
         let y2 = net2.forward(&x, false).unwrap();
         assert_eq!(y_ref, y2);
     }
@@ -124,7 +123,7 @@ mod tests {
             Conv2dSpec::same(3),
             &mut rng,
         ));
-        assert!(from_bytes(&mut other, bytes.clone()).is_err());
+        assert!(from_bytes(&mut other, &bytes).is_err());
         // A net with extra params not in the checkpoint is also rejected.
         let mut rng = Rng::seed_from(4);
         let mut extra = Sequential::new().push(Conv2d::new(
@@ -135,7 +134,7 @@ mod tests {
             Conv2dSpec::same(3),
             &mut rng,
         ));
-        assert!(from_bytes(&mut extra, bytes).is_err());
+        assert!(from_bytes(&mut extra, &bytes).is_err());
     }
 
     #[test]

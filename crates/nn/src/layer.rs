@@ -31,6 +31,21 @@ pub trait Layer: Send {
 
     /// Human-readable layer type name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// [`Layer::forward`] wrapped in a telemetry span named
+    /// `layer.<name>.forward`. Containers call this on their children so
+    /// that an enabled registry sees per-layer timings; when telemetry is
+    /// disabled the cost over plain `forward` is one atomic load.
+    fn timed_forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let _span = mtsr_telemetry::layer_span(self.name(), "forward");
+        self.forward(x, train)
+    }
+
+    /// [`Layer::backward`] wrapped in a `layer.<name>.backward` span.
+    fn timed_backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let _span = mtsr_telemetry::layer_span(self.name(), "backward");
+        self.backward(grad_out)
+    }
 }
 
 /// Extension helpers available on every `Layer` (and on containers).
@@ -100,7 +115,7 @@ impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
         let mut cur = x.clone();
         for layer in &mut self.layers {
-            cur = layer.forward(&cur, train)?;
+            cur = layer.timed_forward(&cur, train)?;
         }
         Ok(cur)
     }
@@ -108,7 +123,7 @@ impl Layer for Sequential {
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mut cur = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur)?;
+            cur = layer.timed_backward(&cur)?;
         }
         Ok(cur)
     }

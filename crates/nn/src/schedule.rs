@@ -46,7 +46,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant { lr } => lr,
             LrSchedule::StepDecay { lr, every, factor } => {
-                let k = if every == 0 { 0 } else { step / every };
+                let k = step.checked_div(every).unwrap_or(0);
                 lr * factor.powi(k as i32)
             }
             LrSchedule::Exponential { lr, period, factor } => {

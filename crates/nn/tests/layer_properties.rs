@@ -1,6 +1,7 @@
-//! Property-based layer tests: every layer passes the finite-difference
-//! gradient check over randomly drawn architectures and input shapes, and
-//! training-mode invariants hold for arbitrary data.
+//! Property-style layer tests: every layer passes the finite-difference
+//! gradient check over seeded random architectures and input shapes, and
+//! training-mode invariants hold across many drawn cases. Cases come from
+//! the repo's deterministic [`Rng`], so each run checks identical inputs.
 
 use mtsr_nn::grad_check::check_layer_gradients;
 use mtsr_nn::layer::{Layer, LayerExt};
@@ -8,68 +9,90 @@ use mtsr_nn::layers::{BatchNorm, Conv2d, ConvTranspose2d, Dense, GlobalAvgPool, 
 use mtsr_nn::Sequential;
 use mtsr_tensor::conv::Conv2dSpec;
 use mtsr_tensor::{Rng, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+const CASES: u64 = 12;
 
-    /// Random conv configurations pass the gradient check.
-    #[test]
-    fn conv2d_random_configs_grad_check(
-        c_in in 1usize..4, c_out in 1usize..4, k in prop::sample::select(vec![1usize, 3]),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = Rng::seed_from(seed);
+fn case_rng(test_id: u64, case: u64) -> Rng {
+    Rng::seed_from(test_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
+}
+
+/// Random conv configurations pass the gradient check.
+#[test]
+fn conv2d_random_configs_grad_check() {
+    for case in 0..CASES {
+        let mut rng = case_rng(21, case);
+        let c_in = rng.below(3) + 1;
+        let c_out = rng.below(3) + 1;
+        let k = if rng.below(2) == 0 { 1 } else { 3 };
         let layer = Conv2d::new("c", c_in, c_out, (k, k), Conv2dSpec::same(k), &mut rng);
-        check_layer_gradients(Box::new(layer), &[1, c_in, 5, 5], seed ^ 1);
+        check_layer_gradients(Box::new(layer), &[1, c_in, 5, 5], case ^ 1);
     }
+}
 
-    /// Random deconv configurations pass the gradient check.
-    #[test]
-    fn deconv2d_random_configs_grad_check(
-        c_in in 1usize..3, c_out in 1usize..3, stride in 1usize..3,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = Rng::seed_from(seed);
+/// Random deconv configurations pass the gradient check.
+#[test]
+fn deconv2d_random_configs_grad_check() {
+    for case in 0..CASES {
+        let mut rng = case_rng(22, case);
+        let c_in = rng.below(2) + 1;
+        let c_out = rng.below(2) + 1;
+        let stride = rng.below(2) + 1;
         let layer = ConvTranspose2d::new(
-            "d", c_in, c_out, (stride, stride), Conv2dSpec::new(stride, 0), &mut rng,
+            "d",
+            c_in,
+            c_out,
+            (stride, stride),
+            Conv2dSpec::new(stride, 0),
+            &mut rng,
         );
-        check_layer_gradients(Box::new(layer), &[1, c_in, 4, 4], seed ^ 2);
+        check_layer_gradients(Box::new(layer), &[1, c_in, 4, 4], case ^ 2);
     }
+}
 
-    /// Random dense configurations pass the gradient check.
-    #[test]
-    fn dense_random_configs_grad_check(
-        f_in in 1usize..8, f_out in 1usize..8, n in 1usize..4, seed in any::<u64>(),
-    ) {
-        let mut rng = Rng::seed_from(seed);
+/// Random dense configurations pass the gradient check.
+#[test]
+fn dense_random_configs_grad_check() {
+    for case in 0..CASES {
+        let mut rng = case_rng(23, case);
+        let f_in = rng.below(7) + 1;
+        let f_out = rng.below(7) + 1;
+        let n = rng.below(3) + 1;
         let layer = Dense::new("fc", f_in, f_out, &mut rng);
-        check_layer_gradients(Box::new(layer), &[n, f_in], seed ^ 3);
+        check_layer_gradients(Box::new(layer), &[n, f_in], case ^ 3);
     }
+}
 
-    /// Batch-norm output is exactly standardised per channel in training
-    /// mode for any input distribution.
-    #[test]
-    fn batchnorm_standardises_any_distribution(
-        mean in -100.0f32..100.0, std in 0.5f32..50.0, seed in any::<u64>(),
-    ) {
-        let mut rng = Rng::seed_from(seed);
+/// Batch-norm output is exactly standardised per channel in training
+/// mode for any input distribution.
+#[test]
+fn batchnorm_standardises_any_distribution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(24, case);
+        let mean = rng.uniform(-100.0, 100.0);
+        let std = rng.uniform(0.5, 50.0);
         let mut bn = BatchNorm::new("bn", 2);
         let x = Tensor::rand_normal([4, 2, 6, 6], mean, std, &mut rng);
         let y = bn.forward(&x, true).expect("forward");
         let m = y.mean_per_channel().expect("mean");
         let v = y.var_per_channel(&m).expect("var");
         for c in 0..2 {
-            prop_assert!(m.as_slice()[c].abs() < 1e-3, "mean {}", m.as_slice()[c]);
-            prop_assert!((v.as_slice()[c] - 1.0).abs() < 1e-2, "var {}", v.as_slice()[c]);
+            assert!(m.as_slice()[c].abs() < 1e-3, "case {case}: mean {}", m.as_slice()[c]);
+            assert!(
+                (v.as_slice()[c] - 1.0).abs() < 1e-2,
+                "case {case}: var {}",
+                v.as_slice()[c]
+            );
         }
     }
+}
 
-    /// A full stack (conv → BN → LReLU → pool → dense) backpropagates a
-    /// gradient of the right shape with all-finite values for any input.
-    #[test]
-    fn full_stack_backprop_is_finite(seed in any::<u64>(), scale in 0.1f32..10.0) {
-        let mut rng = Rng::seed_from(seed);
+/// A full stack (conv → BN → LReLU → pool → dense) backpropagates a
+/// gradient of the right shape with all-finite values for any input.
+#[test]
+fn full_stack_backprop_is_finite() {
+    for case in 0..CASES {
+        let mut rng = case_rng(25, case);
+        let scale = rng.uniform(0.1, 10.0);
         let mut net = Sequential::new()
             .push(Conv2d::new("c", 1, 3, (3, 3), Conv2dSpec::same(3), &mut rng))
             .push(BatchNorm::new("bn", 3))
@@ -78,21 +101,23 @@ proptest! {
             .push(Dense::new("fc", 3, 1, &mut rng));
         let x = Tensor::rand_normal([2, 1, 6, 6], 0.0, scale, &mut rng);
         let y = net.forward(&x, true).expect("forward");
-        prop_assert_eq!(y.dims(), &[2, 1]);
-        prop_assert!(y.is_finite());
+        assert_eq!(y.dims(), &[2, 1]);
+        assert!(y.is_finite());
         let g = net.backward(&Tensor::ones([2, 1])).expect("backward");
-        prop_assert_eq!(g.dims(), x.dims());
-        prop_assert!(g.is_finite());
+        assert_eq!(g.dims(), x.dims());
+        assert!(g.is_finite());
         // Parameter gradients all finite too.
         let mut all_finite = true;
         net.visit_params(&mut |p| all_finite &= p.grad.is_finite());
-        prop_assert!(all_finite);
+        assert!(all_finite, "case {case}");
     }
+}
 
-    /// zero_grad really zeroes everything, whatever was accumulated.
-    #[test]
-    fn zero_grad_property(seed in any::<u64>()) {
-        let mut rng = Rng::seed_from(seed);
+/// zero_grad really zeroes everything, whatever was accumulated.
+#[test]
+fn zero_grad_property() {
+    for case in 0..CASES {
+        let mut rng = case_rng(26, case);
         let mut net = Sequential::new()
             .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
             .push(BatchNorm::new("bn", 2));
@@ -100,18 +125,25 @@ proptest! {
         net.forward(&x, true).expect("forward");
         net.backward(&Tensor::ones([1, 2, 4, 4])).expect("backward");
         let mut nonzero = 0;
-        net.visit_params(&mut |p| nonzero += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count());
-        prop_assert!(nonzero > 0, "backward should have produced gradients");
+        net.visit_params(&mut |p| {
+            nonzero += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count()
+        });
+        assert!(nonzero > 0, "case {case}: backward should have produced gradients");
         net.zero_grad();
         let mut remaining = 0;
-        net.visit_params(&mut |p| remaining += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count());
-        prop_assert_eq!(remaining, 0);
+        net.visit_params(&mut |p| {
+            remaining += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count()
+        });
+        assert_eq!(remaining, 0, "case {case}");
     }
+}
 
-    /// Checkpoint round-trips preserve inference for arbitrary nets.
-    #[test]
-    fn checkpoint_roundtrip_property(seed in any::<u64>(), width in 1usize..5) {
-        let mut rng = Rng::seed_from(seed);
+/// Checkpoint round-trips preserve inference for arbitrary nets.
+#[test]
+fn checkpoint_roundtrip_property() {
+    for case in 0..CASES {
+        let mut rng = case_rng(27, case);
+        let width = rng.below(4) + 1;
         let build = |rng: &mut Rng| {
             Sequential::new()
                 .push(Conv2d::new("c1", 1, width, (3, 3), Conv2dSpec::same(3), rng))
@@ -124,8 +156,8 @@ proptest! {
         net.forward(&x, true).expect("warm running stats");
         let y_ref = net.forward(&x, false).expect("reference");
         let bytes = mtsr_nn::io::to_bytes(&mut net);
-        let mut other = build(&mut Rng::seed_from(seed ^ 0xABCD));
-        mtsr_nn::io::from_bytes(&mut other, bytes).expect("load");
-        prop_assert_eq!(other.forward(&x, false).expect("restored"), y_ref);
+        let mut other = build(&mut Rng::seed_from(case ^ 0xABCD));
+        mtsr_nn::io::from_bytes(&mut other, &bytes).expect("load");
+        assert_eq!(other.forward(&x, false).expect("restored"), y_ref, "case {case}");
     }
 }

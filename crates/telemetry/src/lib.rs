@@ -1,0 +1,33 @@
+//! # mtsr-telemetry
+//!
+//! Observability substrate for the MTSR stack. Three pieces:
+//!
+//! * a process-global **metrics registry** — counters, gauges and span
+//!   timers — guarded by a single atomic flag so that disabled telemetry
+//!   costs one relaxed load and performs **no allocation** on any hot
+//!   path ([`enabled`], [`registry`]);
+//! * RAII **scoped timers** ([`span`], [`layer_span`]) used to instrument
+//!   the hot kernels (`sgemm`, im2col, conv2d/conv3d) and every layer's
+//!   forward/backward pass;
+//! * the **[`TelemetryReport`]** JSON schema — a stable, machine-readable
+//!   record of a training/inference run (per-epoch losses, per-phase
+//!   wall-clock, kernel span statistics) that perf PRs diff against as a
+//!   baseline. Serialization is hand-rolled ([`json`]) so the crate has
+//!   zero dependencies and builds offline.
+//!
+//! The crate sits below `mtsr-tensor` in the dependency graph: everything
+//! above it (tensor kernels, nn layers, the GAN trainer, the `mtsr`
+//! binary) records into the same registry.
+
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use json::Json;
+pub use registry::{
+    add_counter, enabled, record_gauge, record_span_ns, reset, set_enabled, snapshot, Snapshot,
+    SpanStat,
+};
+pub use report::{EpochRecord, PhaseReport, SpanReport, TelemetryReport, SCHEMA_VERSION};
+pub use span::{layer_span, span, span_owned, SpanGuard};

@@ -1,0 +1,209 @@
+//! The process-global metrics registry.
+//!
+//! All recording functions are gated on one relaxed [`AtomicBool`] load:
+//! when telemetry is disabled (the default) they return before touching
+//! the registry mutex or allocating, so instrumented hot paths pay a
+//! single predictable branch. When enabled, metrics accumulate under a
+//! [`Mutex`] — contention only matters while actively measuring, and a
+//! simple lock keeps the recorded numbers easy to reason about.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Aggregate statistics for one named span (scoped timer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of span durations in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest observed span.
+    pub min_ns: u64,
+    /// Longest observed span.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn observe(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    spans: HashMap<String, SpanStat>,
+}
+
+fn registry() -> &'static Mutex<Inner> {
+    static REGISTRY: OnceLock<Mutex<Inner>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// Turns telemetry collection on or off (process-wide).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when telemetry collection is active. One relaxed atomic load —
+/// this is the entire disabled-path cost of every instrumentation site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Increments a named counter by `by`. No-op (and no allocation) when
+/// telemetry is disabled.
+#[inline]
+pub fn add_counter(name: &str, by: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry().lock().expect("telemetry registry poisoned");
+    match r.counters.get_mut(name) {
+        Some(v) => *v += by,
+        None => {
+            r.counters.insert(name.to_string(), by);
+        }
+    }
+}
+
+/// Sets a named gauge to its latest value. No-op when disabled.
+#[inline]
+pub fn record_gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry().lock().expect("telemetry registry poisoned");
+    match r.gauges.get_mut(name) {
+        Some(v) => *v = value,
+        None => {
+            r.gauges.insert(name.to_string(), value);
+        }
+    }
+}
+
+/// Folds one span duration into the named span's statistics. Called by
+/// [`crate::span::SpanGuard`] on drop; callers normally use
+/// [`crate::span`] instead.
+#[inline]
+pub fn record_span_ns(name: &str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry().lock().expect("telemetry registry poisoned");
+    match r.spans.get_mut(name) {
+        Some(s) => s.observe(ns),
+        None => {
+            r.spans.insert(
+                name.to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: ns,
+                    min_ns: ns,
+                    max_ns: ns,
+                },
+            );
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, sorted by name so that two runs
+/// recording the same events produce identical orderings.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, stats)` spans, name-sorted.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+/// Copies the current registry contents out (works whether or not
+/// collection is still enabled).
+pub fn snapshot() -> Snapshot {
+    let r = registry().lock().expect("telemetry registry poisoned");
+    let mut counters: Vec<_> = r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let mut gauges: Vec<_> = r.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let mut spans: Vec<_> = r.spans.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        counters,
+        gauges,
+        spans,
+    }
+}
+
+/// Clears all recorded metrics (the enabled flag is left untouched).
+pub fn reset() {
+    let mut r = registry().lock().expect("telemetry registry poisoned");
+    r.counters.clear();
+    r.gauges.clear();
+    r.spans.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Registry state is process-global, so the unit tests here run inside
+    // one #[test] to avoid cross-test interference under the parallel test
+    // runner. (Integration tests that need the registry use their own
+    // process.)
+    #[test]
+    fn registry_lifecycle() {
+        // Disabled: recording is a no-op.
+        set_enabled(false);
+        add_counter("t.c", 3);
+        record_gauge("t.g", 1.5);
+        record_span_ns("t.s", 100);
+        let s = snapshot();
+        assert!(s.counters.iter().all(|(k, _)| k != "t.c"));
+        assert!(s.gauges.iter().all(|(k, _)| k != "t.g"));
+        assert!(s.spans.iter().all(|(k, _)| k != "t.s"));
+
+        // Enabled: values accumulate and snapshots are sorted.
+        set_enabled(true);
+        add_counter("t.b", 1);
+        add_counter("t.a", 2);
+        add_counter("t.a", 3);
+        record_gauge("t.g", 2.5);
+        record_gauge("t.g", 3.5);
+        record_span_ns("t.s", 10);
+        record_span_ns("t.s", 30);
+        let s = snapshot();
+        let names: Vec<&str> = s
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("t."))
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(names, vec!["t.a", "t.b"]);
+        assert_eq!(
+            s.counters.iter().find(|(k, _)| k == "t.a").unwrap().1,
+            5
+        );
+        assert_eq!(s.gauges.iter().find(|(k, _)| k == "t.g").unwrap().1, 3.5);
+        let span = &s.spans.iter().find(|(k, _)| k == "t.s").unwrap().1;
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total_ns, 40);
+        assert_eq!(span.min_ns, 10);
+        assert_eq!(span.max_ns, 30);
+
+        // Reset clears everything but keeps the flag.
+        reset();
+        assert!(enabled());
+        assert!(snapshot().counters.is_empty());
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,459 @@
+//! The stable [`TelemetryReport`] JSON schema.
+//!
+//! A report captures one training/inference run: run metadata, per-phase
+//! training telemetry (Algorithm 1's pre-training and adversarial
+//! phases), kernel/layer span statistics, and the raw counters/gauges.
+//! Benches and perf PRs treat the serialized form as a machine-readable
+//! baseline (`BENCH_*.json`-compatible: flat, stable field names,
+//! deterministic ordering), so schema changes must bump
+//! [`SCHEMA_VERSION`] and keep the golden-file regression test in
+//! `crates/telemetry/tests/golden.rs` in sync.
+//!
+//! Fields split into **timing** (wall-clock and span durations — vary
+//! run-to-run) and **non-timing** (losses, counts, metadata — identical
+//! across reruns with the same seed). [`TelemetryReport::strip_timing`]
+//! zeroes the former so determinism checks can compare whole reports.
+
+use crate::json::Json;
+use crate::registry::Snapshot;
+
+/// Version of the serialized schema; bump on any field change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Telemetry for one optimisation step (pre-training step or adversarial
+/// outer iteration).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EpochRecord {
+    /// Step index within its phase (0-based).
+    pub step: u64,
+    /// Generator objective for this step: pre-training MSE (Eq. 10) or
+    /// the adversarial generator loss (Eq. 9 / Eq. 8).
+    pub g_loss: f64,
+    /// Discriminator loss (Eq. 5 BCE, real + fake); adversarial phase only.
+    pub d_loss: Option<f64>,
+    /// Mean of `D(real)` over the step's batch; adversarial phase only.
+    pub d_real_mean: Option<f64>,
+    /// Mean of `D(G(input))` over the step's batch; adversarial phase only.
+    pub d_fake_mean: Option<f64>,
+    /// Global gradient norm of the generator after backward.
+    pub g_grad_norm: Option<f64>,
+    /// Global gradient norm of the discriminator after backward.
+    pub d_grad_norm: Option<f64>,
+    /// Wall-clock duration of the step in milliseconds (timing field).
+    pub wall_ms: f64,
+}
+
+/// One training phase (e.g. `"pretrain"`, `"adversarial"`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseReport {
+    /// Phase name.
+    pub name: String,
+    /// Number of steps executed.
+    pub steps: u64,
+    /// Phase wall-clock in milliseconds (timing field).
+    pub wall_ms: f64,
+    /// Per-step records, in execution order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+/// Aggregated scoped-timer statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanReport {
+    /// Span name (e.g. `tensor.conv2d.forward`, `layer.Conv2d.backward`).
+    pub name: String,
+    /// Completed span count (non-timing: deterministic per run).
+    pub count: u64,
+    /// Total nanoseconds (timing field).
+    pub total_ns: u64,
+    /// Mean nanoseconds per span (timing field).
+    pub mean_ns: f64,
+    /// Minimum nanoseconds (timing field).
+    pub min_ns: u64,
+    /// Maximum nanoseconds (timing field).
+    pub max_ns: u64,
+}
+
+/// A full run report — see the module docs for schema stability rules.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// Run metadata as ordered `(key, value)` pairs (command, seed, …).
+    pub run: Vec<(String, String)>,
+    /// Training phases in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Name-sorted span statistics.
+    pub spans: Vec<SpanReport>,
+    /// Name-sorted counters.
+    pub counters: Vec<(String, u64)>,
+    /// Name-sorted gauges.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl TelemetryReport {
+    /// Creates an empty report with the given metadata pairs.
+    pub fn new(run: Vec<(String, String)>) -> Self {
+        TelemetryReport {
+            run,
+            ..Default::default()
+        }
+    }
+
+    /// Folds a registry [`Snapshot`] into the report (spans, counters,
+    /// gauges).
+    pub fn attach_snapshot(&mut self, snap: &Snapshot) {
+        self.spans = snap
+            .spans
+            .iter()
+            .map(|(name, s)| SpanReport {
+                name: name.clone(),
+                count: s.count,
+                total_ns: s.total_ns,
+                mean_ns: s.total_ns as f64 / s.count.max(1) as f64,
+                min_ns: s.min_ns,
+                max_ns: s.max_ns,
+            })
+            .collect();
+        self.counters = snap.counters.clone();
+        self.gauges = snap.gauges.clone();
+    }
+
+    /// Zeroes every timing field (wall-clock, span durations) so that two
+    /// same-seed runs compare equal on the deterministic remainder.
+    pub fn strip_timing(&mut self) {
+        for p in &mut self.phases {
+            p.wall_ms = 0.0;
+            for e in &mut p.epochs {
+                e.wall_ms = 0.0;
+            }
+        }
+        for s in &mut self.spans {
+            s.total_ns = 0;
+            s.mean_ns = 0.0;
+            s.min_ns = 0;
+            s.max_ns = 0;
+        }
+    }
+
+    /// Serialises to the stable JSON form.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+            (
+                "run".into(),
+                Json::Obj(
+                    self.run
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "phases".into(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(p.name.clone())),
+                                ("steps".into(), Json::Num(p.steps as f64)),
+                                ("wall_ms".into(), Json::Num(p.wall_ms)),
+                                (
+                                    "epochs".into(),
+                                    Json::Arr(
+                                        p.epochs
+                                            .iter()
+                                            .map(|e| {
+                                                Json::Obj(vec![
+                                                    ("step".into(), Json::Num(e.step as f64)),
+                                                    ("g_loss".into(), Json::Num(e.g_loss)),
+                                                    ("d_loss".into(), opt(e.d_loss)),
+                                                    ("d_real_mean".into(), opt(e.d_real_mean)),
+                                                    ("d_fake_mean".into(), opt(e.d_fake_mean)),
+                                                    ("g_grad_norm".into(), opt(e.g_grad_norm)),
+                                                    ("d_grad_norm".into(), opt(e.d_grad_norm)),
+                                                    ("wall_ms".into(), Json::Num(e.wall_ms)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "spans".into(),
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(s.name.clone())),
+                                ("count".into(), Json::Num(s.count as f64)),
+                                ("total_ns".into(), Json::Num(s.total_ns as f64)),
+                                ("mean_ns".into(), Json::Num(s.mean_ns)),
+                                ("min_ns".into(), Json::Num(s.min_ns as f64)),
+                                ("max_ns".into(), Json::Num(s.max_ns as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialises to the pretty JSON string written by `mtsr --telemetry`.
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a report serialized by [`Self::to_json_string`]. Rejects
+    /// unknown schema versions.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let str_pairs = |key: &str| -> Result<Vec<(String, String)>, String> {
+            match v.get(key) {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, val)| {
+                        val.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or(format!("{key}.{k} is not a string"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing object `{key}`")),
+            }
+        };
+        let opt_f64 = |v: &Json, key: &str| -> Result<Option<f64>, String> {
+            match v.get(key) {
+                Some(Json::Null) | None => Ok(None),
+                Some(j) => j.as_f64().map(Some).ok_or(format!("{key} not a number")),
+            }
+        };
+        let req_f64 = |v: &Json, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("missing number `{key}`"))
+        };
+        let req_u64 = |v: &Json, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("missing integer `{key}`"))
+        };
+        let req_str = |v: &Json, key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string `{key}`"))
+        };
+
+        let mut phases = Vec::new();
+        for p in v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing array `phases`")?
+        {
+            let mut epochs = Vec::new();
+            for e in p
+                .get("epochs")
+                .and_then(Json::as_arr)
+                .ok_or("missing array `epochs`")?
+            {
+                epochs.push(EpochRecord {
+                    step: req_u64(e, "step")?,
+                    g_loss: req_f64(e, "g_loss")?,
+                    d_loss: opt_f64(e, "d_loss")?,
+                    d_real_mean: opt_f64(e, "d_real_mean")?,
+                    d_fake_mean: opt_f64(e, "d_fake_mean")?,
+                    g_grad_norm: opt_f64(e, "g_grad_norm")?,
+                    d_grad_norm: opt_f64(e, "d_grad_norm")?,
+                    wall_ms: req_f64(e, "wall_ms")?,
+                });
+            }
+            phases.push(PhaseReport {
+                name: req_str(p, "name")?,
+                steps: req_u64(p, "steps")?,
+                wall_ms: req_f64(p, "wall_ms")?,
+                epochs,
+            });
+        }
+
+        let mut spans = Vec::new();
+        for s in v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("missing array `spans`")?
+        {
+            spans.push(SpanReport {
+                name: req_str(s, "name")?,
+                count: req_u64(s, "count")?,
+                total_ns: req_u64(s, "total_ns")?,
+                mean_ns: req_f64(s, "mean_ns")?,
+                min_ns: req_u64(s, "min_ns")?,
+                max_ns: req_u64(s, "max_ns")?,
+            });
+        }
+
+        let counters = match v.get("counters") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_u64()
+                        .map(|u| (k.clone(), u))
+                        .ok_or(format!("counters.{k} is not an integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing object `counters`".into()),
+        };
+        let gauges = match v.get("gauges") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_f64()
+                        .map(|f| (k.clone(), f))
+                        .ok_or(format!("gauges.{k} is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing object `gauges`".into()),
+        };
+
+        Ok(TelemetryReport {
+            run: str_pairs("run")?,
+            phases,
+            spans,
+            counters,
+            gauges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SpanStat;
+
+    fn sample_report() -> TelemetryReport {
+        let mut r = TelemetryReport::new(vec![
+            ("command".into(), "train".into()),
+            ("seed".into(), "42".into()),
+        ]);
+        r.phases.push(PhaseReport {
+            name: "pretrain".into(),
+            steps: 2,
+            wall_ms: 12.5,
+            epochs: vec![
+                EpochRecord {
+                    step: 0,
+                    g_loss: 0.9,
+                    wall_ms: 6.0,
+                    ..Default::default()
+                },
+                EpochRecord {
+                    step: 1,
+                    g_loss: 0.7,
+                    g_grad_norm: Some(1.25),
+                    wall_ms: 6.5,
+                    ..Default::default()
+                },
+            ],
+        });
+        r.phases.push(PhaseReport {
+            name: "adversarial".into(),
+            steps: 1,
+            wall_ms: 8.0,
+            epochs: vec![EpochRecord {
+                step: 0,
+                g_loss: 0.8,
+                d_loss: Some(1.38),
+                d_real_mean: Some(0.51),
+                d_fake_mean: Some(0.49),
+                g_grad_norm: Some(2.0),
+                d_grad_norm: Some(0.5),
+                wall_ms: 8.0,
+            }],
+        });
+        let snap = Snapshot {
+            counters: vec![("tensor.im2col2d.calls".into(), 7)],
+            gauges: vec![("train.final_mse".into(), 0.7)],
+            spans: vec![(
+                "tensor.sgemm".into(),
+                SpanStat {
+                    count: 4,
+                    total_ns: 4000,
+                    min_ns: 900,
+                    max_ns: 1200,
+                },
+            )],
+        };
+        r.attach_snapshot(&snap);
+        r
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = TelemetryReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn strip_timing_zeroes_only_timing_fields() {
+        let mut r = sample_report();
+        r.strip_timing();
+        assert_eq!(r.phases[0].wall_ms, 0.0);
+        assert_eq!(r.phases[0].epochs[1].wall_ms, 0.0);
+        assert_eq!(r.spans[0].total_ns, 0);
+        // Non-timing fields survive.
+        assert_eq!(r.phases[0].epochs[1].g_loss, 0.7);
+        assert_eq!(r.spans[0].count, 4);
+        assert_eq!(r.counters[0].1, 7);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let r = sample_report();
+        let text = r.to_json_string().replace(
+            "\"schema_version\": 1",
+            "\"schema_version\": 999",
+        );
+        assert!(TelemetryReport::from_json_str(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(TelemetryReport::from_json_str("{}").is_err());
+        assert!(TelemetryReport::from_json_str("not json").is_err());
+        assert!(TelemetryReport::from_json_str(r#"{"schema_version": 1}"#).is_err());
+    }
+}

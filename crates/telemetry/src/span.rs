@@ -1,0 +1,92 @@
+//! RAII scoped timers.
+//!
+//! ```
+//! {
+//!     let _s = mtsr_telemetry::span("tensor.sgemm");
+//!     // ... hot kernel ...
+//! } // duration recorded here (if telemetry is enabled)
+//! ```
+//!
+//! When telemetry is disabled the constructors return `None` without
+//! allocating or reading the clock, so holding `Option<SpanGuard>` in a
+//! binding is free on the disabled path.
+
+use crate::registry::{enabled, record_span_ns};
+use std::time::Instant;
+
+enum SpanName {
+    Static(&'static str),
+    Owned(String),
+}
+
+impl SpanName {
+    fn as_str(&self) -> &str {
+        match self {
+            SpanName::Static(s) => s,
+            SpanName::Owned(s) => s,
+        }
+    }
+}
+
+/// Live scoped timer; records its elapsed time into the registry on drop.
+pub struct SpanGuard {
+    name: SpanName,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        record_span_ns(self.name.as_str(), ns);
+    }
+}
+
+/// Starts a span with a static name. Returns `None` (no clock read, no
+/// allocation) when telemetry is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name: SpanName::Static(name),
+        start: Instant::now(),
+    })
+}
+
+/// Starts a span with a computed name. The `String` is only built by the
+/// caller when telemetry is enabled — pair with [`crate::enabled`] or use
+/// [`layer_span`].
+#[inline]
+pub fn span_owned(name: String) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name: SpanName::Owned(name),
+        start: Instant::now(),
+    })
+}
+
+/// Span for one direction of one layer's pass, named
+/// `layer.<name>.<dir>` (e.g. `layer.Conv2d.forward`). The name string is
+/// only formatted when telemetry is enabled.
+#[inline]
+pub fn layer_span(layer: &str, dir: &'static str) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    span_owned(format!("layer.{layer}.{dir}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_none() {
+        crate::registry::set_enabled(false);
+        assert!(span("x").is_none());
+        assert!(layer_span("L", "forward").is_none());
+    }
+}

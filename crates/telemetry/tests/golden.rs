@@ -1,0 +1,150 @@
+//! Golden-file regression test for the [`TelemetryReport`] schema, plus
+//! the disabled-registry guarantee.
+//!
+//! `golden_report.json` is the committed byte-exact serialization of
+//! [`fixture_report`]. Any change to the JSON schema — field names,
+//! ordering, number formatting — fails this test; intentional changes
+//! must bump [`SCHEMA_VERSION`] and regenerate the fixture (the failure
+//! message explains how).
+
+use mtsr_telemetry::{
+    EpochRecord, PhaseReport, Snapshot, SpanStat, TelemetryReport, SCHEMA_VERSION,
+};
+
+const GOLDEN: &str = include_str!("golden_report.json");
+
+/// A report exercising every schema feature: both Algorithm-1 phases,
+/// present and absent optional fields, spans, counters and gauges.
+fn fixture_report() -> TelemetryReport {
+    let mut r = TelemetryReport::new(vec![
+        ("command".into(), "train".into()),
+        ("instance".into(), "up4".into()),
+        ("seed".into(), "42".into()),
+    ]);
+    r.phases.push(PhaseReport {
+        name: "pretrain".into(),
+        steps: 2,
+        wall_ms: 21.5,
+        epochs: vec![
+            EpochRecord {
+                step: 0,
+                g_loss: 1.5,
+                g_grad_norm: Some(3.25),
+                wall_ms: 11.0,
+                ..Default::default()
+            },
+            EpochRecord {
+                step: 1,
+                g_loss: 0.875,
+                g_grad_norm: Some(2.5),
+                wall_ms: 10.5,
+                ..Default::default()
+            },
+        ],
+    });
+    r.phases.push(PhaseReport {
+        name: "adversarial".into(),
+        steps: 1,
+        wall_ms: 14.0,
+        epochs: vec![EpochRecord {
+            step: 0,
+            g_loss: 0.75,
+            d_loss: Some(1.375),
+            d_real_mean: Some(0.5625),
+            d_fake_mean: Some(0.4375),
+            g_grad_norm: Some(2.0),
+            d_grad_norm: Some(0.5),
+            wall_ms: 14.0,
+        }],
+    });
+    r.attach_snapshot(&Snapshot {
+        counters: vec![
+            ("tensor.im2col2d.calls".into(), 96),
+            ("tensor.im2col3d.calls".into(), 64),
+        ],
+        gauges: vec![("train.final_mse".into(), 0.75)],
+        spans: vec![
+            (
+                "layer.Conv3d.forward".into(),
+                SpanStat {
+                    count: 6,
+                    total_ns: 1_800_000,
+                    min_ns: 250_000,
+                    max_ns: 400_000,
+                },
+            ),
+            (
+                "tensor.sgemm".into(),
+                SpanStat {
+                    count: 24,
+                    total_ns: 1_200_000,
+                    min_ns: 40_000,
+                    max_ns: 80_000,
+                },
+            ),
+        ],
+    });
+    r
+}
+
+/// Rewrites the fixture after an intentional schema change:
+/// `cargo test -p mtsr-telemetry --test golden -- --ignored regenerate`
+#[test]
+#[ignore = "writes tests/golden_report.json; run manually after schema changes"]
+fn regenerate_golden_file() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_report.json");
+    std::fs::write(path, fixture_report().to_json_string()).unwrap();
+}
+
+#[test]
+fn serialization_matches_golden_file() {
+    let produced = fixture_report().to_json_string();
+    assert_eq!(
+        produced, GOLDEN,
+        "TelemetryReport serialization drifted from crates/telemetry/tests/golden_report.json.\n\
+         If the schema change is intentional: bump SCHEMA_VERSION in src/report.rs and\n\
+         regenerate the fixture from this test's `fixture_report()` output."
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_fixture() {
+    let parsed = TelemetryReport::from_json_str(GOLDEN).expect("golden file parses");
+    assert_eq!(parsed, fixture_report());
+}
+
+#[test]
+fn golden_file_declares_current_schema_version() {
+    let parsed = TelemetryReport::from_json_str(GOLDEN).unwrap();
+    // from_json_str already rejects other versions; this pins the fixture
+    // to the constant so a version bump forces regeneration.
+    let text = format!("\"schema_version\": {SCHEMA_VERSION}");
+    assert!(GOLDEN.contains(&text), "fixture predates {SCHEMA_VERSION}");
+    assert!(!parsed.phases.is_empty());
+}
+
+/// With the registry disabled (the default), counters, gauges and spans
+/// all record nothing — the guarantee that makes instrumented hot paths
+/// free in production runs.
+#[test]
+fn disabled_registry_records_nothing() {
+    // Runs in its own test binary, but keep the registry state change
+    // scoped in one test so parallel test threads cannot interleave.
+    mtsr_telemetry::set_enabled(false);
+    mtsr_telemetry::reset();
+    mtsr_telemetry::add_counter("golden.counter", 3);
+    mtsr_telemetry::record_gauge("golden.gauge", 1.5);
+    mtsr_telemetry::record_span_ns("golden.span", 1_000);
+    assert!(mtsr_telemetry::span("golden.scoped").is_none());
+    assert!(mtsr_telemetry::span_owned("golden.owned".into()).is_none());
+    assert!(mtsr_telemetry::layer_span("Dense", "forward").is_none());
+    let snap = mtsr_telemetry::snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.spans.is_empty());
+
+    let mut report = TelemetryReport::new(vec![("command".into(), "eval".into())]);
+    report.attach_snapshot(&snap);
+    let back = TelemetryReport::from_json_str(&report.to_json_string()).unwrap();
+    assert!(back.spans.is_empty() && back.counters.is_empty() && back.gauges.is_empty());
+}

@@ -22,8 +22,8 @@
 use crate::error::{Result, TensorError};
 use crate::im2col::{col2im2d, col2im3d, im2col2d, im2col3d, Geom2d, Geom3d};
 use crate::matmul::{sgemm_nt_serial, sgemm_serial, sgemm_tn_serial};
+use crate::parallel::{par_chunks_mut, par_fold_sum};
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Stride/padding pair for 2D convolutions, `(vertical, horizontal)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,14 +113,13 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Result<Tenso
     let mut out = Tensor::zeros([n, co, oh, ow]);
     let xs = x.as_slice();
     let ws = w.as_slice();
-    out.as_mut_slice()
-        .par_chunks_mut(out_sz)
-        .enumerate()
-        .for_each(|(ni, o)| {
-            let mut cols = vec![0.0f32; col_sz];
-            im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-            sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
-        });
+    let _span = mtsr_telemetry::span("tensor.conv2d.forward");
+    mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
+    par_chunks_mut(out.as_mut_slice(), out_sz, |ni, o| {
+        let mut cols = vec![0.0f32; col_sz];
+        im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+        sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
+    });
     Ok(out)
 }
 
@@ -157,23 +156,21 @@ pub fn conv2d_backward_data(
     let mut gx = Tensor::zeros([n, ci, input_hw.0, input_hw.1]);
     let gs = gout.as_slice();
     let ws = w.as_slice();
-    gx.as_mut_slice()
-        .par_chunks_mut(in_sz)
-        .enumerate()
-        .for_each(|(ni, gxi)| {
-            let mut cols = vec![0.0f32; col_sz];
-            // cols = Wᵀ · gout_n  ([Ci·KH·KW, Co] x [Co, OH·OW])
-            sgemm_tn_serial(
-                ws,
-                &gs[ni * out_sz..(ni + 1) * out_sz],
-                &mut cols,
-                g.col_rows(),
-                co,
-                g.col_cols(),
-                false,
-            );
-            col2im2d(&cols, &g, gxi);
-        });
+    let _span = mtsr_telemetry::span("tensor.conv2d.backward_data");
+    par_chunks_mut(gx.as_mut_slice(), in_sz, |ni, gxi| {
+        let mut cols = vec![0.0f32; col_sz];
+        // cols = Wᵀ · gout_n  ([Ci·KH·KW, Co] x [Co, OH·OW])
+        sgemm_tn_serial(
+            ws,
+            &gs[ni * out_sz..(ni + 1) * out_sz],
+            &mut cols,
+            g.col_rows(),
+            co,
+            g.col_cols(),
+            false,
+        );
+        col2im2d(&cols, &g, gxi);
+    });
     Ok(gx)
 }
 
@@ -201,37 +198,24 @@ pub fn conv2d_backward_weights(
     let col_sz = g.col_rows() * g.col_cols();
     let xs = x.as_slice();
     let gs = gout.as_slice();
-    // Per-sample partial gradients reduced with a tree sum.
+    // Per-sample partial gradients summed into per-worker accumulators.
     let wlen = co * g.col_rows();
-    let dw = (0..n)
-        .into_par_iter()
-        .fold(
-            || vec![0.0f32; wlen],
-            |mut acc, ni| {
-                let mut cols = vec![0.0f32; col_sz];
-                im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-                // dW += gout_n · colsᵀ  ([Co, OH·OW] x [OH·OW, Ci·KH·KW])
-                sgemm_nt_serial(
-                    &gs[ni * out_sz..(ni + 1) * out_sz],
-                    &cols,
-                    &mut acc,
-                    co,
-                    g.col_cols(),
-                    g.col_rows(),
-                    true,
-                );
-                acc
-            },
-        )
-        .reduce(
-            || vec![0.0f32; wlen],
-            |mut a, b| {
-                for (av, bv) in a.iter_mut().zip(b) {
-                    *av += bv;
-                }
-                a
-            },
+    let _span = mtsr_telemetry::span("tensor.conv2d.backward_weights");
+    mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
+    let dw = par_fold_sum(n, wlen, |acc, ni| {
+        let mut cols = vec![0.0f32; col_sz];
+        im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+        // dW += gout_n · colsᵀ  ([Co, OH·OW] x [OH·OW, Ci·KH·KW])
+        sgemm_nt_serial(
+            &gs[ni * out_sz..(ni + 1) * out_sz],
+            &cols,
+            acc,
+            co,
+            g.col_cols(),
+            g.col_rows(),
+            true,
         );
+    });
     Tensor::from_vec(w_dims.to_vec(), dw)
 }
 
@@ -340,14 +324,13 @@ pub fn conv3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Result<Tenso
     let mut out = Tensor::zeros([n, co, od, oh, ow]);
     let xs = x.as_slice();
     let ws = w.as_slice();
-    out.as_mut_slice()
-        .par_chunks_mut(out_sz)
-        .enumerate()
-        .for_each(|(ni, o)| {
-            let mut cols = vec![0.0f32; col_sz];
-            im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-            sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
-        });
+    let _span = mtsr_telemetry::span("tensor.conv3d.forward");
+    mtsr_telemetry::add_counter("tensor.im2col3d.calls", n as u64);
+    par_chunks_mut(out.as_mut_slice(), out_sz, |ni, o| {
+        let mut cols = vec![0.0f32; col_sz];
+        im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+        sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
+    });
     Ok(out)
 }
 
@@ -378,22 +361,20 @@ pub fn conv3d_backward_data(
     let mut gx = Tensor::zeros([n, ci, input_dhw.0, input_dhw.1, input_dhw.2]);
     let gs = gout.as_slice();
     let ws = w.as_slice();
-    gx.as_mut_slice()
-        .par_chunks_mut(in_sz)
-        .enumerate()
-        .for_each(|(ni, gxi)| {
-            let mut cols = vec![0.0f32; col_sz];
-            sgemm_tn_serial(
-                ws,
-                &gs[ni * out_sz..(ni + 1) * out_sz],
-                &mut cols,
-                g.col_rows(),
-                co,
-                g.col_cols(),
-                false,
-            );
-            col2im3d(&cols, &g, gxi);
-        });
+    let _span = mtsr_telemetry::span("tensor.conv3d.backward_data");
+    par_chunks_mut(gx.as_mut_slice(), in_sz, |ni, gxi| {
+        let mut cols = vec![0.0f32; col_sz];
+        sgemm_tn_serial(
+            ws,
+            &gs[ni * out_sz..(ni + 1) * out_sz],
+            &mut cols,
+            g.col_rows(),
+            co,
+            g.col_cols(),
+            false,
+        );
+        col2im3d(&cols, &g, gxi);
+    });
     Ok(gx)
 }
 
@@ -421,34 +402,21 @@ pub fn conv3d_backward_weights(
     let xs = x.as_slice();
     let gs = gout.as_slice();
     let wlen = co * g.col_rows();
-    let dw = (0..n)
-        .into_par_iter()
-        .fold(
-            || vec![0.0f32; wlen],
-            |mut acc, ni| {
-                let mut cols = vec![0.0f32; col_sz];
-                im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-                sgemm_nt_serial(
-                    &gs[ni * out_sz..(ni + 1) * out_sz],
-                    &cols,
-                    &mut acc,
-                    co,
-                    g.col_cols(),
-                    g.col_rows(),
-                    true,
-                );
-                acc
-            },
-        )
-        .reduce(
-            || vec![0.0f32; wlen],
-            |mut a, b| {
-                for (av, bv) in a.iter_mut().zip(b) {
-                    *av += bv;
-                }
-                a
-            },
+    let _span = mtsr_telemetry::span("tensor.conv3d.backward_weights");
+    mtsr_telemetry::add_counter("tensor.im2col3d.calls", n as u64);
+    let dw = par_fold_sum(n, wlen, |acc, ni| {
+        let mut cols = vec![0.0f32; col_sz];
+        im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
+        sgemm_nt_serial(
+            &gs[ni * out_sz..(ni + 1) * out_sz],
+            &cols,
+            acc,
+            co,
+            g.col_cols(),
+            g.col_rows(),
+            true,
         );
+    });
     Tensor::from_vec(w_dims.to_vec(), dw)
 }
 

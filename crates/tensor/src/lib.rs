@@ -8,7 +8,8 @@
 //!
 //! * [`Tensor`] — a dense row-major `f32` tensor with shape algebra,
 //!   elementwise/broadcast arithmetic and reductions;
-//! * [`matmul`] — a blocked, rayon-parallel GEMM used to lower convolutions;
+//! * [`matmul`] — a blocked, thread-parallel GEMM used to lower
+//!   convolutions ([`parallel`] provides the `std::thread::scope` helpers);
 //! * [`im2col`] — 2D and 3D patch-gather/scatter (im2col / col2im);
 //! * [`conv`] — convolution primitives (forward, backward-data,
 //!   backward-weights) for 2D and 3D, plus transposed convolutions derived
@@ -25,6 +26,7 @@ pub mod error;
 pub mod im2col;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod reduce;
 pub mod rng;
 pub mod serialize;

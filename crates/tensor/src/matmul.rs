@@ -1,20 +1,21 @@
-//! Blocked, rayon-parallel single-precision matrix multiplication.
+//! Blocked, thread-parallel single-precision matrix multiplication.
 //!
 //! Every convolution in the workspace lowers to GEMM via im2col, so this is
 //! the hot kernel of the entire reproduction. The implementation uses the
 //! `i-k-j` loop order (for row-major operands the inner loop is a
 //! contiguous fused multiply-add over a row of `B`), parallelised across
-//! row blocks of `A` with rayon. That is not MKL-grade, but it is within a
-//! small factor of peak for the matrix shapes conv layers produce and it
-//! contains no unsafe code.
+//! row blocks of `A` via [`crate::parallel`]. That is not MKL-grade, but it
+//! is within a small factor of peak for the matrix shapes conv layers
+//! produce and it contains no unsafe code.
 
 use crate::error::{Result, TensorError};
+use crate::parallel::par_chunks_mut;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
-/// Rows-per-task granularity for rayon. Small enough to load-balance the
-/// skinny matrices conv layers produce, large enough to amortise task spawn.
-const ROW_BLOCK: usize = 16;
+/// Rows-per-chunk granularity for the parallel split. Small enough to
+/// load-balance the skinny matrices conv layers produce, large enough to
+/// amortise per-chunk overhead.
+pub const ROW_BLOCK: usize = 16;
 
 /// `C = A · B` for row-major slices, `A: m×k`, `B: k×n`, `C: m×n`.
 ///
@@ -31,29 +32,28 @@ pub fn sgemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
         c.fill(0.0);
         return;
     }
+    let _span = mtsr_telemetry::span("tensor.sgemm");
     // Parallelise over row blocks of A/C; each task owns a disjoint &mut
     // chunk of C, so no synchronisation is needed.
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_blk.len() / n;
-            c_blk.fill(0.0);
-            for r in 0..rows {
-                let i = row0 + r;
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c_blk[r * n..(r + 1) * n];
-                for (l, &a_il) in a_row.iter().enumerate() {
-                    if a_il == 0.0 {
-                        continue; // zero-padding rows are common in im2col buffers
-                    }
-                    let b_row = &b[l * n..(l + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += a_il * bv;
-                    }
+    par_chunks_mut(c, ROW_BLOCK * n, |blk, c_blk| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        c_blk.fill(0.0);
+        for r in 0..rows {
+            let i = row0 + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c_blk[r * n..(r + 1) * n];
+            for (l, &a_il) in a_row.iter().enumerate() {
+                if a_il == 0.0 {
+                    continue; // zero-padding rows are common in im2col buffers
+                }
+                let b_row = &b[l * n..(l + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += a_il * bv;
                 }
             }
-        });
+        }
+    });
 }
 
 /// `C += A · B` — accumulating variant used for gradient accumulation
@@ -65,33 +65,32 @@ pub fn sgemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    c.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, c_blk)| {
-            let row0 = blk * ROW_BLOCK;
-            let rows = c_blk.len() / n;
-            for r in 0..rows {
-                let i = row0 + r;
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c_blk[r * n..(r + 1) * n];
-                for (l, &a_il) in a_row.iter().enumerate() {
-                    if a_il == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[l * n..(l + 1) * n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += a_il * bv;
-                    }
+    let _span = mtsr_telemetry::span("tensor.sgemm_acc");
+    par_chunks_mut(c, ROW_BLOCK * n, |blk, c_blk| {
+        let row0 = blk * ROW_BLOCK;
+        let rows = c_blk.len() / n;
+        for r in 0..rows {
+            let i = row0 + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c_blk[r * n..(r + 1) * n];
+            for (l, &a_il) in a_row.iter().enumerate() {
+                if a_il == 0.0 {
+                    continue;
+                }
+                let b_row = &b[l * n..(l + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += a_il * bv;
                 }
             }
-        });
+        }
+    });
 }
 
 /// Serial `C = A · B` (optionally accumulating).
 ///
-/// Convolution kernels parallelise across the batch with rayon and call
-/// this serial kernel per sample; using the parallel [`sgemm`] there would
-/// nest thread pools for no benefit on the small per-sample matrices.
+/// Convolution kernels parallelise across the batch and call this serial
+/// kernel per sample; using the parallel [`sgemm`] there would nest
+/// parallel regions for no benefit on the small per-sample matrices.
 pub fn sgemm_serial(
     a: &[f32],
     b: &[f32],

@@ -96,13 +96,13 @@ impl Tensor {
         let mut acc = vec![0.0f64; c];
         let data = self.as_slice();
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, a) in acc.iter_mut().enumerate() {
                 let base = (ni * c + ci) * spatial;
                 let mut s = 0.0f64;
                 for &v in &data[base..base + spatial] {
                     s += v as f64;
                 }
-                acc[ci] += s;
+                *a += s;
             }
         }
         let denom = (n * spatial).max(1) as f64;
@@ -171,9 +171,8 @@ impl Tensor {
         let ps = p.as_slice().to_vec();
         let o = out.as_mut_slice();
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, &pv) in ps.iter().enumerate() {
                 let base = (ni * c + ci) * spatial;
-                let pv = ps[ci];
                 for v in &mut o[base..base + spatial] {
                     *v = f(*v, pv);
                 }
@@ -199,13 +198,13 @@ impl Tensor {
         let mut acc = vec![0.0f64; c];
         let data = self.as_slice();
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, a) in acc.iter_mut().enumerate() {
                 let base = (ni * c + ci) * spatial;
                 let mut s = 0.0f64;
                 for &v in &data[base..base + spatial] {
                     s += v as f64;
                 }
-                acc[ci] += s;
+                *a += s;
             }
         }
         Tensor::from_vec([c], acc.into_iter().map(|x| x as f32).collect())

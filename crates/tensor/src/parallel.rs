@@ -1,0 +1,167 @@
+//! Minimal data-parallel helpers built on `std::thread::scope`.
+//!
+//! The tensor kernels need exactly two parallel shapes: "split an output
+//! buffer into disjoint chunks and fill each" ([`par_chunks_mut`]) and
+//! "sum per-item contributions into one accumulator" ([`par_fold_sum`]).
+//! Both use a static contiguous partition over the available cores —
+//! batch elements in this workload are uniform in cost, so work stealing
+//! buys nothing over a fixed split, and keeping the scheduling
+//! deterministic keeps parallel runs bit-identical for the f32 paths
+//! (each chunk/accumulator is always produced by the same serial loop
+//! over the same elements regardless of worker count).
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads to use: `available_parallelism`, or 1 when
+/// the runtime can't report it.
+pub fn num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the
+/// last may be shorter) and runs `f(chunk_index, chunk)` for every chunk,
+/// distributing chunks across threads. Equivalent to
+/// `data.chunks_mut(chunk_len).enumerate().for_each(...)` but parallel.
+///
+/// Falls back to the serial loop when the data is small or only one
+/// thread is available.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = num_threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Assign each worker a contiguous run of chunks.
+    let per_worker = n_chunks.div_ceil(workers);
+    let f = &f;
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut first_chunk = 0usize;
+        for _ in 0..workers {
+            if rest.is_empty() {
+                break;
+            }
+            let take = (per_worker * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += head.len().div_ceil(chunk_len);
+            s.spawn(move || {
+                for (i, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(base + i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Sums per-item contributions into a single `len`-element accumulator.
+///
+/// Each worker owns a zeroed `vec![0.0; len]`, runs
+/// `f(&mut local, item_index)` for its contiguous range of
+/// `0..n_items`, and the locals are then merged serially (in worker
+/// order, so the reduction order is independent of thread timing).
+/// Equivalent to a fold/reduce over `0..n_items`.
+pub fn par_fold_sum<F>(n_items: usize, len: usize, f: F) -> Vec<f32>
+where
+    F: Fn(&mut [f32], usize) + Sync,
+{
+    let workers = num_threads().min(n_items.max(1));
+    if workers <= 1 {
+        let mut acc = vec![0.0f32; len];
+        for i in 0..n_items {
+            f(&mut acc, i);
+        }
+        return acc;
+    }
+    let per_worker = n_items.div_ceil(workers);
+    let f = &f;
+    let locals: Vec<Vec<f32>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut local = vec![0.0f32; len];
+                    let start = w * per_worker;
+                    let end = (start + per_worker).min(n_items);
+                    for i in start..end {
+                        f(&mut local, i);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut acc = vec![0.0f32; len];
+    for local in locals {
+        for (a, l) in acc.iter_mut().zip(local) {
+            *a += l;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_matches_serial_enumeration() {
+        for (len, chunk) in [(0usize, 3usize), (1, 3), (7, 3), (48, 16), (50, 16), (129, 16)] {
+            let mut par = vec![0.0f32; len];
+            par_chunks_mut(&mut par, chunk, |i, c| {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = (i * 1000 + j) as f32;
+                }
+            });
+            let mut ser = vec![0.0f32; len];
+            for (i, c) in ser.chunks_mut(chunk).enumerate() {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = (i * 1000 + j) as f32;
+                }
+            }
+            assert_eq!(par, ser, "len={len} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn par_fold_sum_matches_serial_fold() {
+        for n_items in [0usize, 1, 2, 9, 64] {
+            let len = 5;
+            let got = par_fold_sum(n_items, len, |acc, i| {
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a += (i + k) as f32;
+                }
+            });
+            let mut want = vec![0.0f32; len];
+            for i in 0..n_items {
+                for (k, a) in want.iter_mut().enumerate() {
+                    *a += (i + k) as f32;
+                }
+            }
+            assert_eq!(got, want, "n_items={n_items}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element_once() {
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&mut data, 7, |_, c| {
+            for v in c.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+}

@@ -11,128 +11,149 @@
 //!
 //! A checkpoint file is a sequence of `(name, tensor)` records written by
 //! [`write_named_tensors`]; `mtsr-nn::io` builds model save/load on top.
+//!
+//! Buffers are plain `Vec<u8>`; reading goes through [`Reader`], a
+//! bounds-checked little-endian cursor, so truncated or foreign files are
+//! rejected with a [`TensorError::Serde`] instead of panicking.
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic marker guarding against reading foreign files as checkpoints.
 pub const MAGIC: u32 = 0x5A4E_5447;
 
-/// Serialises a single tensor into `buf`.
-pub fn write_tensor(buf: &mut BytesMut, t: &Tensor) {
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(t.shape().rank() as u32);
-    for &d in t.dims() {
-        buf.put_u64_le(d as u64);
+/// Bounds-checked little-endian read cursor over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice for reading from its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
     }
-    for &v in t.as_slice() {
-        buf.put_f32_le(v);
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(TensorError::Serde {
+                reason: format!("truncated {what}: need {n} bytes, have {}", self.remaining()),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn get_u32_le(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn get_f32_le(&mut self, what: &str) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 }
 
-/// Deserialises a single tensor, consuming its bytes from `buf`.
-pub fn read_tensor(buf: &mut Bytes) -> Result<Tensor> {
-    if buf.remaining() < 8 {
-        return Err(TensorError::Serde {
-            reason: "truncated header".into(),
-        });
+/// Serialises a single tensor into `buf`.
+pub fn write_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(t.shape().rank() as u32).to_le_bytes());
+    for &d in t.dims() {
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
     }
-    let magic = buf.get_u32_le();
+    for &v in t.as_slice() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Deserialises a single tensor, consuming its bytes from the cursor.
+pub fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
+    let magic = r.get_u32_le("header")?;
     if magic != MAGIC {
         return Err(TensorError::Serde {
             reason: format!("bad magic 0x{magic:08X}"),
         });
     }
-    let rank = buf.get_u32_le() as usize;
+    let rank = r.get_u32_le("header")? as usize;
     if rank > 16 {
         return Err(TensorError::Serde {
             reason: format!("implausible rank {rank}"),
         });
     }
-    if buf.remaining() < rank * 8 {
-        return Err(TensorError::Serde {
-            reason: "truncated dims".into(),
-        });
-    }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
-        dims.push(buf.get_u64_le() as usize);
+        dims.push(r.get_u64_le("dims")? as usize);
     }
     let shape = Shape::new(dims);
     let n = shape.numel();
-    if buf.remaining() < n * 4 {
+    if r.remaining() < n * 4 {
         return Err(TensorError::Serde {
-            reason: format!(
-                "truncated data: need {} bytes, have {}",
-                n * 4,
-                buf.remaining()
-            ),
+            reason: format!("truncated data: need {} bytes, have {}", n * 4, r.remaining()),
         });
     }
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
-        data.push(buf.get_f32_le());
+        data.push(r.get_f32_le("data")?);
     }
     Tensor::from_vec(shape, data)
 }
 
 /// Writes a string with a u32 length prefix.
-fn write_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+fn write_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 /// Reads a length-prefixed string.
-fn read_str(buf: &mut Bytes) -> Result<String> {
-    if buf.remaining() < 4 {
-        return Err(TensorError::Serde {
-            reason: "truncated string length".into(),
-        });
-    }
-    let len = buf.get_u32_le() as usize;
-    if len > 1 << 20 || buf.remaining() < len {
+fn read_str(r: &mut Reader<'_>) -> Result<String> {
+    let len = r.get_u32_le("string length")? as usize;
+    if len > 1 << 20 {
         return Err(TensorError::Serde {
             reason: format!("bad string length {len}"),
         });
     }
-    let bytes = buf.copy_to_bytes(len);
+    let bytes = r.take(len, "string")?;
     String::from_utf8(bytes.to_vec()).map_err(|e| TensorError::Serde {
         reason: format!("invalid utf-8 in name: {e}"),
     })
 }
 
 /// Serialises named tensors (a model checkpoint) into one buffer.
-pub fn write_named_tensors(pairs: &[(String, Tensor)]) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(MAGIC);
-    buf.put_u32_le(pairs.len() as u32);
+pub fn write_named_tensors(pairs: &[(String, Tensor)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
     for (name, t) in pairs {
         write_str(&mut buf, name);
         write_tensor(&mut buf, t);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialises a checkpoint written by [`write_named_tensors`].
-pub fn read_named_tensors(mut buf: Bytes) -> Result<Vec<(String, Tensor)>> {
-    if buf.remaining() < 8 {
-        return Err(TensorError::Serde {
-            reason: "truncated checkpoint header".into(),
-        });
-    }
-    let magic = buf.get_u32_le();
+pub fn read_named_tensors(buf: &[u8]) -> Result<Vec<(String, Tensor)>> {
+    let mut r = Reader::new(buf);
+    let magic = r.get_u32_le("checkpoint header")?;
     if magic != MAGIC {
         return Err(TensorError::Serde {
             reason: format!("bad checkpoint magic 0x{magic:08X}"),
         });
     }
-    let count = buf.get_u32_le() as usize;
-    let mut out = Vec::with_capacity(count);
+    let count = r.get_u32_le("checkpoint header")? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
-        let name = read_str(&mut buf)?;
-        let t = read_tensor(&mut buf)?;
+        let name = read_str(&mut r)?;
+        let t = read_tensor(&mut r)?;
         out.push((name, t));
     }
     Ok(out)
@@ -147,18 +168,18 @@ mod tests {
     fn tensor_roundtrip() {
         let mut rng = Rng::seed_from(1);
         let t = Tensor::rand_normal([3, 4, 5], 0.0, 1.0, &mut rng);
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         write_tensor(&mut buf, &t);
-        let back = read_tensor(&mut buf.freeze()).unwrap();
+        let back = read_tensor(&mut Reader::new(&buf)).unwrap();
         assert_eq!(back, t);
     }
 
     #[test]
     fn scalar_roundtrip() {
         let t = Tensor::full(Shape::scalar(), 2.5);
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         write_tensor(&mut buf, &t);
-        let back = read_tensor(&mut buf.freeze()).unwrap();
+        let back = read_tensor(&mut Reader::new(&buf)).unwrap();
         assert_eq!(back, t);
     }
 
@@ -171,34 +192,33 @@ mod tests {
             ("bn.gamma".to_string(), Tensor::ones([4])),
         ];
         let bytes = write_named_tensors(&pairs);
-        let back = read_named_tensors(bytes).unwrap();
+        let back = read_named_tensors(&bytes).unwrap();
         assert_eq!(back, pairs);
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(0xDEADBEEF);
-        buf.put_u32_le(1);
-        assert!(read_tensor(&mut buf.freeze()).is_err());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0xDEADBEEFu32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        assert!(read_tensor(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]
     fn rejects_truncation() {
         let t = Tensor::ones([10]);
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         write_tensor(&mut buf, &t);
-        let full = buf.freeze();
-        let mut cut = full.slice(0..full.len() - 8);
-        assert!(read_tensor(&mut cut).is_err());
-        assert!(read_tensor(&mut Bytes::new()).is_err());
+        let cut = &buf[..buf.len() - 8];
+        assert!(read_tensor(&mut Reader::new(cut)).is_err());
+        assert!(read_tensor(&mut Reader::new(&[])).is_err());
     }
 
     #[test]
     fn rejects_implausible_rank() {
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(99);
-        assert!(read_tensor(&mut buf.freeze()).is_err());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(read_tensor(&mut Reader::new(&buf)).is_err());
     }
 }

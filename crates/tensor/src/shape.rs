@@ -1,7 +1,6 @@
 //! Shape algebra: dimensions, row-major strides and index arithmetic.
 
 use crate::error::{Result, TensorError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The shape of a dense row-major tensor.
@@ -9,7 +8,7 @@ use std::fmt;
 /// A `Shape` is an ordered list of dimension extents. The last dimension is
 /// contiguous in memory (row-major / C order), which is the layout every
 /// kernel in this workspace assumes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

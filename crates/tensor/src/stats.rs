@@ -78,7 +78,7 @@ impl Tensor {
     /// Fails when `std` is not strictly positive (a constant dataset cannot
     /// be z-scored; surfacing it beats silently dividing by zero).
     pub fn normalize(&self, m: &Moments) -> Result<Tensor> {
-        if !(m.std > 0.0) {
+        if m.std.is_nan() || m.std <= 0.0 {
             return Err(TensorError::InvalidShape {
                 op: "normalize",
                 reason: format!("standard deviation must be positive, got {}", m.std),

@@ -3,7 +3,6 @@
 use crate::error::{Result, TensorError};
 use crate::rng::Rng;
 use crate::shape::Shape;
-use serde::{Deserialize, Serialize};
 
 /// A dense, row-major, heap-allocated `f32` tensor.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// * 3D (spatio-temporal) feature maps: `[N, C, D, H, W]` where `D` is the
 ///   temporal axis (the `S` historical frames of the paper's `F^S_t`)
 /// * matrices: `[rows, cols]`
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,

@@ -108,7 +108,7 @@ pub fn reassemble(
             }
         }
     }
-    if count.iter().any(|&c| c == 0) {
+    if count.contains(&0) {
         return Err(TensorError::InvalidShape {
             op: "reassemble",
             reason: "windows do not cover the full grid".into(),

@@ -162,7 +162,7 @@ pub fn aggregate_cdr_stream(
                 ),
             });
         }
-        if !(r.volume_mb >= 0.0) {
+        if r.volume_mb.is_nan() || r.volume_mb < 0.0 {
             return Err(TensorError::InvalidShape {
                 op: "aggregate_cdr_stream",
                 reason: format!("negative record volume {}", r.volume_mb),

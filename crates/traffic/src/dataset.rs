@@ -159,7 +159,7 @@ impl Dataset {
             movie.as_slice()[..cfg.train * cells].to_vec(),
         )?;
         let moments = train_raw.moments();
-        if !(moments.std > 0.0) {
+        if moments.std.is_nan() || moments.std <= 0.0 {
             return Err(TensorError::InvalidShape {
                 op: "Dataset::build",
                 reason: "training traffic is constant; cannot normalise".into(),

@@ -11,6 +11,11 @@
 //! splits, so a model trained by `train` is evaluated by `eval` on exactly
 //! the data it expects. Argument parsing is hand-rolled to keep the
 //! dependency set minimal.
+//!
+//! Every subcommand accepts `--telemetry <path>`: the metrics registry is
+//! enabled for the run and a [`TelemetryReport`] (JSON) is written on
+//! success — per-epoch losses for each training phase, per-layer
+//! forward/backward timings, and kernel span statistics.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -21,8 +26,13 @@ use zipnet_gan::core::{
 use zipnet_gan::metrics::{nrmse, psnr, ssim, MILAN_PEAK_MB};
 use zipnet_gan::nn::io as model_io;
 use zipnet_gan::prelude::*;
+use zipnet_gan::telemetry::{PhaseReport, TelemetryReport};
 use zipnet_gan::tensor::TensorError;
 use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+
+/// What a subcommand hands back for the optional telemetry report:
+/// training phases when it trained, nothing otherwise.
+type CmdOutcome = Result<Vec<PhaseReport>, String>;
 
 struct Args {
     flags: HashMap<String, String>,
@@ -104,7 +114,7 @@ fn build_dataset(
     Dataset::build(&movie, layout, cfg)
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+fn cmd_simulate(args: &Args) -> CmdOutcome {
     let grid = args.usize_or("grid", 40);
     let days = args.usize_or("days", 2);
     let seed = args.u64_or("seed", 42);
@@ -131,10 +141,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         movie.min(),
         movie.max()
     );
-    Ok(())
+    Ok(Vec::new())
 }
 
-fn cmd_train(args: &Args) -> Result<(), String> {
+fn cmd_train(args: &Args) -> CmdOutcome {
     let grid = args.usize_or("grid", 40);
     let days = args.usize_or("days", 4);
     let s = args.usize_or("s", 3);
@@ -176,9 +186,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             String::new()
         }
     );
+    let phases = report.phases.clone();
     model_io::save(model.generator_mut().expect("fitted"), &out).map_err(|e| e.to_string())?;
     println!("saved generator checkpoint to {out}");
-    Ok(())
+    Ok(phases)
 }
 
 /// Rebuilds the generator architecture for a dataset and loads weights.
@@ -190,7 +201,7 @@ fn load_generator(ds: &Dataset, path: &str, s: usize) -> Result<ZipNet, String> 
     Ok(gen)
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
+fn cmd_eval(args: &Args) -> CmdOutcome {
     let grid = args.usize_or("grid", 40);
     let days = args.usize_or("days", 4);
     let s = args.usize_or("s", 3);
@@ -222,10 +233,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         sp / n,
         ss / n
     );
-    Ok(())
+    Ok(Vec::new())
 }
 
-fn cmd_stream(args: &Args) -> Result<(), String> {
+fn cmd_stream(args: &Args) -> CmdOutcome {
     let grid = args.usize_or("grid", 40);
     let days = args.usize_or("days", 4);
     let s = args.usize_or("s", 3);
@@ -259,6 +270,28 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             }
         }
     }
+    Ok(Vec::new())
+}
+
+/// Assembles and writes the `TelemetryReport` for a finished run: the
+/// command line as run metadata (sorted for byte-stable output), the
+/// training phases the subcommand produced, and the span/counter/gauge
+/// snapshot accumulated by the registry.
+fn write_telemetry(path: &str, cmd: &str, args: &Args, phases: Vec<PhaseReport>) -> Result<(), String> {
+    let mut run = vec![("command".to_string(), cmd.to_string())];
+    let mut keys: Vec<&String> = args.flags.keys().collect();
+    keys.sort();
+    for k in keys {
+        if k != "telemetry" {
+            run.push((k.clone(), args.flags[k].clone()));
+        }
+    }
+    let mut report = TelemetryReport::new(run);
+    report.phases = phases;
+    report.attach_snapshot(&zipnet_gan::telemetry::snapshot());
+    std::fs::write(path, report.to_json_string())
+        .map_err(|e| format!("writing telemetry report to {path}: {e}"))?;
+    println!("wrote telemetry report to {path}");
     Ok(())
 }
 
@@ -272,6 +305,10 @@ fn usage() -> &'static str {
        mtsr eval     --model CKPT [--instance ...] [--grid N] [--seed S]\n\
        mtsr stream   --model CKPT [--frames N] [--instance ...] [--grid N] [--seed S]\n\
      \n\
+     Every subcommand also accepts --telemetry REPORT.json: enables the\n\
+     metrics registry and writes a TelemetryReport (per-epoch losses,\n\
+     per-layer and kernel span timings) when the command succeeds.\n\
+     \n\
      The same --seed regenerates identical data across subcommands."
 }
 
@@ -282,6 +319,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let args = Args::parse(&argv[1..]);
+    let telemetry_path = match args.get("telemetry") {
+        // A bare `--telemetry` parses as the boolean value "true".
+        Some("true") => {
+            eprintln!("error: --telemetry requires a report path (e.g. --telemetry report.json)");
+            return ExitCode::FAILURE;
+        }
+        p => p.map(str::to_string),
+    };
+    if telemetry_path.is_some() {
+        zipnet_gan::telemetry::set_enabled(true);
+        zipnet_gan::telemetry::reset();
+    }
     let result = match cmd.as_str() {
         "simulate" => cmd_simulate(&args),
         "train" => cmd_train(&args),
@@ -289,10 +338,16 @@ fn main() -> ExitCode {
         "stream" => cmd_stream(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(Vec::new())
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
     };
+    let result = result.and_then(|phases| {
+        if let Some(path) = &telemetry_path {
+            write_telemetry(path, &cmd, &args, phases)?;
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

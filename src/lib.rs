@@ -14,6 +14,8 @@
 //! * [`baselines`] — Uniform, Bicubic, SC, A+, SRCNN comparators
 //! * [`core`] — ZipNet generator, discriminator, GAN trainer, pipeline,
 //!   streaming inference and anomaly detection
+//! * [`telemetry`] — metrics registry, scoped timers and the
+//!   `TelemetryReport` JSON schema (`mtsr --telemetry <path>`)
 //!
 //! A command-line front-end ships as the `mtsr` binary
 //! (`cargo run --release --bin mtsr -- help`): deterministic
@@ -22,6 +24,7 @@
 pub use mtsr_baselines as baselines;
 pub use mtsr_metrics as metrics;
 pub use mtsr_nn as nn;
+pub use mtsr_telemetry as telemetry;
 pub use mtsr_tensor as tensor;
 pub use mtsr_traffic as traffic;
 pub use zipnet_core as core;

@@ -84,20 +84,19 @@ fn out_of_range_sample_indices_error() {
 
 #[test]
 fn checkpoint_corruption_is_detected() {
-    use bytes::Bytes;
     use zipnet_gan::nn::io;
     let mut rng = Rng::seed_from(6);
     let mut gen = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).expect("generator");
     let bytes = io::to_bytes(&mut gen);
     // Truncated checkpoint.
-    let cut = bytes.slice(0..bytes.len() / 2);
+    let cut = &bytes[..bytes.len() / 2];
     let mut gen2 = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).expect("generator");
     assert!(io::from_bytes(&mut gen2, cut).is_err());
     // Garbage bytes.
-    assert!(io::from_bytes(&mut gen2, Bytes::from_static(b"not a checkpoint")).is_err());
+    assert!(io::from_bytes(&mut gen2, b"not a checkpoint").is_err());
     // Architecture mismatch (different S → different collapse kernel).
     let mut gen3 = ZipNet::new(&ZipNetConfig::tiny(2, 4), &mut rng).expect("generator");
-    assert!(io::from_bytes(&mut gen3, bytes).is_err());
+    assert!(io::from_bytes(&mut gen3, &bytes).is_err());
 }
 
 #[test]

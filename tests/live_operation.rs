@@ -33,7 +33,7 @@ fn trained_setup(seed: u64) -> (Dataset, ZipNet) {
     // Round-trip through a checkpoint, as a deployment would.
     let bytes = io::to_bytes(model.generator_mut().expect("fitted"));
     let mut gen = ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(0)).expect("fresh");
-    io::from_bytes(&mut gen, bytes).expect("load");
+    io::from_bytes(&mut gen, &bytes).expect("load");
     (ds, gen)
 }
 

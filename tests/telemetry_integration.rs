@@ -1,0 +1,137 @@
+//! End-to-end telemetry over a tiny Algorithm-1 run: train ZipNet-GAN for
+//! a handful of steps with the registry enabled and check that the
+//! recorded `TelemetryReport` tells a coherent story — losses improve,
+//! epoch counts match the configuration, every instrumented layer shows
+//! both a forward and a backward span, and everything except wall-clock
+//! timing is identical across same-seed reruns.
+
+use zipnet_gan::core::{ArchScale, GanTrainingConfig, MtsrModel};
+use zipnet_gan::prelude::*;
+use zipnet_gan::telemetry::{self, TelemetryReport};
+use zipnet_gan::traffic::{Dataset, MtsrInstance, SuperResolver};
+
+const PRETRAIN_STEPS: usize = 12;
+const ADV_STEPS: usize = 3;
+
+fn tiny_dataset(seed: u64) -> Dataset {
+    let mut rng = Rng::seed_from(seed);
+    let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+    let cfg = DatasetConfig::tiny();
+    let movie = gen.generate(cfg.total(), &mut rng).unwrap();
+    let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
+    Dataset::build(&movie, layout, cfg).unwrap()
+}
+
+fn train_cfg() -> GanTrainingConfig {
+    GanTrainingConfig {
+        pretrain_steps: PRETRAIN_STEPS,
+        adversarial_steps: ADV_STEPS,
+        batch: 4,
+        ..GanTrainingConfig::tiny()
+    }
+}
+
+/// One instrumented run: returns the report with phases and the registry
+/// snapshot attached. Resets the registry first so runs are independent.
+fn instrumented_run(ds: &Dataset, seed: u64) -> TelemetryReport {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let mut model = MtsrModel::zipnet_gan(ArchScale::Tiny, train_cfg());
+    model.fit(ds, &mut Rng::seed_from(seed)).unwrap();
+    let mut report = TelemetryReport::new(vec![("seed".into(), seed.to_string())]);
+    report.phases = model.report.as_ref().expect("fit stores report").phases.clone();
+    report.attach_snapshot(&telemetry::snapshot());
+    report
+}
+
+// The registry is process-global, so the whole scenario lives in one test
+// function — parallel test threads must not interleave enable/reset.
+#[test]
+fn tiny_algorithm1_run_produces_coherent_telemetry() {
+    let ds = tiny_dataset(11);
+    let report = instrumented_run(&ds, 13);
+
+    // Epoch counts match the training configuration, phase by phase.
+    assert_eq!(report.phases.len(), 2, "pretrain + adversarial");
+    let (pre, adv) = (&report.phases[0], &report.phases[1]);
+    assert_eq!(pre.name, "pretrain");
+    assert_eq!(pre.steps, PRETRAIN_STEPS as u64);
+    assert_eq!(pre.epochs.len(), PRETRAIN_STEPS);
+    assert_eq!(adv.name, "adversarial");
+    assert_eq!(adv.steps, ADV_STEPS as u64);
+    assert_eq!(adv.epochs.len(), ADV_STEPS);
+
+    // Pre-training MSE is non-increasing over a window: the mean over the
+    // last third must not exceed the mean over the first third.
+    let third = PRETRAIN_STEPS / 3;
+    let mean = |es: &[telemetry::EpochRecord]| {
+        es.iter().map(|e| e.g_loss).sum::<f64>() / es.len() as f64
+    };
+    let head = mean(&pre.epochs[..third]);
+    let tail = mean(&pre.epochs[PRETRAIN_STEPS - third..]);
+    assert!(
+        tail <= head,
+        "pretrain MSE should fall: first-third mean {head}, last-third mean {tail}"
+    );
+
+    // Adversarial epochs carry the discriminator observables.
+    for e in &adv.epochs {
+        assert!(e.d_loss.is_some() && e.d_real_mean.is_some() && e.d_fake_mean.is_some());
+        assert!(e.g_grad_norm.is_some() && e.d_grad_norm.is_some());
+        let (r, f) = (e.d_real_mean.unwrap(), e.d_fake_mean.unwrap());
+        assert!((0.0..=1.0).contains(&r) && (0.0..=1.0).contains(&f));
+    }
+
+    // Every instrumented layer reports both directions: the set of layer
+    // names seen in forward spans equals the set seen in backward spans,
+    // and the stack's core layers are all present.
+    let layer_names = |dir: &str| -> Vec<&str> {
+        report
+            .spans
+            .iter()
+            .filter_map(|s| {
+                s.name
+                    .strip_prefix("layer.")
+                    .and_then(|rest| rest.strip_suffix(dir))
+            })
+            .collect()
+    };
+    let fwd = layer_names(".forward");
+    let bwd = layer_names(".backward");
+    assert!(!fwd.is_empty(), "no layer spans recorded");
+    assert_eq!(fwd, bwd, "every layer must time forward AND backward");
+    for expected in ["Conv3d", "ConvTranspose3d", "Conv2d", "BatchNorm", "Dense"] {
+        assert!(fwd.contains(&expected), "missing layer span for {expected}");
+    }
+    for s in &report.spans {
+        assert!(s.count > 0);
+        assert!(s.min_ns <= s.max_ns);
+    }
+
+    // Kernel spans and counters from the tensor crate rode along.
+    let span_names: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(span_names.contains(&"tensor.sgemm"));
+    assert!(span_names.contains(&"tensor.conv3d.forward"));
+    assert!(report
+        .counters
+        .iter()
+        .any(|(name, v)| name == "tensor.im2col3d.calls" && *v > 0));
+
+    // Same-seed rerun: identical everywhere except timing.
+    let report2 = instrumented_run(&ds, 13);
+    let (mut a, mut b) = (report.clone(), report2);
+    a.strip_timing();
+    b.strip_timing();
+    assert_eq!(a, b, "non-timing telemetry must be deterministic per seed");
+
+    // Different seed: the loss trajectory actually depends on the seed.
+    let report3 = instrumented_run(&ds, 14);
+    assert_ne!(
+        report.phases[0].epochs.last().unwrap().g_loss,
+        report3.phases[0].epochs.last().unwrap().g_loss,
+        "different seeds should give different trajectories"
+    );
+
+    telemetry::set_enabled(false);
+    telemetry::reset();
+}
