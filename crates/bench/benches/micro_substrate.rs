@@ -3,31 +3,50 @@
 //! step. These are throughput benches (no paper counterpart) used to
 //! track the cost of the hot kernels.
 //!
-//! Timing goes through the `mtsr-telemetry` span registry — the same
-//! instrumentation the training loop uses — so each row reports the
-//! registry's count/mean/min statistics for the benched closure.
+//! Two outputs:
+//!
+//! 1. the human-readable telemetry table (as before — timing goes through
+//!    the `mtsr-telemetry` span registry, the same instrumentation the
+//!    training loop uses);
+//! 2. machine-readable `BENCH_GEMM.json` / `BENCH_CONV.json` written to
+//!    the repository root, recording per-shape **median** latency and
+//!    GFLOP/s so the perf trajectory is tracked across PRs. The GEMM file
+//!    measures the packed kernel against the pre-PR scalar kernel
+//!    (`sgemm_scalar_serial`, kept for exactly this purpose) in the same
+//!    process, so the reported speedup is apples-to-apples.
+//!
+//! Budget per case is `MTSR_BENCH_MS` milliseconds (default 2000); medians
+//! over per-iteration samples make the numbers robust to the noisy shared
+//! runners this repo builds on.
 
 use mtsr_tensor::conv::{
     conv2d_backward_weights, conv2d_forward, conv3d_forward, conv_transpose3d_forward,
     Conv2dSpec, Conv3dSpec,
 };
-use mtsr_tensor::matmul::matmul;
+use mtsr_tensor::matmul::{matmul, sgemm_scalar_serial, sgemm_serial};
 use mtsr_tensor::{Rng, Tensor};
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Runs `f` repeatedly for ~`budget`, recording each iteration under an
-/// owned telemetry span, after a few warm-up calls outside the registry.
-fn bench(name: &str, budget: Duration, mut f: impl FnMut()) {
+/// Runs `f` repeatedly for ~`budget` (min 10 iterations), recording each
+/// iteration under an owned telemetry span *and* returning the median
+/// per-iteration nanoseconds, after a few warm-up calls outside the
+/// registry.
+fn bench(name: &str, budget: Duration, mut f: impl FnMut()) -> u64 {
     for _ in 0..3 {
         f();
     }
     let start = Instant::now();
-    let mut iters = 0u64;
-    while start.elapsed() < budget || iters < 10 {
+    let mut samples: Vec<u64> = Vec::new();
+    while start.elapsed() < budget || samples.len() < 10 {
         let _span = mtsr_telemetry::span_owned(format!("bench.{name}"));
+        let t0 = Instant::now();
         f();
-        iters += 1;
+        samples.push(t0.elapsed().as_nanos() as u64);
     }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
 fn report() {
@@ -53,6 +72,109 @@ fn report() {
     }
 }
 
+/// One row of a `BENCH_*.json` file.
+struct Entry {
+    name: String,
+    shape: String,
+    median_ns: u64,
+    gflops: f64,
+}
+
+impl Entry {
+    fn json(&self) -> String {
+        format!(
+            r#"    {{"name": "{}", "shape": "{}", "median_ns": {}, "gflops": {:.3}}}"#,
+            self.name, self.shape, self.median_ns, self.gflops
+        )
+    }
+}
+
+/// Writes `{ "schema": …, "entries": [...] }` by hand — the workspace has
+/// no JSON dependency and these files are flat enough not to need one.
+fn write_json(file: &str, schema: &str, entries: &[Entry]) {
+    // crates/bench → repo root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, r#"  "schema": "{schema}","#);
+    let _ = writeln!(s, r#"  "entries": ["#);
+    let rows: Vec<String> = entries.iter().map(Entry::json).collect();
+    let _ = writeln!(s, "{}", rows.join(",\n"));
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    let path = root.join(file);
+    match std::fs::write(&path, &s) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// GEMM sweep: packed kernel vs the pre-PR scalar baseline on the shapes
+/// that matter — square sanity points plus the im2col lowering of a
+/// `Conv2dSpec::same(3)`, 16-channel layer on the paper's 80×80 Milan
+/// grid: m = co = 16, k = ci·kh·kw = 144, n = oh·ow = 6400.
+fn bench_gemm_json(budget: Duration) -> Vec<Entry> {
+    let shapes: &[(usize, usize, usize, &str)] = &[
+        (16, 144, 6400, "conv3x3_16ch_80x80_lowering"),
+        (64, 64, 64, "square_64"),
+        (128, 128, 128, "square_128"),
+        (256, 256, 256, "square_256"),
+    ];
+    let mut rng = Rng::seed_from(9);
+    let mut entries = Vec::new();
+    for &(m, k, n, tag) in shapes {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut c = vec![0.0f32; m * n];
+        let flops = 2.0 * (m * k * n) as f64;
+        // Interleave would be ideal, but per-kernel medians over a full
+        // budget each are stable enough; scalar first so thermal drift,
+        // if any, favors the *baseline*.
+        let scalar_ns = bench(&format!("sgemm_scalar.{tag}"), budget, || {
+            sgemm_scalar_serial(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+                &mut c,
+                m,
+                k,
+                n,
+                false,
+            );
+        });
+        let packed_ns = bench(&format!("sgemm_packed.{tag}"), budget, || {
+            sgemm_serial(
+                std::hint::black_box(&a),
+                std::hint::black_box(&b),
+                &mut c,
+                m,
+                k,
+                n,
+                false,
+            );
+        });
+        let shape = format!("{m}x{k}x{n}");
+        entries.push(Entry {
+            name: format!("scalar.{tag}"),
+            shape: shape.clone(),
+            median_ns: scalar_ns,
+            gflops: flops / scalar_ns as f64,
+        });
+        entries.push(Entry {
+            name: format!("packed.{tag}"),
+            shape,
+            median_ns: packed_ns,
+            gflops: flops / packed_ns as f64,
+        });
+        println!(
+            "gemm {tag}: scalar {:.2} GFLOP/s, packed {:.2} GFLOP/s ({:.2}x)",
+            flops / scalar_ns as f64,
+            flops / packed_ns as f64,
+            scalar_ns as f64 / packed_ns as f64
+        );
+    }
+    entries
+}
+
 fn bench_matmul(budget: Duration) {
     let mut rng = Rng::seed_from(1);
     for &n in &[64usize, 128, 256] {
@@ -64,37 +186,94 @@ fn bench_matmul(budget: Duration) {
     }
 }
 
-fn bench_conv2d(budget: Duration) {
-    let mut rng = Rng::seed_from(2);
-    let x = Tensor::rand_normal([4, 16, 40, 40], 0.0, 1.0, &mut rng);
-    let w = Tensor::rand_normal([16, 16, 3, 3], 0.0, 0.2, &mut rng);
-    let spec = Conv2dSpec::same(3);
-    bench("conv2d_16ch_40x40_b4.forward", budget, || {
-        conv2d_forward(std::hint::black_box(&x), &w, &spec).unwrap();
-    });
-    let gout = conv2d_forward(&x, &w, &spec).unwrap();
-    bench("conv2d_16ch_40x40_b4.backward_weights", budget, || {
-        conv2d_backward_weights(&x, std::hint::black_box(&gout), &spec, (3, 3)).unwrap();
-    });
+/// 2D conv flops: 2 · batch · co · ci · kh · kw · oh · ow.
+fn conv2d_flops(b: usize, co: usize, ci: usize, kh: usize, kw: usize, oh: usize, ow: usize) -> f64 {
+    2.0 * (b * co * ci * kh * kw * oh * ow) as f64
 }
 
-fn bench_conv3d(budget: Duration) {
-    let mut rng = Rng::seed_from(3);
-    let x = Tensor::rand_normal([2, 8, 3, 20, 20], 0.0, 1.0, &mut rng);
-    let w = Tensor::rand_normal([8, 8, 3, 3, 3], 0.0, 0.2, &mut rng);
-    let spec = Conv3dSpec::same(3, 3);
-    bench("conv3d_8ch_3x20x20_b2.forward", budget, || {
-        conv3d_forward(std::hint::black_box(&x), &w, &spec).unwrap();
+fn bench_conv_json(budget: Duration) -> Vec<Entry> {
+    let mut rng = Rng::seed_from(2);
+    let mut entries = Vec::new();
+
+    // The acceptance-relevant geometry: 16-channel 3×3 on the 80×80 grid.
+    let x80 = Tensor::rand_normal([1, 16, 80, 80], 0.0, 1.0, &mut rng);
+    let w80 = Tensor::rand_normal([16, 16, 3, 3], 0.0, 0.2, &mut rng);
+    let spec = Conv2dSpec::same(3);
+    let fl80 = conv2d_flops(1, 16, 16, 3, 3, 80, 80);
+    let ns = bench("conv2d_16ch_80x80_b1.forward", budget, || {
+        conv2d_forward(std::hint::black_box(&x80), &w80, &spec).unwrap();
     });
-    // ZipNet's upscaling deconvolution.
+    entries.push(Entry {
+        name: "conv2d_forward.16ch_3x3_80x80_b1".into(),
+        shape: "x[1,16,80,80] w[16,16,3,3] same".into(),
+        median_ns: ns,
+        gflops: fl80 / ns as f64,
+    });
+    let g80 = conv2d_forward(&x80, &w80, &spec).unwrap();
+    let ns = bench("conv2d_16ch_80x80_b1.backward_weights", budget, || {
+        conv2d_backward_weights(&x80, std::hint::black_box(&g80), &spec, (3, 3)).unwrap();
+    });
+    entries.push(Entry {
+        name: "conv2d_backward_weights.16ch_3x3_80x80_b1".into(),
+        shape: "x[1,16,80,80] g[1,16,80,80] same".into(),
+        median_ns: ns,
+        gflops: fl80 / ns as f64,
+    });
+
+    // The batched 40×40 case the table has always tracked.
+    let x = Tensor::rand_normal([4, 16, 40, 40], 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_normal([16, 16, 3, 3], 0.0, 0.2, &mut rng);
+    let fl40 = conv2d_flops(4, 16, 16, 3, 3, 40, 40);
+    let ns = bench("conv2d_16ch_40x40_b4.forward", budget, || {
+        conv2d_forward(std::hint::black_box(&x), &w, &spec).unwrap();
+    });
+    entries.push(Entry {
+        name: "conv2d_forward.16ch_3x3_40x40_b4".into(),
+        shape: "x[4,16,40,40] w[16,16,3,3] same".into(),
+        median_ns: ns,
+        gflops: fl40 / ns as f64,
+    });
+    let gout = conv2d_forward(&x, &w, &spec).unwrap();
+    let ns = bench("conv2d_16ch_40x40_b4.backward_weights", budget, || {
+        conv2d_backward_weights(&x, std::hint::black_box(&gout), &spec, (3, 3)).unwrap();
+    });
+    entries.push(Entry {
+        name: "conv2d_backward_weights.16ch_3x3_40x40_b4".into(),
+        shape: "x[4,16,40,40] g[4,16,40,40] same".into(),
+        median_ns: ns,
+        gflops: fl40 / ns as f64,
+    });
+
+    // 3D conv + the ZipNet upscaling deconvolution.
+    let x3 = Tensor::rand_normal([2, 8, 3, 20, 20], 0.0, 1.0, &mut rng);
+    let w3 = Tensor::rand_normal([8, 8, 3, 3, 3], 0.0, 0.2, &mut rng);
+    let spec3 = Conv3dSpec::same(3, 3);
+    let fl3 = 2.0 * (2 * 8 * 8 * 3 * 3 * 3 * 3 * 20 * 20) as f64;
+    let ns = bench("conv3d_8ch_3x20x20_b2.forward", budget, || {
+        conv3d_forward(std::hint::black_box(&x3), &w3, &spec3).unwrap();
+    });
+    entries.push(Entry {
+        name: "conv3d_forward.8ch_3x3x3_3x20x20_b2".into(),
+        shape: "x[2,8,3,20,20] w[8,8,3,3,3] same".into(),
+        median_ns: ns,
+        gflops: fl3 / ns as f64,
+    });
     let wd = Tensor::rand_normal([8, 8, 3, 2, 2], 0.0, 0.2, &mut rng);
     let dspec = Conv3dSpec {
         stride: (1, 2, 2),
         pad: (1, 0, 0),
     };
-    bench("conv3d_8ch_3x20x20_b2.deconv_2x_forward", budget, || {
-        conv_transpose3d_forward(std::hint::black_box(&x), &wd, &dspec).unwrap();
+    let fld = 2.0 * (2 * 8 * 8 * 3 * 2 * 2 * 3 * 40 * 40) as f64;
+    let ns = bench("conv3d_8ch_3x20x20_b2.deconv_2x_forward", budget, || {
+        conv_transpose3d_forward(std::hint::black_box(&x3), &wd, &dspec).unwrap();
     });
+    entries.push(Entry {
+        name: "conv_transpose3d_forward.8ch_2x_3x20x20_b2".into(),
+        shape: "x[2,8,3,20,20] w[8,8,3,2,2] s(1,2,2)".into(),
+        median_ns: ns,
+        gflops: fld / ns as f64,
+    });
+    entries
 }
 
 fn bench_zipnet(budget: Duration) {
@@ -125,9 +304,11 @@ fn main() {
     let budget = Duration::from_millis(ms);
     mtsr_telemetry::set_enabled(true);
     mtsr_telemetry::reset();
+    let gemm = bench_gemm_json(budget);
     bench_matmul(budget);
-    bench_conv2d(budget);
-    bench_conv3d(budget);
+    let conv = bench_conv_json(budget);
     bench_zipnet(budget);
     report();
+    write_json("BENCH_GEMM.json", "mtsr-bench-gemm/v1", &gemm);
+    write_json("BENCH_CONV.json", "mtsr-bench-conv/v1", &conv);
 }

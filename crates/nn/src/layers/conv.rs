@@ -1,4 +1,11 @@
 //! Convolution layers (2D/3D, plain and transposed) with bias.
+//!
+//! All six lowerings (forward / backward-data / backward-weights, plain
+//! and transposed) run on the shared compute substrate in `mtsr-tensor`:
+//! im2col into a thread-local scratch arena, then the packed GEMM, with
+//! batch-level parallelism on the persistent worker pool. Layers hold no
+//! workspace state of their own — every temporary is checked out of the
+//! arena for the duration of the call.
 
 use crate::init::{conv_fan_in, he_normal};
 use crate::layer::Layer;

@@ -1,4 +1,10 @@
 //! Fully-connected layer.
+//!
+//! Forward and both backward products go through the transpose-absorbing
+//! GEMM entry points (`matmul_nt`/`matmul_tn`): the packed kernel in
+//! `mtsr_tensor::pack` folds the transposed layouts into its panel
+//! packing, so no transposed copy of `W`, `x` or `grad_out` is ever
+//! materialised.
 
 use crate::init::xavier_uniform;
 use crate::layer::Layer;

@@ -20,9 +20,10 @@
 //!   axis after the channel pair.
 
 use crate::error::{Result, TensorError};
-use crate::im2col::{col2im2d, col2im3d, im2col2d, im2col3d, Geom2d, Geom3d};
+use crate::im2col::{col2im2d, col2im3d, with_im2col2d, with_im2col3d, Geom2d, Geom3d};
 use crate::matmul::{sgemm_nt_serial, sgemm_serial, sgemm_tn_serial};
 use crate::parallel::{par_chunks_mut, par_fold_sum};
+use crate::scratch::with_scratch;
 use crate::tensor::Tensor;
 
 /// Stride/padding pair for 2D convolutions, `(vertical, horizontal)`.
@@ -109,16 +110,15 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Result<Tenso
     let (oh, ow) = (g.out_h(), g.out_w());
     let in_sz = g.c * g.h * g.w;
     let out_sz = co * oh * ow;
-    let col_sz = g.col_rows() * g.col_cols();
     let mut out = Tensor::zeros([n, co, oh, ow]);
     let xs = x.as_slice();
     let ws = w.as_slice();
     let _span = mtsr_telemetry::span("tensor.conv2d.forward");
     mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
     par_chunks_mut(out.as_mut_slice(), out_sz, |ni, o| {
-        let mut cols = vec![0.0f32; col_sz];
-        im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-        sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
+        with_im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
+            sgemm_serial(ws, cols, o, co, g.col_rows(), g.col_cols(), false);
+        });
     });
     Ok(out)
 }
@@ -158,18 +158,21 @@ pub fn conv2d_backward_data(
     let ws = w.as_slice();
     let _span = mtsr_telemetry::span("tensor.conv2d.backward_data");
     par_chunks_mut(gx.as_mut_slice(), in_sz, |ni, gxi| {
-        let mut cols = vec![0.0f32; col_sz];
-        // cols = Wᵀ · gout_n  ([Ci·KH·KW, Co] x [Co, OH·OW])
-        sgemm_tn_serial(
-            ws,
-            &gs[ni * out_sz..(ni + 1) * out_sz],
-            &mut cols,
-            g.col_rows(),
-            co,
-            g.col_cols(),
-            false,
-        );
-        col2im2d(&cols, &g, gxi);
+        // Scratch contents are stale; the non-accumulating GEMM overwrites
+        // every element before col2im reads it.
+        with_scratch(col_sz, |cols| {
+            // cols = Wᵀ · gout_n  ([Ci·KH·KW, Co] x [Co, OH·OW])
+            sgemm_tn_serial(
+                ws,
+                &gs[ni * out_sz..(ni + 1) * out_sz],
+                cols,
+                g.col_rows(),
+                co,
+                g.col_cols(),
+                false,
+            );
+            col2im2d(cols, &g, gxi);
+        });
     });
     Ok(gx)
 }
@@ -195,26 +198,25 @@ pub fn conv2d_backward_weights(
     }
     let in_sz = ci * g.h * g.w;
     let out_sz = co * g.out_h() * g.out_w();
-    let col_sz = g.col_rows() * g.col_cols();
     let xs = x.as_slice();
     let gs = gout.as_slice();
-    // Per-sample partial gradients summed into per-worker accumulators.
+    // Per-sample partial gradients summed into fixed-partition accumulators.
     let wlen = co * g.col_rows();
     let _span = mtsr_telemetry::span("tensor.conv2d.backward_weights");
     mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
     let dw = par_fold_sum(n, wlen, |acc, ni| {
-        let mut cols = vec![0.0f32; col_sz];
-        im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-        // dW += gout_n · colsᵀ  ([Co, OH·OW] x [OH·OW, Ci·KH·KW])
-        sgemm_nt_serial(
-            &gs[ni * out_sz..(ni + 1) * out_sz],
-            &cols,
-            acc,
-            co,
-            g.col_cols(),
-            g.col_rows(),
-            true,
-        );
+        with_im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
+            // dW += gout_n · colsᵀ  ([Co, OH·OW] x [OH·OW, Ci·KH·KW])
+            sgemm_nt_serial(
+                &gs[ni * out_sz..(ni + 1) * out_sz],
+                cols,
+                acc,
+                co,
+                g.col_cols(),
+                g.col_rows(),
+                true,
+            );
+        });
     });
     Tensor::from_vec(w_dims.to_vec(), dw)
 }
@@ -320,16 +322,15 @@ pub fn conv3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Result<Tenso
     let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
     let in_sz = g.c * g.d * g.h * g.w;
     let out_sz = co * od * oh * ow;
-    let col_sz = g.col_rows() * g.col_cols();
     let mut out = Tensor::zeros([n, co, od, oh, ow]);
     let xs = x.as_slice();
     let ws = w.as_slice();
     let _span = mtsr_telemetry::span("tensor.conv3d.forward");
     mtsr_telemetry::add_counter("tensor.im2col3d.calls", n as u64);
     par_chunks_mut(out.as_mut_slice(), out_sz, |ni, o| {
-        let mut cols = vec![0.0f32; col_sz];
-        im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-        sgemm_serial(ws, &cols, o, co, g.col_rows(), g.col_cols(), false);
+        with_im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
+            sgemm_serial(ws, cols, o, co, g.col_rows(), g.col_cols(), false);
+        });
     });
     Ok(out)
 }
@@ -363,17 +364,18 @@ pub fn conv3d_backward_data(
     let ws = w.as_slice();
     let _span = mtsr_telemetry::span("tensor.conv3d.backward_data");
     par_chunks_mut(gx.as_mut_slice(), in_sz, |ni, gxi| {
-        let mut cols = vec![0.0f32; col_sz];
-        sgemm_tn_serial(
-            ws,
-            &gs[ni * out_sz..(ni + 1) * out_sz],
-            &mut cols,
-            g.col_rows(),
-            co,
-            g.col_cols(),
-            false,
-        );
-        col2im3d(&cols, &g, gxi);
+        with_scratch(col_sz, |cols| {
+            sgemm_tn_serial(
+                ws,
+                &gs[ni * out_sz..(ni + 1) * out_sz],
+                cols,
+                g.col_rows(),
+                co,
+                g.col_cols(),
+                false,
+            );
+            col2im3d(cols, &g, gxi);
+        });
     });
     Ok(gx)
 }
@@ -398,24 +400,23 @@ pub fn conv3d_backward_weights(
     }
     let in_sz = ci * g.d * g.h * g.w;
     let out_sz = co * g.out_d() * g.out_h() * g.out_w();
-    let col_sz = g.col_rows() * g.col_cols();
     let xs = x.as_slice();
     let gs = gout.as_slice();
     let wlen = co * g.col_rows();
     let _span = mtsr_telemetry::span("tensor.conv3d.backward_weights");
     mtsr_telemetry::add_counter("tensor.im2col3d.calls", n as u64);
     let dw = par_fold_sum(n, wlen, |acc, ni| {
-        let mut cols = vec![0.0f32; col_sz];
-        im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, &mut cols);
-        sgemm_nt_serial(
-            &gs[ni * out_sz..(ni + 1) * out_sz],
-            &cols,
-            acc,
-            co,
-            g.col_cols(),
-            g.col_rows(),
-            true,
-        );
+        with_im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
+            sgemm_nt_serial(
+                &gs[ni * out_sz..(ni + 1) * out_sz],
+                cols,
+                acc,
+                co,
+                g.col_cols(),
+                g.col_rows(),
+                true,
+            );
+        });
     });
     Tensor::from_vec(w_dims.to_vec(), dw)
 }

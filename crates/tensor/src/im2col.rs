@@ -55,6 +55,12 @@ impl Geom2d {
         self.out_h() * self.out_w()
     }
 
+    /// Total element count of the im2col matrix — the scratch size a
+    /// caller must check out for [`with_im2col2d`].
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
+    }
+
     /// Validates that the geometry is realisable.
     pub fn validate(&self) -> Result<()> {
         if self.sh == 0 || self.sw == 0 {
@@ -152,6 +158,17 @@ pub fn col2im2d(cols: &[f32], g: &Geom2d, x: &mut [f32]) {
     }
 }
 
+/// Runs `f` with the im2col matrix of `x` materialised in a pooled
+/// scratch buffer ([`crate::scratch`]), avoiding a fresh `[C·kh·kw,
+/// OH·OW]` allocation per call. This is the allocation-free path the
+/// conv kernels use once per batch element.
+pub fn with_im2col2d<R>(x: &[f32], g: &Geom2d, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    crate::scratch::with_scratch(g.col_len(), |cols| {
+        im2col2d(x, g, cols);
+        f(cols)
+    })
+}
+
 /// Geometry of a 3D convolution over one `[C, D, H, W]` sample (`D` is the
 /// temporal axis holding the `S` historical frames).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +225,12 @@ impl Geom3d {
     /// Columns of the im2col matrix: `OD·OH·OW`.
     pub fn col_cols(&self) -> usize {
         self.out_d() * self.out_h() * self.out_w()
+    }
+
+    /// Total element count of the im2col matrix — the scratch size a
+    /// caller must check out for [`with_im2col3d`].
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
     }
 
     /// Validates that the geometry is realisable.
@@ -325,6 +348,15 @@ pub fn col2im3d(cols: &[f32], g: &Geom3d, x: &mut [f32]) {
             }
         }
     }
+}
+
+/// 3D analogue of [`with_im2col2d`]: materialises the im2col matrix in a
+/// pooled scratch buffer and hands it to `f`.
+pub fn with_im2col3d<R>(x: &[f32], g: &Geom3d, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    crate::scratch::with_scratch(g.col_len(), |cols| {
+        im2col3d(x, g, cols);
+        f(cols)
+    })
 }
 
 #[cfg(test)]
@@ -536,6 +568,30 @@ mod tests {
         im2col3d(&x, &g, &mut cols);
         // rows = 2 (kd), cols = 2 (od): row0 = frames [10,20], row1 = [20,30]
         assert_eq!(cols, vec![10.0, 20.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn pooled_wrapper_matches_direct_call() {
+        let g = Geom2d {
+            c: 2,
+            h: 4,
+            w: 4,
+            kh: 3,
+            kw: 3,
+            sh: 1,
+            sw: 1,
+            ph: 1,
+            pw: 1,
+        };
+        let x: Vec<f32> = (0..32).map(|i| i as f32 * 0.25).collect();
+        let mut direct = vec![0.0; g.col_len()];
+        im2col2d(&x, &g, &mut direct);
+        // The pooled buffer is stale-initialised; im2col must overwrite
+        // every element, so a second pass sees identical contents.
+        for _ in 0..2 {
+            let pooled = with_im2col2d(&x, &g, |cols| cols.to_vec());
+            assert_eq!(pooled, direct);
+        }
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //!
 //! * [`Tensor`] — a dense row-major `f32` tensor with shape algebra,
 //!   elementwise/broadcast arithmetic and reductions;
-//! * [`matmul`] — a blocked, thread-parallel GEMM used to lower
-//!   convolutions ([`parallel`] provides the `std::thread::scope` helpers);
+//! * [`matmul`] — a packed, cache-tiled, thread-parallel GEMM used to
+//!   lower convolutions ([`pack`] holds the panel packers and the
+//!   register-blocked micro-kernel; [`parallel`] provides a persistent
+//!   worker pool with deterministic work partitioning; [`scratch`]
+//!   provides the reusable thread-local workspaces);
 //! * [`im2col`] — 2D and 3D patch-gather/scatter (im2col / col2im);
 //! * [`conv`] — convolution primitives (forward, backward-data,
 //!   backward-weights) for 2D and 3D, plus transposed convolutions derived
@@ -26,9 +29,11 @@ pub mod error;
 pub mod im2col;
 pub mod matmul;
 pub mod ops;
+pub mod pack;
 pub mod parallel;
 pub mod reduce;
 pub mod rng;
+pub mod scratch;
 pub mod serialize;
 pub mod shape;
 pub mod stats;

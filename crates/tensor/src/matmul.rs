@@ -1,21 +1,245 @@
-//! Blocked, thread-parallel single-precision matrix multiplication.
+//! Packed, cache-tiled, thread-parallel single-precision matrix
+//! multiplication.
 //!
-//! Every convolution in the workspace lowers to GEMM via im2col, so this is
-//! the hot kernel of the entire reproduction. The implementation uses the
-//! `i-k-j` loop order (for row-major operands the inner loop is a
-//! contiguous fused multiply-add over a row of `B`), parallelised across
-//! row blocks of `A` via [`crate::parallel`]. That is not MKL-grade, but it
-//! is within a small factor of peak for the matrix shapes conv layers
-//! produce and it contains no unsafe code.
+//! Every convolution in the workspace lowers to GEMM via im2col, so this
+//! is the hot kernel of the entire reproduction. The implementation packs
+//! the operands into cache-sized panels and multiplies them in a
+//! register-blocked [`pack::MR`]×[`pack::NR`] micro-kernel (see
+//! [`crate::pack`] for the tiling scheme); packing also absorbs the three
+//! operand layouts (`A·B`, `Aᵀ·B`, `A·Bᵀ`) so one kernel serves the
+//! forward, backward-weights and backward-data shapes without
+//! materialising transposes. Parallelism splits the rows of `C` into
+//! contiguous slabs via [`crate::parallel`]; the per-element summation
+//! order (ascending `k`, in [`pack::KC`] blocks) is independent of the
+//! slab partition, so results are bit-identical for any worker count.
+//! That is not MKL-grade, but it is within a small factor of peak for the
+//! matrix shapes conv layers produce and it contains no unsafe code.
+//!
+//! Tiny products (where packing costs more than it saves) take a
+//! branch-free scalar path chosen *by shape only*, never by worker count.
+//! The pre-PR scalar kernel survives as [`sgemm_scalar_serial`] so the
+//! bench harness can report the packed kernel's speedup against it.
 
 use crate::error::{Result, TensorError};
-use crate::parallel::par_chunks_mut;
+use crate::pack::{microkernel, microkernel_direct_b, pack_a, pack_b, KC, MC, MR, NC, NR};
+use crate::parallel::{num_threads, par_chunks_mut};
+use crate::scratch::with_scratch;
 use crate::tensor::Tensor;
 
-/// Rows-per-chunk granularity for the parallel split. Small enough to
-/// load-balance the skinny matrices conv layers produce, large enough to
-/// amortise per-chunk overhead.
-pub const ROW_BLOCK: usize = 16;
+/// Products with fewer multiply-adds than this use the scalar fallback:
+/// below it, panel packing costs more than the multiply itself.
+const SMALL_GEMM_ELEMS: usize = 4096;
+
+fn is_small(m: usize, k: usize, n: usize) -> bool {
+    m * k * n <= SMALL_GEMM_ELEMS
+}
+
+// ---------------------------------------------------------------------------
+// Packed blocked driver
+// ---------------------------------------------------------------------------
+
+/// Computes `C (+)= op(A) · op(B)` over an `m`-row slab of `C` using the
+/// packed micro-kernel. Exposed for the oracle property tests; use the
+/// `sgemm*` wrappers instead.
+///
+/// * `ta`/`tb` select the transposed layouts: with `ta`, `a` is stored
+///   `k × m_total` and `a_rstride = m_total`; otherwise `a` is row-major
+///   and `a_rstride = k`. With `tb`, `b` is stored `n × k` and
+///   `b_cstride = k`; otherwise `b_cstride = n`.
+/// * `row0` is the slab's first row in the *logical* `A`, so parallel
+///   callers can hand each worker a disjoint `&mut` slab of `C` while
+///   sharing the full `a`/`b` slices.
+/// * with `accumulate` false, the first k-block *stores* its register
+///   tile (no pre-zeroing pass over `C`, no read-modify-write); later
+///   k-blocks and the `accumulate = true` mode add.
+///
+/// `B` is only packed for the transposed layout; row-major `B` is read in
+/// place by [`microkernel_direct_b`] (full tiles) with a small stack
+/// panel for the `n % NR` column remainder.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_block(
+    a: &[f32],
+    ta: bool,
+    a_rstride: usize,
+    row0: usize,
+    b: &[f32],
+    tb: bool,
+    b_cstride: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    debug_assert_eq!(c.len(), m * n, "sgemm_block: bad C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let kc_max = KC.min(k);
+    let a_panels = MC.min(m).div_ceil(MR);
+    // Remainder panel for the last n % NR columns of row-major B
+    // (transposed B packs everything into `bbuf` instead).
+    let mut edge = [0.0f32; NR * KC];
+    let b_panels = if tb { NC.min(n).div_ceil(NR) } else { 0 };
+    with_scratch(b_panels * NR * kc_max, |bbuf| {
+        with_scratch(a_panels * MR * kc_max, |abuf| {
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                for pc in (0..k).step_by(KC) {
+                    let kc = KC.min(k - pc);
+                    let store = !accumulate && pc == 0;
+                    if tb {
+                        pack_b(b, tb, b_cstride, pc, jc, kc, nc, bbuf);
+                    } else if !nc.is_multiple_of(NR) {
+                        let jr_last = (nc / NR) * NR;
+                        pack_b(b, false, b_cstride, pc, jc + jr_last, kc, nc - jr_last, &mut edge);
+                    }
+                    for ic in (0..m).step_by(MC) {
+                        let mc = MC.min(m - ic);
+                        pack_a(a, ta, a_rstride, row0 + ic, pc, mc, kc, abuf);
+                        for jr in (0..nc).step_by(NR) {
+                            let nr_eff = NR.min(nc - jr);
+                            for ir in (0..mc).step_by(MR) {
+                                let mr_eff = MR.min(mc - ir);
+                                let ap = &abuf[(ir / MR) * MR * kc..][..MR * kc];
+                                let mut acc = [[0.0f32; NR]; MR];
+                                if tb {
+                                    let bp = &bbuf[(jr / NR) * NR * kc..][..NR * kc];
+                                    microkernel(kc, ap, bp, &mut acc);
+                                } else if nr_eff == NR {
+                                    let b_tile = &b[pc * b_cstride + jc + jr..];
+                                    microkernel_direct_b(kc, ap, b_tile, b_cstride, &mut acc);
+                                } else {
+                                    microkernel(kc, ap, &edge[..NR * kc], &mut acc);
+                                }
+                                for (r, acc_r) in acc.iter().take(mr_eff).enumerate() {
+                                    let crow =
+                                        &mut c[(ic + ir + r) * n + jc + jr..][..nr_eff];
+                                    if store {
+                                        crow.copy_from_slice(&acc_r[..nr_eff]);
+                                    } else {
+                                        for (cv, &av) in crow.iter_mut().zip(&acc_r[..nr_eff]) {
+                                            *cv += av;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Branch-free scalar fallbacks for tiny shapes
+// ---------------------------------------------------------------------------
+
+fn small_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (l, &a_il) in a_row.iter().enumerate() {
+            let b_row = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_il * bv;
+            }
+        }
+    }
+}
+
+fn small_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    // l-i-j order: per k-row, a rank-1 update with contiguous B/C rows.
+    for l in 0..k {
+        let a_row = &a[l * m..(l + 1) * m];
+        let b_row = &b[l * n..(l + 1) * n];
+        for (i, &a_li) in a_row.iter().enumerate() {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_li * bv;
+            }
+        }
+    }
+}
+
+fn small_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                s += av * bv;
+            }
+            *cv += s;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel entry points
+// ---------------------------------------------------------------------------
+
+/// Shared parallel driver: zero/keep `C`, then split its rows into
+/// contiguous worker slabs. Layout selection (`ta`/`tb`) and the
+/// small-shape fallback are decided by the *full* problem shape before
+/// the split, so the arithmetic is identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+fn sgemm_parallel(
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let a_rstride = if ta { m } else { k };
+    let b_cstride = if tb { k } else { n };
+    if is_small(m, k, n) {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        match (ta, tb) {
+            (false, false) => small_nn(a, b, c, m, k, n),
+            (true, false) => small_tn(a, b, c, m, k, n),
+            (false, true) => small_nt(a, b, c, m, k, n),
+            (true, true) => unreachable!("no TT shape in this workspace"),
+        }
+        return;
+    }
+    let workers = num_threads().min(m.div_ceil(MR)).max(1);
+    if workers <= 1 {
+        sgemm_block(a, ta, a_rstride, 0, b, tb, b_cstride, c, m, k, n, accumulate);
+        return;
+    }
+    let rows_per = m.div_ceil(workers);
+    par_chunks_mut(c, rows_per * n, |blk, c_blk| {
+        let row0 = blk * rows_per;
+        let rows = c_blk.len() / n;
+        sgemm_block(a, ta, a_rstride, row0, b, tb, b_cstride, c_blk, rows, k, n, accumulate);
+    });
+}
 
 /// `C = A · B` for row-major slices, `A: m×k`, `B: k×n`, `C: m×n`.
 ///
@@ -25,35 +249,8 @@ pub fn sgemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
     assert_eq!(a.len(), m * k, "sgemm: bad A length");
     assert_eq!(b.len(), k * n, "sgemm: bad B length");
     assert_eq!(c.len(), m * n, "sgemm: bad C length");
-    if m == 0 || n == 0 {
-        return;
-    }
-    if k == 0 {
-        c.fill(0.0);
-        return;
-    }
     let _span = mtsr_telemetry::span("tensor.sgemm");
-    // Parallelise over row blocks of A/C; each task owns a disjoint &mut
-    // chunk of C, so no synchronisation is needed.
-    par_chunks_mut(c, ROW_BLOCK * n, |blk, c_blk| {
-        let row0 = blk * ROW_BLOCK;
-        let rows = c_blk.len() / n;
-        c_blk.fill(0.0);
-        for r in 0..rows {
-            let i = row0 + r;
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c_blk[r * n..(r + 1) * n];
-            for (l, &a_il) in a_row.iter().enumerate() {
-                if a_il == 0.0 {
-                    continue; // zero-padding rows are common in im2col buffers
-                }
-                let b_row = &b[l * n..(l + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += a_il * bv;
-                }
-            }
-        }
-    });
+    sgemm_parallel(a, false, b, false, c, m, k, n, false);
 }
 
 /// `C += A · B` — accumulating variant used for gradient accumulation
@@ -62,29 +259,33 @@ pub fn sgemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(a.len(), m * k, "sgemm_acc: bad A length");
     assert_eq!(b.len(), k * n, "sgemm_acc: bad B length");
     assert_eq!(c.len(), m * n, "sgemm_acc: bad C length");
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
     let _span = mtsr_telemetry::span("tensor.sgemm_acc");
-    par_chunks_mut(c, ROW_BLOCK * n, |blk, c_blk| {
-        let row0 = blk * ROW_BLOCK;
-        let rows = c_blk.len() / n;
-        for r in 0..rows {
-            let i = row0 + r;
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c_blk[r * n..(r + 1) * n];
-            for (l, &a_il) in a_row.iter().enumerate() {
-                if a_il == 0.0 {
-                    continue;
-                }
-                let b_row = &b[l * n..(l + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += a_il * bv;
-                }
-            }
-        }
-    });
+    sgemm_parallel(a, false, b, false, c, m, k, n, true);
 }
+
+/// `C = Aᵀ · B` without materialising the transpose
+/// (`A` stored `k×m`, `B: k×n`, `C: m×n`), thread-parallel.
+pub fn sgemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "sgemm_tn: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_tn: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_tn: bad C length");
+    let _span = mtsr_telemetry::span("tensor.sgemm_tn");
+    sgemm_parallel(a, true, b, false, c, m, k, n, false);
+}
+
+/// `C = A · Bᵀ` without materialising the transpose
+/// (`A: m×k`, `B` stored `n×k`, `C: m×n`), thread-parallel.
+pub fn sgemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "sgemm_nt: bad A length");
+    assert_eq!(b.len(), n * k, "sgemm_nt: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_nt: bad C length");
+    let _span = mtsr_telemetry::span("tensor.sgemm_nt");
+    sgemm_parallel(a, false, b, true, c, m, k, n, false);
+}
+
+// ---------------------------------------------------------------------------
+// Serial entry points (called per-sample inside batch-parallel conv loops)
+// ---------------------------------------------------------------------------
 
 /// Serial `C = A · B` (optionally accumulating).
 ///
@@ -103,6 +304,87 @@ pub fn sgemm_serial(
     assert_eq!(a.len(), m * k, "sgemm_serial: bad A length");
     assert_eq!(b.len(), k * n, "sgemm_serial: bad B length");
     assert_eq!(c.len(), m * n, "sgemm_serial: bad C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || is_small(m, k, n) {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        small_nn(a, b, c, m, k, n);
+    } else {
+        sgemm_block(a, false, k, 0, b, false, n, c, m, k, n, accumulate);
+    }
+}
+
+/// Serial `C = Aᵀ · B` without materialising the transpose
+/// (`A: k×m`, `B: k×n`, `C: m×n`).
+pub fn sgemm_tn_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), k * m, "sgemm_tn_serial: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_tn_serial: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_tn_serial: bad C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || is_small(m, k, n) {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        small_tn(a, b, c, m, k, n);
+    } else {
+        sgemm_block(a, true, m, 0, b, false, n, c, m, k, n, accumulate);
+    }
+}
+
+/// Serial `C = A · Bᵀ` (`A: m×k`, `B: n×k`, `C: m×n`).
+pub fn sgemm_nt_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "sgemm_nt_serial: bad A length");
+    assert_eq!(b.len(), n * k, "sgemm_nt_serial: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_nt_serial: bad C length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || is_small(m, k, n) {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        small_nt(a, b, c, m, k, n);
+    } else {
+        sgemm_block(a, false, k, 0, b, true, k, c, m, k, n, accumulate);
+    }
+}
+
+/// The pre-packing scalar `i-k-j` kernel (with its per-element
+/// `a == 0.0` skip), kept verbatim as the baseline the bench harness
+/// measures the packed kernel against. Not used by any compute path.
+pub fn sgemm_scalar_serial(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "sgemm_scalar_serial: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_scalar_serial: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_scalar_serial: bad C length");
     if !accumulate {
         c.fill(0.0);
     }
@@ -121,69 +403,9 @@ pub fn sgemm_serial(
     }
 }
 
-/// Serial `C = Aᵀ · B` without materialising the transpose
-/// (`A: k×m`, `B: k×n`, `C: m×n`).
-pub fn sgemm_tn_serial(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    accumulate: bool,
-) {
-    assert_eq!(a.len(), k * m, "sgemm_tn_serial: bad A length");
-    assert_eq!(b.len(), k * n, "sgemm_tn_serial: bad B length");
-    assert_eq!(c.len(), m * n, "sgemm_tn_serial: bad C length");
-    if !accumulate {
-        c.fill(0.0);
-    }
-    // l-i-j order: for each k-row, rank-1 update of C; both B-row reads and
-    // C-row writes are contiguous.
-    for l in 0..k {
-        let a_row = &a[l * m..(l + 1) * m];
-        let b_row = &b[l * n..(l + 1) * n];
-        for (i, &a_li) in a_row.iter().enumerate() {
-            if a_li == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += a_li * bv;
-            }
-        }
-    }
-}
-
-/// Serial `C = A · Bᵀ` (`A: m×k`, `B: n×k`, `C: m×n`).
-pub fn sgemm_nt_serial(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    accumulate: bool,
-) {
-    assert_eq!(a.len(), m * k, "sgemm_nt_serial: bad A length");
-    assert_eq!(b.len(), n * k, "sgemm_nt_serial: bad B length");
-    assert_eq!(c.len(), m * n, "sgemm_nt_serial: bad C length");
-    if !accumulate {
-        c.fill(0.0);
-    }
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut s = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                s += av * bv;
-            }
-            *cv += s;
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// Shape-checked tensor wrappers
+// ---------------------------------------------------------------------------
 
 fn rank2_dims(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     let d = t.dims();
@@ -214,17 +436,39 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// `Aᵀ · B` (A is `k×m`): the shape that appears in backward-weights.
 ///
-/// Materialises the transpose once; for conv-sized operands the O(mk) copy
-/// is negligible next to the O(mkn) product and keeps one fast kernel.
+/// The packed kernel absorbs the transpose at pack time, so no transposed
+/// copy of `A` is ever materialised.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let at = a.transpose2d()?;
-    matmul(&at, b)
+    let (k, m) = rank2_dims(a, "matmul_tn")?;
+    let (k2, n) = rank2_dims(b, "matmul_tn")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros([m, n]);
+    sgemm_tn(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    Ok(c)
 }
 
 /// `A · Bᵀ` (B is `n×k`): the shape that appears in backward-data.
+///
+/// Like [`matmul_tn`], the transpose is absorbed by the packing stage.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let bt = b.transpose2d()?;
-    matmul(a, &bt)
+    let (m, k) = rank2_dims(a, "matmul_nt")?;
+    let (n, k2) = rank2_dims(b, "matmul_nt")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros([m, n]);
+    sgemm_nt(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, k, n);
+    Ok(c)
 }
 
 /// Naive triple-loop reference used by tests and property checks.
@@ -284,7 +528,8 @@ mod tests {
     #[test]
     fn matches_naive_on_random_shapes() {
         let mut rng = Rng::seed_from(2);
-        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (33, 17, 29), (64, 10, 2)] {
+        // Shapes straddling the small-gemm threshold and the tile sizes.
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (33, 17, 29), (64, 10, 2), (48, 48, 48)] {
             let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
             let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
             let fast = matmul(&a, &b).unwrap();
@@ -321,6 +566,8 @@ mod tests {
         let a = Tensor::zeros([2, 3]);
         let b = Tensor::zeros([4, 2]);
         assert!(matmul(&a, &b).is_err());
+        assert!(matmul_tn(&a, &b).is_err());
+        assert!(matmul_nt(&a, &Tensor::zeros([4, 4])).is_err());
         let v = Tensor::zeros([3]);
         assert!(matmul(&a, &v).is_err());
     }
@@ -374,6 +621,21 @@ mod tests {
         assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
         sgemm_serial(&a, &b, &mut c, 2, 2, 2, false);
         assert_eq!(c, vec![2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn scalar_reference_matches_packed() {
+        let mut rng = Rng::seed_from(11);
+        let (m, k, n) = (20, 30, 40);
+        let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+        let mut packed = vec![0.0; m * n];
+        sgemm_serial(a.as_slice(), b.as_slice(), &mut packed, m, k, n, false);
+        let mut scalar = vec![0.0; m * n];
+        sgemm_scalar_serial(a.as_slice(), b.as_slice(), &mut scalar, m, k, n, false);
+        for (x, y) in packed.iter().zip(&scalar) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Panel packing and the register-blocked micro-kernel behind
+//! [`crate::matmul`].
+//!
+//! The packed GEMM follows the classic three-level blocking scheme
+//! (Goto/BLIS): the operands are copied into contiguous *panels* sized for
+//! the cache hierarchy, and all arithmetic happens in a fixed
+//! [`MR`]×[`NR`] register tile that the compiler can keep entirely in
+//! vector registers. Packing costs `O(mk + kn)` copies against the
+//! `O(mkn)` multiply — noise for every shape the conv stack produces —
+//! and buys three things:
+//!
+//! 1. the inner loop reads both operands contiguously regardless of the
+//!    logical layout (normal, transposed-A, transposed-B), so one kernel
+//!    serves all three shapes the conv/dense backward passes need;
+//! 2. edge tiles are zero-padded at pack time, so the micro-kernel has no
+//!    bounds checks and no per-element branches (the old kernel's
+//!    `a == 0.0` skip is gone — zero-padding rows cost one multiply-add
+//!    instead of a data-dependent branch);
+//! 3. each packed `B` micro-panel is reused for every row panel of `A`,
+//!    cutting memory traffic by ~[`MR`]× on the wide matrices im2col
+//!    produces.
+//!
+//! Everything here is safe Rust: slices, `chunks_exact`, fixed-size
+//! arrays. The micro-kernel autovectorizes on the baseline x86-64 target.
+
+/// Rows per register tile. 8 divides every channel count the ZipNet /
+/// discriminator stacks use (8, 16, 32, …), so row panels are rarely
+/// padded, and doubling the rows per tile halves the `B` traffic per
+/// multiply-add — the binding resource on the wide, thin products im2col
+/// emits, where `B`'s row stride crosses pages and defeats the prefetcher.
+pub const MR: usize = 8;
+
+/// Columns per register tile: one 8-wide AVX2 register (two SSE2 ones).
+/// With `MR = 8` the accumulator occupies 8 × 256-bit vector registers,
+/// leaving half the AVX2 register file for the `B` row and the broadcast
+/// `A` scalars.
+pub const NR: usize = 8;
+
+/// Fused multiply-add when the target has single-instruction FMA (one
+/// rounding, faster); plain multiply-then-add otherwise. Never the libm
+/// `fmaf` software fallback, which is orders of magnitude slower than
+/// either. Both microkernels use this helper, so they stay bit-identical
+/// to each other within any one build; absolute values differ in the last
+/// ulps between FMA and non-FMA builds, which the per-binary determinism
+/// contract allows.
+#[inline(always)]
+pub fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// k-extent of a packed panel pair: `KC·NR` floats of `B` (~8 KiB) stay
+/// resident in L1 across a whole row sweep.
+pub const KC: usize = 256;
+
+/// Row-block of `A` packed per pass (`MC·KC` floats ≈ 128 KiB, L2-sized).
+pub const MC: usize = 128;
+
+/// Column-block of `B` packed per pass.
+pub const NC: usize = 1024;
+
+/// Packs an `mc × kc` block of the logical matrix `A` (`m × k`) into
+/// row panels of [`MR`], k-major within each panel:
+/// `buf[(panel, p, r)] = A(row0 + panel·MR + r, p0 + p)`, zero-padded to
+/// a whole panel when `mc` is not a multiple of `MR`.
+///
+/// `rstride` selects the storage layout: for row-major `A` pass
+/// `rstride = k` (element `A(i, p) = a[i·k + p]`); for a transposed
+/// operand stored `k × m_total` pass `rstride = m_total` and the packer
+/// reads `A(i, p) = a[p·m_total + i]`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_a(
+    a: &[f32],
+    trans: bool,
+    rstride: usize,
+    row0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+    buf: &mut [f32],
+) {
+    debug_assert!(buf.len() >= mc.div_ceil(MR) * MR * kc);
+    for (panel, chunk) in buf.chunks_exact_mut(MR * kc).take(mc.div_ceil(MR)).enumerate() {
+        let i0 = row0 + panel * MR;
+        let rows = MR.min(row0 + mc - i0);
+        if trans {
+            // Stored k × m_total: each p contributes `rows` contiguous floats.
+            for (p, dst) in chunk.chunks_exact_mut(MR).take(kc).enumerate() {
+                let src = &a[(p0 + p) * rstride + i0..];
+                dst[..rows].copy_from_slice(&src[..rows]);
+                dst[rows..].fill(0.0);
+            }
+        } else if rows == MR {
+            // Row-major m × k, full panel: branch-free transpose-copy with
+            // a constant-trip inner loop the compiler unrolls.
+            let src: [&[f32]; MR] = std::array::from_fn(|r| &a[(i0 + r) * rstride + p0..]);
+            for (p, dst) in chunk.chunks_exact_mut(MR).take(kc).enumerate() {
+                for (d, row) in dst.iter_mut().zip(&src) {
+                    *d = row[p];
+                }
+            }
+        } else {
+            // Partial edge panel: transpose-copy with zero padding.
+            for (p, dst) in chunk.chunks_exact_mut(MR).take(kc).enumerate() {
+                for (r, d) in dst.iter_mut().enumerate() {
+                    *d = if r < rows {
+                        a[(i0 + r) * rstride + p0 + p]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs a `kc × nc` block of the logical matrix `B` (`k × n`) into
+/// column panels of [`NR`], k-major within each panel:
+/// `buf[(panel, p, q)] = B(p0 + p, col0 + panel·NR + q)`, zero-padded to
+/// a whole panel when `nc` is not a multiple of `NR`.
+///
+/// For row-major `B` pass `cstride = n` (element `B(p, j) = b[p·n + j]`);
+/// for a transposed operand stored `n × k` pass `cstride = k` and the
+/// packer reads `B(p, j) = b[j·k + p]`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_b(
+    b: &[f32],
+    trans: bool,
+    cstride: usize,
+    p0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    buf: &mut [f32],
+) {
+    debug_assert!(buf.len() >= nc.div_ceil(NR) * NR * kc);
+    for (panel, chunk) in buf.chunks_exact_mut(NR * kc).take(nc.div_ceil(NR)).enumerate() {
+        let j0 = col0 + panel * NR;
+        let cols = NR.min(col0 + nc - j0);
+        if trans {
+            // Stored n × k: gather one stored row per output column.
+            for (p, dst) in chunk.chunks_exact_mut(NR).take(kc).enumerate() {
+                for (q, d) in dst.iter_mut().enumerate() {
+                    *d = if q < cols {
+                        b[(j0 + q) * cstride + p0 + p]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        } else {
+            // Row-major k × n: each p contributes `cols` contiguous floats.
+            for (p, dst) in chunk.chunks_exact_mut(NR).take(kc).enumerate() {
+                let src = &b[(p0 + p) * cstride + j0..];
+                dst[..cols].copy_from_slice(&src[..cols]);
+                dst[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[r][q] += A(i0+r, p) · B(p, j0+q)` for
+/// `p ∈ [0, kc)`, with both panels read contiguously. `ap` is one
+/// [`pack_a`] panel (`kc × MR`), `bp` one [`pack_b`] panel (`kc × NR`).
+///
+/// The loops over `MR`/`NR` have constant trip counts, so the compiler
+/// fully unrolls them and carries `acc` in vector registers; there are no
+/// bounds checks (`chunks_exact`) and no data-dependent branches.
+#[inline(always)]
+pub fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= kc * MR);
+    debug_assert!(bp.len() >= kc * NR);
+    // By-value local accumulator: see `microkernel_direct_b`.
+    let mut local = *acc;
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for (r, acc_r) in local.iter_mut().enumerate() {
+            let ar = a[r];
+            for (q, acc_rq) in acc_r.iter_mut().enumerate() {
+                *acc_rq = fmadd(ar, b[q], *acc_rq);
+            }
+        }
+    }
+    *acc = local;
+}
+
+/// Variant of [`microkernel`] that reads `B` *in place* from a row-major
+/// matrix instead of a packed panel: row `p` contributes the [`NR`]
+/// contiguous floats at `b[p·bstride ..]`. For the untransposed-`B`
+/// layouts (conv forward / backward-data after weight repack) the columns
+/// of a full tile are already contiguous, so packing `B` would only add
+/// memory traffic — on wide, thin products (im2col matrices: small `m`,
+/// huge `n`) skipping it roughly halves the bytes moved.
+///
+/// Identical arithmetic to [`microkernel`] on a full tile — same values,
+/// same `p`-ascending order — so results are bit-equal to the packed path.
+#[inline(always)]
+pub fn microkernel_direct_b(
+    kc: usize,
+    ap: &[f32],
+    b: &[f32],
+    bstride: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    debug_assert!(ap.len() >= kc * MR);
+    debug_assert!(kc == 0 || b.len() >= (kc - 1) * bstride + NR);
+    // Accumulate into a by-value local, not through the `&mut` reference:
+    // the slice index below carries a (never-taken) panic edge, and a
+    // through-the-reference accumulator would have to be spilled to memory
+    // on every iteration to stay observable across it. The local keeps all
+    // MR×NR lanes in vector registers for the whole loop.
+    let mut local = *acc;
+    for (p, a) in ap.chunks_exact(MR).take(kc).enumerate() {
+        let br = &b[p * bstride..p * bstride + NR];
+        for (r, acc_r) in local.iter_mut().enumerate() {
+            let ar = a[r];
+            for (q, acc_rq) in acc_r.iter_mut().enumerate() {
+                *acc_rq = fmadd(ar, br[q], *acc_rq);
+            }
+        }
+    }
+    *acc = local;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_pads_partial_panels_with_zeros() {
+        // 3×2 row-major A packed as one MR panel of kc=2.
+        let a = vec![1., 2., 3., 4., 5., 6.];
+        let mut buf = vec![-1.0; MR * 2];
+        pack_a(&a, false, 2, 0, 0, 3, 2, &mut buf);
+        // k-major: p=0 → col [1,3,5,pad…], p=1 → col [2,4,6,pad…]
+        let mut want = vec![0.0; MR * 2];
+        want[..3].copy_from_slice(&[1., 3., 5.]);
+        want[MR..MR + 3].copy_from_slice(&[2., 4., 6.]);
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn pack_a_full_panel_transposes() {
+        // MR×2 row-major A fills one whole panel via the fast path.
+        let a: Vec<f32> = (0..MR * 2).map(|i| i as f32).collect();
+        let mut buf = vec![-1.0; MR * 2];
+        pack_a(&a, false, 2, 0, 0, MR, 2, &mut buf);
+        for p in 0..2 {
+            for r in 0..MR {
+                assert_eq!(buf[p * MR + r], a[r * 2 + p], "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_a_trans_matches_logical_transpose() {
+        // Stored 2×3 (k=2, m=3); logical A = storedᵀ is 3×2.
+        let stored = vec![1., 3., 5., 2., 4., 6.];
+        let mut buf = vec![-1.0; MR * 2];
+        pack_a(&stored, true, 3, 0, 0, 3, 2, &mut buf);
+        let mut want = vec![0.0; MR * 2];
+        want[..3].copy_from_slice(&[1., 3., 5.]);
+        want[MR..MR + 3].copy_from_slice(&[2., 4., 6.]);
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn pack_b_pads_partial_panels_with_zeros() {
+        // 2×3 row-major B packed as one NR panel of kc=2.
+        let b = vec![1., 2., 3., 4., 5., 6.];
+        let mut buf = vec![-1.0; NR * 2];
+        pack_b(&b, false, 3, 0, 0, 2, 3, &mut buf);
+        let mut want = vec![0.0; NR * 2];
+        want[..3].copy_from_slice(&[1., 2., 3.]);
+        want[NR..NR + 3].copy_from_slice(&[4., 5., 6.]);
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn direct_b_kernel_matches_packed_kernel_bitwise() {
+        // A full NR-wide tile read in place must reproduce the packed
+        // panel's results bit-for-bit.
+        let kc = 5;
+        let n = 13; // B is kc x n row-major; tile starts at column 2
+        let ap: Vec<f32> = (0..MR * kc).map(|i| (i as f32) * 0.37 - 1.0).collect();
+        let b: Vec<f32> = (0..kc * n).map(|i| (i as f32) * 0.11 - 0.5).collect();
+        let mut bp = vec![0.0; NR * kc];
+        pack_b(&b, false, n, 0, 2, kc, NR, &mut bp);
+        let mut packed = [[0.0f32; NR]; MR];
+        microkernel(kc, &ap, &bp, &mut packed);
+        let mut direct = [[0.0f32; NR]; MR];
+        microkernel_direct_b(kc, &ap, &b[2..], n, &mut direct);
+        for (pr, dr) in packed.iter().zip(&direct) {
+            for (p, d) in pr.iter().zip(dr) {
+                assert_eq!(p.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_computes_outer_product_sum() {
+        // kc=2 with known panels: acc[r][q] = Σ_p a[p][r]·b[p][q].
+        let mut ap = vec![0.0; MR * 2];
+        let mut bp = vec![0.0; NR * 2];
+        for r in 0..MR {
+            ap[r] = (r + 1) as f32; // p=0
+            ap[MR + r] = 10.0 * (r + 1) as f32; // p=1
+        }
+        for q in 0..NR {
+            bp[q] = (q + 1) as f32;
+            bp[NR + q] = 0.5;
+        }
+        let mut acc = [[0.0; NR]; MR];
+        microkernel(2, &ap, &bp, &mut acc);
+        for (r, acc_r) in acc.iter().enumerate() {
+            for (q, &got) in acc_r.iter().enumerate() {
+                let want = (r + 1) as f32 * (q + 1) as f32 + 10.0 * (r + 1) as f32 * 0.5;
+                assert_eq!(got, want, "r={r} q={q}");
+            }
+        }
+    }
+}

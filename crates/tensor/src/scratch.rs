@@ -1,0 +1,96 @@
+//! Thread-local, grow-only scratch buffers for kernel workspaces.
+//!
+//! The conv stack needs large temporary buffers on every call: an im2col
+//! matrix per batch element plus the GEMM packing panels. Allocating them
+//! fresh each time puts a `malloc`/`free` (and a page-fault storm on first
+//! touch) on the hot path of every layer of every step. This module keeps
+//! a small per-thread free-list of `Vec<f32>` buffers that are checked out
+//! for the duration of a closure and returned afterwards, so in steady
+//! state the conv stack performs **zero** heap allocation: the pool
+//! workers in [`crate::parallel`] are persistent, so each worker's arena
+//! is allocated once and reused across layers, batches and training steps.
+//!
+//! Ownership rules:
+//! * a buffer is exclusively owned by the closure for its lifetime and
+//!   returned to the *same thread's* free-list on exit (buffers never
+//!   migrate between threads);
+//! * checkouts nest (im2col buffer → GEMM packing panels): each nested
+//!   [`with_scratch`] pops a different buffer;
+//! * contents are **stale** — callers must fully overwrite the slice (the
+//!   packing and im2col routines write every element, including padding);
+//! * if the closure panics the buffer is dropped rather than returned,
+//!   which is safe, merely unfortunate.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// LIFO free-list of reusable buffers for this thread.
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Maximum number of parked buffers per thread. Checkout depth in the
+/// conv stack is 3 (im2col cols → packed A → packed B); a few extra slots
+/// absorb transient shapes without hoarding memory.
+const MAX_PARKED: usize = 8;
+
+/// Runs `f` with a scratch slice of exactly `len` elements, reusing a
+/// previously returned buffer when one exists (growing it if needed).
+///
+/// The slice contents are unspecified; `f` must overwrite every element
+/// it reads.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = FREE
+        .with(|free| free.borrow_mut().pop())
+        .unwrap_or_default();
+    if buf.len() < len {
+        // No telemetry counter here on purpose: growth depends on what ran
+        // earlier in the process, and the telemetry layer guarantees that
+        // non-timing metrics are deterministic per seed.
+        buf.resize(len, 0.0);
+    }
+    let r = f(&mut buf[..len]);
+    FREE.with(|free| {
+        let mut free = free.borrow_mut();
+        if free.len() < MAX_PARKED {
+            free.push(buf);
+        }
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_buffers_without_reallocating() {
+        // Warm the arena with a large buffer, then verify a smaller
+        // checkout reuses its capacity.
+        let cap0 = with_scratch(1024, |s| {
+            assert_eq!(s.len(), 1024);
+            s.as_ptr() as usize
+        });
+        let cap1 = with_scratch(512, |s| {
+            assert_eq!(s.len(), 512);
+            s.as_ptr() as usize
+        });
+        assert_eq!(cap0, cap1, "second checkout must reuse the first buffer");
+    }
+
+    #[test]
+    fn nested_checkouts_are_disjoint() {
+        with_scratch(64, |outer| {
+            outer.fill(1.0);
+            with_scratch(64, |inner| {
+                inner.fill(2.0);
+                assert_ne!(outer.as_ptr(), inner.as_ptr());
+            });
+            assert!(outer.iter().all(|&v| v == 1.0));
+        });
+    }
+
+    #[test]
+    fn zero_len_checkout_works() {
+        with_scratch(0, |s| assert!(s.is_empty()));
+    }
+}

@@ -1,0 +1,136 @@
+//! Oracle property tests for the packed GEMM kernels.
+//!
+//! Every public sgemm variant (plain, transposed-A, transposed-B; parallel
+//! and serial; overwriting and accumulating) is checked against an
+//! f64-accumulating naive reference on an adversarial shape grid chosen to
+//! straddle the register tile (`MR`/`NR` ± 1), the small-shape fallback
+//! threshold, odd primes that divide nothing, and empty dimensions.
+
+use mtsr_tensor::matmul::{
+    sgemm, sgemm_acc, sgemm_nt, sgemm_nt_serial, sgemm_serial, sgemm_tn, sgemm_tn_serial,
+};
+use mtsr_tensor::pack::{MR, NR};
+use mtsr_tensor::Rng;
+
+/// f64-accumulating reference: `C = A·B` with explicit strides so the
+/// transposed layouts are checked against the same ground truth.
+fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, ta: bool, tb: bool) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f64;
+            for l in 0..k {
+                let av = if ta { a[l * m + i] } else { a[i * k + l] };
+                let bv = if tb { b[j * k + l] } else { b[l * n + j] };
+                s += av as f64 * bv as f64;
+            }
+            c[i * n + j] = s as f32;
+        }
+    }
+    c
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+            "{what}: elem {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Shape grid: tile boundaries, odd primes, degenerate zero dims. The
+/// products range from far below the small-shape threshold to well above
+/// it, so both code paths are exercised for every layout.
+fn shape_grid() -> Vec<(usize, usize, usize)> {
+    let dims = [0, 1, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1, 13, 31, 37];
+    let mut shapes = Vec::new();
+    // Full cross-product is 11³ = 1331 cases — cheap at these sizes.
+    for &m in &dims {
+        for &k in &dims {
+            for &n in &dims {
+                shapes.push((m, k, n));
+            }
+        }
+    }
+    // A few larger shapes that cross MC/KC-style panel boundaries and the
+    // conv-lowering aspect ratio (few rows, huge n).
+    shapes.extend_from_slice(&[(130, 37, 40), (16, 144, 400), (3, 300, 5), (64, 64, 64)]);
+    shapes
+}
+
+#[test]
+fn parallel_variants_match_oracle_on_adversarial_shapes() {
+    let mut rng = Rng::seed_from(101);
+    for (m, k, n) in shape_grid() {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+
+        // Poison C to catch missed writes in the overwriting kernels.
+        let mut c = vec![7.5f32; m * n];
+        sgemm(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive(&a, &b, m, k, n, false, false), &format!("nn {m}x{k}x{n}"));
+
+        // TN: reuse `a` as the k×m stored operand (lengths match).
+        let mut c = vec![-3.25f32; m * n];
+        sgemm_tn(&a, &b, &mut c, m, k, n);
+        assert_close(&c, &naive(&a, &b, m, k, n, true, false), &format!("tn {m}x{k}x{n}"));
+
+        // NT: reuse `b` reinterpreted as n×k storage.
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut c = vec![0.125f32; m * n];
+        sgemm_nt(&a, &bt, &mut c, m, k, n);
+        assert_close(&c, &naive(&a, &bt, m, k, n, false, true), &format!("nt {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn serial_variants_match_oracle_and_accumulate() {
+    let mut rng = Rng::seed_from(202);
+    for (m, k, n) in shape_grid() {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let bias = 0.5f32;
+        let want = naive(&a, &b, m, k, n, false, false);
+
+        let mut c = vec![bias; m * n];
+        sgemm_serial(&a, &b, &mut c, m, k, n, true);
+        let want_acc: Vec<f32> = want.iter().map(|w| w + bias).collect();
+        assert_close(&c, &want_acc, &format!("serial acc {m}x{k}x{n}"));
+
+        let want_tn = naive(&a, &b, m, k, n, true, false);
+        let mut c = vec![bias; m * n];
+        sgemm_tn_serial(&a, &b, &mut c, m, k, n, false);
+        assert_close(&c, &want_tn, &format!("serial tn {m}x{k}x{n}"));
+
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let want_nt = naive(&a, &bt, m, k, n, false, true);
+        let mut c = vec![bias; m * n];
+        sgemm_nt_serial(&a, &bt, &mut c, m, k, n, true);
+        let want_nt_acc: Vec<f32> = want_nt.iter().map(|w| w + bias).collect();
+        assert_close(&c, &want_nt_acc, &format!("serial nt acc {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn sgemm_acc_is_sgemm_plus_bias() {
+    let mut rng = Rng::seed_from(303);
+    let (m, k, n) = (33, 29, 41);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let bias: Vec<f32> = (0..m * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut plain = vec![0.0f32; m * n];
+    sgemm(&a, &b, &mut plain, m, k, n);
+    let mut acc = bias.clone();
+    sgemm_acc(&a, &b, &mut acc, m, k, n);
+    for (i, ((&p, &bi), &got)) in plain.iter().zip(&bias).zip(&acc).enumerate() {
+        // Both paths run the identical kernel; the accumulating variant
+        // differs by exactly one final add per element.
+        assert!(
+            (got - (p + bi)).abs() < 1e-6 * (1.0 + (p + bi).abs()),
+            "elem {i}: {got} vs {}",
+            p + bi
+        );
+    }
+}

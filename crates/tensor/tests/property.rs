@@ -6,7 +6,8 @@
 use mtsr_tensor::conv::{
     conv2d_backward_data, conv2d_forward, conv_transpose2d_forward, Conv2dSpec,
 };
-use mtsr_tensor::matmul::{matmul, matmul_naive, sgemm, sgemm_acc, ROW_BLOCK};
+use mtsr_tensor::matmul::{matmul, matmul_naive, sgemm, sgemm_acc};
+use mtsr_tensor::pack::{MR, NR};
 use mtsr_tensor::{Rng, Shape, Tensor};
 
 const CASES: u64 = 48;
@@ -71,23 +72,24 @@ fn matmul_matches_naive() {
     }
 }
 
-/// `sgemm` / `sgemm_acc` handle the degenerate and block-boundary shapes
+/// `sgemm` / `sgemm_acc` handle the degenerate and tile-boundary shapes
 /// correctly: empty result (`m = 0`), empty inner dimension (`k = 0`,
-/// must zero / preserve C), single columns (`n = 1`), and row counts
-/// that do not divide the parallel `ROW_BLOCK`. Oracle: the f64
-/// accumulating naive GEMM.
+/// must zero / preserve C), single columns (`n = 1`), and row/column
+/// counts that straddle the packed kernel's `MR`×`NR` register tile.
+/// Oracle: the f64 accumulating naive GEMM.
 #[test]
 fn sgemm_edge_shapes_match_naive_oracle() {
     let shapes: &[(usize, usize, usize)] = &[
-        (0, 3, 4),                      // m = 0: no output rows
-        (3, 0, 4),                      // k = 0: C must become zero
-        (5, 4, 1),                      // n = 1: single-column C
-        (1, 1, 1),                      // minimal non-empty problem
-        (ROW_BLOCK - 1, 6, 5),          // just below one row block
-        (ROW_BLOCK, 6, 5),              // exactly one row block
-        (ROW_BLOCK + 1, 6, 5),          // one block plus a remainder row
-        (2 * ROW_BLOCK + 3, 7, 9),      // several blocks plus remainder
-        (3 * ROW_BLOCK, 2, 2),          // multiple exact blocks
+        (0, 3, 4),                  // m = 0: no output rows
+        (3, 0, 4),                  // k = 0: C must become zero
+        (5, 4, 1),                  // n = 1: single-column C
+        (1, 1, 1),                  // minimal non-empty problem
+        (MR - 1, 6, 5),             // just below one row tile
+        (MR, 6, NR),                // exactly one register tile
+        (MR + 1, 6, NR + 1),        // one tile plus remainder row/col
+        (2 * MR + 3, 7, 2 * NR + 1), // several tiles plus remainder
+        (3 * MR, 2, NR - 1),        // exact row tiles, partial col tile
+        (37, 41, 43),               // odd primes, forces the packed path
     ];
     for (case, &(m, k, n)) in shapes.iter().enumerate() {
         let mut rng = case_rng(4, case as u64);
