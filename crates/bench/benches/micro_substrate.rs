@@ -25,9 +25,38 @@ use mtsr_tensor::conv::{
 };
 use mtsr_tensor::matmul::{matmul, sgemm_scalar_serial, sgemm_serial};
 use mtsr_tensor::{Rng, Tensor};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Heap-allocation counter wrapping the system allocator, for the
+/// optimizer zero-allocation regression assertion below. Counting is a
+/// single relaxed atomic increment — negligible next to the kernels being
+/// timed.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Runs `f` repeatedly for ~`budget` (min 10 iterations), recording each
 /// iteration under an owned telemetry span *and* returning the median
@@ -294,6 +323,47 @@ fn bench_zipnet(budget: Duration) {
     });
 }
 
+/// Optimizer micro-bench plus the allocation regression guard: a steady-
+/// state Adam or SGD-momentum step over every ZipNet-tiny parameter must
+/// make **zero** heap allocations. (The update used to clone the whole
+/// optimizer per `step` and the grad/m/v tensors per parameter — that
+/// regression now fails this bench instead of silently slowing training.)
+fn bench_optimizer(budget: Duration) {
+    use mtsr_nn::layer::Layer;
+    use mtsr_nn::{Adam, Optimizer, Sgd};
+    use zipnet_core::{ZipNet, ZipNetConfig};
+    let mut rng = Rng::seed_from(5);
+    let mut net = ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut rng).unwrap();
+    let fill_grads = |net: &mut ZipNet| {
+        net.visit_params(&mut |p| p.grad.as_mut_slice().fill(0.01));
+    };
+    let mut adam = Adam::new(1e-3);
+    let mut sgd = Sgd::with_momentum(1e-3, 0.9);
+    // Warm up once, then assert the steady state is allocation-free.
+    fill_grads(&mut net);
+    adam.step(&mut net);
+    fill_grads(&mut net);
+    sgd.step(&mut net);
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        fill_grads(&mut net);
+        adam.step(&mut net);
+        fill_grads(&mut net);
+        sgd.step(&mut net);
+    }
+    let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocs, 0,
+        "optimizer steps made {allocs} heap allocations; \
+         Adam::update / Sgd::update must stay in-place"
+    );
+    println!("optimizer steady-state allocations over 20 steps: {allocs} (asserted 0)");
+    bench("adam_step.zipnet_tiny", budget, || {
+        fill_grads(&mut net);
+        adam.step(&mut net);
+    });
+}
+
 fn main() {
     // Single-core CI budget: short measurement windows. Override the
     // per-case budget (milliseconds) with MTSR_BENCH_MS.
@@ -308,6 +378,7 @@ fn main() {
     bench_matmul(budget);
     let conv = bench_conv_json(budget);
     bench_zipnet(budget);
+    bench_optimizer(budget);
     report();
     write_json("BENCH_GEMM.json", "mtsr-bench-gemm/v1", &gemm);
     write_json("BENCH_CONV.json", "mtsr-bench-conv/v1", &conv);

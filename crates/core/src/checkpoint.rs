@@ -1,0 +1,485 @@
+//! Crash-safe training-state containers for Algorithm 1.
+//!
+//! A *training container* captures everything [`crate::GanTrainer`] needs
+//! to continue a two-phase run bit-identically after a crash: generator
+//! and discriminator parameters and buffers, the per-parameter Adam
+//! moments and both optimizer step counters, the LR-schedule position,
+//! the data-sampling [`Rng`] state, the training phase and per-phase
+//! progress counters, and a run fingerprint that is validated on load so
+//! a checkpoint cannot silently resume against different data.
+//!
+//! Format (little-endian; see `DESIGN.md` §8 for the byte-level layout):
+//!
+//! ```text
+//! magic      u32 = 0x5A4E5443 ("ZNTC")
+//! version    u32 = 1
+//! fingerprint, schedule    length-prefixed strings
+//! phase      u32           (0 pretrain, 1 adversarial, 2 done)
+//! pretrain_done, adversarial_done, sched_step, opt_g_t, opt_d_t   u64
+//! rng        4 × u64 state words, u8 spare flag, f32 spare sample
+//! 4 blobs    u64 length + bytes each: generator weights+buffers,
+//!            generator Adam m/v, discriminator weights+buffers,
+//!            discriminator Adam m/v
+//! ```
+//!
+//! The weight blobs reuse the `mtsr_tensor::serialize` named-tensor
+//! format verbatim, so a container doubles as a weights source for
+//! inference ([`load_generator_into`] accepts both containers and legacy
+//! weights-only files). All writes go through
+//! [`mtsr_nn::io::write_atomic`] — a crash mid-write leaves the previous
+//! checkpoint intact, never a torn file.
+
+use crate::gan::GanTrainingConfig;
+use mtsr_nn::io as model_io;
+use mtsr_nn::layer::Layer;
+use mtsr_tensor::serialize::{read_str, write_str, Reader};
+use mtsr_tensor::{Result, Rng, RngState, TensorError};
+use std::path::{Path, PathBuf};
+
+/// Magic marker of a training container (distinct from the weights-only
+/// checkpoint magic `ZNTG`).
+pub const CONTAINER_MAGIC: u32 = 0x5A4E_5443;
+
+/// Newest container version this build reads and writes.
+pub const CONTAINER_VERSION: u32 = 1;
+
+/// Which phase of Algorithm 1 a checkpoint was taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainPhase {
+    /// MSE pre-training (Eq. 10, Algorithm 1 line 2).
+    Pretrain,
+    /// Iterative adversarial fine-tuning (Algorithm 1 lines 3–14).
+    Adversarial,
+    /// Training plan complete (the final checkpoint of a finished run).
+    Done,
+}
+
+impl TrainPhase {
+    fn to_u32(self) -> u32 {
+        match self {
+            TrainPhase::Pretrain => 0,
+            TrainPhase::Adversarial => 1,
+            TrainPhase::Done => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Result<Self> {
+        match v {
+            0 => Ok(TrainPhase::Pretrain),
+            1 => Ok(TrainPhase::Adversarial),
+            2 => Ok(TrainPhase::Done),
+            other => Err(TensorError::Serde {
+                reason: format!("unknown training phase {other} in container"),
+            }),
+        }
+    }
+}
+
+/// The complete serialized state of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Run fingerprint (data + training-plan flags), validated on resume.
+    pub fingerprint: String,
+    /// Canonical LR-schedule description ([`schedule_description`]).
+    pub schedule: String,
+    /// Phase the snapshot was taken in.
+    pub phase: TrainPhase,
+    /// Completed pre-training steps.
+    pub pretrain_done: usize,
+    /// Completed adversarial outer iterations.
+    pub adversarial_done: usize,
+    /// LR-schedule position (optimizer ticks across both phases).
+    pub sched_step: usize,
+    /// Generator Adam step counter (bias correction).
+    pub opt_g_t: u64,
+    /// Discriminator Adam step counter.
+    pub opt_d_t: u64,
+    /// Data-sampling RNG state at the snapshot point.
+    pub rng: RngState,
+    /// Generator params + buffers (weights-only checkpoint format).
+    pub gen_weights: Vec<u8>,
+    /// Generator per-param Adam `m`/`v` tensors.
+    pub gen_opt: Vec<u8>,
+    /// Discriminator params + buffers.
+    pub disc_weights: Vec<u8>,
+    /// Discriminator per-param Adam `m`/`v` tensors.
+    pub disc_opt: Vec<u8>,
+}
+
+impl TrainState {
+    /// Serialises the container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&CONTAINER_MAGIC.to_le_bytes());
+        b.extend_from_slice(&CONTAINER_VERSION.to_le_bytes());
+        write_str(&mut b, &self.fingerprint);
+        write_str(&mut b, &self.schedule);
+        b.extend_from_slice(&self.phase.to_u32().to_le_bytes());
+        for v in [
+            self.pretrain_done as u64,
+            self.adversarial_done as u64,
+            self.sched_step as u64,
+            self.opt_g_t,
+            self.opt_d_t,
+        ] {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        for w in self.rng.s {
+            b.extend_from_slice(&w.to_le_bytes());
+        }
+        b.push(self.rng.spare_normal.is_some() as u8);
+        b.extend_from_slice(&self.rng.spare_normal.unwrap_or(0.0).to_le_bytes());
+        for blob in [
+            &self.gen_weights,
+            &self.gen_opt,
+            &self.disc_weights,
+            &self.disc_opt,
+        ] {
+            b.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            b.extend_from_slice(blob);
+        }
+        b
+    }
+
+    /// Parses a container, rejecting foreign files, future versions and
+    /// truncated or trailing-garbage payloads with actionable messages.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainState> {
+        let mut r = Reader::new(bytes);
+        let magic = r.get_u32_le("container header")?;
+        if magic != CONTAINER_MAGIC {
+            return Err(TensorError::Serde {
+                reason: format!(
+                    "not a training container (magic 0x{magic:08X}); weights-only \
+                     checkpoints can be evaluated but not resumed — re-train with \
+                     --checkpoint-every to get resumable snapshots"
+                ),
+            });
+        }
+        let version = r.get_u32_le("container header")?;
+        if version > CONTAINER_VERSION {
+            return Err(TensorError::Serde {
+                reason: format!(
+                    "container version {version} is newer than this build supports \
+                     (v{CONTAINER_VERSION}); upgrade mtsr to resume this run"
+                ),
+            });
+        }
+        let fingerprint = read_str(&mut r)?;
+        let schedule = read_str(&mut r)?;
+        let phase = TrainPhase::from_u32(r.get_u32_le("phase")?)?;
+        let mut counters = [0u64; 5];
+        for c in &mut counters {
+            *c = r.get_u64_le("progress counters")?;
+        }
+        let as_usize = |v: u64, what: &str| -> Result<usize> {
+            usize::try_from(v).map_err(|_| TensorError::Serde {
+                reason: format!("{what} {v} exceeds the address space"),
+            })
+        };
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = r.get_u64_le("rng state")?;
+        }
+        let has_spare = r.take(1, "rng spare flag")?[0] != 0;
+        let spare = r.get_f32_le("rng spare sample")?;
+        let mut blob = |what: &str| -> Result<Vec<u8>> {
+            let len = r.get_u64_le(what)?;
+            let len = usize::try_from(len).map_err(|_| TensorError::Serde {
+                reason: format!("{what} length {len} exceeds the address space"),
+            })?;
+            Ok(r.take(len, what)?.to_vec())
+        };
+        let gen_weights = blob("generator weights")?;
+        let gen_opt = blob("generator optimizer state")?;
+        let disc_weights = blob("discriminator weights")?;
+        let disc_opt = blob("discriminator optimizer state")?;
+        if r.remaining() > 0 {
+            return Err(TensorError::Serde {
+                reason: format!("{} trailing bytes after container payload", r.remaining()),
+            });
+        }
+        Ok(TrainState {
+            fingerprint,
+            schedule,
+            phase,
+            pretrain_done: as_usize(counters[0], "pretrain counter")?,
+            adversarial_done: as_usize(counters[1], "adversarial counter")?,
+            sched_step: as_usize(counters[2], "schedule step")?,
+            opt_g_t: counters[3],
+            opt_d_t: counters[4],
+            rng: RngState {
+                s,
+                spare_normal: has_spare.then_some(spare),
+            },
+            gen_weights,
+            gen_opt,
+            disc_weights,
+            disc_opt,
+        })
+    }
+
+    /// Reconstructs the data-sampling RNG at the snapshot point.
+    pub fn rng(&self) -> Rng {
+        Rng::from_state(self.rng)
+    }
+
+    /// Rejects a resume against a run with different data or plan flags.
+    pub fn validate_fingerprint(&self, expected: &str) -> Result<()> {
+        if self.fingerprint != expected {
+            return Err(TensorError::Serde {
+                reason: format!(
+                    "checkpoint fingerprint mismatch:\n  checkpoint: {}\n  this run:   \
+                     {expected}\nresume with the same --grid/--days/--s/--instance/--seed/\
+                     --steps/--adv/--gan flags the checkpoint was written with",
+                    self.fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Canonical description of the effective LR schedule of a config (the
+/// constant `lr` when no explicit schedule is set), stored in containers
+/// and compared on resume.
+pub fn schedule_description(cfg: &GanTrainingConfig) -> String {
+    match cfg.schedule {
+        Some(s) => s.describe(),
+        None => format!("fixed(lr={:e})", cfg.lr),
+    }
+}
+
+/// True when `bytes` starts with the training-container magic.
+pub fn is_container(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && u32::from_le_bytes(bytes[..4].try_into().unwrap()) == CONTAINER_MAGIC
+}
+
+/// Reads and parses a training container from disk.
+pub fn load_train_state(path: impl AsRef<Path>) -> Result<TrainState> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| TensorError::Serde {
+        reason: format!("read {}: {e}", path.display()),
+    })?;
+    TrainState::from_bytes(&bytes)
+}
+
+/// Loads generator weights into an already-constructed model from either
+/// a training container or a legacy weights-only checkpoint — the single
+/// entry point `mtsr eval` / `mtsr stream` use, so both formats keep
+/// working for inference.
+pub fn load_generator_into(layer: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| TensorError::Serde {
+        reason: format!("read {}: {e}", path.display()),
+    })?;
+    if is_container(&bytes) {
+        let state = TrainState::from_bytes(&bytes)?;
+        model_io::from_bytes(layer, &state.gen_weights)
+    } else {
+        model_io::from_bytes(layer, &bytes)
+    }
+}
+
+/// When and where [`crate::GanTrainer`] writes snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Final-checkpoint path; periodic snapshots get a `.NNNNNN` suffix.
+    pub path: PathBuf,
+    /// Snapshot every this many training steps (pre-training steps and
+    /// adversarial outer iterations both count as one). `None`: only the
+    /// final checkpoint is written.
+    pub every: Option<usize>,
+    /// Rolling retention: how many periodic snapshots to keep (≥ 1).
+    pub keep: usize,
+    /// Run fingerprint embedded in every snapshot.
+    pub fingerprint: String,
+    /// Testing aid: stop training (with a snapshot) after this many total
+    /// steps, simulating a crash at a controlled point.
+    pub halt_after: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// Periodic snapshots only at the final path: the simplest policy.
+    pub fn final_only(path: impl Into<PathBuf>, fingerprint: impl Into<String>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            every: None,
+            keep: 3,
+            fingerprint: fingerprint.into(),
+            halt_after: None,
+        }
+    }
+
+    /// Path of the periodic snapshot taken after `total` training steps.
+    pub fn snapshot_path(&self, total: usize) -> PathBuf {
+        let mut name = self
+            .path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(format!(".{total:06}"));
+        self.path.with_file_name(name)
+    }
+
+    fn snapshot_dir(&self) -> PathBuf {
+        match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        }
+    }
+
+    /// Existing periodic snapshots for this policy's base path, sorted by
+    /// step number (oldest first).
+    pub fn snapshots(&self) -> Vec<(usize, PathBuf)> {
+        let Some(base) = self.path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            return Vec::new();
+        };
+        let prefix = format!("{base}.");
+        let Ok(entries) = std::fs::read_dir(self.snapshot_dir()) else {
+            return Vec::new();
+        };
+        let mut found: Vec<(usize, PathBuf)> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                let digits = name.strip_prefix(&prefix)?;
+                if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+                    return None; // skips `.tmp` staging files and foreign names
+                }
+                Some((digits.parse().ok()?, e.path()))
+            })
+            .collect();
+        found.sort();
+        found
+    }
+
+    /// Deletes the oldest periodic snapshots beyond `keep` (best-effort:
+    /// a failed unlink never aborts training).
+    pub fn prune(&self) {
+        let snaps = self.snapshots();
+        let keep = self.keep.max(1);
+        if snaps.len() > keep {
+            for (_, path) in &snaps[..snaps.len() - keep] {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_state() -> TrainState {
+        TrainState {
+            fingerprint: "fp/v1 grid=20".into(),
+            schedule: "fixed(lr=1e-3)".into(),
+            phase: TrainPhase::Adversarial,
+            pretrain_done: 30,
+            adversarial_done: 4,
+            sched_step: 38,
+            opt_g_t: 34,
+            opt_d_t: 4,
+            rng: RngState {
+                s: [1, 2, 3, u64::MAX],
+                spare_normal: Some(0.25),
+            },
+            gen_weights: vec![1, 2, 3],
+            gen_opt: vec![4],
+            disc_weights: vec![],
+            disc_opt: vec![5, 6],
+        }
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let st = dummy_state();
+        let bytes = st.to_bytes();
+        assert!(is_container(&bytes));
+        let back = TrainState::from_bytes(&bytes).unwrap();
+        assert_eq!(back.fingerprint, st.fingerprint);
+        assert_eq!(back.schedule, st.schedule);
+        assert_eq!(back.phase, st.phase);
+        assert_eq!(back.pretrain_done, st.pretrain_done);
+        assert_eq!(back.adversarial_done, st.adversarial_done);
+        assert_eq!(back.sched_step, st.sched_step);
+        assert_eq!(back.opt_g_t, st.opt_g_t);
+        assert_eq!(back.opt_d_t, st.opt_d_t);
+        assert_eq!(back.rng, st.rng);
+        assert_eq!(back.gen_weights, st.gen_weights);
+        assert_eq!(back.gen_opt, st.gen_opt);
+        assert_eq!(back.disc_weights, st.disc_weights);
+        assert_eq!(back.disc_opt, st.disc_opt);
+        // Round-trip is byte-stable (the cross-process determinism test
+        // compares whole container files).
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn rejects_future_version_with_actionable_message() {
+        let mut bytes = dummy_state().to_bytes();
+        bytes[4..8].copy_from_slice(&(CONTAINER_VERSION + 1).to_le_bytes());
+        let err = TrainState::from_bytes(&bytes).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("newer"), "{msg}");
+        assert!(msg.contains("upgrade"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_weights_only_magic_with_hint() {
+        let mut bytes = dummy_state().to_bytes();
+        bytes[..4].copy_from_slice(&mtsr_tensor::serialize::MAGIC.to_le_bytes());
+        let err = TrainState::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("not a training container"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let bytes = dummy_state().to_bytes();
+        for cut in [4, 8, 20, bytes.len() - 1] {
+            assert!(TrainState::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(TrainState::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_actionable() {
+        let st = dummy_state();
+        st.validate_fingerprint("fp/v1 grid=20").unwrap();
+        let err = st.validate_fingerprint("fp/v1 grid=40").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("grid=20") && msg.contains("grid=40"), "{msg}");
+    }
+
+    #[test]
+    fn snapshot_paths_and_retention() {
+        let dir = std::env::temp_dir().join(format!("mtsr_ckpt_retention_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let policy = CheckpointPolicy {
+            path: dir.join("model.ckpt"),
+            every: Some(1),
+            keep: 2,
+            fingerprint: "fp".into(),
+            halt_after: None,
+        };
+        assert_eq!(
+            policy.snapshot_path(7).file_name().unwrap().to_str().unwrap(),
+            "model.ckpt.000007"
+        );
+        for total in [1usize, 2, 3, 10] {
+            std::fs::write(policy.snapshot_path(total), b"x").unwrap();
+            policy.prune();
+        }
+        // A staging file and the final checkpoint are never pruned.
+        std::fs::write(dir.join("model.ckpt.000099.tmp"), b"x").unwrap();
+        std::fs::write(dir.join("model.ckpt"), b"x").unwrap();
+        policy.prune();
+        let kept: Vec<usize> = policy.snapshots().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(kept, vec![3, 10]);
+        assert!(dir.join("model.ckpt").exists());
+        assert!(dir.join("model.ckpt.000099.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

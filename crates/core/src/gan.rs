@@ -16,9 +16,11 @@
 //! backpropagating per-sample logit gradients through `D` (whose own
 //! parameter gradients from that pass are discarded).
 
+use crate::checkpoint::{schedule_description, CheckpointPolicy, TrainPhase, TrainState};
 use crate::discriminator::Discriminator;
 use crate::zipnet::ZipNet;
 use mtsr_nn::clip::{clip_grad_norm, global_grad_norm};
+use mtsr_nn::io as model_io;
 use mtsr_nn::layer::{Layer, LayerExt};
 use mtsr_nn::loss::{bce_with_logits, log_sigmoid, mse_loss, per_sample_mse, sigmoid};
 use mtsr_nn::{Adam, LrSchedule, Optimizer};
@@ -118,6 +120,10 @@ pub struct TrainingReport {
     pub d_loss: Vec<f32>,
     /// True when a non-finite loss was observed (training aborted).
     pub diverged: bool,
+    /// True when training stopped early at a [`CheckpointPolicy`]
+    /// `halt_after` point (crash-simulation aid); the last snapshot on
+    /// disk resumes the run.
+    pub halted: bool,
     /// Per-phase telemetry (`pretrain`, then `adversarial`): one
     /// [`EpochRecord`] per step with losses, D(real)/D(fake) means,
     /// gradient norms and wall-clock. Non-timing fields are deterministic
@@ -167,6 +173,14 @@ pub struct GanTrainer {
     cfg: GanTrainingConfig,
     /// Global step counter driving the optional schedule.
     step: usize,
+    /// Completed pre-training steps (resume position within phase 1).
+    pretrain_done: usize,
+    /// Completed adversarial outer iterations (resume position, phase 2).
+    adversarial_done: usize,
+    /// Periodic-snapshot policy; `None` disables checkpointing.
+    policy: Option<CheckpointPolicy>,
+    /// Set when a `halt_after` point stopped training early.
+    halted: bool,
 }
 
 impl GanTrainer {
@@ -180,7 +194,140 @@ impl GanTrainer {
             opt_d,
             cfg,
             step: 0,
+            pretrain_done: 0,
+            adversarial_done: 0,
+            policy: None,
+            halted: false,
         }
+    }
+
+    /// Enables periodic crash-safe snapshots per `policy`.
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.policy = Some(policy);
+    }
+
+    /// True when the last run stopped at a `halt_after` point.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total completed training units (pre-training steps + adversarial
+    /// outer iterations) — the counter snapshots are keyed by.
+    pub fn total_steps_done(&self) -> usize {
+        self.pretrain_done + self.adversarial_done
+    }
+
+    /// Captures the complete training state: both networks (params and
+    /// buffers), per-parameter Adam moments and both step counters, the
+    /// schedule position, phase progress, and the data-sampling RNG.
+    pub fn snapshot_state(&mut self, fingerprint: &str, rng: &Rng) -> TrainState {
+        let phase = if self.pretrain_done < self.cfg.pretrain_steps {
+            TrainPhase::Pretrain
+        } else if self.adversarial_done < self.cfg.adversarial_steps {
+            TrainPhase::Adversarial
+        } else {
+            TrainPhase::Done
+        };
+        TrainState {
+            fingerprint: fingerprint.to_string(),
+            schedule: schedule_description(&self.cfg),
+            phase,
+            pretrain_done: self.pretrain_done,
+            adversarial_done: self.adversarial_done,
+            sched_step: self.step,
+            opt_g_t: self.opt_g.step_count(),
+            opt_d_t: self.opt_d.step_count(),
+            rng: rng.state(),
+            gen_weights: model_io::to_bytes(&mut self.gen),
+            gen_opt: model_io::opt_state_to_bytes(&mut self.gen),
+            disc_weights: model_io::to_bytes(&mut self.disc),
+            disc_opt: model_io::opt_state_to_bytes(&mut self.disc),
+        }
+    }
+
+    /// Restores a snapshot into this (freshly constructed, same-shape)
+    /// trainer. The caller must also restore the data-sampling RNG from
+    /// [`TrainState::rng`] — *after* network construction, which consumes
+    /// its own RNG draws. Rejects a mismatched LR schedule or a snapshot
+    /// that is ahead of this config's step plan.
+    pub fn restore(&mut self, st: &TrainState) -> Result<()> {
+        let want = schedule_description(&self.cfg);
+        if st.schedule != want {
+            return Err(TensorError::Serde {
+                reason: format!(
+                    "checkpoint uses LR schedule `{}` but this run uses `{want}`; \
+                     resume with the original training flags",
+                    st.schedule
+                ),
+            });
+        }
+        if st.pretrain_done > self.cfg.pretrain_steps
+            || st.adversarial_done > self.cfg.adversarial_steps
+        {
+            return Err(TensorError::Serde {
+                reason: format!(
+                    "checkpoint is ahead of the requested plan ({}+{} steps done vs \
+                     {}+{} planned); raise --steps/--adv to at least the original run's",
+                    st.pretrain_done,
+                    st.adversarial_done,
+                    self.cfg.pretrain_steps,
+                    self.cfg.adversarial_steps
+                ),
+            });
+        }
+        model_io::from_bytes(&mut self.gen, &st.gen_weights)?;
+        model_io::opt_state_from_bytes(&mut self.gen, &st.gen_opt)?;
+        model_io::from_bytes(&mut self.disc, &st.disc_weights)?;
+        model_io::opt_state_from_bytes(&mut self.disc, &st.disc_opt)?;
+        self.opt_g.set_step_count(st.opt_g_t);
+        self.opt_d.set_step_count(st.opt_d_t);
+        self.step = st.sched_step;
+        self.pretrain_done = st.pretrain_done;
+        self.adversarial_done = st.adversarial_done;
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Snapshot/halt bookkeeping after one completed training unit.
+    /// Returns `true` when the policy's `halt_after` point was reached
+    /// (the caller stops training; a snapshot has been written).
+    fn after_unit(&mut self, rng: &Rng) -> Result<bool> {
+        let total = self.total_steps_done();
+        let (periodic, halt, path, fingerprint) = {
+            let Some(pol) = &self.policy else {
+                return Ok(false);
+            };
+            let periodic = pol.every.is_some_and(|e| e > 0 && total.is_multiple_of(e));
+            let halt = pol.halt_after.is_some_and(|h| total >= h);
+            (
+                periodic,
+                halt,
+                pol.snapshot_path(total),
+                pol.fingerprint.clone(),
+            )
+        };
+        if periodic || halt {
+            let state = self.snapshot_state(&fingerprint, rng);
+            model_io::write_atomic(&path, &state.to_bytes())?;
+            if let Some(pol) = &self.policy {
+                pol.prune();
+            }
+        }
+        if halt {
+            self.halted = true;
+        }
+        Ok(halt)
+    }
+
+    /// Writes the end-of-run container to the policy's final path (no-op
+    /// without a policy).
+    pub fn write_final_checkpoint(&mut self, rng: &Rng) -> Result<()> {
+        let Some(pol) = &self.policy else {
+            return Ok(());
+        };
+        let (path, fingerprint) = (pol.path.clone(), pol.fingerprint.clone());
+        let state = self.snapshot_state(&fingerprint, rng);
+        model_io::write_atomic(path, &state.to_bytes())
     }
 
     /// Applies the schedule (if any) for the current step and bumps the
@@ -220,7 +367,8 @@ impl GanTrainer {
             ..Default::default()
         };
         let phase_start = Instant::now();
-        for step in 0..self.cfg.pretrain_steps {
+        // Resume-aware: a restored trainer continues at `pretrain_done`.
+        for step in self.pretrain_done..self.cfg.pretrain_steps {
             let step_start = Instant::now();
             let (x, y) = ds.sample_batch(Split::Train, self.cfg.batch, rng)?;
             let pred = self.gen.forward(&x, true)?;
@@ -237,6 +385,7 @@ impl GanTrainer {
                 clip_grad_norm(&mut self.gen, c);
             }
             self.opt_g.step(&mut self.gen);
+            self.pretrain_done = step + 1;
             phase.steps += 1;
             phase.epochs.push(EpochRecord {
                 step: step as u64,
@@ -245,6 +394,9 @@ impl GanTrainer {
                 wall_ms: step_start.elapsed().as_secs_f64() * 1e3,
                 ..Default::default()
             });
+            if self.after_unit(rng)? {
+                break;
+            }
         }
         phase.wall_ms = phase_start.elapsed().as_secs_f64() * 1e3;
         Ok((trace, phase))
@@ -388,12 +540,16 @@ impl GanTrainer {
             }
             Err(e) => return Err(e),
         }
+        if self.halted {
+            report.halted = true;
+            return Ok(report);
+        }
         let mut adv_phase = PhaseReport {
             name: "adversarial".to_string(),
             ..Default::default()
         };
         let adv_start = Instant::now();
-        for outer in 0..self.cfg.adversarial_steps {
+        for outer in self.adversarial_done..self.cfg.adversarial_steps {
             let step_start = Instant::now();
             // Per outer iteration the epoch record keeps the *last*
             // sub-step's observables (n_G = n_D = 1 in the paper, so
@@ -439,9 +595,14 @@ impl GanTrainer {
             epoch.wall_ms = step_start.elapsed().as_secs_f64() * 1e3;
             adv_phase.steps += 1;
             adv_phase.epochs.push(epoch);
+            self.adversarial_done = outer + 1;
+            if self.after_unit(rng)? {
+                break;
+            }
         }
         adv_phase.wall_ms = adv_start.elapsed().as_secs_f64() * 1e3;
         report.phases.push(adv_phase);
+        report.halted = self.halted;
         Ok(report)
     }
 
@@ -572,6 +733,97 @@ mod tests {
         assert!(!r.collapsed(10));
         r.d_loss = vec![0.001; 3];
         assert!(!r.collapsed(10)); // not enough history
+    }
+
+    #[test]
+    fn resume_after_halt_is_bit_identical_to_uninterrupted_run() {
+        // Headline checkpoint guarantee: training 2N steps straight equals
+        // N steps + snapshot + restore into a fresh trainer + N more —
+        // generator AND discriminator weights, Adam moments and the data
+        // RNG all bit-identical. The halt point (10 = 8 pretrain + 2
+        // adversarial) deliberately lands inside the adversarial phase so
+        // both phase counters are exercised.
+        let configure = |t: &mut GanTrainer| {
+            t.cfg.pretrain_steps = 8;
+            t.cfg.adversarial_steps = 4;
+        };
+        let (ds, mut full) = tiny_setup(11);
+        configure(&mut full);
+        let mut rng_full = Rng::seed_from(12);
+        let report = full.train(&ds, &mut rng_full).unwrap();
+        assert!(!report.halted && !report.diverged);
+
+        let dir =
+            std::env::temp_dir().join(format!("mtsr_gan_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, mut first) = tiny_setup(11);
+        configure(&mut first);
+        first.set_checkpoint_policy(CheckpointPolicy {
+            path: dir.join("m.ckpt"),
+            every: Some(4),
+            keep: 2,
+            fingerprint: "test-run".into(),
+            halt_after: Some(10),
+        });
+        let mut rng_first = Rng::seed_from(12);
+        let report = first.train(&ds, &mut rng_first).unwrap();
+        assert!(report.halted, "halt_after must stop the run");
+        assert_eq!(first.total_steps_done(), 10);
+
+        let st = crate::checkpoint::load_train_state(dir.join("m.ckpt.000010")).unwrap();
+        assert_eq!(st.phase, TrainPhase::Adversarial);
+        let (_, mut second) = tiny_setup(11);
+        configure(&mut second);
+        second.restore(&st).unwrap();
+        let mut rng_second = st.rng();
+        let report = second.train(&ds, &mut rng_second).unwrap();
+        assert!(!report.halted && !report.diverged);
+
+        assert_eq!(
+            model_io::to_bytes(&mut full.gen),
+            model_io::to_bytes(&mut second.gen),
+            "generator weights diverged across resume"
+        );
+        assert_eq!(
+            model_io::to_bytes(&mut full.disc),
+            model_io::to_bytes(&mut second.disc),
+            "discriminator weights diverged across resume"
+        );
+        assert_eq!(
+            model_io::opt_state_to_bytes(&mut full.gen),
+            model_io::opt_state_to_bytes(&mut second.gen),
+            "generator Adam moments diverged across resume"
+        );
+        assert_eq!(
+            model_io::opt_state_to_bytes(&mut full.disc),
+            model_io::opt_state_to_bytes(&mut second.disc),
+            "discriminator Adam moments diverged across resume"
+        );
+        assert_eq!(rng_full.state(), rng_second.state());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_schedule_and_short_plan() {
+        let (ds, mut a) = tiny_setup(13);
+        a.cfg.pretrain_steps = 4;
+        a.cfg.adversarial_steps = 0;
+        let mut rng = Rng::seed_from(14);
+        a.pretrain(&ds, &mut rng).unwrap();
+        let st = a.snapshot_state("fp", &rng);
+
+        // Different schedule → rejected with both descriptions named.
+        let (_, mut b) = tiny_setup(13);
+        b.cfg.pretrain_steps = 4;
+        b.cfg.schedule = Some(LrSchedule::Constant { lr: 1e-3 });
+        let err = b.restore(&st).unwrap_err().to_string();
+        assert!(err.contains("schedule"), "{err}");
+
+        // Plan shorter than the checkpoint's progress → rejected.
+        let (_, mut c) = tiny_setup(13);
+        c.cfg.pretrain_steps = 2;
+        let err = c.restore(&st).unwrap_err().to_string();
+        assert!(err.contains("ahead of the requested plan"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! # Ok::<(), mtsr_tensor::TensorError>(())
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod detector;
 pub mod discriminator;
@@ -46,6 +47,7 @@ pub mod saliency;
 pub mod streaming;
 pub mod zipnet;
 
+pub use checkpoint::{CheckpointPolicy, TrainPhase, TrainState};
 pub use config::{upscale_blocks, DiscriminatorConfig, SkipMode, ZipNetConfig};
 pub use discriminator::Discriminator;
 pub use gan::{GanLoss, GanTrainer, GanTrainingConfig, TrainingReport};

@@ -2,6 +2,7 @@
 //! ZipNet and ZipNet-GAN drop-in [`SuperResolver`]s, and the sliding
 //! window + moving-average reassembly pipeline of §4.
 
+use crate::checkpoint::{CheckpointPolicy, TrainState};
 use crate::config::{DiscriminatorConfig, ZipNetConfig};
 use crate::discriminator::Discriminator;
 use crate::gan::{GanTrainer, GanTrainingConfig, TrainingReport};
@@ -104,18 +105,18 @@ impl MtsrModel {
             (None, _) => None,
         }
     }
-}
 
-impl SuperResolver for MtsrModel {
-    fn name(&self) -> &'static str {
-        if self.adversarial {
-            "ZipNet-GAN"
-        } else {
-            "ZipNet"
-        }
-    }
-
-    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
+    /// [`SuperResolver::fit`] with crash-safe checkpointing: `policy`
+    /// enables periodic snapshots plus a final container, `resume`
+    /// continues a previous run from its snapshot — bit-identically to a
+    /// run that was never interrupted.
+    pub fn fit_with(
+        &mut self,
+        ds: &Dataset,
+        rng: &mut Rng,
+        policy: Option<CheckpointPolicy>,
+        resume: Option<&TrainState>,
+    ) -> Result<()> {
         let layout = ds.layout();
         if !layout.grid.is_multiple_of(layout.square) {
             return Err(TensorError::InvalidShape {
@@ -131,25 +132,56 @@ impl SuperResolver for MtsrModel {
         let gen = ZipNet::new(&gen_cfg, rng)?;
         let disc = Discriminator::new(&self.scale.disc_config(), rng)?;
         let mut trainer = GanTrainer::new(gen, disc, self.train_cfg);
-        let report = if self.adversarial {
+        if let Some(p) = policy {
+            trainer.set_checkpoint_policy(p);
+        }
+        if let Some(st) = resume {
+            trainer.restore(st)?;
+            // Network construction above consumed RNG draws to initialise
+            // weights (which `restore` then overwrote); the checkpointed
+            // data-sampling stream position must win.
+            *rng = st.rng();
+        }
+        let mut report = if self.adversarial {
             trainer.train(ds, rng)?
         } else {
             let mut r = TrainingReport::default();
             let (trace, phase) = trainer.pretrain_with_telemetry(ds, rng)?;
             r.pretrain_mse = trace;
             r.phases.push(phase);
+            r.halted = trainer.halted();
             r
         };
+        report.halted = trainer.halted();
         if report.diverged {
             return Err(TensorError::NonFinite {
                 op: "MtsrModel::fit",
             });
+        }
+        // A halted (crash-simulated) run keeps its periodic snapshot as
+        // the resume point; only completed runs write the final container.
+        if !trainer.halted() {
+            trainer.write_final_checkpoint(rng)?;
         }
         let (gen, disc) = trainer.into_parts();
         self.gen = Some(gen);
         self.disc = Some(disc);
         self.report = Some(report);
         Ok(())
+    }
+}
+
+impl SuperResolver for MtsrModel {
+    fn name(&self) -> &'static str {
+        if self.adversarial {
+            "ZipNet-GAN"
+        } else {
+            "ZipNet"
+        }
+    }
+
+    fn fit(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<()> {
+        self.fit_with(ds, rng, None, None)
     }
 
     fn predict(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {

@@ -1,10 +1,12 @@
 //! Model checkpointing: save/load every parameter and buffer of a layer
-//! tree by name.
+//! tree by name, plus the optimizer-moment blocks and the atomic on-disk
+//! write path that the crash-safe training containers build on.
 
 use crate::layer::Layer;
 use mtsr_tensor::serialize::{read_named_tensors, write_named_tensors};
 use mtsr_tensor::{Result, Tensor, TensorError};
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::Path;
 
 /// Serialises all parameters and buffers of `layer` into checkpoint bytes.
@@ -58,12 +60,93 @@ pub fn from_bytes(layer: &mut dyn Layer, bytes: &[u8]) -> Result<()> {
     Ok(())
 }
 
-/// Saves a checkpoint to disk.
+/// Serialises the per-parameter optimizer state (Adam `m`/`v`, or the SGD
+/// momentum buffer in `m`) as `<param>.m` / `<param>.v` named tensors.
+pub fn opt_state_to_bytes(layer: &mut dyn Layer) -> Vec<u8> {
+    let mut pairs: Vec<(String, Tensor)> = Vec::new();
+    layer.visit_params(&mut |p| {
+        pairs.push((format!("{}.m", p.name), p.m.clone()));
+        pairs.push((format!("{}.v", p.name), p.v.clone()));
+    });
+    write_named_tensors(&pairs)
+}
+
+/// Restores optimizer moments written by [`opt_state_to_bytes`]. Every
+/// parameter must have both moments present with matching shapes; unknown
+/// names are rejected (architecture mismatch).
+pub fn opt_state_from_bytes(layer: &mut dyn Layer, bytes: &[u8]) -> Result<()> {
+    let mut by_name: HashMap<String, Tensor> = read_named_tensors(bytes)?.into_iter().collect();
+    let mut err: Option<TensorError> = None;
+    layer.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        for (suffix, slot) in [("m", &mut p.m), ("v", &mut p.v)] {
+            let key = format!("{}.{suffix}", p.name);
+            match by_name.remove(&key) {
+                Some(t) if t.shape() == slot.shape() => *slot = t,
+                Some(t) => {
+                    err = Some(TensorError::Serde {
+                        reason: format!(
+                            "shape mismatch for optimizer state `{key}`: checkpoint {} vs model {}",
+                            t.shape(),
+                            slot.shape()
+                        ),
+                    });
+                    return;
+                }
+                None => {
+                    err = Some(TensorError::Serde {
+                        reason: format!("checkpoint is missing optimizer state `{key}`"),
+                    });
+                    return;
+                }
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if let Some(name) = by_name.keys().next() {
+        return Err(TensorError::Serde {
+            reason: format!("checkpoint contains unknown optimizer state `{name}`"),
+        });
+    }
+    Ok(())
+}
+
+/// Crash-safe file write: the bytes go to `<path>.tmp`, are fsynced, and
+/// the temp file is atomically renamed over `path`, so a crash at any
+/// point leaves either the previous file or the complete new one — never
+/// a torn write. The parent directory is fsynced best-effort so the
+/// rename itself is durable.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let io_err = |what: &str, e: std::io::Error| TensorError::Serde {
+        reason: format!("{what} {}: {e}", path.display()),
+    };
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp for", e))?;
+    f.write_all(bytes).map_err(|e| io_err("write temp for", e))?;
+    f.sync_all().map_err(|e| io_err("fsync temp for", e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename into", e))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Durability of the rename, not correctness, so errors (e.g. on
+        // filesystems without directory fsync) are ignored.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Saves a checkpoint to disk (atomically — see [`write_atomic`]).
 pub fn save(layer: &mut dyn Layer, path: impl AsRef<Path>) -> Result<()> {
     let bytes = to_bytes(layer);
-    std::fs::write(path.as_ref(), &bytes).map_err(|e| TensorError::Serde {
-        reason: format!("write {}: {e}", path.as_ref().display()),
-    })
+    write_atomic(path, &bytes)
 }
 
 /// Loads a checkpoint from disk into an already-constructed model.
@@ -137,10 +220,20 @@ mod tests {
         assert!(from_bytes(&mut extra, &bytes).is_err());
     }
 
+    /// Unique per-process scratch directory: a fixed path collides when
+    /// several `cargo test` invocations run concurrently on one machine.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mtsr_nn_io_test_{}_{tag}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn file_roundtrip() {
-        let dir = std::env::temp_dir().join("mtsr_nn_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = scratch_dir("roundtrip");
         let path = dir.join("ckpt.bin");
         let mut net = tiny_net(5);
         save(&mut net, &path).unwrap();
@@ -151,12 +244,58 @@ mod tests {
             net.forward(&x, false).unwrap(),
             net2.forward(&x, false).unwrap()
         );
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn load_missing_file_errors() {
         let mut net = tiny_net(7);
         assert!(load(&mut net, "/nonexistent/path/ckpt.bin").is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second-longer-content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second-longer-content");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn optimizer_state_roundtrip() {
+        let mut net = tiny_net(8);
+        // Give the moments non-trivial values.
+        net.visit_params(&mut |p| {
+            p.m = Tensor::full(p.value.shape().clone(), 0.25);
+            p.v = Tensor::full(p.value.shape().clone(), 0.5);
+        });
+        let bytes = opt_state_to_bytes(&mut net);
+        let mut net2 = tiny_net(9);
+        opt_state_from_bytes(&mut net2, &bytes).unwrap();
+        let mut ok = true;
+        net2.visit_params(&mut |p| {
+            ok &= p.m.as_slice().iter().all(|&x| x == 0.25);
+            ok &= p.v.as_slice().iter().all(|&x| x == 0.5);
+        });
+        assert!(ok, "moments not restored");
+        // Architecture mismatch is rejected.
+        let mut rng = Rng::seed_from(10);
+        let mut other = Sequential::new().push(Conv2d::new(
+            "c1",
+            1,
+            8,
+            (3, 3),
+            Conv2dSpec::same(3),
+            &mut rng,
+        ));
+        assert!(opt_state_from_bytes(&mut other, &bytes).is_err());
     }
 }

@@ -40,20 +40,17 @@ impl Sgd {
 
     fn update(&self, p: &mut Param) {
         let lr = self.lr;
+        let (value, grad, m, _) = p.split_for_update();
         if self.momentum == 0.0 {
-            let grad = p.grad.clone();
-            p.value.axpy(-lr, &grad).expect("shape invariant");
+            value.axpy(-lr, grad).expect("shape invariant");
         } else {
             let mu = self.momentum;
-            for ((m, &g), w) in p
-                .m
+            for ((m, &g), w) in m
                 .as_mut_slice()
                 .iter_mut()
-                .zip(p.grad.as_slice())
-                .zip(p.value.as_mut_slice().iter_mut())
+                .zip(grad.as_slice())
+                .zip(value.as_mut_slice().iter_mut())
             {
-                // Borrow note: value and m are distinct tensors, the zip is
-                // only over the value slice re-borrowed below.
                 *m = mu * *m + g;
                 *w -= lr * *m;
             }
@@ -64,7 +61,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, layer: &mut dyn Layer) {
-        let this = self.clone();
+        // Hyper-parameters are plain scalars; borrowing them through
+        // `&self` inside the closure keeps the hot path allocation-free
+        // (no optimizer clone, no tensor clones — see `micro_substrate`'s
+        // zero-allocation regression assertion).
+        let this = &*self;
         layer.visit_params(&mut |p| this.update(p));
     }
 
@@ -105,26 +106,34 @@ impl Adam {
         Adam::new(1e-4)
     }
 
+    /// The bias-correction step counter (number of `step` calls so far).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Overrides the step counter (checkpoint restore). Bias correction
+    /// for subsequent steps continues as if `t` steps had been taken.
+    pub fn set_step_count(&mut self, t: u64) {
+        self.t = t;
+    }
+
     fn update(&self, p: &mut Param, t: u64) {
         let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
         let bc1 = 1.0 - b1.powi(t as i32);
         let bc2 = 1.0 - b2.powi(t as i32);
-        let n = p.value.numel();
-        let grad = p.grad.as_slice().to_vec();
-        let m = p.m.as_mut_slice();
-        for i in 0..n {
-            m[i] = b1 * m[i] + (1.0 - b1) * grad[i];
-        }
-        let v = p.v.as_mut_slice();
-        for i in 0..n {
-            v[i] = b2 * v[i] + (1.0 - b2) * grad[i] * grad[i];
-        }
-        let m_snapshot = p.m.as_slice().to_vec();
-        let v_snapshot = p.v.as_slice().to_vec();
-        let w = p.value.as_mut_slice();
-        for i in 0..n {
-            let m_hat = m_snapshot[i] / bc1;
-            let v_hat = v_snapshot[i] / bc2;
+        // Split borrows instead of cloning grad/m/v: per-element
+        // arithmetic (and therefore every result bit) is unchanged, but
+        // the update now runs with zero heap allocations.
+        let (value, grad, m, v) = p.split_for_update();
+        let g = grad.as_slice();
+        let m = m.as_mut_slice();
+        let v = v.as_mut_slice();
+        let w = value.as_mut_slice();
+        for i in 0..g.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
             w[i] -= lr * m_hat / (v_hat.sqrt() + eps);
         }
         p.zero_grad();
@@ -135,7 +144,7 @@ impl Optimizer for Adam {
     fn step(&mut self, layer: &mut dyn Layer) {
         self.t += 1;
         let t = self.t;
-        let this = self.clone();
+        let this = &*self;
         layer.visit_params(&mut |p| this.update(p, t));
     }
 
@@ -248,5 +257,31 @@ mod tests {
         assert_eq!(opt.learning_rate(), 1e-4);
         opt.set_learning_rate(1e-3);
         assert_eq!(opt.learning_rate(), 1e-3);
+    }
+
+    #[test]
+    fn adam_step_counter_restore_is_bit_identical() {
+        // Checkpoint/resume contract: restoring t (with m/v preserved in
+        // the Params) must continue the trajectory bit-identically.
+        let mut a = Bowl::new(vec![5.0, -3.0]);
+        let mut opt_a = Adam::new(0.05);
+        for _ in 0..7 {
+            a.set_grad_to_value();
+            opt_a.step(&mut a);
+        }
+        // "Resume": clone params mid-run, fresh optimizer with restored t.
+        let mut b = Bowl { p: a.p.clone() };
+        let mut opt_b = Adam::new(0.05);
+        assert_eq!(opt_a.step_count(), 7);
+        opt_b.set_step_count(opt_a.step_count());
+        for _ in 0..5 {
+            a.set_grad_to_value();
+            opt_a.step(&mut a);
+            b.set_grad_to_value();
+            opt_b.step(&mut b);
+        }
+        assert_eq!(a.p.value.as_slice(), b.p.value.as_slice());
+        assert_eq!(a.p.m.as_slice(), b.p.m.as_slice());
+        assert_eq!(a.p.v.as_slice(), b.p.v.as_slice());
     }
 }

@@ -41,6 +41,16 @@ impl Param {
         self.grad.as_mut_slice().fill(0.0);
     }
 
+    /// Splits the parameter into simultaneous mutable views of value,
+    /// gradient and both moment buffers — the borrow shape optimizer
+    /// update loops need to run without cloning any of the four tensors.
+    pub fn split_for_update(&mut self) -> (&mut Tensor, &mut Tensor, &mut Tensor, &mut Tensor) {
+        let Param {
+            value, grad, m, v, ..
+        } = self;
+        (value, grad, m, v)
+    }
+
     /// Number of scalar weights.
     pub fn numel(&self) -> usize {
         self.value.numel()

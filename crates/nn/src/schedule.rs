@@ -70,6 +70,23 @@ impl LrSchedule {
     pub fn initial(&self) -> f32 {
         self.lr_at(0)
     }
+
+    /// Canonical textual form of the schedule, embedded in training
+    /// checkpoints so a resume with a *different* schedule is rejected
+    /// with an actionable message instead of silently diverging from the
+    /// uninterrupted run. Stable across refactors (unlike `Debug`).
+    pub fn describe(&self) -> String {
+        match *self {
+            LrSchedule::Constant { lr } => format!("constant(lr={lr:e})"),
+            LrSchedule::StepDecay { lr, every, factor } => {
+                format!("step-decay(lr={lr:e},every={every},factor={factor})")
+            }
+            LrSchedule::Exponential { lr, period, factor } => {
+                format!("exponential(lr={lr:e},period={period},factor={factor})")
+            }
+            LrSchedule::Warmup { lr, warmup } => format!("warmup(lr={lr:e},warmup={warmup})"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +136,17 @@ mod tests {
         assert!((s.lr_at(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.lr_at(10), 1.0);
         assert_eq!(s.lr_at(100), 1.0);
+    }
+
+    #[test]
+    fn describe_distinguishes_schedules_and_parameters() {
+        let a = LrSchedule::Exponential { lr: 1e-3, period: 200, factor: 0.5 };
+        let b = LrSchedule::Exponential { lr: 1e-3, period: 100, factor: 0.5 };
+        let c = LrSchedule::Constant { lr: 1e-3 };
+        assert_ne!(a.describe(), b.describe());
+        assert_ne!(a.describe(), c.describe());
+        assert_eq!(a.describe(), a.describe());
+        assert_eq!(a.describe(), "exponential(lr=1e-3,period=200,factor=0.5)");
     }
 
     #[test]

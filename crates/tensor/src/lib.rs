@@ -40,6 +40,6 @@ pub mod stats;
 pub mod tensor;
 
 pub use error::{Result, TensorError};
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -40,7 +40,9 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+    /// Consumes the next `n` bytes, erroring (with `what` for context)
+    /// when fewer remain.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(TensorError::Serde {
                 reason: format!("truncated {what}: need {n} bytes, have {}", self.remaining()),
@@ -51,15 +53,18 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn get_u32_le(&mut self, what: &str) -> Result<u32> {
+    /// Reads a little-endian `u32`.
+    pub fn get_u32_le(&mut self, what: &str) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
-    fn get_u64_le(&mut self, what: &str) -> Result<u64> {
+    /// Reads a little-endian `u64`.
+    pub fn get_u64_le(&mut self, what: &str) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
-    fn get_f32_le(&mut self, what: &str) -> Result<f32> {
+    /// Reads a little-endian `f32`.
+    pub fn get_f32_le(&mut self, what: &str) -> Result<f32> {
         Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 }
@@ -92,15 +97,30 @@ pub fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
-        dims.push(r.get_u64_le("dims")? as usize);
+        let d = r.get_u64_le("dims")?;
+        dims.push(usize::try_from(d).map_err(|_| TensorError::Serde {
+            reason: format!("dimension {d} exceeds the address space"),
+        })?);
     }
+    // Checked products: malformed dims must surface as a clean Serde
+    // error, never as a wrapped length that bypasses the truncation
+    // check below or as a huge `Vec::with_capacity` abort.
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| TensorError::Serde {
+            reason: format!("element count overflows for dims {dims:?}"),
+        })?;
+    let bytes = n.checked_mul(4).ok_or_else(|| TensorError::Serde {
+        reason: format!("byte length overflows for {n} elements"),
+    })?;
     let shape = Shape::new(dims);
-    let n = shape.numel();
-    if r.remaining() < n * 4 {
+    if r.remaining() < bytes {
         return Err(TensorError::Serde {
-            reason: format!("truncated data: need {} bytes, have {}", n * 4, r.remaining()),
+            reason: format!("truncated data: need {bytes} bytes, have {}", r.remaining()),
         });
     }
+    // `n` is now bounded by the buffer length, so this allocation is safe.
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
         data.push(r.get_f32_le("data")?);
@@ -109,13 +129,13 @@ pub fn read_tensor(r: &mut Reader<'_>) -> Result<Tensor> {
 }
 
 /// Writes a string with a u32 length prefix.
-fn write_str(buf: &mut Vec<u8>, s: &str) {
+pub fn write_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
 }
 
 /// Reads a length-prefixed string.
-fn read_str(r: &mut Reader<'_>) -> Result<String> {
+pub fn read_str(r: &mut Reader<'_>) -> Result<String> {
     let len = r.get_u32_le("string length")? as usize;
     if len > 1 << 20 {
         return Err(TensorError::Serde {
@@ -220,5 +240,61 @@ mod tests {
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.extend_from_slice(&99u32.to_le_bytes());
         assert!(read_tensor(&mut Reader::new(&buf)).is_err());
+    }
+
+    /// Builds a tensor header with the given dims and no (or short) data.
+    fn header_with_dims(dims: &[u64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for &d in dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn malformed_dims_error_instead_of_overflowing() {
+        // Product of dims overflows usize.
+        let huge = header_with_dims(&[1 << 40, 1 << 40, 1 << 40]);
+        let err = read_tensor(&mut Reader::new(&huge)).unwrap_err();
+        assert!(matches!(err, TensorError::Serde { .. }), "{err}");
+
+        // Element count fits but the byte length (n * 4) wraps: without
+        // checked arithmetic this bypasses the truncation check entirely.
+        let wrap = header_with_dims(&[(usize::MAX as u64 / 4) + 1]);
+        let err = read_tensor(&mut Reader::new(&wrap)).unwrap_err();
+        assert!(matches!(err, TensorError::Serde { .. }), "{err}");
+
+        // A single dim beyond the address space (relevant on 32-bit).
+        let too_wide = header_with_dims(&[u64::MAX]);
+        assert!(read_tensor(&mut Reader::new(&too_wide)).is_err());
+
+        // A plausible-looking but huge dim with an empty payload must be
+        // a clean truncation error, not a multi-GB allocation attempt.
+        let big = header_with_dims(&[1 << 30]);
+        let err = read_tensor(&mut Reader::new(&big)).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn truncation_corpus_every_prefix_errors_cleanly() {
+        // Every strict prefix of a valid record must error, never panic.
+        let t = Tensor::ones([3, 2]);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t);
+        for cut in 0..buf.len() {
+            assert!(
+                read_tensor(&mut Reader::new(&buf[..cut])).is_err(),
+                "prefix of {cut} bytes unexpectedly parsed"
+            );
+        }
+        // Same for the named-tensor container framing.
+        let pairs = vec![("w".to_string(), t)];
+        let bytes = write_named_tensors(&pairs);
+        for cut in 0..bytes.len() {
+            assert!(read_named_tensors(&bytes[..cut]).is_err());
+        }
+        assert_eq!(read_named_tensors(&bytes).unwrap(), pairs);
     }
 }

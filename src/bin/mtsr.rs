@@ -18,13 +18,14 @@
 //! forward/backward timings, and kernel span statistics.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use zipnet_gan::core::checkpoint::{self, CheckpointPolicy};
 use zipnet_gan::core::{
     ArchScale, GanTrainingConfig, MtsrModel, StreamingPredictor, TrafficAnomalyDetector, ZipNet,
     ZipNetConfig,
 };
 use zipnet_gan::metrics::{nrmse, psnr, ssim, MILAN_PEAK_MB};
-use zipnet_gan::nn::io as model_io;
 use zipnet_gan::prelude::*;
 use zipnet_gan::telemetry::{PhaseReport, TelemetryReport};
 use zipnet_gan::tensor::TensorError;
@@ -39,42 +40,96 @@ struct Args {
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Args {
+    /// Parses `--name value` / `--name` (boolean) pairs. Stray positional
+    /// tokens are an error — they are invariably a typo (`--steps300`) and
+    /// used to be silently ignored.
+    fn parse(argv: &[String]) -> Result<Args, String> {
         let mut flags = HashMap::new();
         let mut i = 0;
         while i < argv.len() {
-            if let Some(name) = argv[i].strip_prefix("--") {
-                let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                    i += 1;
-                    argv[i].clone()
-                } else {
-                    "true".to_string() // boolean flag
-                };
-                flags.insert(name.to_string(), value);
+            let Some(name) = argv[i].strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument `{}` (flags are written --name value)",
+                    argv[i]
+                ));
+            };
+            if name.is_empty() {
+                return Err("empty flag `--`".to_string());
             }
+            let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                i += 1;
+                argv[i].clone()
+            } else {
+                "true".to_string() // boolean flag
+            };
+            flags.insert(name.to_string(), value);
             i += 1;
         }
-        Args { flags }
+        Ok(Args { flags })
+    }
+
+    /// Rejects flags a subcommand does not know, instead of silently
+    /// ignoring them (a misspelt `--step 500` used to train with the
+    /// default step count).
+    fn expect_known(&self, cmd: &str, known: &[&str]) -> Result<(), String> {
+        for name in self.flags.keys() {
+            if !known.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown flag --{name} for `mtsr {cmd}` (known: {})",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(|s| s.as_str())
     }
 
-    fn usize_or(&self, name: &str, default: usize) -> usize {
-        self.get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// `--name N` with a default; a malformed value is a usage error
+    /// (`--steps 3OO` used to silently fall back to the default).
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                format!("invalid value `{v}` for --{name}: expected an unsigned integer")
+            }),
+        }
     }
 
-    fn u64_or(&self, name: &str, default: u64) -> u64 {
+    /// Optional `--name N` without a default.
+    fn usize_opt(&self, name: &str) -> Result<Option<usize>, String> {
         self.get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+            .map(|v| {
+                v.parse().map_err(|_| {
+                    format!("invalid value `{v}` for --{name}: expected an unsigned integer")
+                })
+            })
+            .transpose()
     }
 
-    fn bool(&self, name: &str) -> bool {
-        self.get(name) == Some("true")
+    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                format!("invalid value `{v}` for --{name}: expected an unsigned integer")
+            }),
+        }
+    }
+
+    fn bool_flag(&self, name: &str) -> Result<bool, String> {
+        match self.get(name) {
+            None => Ok(false),
+            Some("true") => Ok(true),
+            Some(v) => Err(format!(
+                "--{name} is a boolean flag and takes no value (got `{v}`)"
+            )),
+        }
     }
 }
 
@@ -115,9 +170,10 @@ fn build_dataset(
 }
 
 fn cmd_simulate(args: &Args) -> CmdOutcome {
-    let grid = args.usize_or("grid", 40);
-    let days = args.usize_or("days", 2);
-    let seed = args.u64_or("seed", 42);
+    args.expect_known("simulate", &["grid", "days", "seed", "out", "telemetry"])?;
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 2)?;
+    let seed = args.u64_flag("seed", 42)?;
     let out = args.get("out").unwrap_or("traffic.csv").to_string();
     let mut rng = Rng::seed_from(seed);
     let mut city = CityConfig::small();
@@ -145,15 +201,68 @@ fn cmd_simulate(args: &Args) -> CmdOutcome {
 }
 
 fn cmd_train(args: &Args) -> CmdOutcome {
-    let grid = args.usize_or("grid", 40);
-    let days = args.usize_or("days", 4);
-    let s = args.usize_or("s", 3);
-    let seed = args.u64_or("seed", 42);
-    let steps = args.usize_or("steps", 300);
-    let adv = args.usize_or("adv", if args.bool("gan") { 40 } else { 0 });
+    args.expect_known(
+        "train",
+        &[
+            "instance",
+            "grid",
+            "days",
+            "s",
+            "steps",
+            "gan",
+            "adv",
+            "seed",
+            "out",
+            "telemetry",
+            "resume",
+            "checkpoint-every",
+            "keep",
+            "halt-after",
+        ],
+    )?;
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 4)?;
+    let s = args.usize_flag("s", 3)?;
+    let seed = args.u64_flag("seed", 42)?;
+    let steps = args.usize_flag("steps", 300)?;
+    let gan = args.bool_flag("gan")?;
+    let adv = args.usize_flag("adv", if gan { 40 } else { 0 })?;
     let out = args.get("out").unwrap_or("model.ckpt").to_string();
+    let every = args.usize_opt("checkpoint-every")?;
+    let keep = args.usize_flag("keep", 3)?;
+    let halt_after = args.usize_opt("halt-after")?;
     let instance = parse_instance(args.get("instance"))?;
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+
+    // Everything that shapes the data or the training plan goes into the
+    // fingerprint — resuming against different data is rejected. The
+    // checkpoint cadence flags deliberately do not: an interrupted run and
+    // its uninterrupted twin must share a fingerprint.
+    let fingerprint = format!(
+        "mtsr-train/v1 instance={} grid={grid} days={days} s={s} seed={seed} \
+         steps={steps} adv={adv} gan={gan} batch=8 arch=tiny",
+        instance.label()
+    );
+    let policy = CheckpointPolicy {
+        path: PathBuf::from(&out),
+        every,
+        keep,
+        fingerprint: fingerprint.clone(),
+        halt_after,
+    };
+    let resume = match args.get("resume") {
+        Some(path) => {
+            let st = checkpoint::load_train_state(path).map_err(|e| e.to_string())?;
+            st.validate_fingerprint(&fingerprint)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "resuming from {path} ({}+{} of {steps}+{adv} steps already done)",
+                st.pretrain_done, st.adversarial_done
+            );
+            Some(st)
+        }
+        None => None,
+    };
 
     let mut cfg = GanTrainingConfig::paper(steps, adv, 8);
     cfg.lr = 1e-3;
@@ -163,7 +272,7 @@ fn cmd_train(args: &Args) -> CmdOutcome {
         factor: 0.5,
     });
     cfg.clip_norm = Some(5.0);
-    let mut model = if args.bool("gan") {
+    let mut model = if gan {
         MtsrModel::zipnet_gan(ArchScale::Tiny, cfg)
     } else {
         MtsrModel::zipnet(ArchScale::Tiny, cfg)
@@ -174,7 +283,9 @@ fn cmd_train(args: &Args) -> CmdOutcome {
         instance.label()
     );
     let mut rng = Rng::seed_from(seed ^ 0x5eed);
-    model.fit(&ds, &mut rng).map_err(|e| e.to_string())?;
+    model
+        .fit_with(&ds, &mut rng, Some(policy), resume.as_ref())
+        .map_err(|e| e.to_string())?;
     let report = model.report.as_ref().expect("fit stores report");
     println!(
         "pre-train MSE {:.4} -> {:.4}{}",
@@ -187,25 +298,33 @@ fn cmd_train(args: &Args) -> CmdOutcome {
         }
     );
     let phases = report.phases.clone();
-    model_io::save(model.generator_mut().expect("fitted"), &out).map_err(|e| e.to_string())?;
-    println!("saved generator checkpoint to {out}");
+    if report.halted {
+        println!("halted by --halt-after; continue with --resume {out}.<NNNNNN> (latest snapshot)");
+    } else {
+        println!("saved training checkpoint to {out}");
+    }
     Ok(phases)
 }
 
-/// Rebuilds the generator architecture for a dataset and loads weights.
+/// Rebuilds the generator architecture for a dataset and loads weights
+/// from either a training container or a legacy weights-only checkpoint.
 fn load_generator(ds: &Dataset, path: &str, s: usize) -> Result<ZipNet, String> {
     let upscale = ds.layout().grid / ds.layout().square;
     let mut gen = ZipNet::new(&ZipNetConfig::tiny(upscale, s), &mut Rng::seed_from(0))
         .map_err(|e| e.to_string())?;
-    model_io::load(&mut gen, path).map_err(|e| e.to_string())?;
+    checkpoint::load_generator_into(&mut gen, path).map_err(|e| e.to_string())?;
     Ok(gen)
 }
 
 fn cmd_eval(args: &Args) -> CmdOutcome {
-    let grid = args.usize_or("grid", 40);
-    let days = args.usize_or("days", 4);
-    let s = args.usize_or("s", 3);
-    let seed = args.u64_or("seed", 42);
+    args.expect_known(
+        "eval",
+        &["model", "instance", "grid", "days", "s", "seed", "telemetry"],
+    )?;
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 4)?;
+    let s = args.usize_flag("s", 3)?;
+    let seed = args.u64_flag("seed", 42)?;
     let model_path = args.get("model").ok_or("--model <ckpt> required")?;
     let instance = parse_instance(args.get("instance"))?;
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
@@ -237,11 +356,24 @@ fn cmd_eval(args: &Args) -> CmdOutcome {
 }
 
 fn cmd_stream(args: &Args) -> CmdOutcome {
-    let grid = args.usize_or("grid", 40);
-    let days = args.usize_or("days", 4);
-    let s = args.usize_or("s", 3);
-    let seed = args.u64_or("seed", 42);
-    let frames = args.usize_or("frames", 12);
+    args.expect_known(
+        "stream",
+        &[
+            "model",
+            "frames",
+            "instance",
+            "grid",
+            "days",
+            "s",
+            "seed",
+            "telemetry",
+        ],
+    )?;
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 4)?;
+    let s = args.usize_flag("s", 3)?;
+    let seed = args.u64_flag("seed", 42)?;
+    let frames = args.usize_flag("frames", 12)?;
     let model_path = args.get("model").ok_or("--model <ckpt> required")?;
     let instance = parse_instance(args.get("instance"))?;
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
@@ -302,8 +434,17 @@ fn usage() -> &'static str {
        mtsr simulate [--grid N] [--days D] [--seed S] [--out FILE]\n\
        mtsr train    [--instance up2|up4|up10|mixture] [--grid N] [--days D]\n\
                      [--s S] [--steps N] [--gan] [--adv N] [--seed S] [--out CKPT]\n\
+                     [--checkpoint-every N] [--keep K] [--resume SNAPSHOT]\n\
+                     [--halt-after N]\n\
        mtsr eval     --model CKPT [--instance ...] [--grid N] [--seed S]\n\
        mtsr stream   --model CKPT [--frames N] [--instance ...] [--grid N] [--seed S]\n\
+     \n\
+     Checkpointing: --out receives a crash-safe training container (weights,\n\
+     Adam moments, RNG and schedule state). --checkpoint-every N also writes\n\
+     rolling snapshots CKPT.NNNNNN (newest --keep kept); after a crash,\n\
+     --resume CKPT.NNNNNN continues bit-identically to an uninterrupted run\n\
+     when given the same data/plan flags. eval and stream accept both\n\
+     containers and legacy weights-only checkpoints.\n\
      \n\
      Every subcommand also accepts --telemetry REPORT.json: enables the\n\
      metrics registry and writes a TelemetryReport (per-epoch losses,\n\
@@ -318,7 +459,13 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let args = Args::parse(&argv[1..]);
+    let args = match Args::parse(&argv[1..]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
     let telemetry_path = match args.get("telemetry") {
         // A bare `--telemetry` parses as the boolean value "true".
         Some("true") => {

@@ -1,0 +1,234 @@
+//! Cross-process checkpoint/resume guarantees of the `mtsr` binary:
+//!
+//! * the headline bit-identical-resume property — a run halted mid-flight
+//!   and resumed **in a fresh process** produces a final training
+//!   container byte-identical to an uninterrupted run's (weights, Adam
+//!   moments, RNG state, counters: everything);
+//! * legacy weights-only checkpoints still evaluate through the new
+//!   container-aware loading path, with identical metrics;
+//! * wrong-fingerprint and future-version containers are rejected with
+//!   actionable messages;
+//! * malformed or unknown CLI flags are usage errors instead of being
+//!   silently swallowed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mtsr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mtsr"))
+}
+
+fn run(args: &[&str]) -> Output {
+    mtsr().args(args).output().expect("spawn mtsr")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "mtsr {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = run(args);
+    assert!(
+        !out.status.success(),
+        "mtsr {args:?} unexpectedly succeeded:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtsr_resume_it_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Data/plan flags shared by every training invocation in these tests:
+/// a tiny-but-real two-phase GAN run (6 pre-training steps + 3
+/// adversarial iterations).
+fn plan(out: &Path) -> Vec<String> {
+    let mut v: Vec<String> = [
+        "train", "--grid", "20", "--days", "3", "--s", "3", "--steps", "6", "--gan", "--adv",
+        "3", "--seed", "7", "--out",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    v.push(out.to_str().unwrap().to_string());
+    v
+}
+
+fn run_plan(out: &Path, extra: &[&str]) -> String {
+    let mut args = plan(out);
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    run_ok(&refs)
+}
+
+#[test]
+fn halted_run_resumed_in_fresh_process_matches_uninterrupted_run_bitwise() {
+    let dir = scratch("bitwise");
+    let full = dir.join("full.ckpt");
+    let part = dir.join("part.ckpt");
+
+    // Uninterrupted reference run: 6 + 3 steps in one process.
+    run_plan(&full, &[]);
+    assert!(full.exists());
+
+    // Interrupted run: snapshot every 3 steps, simulated crash after 8
+    // (inside the adversarial phase, so both phase counters matter).
+    let stdout = run_plan(&part, &["--checkpoint-every", "3", "--halt-after", "8"]);
+    assert!(stdout.contains("halted by --halt-after"), "{stdout}");
+    let snapshot = dir.join("part.ckpt.000008");
+    assert!(snapshot.exists(), "halt point must leave a snapshot");
+    assert!(
+        !part.exists(),
+        "a halted run must not write the final container"
+    );
+    // Atomic writes never leave staging files behind.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "leftover temp file {name}");
+    }
+
+    // Fresh process, resume from the snapshot, finish the plan.
+    let stdout = run_plan(&part, &["--resume", snapshot.to_str().unwrap()]);
+    assert!(stdout.contains("resuming from"), "{stdout}");
+    assert!(stdout.contains("saved training checkpoint"), "{stdout}");
+
+    // The two final containers — fingerprint, counters, RNG state,
+    // generator AND discriminator weights, Adam moments — are identical
+    // byte for byte.
+    let full_bytes = std::fs::read(&full).unwrap();
+    let part_bytes = std::fs::read(&part).unwrap();
+    assert!(
+        full_bytes == part_bytes,
+        "resumed container differs from uninterrupted run ({} vs {} bytes)",
+        full_bytes.len(),
+        part_bytes.len()
+    );
+
+    // And the container evaluates (container-aware eval path).
+    let eval = run_ok(&[
+        "eval", "--model", part.to_str().unwrap(), "--grid", "20", "--days", "3", "--s", "3",
+        "--seed", "7",
+    ]);
+    assert!(eval.contains("NRMSE"), "{eval}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn weights_only_checkpoints_still_evaluate_identically() {
+    let dir = scratch("compat");
+    let container = dir.join("model.ckpt");
+    run_plan(&container, &[]);
+
+    // A container's generator blob IS the legacy weights-only format:
+    // extracting it reproduces a pre-container checkpoint file.
+    let state = zipnet_gan::core::checkpoint::load_train_state(&container).unwrap();
+    let legacy = dir.join("legacy_weights.bin");
+    std::fs::write(&legacy, &state.gen_weights).unwrap();
+
+    let eval_args = |model: &Path| {
+        vec![
+            "eval".to_string(),
+            "--model".to_string(),
+            model.to_str().unwrap().to_string(),
+            "--grid".to_string(),
+            "20".to_string(),
+            "--days".to_string(),
+            "3".to_string(),
+            "--s".to_string(),
+            "3".to_string(),
+            "--seed".to_string(),
+            "7".to_string(),
+        ]
+    };
+    let metrics_of = |model: &Path| {
+        let args = eval_args(model);
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        let stdout = run_ok(&refs);
+        let at = stdout.find("NRMSE").expect("metrics line");
+        stdout[at..].to_string()
+    };
+    assert_eq!(metrics_of(&container), metrics_of(&legacy));
+
+    // stream accepts the legacy file too.
+    let stream = run_ok(&[
+        "stream", "--model", legacy.to_str().unwrap(), "--grid", "20", "--days", "3", "--s",
+        "3", "--seed", "7", "--frames", "5",
+    ]);
+    assert!(stream.contains("inferred"), "{stream}");
+
+    // But a weights-only file cannot be *resumed* — actionable rejection.
+    let mut args = plan(&container);
+    args.extend(["--resume".to_string(), legacy.to_str().unwrap().to_string()]);
+    let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let err = run_err(&refs);
+    assert!(err.contains("not a training container"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_fingerprint_and_future_version_are_rejected() {
+    let dir = scratch("reject");
+    let out = dir.join("model.ckpt");
+    run_plan(&out, &["--checkpoint-every", "4", "--halt-after", "4"]);
+    let snapshot = dir.join("model.ckpt.000004");
+    assert!(snapshot.exists());
+
+    // Resuming with a different seed (different data) names both
+    // fingerprints and the flags to fix.
+    let err = run_err(&[
+        "train", "--grid", "20", "--days", "3", "--s", "3", "--steps", "6", "--gan", "--adv",
+        "3", "--seed", "8", "--out", out.to_str().unwrap(), "--resume",
+        snapshot.to_str().unwrap(),
+    ]);
+    assert!(err.contains("fingerprint mismatch"), "{err}");
+    assert!(err.contains("seed=7") && err.contains("seed=8"), "{err}");
+
+    // A future-version container asks for an upgrade instead of
+    // misparsing.
+    let mut bytes = std::fs::read(&snapshot).unwrap();
+    bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    let future = dir.join("future.ckpt");
+    std::fs::write(&future, &bytes).unwrap();
+    let mut args = plan(&out);
+    args.extend(["--resume".to_string(), future.to_str().unwrap().to_string()]);
+    let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let err = run_err(&refs);
+    assert!(err.contains("newer") && err.contains("upgrade"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_and_unknown_flags_are_usage_errors() {
+    // `--steps 3OO` used to silently train with the default step count.
+    let err = run_err(&["train", "--steps", "3OO"]);
+    assert!(err.contains("invalid value `3OO` for --steps"), "{err}");
+
+    // Misspelt flag names are rejected, not ignored.
+    let err = run_err(&["train", "--stepz", "5"]);
+    assert!(err.contains("unknown flag --stepz"), "{err}");
+
+    // Stray positional tokens are rejected.
+    let err = run_err(&["train", "steps", "5"]);
+    assert!(err.contains("unexpected argument"), "{err}");
+
+    // Boolean flags take no value.
+    let err = run_err(&["train", "--gan", "maybe"]);
+    assert!(err.contains("boolean flag"), "{err}");
+
+    // eval does not grow train-only flags silently.
+    let err = run_err(&["eval", "--model", "x.ckpt", "--halt-after", "3"]);
+    assert!(err.contains("unknown flag --halt-after"), "{err}");
+}
