@@ -8,6 +8,7 @@
 //! stability, and via [`Discriminator::prob`] for inspection.
 
 use crate::config::DiscriminatorConfig;
+use mtsr_nn::fold::{fold_bn_pair, CONV_CO_AXIS};
 use mtsr_nn::layer::Layer;
 use mtsr_nn::layers::{BatchNorm, Conv2d, Dense, GlobalAvgPool, LeakyReLU};
 use mtsr_nn::loss::sigmoid;
@@ -73,6 +74,21 @@ impl Discriminator {
     pub fn prob(&mut self, x: &Tensor) -> Result<Tensor> {
         let z = self.forward(x, false)?;
         Ok(z.map(sigmoid))
+    }
+
+    /// Folds every `d{b}.bn` into `d{b}.conv` ([`mtsr_nn::fold`]) for
+    /// eval-time inference. Destructive for training; fold a clone or a
+    /// reloaded copy.
+    pub fn fold_batchnorms(&mut self) -> Result<()> {
+        for b in 0..self.cfg.blocks {
+            fold_bn_pair(
+                self,
+                &format!("d{b}.conv"),
+                &format!("d{b}.bn"),
+                CONV_CO_AXIS,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -42,6 +42,7 @@ pub mod config;
 pub mod detector;
 pub mod discriminator;
 pub mod gan;
+pub mod infer;
 pub mod pipeline;
 pub mod saliency;
 pub mod streaming;
@@ -52,6 +53,7 @@ pub use config::{upscale_blocks, DiscriminatorConfig, SkipMode, ZipNetConfig};
 pub use discriminator::Discriminator;
 pub use gan::{GanLoss, GanTrainer, GanTrainingConfig, TrainingReport};
 pub use detector::{Detection, TrafficAnomalyDetector};
-pub use pipeline::{ArchScale, MtsrModel, MtsrPipeline};
+pub use infer::{plan_discriminator, plan_zipnet, FusePolicy, InferExec};
+pub use pipeline::{ArchScale, InferSession, MtsrModel, MtsrPipeline};
 pub use streaming::StreamingPredictor;
 pub use zipnet::ZipNet;

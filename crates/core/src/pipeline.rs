@@ -6,10 +6,11 @@ use crate::checkpoint::{CheckpointPolicy, TrainState};
 use crate::config::{DiscriminatorConfig, ZipNetConfig};
 use crate::discriminator::Discriminator;
 use crate::gan::{GanTrainer, GanTrainingConfig, TrainingReport};
+use crate::infer::{plan_zipnet, FusePolicy, InferExec};
 use crate::zipnet::ZipNet;
 use mtsr_nn::layer::Layer;
 use mtsr_tensor::{Result, Rng, Tensor, TensorError};
-use mtsr_traffic::augment::reassemble;
+use mtsr_traffic::augment::{reassemble, ReassemblePlan};
 use mtsr_traffic::{Dataset, SuperResolver};
 
 /// Architecture scale presets (see `ZipNetConfig`). The paper scale is a
@@ -95,6 +96,22 @@ impl MtsrModel {
     pub fn with_generator(mut self, gen: ZipNet) -> Self {
         self.gen = Some(gen);
         self
+    }
+
+    /// Builds a planned, batched full-grid inference session over the
+    /// trained generator (see [`MtsrPipeline::session`]).
+    pub fn infer_session(
+        &mut self,
+        pipe: &MtsrPipeline,
+        ds: &Dataset,
+        policy: FusePolicy,
+        batch: usize,
+    ) -> Result<InferSession> {
+        let gen = self.gen.as_mut().ok_or(TensorError::InvalidShape {
+            op: "MtsrModel::infer_session",
+            reason: "fit() must be called before infer_session()".into(),
+        })?;
+        pipe.session(gen, ds, policy, batch)
     }
 
     /// Simultaneous mutable access to the generator and (if present) the
@@ -217,15 +234,26 @@ pub struct MtsrPipeline {
     pub stride: usize,
 }
 
+/// Validated sliding-window geometry shared by the reference and
+/// planned inference paths.
+struct SlidingGeometry {
+    /// Fine-grid side length.
+    grid: usize,
+    /// Uniform probe size (window/stride alignment unit).
+    probe: usize,
+    /// Fine-grid window origins, clamped to cover the edges.
+    origins: Vec<(usize, usize)>,
+}
+
 impl MtsrPipeline {
     /// Creates a pipeline configuration.
     pub fn new(window: usize, stride: usize) -> Self {
         MtsrPipeline { window, stride }
     }
 
-    /// Predicts the full fine-grained frame at target index `t` by
-    /// sliding the generator over aligned windows.
-    pub fn predict_full(&self, gen: &mut ZipNet, ds: &Dataset, t: usize) -> Result<Tensor> {
+    /// Validates geometry against the dataset and returns
+    /// `(grid, probe_size, window origins)`.
+    fn geometry(&self, ds: &Dataset) -> Result<SlidingGeometry> {
         let layout = ds.layout();
         let g = layout.grid;
         let n = layout.uniform_size().ok_or(TensorError::InvalidShape {
@@ -247,11 +275,6 @@ impl MtsrPipeline {
                 reason: format!("stride {} must be a positive multiple of {n}", self.stride),
             });
         }
-        let sample = ds.sample_at(t)?;
-        let in_dims = sample.input.dims().to_vec(); // [1, S, sq, sq]
-        let (s, sq) = (in_dims[1], in_dims[2]);
-        let per = sq * sq;
-
         // Window origins on the fine grid (clamped to cover the edge).
         let mut origins = Vec::new();
         let mut y = 0;
@@ -271,29 +294,182 @@ impl MtsrPipeline {
             }
             y += self.stride;
         }
+        Ok(SlidingGeometry { grid: g, probe: n, origins })
+    }
+
+    /// Predicts the full fine-grained frame at target index `t` by
+    /// sliding the generator over aligned windows, one `forward` per
+    /// window through the layer stack. The reference path; see
+    /// [`MtsrPipeline::session`] for the planned fast path.
+    pub fn predict_full(&self, gen: &mut ZipNet, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let SlidingGeometry { grid: g, probe: n, origins } = self.geometry(ds)?;
+        let sample = ds.sample_at(t)?;
+        let in_dims = sample.input.dims().to_vec(); // [1, S, sq, sq]
+        let (s, sq) = (in_dims[1], in_dims[2]);
 
         let cw = self.window / n; // coarse window side
         let mut predictions = Vec::with_capacity(origins.len());
         for &(y0, x0) in &origins {
-            // Crop the S coarse frames at the aligned coarse origin.
-            let (cy, cx) = (y0 / n, x0 / n);
             let mut win = Tensor::zeros([1, 1, s, cw, cw]);
-            {
-                let src = sample.input.as_slice();
-                let dst = win.as_mut_slice();
-                for si in 0..s {
-                    for r in 0..cw {
-                        let src_off = si * per + (cy + r) * sq + cx;
-                        let dst_off = (si * cw + r) * cw;
-                        dst[dst_off..dst_off + cw]
-                            .copy_from_slice(&src[src_off..src_off + cw]);
-                    }
-                }
-            }
+            crop_coarse(
+                sample.input.as_slice(),
+                s,
+                sq,
+                (y0 / n, x0 / n),
+                cw,
+                win.as_mut_slice(),
+            );
             let pred = gen.forward(&win, false)?;
             predictions.push(((y0, x0), pred.reshape([self.window, self.window])?));
         }
         reassemble(&predictions, g)
+    }
+
+    /// Plans a reusable batched inference session for this pipeline
+    /// geometry: the generator's eval forward is compiled once into an
+    /// [`InferExec`] for `[batch, 1, S, cw, cw]` crops, and reassembly
+    /// divisors are precomputed ([`ReassemblePlan`]). Call
+    /// [`InferSession::predict_full`] per frame; steady-state runs do not
+    /// allocate.
+    pub fn session(
+        &self,
+        gen: &mut ZipNet,
+        ds: &Dataset,
+        policy: FusePolicy,
+        batch: usize,
+    ) -> Result<InferSession> {
+        let SlidingGeometry { grid: g, probe: n, origins } = self.geometry(ds)?;
+        if batch == 0 {
+            return Err(TensorError::InvalidShape {
+                op: "MtsrPipeline::session",
+                reason: "batch must be positive".into(),
+            });
+        }
+        let s = ds.s();
+        let cw = self.window / n;
+        let exec = plan_zipnet(gen, policy, batch, cw, cw)?;
+        let plan = ReassemblePlan::new(&origins, self.window, g)?;
+        Ok(InferSession {
+            exec,
+            plan,
+            origins,
+            window: self.window,
+            batch,
+            n,
+            s,
+            cw,
+            input_buf: vec![0.0; batch * s * cw * cw],
+            output_buf: vec![0.0; batch * self.window * self.window],
+        })
+    }
+}
+
+/// Copies an `S × cw × cw` coarse crop at coarse origin `(cy, cx)` out of
+/// the `[S, sq, sq]` coarse frame stack into `dst` (row-major).
+fn crop_coarse(
+    src: &[f32],
+    s: usize,
+    sq: usize,
+    (cy, cx): (usize, usize),
+    cw: usize,
+    dst: &mut [f32],
+) {
+    let per = sq * sq;
+    for si in 0..s {
+        for r in 0..cw {
+            let src_off = si * per + (cy + r) * sq + cx;
+            let dst_off = (si * cw + r) * cw;
+            dst[dst_off..dst_off + cw].copy_from_slice(&src[src_off..src_off + cw]);
+        }
+    }
+}
+
+/// A planned full-grid predictor: batches of window crops stream through
+/// a compiled [`InferExec`] and into a [`ReassemblePlan`]. Built by
+/// [`MtsrPipeline::session`]; reuse it across frames — all buffers are
+/// allocated up front.
+///
+/// With [`FusePolicy::Exact`] the output is bit-identical to
+/// [`MtsrPipeline::predict_full`]: batched kernels are per-sample, crops
+/// feed the averager in the same order, and the precomputed divisors
+/// perform the same arithmetic.
+pub struct InferSession {
+    exec: InferExec,
+    plan: ReassemblePlan,
+    origins: Vec<(usize, usize)>,
+    window: usize,
+    batch: usize,
+    n: usize,
+    s: usize,
+    cw: usize,
+    input_buf: Vec<f32>,
+    output_buf: Vec<f32>,
+}
+
+impl InferSession {
+    /// Windows per executor invocation.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of sliding-window crops per frame.
+    pub fn windows_per_frame(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Predicts the full fine-grained frame at target index `t`.
+    pub fn predict_full(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
+        let sample = ds.sample_at(t)?;
+        let in_dims = sample.input.dims(); // [1, S, sq, sq]
+        let (s, sq) = (in_dims[1], in_dims[2]);
+        if s != self.s || sq < self.cw {
+            return Err(TensorError::InvalidShape {
+                op: "InferSession::predict_full",
+                reason: format!(
+                    "session planned for S={} cw={}, frame is S={s} sq={sq}",
+                    self.s, self.cw
+                ),
+            });
+        }
+        let crop_len = self.s * self.cw * self.cw;
+        let win_len = self.window * self.window;
+        self.plan.begin();
+        let mut start = 0;
+        while start < self.origins.len() {
+            let end = (start + self.batch).min(self.origins.len());
+            {
+                let _t = mtsr_telemetry::span("infer.crop");
+                // A partial final chunk leaves stale crops in the tail
+                // batch lanes; kernels are per-sample, so the live lanes
+                // are unaffected and the tail outputs are discarded.
+                for (bi, i) in (start..end).enumerate() {
+                    let (y0, x0) = self.origins[i];
+                    crop_coarse(
+                        sample.input.as_slice(),
+                        self.s,
+                        sq,
+                        (y0 / self.n, x0 / self.n),
+                        self.cw,
+                        &mut self.input_buf[bi * crop_len..(bi + 1) * crop_len],
+                    );
+                }
+            }
+            {
+                let _t = mtsr_telemetry::span("infer.forward");
+                self.exec.run_into(&self.input_buf, &mut self.output_buf)?;
+            }
+            {
+                let _t = mtsr_telemetry::span("infer.reassemble");
+                for (bi, i) in (start..end).enumerate() {
+                    self.plan.add_window(
+                        self.origins[i],
+                        &self.output_buf[bi * win_len..(bi + 1) * win_len],
+                    )?;
+                }
+            }
+            start = end;
+        }
+        self.plan.finish()
     }
 }
 

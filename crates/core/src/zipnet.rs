@@ -21,6 +21,7 @@
 //! training.
 
 use crate::config::{upscale_blocks, SkipMode, ZipNetConfig};
+use mtsr_nn::fold::{fold_bn_pair, CONV_CO_AXIS, DECONV_CO_AXIS};
 use mtsr_nn::layer::Layer;
 use mtsr_nn::layers::{BatchNorm, Conv2d, Conv3d, ConvTranspose3d, LeakyReLU};
 use mtsr_nn::param::Param;
@@ -158,6 +159,44 @@ impl ZipNet {
     /// The configuration the generator was built with.
     pub fn config(&self) -> &ZipNetConfig {
         &self.cfg
+    }
+
+    /// Folds every BatchNorm into its preceding conv/deconv
+    /// ([`mtsr_nn::fold`]) for eval-time inference. Afterwards the BN
+    /// layers are near-identity pass-throughs and each fused stage is one
+    /// conv. Destructive for training (running statistics are consumed);
+    /// fold a clone, or save/reload via `mtsr_nn::io` around it.
+    pub fn fold_batchnorms(&mut self) -> Result<()> {
+        let factors = upscale_blocks(self.cfg.upscale)?;
+        for i in 0..factors.len() {
+            fold_bn_pair(
+                self,
+                &format!("up{i}.deconv"),
+                &format!("up{i}.bn0"),
+                DECONV_CO_AXIS,
+            )?;
+            for j in 0..3 {
+                fold_bn_pair(
+                    self,
+                    &format!("up{i}.conv{j}"),
+                    &format!("up{i}.bn{}", j + 1),
+                    CONV_CO_AXIS,
+                )?;
+            }
+        }
+        fold_bn_pair(self, "collapse", "collapse.bn", CONV_CO_AXIS)?;
+        for i in 0..self.cfg.zipper_modules {
+            fold_bn_pair(
+                self,
+                &format!("zip{i}.conv"),
+                &format!("zip{i}.bn"),
+                CONV_CO_AXIS,
+            )?;
+        }
+        fold_bn_pair(self, "tail0", "tail0.bn", CONV_CO_AXIS)?;
+        fold_bn_pair(self, "tail1", "tail1.bn", CONV_CO_AXIS)?;
+        // tail2 has no BatchNorm behind it.
+        Ok(())
     }
 
     fn check_input(&self, x: &Tensor) -> Result<()> {

@@ -1,0 +1,325 @@
+//! Batch-norm folding for the inference fast path.
+//!
+//! At eval time a [`crate::BatchNorm`] is a per-channel affine map with
+//! constants derived from the running statistics:
+//!
+//! ```text
+//! y_c = γ_c · (x_c − μ_c) / √(σ²_c + ε) + β_c
+//!     = s_c · x_c + (β_c − s_c · μ_c),      s_c = γ_c / √(σ²_c + ε)
+//! ```
+//!
+//! When `x` is the output of a convolution (plain or transposed) with
+//! weight `W` and bias `b`, the pair collapses into the convolution
+//! alone: `W'[c, ..] = s_c · W[c, ..]` along the output-channel axis and
+//! `b'_c = s_c · b_c + β_c − s_c · μ_c`. After folding, the BN layer is
+//! reset to the identity transform (γ=1, β=0, μ=0, σ²=1) so a model that
+//! still runs it produces the same output up to the negligible
+//! `1/√(1+ε)` factor; the planned inference executor skips folded BN
+//! layers outright.
+//!
+//! Folding re-associates floating-point products, so a folded model
+//! matches the unfolded eval model to f32 round-off, **not** bit-exactly.
+//! Tests therefore compare with tolerances; the bit-exact fused path is
+//! the `Exact` fuse policy, which carries the BN constants into the GEMM
+//! epilogue instead of pre-scaling weights.
+//!
+//! Layer fields are private to their modules, so folding works through
+//! the [`Layer`] visitor API by parameter *name*: callers identify the
+//! conv/BN pair by the name prefixes they were constructed with.
+
+use crate::layer::Layer;
+use crate::layers::BN_EPS;
+use mtsr_tensor::{Result, TensorError};
+
+/// Output channels live on axis 0 of `Conv2d`/`Conv3d` weights
+/// (`[Co, Ci, ..]`).
+pub const CONV_CO_AXIS: usize = 0;
+/// Output channels live on axis 1 of transposed-conv weights
+/// (`[Ci, Co, ..]`).
+pub const DECONV_CO_AXIS: usize = 1;
+
+fn fold_err(reason: String) -> TensorError {
+    TensorError::InvalidShape {
+        op: "fold_batchnorm",
+        reason,
+    }
+}
+
+/// The per-channel affine a BN eval pass applies: `y = scale·x + shift`
+/// with `scale_c = γ_c/√(σ²_c+ε)` and `shift_c = β_c − μ_c·scale_c`.
+/// Shared by in-place folding and the planned executor's folded policy so
+/// both produce identical constants.
+pub fn bn_fold_constants(
+    gamma: &[f32],
+    beta: &[f32],
+    mean: &[f32],
+    var: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let scale: Vec<f32> = gamma
+        .iter()
+        .zip(var)
+        .map(|(g, v)| g * (1.0 / (v + BN_EPS).sqrt()))
+        .collect();
+    let shift: Vec<f32> = beta
+        .iter()
+        .zip(mean)
+        .zip(&scale)
+        .map(|((b, m), s)| b - m * s)
+        .collect();
+    (scale, shift)
+}
+
+/// Multiplies `w` by `scale[c]` along channel axis `co_axis`
+/// (`dims[co_axis]` must equal `scale.len()`).
+pub fn scale_channel_axis(
+    dims: &[usize],
+    data: &mut [f32],
+    co_axis: usize,
+    scale: &[f32],
+) -> Result<()> {
+    if co_axis >= dims.len() || dims[co_axis] != scale.len() {
+        return Err(fold_err(format!(
+            "weight dims {dims:?} lack {} channels on axis {co_axis}",
+            scale.len()
+        )));
+    }
+    let co = scale.len();
+    let inner: usize = dims[co_axis + 1..].iter().product();
+    let outer: usize = dims[..co_axis].iter().product();
+    for o in 0..outer {
+        for (c, s) in scale.iter().enumerate() {
+            let base = (o * co + c) * inner;
+            for v in &mut data[base..base + inner] {
+                *v *= s;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Folds the batch-norm whose parameters are named `{bn_prefix}.*` into
+/// the convolution named `{conv_prefix}.*` inside `net`, in place.
+///
+/// `co_axis` selects the weight axis indexing output channels:
+/// [`CONV_CO_AXIS`] for `Conv2d`/`Conv3d`, [`DECONV_CO_AXIS`] for the
+/// transposed variants. Errors if either prefix resolves to nothing or
+/// channel counts disagree. Folding a pair twice is harmless only in the
+/// trivial sense that the second fold multiplies by the identity; callers
+/// should fold once on a freshly trained/loaded model.
+pub fn fold_bn_pair(
+    net: &mut dyn Layer,
+    conv_prefix: &str,
+    bn_prefix: &str,
+    co_axis: usize,
+) -> Result<()> {
+    let gamma_name = format!("{bn_prefix}.gamma");
+    let beta_name = format!("{bn_prefix}.beta");
+    let mean_name = format!("{bn_prefix}.running_mean");
+    let var_name = format!("{bn_prefix}.running_var");
+
+    // Snapshot the BN constants before mutating anything.
+    let mut gamma = None;
+    let mut beta = None;
+    net.visit_params(&mut |p| {
+        if p.name == gamma_name {
+            gamma = Some(p.value.clone());
+        } else if p.name == beta_name {
+            beta = Some(p.value.clone());
+        }
+    });
+    let mut mean = None;
+    let mut var = None;
+    net.visit_buffers(&mut |p| {
+        if p.name == mean_name {
+            mean = Some(p.value.clone());
+        } else if p.name == var_name {
+            var = Some(p.value.clone());
+        }
+    });
+    let (gamma, beta, mean, var) = match (gamma, beta, mean, var) {
+        (Some(g), Some(b), Some(m), Some(v)) => (g, b, m, v),
+        _ => {
+            return Err(fold_err(format!(
+                "no BatchNorm with prefix {bn_prefix:?} found in the network"
+            )))
+        }
+    };
+    let channels = gamma.numel();
+    let (scale, shift) = bn_fold_constants(
+        gamma.as_slice(),
+        beta.as_slice(),
+        mean.as_slice(),
+        var.as_slice(),
+    );
+
+    // Rewrite the conv weight (scaled along `co_axis`) and bias.
+    let w_name = format!("{conv_prefix}.weight");
+    let b_name = format!("{conv_prefix}.bias");
+    let mut w_done = false;
+    let mut b_done = false;
+    let mut err: Option<TensorError> = None;
+    net.visit_params(&mut |p| {
+        if p.name == w_name {
+            let dims = p.value.dims().to_vec();
+            if let Err(e) = scale_channel_axis(&dims, p.value.as_mut_slice(), co_axis, &scale) {
+                err = Some(e);
+                return;
+            }
+            w_done = true;
+        } else if p.name == b_name {
+            if p.value.numel() != channels {
+                err = Some(fold_err(format!(
+                    "bias {b_name:?} has {} elements, expected {channels}",
+                    p.value.numel()
+                )));
+                return;
+            }
+            for ((bv, s), sh) in p.value.as_mut_slice().iter_mut().zip(&scale).zip(&shift) {
+                *bv = *bv * s + sh;
+            }
+            b_done = true;
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if !w_done || !b_done {
+        return Err(fold_err(format!(
+            "no convolution with prefix {conv_prefix:?} found in the network"
+        )));
+    }
+
+    // Neutralise the BN layer so running it is (near-)identity.
+    net.visit_params(&mut |p| {
+        if p.name == gamma_name {
+            p.value.as_mut_slice().fill(1.0);
+        } else if p.name == beta_name {
+            p.value.as_mut_slice().fill(0.0);
+        }
+    });
+    net.visit_buffers(&mut |p| {
+        if p.name == mean_name {
+            p.value.as_mut_slice().fill(0.0);
+        } else if p.name == var_name {
+            p.value.as_mut_slice().fill(1.0);
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Sequential;
+    use crate::layers::{BatchNorm, Conv2d, ConvTranspose2d, LeakyReLU};
+    use mtsr_tensor::conv::Conv2dSpec;
+    use mtsr_tensor::{Rng, Tensor};
+
+    /// Gives the BN layers non-trivial affine + running statistics by
+    /// randomising γ/β and pushing a few training batches through.
+    fn warm_up(net: &mut Sequential, in_ch: usize, rng: &mut Rng) {
+        net.visit_params(&mut |p| {
+            if p.name.ends_with(".gamma") {
+                for v in p.value.as_mut_slice() {
+                    *v = rng.uniform(0.5, 1.5);
+                }
+            } else if p.name.ends_with(".beta") {
+                for v in p.value.as_mut_slice() {
+                    *v = rng.uniform(-0.5, 0.5);
+                }
+            }
+        });
+        for _ in 0..3 {
+            let x = Tensor::rand_normal([2, in_ch, 6, 6], 0.3, 1.2, rng);
+            net.forward(&x, true).unwrap();
+        }
+    }
+
+    fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn folded_conv_matches_unfolded_eval() {
+        let mut rng = Rng::seed_from(41);
+        let mut net = Sequential::new()
+            .push(Conv2d::new("c", 2, 5, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(BatchNorm::new("b", 5))
+            .push(LeakyReLU::new(0.1));
+        warm_up(&mut net, 2, &mut rng);
+
+        let x = Tensor::rand_normal([3, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y_ref = net.forward(&x, false).unwrap();
+        fold_bn_pair(&mut net, "c", "b", CONV_CO_AXIS).unwrap();
+        let y_fold = net.forward(&x, false).unwrap();
+
+        let diff = max_abs_diff(&y_ref, &y_fold);
+        assert!(diff < 1e-4, "fold changed conv output by {diff}");
+    }
+
+    #[test]
+    fn folded_deconv_matches_unfolded_eval() {
+        let mut rng = Rng::seed_from(42);
+        let mut net = Sequential::new()
+            .push(ConvTranspose2d::new(
+                "d",
+                3,
+                4,
+                (2, 2),
+                Conv2dSpec::new(2, 0),
+                &mut rng,
+            ))
+            .push(BatchNorm::new("b", 4))
+            .push(LeakyReLU::new(0.1));
+        warm_up(&mut net, 3, &mut rng);
+
+        let x = Tensor::rand_normal([2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let y_ref = net.forward(&x, false).unwrap();
+        fold_bn_pair(&mut net, "d", "b", DECONV_CO_AXIS).unwrap();
+        let y_fold = net.forward(&x, false).unwrap();
+
+        let diff = max_abs_diff(&y_ref, &y_fold);
+        assert!(diff < 1e-4, "fold changed deconv output by {diff}");
+    }
+
+    #[test]
+    fn fold_resets_bn_to_identity() {
+        let mut rng = Rng::seed_from(43);
+        let mut net = Sequential::new()
+            .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(BatchNorm::new("b", 2));
+        warm_up(&mut net, 1, &mut rng);
+        fold_bn_pair(&mut net, "c", "b", CONV_CO_AXIS).unwrap();
+
+        net.visit_params(&mut |p| {
+            if p.name == "b.gamma" {
+                assert!(p.value.as_slice().iter().all(|&v| v == 1.0));
+            } else if p.name == "b.beta" {
+                assert!(p.value.as_slice().iter().all(|&v| v == 0.0));
+            }
+        });
+        net.visit_buffers(&mut |p| {
+            if p.name == "b.running_mean" {
+                assert!(p.value.as_slice().iter().all(|&v| v == 0.0));
+            } else if p.name == "b.running_var" {
+                assert!(p.value.as_slice().iter().all(|&v| v == 1.0));
+            }
+        });
+    }
+
+    #[test]
+    fn fold_rejects_unknown_prefixes() {
+        let mut rng = Rng::seed_from(44);
+        let mut net = Sequential::new()
+            .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(BatchNorm::new("b", 2));
+        assert!(fold_bn_pair(&mut net, "c", "nope", CONV_CO_AXIS).is_err());
+        assert!(fold_bn_pair(&mut net, "nope", "b", CONV_CO_AXIS).is_err());
+        // Wrong axis: channel count mismatch (weight is [2, 1, 3, 3]).
+        assert!(fold_bn_pair(&mut net, "c", "b", DECONV_CO_AXIS).is_err());
+    }
+}

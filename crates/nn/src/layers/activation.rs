@@ -19,6 +19,12 @@ impl LeakyReLU {
             cached_x: None,
         }
     }
+
+    /// The negative slope, exposed for the inference fast path (which
+    /// folds the activation into the preceding conv's fused epilogue).
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
 }
 
 impl Default for LeakyReLU {
@@ -31,8 +37,11 @@ impl Default for LeakyReLU {
 impl Layer for LeakyReLU {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
         self.cached_x = Some(x.clone());
-        let a = self.alpha;
-        Ok(x.map(|v| if v > 0.0 { v } else { a * v }))
+        // Pool-partitioned slice kernel: large maps split across the
+        // worker pool; the elementwise result is partition-invariant.
+        let mut y = Tensor::zeros(x.dims().to_vec());
+        mtsr_tensor::ops::leaky_relu_slice(x.as_slice(), y.as_mut_slice(), self.alpha);
+        Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -40,14 +49,17 @@ impl Layer for LeakyReLU {
             op: "LeakyReLU",
             reason: "backward called before forward".into(),
         })?;
-        let a = self.alpha;
-        grad_out.zip(x, "leaky_relu_backward", |g, xv| {
-            if xv > 0.0 {
-                g
-            } else {
-                a * g
-            }
-        })
+        grad_out
+            .shape()
+            .check_same(x.shape(), "leaky_relu_backward")?;
+        let mut gx = Tensor::zeros(x.dims().to_vec());
+        mtsr_tensor::ops::leaky_relu_bwd_slice(
+            grad_out.as_slice(),
+            x.as_slice(),
+            gx.as_mut_slice(),
+            self.alpha,
+        );
+        Ok(gx)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

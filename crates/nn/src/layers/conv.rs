@@ -11,11 +11,13 @@ use crate::init::{conv_fan_in, he_normal};
 use crate::layer::Layer;
 use crate::param::Param;
 use mtsr_tensor::conv::{
-    conv2d_backward_data, conv2d_backward_weights, conv2d_forward, conv3d_backward_data,
-    conv3d_backward_weights, conv3d_forward, conv_transpose2d_backward_data,
-    conv_transpose2d_backward_weights, conv_transpose2d_forward, conv_transpose3d_backward_data,
-    conv_transpose3d_backward_weights, conv_transpose3d_forward, Conv2dSpec, Conv3dSpec,
+    conv2d_backward_data, conv2d_backward_weights, conv2d_forward_fused, conv3d_backward_data,
+    conv3d_backward_weights, conv3d_forward_fused, conv_transpose2d_backward_data,
+    conv_transpose2d_backward_weights, conv_transpose2d_forward_fused,
+    conv_transpose3d_backward_data, conv_transpose3d_backward_weights,
+    conv_transpose3d_forward_fused, Conv2dSpec, Conv3dSpec,
 };
+use mtsr_tensor::matmul::Epilogue;
 use mtsr_tensor::{Result, Rng, Tensor, TensorError};
 
 /// Default LeakyReLU slope assumed by the He-init gain (matches the
@@ -72,9 +74,12 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
-        let y = conv2d_forward(x, &self.w.value, &self.spec)?;
+        // Bias rides the fused GEMM epilogue: bit-identical to a separate
+        // per-channel sweep, one fewer pass over the output.
+        let ep = Epilogue::new(self.b.value.as_slice());
+        let y = conv2d_forward_fused(x, &self.w.value, &self.spec, Some(&ep))?;
         self.cached_x = Some(x.clone());
-        y.apply_per_channel(&self.b.value, |v, b| v + b)
+        Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -135,9 +140,10 @@ impl ConvTranspose2d {
 
 impl Layer for ConvTranspose2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
-        let y = conv_transpose2d_forward(x, &self.w.value, &self.spec)?;
+        let ep = Epilogue::new(self.b.value.as_slice());
+        let y = conv_transpose2d_forward_fused(x, &self.w.value, &self.spec, Some(&ep))?;
         self.cached_x = Some(x.clone());
-        y.apply_per_channel(&self.b.value, |v, b| v + b)
+        Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -196,9 +202,10 @@ impl Conv3d {
 
 impl Layer for Conv3d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
-        let y = conv3d_forward(x, &self.w.value, &self.spec)?;
+        let ep = Epilogue::new(self.b.value.as_slice());
+        let y = conv3d_forward_fused(x, &self.w.value, &self.spec, Some(&ep))?;
         self.cached_x = Some(x.clone());
-        y.apply_per_channel(&self.b.value, |v, b| v + b)
+        Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -259,9 +266,10 @@ impl ConvTranspose3d {
 
 impl Layer for ConvTranspose3d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
-        let y = conv_transpose3d_forward(x, &self.w.value, &self.spec)?;
+        let ep = Epilogue::new(self.b.value.as_slice());
+        let y = conv_transpose3d_forward_fused(x, &self.w.value, &self.spec, Some(&ep))?;
         self.cached_x = Some(x.clone());
-        y.apply_per_channel(&self.b.value, |v, b| v + b)
+        Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -13,6 +13,6 @@ pub use activation::{LeakyReLU, Sigmoid};
 pub use conv::{Conv2d, Conv3d, ConvTranspose2d, ConvTranspose3d};
 pub use dense::Dense;
 pub use dropout::Dropout;
-pub use norm::BatchNorm;
+pub use norm::{BatchNorm, BN_EPS};
 pub use pool::GlobalAvgPool;
 pub use reshape::Flatten;

@@ -5,6 +5,11 @@ use crate::layer::Layer;
 use crate::param::Param;
 use mtsr_tensor::{Result, Tensor, TensorError};
 
+/// The ε every [`BatchNorm`] in the workspace uses. Public so the
+/// inference fast path (BN folding, fused epilogues) can reproduce
+/// `1/√(σ² + ε)` with the exact same constant the layer forward uses.
+pub const BN_EPS: f32 = 1e-5;
+
 /// Batch normalisation with learnable affine (γ, β) and running statistics
 /// for inference.
 ///
@@ -42,7 +47,7 @@ impl BatchNorm {
             running_mean: Param::new(format!("{name}.running_mean"), Tensor::zeros([channels])),
             running_var: Param::new(format!("{name}.running_var"), Tensor::ones([channels])),
             momentum: 0.1,
-            eps: 1e-5,
+            eps: BN_EPS,
             cache: None,
         }
     }

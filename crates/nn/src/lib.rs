@@ -19,6 +19,7 @@
 //! backward passes and add the gradients at the junction tensor.
 
 pub mod clip;
+pub mod fold;
 pub mod grad_check;
 pub mod init;
 pub mod io;
@@ -29,6 +30,7 @@ pub mod optim;
 pub mod param;
 pub mod schedule;
 
+pub use fold::{bn_fold_constants, fold_bn_pair, scale_channel_axis, CONV_CO_AXIS, DECONV_CO_AXIS};
 pub use layer::{Layer, Sequential};
 pub use layers::{
     BatchNorm, Conv2d, Conv3d, ConvTranspose2d, ConvTranspose3d, Dense, Flatten, GlobalAvgPool,

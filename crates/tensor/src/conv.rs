@@ -21,10 +21,32 @@
 
 use crate::error::{Result, TensorError};
 use crate::im2col::{col2im2d, col2im3d, with_im2col2d, with_im2col3d, Geom2d, Geom3d};
-use crate::matmul::{sgemm_nt_serial, sgemm_serial, sgemm_tn_serial};
+use crate::matmul::{sgemm_nt_serial, sgemm_serial, sgemm_serial_fused, sgemm_tn_serial, Epilogue};
 use crate::parallel::{par_chunks_mut, par_fold_sum};
 use crate::scratch::with_scratch;
 use crate::tensor::Tensor;
+
+/// Validates that every per-channel epilogue array has one entry per
+/// output channel before it reaches the per-row indexing in the kernels.
+fn check_epilogue(ep: Option<&Epilogue<'_>>, co: usize, op: &'static str) -> Result<()> {
+    if let Some(e) = ep {
+        let mut ok = e.bias.len() == co;
+        if let Some(bn) = &e.bn {
+            ok = ok
+                && bn.mean.len() == co
+                && bn.inv_std.len() == co
+                && bn.gamma.len() == co
+                && bn.beta.len() == co;
+        }
+        if !ok {
+            return Err(TensorError::InvalidShape {
+                op,
+                reason: format!("epilogue arrays need one entry per output channel ({co})"),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Stride/padding pair for 2D convolutions, `(vertical, horizontal)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,22 +127,57 @@ fn geom2d(x_dims: &[usize], w_dims: &[usize], spec: &Conv2dSpec) -> Result<Geom2
 
 /// 2D convolution forward: `[N,Ci,H,W] ⊛ [Co,Ci,KH,KW] → [N,Co,OH,OW]`.
 pub fn conv2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    conv2d_forward_fused(x, w, spec, None)
+}
+
+/// [`conv2d_forward`] with an optional bias/BN/LReLU [`Epilogue`] fused
+/// into the per-sample GEMM's store phase (row = output channel). With
+/// `ep = None` this *is* the plain forward.
+pub fn conv2d_forward_fused(
+    x: &Tensor,
+    w: &Tensor,
+    spec: &Conv2dSpec,
+    ep: Option<&Epilogue<'_>>,
+) -> Result<Tensor> {
     let g = geom2d(x.dims(), w.dims(), spec)?;
     let (n, co) = (x.dims()[0], w.dims()[0]);
-    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut out = Tensor::zeros([n, co, g.out_h(), g.out_w()]);
+    conv2d_forward_into(x.as_slice(), x.dims(), w.as_slice(), w.dims(), spec, out.as_mut_slice(), ep)?;
+    Ok(out)
+}
+
+/// Slice-based [`conv2d_forward_fused`] writing into a caller-owned
+/// buffer: the allocation-free entry point the planned inference executor
+/// drives arena slots through. `out` must hold exactly
+/// `N · Co · OH · OW` elements.
+pub fn conv2d_forward_into(
+    x: &[f32],
+    x_dims: &[usize],
+    w: &[f32],
+    w_dims: &[usize],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) -> Result<()> {
+    let g = geom2d(x_dims, w_dims, spec)?;
+    let (n, co) = (x_dims[0], w_dims[0]);
+    check_epilogue(ep, co, "conv2d_forward")?;
     let in_sz = g.c * g.h * g.w;
-    let out_sz = co * oh * ow;
-    let mut out = Tensor::zeros([n, co, oh, ow]);
-    let xs = x.as_slice();
-    let ws = w.as_slice();
+    let out_sz = co * g.out_h() * g.out_w();
+    assert_eq!(x.len(), n * in_sz, "conv2d_forward_into: bad x length");
+    assert_eq!(w.len(), co * g.col_rows(), "conv2d_forward_into: bad w length");
+    assert_eq!(out.len(), n * out_sz, "conv2d_forward_into: bad out length");
     let _span = mtsr_telemetry::span("tensor.conv2d.forward");
     mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
-    par_chunks_mut(out.as_mut_slice(), out_sz, |ni, o| {
-        with_im2col2d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
-            sgemm_serial(ws, cols, o, co, g.col_rows(), g.col_cols(), false);
+    par_chunks_mut(out, out_sz, |ni, o| {
+        with_im2col2d(&x[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
+            match ep {
+                Some(e) => sgemm_serial_fused(w, cols, o, co, g.col_rows(), g.col_cols(), e),
+                None => sgemm_serial(w, cols, o, co, g.col_rows(), g.col_cols(), false),
+            }
         });
     });
-    Ok(out)
+    Ok(())
 }
 
 /// 2D convolution backward-data: gradient w.r.t. the input.
@@ -133,48 +190,90 @@ pub fn conv2d_backward_data(
     spec: &Conv2dSpec,
     input_hw: (usize, usize),
 ) -> Result<Tensor> {
-    let (n, co) = (gout.dims()[0], gout.dims()[1]);
-    let ci = w.dims()[1];
-    let g = geom2d(&[n, ci, input_hw.0, input_hw.1], w.dims(), spec)?;
-    if gout.dims() != [n, co, g.out_h(), g.out_w()] {
+    let (n, ci) = (gout.dims()[0], w.dims()[1]);
+    let mut gx = Tensor::zeros([n, ci, input_hw.0, input_hw.1]);
+    conv2d_backward_data_into(
+        gout.as_slice(),
+        gout.dims(),
+        w.as_slice(),
+        w.dims(),
+        spec,
+        input_hw,
+        gx.as_mut_slice(),
+        None,
+    )?;
+    Ok(gx)
+}
+
+/// Slice-based [`conv2d_backward_data`]. The optional [`Epilogue`] exists
+/// for the transposed-convolution *forward* built on this adjoint: the
+/// col2im scatter-add must finish before any non-linear epilogue may run,
+/// so it is swept per sample after the scatter (row = the produced
+/// channel `Ci`, which is the deconv's output channel). The per-element
+/// op order matches the fused GEMM store exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_data_into(
+    gout: &[f32],
+    gout_dims: &[usize],
+    w: &[f32],
+    w_dims: &[usize],
+    spec: &Conv2dSpec,
+    input_hw: (usize, usize),
+    gx: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) -> Result<()> {
+    if gout_dims.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "conv2d_backward_data",
+            reason: format!("expected rank-4 gradient, got {gout_dims:?}"),
+        });
+    }
+    let (n, co) = (gout_dims[0], gout_dims[1]);
+    let ci = w_dims[1];
+    let g = geom2d(&[n, ci, input_hw.0, input_hw.1], w_dims, spec)?;
+    if gout_dims != [n, co, g.out_h(), g.out_w()] {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_backward_data",
-            lhs: gout.dims().to_vec(),
+            lhs: gout_dims.to_vec(),
             rhs: vec![n, co, g.out_h(), g.out_w()],
         });
     }
-    if w.dims()[0] != co {
+    if w_dims[0] != co {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_backward_data(channels)",
-            lhs: gout.dims().to_vec(),
-            rhs: w.dims().to_vec(),
+            lhs: gout_dims.to_vec(),
+            rhs: w_dims.to_vec(),
         });
     }
+    check_epilogue(ep, ci, "conv2d_backward_data")?;
     let in_sz = ci * input_hw.0 * input_hw.1;
     let out_sz = co * g.out_h() * g.out_w();
     let col_sz = g.col_rows() * g.col_cols();
-    let mut gx = Tensor::zeros([n, ci, input_hw.0, input_hw.1]);
-    let gs = gout.as_slice();
-    let ws = w.as_slice();
+    assert_eq!(gout.len(), n * out_sz, "conv2d_backward_data_into: bad gout length");
+    assert_eq!(gx.len(), n * in_sz, "conv2d_backward_data_into: bad gx length");
     let _span = mtsr_telemetry::span("tensor.conv2d.backward_data");
-    par_chunks_mut(gx.as_mut_slice(), in_sz, |ni, gxi| {
+    par_chunks_mut(gx, in_sz, |ni, gxi| {
         // Scratch contents are stale; the non-accumulating GEMM overwrites
         // every element before col2im reads it.
         with_scratch(col_sz, |cols| {
             // cols = Wᵀ · gout_n  ([Ci·KH·KW, Co] x [Co, OH·OW])
             sgemm_tn_serial(
-                ws,
-                &gs[ni * out_sz..(ni + 1) * out_sz],
+                w,
+                &gout[ni * out_sz..(ni + 1) * out_sz],
                 cols,
                 g.col_rows(),
                 co,
                 g.col_cols(),
                 false,
             );
+            gxi.fill(0.0);
             col2im2d(cols, &g, gxi);
+            if let Some(e) = ep {
+                e.apply_rows(gxi, input_hw.0 * input_hw.1);
+            }
         });
     });
-    Ok(gx)
+    Ok(())
 }
 
 /// 2D convolution backward-weights: gradient w.r.t. the kernel, summed over
@@ -241,6 +340,18 @@ pub fn deconv2d_out_hw(
 /// Transposed 2D convolution forward:
 /// `[N,Ci,H,W] ⊛ᵀ [Ci,Co,KH,KW] → [N,Co,OH,OW]`.
 pub fn conv_transpose2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    conv_transpose2d_forward_fused(x, w, spec, None)
+}
+
+/// [`conv_transpose2d_forward`] with an optional fused [`Epilogue`]
+/// (swept per sample after the col2im scatter-add; see
+/// [`conv2d_backward_data_into`]).
+pub fn conv_transpose2d_forward_fused(
+    x: &Tensor,
+    w: &Tensor,
+    spec: &Conv2dSpec,
+    ep: Option<&Epilogue<'_>>,
+) -> Result<Tensor> {
     let d = x.dims();
     if d.len() != 4 || w.dims().len() != 4 {
         return Err(TensorError::InvalidShape {
@@ -253,9 +364,43 @@ pub fn conv_transpose2d_forward(x: &Tensor, w: &Tensor, spec: &Conv2dSpec) -> Re
         });
     }
     let (oh, ow) = deconv2d_out_hw((d[2], d[3]), (w.dims()[2], w.dims()[3]), spec)?;
+    let (n, co) = (d[0], w.dims()[1]);
+    let mut out = Tensor::zeros([n, co, oh, ow]);
+    conv_transpose2d_forward_into(
+        x.as_slice(),
+        d,
+        w.as_slice(),
+        w.dims(),
+        spec,
+        out.as_mut_slice(),
+        ep,
+    )?;
+    Ok(out)
+}
+
+/// Slice-based [`conv_transpose2d_forward_fused`] writing into a
+/// caller-owned buffer of `N · Co · OH · OW` elements.
+pub fn conv_transpose2d_forward_into(
+    x: &[f32],
+    x_dims: &[usize],
+    w: &[f32],
+    w_dims: &[usize],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) -> Result<()> {
+    if x_dims.len() != 4 || w_dims.len() != 4 {
+        return Err(TensorError::InvalidShape {
+            op: "conv_transpose2d",
+            reason: format!(
+                "expected input [N,Ci,H,W] and weight [Ci,Co,KH,KW], got {x_dims:?} / {w_dims:?}"
+            ),
+        });
+    }
+    let (oh, ow) = deconv2d_out_hw((x_dims[2], x_dims[3]), (w_dims[2], w_dims[3]), spec)?;
     // x plays the role of the conv output-gradient; the adjoint conv runs
     // over the *deconv output* geometry.
-    conv2d_backward_data(x, w, spec, (oh, ow))
+    conv2d_backward_data_into(x, x_dims, w, w_dims, spec, (oh, ow), out, ep)
 }
 
 /// Transposed 2D convolution backward-data (= plain conv forward of the
@@ -317,22 +462,135 @@ fn geom3d(x_dims: &[usize], w_dims: &[usize], spec: &Conv3dSpec) -> Result<Geom3
 
 /// 3D convolution forward: `[N,Ci,D,H,W] ⊛ [Co,Ci,KD,KH,KW] → [N,Co,OD,OH,OW]`.
 pub fn conv3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Result<Tensor> {
+    conv3d_forward_fused(x, w, spec, None)
+}
+
+/// [`conv3d_forward`] with an optional [`Epilogue`] fused into the
+/// per-sample GEMM's store phase (row = output channel).
+pub fn conv3d_forward_fused(
+    x: &Tensor,
+    w: &Tensor,
+    spec: &Conv3dSpec,
+    ep: Option<&Epilogue<'_>>,
+) -> Result<Tensor> {
     let g = geom3d(x.dims(), w.dims(), spec)?;
     let (n, co) = (x.dims()[0], w.dims()[0]);
-    let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
+    let mut out = Tensor::zeros([n, co, g.out_d(), g.out_h(), g.out_w()]);
+    conv3d_forward_into(x.as_slice(), x.dims(), w.as_slice(), w.dims(), spec, out.as_mut_slice(), ep)?;
+    Ok(out)
+}
+
+/// Slice-based [`conv3d_forward_fused`] writing into a caller-owned
+/// buffer of `N · Co · OD · OH · OW` elements.
+pub fn conv3d_forward_into(
+    x: &[f32],
+    x_dims: &[usize],
+    w: &[f32],
+    w_dims: &[usize],
+    spec: &Conv3dSpec,
+    out: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) -> Result<()> {
+    let g = geom3d(x_dims, w_dims, spec)?;
+    let (n, co) = (x_dims[0], w_dims[0]);
+    check_epilogue(ep, co, "conv3d_forward")?;
     let in_sz = g.c * g.d * g.h * g.w;
-    let out_sz = co * od * oh * ow;
-    let mut out = Tensor::zeros([n, co, od, oh, ow]);
-    let xs = x.as_slice();
-    let ws = w.as_slice();
+    let out_sz = co * g.out_d() * g.out_h() * g.out_w();
+    assert_eq!(x.len(), n * in_sz, "conv3d_forward_into: bad x length");
+    assert_eq!(w.len(), co * g.col_rows(), "conv3d_forward_into: bad w length");
+    assert_eq!(out.len(), n * out_sz, "conv3d_forward_into: bad out length");
     let _span = mtsr_telemetry::span("tensor.conv3d.forward");
     mtsr_telemetry::add_counter("tensor.im2col3d.calls", n as u64);
-    par_chunks_mut(out.as_mut_slice(), out_sz, |ni, o| {
-        with_im2col3d(&xs[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
-            sgemm_serial(ws, cols, o, co, g.col_rows(), g.col_cols(), false);
-        });
+    // Valid temporal-tap range per output depth. Same-padding over a
+    // short D axis clips the range at the edges, making whole depth-tap
+    // row blocks of the im2col matrix identically zero; the per-oz route
+    // below skips that structurally-zero work (a `w·0` term contributes
+    // exactly nothing to an ascending-k accumulation, so dropping it is
+    // bit-identical). Degenerate geometries where some oz has *no* valid
+    // tap keep the full route, whose zero-filled columns handle them.
+    let clipped = (0..g.out_d()).any(|oz| {
+        let (lo, hi) = tap_range3d(&g, oz);
+        lo > 0 || hi < g.kd
     });
-    Ok(out)
+    // Restrict to geometries where every per-oz product still takes the
+    // packed kernel: GEMM-path selection is by shape, and the packed and
+    // small-product kernels round differently, so crossing the threshold
+    // would break the route's bit-identity to the full lowering.
+    let ohw = g.out_h() * g.out_w();
+    let per_oz = clipped
+        && (0..g.out_d()).all(|oz| {
+            let (lo, hi) = tap_range3d(&g, oz);
+            hi > lo && !crate::matmul::is_small(co, g.c * (hi - lo) * g.kh * g.kw, ohw)
+        })
+        && !crate::im2col::reference_kernels();
+    par_chunks_mut(out, out_sz, |ni, o| {
+        let xs = &x[ni * in_sz..(ni + 1) * in_sz];
+        if per_oz {
+            conv3d_sample_per_oz(xs, w, &g, co, o, ep);
+        } else {
+            with_im2col3d(xs, &g, |cols| match ep {
+                Some(e) => sgemm_serial_fused(w, cols, o, co, g.col_rows(), g.col_cols(), e),
+                None => sgemm_serial(w, cols, o, co, g.col_rows(), g.col_cols(), false),
+            });
+        }
+    });
+    Ok(())
+}
+
+/// Valid temporal-tap range `[lo, hi)` for output depth `oz`: the `kd`
+/// indices whose input depth `oz·sd + kd − pd` lands inside `[0, d)`.
+#[inline]
+fn tap_range3d(g: &Geom3d, oz: usize) -> (usize, usize) {
+    let lo = g.pd.saturating_sub(oz * g.sd);
+    let hi = (g.d + g.pd).saturating_sub(oz * g.sd).min(g.kd);
+    (lo, hi)
+}
+
+/// One conv3d sample as `out_d` narrow GEMMs, each over only the valid
+/// temporal taps of its output depth (see the range computation in
+/// [`conv3d_forward_into`]). Rows keep the full matrix's `(c, kd, kh,
+/// kw)` order, so each GEMM performs the full lowering's exact fmadd
+/// sequence minus the zero terms — results are bit-identical.
+fn conv3d_sample_per_oz(
+    xs: &[f32],
+    w: &[f32],
+    g: &Geom3d,
+    co: usize,
+    o: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) {
+    let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
+    let ohw = oh * ow;
+    let khw = g.kh * g.kw;
+    for oz in 0..od {
+        let (lo, hi) = tap_range3d(g, oz);
+        let taps = hi - lo;
+        let k_valid = g.c * taps * khw;
+        // Weight columns for kd ∈ [lo, hi): per (co, c) block one
+        // contiguous span, preserving the original row order.
+        crate::scratch::with_scratch(co * k_valid, |wv| {
+            for coi in 0..co {
+                for ci in 0..g.c {
+                    let src = ((coi * g.c + ci) * g.kd + lo) * khw;
+                    let dst = (coi * g.c + ci) * taps * khw;
+                    wv[dst..dst + taps * khw].copy_from_slice(&w[src..src + taps * khw]);
+                }
+            }
+            crate::scratch::with_scratch(k_valid * ohw, |cols| {
+                crate::im2col::im2col3d_oz(xs, g, oz, lo, hi, cols);
+                crate::scratch::with_scratch(co * ohw, |oz_out| {
+                    match ep {
+                        Some(e) => sgemm_serial_fused(wv, cols, oz_out, co, k_valid, ohw, e),
+                        None => sgemm_serial(wv, cols, oz_out, co, k_valid, ohw, false),
+                    }
+                    for coi in 0..co {
+                        o[(coi * od + oz) * ohw..(coi * od + oz + 1) * ohw]
+                            .copy_from_slice(&oz_out[coi * ohw..(coi + 1) * ohw]);
+                    }
+                });
+            });
+        });
+    }
 }
 
 /// 3D convolution backward-data. `input_dhw` is the original `(D, H, W)`.
@@ -342,42 +600,81 @@ pub fn conv3d_backward_data(
     spec: &Conv3dSpec,
     input_dhw: (usize, usize, usize),
 ) -> Result<Tensor> {
-    let (n, co) = (gout.dims()[0], gout.dims()[1]);
-    let ci = w.dims()[1];
-    let g = geom3d(
-        &[n, ci, input_dhw.0, input_dhw.1, input_dhw.2],
+    let (n, ci) = (gout.dims()[0], w.dims()[1]);
+    let mut gx = Tensor::zeros([n, ci, input_dhw.0, input_dhw.1, input_dhw.2]);
+    conv3d_backward_data_into(
+        gout.as_slice(),
+        gout.dims(),
+        w.as_slice(),
         w.dims(),
         spec,
+        input_dhw,
+        gx.as_mut_slice(),
+        None,
     )?;
-    if gout.dims() != [n, co, g.out_d(), g.out_h(), g.out_w()] || w.dims()[0] != co {
+    Ok(gx)
+}
+
+/// Slice-based [`conv3d_backward_data`]; the optional [`Epilogue`] serves
+/// the transposed-convolution forward exactly as in
+/// [`conv2d_backward_data_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d_backward_data_into(
+    gout: &[f32],
+    gout_dims: &[usize],
+    w: &[f32],
+    w_dims: &[usize],
+    spec: &Conv3dSpec,
+    input_dhw: (usize, usize, usize),
+    gx: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) -> Result<()> {
+    if gout_dims.len() != 5 {
+        return Err(TensorError::InvalidShape {
+            op: "conv3d_backward_data",
+            reason: format!("expected rank-5 gradient, got {gout_dims:?}"),
+        });
+    }
+    let (n, co) = (gout_dims[0], gout_dims[1]);
+    let ci = w_dims[1];
+    let g = geom3d(
+        &[n, ci, input_dhw.0, input_dhw.1, input_dhw.2],
+        w_dims,
+        spec,
+    )?;
+    if gout_dims != [n, co, g.out_d(), g.out_h(), g.out_w()] || w_dims[0] != co {
         return Err(TensorError::ShapeMismatch {
             op: "conv3d_backward_data",
-            lhs: gout.dims().to_vec(),
+            lhs: gout_dims.to_vec(),
             rhs: vec![n, co, g.out_d(), g.out_h(), g.out_w()],
         });
     }
+    check_epilogue(ep, ci, "conv3d_backward_data")?;
     let in_sz = ci * g.d * g.h * g.w;
     let out_sz = co * g.out_d() * g.out_h() * g.out_w();
     let col_sz = g.col_rows() * g.col_cols();
-    let mut gx = Tensor::zeros([n, ci, input_dhw.0, input_dhw.1, input_dhw.2]);
-    let gs = gout.as_slice();
-    let ws = w.as_slice();
+    assert_eq!(gout.len(), n * out_sz, "conv3d_backward_data_into: bad gout length");
+    assert_eq!(gx.len(), n * in_sz, "conv3d_backward_data_into: bad gx length");
     let _span = mtsr_telemetry::span("tensor.conv3d.backward_data");
-    par_chunks_mut(gx.as_mut_slice(), in_sz, |ni, gxi| {
+    par_chunks_mut(gx, in_sz, |ni, gxi| {
         with_scratch(col_sz, |cols| {
             sgemm_tn_serial(
-                ws,
-                &gs[ni * out_sz..(ni + 1) * out_sz],
+                w,
+                &gout[ni * out_sz..(ni + 1) * out_sz],
                 cols,
                 g.col_rows(),
                 co,
                 g.col_cols(),
                 false,
             );
+            gxi.fill(0.0);
             col2im3d(cols, &g, gxi);
+            if let Some(e) = ep {
+                e.apply_rows(gxi, g.d * g.h * g.w);
+            }
         });
     });
-    Ok(gx)
+    Ok(())
 }
 
 /// 3D convolution backward-weights, summed over the batch.
@@ -447,6 +744,17 @@ pub fn deconv3d_out_dhw(
 ///
 /// This is the upsampling operation of ZipNet's 3D upscaling blocks.
 pub fn conv_transpose3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Result<Tensor> {
+    conv_transpose3d_forward_fused(x, w, spec, None)
+}
+
+/// [`conv_transpose3d_forward`] with an optional fused [`Epilogue`]
+/// (swept per sample after the col2im scatter-add).
+pub fn conv_transpose3d_forward_fused(
+    x: &Tensor,
+    w: &Tensor,
+    spec: &Conv3dSpec,
+    ep: Option<&Epilogue<'_>>,
+) -> Result<Tensor> {
     let d = x.dims();
     if d.len() != 5 || w.dims().len() != 5 {
         return Err(TensorError::InvalidShape {
@@ -458,12 +766,50 @@ pub fn conv_transpose3d_forward(x: &Tensor, w: &Tensor, spec: &Conv3dSpec) -> Re
             ),
         });
     }
-    let out = deconv3d_out_dhw(
+    let (od, oh, ow) = deconv3d_out_dhw(
         (d[2], d[3], d[4]),
         (w.dims()[2], w.dims()[3], w.dims()[4]),
         spec,
     )?;
-    conv3d_backward_data(x, w, spec, out)
+    let (n, co) = (d[0], w.dims()[1]);
+    let mut out = Tensor::zeros([n, co, od, oh, ow]);
+    conv_transpose3d_forward_into(
+        x.as_slice(),
+        d,
+        w.as_slice(),
+        w.dims(),
+        spec,
+        out.as_mut_slice(),
+        ep,
+    )?;
+    Ok(out)
+}
+
+/// Slice-based [`conv_transpose3d_forward_fused`] writing into a
+/// caller-owned buffer of `N · Co · OD · OH · OW` elements.
+pub fn conv_transpose3d_forward_into(
+    x: &[f32],
+    x_dims: &[usize],
+    w: &[f32],
+    w_dims: &[usize],
+    spec: &Conv3dSpec,
+    out: &mut [f32],
+    ep: Option<&Epilogue<'_>>,
+) -> Result<()> {
+    if x_dims.len() != 5 || w_dims.len() != 5 {
+        return Err(TensorError::InvalidShape {
+            op: "conv_transpose3d",
+            reason: format!(
+                "expected input [N,Ci,D,H,W] and weight [Ci,Co,KD,KH,KW], got {x_dims:?} / {w_dims:?}"
+            ),
+        });
+    }
+    let dhw = deconv3d_out_dhw(
+        (x_dims[2], x_dims[3], x_dims[4]),
+        (w_dims[2], w_dims[3], w_dims[4]),
+        spec,
+    )?;
+    conv3d_backward_data_into(x, x_dims, w, w_dims, spec, dhw, out, ep)
 }
 
 /// Transposed 3D convolution backward-data.
@@ -666,6 +1012,33 @@ mod tests {
         }
     }
 
+    /// The per-output-depth conv3d route (structurally-zero temporal
+    /// taps skipped, one narrow GEMM per `oz`) must be bit-identical to
+    /// the full im2col lowering, plain and with a fused epilogue. The
+    /// geometry makes every per-oz GEMM large enough to take the packed
+    /// kernel, so the route actually activates (see the gating in
+    /// [`conv3d_forward_into`]).
+    #[test]
+    fn conv3d_per_oz_route_matches_full_lowering_bitwise() {
+        let mut rng = Rng::seed_from(11);
+        let x = Tensor::rand_normal([2, 3, 3, 6, 7], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([4, 3, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let bias: Vec<f32> = (0..4).map(|i| 0.1 * i as f32 - 0.15).collect();
+        let spec = Conv3dSpec::same(3, 3);
+        for ep in [None, Some(Epilogue::new(&bias).leaky(0.2))] {
+            let fast = conv3d_forward_fused(&x, &w, &spec, ep.as_ref()).unwrap();
+            crate::im2col::set_reference_kernels(true);
+            let reference = conv3d_forward_fused(&x, &w, &spec, ep.as_ref()).unwrap();
+            crate::im2col::set_reference_kernels(false);
+            assert_eq!(
+                fast.as_slice(),
+                reference.as_slice(),
+                "per-oz conv3d diverges from the full lowering (ep: {})",
+                ep.is_some()
+            );
+        }
+    }
+
     #[test]
     fn conv3d_reduces_to_conv2d_when_depth_one() {
         // A [N,C,1,H,W] conv3d with kd=1 must equal the conv2d result.
@@ -768,5 +1141,89 @@ mod tests {
         let gout_bad = Tensor::zeros([1, 2, 9, 9]);
         let w = Tensor::zeros([2, 3, 3, 3]);
         assert!(conv2d_backward_data(&gout_bad, &w, &Conv2dSpec::new(1, 1), (4, 4)).is_err());
+    }
+
+    /// Bias sweep + LeakyReLU sweep, per channel, in the exact op order
+    /// the layer path uses — the unfused reference for the fused forwards.
+    fn sweep_bias_lrelu(y: &Tensor, bias: &[f32], alpha: f32) -> Tensor {
+        let d = y.dims();
+        let c = d[1];
+        let spatial: usize = d[2..].iter().product();
+        let mut out = y.clone();
+        let o = out.as_mut_slice();
+        for ni in 0..d[0] {
+            for (ci, &b) in bias.iter().enumerate().take(c) {
+                for v in &mut o[(ni * c + ci) * spatial..(ni * c + ci + 1) * spatial] {
+                    *v += b;
+                }
+            }
+        }
+        for v in out.as_mut_slice() {
+            *v = if *v > 0.0 { *v } else { alpha * *v };
+        }
+        out
+    }
+
+    #[test]
+    fn fused_forwards_bitexact_vs_unfused_sweeps() {
+        let mut rng = Rng::seed_from(12);
+        let alpha = 0.1f32;
+
+        // conv2d (big enough to exit the small-GEMM fallback) and conv3d.
+        let x2 = Tensor::rand_normal([2, 3, 10, 10], 0.0, 1.0, &mut rng);
+        let w2 = Tensor::rand_normal([6, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let b2: Vec<f32> = (0..6).map(|_| rng.normal(0.0, 0.5)).collect();
+        let spec2 = Conv2dSpec::same(3);
+        let plain = conv2d_forward(&x2, &w2, &spec2).unwrap();
+        let fused =
+            conv2d_forward_fused(&x2, &w2, &spec2, Some(&Epilogue::new(&b2).leaky(alpha)))
+                .unwrap();
+        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &b2, alpha).as_slice());
+
+        let x3 = Tensor::rand_normal([1, 2, 4, 6, 6], 0.0, 1.0, &mut rng);
+        let w3 = Tensor::rand_normal([5, 2, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let b3: Vec<f32> = (0..5).map(|_| rng.normal(0.0, 0.5)).collect();
+        let spec3 = Conv3dSpec::same(3, 3);
+        let plain = conv3d_forward(&x3, &w3, &spec3).unwrap();
+        let fused =
+            conv3d_forward_fused(&x3, &w3, &spec3, Some(&Epilogue::new(&b3).leaky(alpha)))
+                .unwrap();
+        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &b3, alpha).as_slice());
+
+        // Transposed variants: epilogue applied after the col2im scatter.
+        let xd = Tensor::rand_normal([2, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let wd = Tensor::rand_normal([3, 4, 2, 2], 0.0, 0.5, &mut rng);
+        let bd: Vec<f32> = (0..4).map(|_| rng.normal(0.0, 0.5)).collect();
+        let specd = Conv2dSpec::new(2, 0);
+        let plain = conv_transpose2d_forward(&xd, &wd, &specd).unwrap();
+        let fused = conv_transpose2d_forward_fused(
+            &xd,
+            &wd,
+            &specd,
+            Some(&Epilogue::new(&bd).leaky(alpha)),
+        )
+        .unwrap();
+        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &bd, alpha).as_slice());
+
+        let xd3 = Tensor::rand_normal([1, 4, 3, 5, 5], 0.0, 1.0, &mut rng);
+        let wd3 = Tensor::rand_normal([4, 6, 3, 2, 2], 0.0, 0.5, &mut rng);
+        let bd3: Vec<f32> = (0..6).map(|_| rng.normal(0.0, 0.5)).collect();
+        let specd3 = Conv3dSpec {
+            stride: (1, 2, 2),
+            pad: (1, 0, 0),
+        };
+        let plain = conv_transpose3d_forward(&xd3, &wd3, &specd3).unwrap();
+        let fused = conv_transpose3d_forward_fused(
+            &xd3,
+            &wd3,
+            &specd3,
+            Some(&Epilogue::new(&bd3).leaky(alpha)),
+        )
+        .unwrap();
+        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &bd3, alpha).as_slice());
+
+        // Epilogue shape errors surface, not panic.
+        let short = vec![0.0f32; 2];
+        assert!(conv2d_forward_fused(&x2, &w2, &spec2, Some(&Epilogue::new(&short))).is_err());
     }
 }

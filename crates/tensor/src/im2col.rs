@@ -88,6 +88,68 @@ impl Geom2d {
     }
 }
 
+/// When set, the conv lowering takes its original form: per-element
+/// gather/scatter loops even for unit stride, and one full-geometry
+/// im2col + GEMM per conv3d sample (no structurally-zero depth-tap
+/// skipping). Kept solely so benchmarks can measure the fast-path gains
+/// apples-to-apples in one process (the same role `sgemm_scalar_serial`
+/// plays for the packed GEMM); both forms produce bit-identical values,
+/// this only selects the slower loops.
+static REFERENCE_KERNELS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Benchmark hook: force the pre-optimisation conv lowering (`true`) or
+/// restore the fast paths (`false`).
+pub fn set_reference_kernels(on: bool) {
+    REFERENCE_KERNELS.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether the benchmark hook has pinned the original lowering.
+pub(crate) fn reference_kernels() -> bool {
+    REFERENCE_KERNELS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[inline]
+fn unit_stride_fast_path(sw: usize) -> bool {
+    sw == 1 && !reference_kernels()
+}
+
+/// Fills one `ow`-wide im2col output row for unit horizontal stride: the
+/// taps that fall into the padding are zeroed, the in-bounds span is one
+/// contiguous copy. Produces exactly the values of the per-element
+/// gather — this is purely a memory-access optimisation, and it is the
+/// hot loop of every 3×3 "same" convolution in the model.
+#[inline]
+fn gather_row_unit_stride(x_row: &[f32], dst: &mut [f32], kw: usize, pw: usize) {
+    let w = x_row.len() as isize;
+    let ow = dst.len() as isize;
+    let start = kw as isize - pw as isize; // input column at output column 0
+    let lo = (-start).clamp(0, ow) as usize;
+    let hi = (w - start).clamp(lo as isize, ow) as usize;
+    dst[..lo].fill(0.0);
+    if hi > lo {
+        let s0 = (start + lo as isize) as usize;
+        dst[lo..hi].copy_from_slice(&x_row[s0..s0 + (hi - lo)]);
+    }
+    dst[hi..].fill(0.0);
+}
+
+/// Adjoint of [`gather_row_unit_stride`]: accumulates the in-bounds span
+/// of `src` into `x_row` (padding taps are dropped).
+#[inline]
+fn scatter_row_unit_stride(src: &[f32], x_row: &mut [f32], kw: usize, pw: usize) {
+    let w = x_row.len() as isize;
+    let ow = src.len() as isize;
+    let start = kw as isize - pw as isize;
+    let lo = (-start).clamp(0, ow) as usize;
+    let hi = (w - start).clamp(lo as isize, ow) as usize;
+    if hi > lo {
+        let s0 = (start + lo as isize) as usize;
+        for (d, s) in x_row[s0..s0 + (hi - lo)].iter_mut().zip(&src[lo..hi]) {
+            *d += *s;
+        }
+    }
+}
+
 /// Gathers input patches into `cols` (`[C·kh·kw, OH·OW]`, row-major).
 ///
 /// `x` is one `[C, H, W]` sample; out-of-bounds (padding) taps read zero.
@@ -95,6 +157,7 @@ pub fn im2col2d(x: &[f32], g: &Geom2d, cols: &mut [f32]) {
     let (oh, ow) = (g.out_h(), g.out_w());
     debug_assert_eq!(x.len(), g.c * g.h * g.w);
     debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let fast = unit_stride_fast_path(g.sw);
     let ncols = oh * ow;
     for c in 0..g.c {
         let x_c = &x[c * g.h * g.w..(c + 1) * g.h * g.w];
@@ -110,6 +173,10 @@ pub fn im2col2d(x: &[f32], g: &Geom2d, cols: &mut [f32]) {
                         continue;
                     }
                     let x_row = &x_c[iy as usize * g.w..(iy as usize + 1) * g.w];
+                    if fast {
+                        gather_row_unit_stride(x_row, dst, kw, g.pw);
+                        continue;
+                    }
                     for (ox, d) in dst.iter_mut().enumerate() {
                         let ix = (ox * g.sw + kw) as isize - g.pw as isize;
                         *d = if ix < 0 || ix >= g.w as isize {
@@ -132,6 +199,7 @@ pub fn col2im2d(cols: &[f32], g: &Geom2d, x: &mut [f32]) {
     let (oh, ow) = (g.out_h(), g.out_w());
     debug_assert_eq!(x.len(), g.c * g.h * g.w);
     debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let fast = unit_stride_fast_path(g.sw);
     let ncols = oh * ow;
     for c in 0..g.c {
         let x_c = &mut x[c * g.h * g.w..(c + 1) * g.h * g.w];
@@ -146,6 +214,10 @@ pub fn col2im2d(cols: &[f32], g: &Geom2d, x: &mut [f32]) {
                     }
                     let x_row = &mut x_c[iy as usize * g.w..(iy as usize + 1) * g.w];
                     let src = &src_row[oy * ow..(oy + 1) * ow];
+                    if fast {
+                        scatter_row_unit_stride(src, x_row, kw, g.pw);
+                        continue;
+                    }
                     for (ox, &s) in src.iter().enumerate() {
                         let ix = (ox * g.sw + kw) as isize - g.pw as isize;
                         if ix >= 0 && ix < g.w as isize {
@@ -271,6 +343,7 @@ pub fn im2col3d(x: &[f32], g: &Geom3d, cols: &mut [f32]) {
     let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
     debug_assert_eq!(x.len(), g.c * g.d * g.h * g.w);
     debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let fast = unit_stride_fast_path(g.sw);
     let ncols = od * oh * ow;
     let plane = g.h * g.w;
     for c in 0..g.c {
@@ -290,7 +363,13 @@ pub fn im2col3d(x: &[f32], g: &Geom3d, cols: &mut [f32]) {
                                 dst.fill(0.0);
                                 continue;
                             }
-                            let x_row = &x_c[(iz as usize * g.h + iy as usize) * g.w..];
+                            let x_row = &x_c
+                                [(iz as usize * g.h + iy as usize) * g.w
+                                    ..(iz as usize * g.h + iy as usize) * g.w + g.w];
+                            if fast {
+                                gather_row_unit_stride(x_row, dst, kw, g.pw);
+                                continue;
+                            }
                             for (ox, dv) in dst.iter_mut().enumerate() {
                                 let ix = (ox * g.sw + kw) as isize - g.pw as isize;
                                 *dv = if ix < 0 || ix >= g.w as isize {
@@ -312,6 +391,7 @@ pub fn col2im3d(cols: &[f32], g: &Geom3d, x: &mut [f32]) {
     let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
     debug_assert_eq!(x.len(), g.c * g.d * g.h * g.w);
     debug_assert_eq!(cols.len(), g.col_rows() * g.col_cols());
+    let fast = unit_stride_fast_path(g.sw);
     let ncols = od * oh * ow;
     let plane = g.h * g.w;
     for c in 0..g.c {
@@ -336,12 +416,83 @@ pub fn col2im3d(cols: &[f32], g: &Geom3d, x: &mut [f32]) {
                             let x_row = &mut x_c
                                 [(iz as usize * g.h + iy as usize) * g.w
                                     ..(iz as usize * g.h + iy as usize) * g.w + g.w];
+                            if fast {
+                                scatter_row_unit_stride(src, x_row, kw, g.pw);
+                                continue;
+                            }
                             for (ox, &s) in src.iter().enumerate() {
                                 let ix = (ox * g.sw + kw) as isize - g.pw as isize;
                                 if ix >= 0 && ix < g.w as isize {
                                     x_row[ix as usize] += s;
                                 }
                             }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Gathers the im2col rows of a **single output depth** `oz`, restricted
+/// to the valid temporal taps `kd ∈ [kd_lo, kd_hi)` (callers pass the
+/// range whose input planes `iz = oz·sd + kd − pd` are in bounds).
+///
+/// `cols` is `[C·(kd_hi−kd_lo)·KH·KW, OH·OW]` with rows in the same
+/// `(c, kd, kh, kw)` order as [`im2col3d`] — i.e. exactly the full
+/// matrix's column block for `oz` with its all-zero depth-tap rows
+/// removed. Dropping rows that are identically zero removes their
+/// `w·0` terms from the GEMM's ascending-`k` accumulation, which leaves
+/// every partial sum bit-identical; this is what lets the conv3d forward
+/// skip the structurally-zero work same-padding creates at the temporal
+/// edges without changing results.
+pub fn im2col3d_oz(
+    x: &[f32],
+    g: &Geom3d,
+    oz: usize,
+    kd_lo: usize,
+    kd_hi: usize,
+    cols: &mut [f32],
+) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert!(kd_lo < kd_hi && kd_hi <= g.kd);
+    debug_assert_eq!(
+        cols.len(),
+        g.c * (kd_hi - kd_lo) * g.kh * g.kw * oh * ow
+    );
+    let fast = unit_stride_fast_path(g.sw);
+    let ncols = oh * ow;
+    let plane = g.h * g.w;
+    let mut row = 0usize;
+    for c in 0..g.c {
+        let x_c = &x[c * g.d * plane..(c + 1) * g.d * plane];
+        for kd in kd_lo..kd_hi {
+            let iz = oz * g.sd + kd - g.pd; // in bounds by caller contract
+            debug_assert!(iz < g.d);
+            for kh in 0..g.kh {
+                for kw in 0..g.kw {
+                    let out_row = &mut cols[row * ncols..(row + 1) * ncols];
+                    row += 1;
+                    for oy in 0..oh {
+                        let iy = (oy * g.sh + kh) as isize - g.ph as isize;
+                        let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                        if iy < 0 || iy >= g.h as isize {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        let base = (iz * g.h + iy as usize) * g.w;
+                        let x_row = &x_c[base..base + g.w];
+                        if fast {
+                            gather_row_unit_stride(x_row, dst, kw, g.pw);
+                            continue;
+                        }
+                        for (ox, dv) in dst.iter_mut().enumerate() {
+                            let ix = (ox * g.sw + kw) as isize - g.pw as isize;
+                            *dv = if ix < 0 || ix >= g.w as isize {
+                                0.0
+                            } else {
+                                x_row[ix as usize]
+                            };
                         }
                     }
                 }
@@ -568,6 +719,65 @@ mod tests {
         im2col3d(&x, &g, &mut cols);
         // rows = 2 (kd), cols = 2 (od): row0 = frames [10,20], row1 = [20,30]
         assert_eq!(cols, vec![10.0, 20.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn unit_stride_fast_path_matches_reference() {
+        // The benchmark hook selects the pre-optimisation loops; both
+        // paths must be bit-identical for gather and scatter, 2D and 3D.
+        let mut rng = Rng::seed_from(7);
+        let g2 = Geom2d {
+            c: 2,
+            h: 5,
+            w: 7,
+            kh: 3,
+            kw: 3,
+            sh: 1,
+            sw: 1,
+            ph: 1,
+            pw: 1,
+        };
+        let g3 = Geom3d {
+            c: 2,
+            d: 3,
+            h: 4,
+            w: 6,
+            kd: 3,
+            kh: 3,
+            kw: 3,
+            sd: 1,
+            sh: 1,
+            sw: 1,
+            pd: 1,
+            ph: 1,
+            pw: 1,
+        };
+        let x2 = Tensor::rand_normal([g2.c, g2.h, g2.w], 0.0, 1.0, &mut rng);
+        let x3 = Tensor::rand_normal([g3.c, g3.d, g3.h, g3.w], 0.0, 1.0, &mut rng);
+        let mut fast2 = vec![0.0; g2.col_len()];
+        let mut fast3 = vec![0.0; g3.col_len()];
+        im2col2d(x2.as_slice(), &g2, &mut fast2);
+        im2col3d(x3.as_slice(), &g3, &mut fast3);
+        let mut back_fast2 = vec![0.0; x2.as_slice().len()];
+        let mut back_fast3 = vec![0.0; x3.as_slice().len()];
+        col2im2d(&fast2, &g2, &mut back_fast2);
+        col2im3d(&fast3, &g3, &mut back_fast3);
+
+        set_reference_kernels(true);
+        let mut ref2 = vec![0.0; g2.col_len()];
+        let mut ref3 = vec![0.0; g3.col_len()];
+        im2col2d(x2.as_slice(), &g2, &mut ref2);
+        im2col3d(x3.as_slice(), &g3, &mut ref3);
+        let mut back_ref2 = vec![0.0; x2.as_slice().len()];
+        let mut back_ref3 = vec![0.0; x3.as_slice().len()];
+        col2im2d(&ref2, &g2, &mut back_ref2);
+        col2im3d(&ref3, &g3, &mut back_ref3);
+        set_reference_kernels(false);
+
+        assert_eq!(fast2, ref2);
+        assert_eq!(fast3, ref3);
+        assert_eq!(back_fast2, back_ref2);
+        assert_eq!(back_fast3, back_ref3);
     }
 
     #[test]

@@ -30,8 +30,102 @@ use crate::tensor::Tensor;
 /// below it, panel packing costs more than the multiply itself.
 const SMALL_GEMM_ELEMS: usize = 4096;
 
-fn is_small(m: usize, k: usize, n: usize) -> bool {
+pub(crate) fn is_small(m: usize, k: usize, n: usize) -> bool {
     m * k * n <= SMALL_GEMM_ELEMS
+}
+
+// ---------------------------------------------------------------------------
+// Fused store-phase epilogue
+// ---------------------------------------------------------------------------
+
+/// Per-row BatchNorm statistics for the fused epilogue, kept as the four
+/// *separate* arrays the eval-mode layer path uses so the fused result is
+/// bit-identical to running the layer sweeps one by one: the epilogue
+/// performs `(((v - mean) * inv_std) * gamma) + beta` as four distinct
+/// f32 operations in that order.
+#[derive(Clone, Copy)]
+pub struct BnEpilogue<'a> {
+    /// Running mean per output row (channel).
+    pub mean: &'a [f32],
+    /// Precomputed `1 / sqrt(var + eps)` per row.
+    pub inv_std: &'a [f32],
+    /// Scale per row.
+    pub gamma: &'a [f32],
+    /// Shift per row.
+    pub beta: &'a [f32],
+}
+
+/// Optional per-element epilogue applied while the micro-kernel's register
+/// tile is being written back to `C` on the **final k-block**, replacing
+/// the separate full-tensor bias / BatchNorm / LeakyReLU sweeps the layer
+/// path would otherwise perform.
+///
+/// Contract (per element of row `r`): `t = v + bias[r]`; then, if `bn` is
+/// set, the four BatchNorm ops in layer order (see [`BnEpilogue`]); then,
+/// if `leaky_alpha` is set, `if t > 0.0 { t } else { alpha * t }`. Each
+/// step is a single f32 operation matching the corresponding elementwise
+/// layer sweep, so fused and layer-by-layer paths round identically.
+///
+/// Only valid with `accumulate = false` (the epilogue is a post-GEMM
+/// transform, not a linear term, so it cannot distribute over `C += ...`).
+#[derive(Clone, Copy)]
+pub struct Epilogue<'a> {
+    /// Bias per output row; `bias.len()` must cover every logical row.
+    pub bias: &'a [f32],
+    /// Optional eval-mode BatchNorm folded into the store phase.
+    pub bn: Option<BnEpilogue<'a>>,
+    /// Optional LeakyReLU negative slope.
+    pub leaky_alpha: Option<f32>,
+}
+
+impl<'a> Epilogue<'a> {
+    /// Bias-only epilogue (bit-identical to a separate `+ bias[c]` sweep).
+    pub fn new(bias: &'a [f32]) -> Self {
+        Self { bias, bn: None, leaky_alpha: None }
+    }
+
+    /// Adds a LeakyReLU activation after bias (and BN, if any).
+    pub fn leaky(mut self, alpha: f32) -> Self {
+        self.leaky_alpha = Some(alpha);
+        self
+    }
+
+    /// Adds an eval-mode BatchNorm between bias and activation.
+    pub fn bn(mut self, bn: BnEpilogue<'a>) -> Self {
+        self.bn = Some(bn);
+        self
+    }
+
+    /// Applies the epilogue to one value belonging to logical row `row`.
+    #[inline(always)]
+    pub fn apply(&self, row: usize, v: f32) -> f32 {
+        let mut t = v + self.bias[row];
+        if let Some(bn) = &self.bn {
+            t -= bn.mean[row];
+            t *= bn.inv_std[row];
+            t *= bn.gamma[row];
+            t += bn.beta[row];
+        }
+        match self.leaky_alpha {
+            Some(a) if t <= 0.0 => a * t,
+            _ => t,
+        }
+    }
+
+    /// Sweeps an already-computed row-major `rows × n` buffer, applying the
+    /// epilogue in place. Used by the tiny-shape scalar GEMM path and by
+    /// transposed convolutions, whose col2im scatter-add prevents fusing
+    /// into the GEMM store itself.
+    pub fn apply_rows(&self, c: &mut [f32], n: usize) {
+        if n == 0 {
+            return;
+        }
+        for (i, row) in c.chunks_mut(n).enumerate() {
+            for v in row {
+                *v = self.apply(i, *v);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -72,13 +166,50 @@ pub fn sgemm_block(
     n: usize,
     accumulate: bool,
 ) {
+    sgemm_block_ep(a, ta, a_rstride, row0, b, tb, b_cstride, c, m, k, n, accumulate, None);
+}
+
+/// [`sgemm_block`] with an optional fused [`Epilogue`] applied during the
+/// final k-block's writeback, while each register tile is still hot. The
+/// epilogue's row index is the *logical* row (`row0 + ` slab-local row),
+/// so per-row arrays index correctly from parallel slabs too. Requires
+/// `accumulate = false` when an epilogue is supplied.
+#[allow(clippy::too_many_arguments)]
+fn sgemm_block_ep(
+    a: &[f32],
+    ta: bool,
+    a_rstride: usize,
+    row0: usize,
+    b: &[f32],
+    tb: bool,
+    b_cstride: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    ep: Option<&Epilogue<'_>>,
+) {
     debug_assert_eq!(c.len(), m * n, "sgemm_block: bad C length");
+    debug_assert!(
+        ep.is_none() || !accumulate,
+        "sgemm_block_ep: epilogue cannot combine with accumulate"
+    );
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 {
         if !accumulate {
             c.fill(0.0);
+            if let Some(e) = ep {
+                // Degenerate product: the epilogue still transforms the
+                // zero matrix (bias/BN/activation of 0).
+                for (r, row) in c.chunks_mut(n).enumerate() {
+                    for v in row {
+                        *v = e.apply(row0 + r, *v);
+                    }
+                }
+            }
         }
         return;
     }
@@ -95,6 +226,9 @@ pub fn sgemm_block(
                 for pc in (0..k).step_by(KC) {
                     let kc = KC.min(k - pc);
                     let store = !accumulate && pc == 0;
+                    // The epilogue fires only once per element, when the
+                    // last k-block finishes that element's accumulation.
+                    let ep_now = if pc + kc == k { ep } else { None };
                     if tb {
                         pack_b(b, tb, b_cstride, pc, jc, kc, nc, bbuf);
                     } else if !nc.is_multiple_of(NR) {
@@ -122,7 +256,22 @@ pub fn sgemm_block(
                                 for (r, acc_r) in acc.iter().take(mr_eff).enumerate() {
                                     let crow =
                                         &mut c[(ic + ir + r) * n + jc + jr..][..nr_eff];
-                                    if store {
+                                    if let Some(e) = ep_now {
+                                        let row = row0 + ic + ir + r;
+                                        if store {
+                                            for (cv, &av) in
+                                                crow.iter_mut().zip(&acc_r[..nr_eff])
+                                            {
+                                                *cv = e.apply(row, av);
+                                            }
+                                        } else {
+                                            for (cv, &av) in
+                                                crow.iter_mut().zip(&acc_r[..nr_eff])
+                                            {
+                                                *cv = e.apply(row, *cv + av);
+                                            }
+                                        }
+                                    } else if store {
                                         crow.copy_from_slice(&acc_r[..nr_eff]);
                                     } else {
                                         for (cv, &av) in crow.iter_mut().zip(&acc_r[..nr_eff]) {
@@ -314,6 +463,39 @@ pub fn sgemm_serial(
         small_nn(a, b, c, m, k, n);
     } else {
         sgemm_block(a, false, k, 0, b, false, n, c, m, k, n, accumulate);
+    }
+}
+
+/// Serial `C = epilogue(A · B)`: [`sgemm_serial`] with the bias/BN/LReLU
+/// [`Epilogue`] fused into the packed kernel's store phase. The product
+/// accumulation order is exactly [`sgemm_serial`]'s, and the epilogue ops
+/// round exactly like the separate layer sweeps, so the result is
+/// bit-identical to `sgemm_serial` + per-row sweeps — just without the
+/// extra passes over `C`. Tiny shapes compute the scalar product first
+/// and sweep afterwards (same arithmetic, shape-selected like the
+/// fallback itself).
+pub fn sgemm_serial_fused(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    assert_eq!(a.len(), m * k, "sgemm_serial_fused: bad A length");
+    assert_eq!(b.len(), k * n, "sgemm_serial_fused: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_serial_fused: bad C length");
+    assert!(ep.bias.len() >= m, "sgemm_serial_fused: bias shorter than m");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || is_small(m, k, n) {
+        c.fill(0.0);
+        small_nn(a, b, c, m, k, n);
+        ep.apply_rows(c, n);
+    } else {
+        sgemm_block_ep(a, false, k, 0, b, false, n, c, m, k, n, false, Some(ep));
     }
 }
 
@@ -635,6 +817,117 @@ mod tests {
         sgemm_scalar_serial(a.as_slice(), b.as_slice(), &mut scalar, m, k, n, false);
         for (x, y) in packed.iter().zip(&scalar) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// `(mean, inv_std, gamma, beta)` per-row BN arrays for the reference.
+    type BnArrays<'a> = (&'a [f32], &'a [f32], &'a [f32], &'a [f32]);
+
+    /// Unfused reference for the epilogue contract: plain GEMM followed by
+    /// the separate per-row sweeps in layer order, each a single f32 op.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_reference(
+        a: &Tensor,
+        b: &Tensor,
+        m: usize,
+        k: usize,
+        n: usize,
+        bias: &[f32],
+        bn: Option<BnArrays<'_>>,
+        alpha: Option<f32>,
+    ) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        sgemm_serial(a.as_slice(), b.as_slice(), &mut c, m, k, n, false);
+        for i in 0..m {
+            for v in &mut c[i * n..(i + 1) * n] {
+                *v += bias[i];
+            }
+        }
+        if let Some((mean, inv_std, gamma, beta)) = bn {
+            for i in 0..m {
+                for v in &mut c[i * n..(i + 1) * n] {
+                    *v -= mean[i];
+                }
+            }
+            for i in 0..m {
+                for v in &mut c[i * n..(i + 1) * n] {
+                    *v *= inv_std[i];
+                }
+            }
+            for i in 0..m {
+                for v in &mut c[i * n..(i + 1) * n] {
+                    *v *= gamma[i];
+                }
+            }
+            for i in 0..m {
+                for v in &mut c[i * n..(i + 1) * n] {
+                    *v += beta[i];
+                }
+            }
+        }
+        if let Some(a) = alpha {
+            for v in &mut c {
+                *v = if *v > 0.0 { *v } else { a * *v };
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn fused_epilogue_bitexact_vs_sweeps() {
+        let mut rng = Rng::seed_from(21);
+        // Shapes covering: scalar fallback, single k-block, multi k-block
+        // (k > KC = 256), row remainder (m % MR != 0), column remainder
+        // (n % NR != 0), and multiple MC row blocks (m > 128).
+        for &(m, k, n) in &[(3, 2, 5), (16, 144, 100), (20, 300, 41), (133, 260, 23)] {
+            let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
+            let bias: Vec<f32> =
+                (0..m).map(|_| rng.normal(0.0, 1.0)).collect();
+            let mean: Vec<f32> =
+                (0..m).map(|_| rng.normal(0.0, 0.5)).collect();
+            let inv_std: Vec<f32> =
+                (0..m).map(|_| 1.0 + rng.normal(0.0, 0.1).abs()).collect();
+            let gamma: Vec<f32> =
+                (0..m).map(|_| rng.normal(1.0, 0.2)).collect();
+            let beta: Vec<f32> =
+                (0..m).map(|_| rng.normal(0.0, 0.3)).collect();
+
+            // Bias only.
+            let mut c = vec![0.0; m * n];
+            sgemm_serial_fused(a.as_slice(), b.as_slice(), &mut c, m, k, n, &Epilogue::new(&bias));
+            let r = fused_reference(&a, &b, m, k, n, &bias, None, None);
+            assert_eq!(c, r, "bias-only m={m} k={k} n={n}");
+
+            // Bias + LeakyReLU.
+            let ep = Epilogue::new(&bias).leaky(0.1);
+            let mut c = vec![0.0; m * n];
+            sgemm_serial_fused(a.as_slice(), b.as_slice(), &mut c, m, k, n, &ep);
+            let r = fused_reference(&a, &b, m, k, n, &bias, None, Some(0.1));
+            assert_eq!(c, r, "bias+lrelu m={m} k={k} n={n}");
+
+            // Bias + BN + LeakyReLU (the full eval-mode block epilogue).
+            let ep = Epilogue::new(&bias)
+                .bn(BnEpilogue {
+                    mean: &mean,
+                    inv_std: &inv_std,
+                    gamma: &gamma,
+                    beta: &beta,
+                })
+                .leaky(0.1);
+            let mut c = vec![0.0; m * n];
+            sgemm_serial_fused(a.as_slice(), b.as_slice(), &mut c, m, k, n, &ep);
+            let r = fused_reference(
+                &a,
+                &b,
+                m,
+                k,
+                n,
+                &bias,
+                Some((&mean, &inv_std, &gamma, &beta)),
+                Some(0.1),
+            );
+            assert_eq!(c, r, "bias+bn+lrelu m={m} k={k} n={n}");
         }
     }
 

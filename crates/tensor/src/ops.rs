@@ -7,7 +7,82 @@
 //! `[N, C, spatial...]` layout they assume).
 
 use crate::error::{Result, TensorError};
+use crate::parallel::{num_threads, par_chunks_mut};
 use crate::tensor::Tensor;
+
+/// Minimum slice length before the LeakyReLU kernels split across the
+/// worker pool; below this the dispatch overhead beats the sweep itself.
+/// Elementwise maps are partition-invariant, so the threshold only trades
+/// wall-clock — results are bit-identical either way.
+const LEAKY_PAR_MIN: usize = 16 * 1024;
+
+/// `out[i] = x[i] > 0 ? x[i] : alpha * x[i]`, split across the worker
+/// pool for large slices. The shared forward kernel behind both the
+/// standalone `LeakyReLU` layer and the planned inference executor.
+pub fn leaky_relu_slice(x: &[f32], out: &mut [f32], alpha: f32) {
+    assert_eq!(x.len(), out.len(), "leaky_relu_slice: length mismatch");
+    let len = x.len();
+    if len < LEAKY_PAR_MIN || num_threads() <= 1 {
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = if v > 0.0 { v } else { alpha * v };
+        }
+        return;
+    }
+    let chunk = len.div_ceil(num_threads()).max(1);
+    par_chunks_mut(out, chunk, |i, o| {
+        let xs = &x[i * chunk..][..o.len()];
+        for (o, &v) in o.iter_mut().zip(xs) {
+            *o = if v > 0.0 { v } else { alpha * v };
+        }
+    });
+}
+
+/// In-place LeakyReLU: `x[i] = x[i] > 0 ? x[i] : alpha * x[i]`. Same
+/// kernel as [`leaky_relu_slice`] for callers that own the buffer (the
+/// planned executor's arena slots).
+pub fn leaky_relu_slice_inplace(x: &mut [f32], alpha: f32) {
+    let len = x.len();
+    if len < LEAKY_PAR_MIN || num_threads() <= 1 {
+        for v in x.iter_mut() {
+            if *v <= 0.0 {
+                *v *= alpha;
+            }
+        }
+        return;
+    }
+    let chunk = len.div_ceil(num_threads()).max(1);
+    par_chunks_mut(x, chunk, |_, o| {
+        for v in o.iter_mut() {
+            if *v <= 0.0 {
+                *v *= alpha;
+            }
+        }
+    });
+}
+
+/// LeakyReLU backward: `grad_in[i] = x[i] > 0 ? g[i] : alpha * g[i]`
+/// where `x` is the activation's *input*. Pool-partitioned like the
+/// forward kernel; any partition yields bit-identical results.
+pub fn leaky_relu_bwd_slice(grad_out: &[f32], x: &[f32], grad_in: &mut [f32], alpha: f32) {
+    assert_eq!(grad_out.len(), x.len(), "leaky_relu_bwd_slice: length mismatch");
+    assert_eq!(grad_out.len(), grad_in.len(), "leaky_relu_bwd_slice: length mismatch");
+    let len = x.len();
+    if len < LEAKY_PAR_MIN || num_threads() <= 1 {
+        for ((gi, &g), &v) in grad_in.iter_mut().zip(grad_out).zip(x) {
+            *gi = if v > 0.0 { g } else { alpha * g };
+        }
+        return;
+    }
+    let chunk = len.div_ceil(num_threads()).max(1);
+    par_chunks_mut(grad_in, chunk, |i, gi| {
+        let base = i * chunk;
+        let gs = &grad_out[base..][..gi.len()];
+        let xs = &x[base..][..gi.len()];
+        for ((gi, &g), &v) in gi.iter_mut().zip(gs).zip(xs) {
+            *gi = if v > 0.0 { g } else { alpha * g };
+        }
+    });
+}
 
 impl Tensor {
     /// Elementwise sum.
@@ -292,6 +367,37 @@ mod tests {
         let badp = Tensor::ones([3]);
         assert!(x.apply_per_channel(&badp, |a, _| a).is_err());
         assert!(x.var_per_channel(&badp).is_err());
+    }
+
+    #[test]
+    fn leaky_relu_kernels_match_scalar_reference() {
+        use crate::rng::Rng;
+        let mut rng = Rng::seed_from(9);
+        // Straddle LEAKY_PAR_MIN so both the serial and partitioned paths run.
+        for len in [0usize, 7, 1000, LEAKY_PAR_MIN + 131] {
+            let x: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+            let g: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
+            let alpha = 0.1f32;
+            let want_f: Vec<f32> =
+                x.iter().map(|&v| if v > 0.0 { v } else { alpha * v }).collect();
+            let want_b: Vec<f32> = x
+                .iter()
+                .zip(&g)
+                .map(|(&v, &gv)| if v > 0.0 { gv } else { alpha * gv })
+                .collect();
+
+            let mut out = vec![0.0f32; len];
+            leaky_relu_slice(&x, &mut out, alpha);
+            assert_eq!(out, want_f, "forward len={len}");
+
+            let mut inp = x.clone();
+            leaky_relu_slice_inplace(&mut inp, alpha);
+            assert_eq!(inp, want_f, "in-place len={len}");
+
+            let mut gi = vec![0.0f32; len];
+            leaky_relu_bwd_slice(&g, &x, &mut gi, alpha);
+            assert_eq!(gi, want_b, "backward len={len}");
+        }
     }
 
     #[test]

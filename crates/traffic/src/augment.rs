@@ -122,6 +122,117 @@ pub fn reassemble(
     Tensor::from_vec([grid, grid], data)
 }
 
+/// Reusable moving-average reassembly for a *fixed* window/grid geometry.
+///
+/// [`reassemble`] recounts per-cell coverage on every call; for streaming
+/// inference the window origins never change between frames, so the
+/// coverage-count divisor can be computed once at construction and the
+/// `f64` sum buffer reused. Feeding the same windows in the same order
+/// produces bit-identical output to [`reassemble`] (identical per-cell
+/// `f64` accumulation order and the same `(sum / count)` rounding).
+pub struct ReassemblePlan {
+    grid: usize,
+    window: usize,
+    /// Per-cell coverage count — the divisor, fixed by the geometry.
+    count: Vec<u32>,
+    /// Per-cell running sums, cleared by [`ReassemblePlan::begin`].
+    sum: Vec<f64>,
+}
+
+impl ReassemblePlan {
+    /// Plans reassembly of `window`-sized predictions at `origins` onto a
+    /// `grid`-sided frame. Fails unless the windows jointly cover it.
+    pub fn new(origins: &[(usize, usize)], window: usize, grid: usize) -> Result<Self> {
+        if window == 0 || window > grid {
+            return Err(TensorError::InvalidShape {
+                op: "ReassemblePlan",
+                reason: format!("window {window} invalid for grid {grid}"),
+            });
+        }
+        let mut count = vec![0u32; grid * grid];
+        for &(y, x) in origins {
+            if y + window > grid || x + window > grid {
+                return Err(TensorError::InvalidShape {
+                    op: "ReassemblePlan",
+                    reason: format!("window ({y}, {x}) size {window} exceeds grid {grid}"),
+                });
+            }
+            for r in 0..window {
+                for cell in &mut count[(y + r) * grid + x..][..window] {
+                    *cell += 1;
+                }
+            }
+        }
+        if count.contains(&0) {
+            return Err(TensorError::InvalidShape {
+                op: "ReassemblePlan",
+                reason: "windows do not cover the full grid".into(),
+            });
+        }
+        Ok(ReassemblePlan {
+            grid,
+            window,
+            count,
+            sum: vec![0.0f64; grid * grid],
+        })
+    }
+
+    /// Grid side the plan was built for.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Starts a new frame: clears the sums (the counts stay).
+    pub fn begin(&mut self) {
+        self.sum.fill(0.0);
+    }
+
+    /// Accumulates one row-major `[window, window]` prediction at `origin`.
+    pub fn add_window(&mut self, origin: (usize, usize), data: &[f32]) -> Result<()> {
+        let (y, x) = origin;
+        let w = self.window;
+        if data.len() != w * w || y + w > self.grid || x + w > self.grid {
+            return Err(TensorError::InvalidShape {
+                op: "ReassemblePlan::add_window",
+                reason: format!(
+                    "window ({y}, {x}) with {} values does not fit grid {} (side {w})",
+                    data.len(),
+                    self.grid
+                ),
+            });
+        }
+        for r in 0..w {
+            let dst = &mut self.sum[(y + r) * self.grid + x..][..w];
+            for (s, &v) in dst.iter_mut().zip(&data[r * w..][..w]) {
+                *s += v as f64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the averaged frame into `out` (`grid²` values, row-major)
+    /// without allocating. The accumulated sums are left intact.
+    pub fn finish_into(&self, out: &mut [f32]) -> Result<()> {
+        if out.len() != self.grid * self.grid {
+            return Err(TensorError::InvalidShape {
+                op: "ReassemblePlan::finish_into",
+                reason: format!("output has {} cells, grid needs {}", out.len(), self.grid * self.grid),
+            });
+        }
+        for ((o, &s), &c) in out.iter_mut().zip(&self.sum).zip(&self.count) {
+            *o = (s / c as f64) as f32;
+        }
+        Ok(())
+    }
+
+    /// The averaged `[grid, grid]` frame as a fresh tensor.
+    pub fn finish(&self) -> Result<Tensor> {
+        let mut out = Tensor::zeros([self.grid, self.grid]);
+        self.finish_into(out.as_mut_slice())?;
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +306,46 @@ mod tests {
     fn reassemble_requires_full_coverage() {
         let w = Tensor::ones([2, 2]);
         assert!(reassemble(&[((0, 0), w)], 4).is_err());
+    }
+
+    #[test]
+    fn plan_matches_reassemble_bit_exactly() {
+        let mut rng = Rng::seed_from(7);
+        let cfg = AugmentConfig {
+            window: 6,
+            stride: 2,
+        };
+        let origins = cfg.offsets(10).unwrap();
+        let windows: Vec<((usize, usize), Tensor)> = origins
+            .iter()
+            .map(|&(y, x)| ((y, x), Tensor::rand_uniform([6, 6], -3.0, 3.0, &mut rng)))
+            .collect();
+        let reference = reassemble(&windows, 10).unwrap();
+
+        let mut plan = ReassemblePlan::new(&origins, 6, 10).unwrap();
+        // Two frames through the same plan: the second must be unaffected
+        // by the first (sum buffer reset, counts reused).
+        for _ in 0..2 {
+            plan.begin();
+            for ((y, x), w) in &windows {
+                plan.add_window((*y, *x), w.as_slice()).unwrap();
+            }
+            assert_eq!(plan.finish().unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn plan_validates_geometry() {
+        assert!(ReassemblePlan::new(&[(0, 0)], 0, 4).is_err());
+        assert!(ReassemblePlan::new(&[(0, 0)], 5, 4).is_err());
+        assert!(ReassemblePlan::new(&[(3, 0)], 2, 4).is_err()); // out of bounds
+        assert!(ReassemblePlan::new(&[(0, 0)], 2, 4).is_err()); // not covering
+        let mut plan = ReassemblePlan::new(&[(0, 0), (0, 2), (2, 0), (2, 2)], 2, 4).unwrap();
+        assert_eq!(plan.grid(), 4);
+        assert!(plan.add_window((0, 0), &[0.0; 3]).is_err()); // wrong len
+        assert!(plan.add_window((3, 3), &[0.0; 4]).is_err()); // out of bounds
+        let mut small = [0.0f32; 3];
+        assert!(plan.finish_into(&mut small).is_err());
     }
 
     #[test]
