@@ -45,7 +45,9 @@ mod tests {
     fn dataset() -> Dataset {
         let mut rng = Rng::seed_from(21);
         let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }

@@ -111,7 +111,9 @@ mod tests {
     fn kernel_partition_of_unity() {
         // Σ_j k(d + j) = 1 for any phase d — bicubic preserves constants.
         for &d in &[0.0f32, 0.25, 0.5, 0.9] {
-            let s = cubic_kernel(d + 1.0) + cubic_kernel(d) + cubic_kernel(d - 1.0)
+            let s = cubic_kernel(d + 1.0)
+                + cubic_kernel(d)
+                + cubic_kernel(d - 1.0)
                 + cubic_kernel(d - 2.0);
             assert!((s - 1.0).abs() < 1e-5, "phase {d}: {s}");
         }

@@ -219,7 +219,9 @@ mod tests {
         let d = Tensor::rand_normal([8, 5], 0.0, 1.0, &mut rng);
         // y = 2·col1 − col3
         let ds = d.as_slice();
-        let y: Vec<f32> = (0..8).map(|r| 2.0 * ds[r * 5 + 1] - ds[r * 5 + 3]).collect();
+        let y: Vec<f32> = (0..8)
+            .map(|r| 2.0 * ds[r * 5 + 1] - ds[r * 5 + 3])
+            .collect();
         let y = Tensor::from_vec([8], y).unwrap();
         let alpha = lstsq_columns(&d, &[1, 3], &y).unwrap();
         assert!((alpha[0] - 2.0).abs() < 1e-4);

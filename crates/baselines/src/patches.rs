@@ -185,7 +185,9 @@ mod tests {
     fn dataset() -> Dataset {
         let mut rng = Rng::seed_from(31);
         let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }

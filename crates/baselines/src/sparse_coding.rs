@@ -248,7 +248,9 @@ mod tests {
     fn dataset(seed: u64) -> Dataset {
         let mut rng = Rng::seed_from(seed);
         let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }

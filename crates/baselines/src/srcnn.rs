@@ -4,8 +4,8 @@
 
 use crate::interp::bicubic_resize;
 use crate::SuperResolver;
-use mtsr_nn::{Conv2d, Layer, LeakyReLU, Sequential};
 use mtsr_nn::{loss::mse_loss, Adam, Optimizer};
+use mtsr_nn::{Conv2d, Layer, LeakyReLU, Sequential};
 use mtsr_tensor::conv::Conv2dSpec;
 use mtsr_tensor::{Result, Rng, Tensor, TensorError};
 use mtsr_traffic::{Dataset, Split};
@@ -192,7 +192,9 @@ mod tests {
     fn dataset(seed: u64) -> Dataset {
         let mut rng = Rng::seed_from(seed);
         let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }

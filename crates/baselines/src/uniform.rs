@@ -40,12 +40,16 @@ impl SuperResolver for UniformSr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtsr_traffic::{CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout};
+    use mtsr_traffic::{
+        CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout,
+    };
 
     fn dataset(instance: MtsrInstance, grid_cfg: CityConfig) -> Dataset {
         let mut rng = Rng::seed_from(11);
         let gen = MilanGenerator::new(&grid_cfg, &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), instance).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }

@@ -66,7 +66,13 @@ fn main() {
     }
     print_table(
         "Skip ablation — training MSE at fixed step budget (up-4, 16 modules)",
-        &["skip mode", "params", "MSE steps 10-30", "MSE last 20", "val MSE"],
+        &[
+            "skip mode",
+            "params",
+            "MSE steps 10-30",
+            "MSE last 20",
+            "val MSE",
+        ],
         &rows,
     );
     write_csv(

@@ -35,8 +35,14 @@ fn main() {
     let coarse = ds.coarse_frame_raw(t).expect("coarse");
 
     println!("Fig. 10 — up-10 snapshot reconstructions (bench scale, frame {t})");
-    println!("{}", ascii_heatmap(&truth, "Fine-grained meas. (ground truth)"));
-    println!("{}", ascii_heatmap(&coarse, "Coarse-grained meas. (input, 16x fewer points)"));
+    println!(
+        "{}",
+        ascii_heatmap(&truth, "Fine-grained meas. (ground truth)")
+    );
+    println!(
+        "{}",
+        ascii_heatmap(&coarse, "Coarse-grained meas. (input, 16x fewer points)")
+    );
 
     let mut csv = Vec::new();
     csv.extend(grid_csv_rows("truth", &truth));

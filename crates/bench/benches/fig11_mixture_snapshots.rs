@@ -37,7 +37,10 @@ fn main() {
     let coarse = ds.coarse_frame_raw(t).expect("coarse");
 
     println!("Fig. 11 — mixture snapshot reconstructions (bench scale, frame {t})");
-    println!("{}", ascii_heatmap(&truth, "Fine-grained meas. (ground truth)"));
+    println!(
+        "{}",
+        ascii_heatmap(&truth, "Fine-grained meas. (ground truth)")
+    );
     println!(
         "{}",
         ascii_heatmap(&coarse, "Coarse-grained meas. (mixture projection input)")

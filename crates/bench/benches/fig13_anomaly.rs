@@ -64,7 +64,10 @@ fn main() {
         "{}",
         ascii_heatmap(&input, "Coarse-grained meas. (input, smoothed event)")
     );
-    println!("{}", ascii_heatmap(&truth, "Ground truth (with suburban event)"));
+    println!(
+        "{}",
+        ascii_heatmap(&truth, "Ground truth (with suburban event)")
+    );
     println!("{}", ascii_heatmap(&pred_anom, "ZipNet-GAN prediction"));
 
     let r = 2;
@@ -72,7 +75,10 @@ fn main() {
     let at_event_clean = region_mean(&pred_clean, event.y, event.x, r);
     let at_event_truth = region_mean(&truth, event.y, event.x, r);
     let response = at_event_pred - at_event_clean;
-    println!("event centre ({}, {}), radius {:.1} cells", event.y, event.x, event.radius);
+    println!(
+        "event centre ({}, {}), radius {:.1} cells",
+        event.y, event.x, event.radius
+    );
     println!("true event-region traffic:        {at_event_truth:8.0} MB");
     println!("predicted with event in input:    {at_event_pred:8.0} MB");
     println!("predicted without event (clean):  {at_event_clean:8.0} MB");

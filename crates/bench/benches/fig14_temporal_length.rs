@@ -62,7 +62,11 @@ fn main() {
             "Shape check: {} S=1→S=6 NRMSE gain {:.3} ({})",
             inst.label(),
             gain,
-            if gain > -0.02 { "history helps / neutral" } else { "UNEXPECTED" }
+            if gain > -0.02 {
+                "history helps / neutral"
+            } else {
+                "UNEXPECTED"
+            }
         );
     }
     println!(

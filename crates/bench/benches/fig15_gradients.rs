@@ -47,7 +47,13 @@ fn main() {
     print_table(
         "Fig. 15 — mean |dL/dinput| per frame (ZipNet-GAN, S = 6, bench scale)",
         &[
-            "instance", "frame1", "frame2", "frame3", "frame4", "frame5", "frame6",
+            "instance",
+            "frame1",
+            "frame2",
+            "frame3",
+            "frame4",
+            "frame5",
+            "frame6",
             "hist share",
         ],
         &rows,

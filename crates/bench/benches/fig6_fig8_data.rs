@@ -49,7 +49,10 @@ fn main() {
         }
     }
     println!("\nFig. 8 — mixture deployment: probe granularity map (bright = fine 2x2 probes)");
-    println!("{}", ascii_heatmap(&granularity, "probe granularity (1/coverage)"));
+    println!(
+        "{}",
+        ascii_heatmap(&granularity, "probe granularity (1/coverage)")
+    );
     let dist = layout.size_distribution();
     println!(
         "probe mix: {}  ({} probes over {} cells, avg r_f {:.0})",

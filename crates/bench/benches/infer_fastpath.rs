@@ -105,7 +105,10 @@ fn write_json(entries: &[Entry], speedup_pre_pr: f64, speedup_layerwise: f64) {
         r#"  "workload": "tiny Milan up4, 20x20 grid, window 12, stride 4, 9 windows/frame","#
     );
     let _ = writeln!(s, r#"  "speedup_fused_vs_pre_pr": {speedup_pre_pr:.3},"#);
-    let _ = writeln!(s, r#"  "speedup_folded_vs_layerwise": {speedup_layerwise:.3},"#);
+    let _ = writeln!(
+        s,
+        r#"  "speedup_folded_vs_layerwise": {speedup_layerwise:.3},"#
+    );
     let _ = writeln!(s, r#"  "entries": ["#);
     let rows: Vec<String> = entries
         .iter()
@@ -217,11 +220,15 @@ fn main() {
     let layer = bench(budget, || {
         pipe.predict_full(&mut net, &ds, t).unwrap();
     });
-    let mut exact = pipe.session(&mut net, &ds, FusePolicy::Exact, batch).unwrap();
+    let mut exact = pipe
+        .session(&mut net, &ds, FusePolicy::Exact, batch)
+        .unwrap();
     let exact_t = bench(budget, || {
         exact.predict_full(&ds, t).unwrap();
     });
-    let mut folded = pipe.session(&mut net, &ds, FusePolicy::Folded, batch).unwrap();
+    let mut folded = pipe
+        .session(&mut net, &ds, FusePolicy::Folded, batch)
+        .unwrap();
     mtsr_telemetry::reset();
     let folded_t = bench(budget, || {
         folded.predict_full(&ds, t).unwrap();

@@ -20,8 +20,8 @@
 //! runners this repo builds on.
 
 use mtsr_tensor::conv::{
-    conv2d_backward_weights, conv2d_forward, conv3d_forward, conv_transpose3d_forward,
-    Conv2dSpec, Conv3dSpec,
+    conv2d_backward_weights, conv2d_forward, conv3d_forward, conv_transpose3d_forward, Conv2dSpec,
+    Conv3dSpec,
 };
 use mtsr_tensor::matmul::{matmul, sgemm_scalar_serial, sgemm_serial};
 use mtsr_tensor::{Rng, Tensor};

@@ -17,19 +17,13 @@ use mtsr_bench::{
 use mtsr_metrics::nrmse;
 use mtsr_tensor::{Rng, Tensor};
 use mtsr_traffic::augment::{crop, AugmentConfig};
-use mtsr_traffic::{
-    CityConfig, Dataset, MilanGenerator, ProbeLayout, Split, SuperResolver,
-};
+use mtsr_traffic::{CityConfig, Dataset, MilanGenerator, ProbeLayout, Split, SuperResolver};
 use zipnet_core::{ArchScale, MtsrModel};
 
 const WINDOW: usize = 32;
 const PROBE: usize = 4;
 
-fn eval_offsets(
-    model: &mut MtsrModel,
-    ds: &Dataset,
-    offsets: &[(usize, usize)],
-) -> f64 {
+fn eval_offsets(model: &mut MtsrModel, ds: &Dataset, offsets: &[(usize, usize)]) -> f64 {
     let win_layout = ProbeLayout::uniform(WINDOW, PROBE).expect("window layout");
     let moments = ds.moments();
     let idx = ds.usable_indices(Split::Test);
@@ -62,8 +56,7 @@ fn eval_offsets(
                 .reshape([WINDOW, WINDOW])
                 .expect("reshape")
                 .denormalize(&moments);
-            let truth = crop(&ds.fine_frame_raw(t).expect("frame"), oy, ox, WINDOW)
-                .expect("crop");
+            let truth = crop(&ds.fine_frame_raw(t).expect("frame"), oy, ox, WINDOW).expect("crop");
             total += nrmse(&pred, &truth).expect("nrmse") as f64;
             count += 1;
         }
@@ -87,7 +80,10 @@ fn main() {
     let ds = Dataset::build(&movie, layout, cfg).expect("dataset");
 
     let mut model = MtsrModel::zipnet(ArchScale::Tiny, bench_train_cfg());
-    eprintln!("[robustness] training with {}-offset crop augmentation...", WINDOW);
+    eprintln!(
+        "[robustness] training with {}-offset crop augmentation...",
+        WINDOW
+    );
     model.fit(&ds, &mut Rng::seed_from(871)).expect("fit");
 
     // Aligned window origins sit on the probe lattice; misaligned ones are

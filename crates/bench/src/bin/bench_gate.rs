@@ -1,0 +1,165 @@
+//! `bench_gate` — the CI benchmark-regression gate.
+//!
+//! Compares freshly measured `BENCH_GEMM.json` / `BENCH_CONV.json` /
+//! `BENCH_INFER.json` files against the baselines committed at the
+//! repository root and fails (exit code 1) when any shared entry's
+//! `median_ns` regressed by more than the threshold (default 25%, which
+//! absorbs shared-runner noise while still catching real order-of-batch
+//! slowdowns).
+//!
+//! ```text
+//! bench_gate --baseline DIR --fresh DIR [--threshold-pct 25] [--file NAME]...
+//! ```
+//!
+//! Entries are matched by `name`. An entry present in the baseline but
+//! missing from the fresh run fails the gate (a silently dropped
+//! benchmark is itself a regression); entries only in the fresh run are
+//! reported but pass (new benchmarks land with their first baseline).
+//! Improvements are never gated.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mtsr_telemetry::Json;
+
+/// Bench report files the gate checks when no `--file` is given.
+const DEFAULT_FILES: [&str; 3] = ["BENCH_GEMM.json", "BENCH_CONV.json", "BENCH_INFER.json"];
+
+struct Entry {
+    name: String,
+    median_ns: u64,
+}
+
+fn load_entries(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = json
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: no `entries` array", path.display()))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: entry {i} has no `name`", path.display()))?;
+        let median_ns = e
+            .get("median_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{}: entry `{name}` has no `median_ns`", path.display()))?;
+        out.push(Entry {
+            name: name.to_string(),
+            median_ns,
+        });
+    }
+    Ok(out)
+}
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    threshold_pct: f64,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (mut baseline, mut fresh, mut threshold_pct) = (None, None, 25.0);
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let need_value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(|s| s.as_str())
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(need_value(i)?)),
+            "--fresh" => fresh = Some(PathBuf::from(need_value(i)?)),
+            "--threshold-pct" => {
+                threshold_pct = need_value(i)?
+                    .parse()
+                    .map_err(|_| "invalid --threshold-pct".to_string())?
+            }
+            "--file" => files.push(need_value(i)?.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 2;
+    }
+    if files.is_empty() {
+        files = DEFAULT_FILES.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline DIR required")?,
+        fresh: fresh.ok_or("--fresh DIR required")?,
+        threshold_pct,
+        files,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let mut ok = true;
+    for file in &args.files {
+        let base = load_entries(&args.baseline.join(file))?;
+        let fresh = load_entries(&args.fresh.join(file))?;
+        println!("== {file} (fail above +{:.0}%) ==", args.threshold_pct);
+        for b in &base {
+            match fresh.iter().find(|f| f.name == b.name) {
+                None => {
+                    ok = false;
+                    println!("  FAIL  {:<44} missing from the fresh run", b.name);
+                }
+                Some(f) => {
+                    let delta =
+                        (f.median_ns as f64 - b.median_ns as f64) / b.median_ns as f64 * 100.0;
+                    let verdict = if delta > args.threshold_pct {
+                        ok = false;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {verdict:<4}  {:<44} {:>12} -> {:>12} ns  ({delta:+6.1}%)",
+                        b.name, b.median_ns, f.median_ns
+                    );
+                }
+            }
+        }
+        for f in &fresh {
+            if !base.iter().any(|b| b.name == f.name) {
+                println!(
+                    "  new   {:<44} {:>12} ns (no baseline yet)",
+                    f.name, f.median_ns
+                );
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: bench_gate --baseline DIR --fresh DIR [--threshold-pct P] [--file NAME]...");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(true) => {
+            println!("bench gate: all medians within +{:.0}%", args.threshold_pct);
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench gate: regression beyond +{:.0}% (or a dropped benchmark) — see above",
+                args.threshold_pct
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

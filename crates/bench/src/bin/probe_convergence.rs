@@ -28,14 +28,30 @@ fn main() {
     let upscale = ds.layout().grid / ds.layout().square;
     let mut rng = Rng::seed_from(1);
     let mut cfg = ZipNetConfig::tiny(upscale, BENCH_S);
-    if let Ok(c) = std::env::var("CH") { cfg.channels = c.parse().unwrap(); }
-    if let Ok(z) = std::env::var("ZM") { cfg.zipper_modules = z.parse().unwrap(); }
+    if let Ok(c) = std::env::var("CH") {
+        cfg.channels = c.parse().unwrap();
+    }
+    if let Ok(z) = std::env::var("ZM") {
+        cfg.zipper_modules = z.parse().unwrap();
+    }
     let gen = ZipNet::new(&cfg, &mut rng).unwrap();
     let disc = Discriminator::new(&DiscriminatorConfig::tiny(), &mut rng).unwrap();
-    let lr0: f32 = std::env::var("LR").ok().and_then(|v| v.parse().ok()).unwrap_or(2e-3);
-    let tcfg = GanTrainingConfig { batch: 8, lr: lr0, pretrain_steps: 100,
-        adversarial_steps: 0, n_g: 1, n_d: 1, loss: zipnet_core::GanLoss::Empirical,
-        schedule: None, clip_norm: Some(5.0), adv_lr_factor: 1.0 };
+    let lr0: f32 = std::env::var("LR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2e-3);
+    let tcfg = GanTrainingConfig {
+        batch: 8,
+        lr: lr0,
+        pretrain_steps: 100,
+        adversarial_steps: 0,
+        n_g: 1,
+        n_d: 1,
+        loss: zipnet_core::GanLoss::Empirical,
+        schedule: None,
+        clip_norm: Some(5.0),
+        adv_lr_factor: 1.0,
+    };
     let mut trainer = GanTrainer::new(gen, disc, tcfg);
     let eval = |trainer: &mut GanTrainer, ds: &mtsr_traffic::Dataset| -> f32 {
         // NRMSE over 8 evenly spaced validation frames, denormalised.
@@ -52,13 +68,21 @@ fn main() {
             let tr = ds.fine_frame_raw(t).unwrap();
             nrmse(&p, &tr).unwrap()
         };
-        for &t in idx.iter() { s += wrapper(t); }
+        for &t in idx.iter() {
+            s += wrapper(t);
+        }
         s / idx.len() as f32
     };
     // Baselines on the same frames.
     {
         use mtsr_baselines::{BicubicSr, UniformSr};
-        for (name, mut m) in [("uniform", Box::new(UniformSr::new()) as Box<dyn SuperResolver>), ("bicubic", Box::new(BicubicSr::new()))] {
+        for (name, mut m) in [
+            (
+                "uniform",
+                Box::new(UniformSr::new()) as Box<dyn SuperResolver>,
+            ),
+            ("bicubic", Box::new(BicubicSr::new())),
+        ] {
             m.fit(&ds, &mut Rng::seed_from(0)).unwrap();
             let idx = mtsr_bench::evenly_spaced(&ds.usable_indices(Split::Valid), 8);
             let mut e = 0.0;
@@ -75,7 +99,12 @@ fn main() {
         trainer.set_learning_rate(lr0 * 0.5f32.powf((round - 1) as f32 / 3.0));
         let trace = trainer.pretrain(&ds, &mut rng).unwrap();
         let last = trace.last().copied().unwrap();
-        println!("steps {:4}: train-mse {:.4}  val-NRMSE {:.4}  ({:.0?})",
-            round * 100, last, eval(&mut trainer, &ds), t0.elapsed());
+        println!(
+            "steps {:4}: train-mse {:.4}  val-NRMSE {:.4}  ({:.0?})",
+            round * 100,
+            last,
+            eval(&mut trainer, &ds),
+            t0.elapsed()
+        );
     }
 }

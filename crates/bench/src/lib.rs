@@ -138,8 +138,7 @@ pub fn score_method(
 
 /// Directory (created on demand) where benches drop their CSV outputs.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create target/experiments");
     dir
 }
@@ -282,7 +281,15 @@ mod tests {
         let names: Vec<&str> = fig9_methods().iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["Uniform", "Bicubic", "SC", "A+", "SRCNN", "ZipNet", "ZipNet-GAN"]
+            vec![
+                "Uniform",
+                "Bicubic",
+                "SC",
+                "A+",
+                "SRCNN",
+                "ZipNet",
+                "ZipNet-GAN"
+            ]
         );
     }
 }

@@ -331,7 +331,11 @@ impl CheckpointPolicy {
     /// Existing periodic snapshots for this policy's base path, sorted by
     /// step number (oldest first).
     pub fn snapshots(&self) -> Vec<(usize, PathBuf)> {
-        let Some(base) = self.path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        let Some(base) = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+        else {
             return Vec::new();
         };
         let prefix = format!("{base}.");
@@ -430,7 +434,10 @@ mod tests {
         let mut bytes = dummy_state().to_bytes();
         bytes[..4].copy_from_slice(&mtsr_tensor::serialize::MAGIC.to_le_bytes());
         let err = TrainState::from_bytes(&bytes).unwrap_err();
-        assert!(err.to_string().contains("not a training container"), "{err}");
+        assert!(
+            err.to_string().contains("not a training container"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -465,7 +472,12 @@ mod tests {
             halt_after: None,
         };
         assert_eq!(
-            policy.snapshot_path(7).file_name().unwrap().to_str().unwrap(),
+            policy
+                .snapshot_path(7)
+                .file_name()
+                .unwrap()
+                .to_str()
+                .unwrap(),
             "model.ckpt.000007"
         );
         for total in [1usize, 2, 3, 10] {

@@ -183,16 +183,28 @@ mod tests {
         let mut det = TrafficAnomalyDetector::new(4, 2, 0.3, 5.0).unwrap();
         let mut rng = Rng::seed_from(3);
         for _ in 0..20 {
-            let low = Tensor::full([4, 4], 10.0).add(&Tensor::rand_normal([4, 4], 0.0, 0.5, &mut rng)).unwrap();
-            let high = Tensor::full([4, 4], 1000.0).add(&Tensor::rand_normal([4, 4], 0.0, 0.5, &mut rng)).unwrap();
+            let low = Tensor::full([4, 4], 10.0)
+                .add(&Tensor::rand_normal([4, 4], 0.0, 0.5, &mut rng))
+                .unwrap();
+            let high = Tensor::full([4, 4], 1000.0)
+                .add(&Tensor::rand_normal([4, 4], 0.0, 0.5, &mut rng))
+                .unwrap();
             det.observe(0, &low).unwrap();
             det.observe(1, &high).unwrap();
         }
         let probe = Tensor::full([4, 4], 1000.0);
         let z0 = det.score(0, &probe).unwrap();
         let z1 = det.score(1, &probe).unwrap();
-        assert!(z0.max() > 5.0, "high traffic anomalous at night: {}", z0.max());
-        assert!(z1.max().abs() < 5.0, "high traffic normal at noon: {}", z1.max());
+        assert!(
+            z0.max() > 5.0,
+            "high traffic anomalous at night: {}",
+            z0.max()
+        );
+        assert!(
+            z1.max().abs() < 5.0,
+            "high traffic normal at noon: {}",
+            z1.max()
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ use mtsr_nn::io as model_io;
 use mtsr_nn::layer::{Layer, LayerExt};
 use mtsr_nn::loss::{bce_with_logits, log_sigmoid, mse_loss, per_sample_mse, sigmoid};
 use mtsr_nn::{Adam, LrSchedule, Optimizer};
-use mtsr_tensor::{Result, Rng, Tensor, TensorError};
 use mtsr_telemetry::{EpochRecord, PhaseReport};
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
 use mtsr_traffic::{Dataset, Split};
 use std::time::Instant;
 
@@ -454,7 +454,10 @@ impl GanTrainer {
         //          ∂L_i/∂pred = ∂mse_i/∂pred − 2σ²·σ(−z_i)·∂z_i/∂pred
         let (mse_coef, z_coef): (Vec<f32>, Vec<f32>) = match self.cfg.loss {
             GanLoss::Empirical => (
-                logits.iter().map(|&zi| 1.0 - 2.0 * log_sigmoid(zi)).collect(),
+                logits
+                    .iter()
+                    .map(|&zi| 1.0 - 2.0 * log_sigmoid(zi))
+                    .collect(),
                 logits
                     .iter()
                     .zip(&mses)
@@ -487,7 +490,9 @@ impl GanTrainer {
             }
         };
         if !loss.is_finite() {
-            return Err(TensorError::NonFinite { op: "generator_step" });
+            return Err(TensorError::NonFinite {
+                op: "generator_step",
+            });
         }
 
         // MSE path: a_i · 2(pred − y)/pixels, averaged over the batch.
@@ -503,10 +508,7 @@ impl GanTrainer {
         }
         // Adversarial path: backprop the per-sample logit gradients
         // through D to the generator output.
-        let dz = Tensor::from_vec(
-            [n, 1],
-            z_coef.iter().map(|&c| c / n as f32).collect(),
-        )?;
+        let dz = Tensor::from_vec([n, 1], z_coef.iter().map(|&c| c / n as f32).collect())?;
         let g_through_d = self.disc.backward(&dz)?;
         // The discriminator accumulated parameter gradients during that
         // pass that belong to the *generator's* objective — discard them.
@@ -624,7 +626,9 @@ impl GanTrainer {
             let x = s.input.reshaped([1, dims[0], dims[1], dims[2], dims[3]])?;
             let pred = self.gen.forward(&x, false)?;
             let tgt_dims = s.target.dims().to_vec();
-            let y = s.target.reshaped([1, tgt_dims[0], tgt_dims[1], tgt_dims[2]])?;
+            let y = s
+                .target
+                .reshaped([1, tgt_dims[0], tgt_dims[1], tgt_dims[2]])?;
             total += pred.mse(&y)? as f64;
         }
         Ok((total / take as f64) as f32)
@@ -710,7 +714,10 @@ mod tests {
         // The GAN phase trades a little MSE for fidelity; it must not blow
         // the generator up (§5.4: "does not necessarily enhance overall
         // accuracy" — but also never destroys it).
-        assert!(after < 3.0 * before + 0.5, "MSE exploded: {before} → {after}");
+        assert!(
+            after < 3.0 * before + 0.5,
+            "MSE exploded: {before} → {after}"
+        );
     }
 
     #[test]
@@ -753,8 +760,7 @@ mod tests {
         let report = full.train(&ds, &mut rng_full).unwrap();
         assert!(!report.halted && !report.diverged);
 
-        let dir =
-            std::env::temp_dir().join(format!("mtsr_gan_resume_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("mtsr_gan_resume_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let (_, mut first) = tiny_setup(11);
         configure(&mut first);

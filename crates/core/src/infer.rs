@@ -43,6 +43,7 @@ use mtsr_tensor::conv::{
 use mtsr_tensor::matmul::{sgemm_nt, BnEpilogue, Epilogue};
 use mtsr_tensor::{Result, Tensor, TensorError};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How conv/BN/activation stages are fused at plan time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -304,25 +305,55 @@ impl GraphBuilder {
             Loc::Slot(s) => s,
             Loc::Input => unreachable!("checked above"),
         };
-        Ok(InferExec {
+        Ok(InferExec::from_plan(Arc::new(InferPlan {
             steps,
-            slots: slot_len.iter().map(|&l| vec![0.0f32; l]).collect(),
+            slot_lens: slot_len,
             in_dims,
             out_dims,
             out_slot,
-        })
+        })))
+    }
+}
+
+/// The immutable half of a planned inference program: the kernel steps
+/// (with their weight snapshots and fused epilogue constants) plus the
+/// arena layout. An `InferPlan` is shared — via [`Arc`] — between every
+/// executor forked from it ([`InferExec::fork`]), so N serving threads
+/// carry one copy of the weights and N private activation arenas.
+pub struct InferPlan {
+    steps: Vec<ExecStep>,
+    /// Element count of each arena slot.
+    slot_lens: Vec<usize>,
+    in_dims: Vec<usize>,
+    out_dims: Vec<usize>,
+    out_slot: usize,
+}
+
+impl InferPlan {
+    /// The `[batch, …]` input shape the plan is specialised for.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.in_dims
+    }
+
+    /// The output shape one run produces.
+    pub fn output_dims(&self) -> &[usize] {
+        &self.out_dims
+    }
+
+    /// Total f32 elements across the planned activation arena (one
+    /// executor's steady-state activation footprint).
+    pub fn arena_elems(&self) -> usize {
+        self.slot_lens.iter().sum()
     }
 }
 
 /// A planned, arena-backed inference program for one fixed input shape.
 /// Built by [`plan_zipnet`] or [`plan_discriminator`]; run it as many
-/// times as there are batches.
+/// times as there are batches, or [`InferExec::fork`] it so several
+/// threads replay the same shared [`InferPlan`] concurrently.
 pub struct InferExec {
-    steps: Vec<ExecStep>,
+    plan: Arc<InferPlan>,
     slots: Vec<Vec<f32>>,
-    in_dims: Vec<usize>,
-    out_dims: Vec<usize>,
-    out_slot: usize,
 }
 
 /// Splits two distinct slots into a read view and a write view.
@@ -395,14 +426,35 @@ fn run_kernel(kernel: &Kernel, src: &[f32], dst: &mut [f32], in_dims: &[usize]) 
 }
 
 impl InferExec {
+    /// Builds an executor (fresh, zeroed arena) over a shared plan.
+    pub fn from_plan(plan: Arc<InferPlan>) -> InferExec {
+        let slots = plan.slot_lens.iter().map(|&l| vec![0.0f32; l]).collect();
+        InferExec { plan, slots }
+    }
+
+    /// A new executor over the *same* shared plan with its own private
+    /// activation arena. Forked executors replay the identical program —
+    /// same weight snapshots, same step order — so their results are
+    /// bit-identical to the original's; each costs only one arena
+    /// ([`InferPlan::arena_elems`] f32s), not a weight copy. This is how
+    /// a concurrent server runs one planned model on several threads.
+    pub fn fork(&self) -> InferExec {
+        InferExec::from_plan(Arc::clone(&self.plan))
+    }
+
+    /// The shared plan this executor replays.
+    pub fn plan(&self) -> &Arc<InferPlan> {
+        &self.plan
+    }
+
     /// The `[batch, …]` input shape the plan is specialised for.
     pub fn input_dims(&self) -> &[usize] {
-        &self.in_dims
+        &self.plan.in_dims
     }
 
     /// The output shape one run produces.
     pub fn output_dims(&self) -> &[usize] {
-        &self.out_dims
+        &self.plan.out_dims
     }
 
     /// Total f32 elements across the planned activation arena — the whole
@@ -415,8 +467,8 @@ impl InferExec {
     /// elements, `out` the planned output elements. Performs no heap
     /// allocation once the kernels' scratch arenas are warm (first run).
     pub fn run_into(&mut self, x: &[f32], out: &mut [f32]) -> Result<()> {
-        let in_len: usize = self.in_dims.iter().product();
-        let out_len: usize = self.out_dims.iter().product();
+        let in_len: usize = self.plan.in_dims.iter().product();
+        let out_len: usize = self.plan.out_dims.iter().product();
         if x.len() != in_len || out.len() != out_len {
             return Err(TensorError::InvalidShape {
                 op: "InferExec::run_into",
@@ -427,7 +479,7 @@ impl InferExec {
                 ),
             });
         }
-        for step in &self.steps {
+        for step in &self.plan.steps {
             if matches!(step.kernel, Kernel::AddAssign) {
                 let extra = step.extra.expect("AddAssign has a second operand");
                 let (src, dst) = slot_pair(&mut self.slots, extra, step.dst);
@@ -457,23 +509,23 @@ impl InferExec {
                 }
             }
         }
-        out.copy_from_slice(&self.slots[self.out_slot][..out_len]);
+        out.copy_from_slice(&self.slots[self.plan.out_slot][..out_len]);
         Ok(())
     }
 
     /// Allocating convenience wrapper around [`InferExec::run_into`].
     pub fn run(&mut self, x: &Tensor) -> Result<Tensor> {
-        if x.dims() != self.in_dims {
+        if x.dims() != self.plan.in_dims {
             return Err(TensorError::InvalidShape {
                 op: "InferExec::run",
                 reason: format!(
                     "plan specialised for {:?}, got {:?}",
-                    self.in_dims,
+                    self.plan.in_dims,
                     x.dims()
                 ),
             });
         }
-        let mut out = Tensor::zeros(self.out_dims.clone());
+        let mut out = Tensor::zeros(self.plan.out_dims.clone());
         self.run_into(x.as_slice(), out.as_mut_slice())?;
         Ok(out)
     }
@@ -739,7 +791,14 @@ pub fn plan_zipnet(
     }
 
     // Stage 3: tail (last conv has neither BN nor activation).
-    let (wt, ep) = conv_stage(&params, "tail0", Some("tail0.bn"), alpha, policy, CONV_CO_AXIS)?;
+    let (wt, ep) = conv_stage(
+        &params,
+        "tail0",
+        Some("tail0.bn"),
+        alpha,
+        policy,
+        CONV_CO_AXIS,
+    )?;
     v = gb.push(
         Kernel::Conv2d {
             w: wt,
@@ -752,7 +811,14 @@ pub fn plan_zipnet(
         batch * 2 * ch * hh * ww,
         false,
     )?;
-    let (wt, ep) = conv_stage(&params, "tail1", Some("tail1.bn"), alpha, policy, CONV_CO_AXIS)?;
+    let (wt, ep) = conv_stage(
+        &params,
+        "tail1",
+        Some("tail1.bn"),
+        alpha,
+        policy,
+        CONV_CO_AXIS,
+    )?;
     v = gb.push(
         Kernel::Conv2d {
             w: wt,
@@ -951,6 +1017,33 @@ mod tests {
         let y_ref = net.forward(&x, false).unwrap();
         let mut exec = plan_discriminator(&mut net, FusePolicy::Exact, 3, 12, 12).unwrap();
         assert_eq!(exec.run(&x).unwrap(), y_ref);
+    }
+
+    #[test]
+    fn forked_executors_share_the_plan_and_match_bitwise() {
+        let cfg = ZipNetConfig::tiny(2, 3);
+        let mut net = warmed_zipnet(&cfg, 29, 4);
+        let x = Tensor::rand_normal([1, 1, 3, 4, 4], 0.0, 1.0, &mut Rng::seed_from(30));
+        let mut exec = plan_zipnet(&mut net, FusePolicy::Folded, 1, 4, 4).unwrap();
+        let y = exec.run(&x).unwrap();
+        let mut forks: Vec<InferExec> = (0..3).map(|_| exec.fork()).collect();
+        for f in &forks {
+            assert!(Arc::ptr_eq(exec.plan(), f.plan()), "plan must be shared");
+        }
+        // Concurrent replays on the shared plan give the same bits.
+        let results: Vec<Tensor> = std::thread::scope(|scope| {
+            let handles: Vec<_> = forks
+                .iter_mut()
+                .map(|f| {
+                    let x = &x;
+                    scope.spawn(move || f.run(x).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in results {
+            assert_eq!(r, y);
+        }
     }
 
     #[test]

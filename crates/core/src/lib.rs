@@ -50,10 +50,10 @@ pub mod zipnet;
 
 pub use checkpoint::{CheckpointPolicy, TrainPhase, TrainState};
 pub use config::{upscale_blocks, DiscriminatorConfig, SkipMode, ZipNetConfig};
+pub use detector::{Detection, TrafficAnomalyDetector};
 pub use discriminator::Discriminator;
 pub use gan::{GanLoss, GanTrainer, GanTrainingConfig, TrainingReport};
-pub use detector::{Detection, TrafficAnomalyDetector};
-pub use infer::{plan_discriminator, plan_zipnet, FusePolicy, InferExec};
-pub use pipeline::{ArchScale, InferSession, MtsrModel, MtsrPipeline};
+pub use infer::{plan_discriminator, plan_zipnet, FusePolicy, InferExec, InferPlan};
+pub use pipeline::{ArchScale, InferSession, MtsrModel, MtsrPipeline, SlidingGeometry};
 pub use streaming::StreamingPredictor;
 pub use zipnet::ZipNet;

@@ -235,14 +235,15 @@ pub struct MtsrPipeline {
 }
 
 /// Validated sliding-window geometry shared by the reference and
-/// planned inference paths.
-struct SlidingGeometry {
+/// planned inference paths — and by remote clients, which must crop the
+/// same origins in the same order for bit-identical reassembly.
+pub struct SlidingGeometry {
     /// Fine-grid side length.
-    grid: usize,
+    pub grid: usize,
     /// Uniform probe size (window/stride alignment unit).
-    probe: usize,
+    pub probe: usize,
     /// Fine-grid window origins, clamped to cover the edges.
-    origins: Vec<(usize, usize)>,
+    pub origins: Vec<(usize, usize)>,
 }
 
 impl MtsrPipeline {
@@ -253,7 +254,7 @@ impl MtsrPipeline {
 
     /// Validates geometry against the dataset and returns
     /// `(grid, probe_size, window origins)`.
-    fn geometry(&self, ds: &Dataset) -> Result<SlidingGeometry> {
+    pub fn geometry(&self, ds: &Dataset) -> Result<SlidingGeometry> {
         let layout = ds.layout();
         let g = layout.grid;
         let n = layout.uniform_size().ok_or(TensorError::InvalidShape {
@@ -294,7 +295,11 @@ impl MtsrPipeline {
             }
             y += self.stride;
         }
-        Ok(SlidingGeometry { grid: g, probe: n, origins })
+        Ok(SlidingGeometry {
+            grid: g,
+            probe: n,
+            origins,
+        })
     }
 
     /// Predicts the full fine-grained frame at target index `t` by
@@ -302,7 +307,11 @@ impl MtsrPipeline {
     /// window through the layer stack. The reference path; see
     /// [`MtsrPipeline::session`] for the planned fast path.
     pub fn predict_full(&self, gen: &mut ZipNet, ds: &Dataset, t: usize) -> Result<Tensor> {
-        let SlidingGeometry { grid: g, probe: n, origins } = self.geometry(ds)?;
+        let SlidingGeometry {
+            grid: g,
+            probe: n,
+            origins,
+        } = self.geometry(ds)?;
         let sample = ds.sample_at(t)?;
         let in_dims = sample.input.dims().to_vec(); // [1, S, sq, sq]
         let (s, sq) = (in_dims[1], in_dims[2]);
@@ -338,7 +347,11 @@ impl MtsrPipeline {
         policy: FusePolicy,
         batch: usize,
     ) -> Result<InferSession> {
-        let SlidingGeometry { grid: g, probe: n, origins } = self.geometry(ds)?;
+        let SlidingGeometry {
+            grid: g,
+            probe: n,
+            origins,
+        } = self.geometry(ds)?;
         if batch == 0 {
             return Err(TensorError::InvalidShape {
                 op: "MtsrPipeline::session",
@@ -366,7 +379,11 @@ impl MtsrPipeline {
 
 /// Copies an `S × cw × cw` coarse crop at coarse origin `(cy, cx)` out of
 /// the `[S, sq, sq]` coarse frame stack into `dst` (row-major).
-fn crop_coarse(
+///
+/// Public because remote clients (`mtsr-serve`) crop windows with exactly
+/// this routine so that a reassembled remote prediction is bit-identical
+/// to the local [`InferSession::predict_full`] path.
+pub fn crop_coarse(
     src: &[f32],
     s: usize,
     sq: usize,
@@ -417,17 +434,78 @@ impl InferSession {
         self.origins.len()
     }
 
+    /// Fine-grid window origins, in prediction order.
+    pub fn origins(&self) -> &[(usize, usize)] {
+        &self.origins
+    }
+
+    /// Fine-grid window side length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Uniform probe size (fine cells per coarse cell).
+    pub fn probe(&self) -> usize {
+        self.n
+    }
+
+    /// Temporal length `S` the session was planned for.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Coarse window side (`window / probe`).
+    pub fn coarse_window(&self) -> usize {
+        self.cw
+    }
+
+    /// A new session over the *same* shared [`crate::infer::InferPlan`]
+    /// with private buffers, for running full-grid predictions on another
+    /// thread. Forked sessions produce bit-identical frames.
+    pub fn fork(&self) -> InferSession {
+        InferSession {
+            exec: self.exec.fork(),
+            plan: self.plan.clone(),
+            origins: self.origins.clone(),
+            window: self.window,
+            batch: self.batch,
+            n: self.n,
+            s: self.s,
+            cw: self.cw,
+            input_buf: vec![0.0; self.input_buf.len()],
+            output_buf: vec![0.0; self.output_buf.len()],
+        }
+    }
+
     /// Predicts the full fine-grained frame at target index `t`.
     pub fn predict_full(&mut self, ds: &Dataset, t: usize) -> Result<Tensor> {
         let sample = ds.sample_at(t)?;
         let in_dims = sample.input.dims(); // [1, S, sq, sq]
         let (s, sq) = (in_dims[1], in_dims[2]);
-        if s != self.s || sq < self.cw {
+        if s != self.s {
             return Err(TensorError::InvalidShape {
                 op: "InferSession::predict_full",
+                reason: format!("session planned for S={}, frame has S={s}", self.s),
+            });
+        }
+        self.predict_frame(sample.input.as_slice(), sq)
+    }
+
+    /// Predicts the full fine-grained frame from a raw normalized coarse
+    /// stack `[S, sq, sq]` (row-major). This is the dataset-free entry
+    /// point the serving daemon's full-frame path and [`predict_full`]
+    /// share; identical inputs produce bit-identical frames.
+    ///
+    /// [`predict_full`]: InferSession::predict_full
+    pub fn predict_frame(&mut self, coarse: &[f32], sq: usize) -> Result<Tensor> {
+        if sq < self.cw || coarse.len() != self.s * sq * sq {
+            return Err(TensorError::InvalidShape {
+                op: "InferSession::predict_frame",
                 reason: format!(
-                    "session planned for S={} cw={}, frame is S={s} sq={sq}",
-                    self.s, self.cw
+                    "session planned for S={} cw={}, got {} values for sq={sq}",
+                    self.s,
+                    self.cw,
+                    coarse.len()
                 ),
             });
         }
@@ -445,7 +523,7 @@ impl InferSession {
                 for (bi, i) in (start..end).enumerate() {
                     let (y0, x0) = self.origins[i];
                     crop_coarse(
-                        sample.input.as_slice(),
+                        coarse,
                         self.s,
                         sq,
                         (y0 / self.n, x0 / self.n),
@@ -484,7 +562,9 @@ mod tests {
     fn tiny_dataset(seed: u64) -> Dataset {
         let mut rng = Rng::seed_from(seed);
         let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }

@@ -133,10 +133,7 @@ mod tests {
         let mags = input_gradient_magnitudes(&mut gen, None, &ds, &idx).unwrap();
         let oldest = mags[0];
         let newest = *mags.last().unwrap();
-        assert!(
-            newest > oldest,
-            "recent frame should dominate: {mags:?}"
-        );
+        assert!(newest > oldest, "recent frame should dominate: {mags:?}");
     }
 
     #[test]
@@ -144,14 +141,10 @@ mod tests {
         let (ds, mut gen, mut disc) = setup(4);
         let idx = ds.usable_indices(Split::Test);
         let plain = input_gradient_magnitudes(&mut gen, None, &ds, &idx[..2]).unwrap();
-        let with_d =
-            input_gradient_magnitudes(&mut gen, Some(&mut disc), &ds, &idx[..2]).unwrap();
+        let with_d = input_gradient_magnitudes(&mut gen, Some(&mut disc), &ds, &idx[..2]).unwrap();
         assert_eq!(plain.len(), with_d.len());
         // The adversarial term reweights the gradient; magnitudes differ.
-        assert!(plain
-            .iter()
-            .zip(&with_d)
-            .any(|(a, b)| (a - b).abs() > 1e-9));
+        assert!(plain.iter().zip(&with_d).any(|(a, b)| (a - b).abs() > 1e-9));
     }
 
     #[test]

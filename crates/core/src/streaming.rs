@@ -103,9 +103,7 @@ impl StreamingPredictor {
         };
         mtsr_telemetry::add_counter("stream.predictions", 1);
         let side = pred.dims()[2];
-        Ok(Some(
-            pred.reshape([side, side])?.denormalize(&self.moments),
-        ))
+        Ok(Some(pred.reshape([side, side])?.denormalize(&self.moments)))
     }
 
     /// Consumes the predictor, returning the generator (for checkpointing).
@@ -118,8 +116,8 @@ impl StreamingPredictor {
 mod tests {
     use super::*;
     use crate::config::ZipNetConfig;
-    use crate::pipeline::{ArchScale, MtsrModel};
     use crate::gan::GanTrainingConfig;
+    use crate::pipeline::{ArchScale, MtsrModel};
     use mtsr_tensor::Rng;
     use mtsr_traffic::{
         CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
@@ -153,11 +151,8 @@ mod tests {
 
         // Rebuild a streaming predictor around the same generator weights.
         let bytes = mtsr_nn::io::to_bytes(model.generator_mut().unwrap());
-        let mut gen = crate::zipnet::ZipNet::new(
-            &ZipNetConfig::tiny(4, 3),
-            &mut Rng::seed_from(99),
-        )
-        .unwrap();
+        let mut gen =
+            crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(99)).unwrap();
         mtsr_nn::io::from_bytes(&mut gen, &bytes).unwrap();
         let mut stream = StreamingPredictor::new(gen, ds.moments()).unwrap();
 
@@ -217,7 +212,10 @@ mod tests {
     fn constructor_validates_moments() {
         let mut rng = Rng::seed_from(7);
         let gen = crate::zipnet::ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).unwrap();
-        let bad = Moments { mean: 0.0, std: 0.0 };
+        let bad = Moments {
+            mean: 0.0,
+            std: 0.0,
+        };
         assert!(StreamingPredictor::new(gen, bad).is_err());
     }
 }

@@ -137,13 +137,34 @@ impl ZipNet {
             .collect();
         let c = cfg.channels;
         let tail = Sequential::new()
-            .push(Conv2d::new("tail0", c, 2 * c, (3, 3), Conv2dSpec::same(3), rng))
+            .push(Conv2d::new(
+                "tail0",
+                c,
+                2 * c,
+                (3, 3),
+                Conv2dSpec::same(3),
+                rng,
+            ))
             .push(BatchNorm::new("tail0.bn", 2 * c))
             .push(LeakyReLU::new(cfg.leaky_alpha))
-            .push(Conv2d::new("tail1", 2 * c, 4 * c, (3, 3), Conv2dSpec::same(3), rng))
+            .push(Conv2d::new(
+                "tail1",
+                2 * c,
+                4 * c,
+                (3, 3),
+                Conv2dSpec::same(3),
+                rng,
+            ))
             .push(BatchNorm::new("tail1.bn", 4 * c))
             .push(LeakyReLU::new(cfg.leaky_alpha))
-            .push(Conv2d::new("tail2", 4 * c, 1, (3, 3), Conv2dSpec::same(3), rng));
+            .push(Conv2d::new(
+                "tail2",
+                4 * c,
+                1,
+                (3, 3),
+                Conv2dSpec::same(3),
+                rng,
+            ));
         Ok(ZipNet {
             cfg: cfg.clone(),
             upscale,
@@ -385,7 +406,11 @@ mod tests {
         net.forward(&x, true).unwrap();
         let gx = net.backward(&r).unwrap();
         assert_eq!(gx.dims(), x.dims());
-        let gnorm2 = gx.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>();
+        let gnorm2 = gx
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64).powi(2))
+            .sum::<f64>();
         assert!(gnorm2 > 0.0);
 
         let probe = |net: &mut ZipNet, x: &Tensor| -> f64 {
@@ -417,7 +442,10 @@ mod tests {
             prev_rel = rel;
         }
         // ... and land close at the smallest ε.
-        assert!(prev_rel < 0.05, "directional derivative rel error {prev_rel}");
+        assert!(
+            prev_rel < 0.05,
+            "directional derivative rel error {prev_rel}"
+        );
     }
 
     #[test]
@@ -510,7 +538,10 @@ mod tests {
                 let num = (probe(&xp) - probe(&xm)) / (2.0 * eps as f64);
                 best_rel = best_rel.min((num - gnorm2).abs() / gnorm2.max(1e-12));
             }
-            assert!(best_rel < 0.12, "{mode:?}: directional rel error {best_rel}");
+            assert!(
+                best_rel < 0.12,
+                "{mode:?}: directional rel error {best_rel}"
+            );
         }
     }
 

@@ -31,7 +31,9 @@ fn train_with(opt: &mut dyn Optimizer, ds: &Dataset, steps: usize) -> f32 {
     let mut data_rng = Rng::seed_from(63); // identical batch stream per run
     let mut trace = Vec::with_capacity(steps);
     for _ in 0..steps {
-        let (x, y) = ds.sample_batch(Split::Train, 8, &mut data_rng).expect("batch");
+        let (x, y) = ds
+            .sample_batch(Split::Train, 8, &mut data_rng)
+            .expect("batch");
         let pred = gen.forward(&x, true).expect("forward");
         let (loss, grad) = mse_loss(&pred, &y).expect("loss");
         trace.push(loss);
@@ -60,5 +62,8 @@ fn adam_converges_faster_than_sgd() {
         "Adam tail loss {adam_tail:.4} should beat SGD+momentum {sgd_momentum_tail:.4}"
     );
     // And all of them must actually have learned something.
-    assert!(adam_tail.is_finite() && adam_tail < 1.0, "Adam tail {adam_tail}");
+    assert!(
+        adam_tail.is_finite() && adam_tail < 1.0,
+        "Adam tail {adam_tail}"
+    );
 }

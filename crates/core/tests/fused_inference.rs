@@ -128,7 +128,9 @@ fn batched_execution_equals_single() {
 fn fitted_tiny_model(seed: u64) -> (Dataset, MtsrModel, usize) {
     let mut rng = Rng::seed_from(seed);
     let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-    let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+    let movie = gen
+        .generate(DatasetConfig::tiny().total(), &mut rng)
+        .unwrap();
     let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up4).unwrap();
     let ds = Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap();
     let mut cfg = GanTrainingConfig::tiny();
@@ -149,14 +151,20 @@ fn exact_session_matches_predict_full_bit_exactly() {
         .predict_full(m.generator_mut().unwrap(), &ds, t)
         .unwrap();
     for batch in [1usize, 4, 16] {
-        let mut session = m.infer_session(&pipe, &ds, FusePolicy::Exact, batch).unwrap();
+        let mut session = m
+            .infer_session(&pipe, &ds, FusePolicy::Exact, batch)
+            .unwrap();
         assert_eq!(session.windows_per_frame(), 9);
         let out = session.predict_full(&ds, t).unwrap();
         assert_eq!(out.as_slice(), reference.as_slice(), "batch {batch}");
         // Plan-once / execute-many: the second frame through the same
         // session must be identical too.
         let out2 = session.predict_full(&ds, t).unwrap();
-        assert_eq!(out2.as_slice(), reference.as_slice(), "rerun, batch {batch}");
+        assert_eq!(
+            out2.as_slice(),
+            reference.as_slice(),
+            "rerun, batch {batch}"
+        );
     }
 }
 

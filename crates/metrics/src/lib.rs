@@ -94,8 +94,7 @@ pub fn ssim(pred: &Tensor, truth: &Tensor, dynamic_range: f32) -> Result<f32> {
     let vx = pred.variance();
     let vy = truth.variance();
     let cov = pred.covariance(truth)?;
-    Ok(((2.0 * mx * my + c1) * (2.0 * cov + c2))
-        / ((mx * mx + my * my + c1) * (vx + vy + c2)))
+    Ok(((2.0 * mx * my + c1) * (2.0 * cov + c2)) / ((mx * mx + my * my + c1) * (vx + vy + c2)))
 }
 
 /// Mean SSIM over sliding windows — the form common in image-quality

@@ -247,7 +247,14 @@ mod tests {
     fn folded_conv_matches_unfolded_eval() {
         let mut rng = Rng::seed_from(41);
         let mut net = Sequential::new()
-            .push(Conv2d::new("c", 2, 5, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c",
+                2,
+                5,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
             .push(BatchNorm::new("b", 5))
             .push(LeakyReLU::new(0.1));
         warm_up(&mut net, 2, &mut rng);
@@ -290,7 +297,14 @@ mod tests {
     fn fold_resets_bn_to_identity() {
         let mut rng = Rng::seed_from(43);
         let mut net = Sequential::new()
-            .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c",
+                1,
+                2,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
             .push(BatchNorm::new("b", 2));
         warm_up(&mut net, 1, &mut rng);
         fold_bn_pair(&mut net, "c", "b", CONV_CO_AXIS).unwrap();
@@ -315,7 +329,14 @@ mod tests {
     fn fold_rejects_unknown_prefixes() {
         let mut rng = Rng::seed_from(44);
         let mut net = Sequential::new()
-            .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c",
+                1,
+                2,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
             .push(BatchNorm::new("b", 2));
         assert!(fold_bn_pair(&mut net, "c", "nope", CONV_CO_AXIS).is_err());
         assert!(fold_bn_pair(&mut net, "nope", "b", CONV_CO_AXIS).is_err());

@@ -74,11 +74,7 @@ pub fn check_layer_gradients(mut layer: Box<dyn Layer>, input_dims: &[usize], se
     for (pi, (pname, pgrad)) in analytic.iter().enumerate() {
         let n_p = pgrad.numel();
         for probe in 0..PROBES.min(n_p) {
-            let idx = if n_p <= PROBES {
-                probe
-            } else {
-                rng.below(n_p)
-            };
+            let idx = if n_p <= PROBES { probe } else { rng.below(n_p) };
             let mut orig = 0.0;
             let mut k = 0;
             layer.visit_params(&mut |p| {

@@ -9,7 +9,12 @@ use mtsr_tensor::{Rng, Shape, Tensor};
 
 /// He-normal: `N(0, √(2 / fan_in))`, with the LeakyReLU gain correction
 /// `√(2 / (1 + α²))` folded in.
-pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, leaky_alpha: f32, rng: &mut Rng) -> Tensor {
+pub fn he_normal(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    leaky_alpha: f32,
+    rng: &mut Rng,
+) -> Tensor {
     let gain = (2.0 / (1.0 + leaky_alpha * leaky_alpha)).sqrt();
     let std = gain / (fan_in as f32).sqrt();
     Tensor::rand_normal(shape, 0.0, std, rng)

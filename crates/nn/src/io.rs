@@ -129,7 +129,8 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
         reason: format!("{what} {}: {e}", path.display()),
     };
     let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp for", e))?;
-    f.write_all(bytes).map_err(|e| io_err("write temp for", e))?;
+    f.write_all(bytes)
+        .map_err(|e| io_err("write temp for", e))?;
     f.sync_all().map_err(|e| io_err("fsync temp for", e))?;
     drop(f);
     std::fs::rename(&tmp, path).map_err(|e| io_err("rename into", e))?;
@@ -168,10 +169,24 @@ mod tests {
     fn tiny_net(seed: u64) -> Sequential {
         let mut rng = Rng::seed_from(seed);
         Sequential::new()
-            .push(Conv2d::new("c1", 1, 4, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c1",
+                1,
+                4,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
             .push(BatchNorm::new("bn1", 4))
             .push(LeakyReLU::default())
-            .push(Conv2d::new("c2", 4, 1, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c2",
+                4,
+                1,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
     }
 
     #[test]
@@ -223,10 +238,8 @@ mod tests {
     /// Unique per-process scratch directory: a fixed path collides when
     /// several `cargo test` invocations run concurrently on one machine.
     fn scratch_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "mtsr_nn_io_test_{}_{tag}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("mtsr_nn_io_test_{}_{tag}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -265,7 +278,10 @@ mod tests {
             .filter_map(|e| e.ok())
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

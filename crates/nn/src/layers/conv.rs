@@ -52,12 +52,7 @@ impl Conv2d {
         rng: &mut Rng,
     ) -> Self {
         let w_dims = [c_out, c_in, kernel.0, kernel.1];
-        let w = he_normal(
-            w_dims,
-            conv_fan_in(&w_dims),
-            INIT_LEAKY_ALPHA,
-            rng,
-        );
+        let w = he_normal(w_dims, conv_fan_in(&w_dims), INIT_LEAKY_ALPHA, rng);
         Conv2d {
             w: Param::new(format!("{name}.weight"), w),
             b: Param::new(format!("{name}.bias"), Tensor::zeros([c_out])),

@@ -57,7 +57,6 @@ impl BatchNorm {
         self.momentum = momentum;
         self
     }
-
 }
 
 impl Layer for BatchNorm {
@@ -82,11 +81,7 @@ impl Layer for BatchNorm {
                 .value
                 .scale(1.0 - mom)
                 .add(&m.scale(mom))?;
-            self.running_var.value = self
-                .running_var
-                .value
-                .scale(1.0 - mom)
-                .add(&v.scale(mom))?;
+            self.running_var.value = self.running_var.value.scale(1.0 - mom).add(&v.scale(mom))?;
             (m, v)
         } else {
             (

@@ -92,8 +92,11 @@ mod tests {
     #[test]
     fn averages_each_channel() {
         let mut p = GlobalAvgPool::new();
-        let x = Tensor::from_vec([1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0])
-            .unwrap();
+        let x = Tensor::from_vec(
+            [1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        )
+        .unwrap();
         let y = p.forward(&x, true).unwrap();
         assert_eq!(y.dims(), &[1, 2]);
         assert_eq!(y.as_slice(), &[2.5, 10.0]);
@@ -104,7 +107,9 @@ mod tests {
         let mut p = GlobalAvgPool::new();
         let x = Tensor::zeros([1, 1, 2, 2]);
         p.forward(&x, true).unwrap();
-        let g = p.backward(&Tensor::from_vec([1, 1], vec![8.0]).unwrap()).unwrap();
+        let g = p
+            .backward(&Tensor::from_vec([1, 1], vec![8.0]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
     }
 

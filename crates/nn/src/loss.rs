@@ -55,8 +55,14 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
 /// discriminator's training objective (paper Eq. 5, negated so both
 /// players *minimise*).
 pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
-    logits.shape().check_same(targets.shape(), "bce_with_logits")?;
-    if targets.as_slice().iter().any(|&t| !(0.0..=1.0).contains(&t)) {
+    logits
+        .shape()
+        .check_same(targets.shape(), "bce_with_logits")?;
+    if targets
+        .as_slice()
+        .iter()
+        .any(|&t| !(0.0..=1.0).contains(&t))
+    {
         return Err(TensorError::InvalidShape {
             op: "bce_with_logits",
             reason: "targets must lie in [0, 1]".into(),

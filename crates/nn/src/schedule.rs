@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_holds() {
-        let s = LrSchedule::Warmup { lr: 1.0, warmup: 10 };
+        let s = LrSchedule::Warmup {
+            lr: 1.0,
+            warmup: 10,
+        };
         assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
         assert!((s.lr_at(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.lr_at(10), 1.0);
@@ -140,8 +143,16 @@ mod tests {
 
     #[test]
     fn describe_distinguishes_schedules_and_parameters() {
-        let a = LrSchedule::Exponential { lr: 1e-3, period: 200, factor: 0.5 };
-        let b = LrSchedule::Exponential { lr: 1e-3, period: 100, factor: 0.5 };
+        let a = LrSchedule::Exponential {
+            lr: 1e-3,
+            period: 200,
+            factor: 0.5,
+        };
+        let b = LrSchedule::Exponential {
+            lr: 1e-3,
+            period: 100,
+            factor: 0.5,
+        };
         let c = LrSchedule::Constant { lr: 1e-3 };
         assert_ne!(a.describe(), b.describe());
         assert_ne!(a.describe(), c.describe());
@@ -152,11 +163,21 @@ mod tests {
     #[test]
     fn degenerate_periods_do_not_divide_by_zero() {
         assert_eq!(
-            LrSchedule::StepDecay { lr: 1.0, every: 0, factor: 0.5 }.lr_at(10),
+            LrSchedule::StepDecay {
+                lr: 1.0,
+                every: 0,
+                factor: 0.5
+            }
+            .lr_at(10),
             1.0
         );
         assert_eq!(
-            LrSchedule::Exponential { lr: 1.0, period: 0, factor: 0.5 }.lr_at(10),
+            LrSchedule::Exponential {
+                lr: 1.0,
+                period: 0,
+                factor: 0.5
+            }
+            .lr_at(10),
             1.0
         );
         assert_eq!(LrSchedule::Warmup { lr: 1.0, warmup: 0 }.lr_at(0), 1.0);

@@ -76,7 +76,11 @@ fn batchnorm_standardises_any_distribution() {
         let m = y.mean_per_channel().expect("mean");
         let v = y.var_per_channel(&m).expect("var");
         for c in 0..2 {
-            assert!(m.as_slice()[c].abs() < 1e-3, "case {case}: mean {}", m.as_slice()[c]);
+            assert!(
+                m.as_slice()[c].abs() < 1e-3,
+                "case {case}: mean {}",
+                m.as_slice()[c]
+            );
             assert!(
                 (v.as_slice()[c] - 1.0).abs() < 1e-2,
                 "case {case}: var {}",
@@ -94,7 +98,14 @@ fn full_stack_backprop_is_finite() {
         let mut rng = case_rng(25, case);
         let scale = rng.uniform(0.1, 10.0);
         let mut net = Sequential::new()
-            .push(Conv2d::new("c", 1, 3, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c",
+                1,
+                3,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
             .push(BatchNorm::new("bn", 3))
             .push(LeakyReLU::new(0.1))
             .push(GlobalAvgPool::new())
@@ -119,7 +130,14 @@ fn zero_grad_property() {
     for case in 0..CASES {
         let mut rng = case_rng(26, case);
         let mut net = Sequential::new()
-            .push(Conv2d::new("c", 1, 2, (3, 3), Conv2dSpec::same(3), &mut rng))
+            .push(Conv2d::new(
+                "c",
+                1,
+                2,
+                (3, 3),
+                Conv2dSpec::same(3),
+                &mut rng,
+            ))
             .push(BatchNorm::new("bn", 2));
         let x = Tensor::rand_normal([1, 1, 4, 4], 0.0, 1.0, &mut rng);
         net.forward(&x, true).expect("forward");
@@ -128,7 +146,10 @@ fn zero_grad_property() {
         net.visit_params(&mut |p| {
             nonzero += p.grad.as_slice().iter().filter(|&&g| g != 0.0).count()
         });
-        assert!(nonzero > 0, "case {case}: backward should have produced gradients");
+        assert!(
+            nonzero > 0,
+            "case {case}: backward should have produced gradients"
+        );
         net.zero_grad();
         let mut remaining = 0;
         net.visit_params(&mut |p| {
@@ -146,10 +167,24 @@ fn checkpoint_roundtrip_property() {
         let width = rng.below(4) + 1;
         let build = |rng: &mut Rng| {
             Sequential::new()
-                .push(Conv2d::new("c1", 1, width, (3, 3), Conv2dSpec::same(3), rng))
+                .push(Conv2d::new(
+                    "c1",
+                    1,
+                    width,
+                    (3, 3),
+                    Conv2dSpec::same(3),
+                    rng,
+                ))
                 .push(BatchNorm::new("bn", width))
                 .push(LeakyReLU::new(0.1))
-                .push(Conv2d::new("c2", width, 1, (3, 3), Conv2dSpec::same(3), rng))
+                .push(Conv2d::new(
+                    "c2",
+                    width,
+                    1,
+                    (3, 3),
+                    Conv2dSpec::same(3),
+                    rng,
+                ))
         };
         let mut net = build(&mut rng);
         let x = Tensor::rand_normal([1, 1, 5, 5], 0.0, 1.0, &mut rng);
@@ -158,6 +193,10 @@ fn checkpoint_roundtrip_property() {
         let bytes = mtsr_nn::io::to_bytes(&mut net);
         let mut other = build(&mut Rng::seed_from(case ^ 0xABCD));
         mtsr_nn::io::from_bytes(&mut other, &bytes).expect("load");
-        assert_eq!(other.forward(&x, false).expect("restored"), y_ref, "case {case}");
+        assert_eq!(
+            other.forward(&x, false).expect("restored"),
+            y_ref,
+            "case {case}"
+        );
     }
 }

@@ -1,0 +1,29 @@
+//! `mtsr-serve`: a zero-dependency concurrent inference daemon for
+//! compiled ZipNet plans, plus the matching protocol client.
+//!
+//! The crate splits into three layers:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (framing,
+//!   opcodes, payload codecs). Pure functions over `Read`/`Write`.
+//! * [`queue`] — the bounded MPMC admission queue whose contract
+//!   (`try_push` never blocks, `Closed` only after drain) encodes the
+//!   daemon's backpressure and graceful-shutdown guarantees.
+//! * [`server`] / [`client`] — the daemon (accept loop, per-connection
+//!   reader/writer threads, dynamic batchers over forked executors) and
+//!   the client (single-shot calls plus a pipelined [`RemotePredictor`]
+//!   that reconstructs full frames bit-identically to a local
+//!   [`zipnet_core::pipeline::InferSession`]).
+//!
+//! Everything is `std`-only: TCP via `std::net`, threads and channels
+//! via `std::sync`, signals via the libc `signal(2)` std already links.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{InferOutcome, RemotePredictor, ServeClient};
+pub use protocol::{InferRequest, InferResponse, Opcode, RespStatus, ServerInfo};
+pub use server::{signals, ServeConfig, Server, ServerHandle};

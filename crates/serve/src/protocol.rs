@@ -1,0 +1,512 @@
+//! The `mtsr serve` wire protocol: length-prefixed binary frames over
+//! TCP, little-endian throughout, zero external dependencies.
+//!
+//! ```text
+//! request  frame:  magic "MTRQ" u32 | opcode u8 | id u64 | len u32 | payload
+//! response frame:  magic "MTRP" u32 | status u8 | id u64 | len u32 | payload
+//! ```
+//!
+//! `id` is chosen by the client and echoed verbatim in the response, so a
+//! client may pipeline many requests on one connection and match replies
+//! arriving in *completion* order (the dynamic batcher does not preserve
+//! submission order across batches).
+//!
+//! Opcodes: [`Opcode::Infer`] (low-res window in, high-res window out),
+//! [`Opcode::Info`] (binary server geometry), [`Opcode::Status`]
+//! (plaintext health/queue/latency report) and [`Opcode::Shutdown`]
+//! (graceful drain). Every reply carries a [`RespStatus`]; `BUSY` is the
+//! backpressure signal — the queue was full and the request was *not*
+//! admitted — and `TIMEOUT` means the request missed its deadline while
+//! queued and was never executed.
+
+use std::io::{self, Read, Write};
+
+/// Request-frame magic (`b"MTRQ"` little-endian).
+pub const MAGIC_REQ: u32 = u32::from_le_bytes(*b"MTRQ");
+/// Response-frame magic (`b"MTRP"` little-endian).
+pub const MAGIC_RESP: u32 = u32::from_le_bytes(*b"MTRP");
+
+/// Hard cap on any frame payload; a garbage length prefix must not make
+/// the daemon allocate unboundedly.
+pub const MAX_PAYLOAD: u32 = 1 << 26; // 64 MiB
+
+/// Request operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Submit one low-res window; the reply carries the high-res window.
+    Infer,
+    /// Ask for the server's planned geometry ([`ServerInfo`]).
+    Info,
+    /// Ask for the plaintext status report.
+    Status,
+    /// Trigger a graceful drain: stop admitting, answer everything
+    /// already queued, then exit.
+    Shutdown,
+}
+
+impl Opcode {
+    fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Infer => 1,
+            Opcode::Info => 2,
+            Opcode::Status => 3,
+            Opcode::Shutdown => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Self> {
+        match v {
+            1 => Ok(Opcode::Infer),
+            2 => Ok(Opcode::Info),
+            3 => Ok(Opcode::Status),
+            4 => Ok(Opcode::Shutdown),
+            other => Err(bad_data(format!("unknown opcode {other}"))),
+        }
+    }
+}
+
+/// Response disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespStatus {
+    /// Request served; payload is the result.
+    Ok,
+    /// Backpressure: the request queue was full, the request was not
+    /// admitted. Retry later (payload empty).
+    Busy,
+    /// The request was admitted but expired in the queue before an
+    /// executor picked it up; it was never run.
+    Timeout,
+    /// Malformed or unservable request; payload is a UTF-8 message.
+    Err,
+    /// The server is draining and no longer admits work.
+    Draining,
+}
+
+impl RespStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            RespStatus::Ok => 0,
+            RespStatus::Busy => 1,
+            RespStatus::Timeout => 2,
+            RespStatus::Err => 3,
+            RespStatus::Draining => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Self> {
+        match v {
+            0 => Ok(RespStatus::Ok),
+            1 => Ok(RespStatus::Busy),
+            2 => Ok(RespStatus::Timeout),
+            3 => Ok(RespStatus::Err),
+            4 => Ok(RespStatus::Draining),
+            other => Err(bad_data(format!("unknown response status {other}"))),
+        }
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Requested operation.
+    pub op: Opcode,
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// Opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Disposition of the request with the same `id`.
+    pub status: RespStatus,
+    /// Echo of the request id.
+    pub id: u64,
+    /// Status/opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-payload response.
+    pub fn empty(status: RespStatus, id: u64) -> Response {
+        Response {
+            status,
+            id,
+            payload: Vec::new(),
+        }
+    }
+
+    /// An `ERR` response with a UTF-8 message payload.
+    pub fn error(id: u64, msg: impl Into<String>) -> Response {
+        Response {
+            status: RespStatus::Err,
+            id,
+            payload: msg.into().into_bytes(),
+        }
+    }
+}
+
+fn bad_data(reason: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_payload(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let len = read_u32(r)?;
+    if len > MAX_PAYLOAD {
+        return Err(bad_data(format!(
+            "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Writes one request frame.
+pub fn write_request(w: &mut impl Write, op: Opcode, id: u64, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    w.write_all(&MAGIC_REQ.to_le_bytes())?;
+    w.write_all(&[op.to_u8()])?;
+    w.write_all(&id.to_le_bytes())?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one request frame. The caller is expected to have consumed the
+/// 4 magic bytes already (see [`read_request`]) when using the split
+/// variant; this function reads a whole frame.
+pub fn read_request(r: &mut impl Read) -> io::Result<Request> {
+    let magic = read_u32(r)?;
+    read_request_after_magic(r, magic)
+}
+
+/// Reads the remainder of a request frame once `magic` has been read —
+/// lets a polling server loop check the shutdown flag between frames
+/// without ever splitting a frame.
+pub fn read_request_after_magic(r: &mut impl Read, magic: u32) -> io::Result<Request> {
+    if magic != MAGIC_REQ {
+        return Err(bad_data(format!(
+            "bad request magic {magic:#010x} (expected {MAGIC_REQ:#010x})"
+        )));
+    }
+    let op = Opcode::from_u8(read_u8(r)?)?;
+    let id = read_u64(r)?;
+    let payload = read_payload(r)?;
+    Ok(Request { op, id, payload })
+}
+
+/// Writes one response frame.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    debug_assert!(resp.payload.len() <= MAX_PAYLOAD as usize);
+    w.write_all(&MAGIC_RESP.to_le_bytes())?;
+    w.write_all(&[resp.status.to_u8()])?;
+    w.write_all(&resp.id.to_le_bytes())?;
+    w.write_all(&(resp.payload.len() as u32).to_le_bytes())?;
+    w.write_all(&resp.payload)?;
+    w.flush()
+}
+
+/// Reads one response frame.
+pub fn read_response(r: &mut impl Read) -> io::Result<Response> {
+    let magic = read_u32(r)?;
+    if magic != MAGIC_RESP {
+        return Err(bad_data(format!(
+            "bad response magic {magic:#010x} (expected {MAGIC_RESP:#010x})"
+        )));
+    }
+    let status = RespStatus::from_u8(read_u8(r)?)?;
+    let id = read_u64(r)?;
+    let payload = read_payload(r)?;
+    Ok(Response {
+        status,
+        id,
+        payload,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+fn push_f32s(out: &mut Vec<u8>, data: &[f32]) {
+    out.reserve(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn parse_f32s(bytes: &[u8]) -> io::Result<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(bad_data(format!(
+            "f32 payload of {} bytes is not 4-aligned",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn field_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
+/// Payload of an [`Opcode::Infer`] request: one `[s, h, w]` low-res
+/// window plus its per-request deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Per-request deadline in milliseconds; 0 selects the server default.
+    pub deadline_ms: u32,
+    /// Temporal length of the window.
+    pub s: u32,
+    /// Window height (coarse cells).
+    pub h: u32,
+    /// Window width (coarse cells).
+    pub w: u32,
+    /// `s·h·w` row-major normalized traffic values.
+    pub data: Vec<f32>,
+}
+
+impl InferRequest {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.data.len() * 4);
+        for v in [self.deadline_ms, self.s, self.h, self.w] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        push_f32s(&mut out, &self.data);
+        out
+    }
+
+    /// Parses the payload, validating the element count.
+    pub fn decode(bytes: &[u8]) -> io::Result<InferRequest> {
+        if bytes.len() < 16 {
+            return Err(bad_data("INFER payload shorter than its header".into()));
+        }
+        let (deadline_ms, s, h, w) = (
+            field_u32(bytes, 0),
+            field_u32(bytes, 4),
+            field_u32(bytes, 8),
+            field_u32(bytes, 12),
+        );
+        let data = parse_f32s(&bytes[16..])?;
+        let want = (s as usize) * (h as usize) * (w as usize);
+        if data.len() != want {
+            return Err(bad_data(format!(
+                "INFER window [{s}, {h}, {w}] wants {want} values, payload has {}",
+                data.len()
+            )));
+        }
+        Ok(InferRequest {
+            deadline_ms,
+            s,
+            h,
+            w,
+            data,
+        })
+    }
+}
+
+/// Payload of a successful [`Opcode::Infer`] response: the high-res
+/// `[h, w]` window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Fine window height.
+    pub h: u32,
+    /// Fine window width.
+    pub w: u32,
+    /// `h·w` row-major normalized predictions.
+    pub data: Vec<f32>,
+}
+
+impl InferResponse {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.data.len() * 4);
+        out.extend_from_slice(&self.h.to_le_bytes());
+        out.extend_from_slice(&self.w.to_le_bytes());
+        push_f32s(&mut out, &self.data);
+        out
+    }
+
+    /// Parses the payload, validating the element count.
+    pub fn decode(bytes: &[u8]) -> io::Result<InferResponse> {
+        if bytes.len() < 8 {
+            return Err(bad_data("INFER response shorter than its header".into()));
+        }
+        let (h, w) = (field_u32(bytes, 0), field_u32(bytes, 4));
+        let data = parse_f32s(&bytes[8..])?;
+        if data.len() != (h as usize) * (w as usize) {
+            return Err(bad_data(format!(
+                "INFER response [{h}, {w}] wants {} values, payload has {}",
+                (h as usize) * (w as usize),
+                data.len()
+            )));
+        }
+        Ok(InferResponse { h, w, data })
+    }
+}
+
+/// Payload of an [`Opcode::Info`] response: the geometry the daemon's
+/// plan is specialised for, so clients can size windows without
+/// out-of-band configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Temporal length the plan expects.
+    pub s: u32,
+    /// Coarse window height.
+    pub h: u32,
+    /// Coarse window width.
+    pub w: u32,
+    /// Fine (output) window height.
+    pub out_h: u32,
+    /// Fine (output) window width.
+    pub out_w: u32,
+    /// Max windows coalesced per executor replay.
+    pub batch: u32,
+    /// Bounded request-queue capacity.
+    pub queue_cap: u32,
+    /// Server default deadline in milliseconds.
+    pub deadline_ms: u32,
+}
+
+impl ServerInfo {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        for v in [
+            self.s,
+            self.h,
+            self.w,
+            self.out_h,
+            self.out_w,
+            self.batch,
+            self.queue_cap,
+            self.deadline_ms,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> io::Result<ServerInfo> {
+        if bytes.len() != 32 {
+            return Err(bad_data(format!(
+                "INFO payload must be 32 bytes, got {}",
+                bytes.len()
+            )));
+        }
+        Ok(ServerInfo {
+            s: field_u32(bytes, 0),
+            h: field_u32(bytes, 4),
+            w: field_u32(bytes, 8),
+            out_h: field_u32(bytes, 12),
+            out_w: field_u32(bytes, 16),
+            batch: field_u32(bytes, 20),
+            queue_cap: field_u32(bytes, 24),
+            deadline_ms: field_u32(bytes, 28),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, Opcode::Infer, 7, &[1, 2, 3]).unwrap();
+        let req = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!((req.op, req.id), (Opcode::Infer, 7));
+        assert_eq!(req.payload, vec![1, 2, 3]);
+
+        let mut buf = Vec::new();
+        let resp = Response {
+            status: RespStatus::Busy,
+            id: 9,
+            payload: Vec::new(),
+        };
+        write_response(&mut buf, &resp).unwrap();
+        let back = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!((back.status, back.id), (RespStatus::Busy, 9));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_oversized_payloads() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, Opcode::Status, 1, &[]).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_request(&mut buf.as_slice()).is_err());
+
+        // A forged length prefix beyond MAX_PAYLOAD is rejected before
+        // any allocation of that size.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_REQ.to_le_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_request(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn infer_payloads_roundtrip_and_validate() {
+        let req = InferRequest {
+            deadline_ms: 250,
+            s: 2,
+            h: 3,
+            w: 3,
+            data: (0..18).map(|i| i as f32 * 0.5).collect(),
+        };
+        assert_eq!(InferRequest::decode(&req.encode()).unwrap(), req);
+        // Element-count mismatch is detected.
+        let mut short = req.clone();
+        short.data.pop();
+        assert!(InferRequest::decode(&short.encode()).is_err());
+
+        let resp = InferResponse {
+            h: 6,
+            w: 6,
+            data: (0..36).map(|i| i as f32).collect(),
+        };
+        assert_eq!(InferResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn info_roundtrips() {
+        let info = ServerInfo {
+            s: 3,
+            h: 5,
+            w: 5,
+            out_h: 20,
+            out_w: 20,
+            batch: 8,
+            queue_cap: 64,
+            deadline_ms: 2000,
+        };
+        assert_eq!(ServerInfo::decode(&info.encode()).unwrap(), info);
+        assert!(ServerInfo::decode(&[0u8; 31]).is_err());
+    }
+}

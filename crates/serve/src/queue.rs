@@ -1,0 +1,242 @@
+//! A bounded multi-producer multi-consumer queue with explicit
+//! backpressure, built on `Mutex` + `Condvar` (std only).
+//!
+//! The serving daemon's admission policy lives in this type's contract:
+//!
+//! * [`BoundedQueue::try_push`] never blocks. A full queue returns
+//!   [`PushError::Full`] immediately so the connection thread can reply
+//!   `BUSY` — load is shed at admission time, never by silent drop or
+//!   unbounded buffering.
+//! * [`BoundedQueue::pop`] blocks (with a poll timeout) and only reports
+//!   [`Pop::Closed`] once the queue is *both* closed and empty. That
+//!   asymmetry is the graceful-drain guarantee: after [`close`] every
+//!   already-admitted item is still handed to a consumer.
+//!
+//! [`close`]: BoundedQueue::close
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why [`BoundedQueue::try_push`] rejected an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed load (`BUSY`).
+    Full,
+    /// The queue has been closed; the caller should report draining.
+    Closed,
+}
+
+/// Result of a single [`BoundedQueue::pop`] poll.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The poll interval elapsed with nothing available (queue still open
+    /// or closed-but-racing); poll again.
+    Empty,
+    /// The queue is closed *and* empty — no item will ever arrive again.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue. See the module docs for the admission and
+/// drain contract.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `cap` items (`cap >= 1`).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Non-blocking admission; see [`PushError`] for the rejection cases.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, waiting up to `poll` for one to arrive. Returns
+    /// [`Pop::Closed`] only once the queue is closed *and* drained.
+    pub fn pop(&self, poll: Duration) -> Pop<T> {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if g.closed {
+                return Pop::Closed;
+            }
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(g, poll)
+                .expect("queue mutex poisoned");
+            g = guard;
+            if timeout.timed_out() {
+                return match g.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if g.closed => Pop::Closed,
+                    None => Pop::Empty,
+                };
+            }
+        }
+    }
+
+    /// Dequeues up to `n - 1` further items without blocking — used by the
+    /// batcher to top up a batch after its first blocking [`pop`](Self::pop).
+    pub fn drain_up_to(&self, n: usize) -> Vec<T> {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        let take = n.min(g.items.len());
+        g.items.drain(..take).collect()
+    }
+
+    /// Number of items currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// consumers drain what remains and then observe [`Pop::Closed`].
+    pub fn close(&self) {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        g.closed = true;
+        drop(g);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const POLL: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.depth(), 2);
+        // Freeing a slot re-opens admission.
+        assert!(matches!(q.pop(POLL), Pop::Item(1)));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_before_reporting_closed() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        q.close();
+        assert_eq!(q.try_push(30), Err(PushError::Closed));
+        // Both admitted items still come out, then Closed — the drain
+        // guarantee the server's shutdown path relies on.
+        assert!(matches!(q.pop(POLL), Pop::Item(10)));
+        assert!(matches!(q.pop(POLL), Pop::Item(20)));
+        assert!(matches!(q.pop(POLL), Pop::Closed));
+        assert!(matches!(q.pop(POLL), Pop::Closed));
+    }
+
+    #[test]
+    fn pop_wakes_on_push_from_another_thread() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            // A generous poll: the push should wake us long before it.
+            match q2.pop(Duration::from_secs(5)) {
+                Pop::Item(v) => v,
+                other => panic!("expected item, got {other:?}"),
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(99).unwrap();
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn drain_up_to_takes_at_most_n() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.drain_up_to(3), vec![0, 1, 2]);
+        assert_eq!(q.drain_up_to(10), vec![3, 4]);
+        assert!(q.drain_up_to(2).is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_every_item() {
+        let q = Arc::new(BoundedQueue::new(16));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let v = p * 1000 + i;
+                    loop {
+                        match q.try_push(v) {
+                            Ok(()) => break,
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.pop(POLL) {
+                        Pop::Item(v) => got.push(v),
+                        Pop::Empty => continue,
+                        Pop::Closed => return got,
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let want: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..50u64).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, want);
+    }
+}

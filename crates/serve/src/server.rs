@@ -1,0 +1,663 @@
+//! The serving daemon: a TCP accept loop feeding a bounded request
+//! queue, drained by batcher threads that coalesce compatible windows
+//! onto forked [`InferExec`] replicas of one shared
+//! [`zipnet_core::InferPlan`].
+//!
+//! # Lifecycle and threading
+//!
+//! ```text
+//! accept thread ──spawns──▶ per-connection reader ──try_push──▶ BoundedQueue
+//!                           per-connection writer ◀──mpsc────── batcher × W
+//! ```
+//!
+//! * The **reader** decodes frames, validates geometry, stamps the
+//!   deadline and admits jobs. A full queue is answered `BUSY` on the
+//!   spot — admission is the only place load is shed.
+//! * Each **batcher** forks the executor (private activation arena, one
+//!   shared weight snapshot), pops a first job, lingers briefly to let a
+//!   batch coalesce, drops expired jobs with `TIMEOUT` replies and runs
+//!   the rest through one executor replay. Batched kernels are
+//!   per-sample, so replies are bit-identical regardless of how requests
+//!   happened to be grouped.
+//! * The **writer** serialises replies for one connection; it exits when
+//!   the reader and every in-flight job for that connection have dropped
+//!   their reply senders, so a closing client never loses queued replies.
+//!
+//! Shutdown (SHUTDOWN frame, [`ServerHandle::request_shutdown`], or a
+//! signal forwarded by the binary) closes the queue: nothing new is
+//! admitted, batchers drain every already-admitted job to a terminal
+//! reply, and [`ServerHandle::join`] returns once all threads are done.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mtsr_telemetry::HistStat;
+use zipnet_core::InferExec;
+
+use crate::protocol::{
+    read_request_after_magic, write_response, InferRequest, InferResponse, Opcode, Request,
+    RespStatus, Response, ServerInfo, MAGIC_REQ,
+};
+use crate::queue::{BoundedQueue, Pop, PushError};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7878"`; port 0 picks a free port.
+    pub addr: String,
+    /// Bounded queue capacity; requests beyond it are answered `BUSY`.
+    pub queue_cap: usize,
+    /// Number of batcher threads (executor replicas).
+    pub workers: usize,
+    /// Default per-request deadline when the client sends `deadline_ms=0`.
+    pub deadline: Duration,
+    /// How long a batcher waits after the first popped job for more to
+    /// coalesce. Zero disables coalescing waits (first-come batches only).
+    pub linger: Duration,
+    /// Poll interval for interruptible blocking reads/pops.
+    pub poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_cap: 64,
+            workers: 2,
+            deadline: Duration::from_secs(2),
+            linger: Duration::from_millis(2),
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One admitted inference job.
+struct Job {
+    id: u64,
+    data: Vec<f32>,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Monotonic counters for the STATUS report. `in_flight` is derived as
+/// `admitted - finished`, so it is exact: every admitted job is finished
+/// by exactly one terminal reply (OK, TIMEOUT or ERR).
+#[derive(Default)]
+struct Stats {
+    admitted: AtomicU64,
+    finished: AtomicU64,
+    served: AtomicU64,
+    busy: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    queue: BoundedQueue<Job>,
+    stats: Stats,
+    /// Server-local latency histogram for STATUS percentiles. Kept apart
+    /// from the process-global telemetry registry (which tests may reset
+    /// concurrently); mirrored into the registry when telemetry is on.
+    latency: Mutex<HistStat>,
+    info: ServerInfo,
+    started: Instant,
+    poll: Duration,
+}
+
+impl Shared {
+    fn in_flight(&self) -> u64 {
+        self.stats
+            .admitted
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.stats.finished.load(Ordering::SeqCst))
+    }
+
+    fn finish(&self, job: &Job, resp: Response, terminal: &AtomicU64) {
+        terminal.fetch_add(1, Ordering::SeqCst);
+        // Ignore send failures: the client hung up, but the job is still
+        // accounted as finished so drain and in_flight stay exact.
+        let _ = job.reply.send(resp);
+        self.stats.finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn status_text(&self) -> String {
+        let lat = self.latency.lock().expect("latency mutex poisoned").clone();
+        let s = &self.stats;
+        format!(
+            "mtsr-serve status\n\
+             uptime_ms: {}\n\
+             draining: {}\n\
+             queue_depth: {}\n\
+             in_flight: {}\n\
+             admitted: {}\n\
+             served: {}\n\
+             busy: {}\n\
+             timeouts: {}\n\
+             errors: {}\n\
+             latency_count: {}\n\
+             latency_mean_ns: {}\n\
+             latency_p50_ns: {}\n\
+             latency_p90_ns: {}\n\
+             latency_p99_ns: {}\n\
+             latency_max_ns: {}\n",
+            self.started.elapsed().as_millis(),
+            self.shutdown.load(Ordering::SeqCst),
+            self.queue.depth(),
+            self.in_flight(),
+            s.admitted.load(Ordering::SeqCst),
+            s.served.load(Ordering::SeqCst),
+            s.busy.load(Ordering::SeqCst),
+            s.timeouts.load(Ordering::SeqCst),
+            s.errors.load(Ordering::SeqCst),
+            lat.count,
+            lat.mean() as u64,
+            lat.percentile(50.0),
+            lat.percentile(90.0),
+            lat.percentile(99.0),
+            if lat.count == 0 { 0 } else { lat.max },
+        )
+    }
+
+    fn begin_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}
+
+/// Handle to a running [`Server`]; dropping it does **not** stop the
+/// daemon — call [`request_shutdown`](Self::request_shutdown) then
+/// [`join`](Self::join).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers a graceful drain: stop admitting, answer everything
+    /// already admitted, then let every thread exit.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// True once a drain has been requested (by any path).
+    pub fn draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests admitted and not yet answered.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight()
+    }
+
+    /// Blocks until the accept loop, every batcher and every connection
+    /// thread have exited. Call after
+    /// [`request_shutdown`](Self::request_shutdown) (or after a client
+    /// sent SHUTDOWN).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.batchers.drain(..) {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = {
+            let mut g = self.conns.lock().expect("conn list poisoned");
+            g.drain(..).collect()
+        };
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The daemon constructor; see the module docs for the architecture.
+pub struct Server;
+
+impl Server {
+    /// Binds `cfg.addr` and starts serving `exec` (a generator inference
+    /// plan from [`zipnet_core::plan_zipnet`], shape `[batch, 1, S, cw,
+    /// cw]` → `[batch, 1, fh, fw]`). Returns once the listener is live.
+    pub fn start(cfg: &ServeConfig, exec: InferExec) -> io::Result<ServerHandle> {
+        let in_dims = exec.input_dims();
+        let out_dims = exec.output_dims();
+        if in_dims.len() != 5 || out_dims.len() != 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "serve needs a generator plan [batch,1,S,h,w] -> [batch,1,fh,fw], \
+                     got {in_dims:?} -> {out_dims:?}"
+                ),
+            ));
+        }
+        if cfg.workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve needs at least one worker",
+            ));
+        }
+        let info = ServerInfo {
+            s: in_dims[2] as u32,
+            h: in_dims[3] as u32,
+            w: in_dims[4] as u32,
+            out_h: out_dims[2] as u32,
+            out_w: out_dims[3] as u32,
+            batch: in_dims[0] as u32,
+            queue_cap: cfg.queue_cap as u32,
+            deadline_ms: cfg.deadline.as_millis() as u32,
+        };
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            queue: BoundedQueue::new(cfg.queue_cap),
+            stats: Stats::default(),
+            latency: Mutex::new(HistStat::new()),
+            info,
+            started: Instant::now(),
+            poll: cfg.poll,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut batchers = Vec::with_capacity(cfg.workers);
+        for wi in 0..cfg.workers {
+            let shared = Arc::clone(&shared);
+            let exec = exec.fork();
+            let linger = cfg.linger;
+            batchers.push(
+                std::thread::Builder::new()
+                    .name(format!("mtsr-serve-batch{wi}"))
+                    .spawn(move || batcher_loop(&shared, exec, linger))
+                    .expect("spawn batcher"),
+            );
+        }
+        // The planning executor's arena is dropped here; batchers own
+        // their forks and the plan stays alive through them.
+        drop(exec);
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("mtsr-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            addr,
+            accept: Some(accept),
+            batchers,
+            conns,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("mtsr-serve-conn".into())
+                    .spawn(move || {
+                        if let Err(e) = connection_loop(stream, &shared) {
+                            // Protocol violations and peer resets end the
+                            // connection, never the daemon.
+                            mtsr_telemetry::add_counter("serve.conn_errors", 1);
+                            let _ = e;
+                        }
+                    })
+                    .expect("spawn connection thread");
+                conns.lock().expect("conn list poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// A reader that retries timeout-flavoured errors so a frame body can be
+/// read to completion on a stream whose read timeout is used only to
+/// make the *gap between frames* interruptible.
+struct RetryReader<'a>(&'a TcpStream);
+
+impl Read for RetryReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.0.read(buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Waits for the next frame's 4 magic bytes, checking the drain flag
+/// between read timeouts. `Ok(None)` means clean EOF or drain with no
+/// partial frame pending.
+fn await_magic(mut stream: &TcpStream, shared: &Shared) -> io::Result<Option<u32>> {
+    let mut magic = [0u8; 4];
+    let mut got = 0usize;
+    loop {
+        match stream.read(&mut magic[got..]) {
+            Ok(0) => return Ok(None), // peer closed
+            Ok(n) => {
+                got += n;
+                if got == 4 {
+                    return Ok(Some(u32::from_le_bytes(magic)));
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Only bail between frames: a half-read magic means the
+                // client is mid-send, so keep waiting for the rest.
+                if got == 0 && shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.poll))?;
+    stream.set_nodelay(true).ok();
+    let write_half = stream.try_clone()?;
+
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer = std::thread::Builder::new()
+        .name("mtsr-serve-write".into())
+        .spawn(move || {
+            let mut w = io::BufWriter::new(write_half);
+            // Exits when every sender (reader + queued jobs) is gone.
+            while let Ok(resp) = rx.recv() {
+                if write_response(&mut w, &resp).is_err() {
+                    // Peer went away; keep draining so job senders never
+                    // block and accounting completes.
+                    continue;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let result = reader_loop(&stream, shared, &tx);
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    stream: &TcpStream,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Response>,
+) -> io::Result<()> {
+    let expect = shared.info;
+    let window_elems = (expect.s * expect.h * expect.w) as usize;
+    loop {
+        let magic = match await_magic(stream, shared)? {
+            Some(m) => m,
+            None => return Ok(()),
+        };
+        if magic != MAGIC_REQ {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad request magic {magic:#010x}"),
+            ));
+        }
+        let req = read_request_after_magic(&mut RetryReader(stream), magic)?;
+        match req.op {
+            Opcode::Info => {
+                let _ = tx.send(Response {
+                    status: RespStatus::Ok,
+                    id: req.id,
+                    payload: shared.info.encode(),
+                });
+            }
+            Opcode::Status => {
+                let _ = tx.send(Response {
+                    status: RespStatus::Ok,
+                    id: req.id,
+                    payload: shared.status_text().into_bytes(),
+                });
+            }
+            Opcode::Shutdown => {
+                shared.begin_drain();
+                let _ = tx.send(Response::empty(RespStatus::Ok, req.id));
+            }
+            Opcode::Infer => admit_infer(&req, shared, tx, window_elems),
+        }
+    }
+}
+
+fn admit_infer(
+    req: &Request,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Response>,
+    window_elems: usize,
+) {
+    let parsed = match InferRequest::decode(&req.payload) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Response::error(req.id, e.to_string()));
+            return;
+        }
+    };
+    let expect = shared.info;
+    if (parsed.s, parsed.h, parsed.w) != (expect.s, expect.h, expect.w)
+        || parsed.data.len() != window_elems
+    {
+        shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+        let _ = tx.send(Response::error(
+            req.id,
+            format!(
+                "window [{}, {}, {}] does not match the served plan [{}, {}, {}]",
+                parsed.s, parsed.h, parsed.w, expect.s, expect.h, expect.w
+            ),
+        ));
+        return;
+    }
+    let now = Instant::now();
+    let deadline_ms = if parsed.deadline_ms == 0 {
+        expect.deadline_ms
+    } else {
+        parsed.deadline_ms
+    };
+    let job = Job {
+        id: req.id,
+        data: parsed.data,
+        enqueued: now,
+        deadline: now + Duration::from_millis(u64::from(deadline_ms)),
+        reply: tx.clone(),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.stats.admitted.fetch_add(1, Ordering::SeqCst);
+            mtsr_telemetry::record_gauge("serve.queue_depth", shared.queue.depth() as f64);
+        }
+        Err(PushError::Full) => {
+            shared.stats.busy.fetch_add(1, Ordering::SeqCst);
+            mtsr_telemetry::add_counter("serve.busy", 1);
+            let _ = tx.send(Response::empty(RespStatus::Busy, req.id));
+        }
+        Err(PushError::Closed) => {
+            let _ = tx.send(Response::empty(RespStatus::Draining, req.id));
+        }
+    }
+}
+
+fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
+    let batch = exec.input_dims()[0];
+    let crop_len: usize = exec.input_dims()[1..].iter().product();
+    let win_len: usize = exec.output_dims()[1..].iter().product();
+    let (out_h, out_w) = (shared.info.out_h, shared.info.out_w);
+    let mut input = vec![0.0f32; batch * crop_len];
+    let mut output = vec![0.0f32; batch * win_len];
+
+    loop {
+        let first = match shared.queue.pop(shared.poll) {
+            Pop::Item(job) => job,
+            Pop::Empty => continue,
+            // Closed is only reported once the queue has fully drained,
+            // so exiting here completes the graceful-drain contract.
+            Pop::Closed => return,
+        };
+        let mut jobs = vec![first];
+        if batch > 1 {
+            if !linger.is_zero() && shared.queue.depth() == 0 {
+                std::thread::sleep(linger);
+            }
+            jobs.extend(shared.queue.drain_up_to(batch - 1));
+        }
+
+        // Expired jobs are answered TIMEOUT and never occupy a lane.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.deadline <= now {
+                shared.finish(
+                    &job,
+                    Response::empty(RespStatus::Timeout, job.id),
+                    &shared.stats.timeouts,
+                );
+                mtsr_telemetry::add_counter("serve.timeouts", 1);
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        for (lane, job) in live.iter().enumerate() {
+            input[lane * crop_len..(lane + 1) * crop_len].copy_from_slice(&job.data);
+        }
+        // Stale data in unfilled tail lanes is harmless: batched kernels
+        // are per-sample, and tail outputs are never read.
+        let ran = {
+            let _t = mtsr_telemetry::span("serve.exec");
+            exec.run_into(&input, &mut output)
+        };
+        match ran {
+            Ok(()) => {
+                for (lane, job) in live.iter().enumerate() {
+                    let data = output[lane * win_len..(lane + 1) * win_len].to_vec();
+                    let payload = InferResponse {
+                        h: out_h,
+                        w: out_w,
+                        data,
+                    }
+                    .encode();
+                    let ns = job.enqueued.elapsed().as_nanos() as u64;
+                    shared
+                        .latency
+                        .lock()
+                        .expect("latency mutex poisoned")
+                        .observe(ns);
+                    mtsr_telemetry::record_hist("serve.latency_ns", ns);
+                    shared.finish(
+                        job,
+                        Response {
+                            status: RespStatus::Ok,
+                            id: job.id,
+                            payload,
+                        },
+                        &shared.stats.served,
+                    );
+                }
+            }
+            Err(e) => {
+                for job in &live {
+                    shared.finish(
+                        job,
+                        Response::error(job.id, format!("inference failed: {e}")),
+                        &shared.stats.errors,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// SIGTERM/SIGINT → graceful drain, with no dependency beyond the libc
+/// that std already links. The handler only stores to an atomic; the
+/// serve binary polls [`triggered`] and forwards the drain request.
+///
+/// [`triggered`]: signals::triggered
+#[cfg(unix)]
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Installs the termination handler for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// True once a termination signal has been delivered.
+    pub fn triggered() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+/// Portable stub so the serve binary compiles off-unix; signals simply
+/// never trigger.
+#[cfg(not(unix))]
+pub mod signals {
+    /// No-op off unix.
+    pub fn install() {}
+
+    /// Always false off unix.
+    pub fn triggered() -> bool {
+        false
+    }
+}

@@ -212,9 +212,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, 
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
@@ -245,15 +243,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                        out.push(
-                            char::from_u32(code).ok_or(format!("bad codepoint {code:#x}"))?,
-                        );
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or(format!("bad codepoint {code:#x}"))?);
                         *pos += 4;
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
@@ -332,7 +325,10 @@ mod tests {
             ("int".into(), Json::Num(42.0)),
             ("neg".into(), Json::Num(-0.125)),
             ("sci".into(), Json::Num(6.02e23)),
-            ("text".into(), Json::Str("a \"quoted\"\n\tline \\ with λ".into())),
+            (
+                "text".into(),
+                Json::Str("a \"quoted\"\n\tline \\ with λ".into()),
+            ),
             (
                 "arr".into(),
                 Json::Arr(vec![Json::Num(1.0), Json::Bool(false), Json::Null]),
@@ -347,7 +343,13 @@ mod tests {
 
     #[test]
     fn floats_roundtrip_bit_exactly() {
-        for &f in &[0.1f64, 1.0 / 3.0, 1e-300, 123_456_789.123_456_79, f64::MIN_POSITIVE] {
+        for &f in &[
+            0.1f64,
+            1.0 / 3.0,
+            1e-300,
+            123_456_789.123_456_79,
+            f64::MIN_POSITIVE,
+        ] {
             let text = Json::Num(f).pretty();
             let back = Json::parse(&text).unwrap();
             assert_eq!(back.as_f64().unwrap().to_bits(), f.to_bits(), "{f}");

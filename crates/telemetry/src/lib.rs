@@ -6,7 +6,7 @@
 //!   timers — guarded by a single atomic flag so that disabled telemetry
 //!   costs one relaxed load and performs **no allocation** on any hot
 //!   path ([`enabled`], [`registry`]);
-//! * RAII **scoped timers** ([`span`], [`layer_span`]) used to instrument
+//! * RAII **scoped timers** ([`span()`], [`layer_span`]) used to instrument
 //!   the hot kernels (`sgemm`, im2col, conv2d/conv3d) and every layer's
 //!   forward/backward pass;
 //! * the **[`TelemetryReport`]** JSON schema — a stable, machine-readable
@@ -26,8 +26,10 @@ pub mod span;
 
 pub use json::Json;
 pub use registry::{
-    add_counter, enabled, record_gauge, record_span_ns, reset, set_enabled, snapshot, Snapshot,
-    SpanStat,
+    add_counter, enabled, record_gauge, record_hist, record_span_ns, reset, set_enabled, snapshot,
+    HistStat, Snapshot, SpanStat,
 };
-pub use report::{EpochRecord, PhaseReport, SpanReport, TelemetryReport, SCHEMA_VERSION};
+pub use report::{
+    EpochRecord, HistReport, PhaseReport, SpanReport, TelemetryReport, SCHEMA_VERSION,
+};
 pub use span::{layer_span, span, span_owned, SpanGuard};

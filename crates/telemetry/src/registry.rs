@@ -35,11 +35,102 @@ impl SpanStat {
     }
 }
 
+/// Fixed-size log₂-bucketed histogram for latency-style `u64` samples
+/// (nanoseconds, bytes, queue depths …).
+///
+/// Bucket 0 counts zero-valued samples; bucket `i ≥ 1` counts samples
+/// with `2^(i-1) <= v < 2^i`, so 65 buckets cover the whole `u64` range
+/// with a worst-case 2× quantile resolution — plenty for rolling p50/p99
+/// service latencies, and cheap enough (no allocation, O(1) observe) to
+/// sit on a request hot path under a mutex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    /// Number of observed samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub total: u64,
+    /// Smallest observed sample.
+    pub min: u64,
+    /// Largest observed sample.
+    pub max: u64,
+    /// Log₂ bucket counts (see the type docs for the bucket bounds).
+    pub buckets: [u64; 65],
+}
+
+impl Default for HistStat {
+    fn default() -> Self {
+        HistStat {
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl HistStat {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample value.
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Folds one sample into the histogram.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Estimates the `p`-th percentile (`0 < p <= 100`): the upper bound
+    /// of the bucket holding the rank-`⌈p·count/100⌉` sample, clamped to
+    /// the observed `[min, max]`. Exact to within one power of two; 0 for
+    /// an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^i - 1 (bucket 0 holds 0);
+                // computed as (2^(i-1) - 1)·2 + 1 to avoid overflow at i=64.
+                let ub = if i == 0 {
+                    0
+                } else {
+                    ((1u64 << (i - 1)) - 1) * 2 + 1
+                };
+                return ub.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all observed samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     counters: HashMap<String, u64>,
     gauges: HashMap<String, f64>,
     spans: HashMap<String, SpanStat>,
+    hists: HashMap<String, HistStat>,
 }
 
 fn registry() -> &'static Mutex<Inner> {
@@ -92,7 +183,7 @@ pub fn record_gauge(name: &str, value: f64) {
 
 /// Folds one span duration into the named span's statistics. Called by
 /// [`crate::span::SpanGuard`] on drop; callers normally use
-/// [`crate::span`] instead.
+/// [`crate::span()`] instead.
 #[inline]
 pub fn record_span_ns(name: &str, ns: u64) {
     if !enabled() {
@@ -115,6 +206,24 @@ pub fn record_span_ns(name: &str, ns: u64) {
     }
 }
 
+/// Folds one sample into the named histogram. No-op (and no allocation
+/// beyond the first sample of a name) when telemetry is disabled.
+#[inline]
+pub fn record_hist(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut r = registry().lock().expect("telemetry registry poisoned");
+    match r.hists.get_mut(name) {
+        Some(h) => h.observe(value),
+        None => {
+            let mut h = HistStat::new();
+            h.observe(value);
+            r.hists.insert(name.to_string(), h);
+        }
+    }
+}
+
 /// A point-in-time copy of the registry, sorted by name so that two runs
 /// recording the same events produce identical orderings.
 #[derive(Debug, Clone, Default)]
@@ -125,6 +234,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// `(name, stats)` spans, name-sorted.
     pub spans: Vec<(String, SpanStat)>,
+    /// `(name, histogram)` distributions, name-sorted.
+    pub hists: Vec<(String, HistStat)>,
 }
 
 /// Copies the current registry contents out (works whether or not
@@ -133,14 +244,25 @@ pub fn snapshot() -> Snapshot {
     let r = registry().lock().expect("telemetry registry poisoned");
     let mut counters: Vec<_> = r.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
     let mut gauges: Vec<_> = r.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
-    let mut spans: Vec<_> = r.spans.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let mut spans: Vec<_> = r
+        .spans
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    let mut hists: Vec<_> = r
+        .hists
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
     counters.sort_by(|a, b| a.0.cmp(&b.0));
     gauges.sort_by(|a, b| a.0.cmp(&b.0));
     spans.sort_by(|a, b| a.0.cmp(&b.0));
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
     Snapshot {
         counters,
         gauges,
         spans,
+        hists,
     }
 }
 
@@ -150,6 +272,7 @@ pub fn reset() {
     r.counters.clear();
     r.gauges.clear();
     r.spans.clear();
+    r.hists.clear();
 }
 
 #[cfg(test)]
@@ -167,10 +290,12 @@ mod tests {
         add_counter("t.c", 3);
         record_gauge("t.g", 1.5);
         record_span_ns("t.s", 100);
+        record_hist("t.h", 7);
         let s = snapshot();
         assert!(s.counters.iter().all(|(k, _)| k != "t.c"));
         assert!(s.gauges.iter().all(|(k, _)| k != "t.g"));
         assert!(s.spans.iter().all(|(k, _)| k != "t.s"));
+        assert!(s.hists.iter().all(|(k, _)| k != "t.h"));
 
         // Enabled: values accumulate and snapshots are sorted.
         set_enabled(true);
@@ -189,10 +314,7 @@ mod tests {
             .map(|(k, _)| k.as_str())
             .collect();
         assert_eq!(names, vec!["t.a", "t.b"]);
-        assert_eq!(
-            s.counters.iter().find(|(k, _)| k == "t.a").unwrap().1,
-            5
-        );
+        assert_eq!(s.counters.iter().find(|(k, _)| k == "t.a").unwrap().1, 5);
         assert_eq!(s.gauges.iter().find(|(k, _)| k == "t.g").unwrap().1, 3.5);
         let span = &s.spans.iter().find(|(k, _)| k == "t.s").unwrap().1;
         assert_eq!(span.count, 2);
@@ -200,10 +322,38 @@ mod tests {
         assert_eq!(span.min_ns, 10);
         assert_eq!(span.max_ns, 30);
 
+        // Histograms: bucketed percentiles within a power of two.
+        record_hist("t.h", 100);
+        record_hist("t.h", 1_000);
+        record_hist("t.h", 10_000);
+        let s = snapshot();
+        let h = &s.hists.iter().find(|(k, _)| k == "t.h").unwrap().1;
+        assert_eq!(h.count, 3);
+        assert_eq!(h.total, 11_100);
+        assert_eq!((h.min, h.max), (100, 10_000));
+        assert_eq!(h.percentile(100.0), 10_000); // clamped to max
+        let p50 = h.percentile(50.0);
+        assert!((1_000..=2_047).contains(&p50), "p50 {p50}");
+
         // Reset clears everything but keeps the flag.
         reset();
         assert!(enabled());
         assert!(snapshot().counters.is_empty());
+        assert!(snapshot().hists.is_empty());
         set_enabled(false);
+    }
+
+    #[test]
+    fn hist_stat_edge_cases() {
+        let h = HistStat::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut h = HistStat::new();
+        h.observe(0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!((h.min, h.max, h.count), (0, 0, 1));
+        h.observe(u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert_eq!(h.total, u64::MAX); // saturating sum
     }
 }

@@ -18,7 +18,8 @@ use crate::json::Json;
 use crate::registry::Snapshot;
 
 /// Version of the serialized schema; bump on any field change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added the `hists` section (log₂-bucketed latency distributions).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Telemetry for one optimisation step (pre-training step or adversarial
 /// outer iteration).
@@ -73,6 +74,28 @@ pub struct SpanReport {
     pub max_ns: u64,
 }
 
+/// Percentile summary of one histogram ([`crate::registry::HistStat`]).
+/// The report keeps the summary, not the raw buckets: percentiles are
+/// what the serve STATUS endpoint and perf baselines consume, and they
+/// stay stable when the bucket layout evolves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistReport {
+    /// Histogram name (e.g. `serve.latency_ns`).
+    pub name: String,
+    /// Number of observed samples (non-timing: deterministic per run).
+    pub count: u64,
+    /// Minimum observed sample (timing field).
+    pub min: u64,
+    /// Estimated 50th percentile (timing field).
+    pub p50: u64,
+    /// Estimated 90th percentile (timing field).
+    pub p90: u64,
+    /// Estimated 99th percentile (timing field).
+    pub p99: u64,
+    /// Maximum observed sample (timing field).
+    pub max: u64,
+}
+
 /// A full run report — see the module docs for schema stability rules.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TelemetryReport {
@@ -86,6 +109,8 @@ pub struct TelemetryReport {
     pub counters: Vec<(String, u64)>,
     /// Name-sorted gauges.
     pub gauges: Vec<(String, f64)>,
+    /// Name-sorted histogram summaries.
+    pub hists: Vec<HistReport>,
 }
 
 impl TelemetryReport {
@@ -114,6 +139,19 @@ impl TelemetryReport {
             .collect();
         self.counters = snap.counters.clone();
         self.gauges = snap.gauges.clone();
+        self.hists = snap
+            .hists
+            .iter()
+            .map(|(name, h)| HistReport {
+                name: name.clone(),
+                count: h.count,
+                min: if h.count == 0 { 0 } else { h.min },
+                p50: h.percentile(50.0),
+                p90: h.percentile(90.0),
+                p99: h.percentile(99.0),
+                max: h.max,
+            })
+            .collect();
     }
 
     /// Zeroes every timing field (wall-clock, span durations) so that two
@@ -130,6 +168,13 @@ impl TelemetryReport {
             s.mean_ns = 0.0;
             s.min_ns = 0;
             s.max_ns = 0;
+        }
+        for h in &mut self.hists {
+            h.min = 0;
+            h.p50 = 0;
+            h.p90 = 0;
+            h.p99 = 0;
+            h.max = 0;
         }
     }
 
@@ -195,6 +240,25 @@ impl TelemetryReport {
                                 ("mean_ns".into(), Json::Num(s.mean_ns)),
                                 ("min_ns".into(), Json::Num(s.min_ns as f64)),
                                 ("max_ns".into(), Json::Num(s.max_ns as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "hists".into(),
+                Json::Arr(
+                    self.hists
+                        .iter()
+                        .map(|h| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(h.name.clone())),
+                                ("count".into(), Json::Num(h.count as f64)),
+                                ("min".into(), Json::Num(h.min as f64)),
+                                ("p50".into(), Json::Num(h.p50 as f64)),
+                                ("p90".into(), Json::Num(h.p90 as f64)),
+                                ("p99".into(), Json::Num(h.p99 as f64)),
+                                ("max".into(), Json::Num(h.max as f64)),
                             ])
                         })
                         .collect(),
@@ -324,6 +388,23 @@ impl TelemetryReport {
             });
         }
 
+        let mut hists = Vec::new();
+        for h in v
+            .get("hists")
+            .and_then(Json::as_arr)
+            .ok_or("missing array `hists`")?
+        {
+            hists.push(HistReport {
+                name: req_str(h, "name")?,
+                count: req_u64(h, "count")?,
+                min: req_u64(h, "min")?,
+                p50: req_u64(h, "p50")?,
+                p90: req_u64(h, "p90")?,
+                p99: req_u64(h, "p99")?,
+                max: req_u64(h, "max")?,
+            });
+        }
+
         let counters = match v.get("counters") {
             Some(Json::Obj(pairs)) => pairs
                 .iter()
@@ -353,6 +434,7 @@ impl TelemetryReport {
             spans,
             counters,
             gauges,
+            hists,
         })
     }
 }
@@ -402,6 +484,10 @@ mod tests {
                 wall_ms: 8.0,
             }],
         });
+        let mut hist = crate::registry::HistStat::new();
+        for v in [800, 900, 1_000, 4_000] {
+            hist.observe(v);
+        }
         let snap = Snapshot {
             counters: vec![("tensor.im2col2d.calls".into(), 7)],
             gauges: vec![("train.final_mse".into(), 0.7)],
@@ -414,6 +500,7 @@ mod tests {
                     max_ns: 1200,
                 },
             )],
+            hists: vec![("serve.latency_ns".into(), hist)],
         };
         r.attach_snapshot(&snap);
         r
@@ -438,13 +525,15 @@ mod tests {
         assert_eq!(r.phases[0].epochs[1].g_loss, 0.7);
         assert_eq!(r.spans[0].count, 4);
         assert_eq!(r.counters[0].1, 7);
+        assert_eq!(r.hists[0].p50, 0);
+        assert_eq!(r.hists[0].count, 4);
     }
 
     #[test]
     fn rejects_wrong_schema_version() {
         let r = sample_report();
         let text = r.to_json_string().replace(
-            "\"schema_version\": 1",
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
             "\"schema_version\": 999",
         );
         assert!(TelemetryReport::from_json_str(&text).is_err());

@@ -8,7 +8,7 @@
 //! message explains how).
 
 use mtsr_telemetry::{
-    EpochRecord, PhaseReport, Snapshot, SpanStat, TelemetryReport, SCHEMA_VERSION,
+    EpochRecord, HistStat, PhaseReport, Snapshot, SpanStat, TelemetryReport, SCHEMA_VERSION,
 };
 
 const GOLDEN: &str = include_str!("golden_report.json");
@@ -57,12 +57,17 @@ fn fixture_report() -> TelemetryReport {
             wall_ms: 14.0,
         }],
     });
+    let mut latency = HistStat::new();
+    for v in [45_000u64, 52_000, 61_000, 250_000, 900_000] {
+        latency.observe(v);
+    }
     r.attach_snapshot(&Snapshot {
         counters: vec![
             ("tensor.im2col2d.calls".into(), 96),
             ("tensor.im2col3d.calls".into(), 64),
         ],
         gauges: vec![("train.final_mse".into(), 0.75)],
+        hists: vec![("serve.latency_ns".into(), latency)],
         spans: vec![
             (
                 "layer.Conv3d.forward".into(),
@@ -135,6 +140,7 @@ fn disabled_registry_records_nothing() {
     mtsr_telemetry::add_counter("golden.counter", 3);
     mtsr_telemetry::record_gauge("golden.gauge", 1.5);
     mtsr_telemetry::record_span_ns("golden.span", 1_000);
+    mtsr_telemetry::record_hist("golden.hist", 1_000);
     assert!(mtsr_telemetry::span("golden.scoped").is_none());
     assert!(mtsr_telemetry::span_owned("golden.owned".into()).is_none());
     assert!(mtsr_telemetry::layer_span("Dense", "forward").is_none());
@@ -142,6 +148,7 @@ fn disabled_registry_records_nothing() {
     assert!(snap.counters.is_empty());
     assert!(snap.gauges.is_empty());
     assert!(snap.spans.is_empty());
+    assert!(snap.hists.is_empty());
 
     let mut report = TelemetryReport::new(vec![("command".into(), "eval".into())]);
     report.attach_snapshot(&snap);

@@ -142,7 +142,15 @@ pub fn conv2d_forward_fused(
     let g = geom2d(x.dims(), w.dims(), spec)?;
     let (n, co) = (x.dims()[0], w.dims()[0]);
     let mut out = Tensor::zeros([n, co, g.out_h(), g.out_w()]);
-    conv2d_forward_into(x.as_slice(), x.dims(), w.as_slice(), w.dims(), spec, out.as_mut_slice(), ep)?;
+    conv2d_forward_into(
+        x.as_slice(),
+        x.dims(),
+        w.as_slice(),
+        w.dims(),
+        spec,
+        out.as_mut_slice(),
+        ep,
+    )?;
     Ok(out)
 }
 
@@ -165,16 +173,18 @@ pub fn conv2d_forward_into(
     let in_sz = g.c * g.h * g.w;
     let out_sz = co * g.out_h() * g.out_w();
     assert_eq!(x.len(), n * in_sz, "conv2d_forward_into: bad x length");
-    assert_eq!(w.len(), co * g.col_rows(), "conv2d_forward_into: bad w length");
+    assert_eq!(
+        w.len(),
+        co * g.col_rows(),
+        "conv2d_forward_into: bad w length"
+    );
     assert_eq!(out.len(), n * out_sz, "conv2d_forward_into: bad out length");
     let _span = mtsr_telemetry::span("tensor.conv2d.forward");
     mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
     par_chunks_mut(out, out_sz, |ni, o| {
-        with_im2col2d(&x[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
-            match ep {
-                Some(e) => sgemm_serial_fused(w, cols, o, co, g.col_rows(), g.col_cols(), e),
-                None => sgemm_serial(w, cols, o, co, g.col_rows(), g.col_cols(), false),
-            }
+        with_im2col2d(&x[ni * in_sz..(ni + 1) * in_sz], &g, |cols| match ep {
+            Some(e) => sgemm_serial_fused(w, cols, o, co, g.col_rows(), g.col_cols(), e),
+            None => sgemm_serial(w, cols, o, co, g.col_rows(), g.col_cols(), false),
         });
     });
     Ok(())
@@ -249,8 +259,16 @@ pub fn conv2d_backward_data_into(
     let in_sz = ci * input_hw.0 * input_hw.1;
     let out_sz = co * g.out_h() * g.out_w();
     let col_sz = g.col_rows() * g.col_cols();
-    assert_eq!(gout.len(), n * out_sz, "conv2d_backward_data_into: bad gout length");
-    assert_eq!(gx.len(), n * in_sz, "conv2d_backward_data_into: bad gx length");
+    assert_eq!(
+        gout.len(),
+        n * out_sz,
+        "conv2d_backward_data_into: bad gout length"
+    );
+    assert_eq!(
+        gx.len(),
+        n * in_sz,
+        "conv2d_backward_data_into: bad gx length"
+    );
     let _span = mtsr_telemetry::span("tensor.conv2d.backward_data");
     par_chunks_mut(gx, in_sz, |ni, gxi| {
         // Scratch contents are stale; the non-accumulating GEMM overwrites
@@ -476,7 +494,15 @@ pub fn conv3d_forward_fused(
     let g = geom3d(x.dims(), w.dims(), spec)?;
     let (n, co) = (x.dims()[0], w.dims()[0]);
     let mut out = Tensor::zeros([n, co, g.out_d(), g.out_h(), g.out_w()]);
-    conv3d_forward_into(x.as_slice(), x.dims(), w.as_slice(), w.dims(), spec, out.as_mut_slice(), ep)?;
+    conv3d_forward_into(
+        x.as_slice(),
+        x.dims(),
+        w.as_slice(),
+        w.dims(),
+        spec,
+        out.as_mut_slice(),
+        ep,
+    )?;
     Ok(out)
 }
 
@@ -497,7 +523,11 @@ pub fn conv3d_forward_into(
     let in_sz = g.c * g.d * g.h * g.w;
     let out_sz = co * g.out_d() * g.out_h() * g.out_w();
     assert_eq!(x.len(), n * in_sz, "conv3d_forward_into: bad x length");
-    assert_eq!(w.len(), co * g.col_rows(), "conv3d_forward_into: bad w length");
+    assert_eq!(
+        w.len(),
+        co * g.col_rows(),
+        "conv3d_forward_into: bad w length"
+    );
     assert_eq!(out.len(), n * out_sz, "conv3d_forward_into: bad out length");
     let _span = mtsr_telemetry::span("tensor.conv3d.forward");
     mtsr_telemetry::add_counter("tensor.im2col3d.calls", n as u64);
@@ -653,8 +683,16 @@ pub fn conv3d_backward_data_into(
     let in_sz = ci * g.d * g.h * g.w;
     let out_sz = co * g.out_d() * g.out_h() * g.out_w();
     let col_sz = g.col_rows() * g.col_cols();
-    assert_eq!(gout.len(), n * out_sz, "conv3d_backward_data_into: bad gout length");
-    assert_eq!(gx.len(), n * in_sz, "conv3d_backward_data_into: bad gx length");
+    assert_eq!(
+        gout.len(),
+        n * out_sz,
+        "conv3d_backward_data_into: bad gout length"
+    );
+    assert_eq!(
+        gx.len(),
+        n * in_sz,
+        "conv3d_backward_data_into: bad gx length"
+    );
     let _span = mtsr_telemetry::span("tensor.conv3d.backward_data");
     par_chunks_mut(gx, in_sz, |ni, gxi| {
         with_scratch(col_sz, |cols| {
@@ -858,8 +896,7 @@ mod tests {
                                     if iy < 0 || iy >= h as isize || ix < 0 || ix >= wid as isize {
                                         continue;
                                     }
-                                    let xv =
-                                        x.get(&[ni, cii, iy as usize, ix as usize]).unwrap();
+                                    let xv = x.get(&[ni, cii, iy as usize, ix as usize]).unwrap();
                                     let wv = w.get(&[coi, cii, ky, kx]).unwrap();
                                     s += xv as f64 * wv as f64;
                                 }
@@ -1176,9 +1213,11 @@ mod tests {
         let spec2 = Conv2dSpec::same(3);
         let plain = conv2d_forward(&x2, &w2, &spec2).unwrap();
         let fused =
-            conv2d_forward_fused(&x2, &w2, &spec2, Some(&Epilogue::new(&b2).leaky(alpha)))
-                .unwrap();
-        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &b2, alpha).as_slice());
+            conv2d_forward_fused(&x2, &w2, &spec2, Some(&Epilogue::new(&b2).leaky(alpha))).unwrap();
+        assert_eq!(
+            fused.as_slice(),
+            sweep_bias_lrelu(&plain, &b2, alpha).as_slice()
+        );
 
         let x3 = Tensor::rand_normal([1, 2, 4, 6, 6], 0.0, 1.0, &mut rng);
         let w3 = Tensor::rand_normal([5, 2, 3, 3, 3], 0.0, 0.5, &mut rng);
@@ -1186,9 +1225,11 @@ mod tests {
         let spec3 = Conv3dSpec::same(3, 3);
         let plain = conv3d_forward(&x3, &w3, &spec3).unwrap();
         let fused =
-            conv3d_forward_fused(&x3, &w3, &spec3, Some(&Epilogue::new(&b3).leaky(alpha)))
-                .unwrap();
-        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &b3, alpha).as_slice());
+            conv3d_forward_fused(&x3, &w3, &spec3, Some(&Epilogue::new(&b3).leaky(alpha))).unwrap();
+        assert_eq!(
+            fused.as_slice(),
+            sweep_bias_lrelu(&plain, &b3, alpha).as_slice()
+        );
 
         // Transposed variants: epilogue applied after the col2im scatter.
         let xd = Tensor::rand_normal([2, 3, 5, 5], 0.0, 1.0, &mut rng);
@@ -1203,7 +1244,10 @@ mod tests {
             Some(&Epilogue::new(&bd).leaky(alpha)),
         )
         .unwrap();
-        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &bd, alpha).as_slice());
+        assert_eq!(
+            fused.as_slice(),
+            sweep_bias_lrelu(&plain, &bd, alpha).as_slice()
+        );
 
         let xd3 = Tensor::rand_normal([1, 4, 3, 5, 5], 0.0, 1.0, &mut rng);
         let wd3 = Tensor::rand_normal([4, 6, 3, 2, 2], 0.0, 0.5, &mut rng);
@@ -1220,7 +1264,10 @@ mod tests {
             Some(&Epilogue::new(&bd3).leaky(alpha)),
         )
         .unwrap();
-        assert_eq!(fused.as_slice(), sweep_bias_lrelu(&plain, &bd3, alpha).as_slice());
+        assert_eq!(
+            fused.as_slice(),
+            sweep_bias_lrelu(&plain, &bd3, alpha).as_slice()
+        );
 
         // Epilogue shape errors surface, not panic.
         let short = vec![0.0f32; 2];

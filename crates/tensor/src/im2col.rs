@@ -363,9 +363,8 @@ pub fn im2col3d(x: &[f32], g: &Geom3d, cols: &mut [f32]) {
                                 dst.fill(0.0);
                                 continue;
                             }
-                            let x_row = &x_c
-                                [(iz as usize * g.h + iy as usize) * g.w
-                                    ..(iz as usize * g.h + iy as usize) * g.w + g.w];
+                            let x_row = &x_c[(iz as usize * g.h + iy as usize) * g.w
+                                ..(iz as usize * g.h + iy as usize) * g.w + g.w];
                             if fast {
                                 gather_row_unit_stride(x_row, dst, kw, g.pw);
                                 continue;
@@ -413,9 +412,8 @@ pub fn col2im3d(cols: &[f32], g: &Geom3d, x: &mut [f32]) {
                             }
                             let base = (oz * oh + oy) * ow;
                             let src = &src_row[base..base + ow];
-                            let x_row = &mut x_c
-                                [(iz as usize * g.h + iy as usize) * g.w
-                                    ..(iz as usize * g.h + iy as usize) * g.w + g.w];
+                            let x_row = &mut x_c[(iz as usize * g.h + iy as usize) * g.w
+                                ..(iz as usize * g.h + iy as usize) * g.w + g.w];
                             if fast {
                                 scatter_row_unit_stride(src, x_row, kw, g.pw);
                                 continue;
@@ -446,20 +444,10 @@ pub fn col2im3d(cols: &[f32], g: &Geom3d, x: &mut [f32]) {
 /// every partial sum bit-identical; this is what lets the conv3d forward
 /// skip the structurally-zero work same-padding creates at the temporal
 /// edges without changing results.
-pub fn im2col3d_oz(
-    x: &[f32],
-    g: &Geom3d,
-    oz: usize,
-    kd_lo: usize,
-    kd_hi: usize,
-    cols: &mut [f32],
-) {
+pub fn im2col3d_oz(x: &[f32], g: &Geom3d, oz: usize, kd_lo: usize, kd_hi: usize, cols: &mut [f32]) {
     let (oh, ow) = (g.out_h(), g.out_w());
     debug_assert!(kd_lo < kd_hi && kd_hi <= g.kd);
-    debug_assert_eq!(
-        cols.len(),
-        g.c * (kd_hi - kd_lo) * g.kh * g.kw * oh * ow
-    );
+    debug_assert_eq!(cols.len(), g.c * (kd_hi - kd_lo) * g.kh * g.kw * oh * ow);
     let fast = unit_stride_fast_path(g.sw);
     let ncols = oh * ow;
     let plane = g.h * g.w;

@@ -4,13 +4,13 @@
 //! Every convolution in the workspace lowers to GEMM via im2col, so this
 //! is the hot kernel of the entire reproduction. The implementation packs
 //! the operands into cache-sized panels and multiplies them in a
-//! register-blocked [`pack::MR`]×[`pack::NR`] micro-kernel (see
+//! register-blocked [`pack::MR`](crate::pack::MR)×[`pack::NR`](crate::pack::NR) micro-kernel (see
 //! [`crate::pack`] for the tiling scheme); packing also absorbs the three
 //! operand layouts (`A·B`, `Aᵀ·B`, `A·Bᵀ`) so one kernel serves the
 //! forward, backward-weights and backward-data shapes without
 //! materialising transposes. Parallelism splits the rows of `C` into
 //! contiguous slabs via [`crate::parallel`]; the per-element summation
-//! order (ascending `k`, in [`pack::KC`] blocks) is independent of the
+//! order (ascending `k`, in [`pack::KC`](crate::pack::KC) blocks) is independent of the
 //! slab partition, so results are bit-identical for any worker count.
 //! That is not MKL-grade, but it is within a small factor of peak for the
 //! matrix shapes conv layers produce and it contains no unsafe code.
@@ -81,7 +81,11 @@ pub struct Epilogue<'a> {
 impl<'a> Epilogue<'a> {
     /// Bias-only epilogue (bit-identical to a separate `+ bias[c]` sweep).
     pub fn new(bias: &'a [f32]) -> Self {
-        Self { bias, bn: None, leaky_alpha: None }
+        Self {
+            bias,
+            bn: None,
+            leaky_alpha: None,
+        }
     }
 
     /// Adds a LeakyReLU activation after bias (and BN, if any).
@@ -166,7 +170,9 @@ pub fn sgemm_block(
     n: usize,
     accumulate: bool,
 ) {
-    sgemm_block_ep(a, ta, a_rstride, row0, b, tb, b_cstride, c, m, k, n, accumulate, None);
+    sgemm_block_ep(
+        a, ta, a_rstride, row0, b, tb, b_cstride, c, m, k, n, accumulate, None,
+    );
 }
 
 /// [`sgemm_block`] with an optional fused [`Epilogue`] applied during the
@@ -233,7 +239,16 @@ fn sgemm_block_ep(
                         pack_b(b, tb, b_cstride, pc, jc, kc, nc, bbuf);
                     } else if !nc.is_multiple_of(NR) {
                         let jr_last = (nc / NR) * NR;
-                        pack_b(b, false, b_cstride, pc, jc + jr_last, kc, nc - jr_last, &mut edge);
+                        pack_b(
+                            b,
+                            false,
+                            b_cstride,
+                            pc,
+                            jc + jr_last,
+                            kc,
+                            nc - jr_last,
+                            &mut edge,
+                        );
                     }
                     for ic in (0..m).step_by(MC) {
                         let mc = MC.min(m - ic);
@@ -254,20 +269,15 @@ fn sgemm_block_ep(
                                     microkernel(kc, ap, &edge[..NR * kc], &mut acc);
                                 }
                                 for (r, acc_r) in acc.iter().take(mr_eff).enumerate() {
-                                    let crow =
-                                        &mut c[(ic + ir + r) * n + jc + jr..][..nr_eff];
+                                    let crow = &mut c[(ic + ir + r) * n + jc + jr..][..nr_eff];
                                     if let Some(e) = ep_now {
                                         let row = row0 + ic + ir + r;
                                         if store {
-                                            for (cv, &av) in
-                                                crow.iter_mut().zip(&acc_r[..nr_eff])
-                                            {
+                                            for (cv, &av) in crow.iter_mut().zip(&acc_r[..nr_eff]) {
                                                 *cv = e.apply(row, av);
                                             }
                                         } else {
-                                            for (cv, &av) in
-                                                crow.iter_mut().zip(&acc_r[..nr_eff])
-                                            {
+                                            for (cv, &av) in crow.iter_mut().zip(&acc_r[..nr_eff]) {
                                                 *cv = e.apply(row, *cv + av);
                                             }
                                         }
@@ -379,14 +389,18 @@ fn sgemm_parallel(
     }
     let workers = num_threads().min(m.div_ceil(MR)).max(1);
     if workers <= 1 {
-        sgemm_block(a, ta, a_rstride, 0, b, tb, b_cstride, c, m, k, n, accumulate);
+        sgemm_block(
+            a, ta, a_rstride, 0, b, tb, b_cstride, c, m, k, n, accumulate,
+        );
         return;
     }
     let rows_per = m.div_ceil(workers);
     par_chunks_mut(c, rows_per * n, |blk, c_blk| {
         let row0 = blk * rows_per;
         let rows = c_blk.len() / n;
-        sgemm_block(a, ta, a_rstride, row0, b, tb, b_cstride, c_blk, rows, k, n, accumulate);
+        sgemm_block(
+            a, ta, a_rstride, row0, b, tb, b_cstride, c_blk, rows, k, n, accumulate,
+        );
     });
 }
 
@@ -486,7 +500,10 @@ pub fn sgemm_serial_fused(
     assert_eq!(a.len(), m * k, "sgemm_serial_fused: bad A length");
     assert_eq!(b.len(), k * n, "sgemm_serial_fused: bad B length");
     assert_eq!(c.len(), m * n, "sgemm_serial_fused: bad C length");
-    assert!(ep.bias.len() >= m, "sgemm_serial_fused: bias shorter than m");
+    assert!(
+        ep.bias.len() >= m,
+        "sgemm_serial_fused: bias shorter than m"
+    );
     if m == 0 || n == 0 {
         return;
     }
@@ -711,7 +728,13 @@ mod tests {
     fn matches_naive_on_random_shapes() {
         let mut rng = Rng::seed_from(2);
         // Shapes straddling the small-gemm threshold and the tile sizes.
-        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (33, 17, 29), (64, 10, 2), (48, 48, 48)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (5, 3, 4),
+            (33, 17, 29),
+            (64, 10, 2),
+            (48, 48, 48),
+        ] {
             let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
             let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
             let fast = matmul(&a, &b).unwrap();
@@ -882,20 +905,23 @@ mod tests {
         for &(m, k, n) in &[(3, 2, 5), (16, 144, 100), (20, 300, 41), (133, 260, 23)] {
             let a = Tensor::rand_normal([m, k], 0.0, 1.0, &mut rng);
             let b = Tensor::rand_normal([k, n], 0.0, 1.0, &mut rng);
-            let bias: Vec<f32> =
-                (0..m).map(|_| rng.normal(0.0, 1.0)).collect();
-            let mean: Vec<f32> =
-                (0..m).map(|_| rng.normal(0.0, 0.5)).collect();
-            let inv_std: Vec<f32> =
-                (0..m).map(|_| 1.0 + rng.normal(0.0, 0.1).abs()).collect();
-            let gamma: Vec<f32> =
-                (0..m).map(|_| rng.normal(1.0, 0.2)).collect();
-            let beta: Vec<f32> =
-                (0..m).map(|_| rng.normal(0.0, 0.3)).collect();
+            let bias: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 1.0)).collect();
+            let mean: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 0.5)).collect();
+            let inv_std: Vec<f32> = (0..m).map(|_| 1.0 + rng.normal(0.0, 0.1).abs()).collect();
+            let gamma: Vec<f32> = (0..m).map(|_| rng.normal(1.0, 0.2)).collect();
+            let beta: Vec<f32> = (0..m).map(|_| rng.normal(0.0, 0.3)).collect();
 
             // Bias only.
             let mut c = vec![0.0; m * n];
-            sgemm_serial_fused(a.as_slice(), b.as_slice(), &mut c, m, k, n, &Epilogue::new(&bias));
+            sgemm_serial_fused(
+                a.as_slice(),
+                b.as_slice(),
+                &mut c,
+                m,
+                k,
+                n,
+                &Epilogue::new(&bias),
+            );
             let r = fused_reference(&a, &b, m, k, n, &bias, None, None);
             assert_eq!(c, r, "bias-only m={m} k={k} n={n}");
 

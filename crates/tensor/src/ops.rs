@@ -64,8 +64,16 @@ pub fn leaky_relu_slice_inplace(x: &mut [f32], alpha: f32) {
 /// where `x` is the activation's *input*. Pool-partitioned like the
 /// forward kernel; any partition yields bit-identical results.
 pub fn leaky_relu_bwd_slice(grad_out: &[f32], x: &[f32], grad_in: &mut [f32], alpha: f32) {
-    assert_eq!(grad_out.len(), x.len(), "leaky_relu_bwd_slice: length mismatch");
-    assert_eq!(grad_out.len(), grad_in.len(), "leaky_relu_bwd_slice: length mismatch");
+    assert_eq!(
+        grad_out.len(),
+        x.len(),
+        "leaky_relu_bwd_slice: length mismatch"
+    );
+    assert_eq!(
+        grad_out.len(),
+        grad_in.len(),
+        "leaky_relu_bwd_slice: length mismatch"
+    );
     let len = x.len();
     if len < LEAKY_PAR_MIN || num_threads() <= 1 {
         for ((gi, &g), &v) in grad_in.iter_mut().zip(grad_out).zip(x) {
@@ -338,11 +346,8 @@ mod tests {
     #[test]
     fn channel_mean_var() {
         // [N=2, C=2, spatial=2]; channel 0 holds {1,2,3,4}, channel 1 {10,10,10,10}
-        let x = Tensor::from_vec(
-            [2, 2, 2],
-            vec![1.0, 2.0, 10.0, 10.0, 3.0, 4.0, 10.0, 10.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec([2, 2, 2], vec![1.0, 2.0, 10.0, 10.0, 3.0, 4.0, 10.0, 10.0]).unwrap();
         let m = x.mean_per_channel().unwrap();
         assert_eq!(m.as_slice(), &[2.5, 10.0]);
         let v = x.var_per_channel(&m).unwrap();
@@ -378,8 +383,10 @@ mod tests {
             let x: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
             let g: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0)).collect();
             let alpha = 0.1f32;
-            let want_f: Vec<f32> =
-                x.iter().map(|&v| if v > 0.0 { v } else { alpha * v }).collect();
+            let want_f: Vec<f32> = x
+                .iter()
+                .map(|&v| if v > 0.0 { v } else { alpha * v })
+                .collect();
             let want_b: Vec<f32> = x
                 .iter()
                 .zip(&g)

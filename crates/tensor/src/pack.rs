@@ -86,7 +86,11 @@ pub fn pack_a(
     buf: &mut [f32],
 ) {
     debug_assert!(buf.len() >= mc.div_ceil(MR) * MR * kc);
-    for (panel, chunk) in buf.chunks_exact_mut(MR * kc).take(mc.div_ceil(MR)).enumerate() {
+    for (panel, chunk) in buf
+        .chunks_exact_mut(MR * kc)
+        .take(mc.div_ceil(MR))
+        .enumerate()
+    {
         let i0 = row0 + panel * MR;
         let rows = MR.min(row0 + mc - i0);
         if trans {
@@ -140,7 +144,11 @@ pub fn pack_b(
     buf: &mut [f32],
 ) {
     debug_assert!(buf.len() >= nc.div_ceil(NR) * NR * kc);
-    for (panel, chunk) in buf.chunks_exact_mut(NR * kc).take(nc.div_ceil(NR)).enumerate() {
+    for (panel, chunk) in buf
+        .chunks_exact_mut(NR * kc)
+        .take(nc.div_ceil(NR))
+        .enumerate()
+    {
         let j0 = col0 + panel * NR;
         let cols = NR.min(col0 + nc - j0);
         if trans {

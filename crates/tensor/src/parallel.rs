@@ -216,9 +216,8 @@ pub(crate) fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
             // return until the latch reports every task finished — the
             // borrowed data outlives every use. Tasks are consumed
             // exactly once and never cloned or leaked by the workers.
-            let wrapped: Task = unsafe {
-                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(wrapped)
-            };
+            let wrapped: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(wrapped) };
             state.queue.push_back(wrapped);
         }
         // The caller participates, so `num_threads() - 1` workers suffice;
@@ -378,7 +377,14 @@ mod tests {
 
     #[test]
     fn par_chunks_mut_matches_serial_enumeration() {
-        for (len, chunk) in [(0usize, 3usize), (1, 3), (7, 3), (48, 16), (50, 16), (129, 16)] {
+        for (len, chunk) in [
+            (0usize, 3usize),
+            (1, 3),
+            (7, 3),
+            (48, 16),
+            (50, 16),
+            (129, 16),
+        ] {
             let mut par = vec![0.0f32; len];
             par_chunks_mut(&mut par, chunk, |i, c| {
                 for (j, v) in c.iter_mut().enumerate() {

@@ -147,7 +147,13 @@ mod tests {
     #[test]
     fn agrees_with_global_reductions() {
         let m = movie();
-        let total_via_axes = m.sum_axis(0).unwrap().sum_axis(0).unwrap().sum_axis(0).unwrap();
+        let total_via_axes = m
+            .sum_axis(0)
+            .unwrap()
+            .sum_axis(0)
+            .unwrap()
+            .sum_axis(0)
+            .unwrap();
         assert_eq!(total_via_axes.dims(), &[] as &[usize]);
         assert!((total_via_axes.as_slice()[0] - m.sum()).abs() < 1e-4);
     }

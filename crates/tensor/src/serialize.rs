@@ -45,7 +45,10 @@ impl<'a> Reader<'a> {
     pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(TensorError::Serde {
-                reason: format!("truncated {what}: need {n} bytes, have {}", self.remaining()),
+                reason: format!(
+                    "truncated {what}: need {n} bytes, have {}",
+                    self.remaining()
+                ),
             });
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -207,7 +210,10 @@ mod tests {
     fn named_roundtrip_preserves_order() {
         let mut rng = Rng::seed_from(2);
         let pairs = vec![
-            ("conv1.weight".to_string(), Tensor::rand_normal([2, 3], 0.0, 1.0, &mut rng)),
+            (
+                "conv1.weight".to_string(),
+                Tensor::rand_normal([2, 3], 0.0, 1.0, &mut rng),
+            ),
             ("conv1.bias".to_string(), Tensor::zeros([2])),
             ("bn.gamma".to_string(), Tensor::ones([4])),
         ];

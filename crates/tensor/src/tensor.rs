@@ -160,7 +160,12 @@ impl Tensor {
     }
 
     /// Combines two same-shaped tensors elementwise.
-    pub fn zip(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    pub fn zip(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
         self.shape.check_same(&other.shape, op)?;
         let data = self
             .data

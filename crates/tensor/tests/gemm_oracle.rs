@@ -70,18 +70,30 @@ fn parallel_variants_match_oracle_on_adversarial_shapes() {
         // Poison C to catch missed writes in the overwriting kernels.
         let mut c = vec![7.5f32; m * n];
         sgemm(&a, &b, &mut c, m, k, n);
-        assert_close(&c, &naive(&a, &b, m, k, n, false, false), &format!("nn {m}x{k}x{n}"));
+        assert_close(
+            &c,
+            &naive(&a, &b, m, k, n, false, false),
+            &format!("nn {m}x{k}x{n}"),
+        );
 
         // TN: reuse `a` as the k×m stored operand (lengths match).
         let mut c = vec![-3.25f32; m * n];
         sgemm_tn(&a, &b, &mut c, m, k, n);
-        assert_close(&c, &naive(&a, &b, m, k, n, true, false), &format!("tn {m}x{k}x{n}"));
+        assert_close(
+            &c,
+            &naive(&a, &b, m, k, n, true, false),
+            &format!("tn {m}x{k}x{n}"),
+        );
 
         // NT: reuse `b` reinterpreted as n×k storage.
         let bt: Vec<f32> = (0..n * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let mut c = vec![0.125f32; m * n];
         sgemm_nt(&a, &bt, &mut c, m, k, n);
-        assert_close(&c, &naive(&a, &bt, m, k, n, false, true), &format!("nt {m}x{k}x{n}"));
+        assert_close(
+            &c,
+            &naive(&a, &bt, m, k, n, false, true),
+            &format!("nt {m}x{k}x{n}"),
+        );
     }
 }
 

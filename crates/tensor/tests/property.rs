@@ -51,7 +51,10 @@ fn scale_distributes() {
         let lhs = a.add(&a).expect("add").scale(k);
         let rhs = a.scale(k).add(&a.scale(k)).expect("add");
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            assert!((x - y).abs() < 1e-2 + 1e-4 * x.abs(), "case {case}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-2 + 1e-4 * x.abs(),
+                "case {case}: {x} vs {y}"
+            );
         }
     }
 }
@@ -67,7 +70,10 @@ fn matmul_matches_naive() {
         let fast = matmul(&a, &b).expect("matmul");
         let slow = matmul_naive(&a, &b).expect("naive");
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "case {case}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                "case {case}: {x} vs {y}"
+            );
         }
     }
 }
@@ -80,16 +86,16 @@ fn matmul_matches_naive() {
 #[test]
 fn sgemm_edge_shapes_match_naive_oracle() {
     let shapes: &[(usize, usize, usize)] = &[
-        (0, 3, 4),                  // m = 0: no output rows
-        (3, 0, 4),                  // k = 0: C must become zero
-        (5, 4, 1),                  // n = 1: single-column C
-        (1, 1, 1),                  // minimal non-empty problem
-        (MR - 1, 6, 5),             // just below one row tile
-        (MR, 6, NR),                // exactly one register tile
-        (MR + 1, 6, NR + 1),        // one tile plus remainder row/col
+        (0, 3, 4),                   // m = 0: no output rows
+        (3, 0, 4),                   // k = 0: C must become zero
+        (5, 4, 1),                   // n = 1: single-column C
+        (1, 1, 1),                   // minimal non-empty problem
+        (MR - 1, 6, 5),              // just below one row tile
+        (MR, 6, NR),                 // exactly one register tile
+        (MR + 1, 6, NR + 1),         // one tile plus remainder row/col
         (2 * MR + 3, 7, 2 * NR + 1), // several tiles plus remainder
-        (3 * MR, 2, NR - 1),        // exact row tiles, partial col tile
-        (37, 41, 43),               // odd primes, forces the packed path
+        (3 * MR, 2, NR - 1),         // exact row tiles, partial col tile
+        (37, 41, 43),                // odd primes, forces the packed path
     ];
     for (case, &(m, k, n)) in shapes.iter().enumerate() {
         let mut rng = case_rng(4, case as u64);
@@ -148,7 +154,10 @@ fn matmul_linearity() {
             .add(&matmul(&a2, &b).expect("matmul"))
             .expect("add");
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            assert!((x - y).abs() < 1e-2 + 1e-3 * y.abs(), "case {case}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-2 + 1e-3 * y.abs(),
+                "case {case}: {x} vs {y}"
+            );
         }
     }
 }
@@ -175,15 +184,17 @@ fn conv2d_linearity() {
         let x2 = Tensor::rand_normal([1, 2, 6, 6], 0.0, 1.0, &mut rng);
         let w = Tensor::rand_normal([3, 2, 3, 3], 0.0, 0.5, &mut rng);
         let spec = Conv2dSpec::same(3);
-        let lhs =
-            conv2d_forward(&x1.scale(alpha).add(&x2).expect("add"), &w, &spec).expect("conv");
+        let lhs = conv2d_forward(&x1.scale(alpha).add(&x2).expect("add"), &w, &spec).expect("conv");
         let rhs = conv2d_forward(&x1, &w, &spec)
             .expect("conv")
             .scale(alpha)
             .add(&conv2d_forward(&x2, &w, &spec).expect("conv"))
             .expect("add");
         for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            assert!((a - b).abs() < 1e-2 + 1e-3 * b.abs(), "case {case}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-2 + 1e-3 * b.abs(),
+                "case {case}: {a} vs {b}"
+            );
         }
     }
 }
@@ -217,7 +228,10 @@ fn deconv_is_conv_adjoint() {
             .zip(y.as_slice())
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()), "case {case}: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()),
+            "case {case}: {lhs} vs {rhs}"
+        );
     }
 }
 
@@ -248,7 +262,10 @@ fn conv_backward_data_adjoint() {
             .zip(gx.as_slice())
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
-        assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()), "case {case}: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()),
+            "case {case}: {lhs} vs {rhs}"
+        );
     }
 }
 
@@ -281,7 +298,10 @@ fn variance_affine_rules() {
         let k = rng.uniform(-5.0, 5.0);
         let v0 = a.variance();
         let shifted = a.add_scalar(shift).variance();
-        assert!((v0 - shifted).abs() < 1e-2 * (1.0 + v0.abs()), "case {case}: {v0} vs {shifted}");
+        assert!(
+            (v0 - shifted).abs() < 1e-2 * (1.0 + v0.abs()),
+            "case {case}: {v0} vs {shifted}"
+        );
         let scaled = a.scale(k).variance();
         assert!(
             (scaled - k * k * v0).abs() < 1e-2 * (1.0 + (k * k * v0).abs()),

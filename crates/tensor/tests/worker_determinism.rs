@@ -77,7 +77,9 @@ fn conv_and_gemm_outputs_are_bit_identical_across_worker_counts() {
 
     // 2 and 8 bracket the realistic range; the max available count catches
     // whatever this machine would pick by default.
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut counts = vec![2usize, 8];
     if !counts.contains(&max) {
         counts.push(max);

@@ -79,7 +79,11 @@ impl AnomalyEvent {
     }
 
     /// Adds the event to a range of frames of a `[T, g, g]` movie.
-    pub fn apply_to_movie(&self, movie: &mut Tensor, t_range: std::ops::Range<usize>) -> Result<()> {
+    pub fn apply_to_movie(
+        &self,
+        movie: &mut Tensor,
+        t_range: std::ops::Range<usize>,
+    ) -> Result<()> {
         let dims = movie.dims().to_vec();
         if dims.len() != 3 {
             return Err(TensorError::InvalidShape {

@@ -78,10 +78,7 @@ pub fn crop(frame: &Tensor, y: usize, x: usize, window: usize) -> Result<Tensor>
 /// mean of all window predictions covering it.
 ///
 /// Fails if the windows do not jointly cover the grid.
-pub fn reassemble(
-    windows: &[((usize, usize), Tensor)],
-    grid: usize,
-) -> Result<Tensor> {
+pub fn reassemble(windows: &[((usize, usize), Tensor)], grid: usize) -> Result<Tensor> {
     let mut sum = vec![0.0f64; grid * grid];
     let mut count = vec![0u32; grid * grid];
     for ((y, x), w) in windows {
@@ -130,6 +127,7 @@ pub fn reassemble(
 /// `f64` sum buffer reused. Feeding the same windows in the same order
 /// produces bit-identical output to [`reassemble`] (identical per-cell
 /// `f64` accumulation order and the same `(sum / count)` rounding).
+#[derive(Clone)]
 pub struct ReassemblePlan {
     grid: usize,
     window: usize,
@@ -216,7 +214,11 @@ impl ReassemblePlan {
         if out.len() != self.grid * self.grid {
             return Err(TensorError::InvalidShape {
                 op: "ReassemblePlan::finish_into",
-                reason: format!("output has {} cells, grid needs {}", out.len(), self.grid * self.grid),
+                reason: format!(
+                    "output has {} cells, grid needs {}",
+                    out.len(),
+                    self.grid * self.grid
+                ),
             });
         }
         for ((o, &s), &c) in out.iter_mut().zip(&self.sum).zip(&self.count) {
@@ -350,8 +352,23 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(AugmentConfig { window: 0, stride: 1 }.offsets(10).is_err());
-        assert!(AugmentConfig { window: 11, stride: 1 }.offsets(10).is_err());
-        assert!(AugmentConfig { window: 5, stride: 0 }.offsets(10).is_err());
+        assert!(AugmentConfig {
+            window: 0,
+            stride: 1
+        }
+        .offsets(10)
+        .is_err());
+        assert!(AugmentConfig {
+            window: 11,
+            stride: 1
+        }
+        .offsets(10)
+        .is_err());
+        assert!(AugmentConfig {
+            window: 5,
+            stride: 0
+        }
+        .offsets(10)
+        .is_err());
     }
 }

@@ -109,9 +109,7 @@ pub fn sample_cdr_stream(movie: &Tensor, cfg: &CdrConfig, rng: &mut Rng) -> Resu
                 let lambda = (v / cfg.mean_chunk_mb).max(1e-3);
                 let n = poisson(rng, lambda).max(1);
                 // Exponential-ish chunk sizes normalised to sum to v.
-                let mut sizes: Vec<f32> = (0..n)
-                    .map(|_| -rng.next_f32().max(1e-7).ln())
-                    .collect();
+                let mut sizes: Vec<f32> = (0..n).map(|_| -rng.next_f32().max(1e-7).ln()).collect();
                 let sum: f32 = sizes.iter().sum();
                 for s in &mut sizes {
                     *s = (*s / sum) * v;
@@ -145,11 +143,7 @@ pub fn sample_cdr_stream(movie: &Tensor, cfg: &CdrConfig, rng: &mut Rng) -> Resu
 
 /// Re-aggregates a CDR stream into the `[T, g, g]` per-cell volume movie —
 /// the operator-side post-processing the paper's dataset was built with.
-pub fn aggregate_cdr_stream(
-    records: &[CdrRecord],
-    t_total: usize,
-    grid: usize,
-) -> Result<Tensor> {
+pub fn aggregate_cdr_stream(records: &[CdrRecord], t_total: usize, grid: usize) -> Result<Tensor> {
     let mut out = Tensor::zeros([t_total, grid, grid]);
     let o = out.as_mut_slice();
     for r in records {
@@ -274,7 +268,10 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         for &lambda in &[0.5f32, 3.0, 20.0, 80.0] {
             let n = 3000;
-            let mean: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda as f64).abs() < 0.1 * lambda as f64 + 0.1,
                 "λ = {lambda}: mean {mean}"

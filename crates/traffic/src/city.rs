@@ -159,14 +159,12 @@ impl City {
                     let rough = (cfg.roughness * rng.standard_normal()).exp();
                     // Map intensity ∈ [0, ~1] to [floor, peak] on a log scale
                     // (traffic is heavy-tailed).
-                    let v =
-                        cfg.floor_mb * (log_span * intensity.min(1.0)).exp() * street * rough;
+                    let v = cfg.floor_mb * (log_span * intensity.min(1.0)).exp() * street * rough;
                     b[y * g + x] = v.clamp(cfg.floor_mb * 0.5, cfg.peak_mb);
                     // Cells near hotspots peak around 13:00 (business),
                     // remote cells around 20:00 (residential).
                     let business = (-nearest * 6.0).exp();
-                    p[y * g + x] =
-                        (13.0 / 24.0) * business + (20.0 / 24.0) * (1.0 - business);
+                    p[y * g + x] = (13.0 / 24.0) * business + (20.0 / 24.0) * (1.0 - business);
                 }
             }
         }

@@ -125,27 +125,32 @@ impl Dataset {
         if cfg.total() > t_total {
             return Err(TensorError::InvalidShape {
                 op: "Dataset::build",
-                reason: format!(
-                    "splits need {} frames but movie has {t_total}",
-                    cfg.total()
-                ),
+                reason: format!("splits need {} frames but movie has {t_total}", cfg.total()),
             });
         }
         if cfg.s == 0 || cfg.s >= cfg.train {
             return Err(TensorError::InvalidShape {
                 op: "Dataset::build",
-                reason: format!("temporal length S = {} invalid for train = {}", cfg.s, cfg.train),
+                reason: format!(
+                    "temporal length S = {} invalid for train = {}",
+                    cfg.s, cfg.train
+                ),
             });
         }
         if let Some(a) = &cfg.augment {
-            let n = layout.uniform_size().ok_or_else(|| TensorError::InvalidShape {
-                op: "Dataset::build",
-                reason: "cropping augmentation requires a homogeneous probe layout".into(),
-            })?;
+            let n = layout
+                .uniform_size()
+                .ok_or_else(|| TensorError::InvalidShape {
+                    op: "Dataset::build",
+                    reason: "cropping augmentation requires a homogeneous probe layout".into(),
+                })?;
             if a.window % n != 0 {
                 return Err(TensorError::InvalidShape {
                     op: "Dataset::build",
-                    reason: format!("augment window {} not divisible by probe size {n}", a.window),
+                    reason: format!(
+                        "augment window {} not divisible by probe size {n}",
+                        a.window
+                    ),
                 });
             }
             a.offsets(layout.grid)?; // validates window/stride vs grid
@@ -238,8 +243,7 @@ impl Dataset {
         let per = sq * sq;
         let mut input = Tensor::zeros([1, s, sq, sq]);
         let src = self.coarse.as_slice();
-        input.as_mut_slice()[..s * per]
-            .copy_from_slice(&src[(t + 1 - s) * per..(t + 1) * per]);
+        input.as_mut_slice()[..s * per].copy_from_slice(&src[(t + 1 - s) * per..(t + 1) * per]);
         let g = self.layout.grid;
         let target = Tensor::from_vec(
             [1, g, g],
@@ -255,12 +259,7 @@ impl Dataset {
     /// split is `Train`, each element is an independently cropped
     /// sub-frame pair; the input spatial side is then `window/n` and the
     /// target side `window`.
-    pub fn sample_batch(
-        &self,
-        split: Split,
-        m: usize,
-        rng: &mut Rng,
-    ) -> Result<(Tensor, Tensor)> {
+    pub fn sample_batch(&self, split: Split, m: usize, rng: &mut Rng) -> Result<(Tensor, Tensor)> {
         let idx = self.usable_indices(split);
         if idx.is_empty() || m == 0 {
             return Err(TensorError::InvalidShape {
@@ -382,7 +381,9 @@ mod tests {
         let mut rng = Rng::seed_from(seed);
         let cfg = CityConfig::tiny();
         let gen = MilanGenerator::new(&cfg, &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
         Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap()
     }
@@ -413,8 +414,12 @@ mod tests {
     #[test]
     fn batch_shapes_and_determinism() {
         let ds = tiny_dataset(3);
-        let (x1, y1) = ds.sample_batch(Split::Train, 4, &mut Rng::seed_from(9)).unwrap();
-        let (x2, y2) = ds.sample_batch(Split::Train, 4, &mut Rng::seed_from(9)).unwrap();
+        let (x1, y1) = ds
+            .sample_batch(Split::Train, 4, &mut Rng::seed_from(9))
+            .unwrap();
+        let (x2, y2) = ds
+            .sample_batch(Split::Train, 4, &mut Rng::seed_from(9))
+            .unwrap();
         assert_eq!(x1.dims(), &[4, 1, 3, 10, 10]);
         assert_eq!(y1.dims(), &[4, 1, 20, 20]);
         assert_eq!(x1, x2);
@@ -426,7 +431,9 @@ mod tests {
         let mut rng = Rng::seed_from(4);
         let cfg = CityConfig::tiny();
         let gen = MilanGenerator::new(&cfg, &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
         let ds = Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap();
         let t = 5;
@@ -442,11 +449,8 @@ mod tests {
         let ds = tiny_dataset(5);
         let g = 20;
         let train_cells = ds.range(Split::Train).end * g * g;
-        let train = Tensor::from_vec(
-            [train_cells],
-            ds.fine.as_slice()[..train_cells].to_vec(),
-        )
-        .unwrap();
+        let train =
+            Tensor::from_vec([train_cells], ds.fine.as_slice()[..train_cells].to_vec()).unwrap();
         assert!(train.mean().abs() < 1e-3);
         assert!((train.std() - 1.0).abs() < 1e-3);
     }

@@ -185,10 +185,7 @@ mod tests {
         let (gen, m) = small_movie(STEPS_PER_DAY, 2);
         let g = gen.grid();
         let frame_mean = |t: usize| {
-            m.as_slice()[t * g * g..(t + 1) * g * g]
-                .iter()
-                .sum::<f32>()
-                / (g * g) as f32
+            m.as_slice()[t * g * g..(t + 1) * g * g].iter().sum::<f32>() / (g * g) as f32
         };
         let night = frame_mean(4 * 6); // 04:00
         let peak = (0..STEPS_PER_DAY)

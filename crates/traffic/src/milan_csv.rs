@@ -109,10 +109,7 @@ pub fn parse_milan<R: BufRead>(reader: R, cfg: &MilanCsvConfig) -> Result<(Tenso
         };
         if square == 0 || square > cells {
             return Err(TensorError::Serde {
-                reason: format!(
-                    "line {}: square_id {square} outside 1..={cells}",
-                    ln + 1
-                ),
+                reason: format!("line {}: square_id {square} outside 1..={cells}", ln + 1),
             });
         }
         let time: i64 = fields[1].trim().parse().map_err(|e| TensorError::Serde {
@@ -133,10 +130,7 @@ pub fn parse_milan<R: BufRead>(reader: R, cfg: &MilanCsvConfig) -> Result<(Tenso
     };
     if (t_last - t0) % INTERVAL_MS != 0 {
         return Err(TensorError::Serde {
-            reason: format!(
-                "timestamps not 10-minute aligned: span {} ms",
-                t_last - t0
-            ),
+            reason: format!("timestamps not 10-minute aligned: span {} ms", t_last - t0),
         });
     }
     let t_count = ((t_last - t0) / INTERVAL_MS) as usize + 1;
@@ -250,7 +244,10 @@ mod tests {
             grid: 1,
             tolerate_header: true,
         };
-        let data = format!("square_id\ttime\tcc\tsi\tso\tci\tco\tinternet\n{}", row(1, 0, 7.0));
+        let data = format!(
+            "square_id\ttime\tcc\tsi\tso\tci\tco\tinternet\n{}",
+            row(1, 0, 7.0)
+        );
         let (movie, _) = parse_milan(Cursor::new(data), &cfg).unwrap();
         assert_eq!(movie.get(&[0, 0, 0]), Some(7.0));
         // Header rejected when tolerance is off.
@@ -258,7 +255,10 @@ mod tests {
             grid: 1,
             tolerate_header: false,
         };
-        let data = format!("square_id\ttime\tcc\tsi\tso\tci\tco\tinternet\n{}", row(1, 0, 7.0));
+        let data = format!(
+            "square_id\ttime\tcc\tsi\tso\tci\tco\tinternet\n{}",
+            row(1, 0, 7.0)
+        );
         assert!(parse_milan(Cursor::new(data), &strict).is_err());
     }
 
@@ -272,7 +272,7 @@ mod tests {
         assert!(parse_milan(Cursor::new("1\tabc\t39\t0\t0\t0\t0\t1"), &cfg).is_err()); // bad time
         assert!(parse_milan(Cursor::new("justonefield"), &cfg).is_err());
         assert!(parse_milan(Cursor::new(""), &cfg).is_err()); // no data
-        // Misaligned timestamps.
+                                                              // Misaligned timestamps.
         let data = [row(1, 0, 1.0), row(1, 1234, 1.0)].join("\n");
         assert!(parse_milan(Cursor::new(data), &cfg).is_err());
     }

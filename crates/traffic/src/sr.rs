@@ -42,7 +42,9 @@ mod tests {
     fn latest_coarse_matches_last_input_frame() {
         let mut rng = Rng::seed_from(1);
         let gen = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
-        let movie = gen.generate(DatasetConfig::tiny().total(), &mut rng).unwrap();
+        let movie = gen
+            .generate(DatasetConfig::tiny().total(), &mut rng)
+            .unwrap();
         let layout = ProbeLayout::for_instance(gen.city(), MtsrInstance::Up2).unwrap();
         let ds = Dataset::build(&movie, layout, DatasetConfig::tiny()).unwrap();
         let t = 5;

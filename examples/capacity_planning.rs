@@ -77,9 +77,7 @@ fn main() -> Result<(), TensorError> {
 
     println!("\nprovisioning with {headroom}x headroom over 20 test intervals");
     println!("total demand: {:.0} MB", demand);
-    for (name, (congested, wasted)) in
-        [("ZipNet-GAN", totals[0]), ("Uniform   ", totals[1])]
-    {
+    for (name, (congested, wasted)) in [("ZipNet-GAN", totals[0]), ("Uniform   ", totals[1])] {
         println!(
             "{name}: congested {:8.0} MB ({:4.1}% of demand)   over-provision waste {:8.0} MB",
             congested,

@@ -75,10 +75,12 @@ fn main() -> Result<(), TensorError> {
     // expected (clean-input) inference?
     let diff = pred_event.sub(&pred_clean)?;
     let (y, x, surge) = hottest_cell(&diff);
-    println!("injected event at ({}, {}), peak +{:.0} MB", event.y, event.x, event.magnitude_mb);
+    println!(
+        "injected event at ({}, {}), peak +{:.0} MB",
+        event.y, event.x, event.magnitude_mb
+    );
     println!("detector localises surge at ({y}, {x}), response +{surge:.0} MB");
-    let dist = ((y as f32 - event.y as f32).powi(2) + (x as f32 - event.x as f32).powi(2))
-        .sqrt();
+    let dist = ((y as f32 - event.y as f32).powi(2) + (x as f32 - event.x as f32).powi(2)).sqrt();
     println!(
         "localisation error: {dist:.1} cells — {}",
         if dist <= 3.0 {

@@ -29,7 +29,11 @@ fn main() -> Result<(), TensorError> {
     let mut city = CityConfig::small();
     // The mixture deployment needs a grid ≥ 40; homogeneous probes are
     // fine on a faster 20-cell city.
-    city.grid = if instance == MtsrInstance::Mixture { 40 } else { 20 };
+    city.grid = if instance == MtsrInstance::Mixture {
+        40
+    } else {
+        20
+    };
     let generator = MilanGenerator::new(&city, &mut rng)?;
     let cfg = DatasetConfig {
         s: 3,
@@ -73,7 +77,10 @@ fn main() -> Result<(), TensorError> {
             pairs.push((pred, ds.fine_frame_raw(t)?));
         }
         let s = score_snapshots(&pairs, MILAN_PEAK_MB)?;
-        println!("NRMSE {:.3}  PSNR {:6.2}  SSIM {:.3}", s.nrmse, s.psnr, s.ssim);
+        println!(
+            "NRMSE {:.3}  PSNR {:6.2}  SSIM {:.3}",
+            s.nrmse, s.psnr, s.ssim
+        );
         results.push((method.name(), s));
     }
 

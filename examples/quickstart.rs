@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zipnet_gan::prelude::*;
 use zipnet_gan::core::ArchScale;
 use zipnet_gan::metrics::MILAN_PEAK_MB;
+use zipnet_gan::prelude::*;
 use zipnet_gan::tensor::TensorError;
 use zipnet_gan::traffic::{Split, SuperResolver};
 

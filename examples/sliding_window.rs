@@ -25,9 +25,7 @@ fn main() -> Result<(), TensorError> {
         stride: 2,
     };
     let offsets = aug.offsets(city.grid)?.len();
-    println!(
-        "augmentation: {offsets} crops per snapshot (paper: 441 at full scale)"
-    );
+    println!("augmentation: {offsets} crops per snapshot (paper: 441 at full scale)");
     let cfg = DatasetConfig {
         s: 3,
         train: 160,

@@ -20,13 +20,15 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 use zipnet_gan::core::checkpoint::{self, CheckpointPolicy};
 use zipnet_gan::core::{
-    ArchScale, GanTrainingConfig, MtsrModel, StreamingPredictor, TrafficAnomalyDetector, ZipNet,
-    ZipNetConfig,
+    plan_zipnet, ArchScale, FusePolicy, GanTrainingConfig, MtsrModel, MtsrPipeline,
+    StreamingPredictor, TrafficAnomalyDetector, ZipNet, ZipNetConfig,
 };
 use zipnet_gan::metrics::{nrmse, psnr, ssim, MILAN_PEAK_MB};
 use zipnet_gan::prelude::*;
+use zipnet_gan::serve::{signals, RemotePredictor, ServeClient, ServeConfig, Server};
 use zipnet_gan::telemetry::{PhaseReport, TelemetryReport};
 use zipnet_gan::tensor::TensorError;
 use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
@@ -179,7 +181,9 @@ fn cmd_simulate(args: &Args) -> CmdOutcome {
     let mut city = CityConfig::small();
     city.grid = grid;
     let gen = MilanGenerator::new(&city, &mut rng).map_err(|e| e.to_string())?;
-    let movie = gen.generate(days * 144, &mut rng).map_err(|e| e.to_string())?;
+    let movie = gen
+        .generate(days * 144, &mut rng)
+        .map_err(|e| e.to_string())?;
     let mut csv = String::from("t,y,x,traffic_mb\n");
     let d = movie.dims();
     for t in 0..d[0] {
@@ -319,7 +323,15 @@ fn load_generator(ds: &Dataset, path: &str, s: usize) -> Result<ZipNet, String> 
 fn cmd_eval(args: &Args) -> CmdOutcome {
     args.expect_known(
         "eval",
-        &["model", "instance", "grid", "days", "s", "seed", "telemetry"],
+        &[
+            "model",
+            "instance",
+            "grid",
+            "days",
+            "s",
+            "seed",
+            "telemetry",
+        ],
     )?;
     let grid = args.usize_flag("grid", 40)?;
     let days = args.usize_flag("days", 4)?;
@@ -329,14 +341,18 @@ fn cmd_eval(args: &Args) -> CmdOutcome {
     let instance = parse_instance(args.get("instance"))?;
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
     let gen = load_generator(&ds, model_path, s)?;
-    let mut model = MtsrModel::zipnet(ArchScale::Tiny, GanTrainingConfig::tiny()).with_generator(gen);
+    let mut model =
+        MtsrModel::zipnet(ArchScale::Tiny, GanTrainingConfig::tiny()).with_generator(gen);
 
     let idx = ds.usable_indices(Split::Test);
-    let take: Vec<usize> = idx.iter().step_by((idx.len() / 12).max(1)).copied().collect();
+    let take: Vec<usize> = idx
+        .iter()
+        .step_by((idx.len() / 12).max(1))
+        .copied()
+        .collect();
     let (mut se, mut sp, mut ss) = (0.0f64, 0.0f64, 0.0f64);
     for &t in &take {
-        let pred = ds
-            .denormalize(&model.predict(&ds, t).map_err(|e| e.to_string())?);
+        let pred = ds.denormalize(&model.predict(&ds, t).map_err(|e| e.to_string())?);
         let truth = ds.fine_frame_raw(t).map_err(|e| e.to_string())?;
         se += nrmse(&pred, &truth).map_err(|e| e.to_string())? as f64;
         sp += psnr(&pred, &truth, MILAN_PEAK_MB).map_err(|e| e.to_string())? as f64;
@@ -405,11 +421,179 @@ fn cmd_stream(args: &Args) -> CmdOutcome {
     Ok(Vec::new())
 }
 
+/// Shared by `serve` and `client`: dataset-derived sliding-window
+/// geometry for the given flags. Defaults cover the frame in aligned
+/// `grid/2`-sided windows.
+fn sliding_setup(
+    args: &Args,
+    ds: &Dataset,
+    grid: usize,
+) -> Result<(MtsrPipeline, zipnet_gan::core::SlidingGeometry), String> {
+    let window = args.usize_flag("window", grid / 2)?;
+    let stride = args.usize_flag("stride", window)?;
+    let pipe = MtsrPipeline::new(window, stride);
+    let geo = pipe.geometry(ds).map_err(|e| e.to_string())?;
+    Ok((pipe, geo))
+}
+
+fn cmd_serve(args: &Args) -> CmdOutcome {
+    args.expect_known(
+        "serve",
+        &[
+            "model",
+            "addr",
+            "instance",
+            "grid",
+            "days",
+            "s",
+            "seed",
+            "window",
+            "stride",
+            "batch",
+            "workers",
+            "queue",
+            "deadline-ms",
+            "linger-ms",
+            "exact",
+            "telemetry",
+        ],
+    )?;
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 4)?;
+    let s = args.usize_flag("s", 3)?;
+    let seed = args.u64_flag("seed", 42)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let model_path = args.get("model").ok_or("--model <ckpt> required")?;
+    let instance = parse_instance(args.get("instance"))?;
+    let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+    let mut gen = load_generator(&ds, model_path, s)?;
+    let (_pipe, geo) = sliding_setup(args, &ds, grid)?;
+    let cw = args.usize_flag("window", grid / 2)? / geo.probe;
+
+    let batch = args.usize_flag("batch", 4)?;
+    // BN folded into the weights by default (fastest); --exact keeps the
+    // BN-in-epilogue plan that is bit-identical to the eval forward.
+    let policy = if args.bool_flag("exact")? {
+        FusePolicy::Exact
+    } else {
+        FusePolicy::Folded
+    };
+    let exec = plan_zipnet(&mut gen, policy, batch, cw, cw).map_err(|e| e.to_string())?;
+
+    let cfg = ServeConfig {
+        addr,
+        queue_cap: args.usize_flag("queue", 64)?,
+        workers: args.usize_flag("workers", 2)?,
+        deadline: Duration::from_millis(args.u64_flag("deadline-ms", 2_000)?),
+        linger: Duration::from_millis(args.u64_flag("linger-ms", 2)?),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(&cfg, exec).map_err(|e| e.to_string())?;
+    signals::install();
+    println!(
+        "serving {model_path} on {} ({} windows [S={s}, {cw}x{cw}] -> [{}x{}] per replay, \
+         queue {}, {} workers; SIGTERM or a SHUTDOWN frame drains gracefully)",
+        handle.local_addr(),
+        batch,
+        cw * geo.probe,
+        cw * geo.probe,
+        cfg.queue_cap,
+        cfg.workers,
+    );
+    loop {
+        if signals::triggered() {
+            println!("termination signal: draining in-flight work...");
+            handle.request_shutdown();
+            break;
+        }
+        if handle.draining() {
+            println!("shutdown frame received: draining in-flight work...");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.join();
+    println!("drain complete; all admitted requests answered");
+    Ok(Vec::new())
+}
+
+fn cmd_client(args: &Args) -> CmdOutcome {
+    args.expect_known(
+        "client",
+        &[
+            "addr",
+            "status",
+            "shutdown",
+            "frames",
+            "instance",
+            "grid",
+            "days",
+            "s",
+            "seed",
+            "window",
+            "stride",
+            "telemetry",
+        ],
+    )?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+
+    if args.bool_flag("status")? {
+        print!("{}", client.status().map_err(|e| e.to_string())?);
+        return Ok(Vec::new());
+    }
+    if args.bool_flag("shutdown")? {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("shutdown acknowledged by {addr}; daemon is draining");
+        return Ok(Vec::new());
+    }
+
+    // Prediction mode: regenerate the dataset the daemon was started
+    // with (same flags, same seed) and stream test frames through it.
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 4)?;
+    let s = args.usize_flag("s", 3)?;
+    let seed = args.u64_flag("seed", 42)?;
+    let frames = args.usize_flag("frames", 1)?;
+    let instance = parse_instance(args.get("instance"))?;
+    let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+    let (_pipe, geo) = sliding_setup(args, &ds, grid)?;
+    let window = args.usize_flag("window", grid / 2)?;
+    let mut remote = RemotePredictor::new(client, geo.origins, window, geo.grid, geo.probe)
+        .map_err(|e| e.to_string())?;
+
+    let idx = ds.usable_indices(Split::Test);
+    let take = frames.min(idx.len());
+    for &t in idx.iter().take(take) {
+        let sample = ds.sample_at(t).map_err(|e| e.to_string())?;
+        let sq = sample.input.dims()[2];
+        let pred = remote
+            .predict_frame(sample.input.as_slice(), sq)
+            .map_err(|e| e.to_string())?;
+        let pred = ds.denormalize(&pred);
+        let truth = ds.fine_frame_raw(t).map_err(|e| e.to_string())?;
+        let e = nrmse(&pred, &truth).map_err(|e| e.to_string())?;
+        println!(
+            "t={t}: remote {}x{} frame, total {:.0} MB, NRMSE {e:.3}",
+            pred.dims()[0],
+            pred.dims()[1],
+            pred.sum()
+        );
+    }
+    println!("predicted {take} frame(s) via {addr}");
+    Ok(Vec::new())
+}
+
 /// Assembles and writes the `TelemetryReport` for a finished run: the
 /// command line as run metadata (sorted for byte-stable output), the
 /// training phases the subcommand produced, and the span/counter/gauge
 /// snapshot accumulated by the registry.
-fn write_telemetry(path: &str, cmd: &str, args: &Args, phases: Vec<PhaseReport>) -> Result<(), String> {
+fn write_telemetry(
+    path: &str,
+    cmd: &str,
+    args: &Args,
+    phases: Vec<PhaseReport>,
+) -> Result<(), String> {
     let mut run = vec![("command".to_string(), cmd.to_string())];
     let mut keys: Vec<&String> = args.flags.keys().collect();
     keys.sort();
@@ -438,6 +622,19 @@ fn usage() -> &'static str {
                      [--halt-after N]\n\
        mtsr eval     --model CKPT [--instance ...] [--grid N] [--seed S]\n\
        mtsr stream   --model CKPT [--frames N] [--instance ...] [--grid N] [--seed S]\n\
+       mtsr serve    --model CKPT [--addr HOST:PORT] [--batch B] [--workers W]\n\
+                     [--queue N] [--deadline-ms MS] [--linger-ms MS] [--exact]\n\
+                     [--window N] [--stride N] [--instance ...] [--grid N] [--seed S]\n\
+       mtsr client   [--addr HOST:PORT] (--status | --shutdown | [--frames N]\n\
+                     [--window N] [--stride N] [--instance ...] [--grid N] [--seed S])\n\
+     \n\
+     Serving: `serve` loads a checkpoint once, compiles a batched inference\n\
+     plan and answers low-res windows over a length-prefixed TCP protocol\n\
+     with dynamic batching, BUSY backpressure when the bounded queue is\n\
+     full, per-request deadlines and graceful drain on SIGTERM/SHUTDOWN.\n\
+     `client --frames N` reconstructs full test frames remotely (bit-\n\
+     identical to local inference when the policies match); `--status`\n\
+     prints queue depth, in-flight count and latency percentiles.\n\
      \n\
      Checkpointing: --out receives a crash-safe training container (weights,\n\
      Adam moments, RNG and schedule state). --checkpoint-every N also writes\n\
@@ -483,6 +680,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "eval" => cmd_eval(&args),
         "stream" => cmd_stream(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(Vec::new())

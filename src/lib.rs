@@ -16,14 +16,18 @@
 //!   streaming inference and anomaly detection
 //! * [`telemetry`] — metrics registry, scoped timers and the
 //!   `TelemetryReport` JSON schema (`mtsr --telemetry <path>`)
+//! * [`serve`] — concurrent TCP inference daemon with dynamic batching,
+//!   backpressure and graceful drain (`mtsr serve` / `mtsr client`)
 //!
 //! A command-line front-end ships as the `mtsr` binary
 //! (`cargo run --release --bin mtsr -- help`): deterministic
-//! simulate / train / eval / stream subcommands over the same API.
+//! simulate / train / eval / stream / serve / client subcommands over
+//! the same API.
 
 pub use mtsr_baselines as baselines;
 pub use mtsr_metrics as metrics;
 pub use mtsr_nn as nn;
+pub use mtsr_serve as serve;
 pub use mtsr_telemetry as telemetry;
 pub use mtsr_tensor as tensor;
 pub use mtsr_traffic as traffic;
@@ -39,7 +43,6 @@ pub mod prelude {
         ProbeLayout,
     };
     pub use zipnet_core::{
-        Discriminator, GanTrainer, GanTrainingConfig, MtsrModel, MtsrPipeline, ZipNet,
-        ZipNetConfig,
+        Discriminator, GanTrainer, GanTrainingConfig, MtsrModel, MtsrPipeline, ZipNet, ZipNetConfig,
     };
 }

@@ -142,12 +142,15 @@ fn generator_checkpoint_roundtrip_via_files() {
     let path = dir.join("gen.ckpt");
     io::save(model.generator_mut().expect("fitted"), &path).expect("save");
 
-    let mut restored = ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(999))
-        .expect("fresh generator");
+    let mut restored =
+        ZipNet::new(&ZipNetConfig::tiny(4, 3), &mut Rng::seed_from(999)).expect("fresh generator");
     io::load(&mut restored, &path).expect("load");
     let sample = ds.sample_at(t).expect("sample");
     let d = sample.input.dims().to_vec();
-    let x = sample.input.reshaped([1, d[0], d[1], d[2], d[3]]).expect("reshape");
+    let x = sample
+        .input
+        .reshaped([1, d[0], d[1], d[2], d[3]])
+        .expect("reshape");
     let after = restored.forward(&x, false).expect("forward");
     let after = after.reshaped([20, 20]).expect("reshape");
     for (a, b) in after.as_slice().iter().zip(before.as_slice()) {

@@ -35,7 +35,9 @@ fn generator_rejects_wrong_temporal_length() {
     let mut rng = Rng::seed_from(2);
     let mut gen = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).expect("generator");
     // S = 3 expected, feed S = 5.
-    let err = gen.forward(&Tensor::zeros([1, 1, 5, 4, 4]), false).unwrap_err();
+    let err = gen
+        .forward(&Tensor::zeros([1, 1, 5, 4, 4]), false)
+        .unwrap_err();
     assert!(matches!(err, TensorError::InvalidShape { .. }), "{err}");
 }
 
@@ -70,7 +72,9 @@ fn predict_before_fit_is_a_typed_error_everywhere() {
     assert!(SparseCodingSr::default().predict(&ds, t).is_err());
     assert!(AplusSr::default().predict(&ds, t).is_err());
     use zipnet_gan::baselines::srcnn::SrcnnConfig;
-    assert!(SrcnnSr::with_config(SrcnnConfig::tiny()).predict(&ds, t).is_err());
+    assert!(SrcnnSr::with_config(SrcnnConfig::tiny())
+        .predict(&ds, t)
+        .is_err());
 }
 
 #[test]

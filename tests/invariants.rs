@@ -55,7 +55,10 @@ fn upsample_then_aggregate_is_identity() {
         let up = layout.uniform_upsample(&means).expect("upsample");
         let means2 = layout.aggregate(&up).expect("re-aggregate");
         for (a, b) in means.iter().zip(&means2) {
-            assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "case {case}: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+                "case {case}: {a} vs {b}"
+            );
         }
     }
 }
@@ -71,7 +74,10 @@ fn nrmse_joint_scale_invariance() {
         let k = rng.uniform(0.1, 50.0);
         let a = nrmse(&pred, &truth).expect("nrmse");
         let b = nrmse(&pred.scale(k), &truth.scale(k)).expect("nrmse scaled");
-        assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "case {case}: {a} vs {b} (k = {k})");
+        assert!(
+            (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+            "case {case}: {a} vs {b} (k = {k})"
+        );
     }
 }
 
@@ -127,7 +133,10 @@ fn crop_reassemble_identity() {
     for case in 0..CASES {
         let mut rng = case_rng(47, case);
         let snap = finite_grid(12, 0.0, 100.0, &mut rng);
-        let cfg = AugmentConfig { window: 8, stride: 2 };
+        let cfg = AugmentConfig {
+            window: 8,
+            stride: 2,
+        };
         let windows: Vec<((usize, usize), Tensor)> = cfg
             .offsets(12)
             .expect("offsets")

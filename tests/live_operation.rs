@@ -111,5 +111,10 @@ fn detector_on_inferred_maps_flags_an_event() {
     );
     // ...and lands near the event (within the probe's 4-cell footprint +1).
     let dist = ((best.y as f32 - 6.0).powi(2) + (best.x as f32 - 6.0).powi(2)).sqrt();
-    assert!(dist <= 5.0, "flag at ({}, {}), {dist:.1} cells away", best.y, best.x);
+    assert!(
+        dist <= 5.0,
+        "flag at ({}, {}), {dist:.1} cells away",
+        best.y,
+        best.x
+    );
 }

@@ -54,8 +54,8 @@ fn scratch(tag: &str) -> PathBuf {
 /// adversarial iterations).
 fn plan(out: &Path) -> Vec<String> {
     let mut v: Vec<String> = [
-        "train", "--grid", "20", "--days", "3", "--s", "3", "--steps", "6", "--gan", "--adv",
-        "3", "--seed", "7", "--out",
+        "train", "--grid", "20", "--days", "3", "--s", "3", "--steps", "6", "--gan", "--adv", "3",
+        "--seed", "7", "--out",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -116,8 +116,17 @@ fn halted_run_resumed_in_fresh_process_matches_uninterrupted_run_bitwise() {
 
     // And the container evaluates (container-aware eval path).
     let eval = run_ok(&[
-        "eval", "--model", part.to_str().unwrap(), "--grid", "20", "--days", "3", "--s", "3",
-        "--seed", "7",
+        "eval",
+        "--model",
+        part.to_str().unwrap(),
+        "--grid",
+        "20",
+        "--days",
+        "3",
+        "--s",
+        "3",
+        "--seed",
+        "7",
     ]);
     assert!(eval.contains("NRMSE"), "{eval}");
 
@@ -162,8 +171,19 @@ fn weights_only_checkpoints_still_evaluate_identically() {
 
     // stream accepts the legacy file too.
     let stream = run_ok(&[
-        "stream", "--model", legacy.to_str().unwrap(), "--grid", "20", "--days", "3", "--s",
-        "3", "--seed", "7", "--frames", "5",
+        "stream",
+        "--model",
+        legacy.to_str().unwrap(),
+        "--grid",
+        "20",
+        "--days",
+        "3",
+        "--s",
+        "3",
+        "--seed",
+        "7",
+        "--frames",
+        "5",
     ]);
     assert!(stream.contains("inferred"), "{stream}");
 
@@ -188,8 +208,23 @@ fn mismatched_fingerprint_and_future_version_are_rejected() {
     // Resuming with a different seed (different data) names both
     // fingerprints and the flags to fix.
     let err = run_err(&[
-        "train", "--grid", "20", "--days", "3", "--s", "3", "--steps", "6", "--gan", "--adv",
-        "3", "--seed", "8", "--out", out.to_str().unwrap(), "--resume",
+        "train",
+        "--grid",
+        "20",
+        "--days",
+        "3",
+        "--s",
+        "3",
+        "--steps",
+        "6",
+        "--gan",
+        "--adv",
+        "3",
+        "--seed",
+        "8",
+        "--out",
+        out.to_str().unwrap(),
+        "--resume",
         snapshot.to_str().unwrap(),
     ]);
     assert!(err.contains("fingerprint mismatch"), "{err}");

@@ -39,7 +39,12 @@ fn instrumented_run(ds: &Dataset, seed: u64) -> TelemetryReport {
     let mut model = MtsrModel::zipnet_gan(ArchScale::Tiny, train_cfg());
     model.fit(ds, &mut Rng::seed_from(seed)).unwrap();
     let mut report = TelemetryReport::new(vec![("seed".into(), seed.to_string())]);
-    report.phases = model.report.as_ref().expect("fit stores report").phases.clone();
+    report.phases = model
+        .report
+        .as_ref()
+        .expect("fit stores report")
+        .phases
+        .clone();
     report.attach_snapshot(&telemetry::snapshot());
     report
 }
@@ -48,6 +53,11 @@ fn instrumented_run(ds: &Dataset, seed: u64) -> TelemetryReport {
 // function — parallel test threads must not interleave enable/reset.
 #[test]
 fn tiny_algorithm1_run_produces_coherent_telemetry() {
+    // The worker pool spawns lazily on the first parallel job and records a
+    // process-lifetime `workers_spawned` counter. Warm it up before the
+    // first instrumented run so same-seed reruns see identical counters.
+    zipnet_gan::tensor::parallel::par_chunks_mut(&mut [0f32; 4096], 64, |_, _| {});
+
     let ds = tiny_dataset(11);
     let report = instrumented_run(&ds, 13);
 
@@ -64,9 +74,8 @@ fn tiny_algorithm1_run_produces_coherent_telemetry() {
     // Pre-training MSE is non-increasing over a window: the mean over the
     // last third must not exceed the mean over the first third.
     let third = PRETRAIN_STEPS / 3;
-    let mean = |es: &[telemetry::EpochRecord]| {
-        es.iter().map(|e| e.g_loss).sum::<f64>() / es.len() as f64
-    };
+    let mean =
+        |es: &[telemetry::EpochRecord]| es.iter().map(|e| e.g_loss).sum::<f64>() / es.len() as f64;
     let head = mean(&pre.epochs[..third]);
     let tail = mean(&pre.epochs[PRETRAIN_STEPS - third..]);
     assert!(
