@@ -22,8 +22,8 @@ use mtsr_traffic::augment::ReassemblePlan;
 use zipnet_core::pipeline::crop_coarse;
 
 use crate::protocol::{
-    read_response, write_request, InferRequest, InferResponse, Opcode, RespStatus, Response,
-    ServerInfo,
+    read_response, write_request, InferRequest, InferResponse, Opcode, ReloadRequest, RespStatus,
+    Response, ServerInfo,
 };
 
 /// Terminal outcome of one INFER request.
@@ -78,11 +78,41 @@ impl ServeClient {
         Ok(resp)
     }
 
-    /// Fetches the daemon's planned geometry.
+    /// Fetches the daemon's planned geometry for model 0.
     pub fn info(&mut self) -> io::Result<ServerInfo> {
-        let resp = self.roundtrip(Opcode::Info, &[])?;
+        self.info_for(0)
+    }
+
+    /// Fetches the planned geometry of one registered model.
+    pub fn info_for(&mut self, model: u32) -> io::Result<ServerInfo> {
+        let resp = self.roundtrip(Opcode::Info, &model.to_le_bytes())?;
         expect_ok(&resp, "INFO")?;
         ServerInfo::decode(&resp.payload)
+    }
+
+    /// Asks the daemon to hot-reload one model from `source` (empty =
+    /// the model's recorded checkpoint source). Blocks until the swap
+    /// completes; returns the new plan generation.
+    pub fn reload(&mut self, model: u32, source: &str) -> io::Result<u32> {
+        let payload = ReloadRequest {
+            model,
+            source: source.to_string(),
+        }
+        .encode();
+        let resp = self.roundtrip(Opcode::Reload, &payload)?;
+        expect_ok(&resp, "RELOAD")?;
+        if resp.payload.len() != 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "RELOAD reply should carry the 4-byte new generation",
+            ));
+        }
+        Ok(u32::from_le_bytes([
+            resp.payload[0],
+            resp.payload[1],
+            resp.payload[2],
+            resp.payload[3],
+        ]))
     }
 
     /// Fetches the plaintext status report.
@@ -149,6 +179,7 @@ fn outcome_of(resp: Response) -> io::Result<InferOutcome> {
 /// reassembles replies in origin order for a bit-identical frame.
 pub struct RemotePredictor {
     client: ServeClient,
+    model: u32,
     info: ServerInfo,
     probe: usize,
     origins: Vec<(usize, usize)>,
@@ -167,13 +198,27 @@ impl RemotePredictor {
     /// [`InferSession::origins`]: zipnet_core::pipeline::InferSession::origins
     /// [`InferSession::window`]: zipnet_core::pipeline::InferSession::window
     pub fn new(
-        mut client: ServeClient,
+        client: ServeClient,
         origins: Vec<(usize, usize)>,
         window: usize,
         grid: usize,
         probe: usize,
     ) -> io::Result<RemotePredictor> {
-        let info = client.info()?;
+        RemotePredictor::for_model(client, 0, origins, window, grid, probe)
+    }
+
+    /// Like [`new`](Self::new) but routed to one tenant of a
+    /// multi-model daemon: geometry is validated against — and every
+    /// request stamped with — `model`.
+    pub fn for_model(
+        mut client: ServeClient,
+        model: u32,
+        origins: Vec<(usize, usize)>,
+        window: usize,
+        grid: usize,
+        probe: usize,
+    ) -> io::Result<RemotePredictor> {
+        let info = client.info_for(model)?;
         let cw = window / probe;
         if info.h as usize != cw || info.w as usize != cw || info.out_h as usize != window {
             return Err(io::Error::other(format!(
@@ -187,6 +232,7 @@ impl RemotePredictor {
         let max_inflight = (info.queue_cap as usize).clamp(1, 8);
         Ok(RemotePredictor {
             client,
+            model,
             info,
             probe,
             origins,
@@ -248,6 +294,7 @@ impl RemotePredictor {
                     &mut crop,
                 );
                 let req = InferRequest {
+                    model: self.model,
                     deadline_ms: 0,
                     s: self.info.s,
                     h: self.info.h,

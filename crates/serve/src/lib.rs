@@ -1,29 +1,43 @@
 //! `mtsr-serve`: a zero-dependency concurrent inference daemon for
 //! compiled ZipNet plans, plus the matching protocol client.
 //!
-//! The crate splits into three layers:
+//! The crate splits into five layers:
 //!
 //! * [`protocol`] — the length-prefixed binary wire format (framing,
-//!   opcodes, payload codecs). Pure functions over `Read`/`Write`.
+//!   opcodes, payload codecs) plus the incremental [`FrameAssembler`]
+//!   the event loop parses non-blocking byte streams with.
 //! * [`queue`] — the bounded MPMC admission queue whose contract
 //!   (`try_push` never blocks, `Closed` only after drain) encodes the
 //!   daemon's backpressure and graceful-shutdown guarantees.
-//! * [`server`] / [`client`] — the daemon (accept loop, per-connection
-//!   reader/writer threads, dynamic batchers over forked executors) and
-//!   the client (single-shot calls plus a pipelined [`RemotePredictor`]
-//!   that reconstructs full frames bit-identically to a local
-//!   [`zipnet_core::pipeline::InferSession`]).
+//! * [`poller`] — the readiness-polling abstraction (epoll on Linux,
+//!   `poll(2)` on other unix) the event loop multiplexes thousands of
+//!   connections on, with a fixed thread count.
+//! * `registry` *(internal)* — the multi-model tenant table: named
+//!   slots of atomically swappable plans with generation counters, the
+//!   substrate of hot reload. Its public faces are [`ModelSpec`] and
+//!   [`Planner`].
+//! * [`server`] / [`client`] — the daemon (event-loop front-end, shared
+//!   batcher pool over per-model executors, `RELOAD`/`SIGHUP` hot
+//!   reload) and the client (single-shot calls plus a pipelined
+//!   [`RemotePredictor`] that reconstructs full frames bit-identically
+//!   to a local [`zipnet_core::pipeline::InferSession`]).
 //!
-//! Everything is `std`-only: TCP via `std::net`, threads and channels
-//! via `std::sync`, signals via the libc `signal(2)` std already links.
+//! Everything is `std`-only: TCP via `std::net`, threads via
+//! `std::sync`, epoll/poll/signals via the libc std already links.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poller;
 pub mod protocol;
 pub mod queue;
+mod registry;
 pub mod server;
 
 pub use client::{InferOutcome, RemotePredictor, ServeClient};
-pub use protocol::{InferRequest, InferResponse, Opcode, RespStatus, ServerInfo};
+pub use protocol::{
+    Assembled, FrameAssembler, FrameFatal, InferRequest, InferResponse, Opcode, ReloadRequest,
+    RespStatus, ServerInfo,
+};
+pub use registry::{ModelSpec, Planner};
 pub use server::{signals, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,459 @@
+//! Readiness polling for the event-loop front-end, `std`-only in the
+//! same spirit as [`crate::server::signals`]: the only platform surface
+//! used is the libc std already links, declared with small `extern "C"`
+//! bindings instead of an external crate.
+//!
+//! Three backends behind one API:
+//!
+//! * **Linux** — `epoll(7)`: O(ready) wakeups, which is what lets one
+//!   thread hold thousands of idle probe connections.
+//! * **Other unix** — `poll(2)`: O(registered) scans, same semantics.
+//! * **Elsewhere** — a stub whose [`Poller::new`] reports the platform
+//!   unsupported; the rest of the crate (protocol, queue, client) stays
+//!   fully portable.
+//!
+//! The [`Waker`]/[`WakeReceiver`] pair is a connected loopback UDP
+//! socket pair (pure `std`): batcher threads send a byte to pull the
+//! event loop out of its wait when a completion is ready. Wakes may
+//! coalesce or drop under extreme pressure, so the event loop also
+//! bounds its wait with a timeout and drains completions every
+//! iteration — a waker is a latency optimisation, never a correctness
+//! dependency.
+
+use std::io;
+use std::net::UdpSocket;
+
+/// Identifies one registered event source in [`PollEvent`]s.
+pub type Token = u64;
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the source was registered under.
+    pub token: Token,
+    /// The source is readable (or has an EOF/error to report via read).
+    pub readable: bool,
+    /// The source is writable.
+    pub writable: bool,
+    /// Peer hangup or error; a read will surface the exact condition.
+    pub hangup: bool,
+}
+
+#[cfg(unix)]
+pub use self::unix::{raw_fd, Poller, SockFd};
+
+#[cfg(not(unix))]
+pub use self::stub::{raw_fd, Poller, SockFd};
+
+#[cfg(unix)]
+mod unix {
+    use std::time::Duration;
+
+    /// A raw socket descriptor as the poller sees it.
+    pub type SockFd = std::os::unix::io::RawFd;
+
+    /// The raw descriptor of any socket-like std type.
+    pub fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> SockFd {
+        t.as_raw_fd()
+    }
+
+    fn timeout_ms(timeout: Option<Duration>) -> i32 {
+        match timeout {
+            // Clamped to [1ms, 60s]: sub-millisecond waits must not spin.
+            Some(d) => i32::try_from(d.as_millis().clamp(1, 60_000)).unwrap_or(60_000),
+            None => -1,
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub use linux::Poller;
+
+    #[cfg(target_os = "linux")]
+    mod linux {
+        use super::super::{PollEvent, Token};
+        use std::io;
+        use std::time::Duration;
+
+        // x86-64 is the one ABI where the kernel packs epoll_event.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        struct EpollEvent {
+            events: u32,
+            data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: i32) -> i32;
+            fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+            fn close(fd: i32) -> i32;
+        }
+
+        const EPOLL_CTL_ADD: i32 = 1;
+        const EPOLL_CTL_DEL: i32 = 2;
+        const EPOLL_CTL_MOD: i32 = 3;
+        const EPOLLIN: u32 = 0x001;
+        const EPOLLOUT: u32 = 0x004;
+        const EPOLLERR: u32 = 0x008;
+        const EPOLLHUP: u32 = 0x010;
+        const EPOLLRDHUP: u32 = 0x2000;
+        const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+        /// The Linux epoll backend.
+        pub struct Poller {
+            epfd: i32,
+            buf: Vec<EpollEvent>,
+        }
+
+        impl Poller {
+            /// Creates the epoll instance.
+            pub fn new() -> io::Result<Poller> {
+                let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(Poller {
+                    epfd,
+                    buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+                })
+            }
+
+            fn ctl(&self, op: i32, fd: i32, mut ev: EpollEvent) -> io::Result<()> {
+                if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+
+            fn mask(readable: bool, writable: bool) -> u32 {
+                let mut m = EPOLLRDHUP;
+                if readable {
+                    m |= EPOLLIN;
+                }
+                if writable {
+                    m |= EPOLLOUT;
+                }
+                m
+            }
+
+            /// Starts watching `fd` under `token`.
+            pub fn register(
+                &mut self,
+                fd: i32,
+                token: Token,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                self.ctl(
+                    EPOLL_CTL_ADD,
+                    fd,
+                    EpollEvent {
+                        events: Self::mask(readable, writable),
+                        data: token,
+                    },
+                )
+            }
+
+            /// Changes the interest set of a registered `fd`.
+            pub fn reregister(
+                &mut self,
+                fd: i32,
+                token: Token,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                self.ctl(
+                    EPOLL_CTL_MOD,
+                    fd,
+                    EpollEvent {
+                        events: Self::mask(readable, writable),
+                        data: token,
+                    },
+                )
+            }
+
+            /// Stops watching `fd`.
+            pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+                self.ctl(EPOLL_CTL_DEL, fd, EpollEvent { events: 0, data: 0 })
+            }
+
+            /// Waits for readiness, appending to `out`. A timeout or an
+            /// interrupted wait simply yields no events.
+            pub fn wait(
+                &mut self,
+                out: &mut Vec<PollEvent>,
+                timeout: Option<Duration>,
+            ) -> io::Result<()> {
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        super::timeout_ms(timeout),
+                    )
+                };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
+                for ev in &self.buf[..n as usize] {
+                    let bits = ev.events;
+                    out.push(PollEvent {
+                        token: ev.data,
+                        readable: bits & EPOLLIN != 0,
+                        writable: bits & EPOLLOUT != 0,
+                        hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+
+        impl Drop for Poller {
+            fn drop(&mut self) {
+                unsafe {
+                    close(self.epfd);
+                }
+            }
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub use portable::Poller;
+
+    #[cfg(not(target_os = "linux"))]
+    mod portable {
+        use super::super::{PollEvent, Token};
+        use std::io;
+        use std::time::Duration;
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        struct PollFd {
+            fd: i32,
+            events: i16,
+            revents: i16,
+        }
+
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        }
+
+        const POLLIN: i16 = 0x001;
+        const POLLOUT: i16 = 0x004;
+        const POLLERR: i16 = 0x008;
+        const POLLHUP: i16 = 0x010;
+
+        /// The portable `poll(2)` backend for non-Linux unix.
+        pub struct Poller {
+            fds: Vec<PollFd>,
+            tokens: Vec<Token>,
+        }
+
+        impl Poller {
+            /// Creates an empty registration table.
+            pub fn new() -> io::Result<Poller> {
+                Ok(Poller {
+                    fds: Vec::new(),
+                    tokens: Vec::new(),
+                })
+            }
+
+            fn events(readable: bool, writable: bool) -> i16 {
+                (if readable { POLLIN } else { 0 }) | (if writable { POLLOUT } else { 0 })
+            }
+
+            /// Starts watching `fd` under `token`.
+            pub fn register(
+                &mut self,
+                fd: i32,
+                token: Token,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                self.fds.push(PollFd {
+                    fd,
+                    events: Self::events(readable, writable),
+                    revents: 0,
+                });
+                self.tokens.push(token);
+                Ok(())
+            }
+
+            /// Changes the interest set of a registered `fd`.
+            pub fn reregister(
+                &mut self,
+                fd: i32,
+                token: Token,
+                readable: bool,
+                writable: bool,
+            ) -> io::Result<()> {
+                for (p, t) in self.fds.iter_mut().zip(&mut self.tokens) {
+                    if p.fd == fd {
+                        p.events = Self::events(readable, writable);
+                        *t = token;
+                        return Ok(());
+                    }
+                }
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+            }
+
+            /// Stops watching `fd`.
+            pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+                if let Some(i) = self.fds.iter().position(|p| p.fd == fd) {
+                    self.fds.swap_remove(i);
+                    self.tokens.swap_remove(i);
+                    Ok(())
+                } else {
+                    Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+                }
+            }
+
+            /// Waits for readiness, appending to `out`.
+            pub fn wait(
+                &mut self,
+                out: &mut Vec<PollEvent>,
+                timeout: Option<Duration>,
+            ) -> io::Result<()> {
+                let n = unsafe {
+                    poll(
+                        self.fds.as_mut_ptr(),
+                        self.fds.len() as u64,
+                        super::timeout_ms(timeout),
+                    )
+                };
+                if n < 0 {
+                    let e = io::Error::last_os_error();
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
+                for (p, &t) in self.fds.iter().zip(&self.tokens) {
+                    if p.revents != 0 {
+                        out.push(PollEvent {
+                            token: t,
+                            readable: p.revents & POLLIN != 0,
+                            writable: p.revents & POLLOUT != 0,
+                            hangup: p.revents & (POLLERR | POLLHUP) != 0,
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod stub {
+    use super::{PollEvent, Token};
+    use std::io;
+    use std::time::Duration;
+
+    /// Placeholder descriptor type off unix.
+    pub type SockFd = i32;
+
+    /// No raw descriptors off unix; the stub poller never runs.
+    pub fn raw_fd<T>(_t: &T) -> SockFd {
+        0
+    }
+
+    /// Stub backend: construction fails, so [`crate::server::Server`]
+    /// reports the platform unsupported instead of failing to compile.
+    pub struct Poller;
+
+    impl Poller {
+        /// Always fails off unix.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the event-loop server requires a unix platform (epoll/poll)",
+            ))
+        }
+
+        /// Unreachable off unix.
+        pub fn register(
+            &mut self,
+            _fd: SockFd,
+            _token: Token,
+            _readable: bool,
+            _writable: bool,
+        ) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable off unix.
+        pub fn reregister(
+            &mut self,
+            _fd: SockFd,
+            _token: Token,
+            _readable: bool,
+            _writable: bool,
+        ) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable off unix.
+        pub fn deregister(&mut self, _fd: SockFd) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+
+        /// Unreachable off unix.
+        pub fn wait(
+            &mut self,
+            _out: &mut Vec<PollEvent>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            unreachable!("stub poller cannot be constructed")
+        }
+    }
+}
+
+/// The sending half of the event-loop wake channel; clone-free and
+/// callable from any thread via `&self`.
+pub struct Waker {
+    tx: UdpSocket,
+}
+
+impl Waker {
+    /// Nudges the event loop out of its wait. Best-effort: a dropped
+    /// datagram only costs one poll-timeout of latency.
+    pub fn wake(&self) {
+        let _ = self.tx.send(&[1]);
+    }
+}
+
+/// The receiving half, registered in the [`Poller`].
+pub struct WakeReceiver {
+    rx: UdpSocket,
+}
+
+impl WakeReceiver {
+    /// The socket to register for readability.
+    pub fn socket(&self) -> &UdpSocket {
+        &self.rx
+    }
+
+    /// Swallows all pending wake bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+}
+
+/// Builds a connected loopback UDP pair used as the wake channel.
+pub fn wake_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let rx = UdpSocket::bind(("127.0.0.1", 0))?;
+    let tx = UdpSocket::bind(("127.0.0.1", 0))?;
+    tx.connect(rx.local_addr()?)?;
+    // Guard against stray datagrams: only the tx half may deliver.
+    rx.connect(tx.local_addr()?)?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}

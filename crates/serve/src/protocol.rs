@@ -13,11 +13,32 @@
 //!
 //! Opcodes: [`Opcode::Infer`] (low-res window in, high-res window out),
 //! [`Opcode::Info`] (binary server geometry), [`Opcode::Status`]
-//! (plaintext health/queue/latency report) and [`Opcode::Shutdown`]
-//! (graceful drain). Every reply carries a [`RespStatus`]; `BUSY` is the
-//! backpressure signal — the queue was full and the request was *not*
-//! admitted — and `TIMEOUT` means the request missed its deadline while
-//! queued and was never executed.
+//! (plaintext health/queue/latency report), [`Opcode::Shutdown`]
+//! (graceful drain) and [`Opcode::Reload`] (zero-downtime model swap).
+//! Every reply carries a [`RespStatus`]; `BUSY` is the backpressure
+//! signal — the queue was full and the request was *not* admitted — and
+//! `TIMEOUT` means the request missed its deadline while queued and was
+//! never executed.
+//!
+//! # Multi-model tenancy
+//!
+//! One daemon serves many registered models (one per city / upscaling
+//! factor). An [`InferRequest`] names its tenant with a `model` id;
+//! replies echo the id plus the **plan generation** that served them —
+//! a counter bumped by every hot reload, so a client can always tell
+//! which weight snapshot produced a frame (the unit of the bit-identity
+//! guarantee). [`Opcode::Info`] takes an optional 4-byte model id in its
+//! payload and reports that tenant's geometry.
+//!
+//! # Incremental framing
+//!
+//! The readiness-polled server never blocks on a socket, so it cannot
+//! use the blocking [`read_request`] path. [`FrameAssembler`] is the
+//! non-blocking counterpart: bytes go in as they arrive, complete frames
+//! come out; a partial frame simply stays buffered (slow senders hold
+//! their own bytes, nobody else's thread). The 64 MiB cap is enforced on
+//! the *length field* before any payload is buffered, so a forged length
+//! can neither allocate nor accumulate unboundedly.
 
 use std::io::{self, Read, Write};
 
@@ -42,24 +63,33 @@ pub enum Opcode {
     /// Trigger a graceful drain: stop admitting, answer everything
     /// already queued, then exit.
     Shutdown,
+    /// Swap a freshly planned checkpoint into one model slot without
+    /// dropping a request ([`ReloadRequest`] payload). The `OK` reply
+    /// carries the new plan generation as a little-endian `u32`.
+    Reload,
 }
 
 impl Opcode {
-    fn to_u8(self) -> u8 {
+    /// The wire byte for this opcode.
+    pub fn to_u8(self) -> u8 {
         match self {
             Opcode::Infer => 1,
             Opcode::Info => 2,
             Opcode::Status => 3,
             Opcode::Shutdown => 4,
+            Opcode::Reload => 5,
         }
     }
 
-    fn from_u8(v: u8) -> io::Result<Self> {
+    /// Parses a wire byte; unknown values are an error (the framing
+    /// layer reports them as recoverable [`Assembled::UnknownOpcode`]).
+    pub fn from_u8(v: u8) -> io::Result<Self> {
         match v {
             1 => Ok(Opcode::Infer),
             2 => Ok(Opcode::Info),
             3 => Ok(Opcode::Status),
             4 => Ok(Opcode::Shutdown),
+            5 => Ok(Opcode::Reload),
             other => Err(bad_data(format!("unknown opcode {other}"))),
         }
     }
@@ -273,9 +303,11 @@ fn field_u32(bytes: &[u8], off: usize) -> u32 {
 }
 
 /// Payload of an [`Opcode::Infer`] request: one `[s, h, w]` low-res
-/// window plus its per-request deadline.
+/// window plus its tenant model id and per-request deadline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferRequest {
+    /// Registered model this window is routed to (0 = first model).
+    pub model: u32,
     /// Per-request deadline in milliseconds; 0 selects the server default.
     pub deadline_ms: u32,
     /// Temporal length of the window.
@@ -291,8 +323,8 @@ pub struct InferRequest {
 impl InferRequest {
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.data.len() * 4);
-        for v in [self.deadline_ms, self.s, self.h, self.w] {
+        let mut out = Vec::with_capacity(20 + self.data.len() * 4);
+        for v in [self.model, self.deadline_ms, self.s, self.h, self.w] {
             out.extend_from_slice(&v.to_le_bytes());
         }
         push_f32s(&mut out, &self.data);
@@ -301,24 +333,27 @@ impl InferRequest {
 
     /// Parses the payload, validating the element count.
     pub fn decode(bytes: &[u8]) -> io::Result<InferRequest> {
-        if bytes.len() < 16 {
+        if bytes.len() < 20 {
             return Err(bad_data("INFER payload shorter than its header".into()));
         }
-        let (deadline_ms, s, h, w) = (
+        let (model, deadline_ms, s, h, w) = (
             field_u32(bytes, 0),
             field_u32(bytes, 4),
             field_u32(bytes, 8),
             field_u32(bytes, 12),
+            field_u32(bytes, 16),
         );
-        let data = parse_f32s(&bytes[16..])?;
-        let want = (s as usize) * (h as usize) * (w as usize);
-        if data.len() != want {
+        let data = parse_f32s(&bytes[20..])?;
+        // u128 math: a forged [s, h, w] of u32::MAX each reaches 2^96.
+        let want = (s as u128) * (h as u128) * (w as u128);
+        if data.len() as u128 != want {
             return Err(bad_data(format!(
                 "INFER window [{s}, {h}, {w}] wants {want} values, payload has {}",
                 data.len()
             )));
         }
         Ok(InferRequest {
+            model,
             deadline_ms,
             s,
             h,
@@ -329,9 +364,15 @@ impl InferRequest {
 }
 
 /// Payload of a successful [`Opcode::Infer`] response: the high-res
-/// `[h, w]` window.
+/// `[h, w]` window, stamped with the model and plan generation that
+/// produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InferResponse {
+    /// The model that served the window (echo of the request's id).
+    pub model: u32,
+    /// Plan generation of the weights that produced the window; bumped
+    /// by every hot reload of this model.
+    pub generation: u32,
     /// Fine window height.
     pub h: u32,
     /// Fine window width.
@@ -343,36 +384,90 @@ pub struct InferResponse {
 impl InferResponse {
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.data.len() * 4);
-        out.extend_from_slice(&self.h.to_le_bytes());
-        out.extend_from_slice(&self.w.to_le_bytes());
+        let mut out = Vec::with_capacity(16 + self.data.len() * 4);
+        for v in [self.model, self.generation, self.h, self.w] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
         push_f32s(&mut out, &self.data);
         out
     }
 
     /// Parses the payload, validating the element count.
     pub fn decode(bytes: &[u8]) -> io::Result<InferResponse> {
-        if bytes.len() < 8 {
+        if bytes.len() < 16 {
             return Err(bad_data("INFER response shorter than its header".into()));
         }
-        let (h, w) = (field_u32(bytes, 0), field_u32(bytes, 4));
-        let data = parse_f32s(&bytes[8..])?;
-        if data.len() != (h as usize) * (w as usize) {
+        let (model, generation, h, w) = (
+            field_u32(bytes, 0),
+            field_u32(bytes, 4),
+            field_u32(bytes, 8),
+            field_u32(bytes, 12),
+        );
+        let data = parse_f32s(&bytes[16..])?;
+        if data.len() as u64 != (h as u64) * (w as u64) {
             return Err(bad_data(format!(
                 "INFER response [{h}, {w}] wants {} values, payload has {}",
-                (h as usize) * (w as usize),
+                (h as u64) * (w as u64),
                 data.len()
             )));
         }
-        Ok(InferResponse { h, w, data })
+        Ok(InferResponse {
+            model,
+            generation,
+            h,
+            w,
+            data,
+        })
     }
 }
 
-/// Payload of an [`Opcode::Info`] response: the geometry the daemon's
-/// plan is specialised for, so clients can size windows without
-/// out-of-band configuration.
+/// Payload of an [`Opcode::Reload`] request: which model slot to swap
+/// and where the fresh checkpoint lives. An empty source asks the
+/// server to re-plan from the model's currently recorded source (the
+/// SIGHUP semantics, available per-model over the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadRequest {
+    /// Registered model slot to swap.
+    pub model: u32,
+    /// Checkpoint source (a path for the daemon's planner); empty means
+    /// "re-plan from the recorded source".
+    pub source: String,
+}
+
+impl ReloadRequest {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.source.len());
+        out.extend_from_slice(&self.model.to_le_bytes());
+        out.extend_from_slice(self.source.as_bytes());
+        out
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> io::Result<ReloadRequest> {
+        if bytes.len() < 4 {
+            return Err(bad_data("RELOAD payload shorter than its header".into()));
+        }
+        let model = field_u32(bytes, 0);
+        let source = std::str::from_utf8(&bytes[4..])
+            .map_err(|e| bad_data(format!("RELOAD source is not UTF-8: {e}")))?
+            .to_string();
+        Ok(ReloadRequest { model, source })
+    }
+}
+
+/// Payload of an [`Opcode::Info`] response: the geometry one registered
+/// model's plan is specialised for, so clients can size windows without
+/// out-of-band configuration. An [`Opcode::Info`] *request* carries
+/// either an empty payload (model 0) or a 4-byte little-endian model id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerInfo {
+    /// The model this geometry describes.
+    pub model: u32,
+    /// The model's current plan generation.
+    pub generation: u32,
+    /// Number of models registered in the daemon.
+    pub model_count: u32,
     /// Temporal length the plan expects.
     pub s: u32,
     /// Coarse window height.
@@ -394,8 +489,11 @@ pub struct ServerInfo {
 impl ServerInfo {
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32);
+        let mut out = Vec::with_capacity(44);
         for v in [
+            self.model,
+            self.generation,
+            self.model_count,
             self.s,
             self.h,
             self.w,
@@ -412,22 +510,171 @@ impl ServerInfo {
 
     /// Parses the payload.
     pub fn decode(bytes: &[u8]) -> io::Result<ServerInfo> {
-        if bytes.len() != 32 {
+        if bytes.len() != 44 {
             return Err(bad_data(format!(
-                "INFO payload must be 32 bytes, got {}",
+                "INFO payload must be 44 bytes, got {}",
                 bytes.len()
             )));
         }
         Ok(ServerInfo {
-            s: field_u32(bytes, 0),
-            h: field_u32(bytes, 4),
-            w: field_u32(bytes, 8),
-            out_h: field_u32(bytes, 12),
-            out_w: field_u32(bytes, 16),
-            batch: field_u32(bytes, 20),
-            queue_cap: field_u32(bytes, 24),
-            deadline_ms: field_u32(bytes, 28),
+            model: field_u32(bytes, 0),
+            generation: field_u32(bytes, 4),
+            model_count: field_u32(bytes, 8),
+            s: field_u32(bytes, 12),
+            h: field_u32(bytes, 16),
+            w: field_u32(bytes, 20),
+            out_h: field_u32(bytes, 24),
+            out_w: field_u32(bytes, 28),
+            batch: field_u32(bytes, 32),
+            queue_cap: field_u32(bytes, 36),
+            deadline_ms: field_u32(bytes, 40),
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental framing for the non-blocking event loop
+// ---------------------------------------------------------------------------
+
+/// Bytes in a request-frame header: magic(4) + opcode(1) + id(8) + len(4).
+pub const FRAME_HEADER: usize = 17;
+
+/// One outcome of [`FrameAssembler::next`].
+#[derive(Debug)]
+pub enum Assembled {
+    /// A complete, well-formed request frame.
+    Frame(Request),
+    /// The header was intact (magic and length sane) but the opcode is
+    /// unknown. The whole frame has been consumed, so the stream is
+    /// still in sync — answer `ERR` with the echoed id and keep going.
+    UnknownOpcode {
+        /// The unrecognised opcode byte.
+        op: u8,
+        /// The client-chosen id, still echoable.
+        id: u64,
+    },
+}
+
+/// An unrecoverable framing violation: the stream can no longer be
+/// resynchronised and the connection must be closed (after a
+/// best-effort `ERR` reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameFatal {
+    /// The 4 bytes where a frame must start are not `MTRQ`.
+    BadMagic(u32),
+    /// The length field exceeds [`MAX_PAYLOAD`]; detected before any
+    /// payload byte is buffered. The id was already parsed, so the
+    /// server can still address its final `ERR`.
+    Oversized {
+        /// The client-chosen id of the oversized frame.
+        id: u64,
+        /// The forged length field.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for FrameFatal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameFatal::BadMagic(m) => {
+                write!(
+                    f,
+                    "bad request magic {m:#010x} (expected {MAGIC_REQ:#010x})"
+                )
+            }
+            FrameFatal::Oversized { id, len } => write!(
+                f,
+                "request {id} payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame cap"
+            ),
+        }
+    }
+}
+
+/// Incremental request-frame parser for non-blocking sockets: feed
+/// whatever bytes arrived with [`push`](Self::push), then drain complete
+/// frames with [`next`](Self::next). A partial frame stays buffered
+/// (that is the whole slow-loris story: the sender's bytes wait in *its*
+/// connection's buffer, no thread waits with them).
+///
+/// Memory is bounded: the length field is validated against
+/// [`MAX_PAYLOAD`] as soon as the header is complete, so no input can
+/// force more than one maximal frame to accumulate between `next` calls.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (incomplete-frame backlog).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn u32_at(&self, off: usize) -> u32 {
+        field_u32(&self.buf, self.start + off)
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        // Compact once the dead prefix dominates, so a long-lived
+        // connection does not grow its buffer without bound.
+        if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or a [`FrameFatal`] if the stream is unrecoverable.
+    ///
+    /// Not an [`Iterator`]: the `Result<Option<..>>` shape distinguishes
+    /// "need more bytes" from "stream is dead", which `Iterator::next`
+    /// cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Assembled>, FrameFatal> {
+        let avail = self.buffered();
+        if avail < 4 {
+            return Ok(None);
+        }
+        let magic = self.u32_at(0);
+        if magic != MAGIC_REQ {
+            return Err(FrameFatal::BadMagic(magic));
+        }
+        if avail < FRAME_HEADER {
+            return Ok(None);
+        }
+        let op = self.buf[self.start + 4];
+        let id = u64::from(self.u32_at(5)) | (u64::from(self.u32_at(9)) << 32);
+        let len = self.u32_at(13);
+        if len > MAX_PAYLOAD {
+            return Err(FrameFatal::Oversized { id, len });
+        }
+        let total = FRAME_HEADER + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let payload_at = self.start + FRAME_HEADER;
+        let assembled = match Opcode::from_u8(op) {
+            Ok(op) => Assembled::Frame(Request {
+                op,
+                id,
+                payload: self.buf[payload_at..payload_at + len as usize].to_vec(),
+            }),
+            Err(_) => Assembled::UnknownOpcode { op, id },
+        };
+        self.consume(total);
+        Ok(Some(assembled))
     }
 }
 
@@ -474,6 +721,7 @@ mod tests {
     #[test]
     fn infer_payloads_roundtrip_and_validate() {
         let req = InferRequest {
+            model: 3,
             deadline_ms: 250,
             s: 2,
             h: 3,
@@ -487,6 +735,8 @@ mod tests {
         assert!(InferRequest::decode(&short.encode()).is_err());
 
         let resp = InferResponse {
+            model: 3,
+            generation: 7,
             h: 6,
             w: 6,
             data: (0..36).map(|i| i as f32).collect(),
@@ -495,8 +745,27 @@ mod tests {
     }
 
     #[test]
+    fn reload_payloads_roundtrip() {
+        let req = ReloadRequest {
+            model: 2,
+            source: "/tmp/up10.ckpt".into(),
+        };
+        assert_eq!(ReloadRequest::decode(&req.encode()).unwrap(), req);
+        let empty = ReloadRequest {
+            model: 0,
+            source: String::new(),
+        };
+        assert_eq!(ReloadRequest::decode(&empty.encode()).unwrap(), empty);
+        assert!(ReloadRequest::decode(&[0u8; 3]).is_err());
+        assert!(ReloadRequest::decode(&[0, 0, 0, 0, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
     fn info_roundtrips() {
         let info = ServerInfo {
+            model: 1,
+            generation: 4,
+            model_count: 2,
             s: 3,
             h: 5,
             w: 5,
@@ -508,5 +777,74 @@ mod tests {
         };
         assert_eq!(ServerInfo::decode(&info.encode()).unwrap(), info);
         assert!(ServerInfo::decode(&[0u8; 31]).is_err());
+    }
+
+    #[test]
+    fn assembler_reproduces_byte_at_a_time_frames() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, Opcode::Infer, 0xABCD_EF01_2345_6789, &[9, 8, 7]).unwrap();
+        write_request(&mut wire, Opcode::Status, 2, &[]).unwrap();
+
+        let mut asm = FrameAssembler::new();
+        let mut frames = Vec::new();
+        for b in &wire {
+            asm.push(std::slice::from_ref(b));
+            while let Some(f) = asm.next().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        match &frames[0] {
+            Assembled::Frame(req) => {
+                assert_eq!((req.op, req.id), (Opcode::Infer, 0xABCD_EF01_2345_6789));
+                assert_eq!(req.payload, vec![9, 8, 7]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_flags_unknown_opcode_but_stays_in_sync() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC_REQ.to_le_bytes());
+        wire.push(99); // unknown opcode
+        wire.extend_from_slice(&41u64.to_le_bytes());
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&[1, 2]);
+        write_request(&mut wire, Opcode::Status, 42, &[]).unwrap();
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&wire);
+        match asm.next().unwrap() {
+            Some(Assembled::UnknownOpcode { op: 99, id: 41 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The following frame parses cleanly: the bad frame was skipped
+        // whole, so the stream never desynchronised.
+        match asm.next().unwrap() {
+            Some(Assembled::Frame(req)) => assert_eq!((req.op, req.id), (Opcode::Status, 42)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_bad_magic_and_oversized_before_buffering() {
+        let mut asm = FrameAssembler::new();
+        asm.push(b"JUNK");
+        assert!(matches!(asm.next(), Err(FrameFatal::BadMagic(_))));
+
+        // Forged length: detected from the 17 header bytes alone.
+        let mut asm = FrameAssembler::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC_REQ.to_le_bytes());
+        wire.push(1);
+        wire.extend_from_slice(&7u64.to_le_bytes());
+        wire.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        asm.push(&wire);
+        match asm.next() {
+            Err(FrameFatal::Oversized { id: 7, len }) => assert_eq!(len, MAX_PAYLOAD + 1),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -115,6 +115,26 @@ impl<T> BoundedQueue<T> {
         g.items.drain(..take).collect()
     }
 
+    /// Dequeues up to `n` items satisfying `pred` without blocking,
+    /// scanning front to back; items that do not match keep their
+    /// relative order. This is how a multi-tenant batcher tops up a
+    /// batch with *same-model* jobs while other tenants' jobs stay
+    /// queued for the next worker, FIFO within each tenant.
+    pub fn drain_matching(&self, n: usize, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut g = self.inner.lock().expect("queue mutex poisoned");
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(g.items.len());
+        while let Some(item) = g.items.pop_front() {
+            if taken.len() < n && pred(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        g.items = kept;
+        taken
+    }
+
     /// Number of items currently queued.
     pub fn depth(&self) -> usize {
         self.inner.lock().expect("queue mutex poisoned").items.len()

@@ -1,48 +1,68 @@
-//! The serving daemon: a TCP accept loop feeding a bounded request
-//! queue, drained by batcher threads that coalesce compatible windows
-//! onto forked [`InferExec`] replicas of one shared
-//! [`zipnet_core::InferPlan`].
+//! The serving daemon: a readiness-polled event loop (epoll on Linux,
+//! `poll(2)` elsewhere on unix) front-ending a bounded request queue
+//! drained by batcher threads, with multi-model tenancy and
+//! zero-downtime hot reload.
 //!
-//! # Lifecycle and threading
+//! # Threads — a fixed count, independent of connection count
 //!
 //! ```text
-//! accept thread ──spawns──▶ per-connection reader ──try_push──▶ BoundedQueue
-//!                           per-connection writer ◀──mpsc────── batcher × W
+//!                    ┌───────────────────────────────────────────┐
+//! clients ══ TCP ══► │ event loop (1 thread, epoll/poll)         │
+//!                    │  accept · per-conn read/write state       │
+//!                    │  machines · frame assembly · admission    │
+//!                    └──────┬───────────────────────────▲────────┘
+//!                 try_push  │                           │ completions + waker
+//!                           ▼                           │
+//!                    BoundedQueue ──pop/drain_matching──► batcher × W
+//!                                                        (cached execs per
+//!                                                         model × generation)
 //! ```
 //!
-//! * The **reader** decodes frames, validates geometry, stamps the
-//!   deadline and admits jobs. A full queue is answered `BUSY` on the
-//!   spot — admission is the only place load is shed.
-//! * Each **batcher** forks the executor (private activation arena, one
-//!   shared weight snapshot), pops a first job, lingers briefly to let a
-//!   batch coalesce, drops expired jobs with `TIMEOUT` replies and runs
-//!   the rest through one executor replay. Batched kernels are
-//!   per-sample, so replies are bit-identical regardless of how requests
-//!   happened to be grouped.
-//! * The **writer** serialises replies for one connection; it exits when
-//!   the reader and every in-flight job for that connection have dropped
-//!   their reply senders, so a closing client never loses queued replies.
+//! * The **event loop** owns every socket. Each connection is a small
+//!   state machine: a [`FrameAssembler`] buffers partial frames (a
+//!   slow-loris sender occupies one slot and some buffer, never a
+//!   thread), a write buffer absorbs replies and drains on writability
+//!   (a slow *reader* pauses its own admission once the buffer passes a
+//!   cap — per-connection backpressure, no global stall). Thousands of
+//!   idle probe connections cost one registration each.
+//! * **Admission** is unchanged in spirit from the thread-per-connection
+//!   daemon: non-blocking `try_push`, `Full` → `BUSY`, closed →
+//!   `DRAINING`. Load is shed at admission or not at all.
+//! * Each **batcher** pops a job, resolves the job's model in the
+//!   `ModelRegistry`, lingers briefly and tops the
+//!   batch up with *same-model* jobs (`drain_matching`), then replays a
+//!   cached executor for that model's current plan generation. Replies
+//!   are stamped `(model, generation)`; per-sample kernels keep them
+//!   bit-identical to offline inference under that exact plan.
+//! * **Hot reload** (`RELOAD` frame or `SIGHUP`) re-plans a checkpoint
+//!   on a throwaway thread and atomically swaps the slot's
+//!   `Arc<InferPlan>`, bumping its generation. In-flight batches finish
+//!   on the `Arc` they already cloned — no pause, no torn plan.
 //!
 //! Shutdown (SHUTDOWN frame, [`ServerHandle::request_shutdown`], or a
 //! signal forwarded by the binary) closes the queue: nothing new is
 //! admitted, batchers drain every already-admitted job to a terminal
-//! reply, and [`ServerHandle::join`] returns once all threads are done.
+//! reply, the event loop flushes every reply buffer, and
+//! [`ServerHandle::join`] returns once all threads are done.
 
-use std::io::{self, Read};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mtsr_telemetry::HistStat;
-use zipnet_core::InferExec;
+use zipnet_core::{InferExec, InferPlan};
 
+use crate::poller::{raw_fd, wake_pair, PollEvent, Poller, Token, WakeReceiver, Waker};
 use crate::protocol::{
-    read_request_after_magic, write_response, InferRequest, InferResponse, Opcode, Request,
-    RespStatus, Response, ServerInfo, MAGIC_REQ,
+    write_response, Assembled, FrameAssembler, FrameFatal, InferRequest, InferResponse, Opcode,
+    ReloadRequest, Request, RespStatus, Response, ServerInfo,
 };
 use crate::queue::{BoundedQueue, Pop, PushError};
+use crate::registry::{ModelRegistry, ModelSpec, Planner};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -51,15 +71,19 @@ pub struct ServeConfig {
     pub addr: String,
     /// Bounded queue capacity; requests beyond it are answered `BUSY`.
     pub queue_cap: usize,
-    /// Number of batcher threads (executor replicas).
+    /// Number of batcher threads (executor replicas per hot model).
     pub workers: usize,
     /// Default per-request deadline when the client sends `deadline_ms=0`.
     pub deadline: Duration,
     /// How long a batcher waits after the first popped job for more to
     /// coalesce. Zero disables coalescing waits (first-come batches only).
     pub linger: Duration,
-    /// Poll interval for interruptible blocking reads/pops.
+    /// Event-loop wait granularity and batcher pop interval. Also the
+    /// worst-case completion latency if a wake datagram is dropped.
     pub poll: Duration,
+    /// Maximum simultaneously open connections; excess accepts are
+    /// closed immediately (counted as `conns_rejected`).
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,18 +95,39 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(2),
             linger: Duration::from_millis(2),
             poll: Duration::from_millis(10),
+            max_conns: 4096,
         }
     }
 }
 
-/// One admitted inference job.
+/// One admitted inference job, routed by model id.
 struct Job {
+    /// Connection id (not slot) the reply goes back to.
+    conn: u64,
     id: u64,
+    model: u32,
     data: Vec<f32>,
     enqueued: Instant,
     deadline: Instant,
-    reply: mpsc::Sender<Response>,
 }
+
+/// A reply produced off the event loop, waiting to be written into its
+/// connection's buffer. `conn == NO_CONN` discards the reply (used by
+/// signal-triggered reloads that have no requesting client).
+struct Completion {
+    conn: u64,
+    resp: Response,
+}
+
+const NO_CONN: u64 = u64::MAX;
+
+/// Pause reading a connection once its un-flushed reply backlog passes
+/// this; resumes when the peer drains it. Per-connection backpressure.
+const WRITE_PAUSE: usize = 1 << 20;
+
+/// After a drain has answered everything, how long the event loop keeps
+/// polling to flush reply buffers toward peers that stopped reading.
+const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(2);
 
 /// Monotonic counters for the STATUS report. `in_flight` is derived as
 /// `admitted - finished`, so it is exact: every admitted job is finished
@@ -95,19 +140,35 @@ struct Stats {
     busy: AtomicU64,
     timeouts: AtomicU64,
     errors: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_closed: AtomicU64,
+    conns_rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_failed: AtomicU64,
 }
 
 struct Shared {
     shutdown: AtomicBool,
     queue: BoundedQueue<Job>,
     stats: Stats,
-    /// Server-local latency histogram for STATUS percentiles. Kept apart
-    /// from the process-global telemetry registry (which tests may reset
-    /// concurrently); mirrored into the registry when telemetry is on.
+    registry: ModelRegistry,
+    planner: Option<Planner>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+    /// Reload worker threads, joined by [`ServerHandle::join`].
+    reloaders: Mutex<Vec<JoinHandle<()>>>,
+    pending_reloads: AtomicU64,
+    /// Server-local latency histogram for STATUS percentiles (all
+    /// models). Kept apart from the process-global telemetry registry
+    /// (which tests may reset concurrently); mirrored into the registry
+    /// when telemetry is on.
     latency: Mutex<HistStat>,
-    info: ServerInfo,
+    queue_cap: u32,
+    deadline_ms: u32,
     started: Instant,
     poll: Duration,
+    linger: Duration,
 }
 
 impl Shared {
@@ -118,18 +179,49 @@ impl Shared {
             .saturating_sub(self.stats.finished.load(Ordering::SeqCst))
     }
 
-    fn finish(&self, job: &Job, resp: Response, terminal: &AtomicU64) {
+    /// Queues a reply for delivery by the event loop and nudges it.
+    fn complete(&self, conn: u64, resp: Response) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion { conn, resp });
+        self.waker.wake();
+    }
+
+    /// Terminal reply for an *admitted* job: bumps the terminal counter
+    /// then `finished`, so `in_flight` stays exact even if the client is
+    /// already gone.
+    fn finish(&self, conn: u64, resp: Response, terminal: &AtomicU64) {
         terminal.fetch_add(1, Ordering::SeqCst);
-        // Ignore send failures: the client hung up, but the job is still
-        // accounted as finished so drain and in_flight stay exact.
-        let _ = job.reply.send(resp);
         self.stats.finished.fetch_add(1, Ordering::SeqCst);
+        self.complete(conn, resp);
+    }
+
+    /// The geometry report for one registered model.
+    fn info_for(&self, model: u32) -> Option<ServerInfo> {
+        let (generation, plan) = self.registry.current(model)?;
+        let (ind, outd) = (plan.input_dims(), plan.output_dims());
+        Some(ServerInfo {
+            model,
+            generation,
+            model_count: self.registry.len() as u32,
+            s: ind[2] as u32,
+            h: ind[3] as u32,
+            w: ind[4] as u32,
+            out_h: outd[2] as u32,
+            out_w: outd[3] as u32,
+            batch: ind[0] as u32,
+            queue_cap: self.queue_cap,
+            deadline_ms: self.deadline_ms,
+        })
     }
 
     fn status_text(&self) -> String {
         let lat = self.latency.lock().expect("latency mutex poisoned").clone();
         let s = &self.stats;
-        format!(
+        let accepted = s.conns_accepted.load(Ordering::SeqCst);
+        let closed = s.conns_closed.load(Ordering::SeqCst);
+        let mut text = format!(
             "mtsr-serve status\n\
              uptime_ms: {}\n\
              draining: {}\n\
@@ -140,12 +232,20 @@ impl Shared {
              busy: {}\n\
              timeouts: {}\n\
              errors: {}\n\
+             conns_open: {}\n\
+             conns_accepted: {}\n\
+             conns_closed: {}\n\
+             conns_rejected: {}\n\
+             protocol_errors: {}\n\
+             reloads_ok: {}\n\
+             reloads_failed: {}\n\
              latency_count: {}\n\
              latency_mean_ns: {}\n\
              latency_p50_ns: {}\n\
              latency_p90_ns: {}\n\
              latency_p99_ns: {}\n\
-             latency_max_ns: {}\n",
+             latency_max_ns: {}\n\
+             models: {}\n",
             self.started.elapsed().as_millis(),
             self.shutdown.load(Ordering::SeqCst),
             self.queue.depth(),
@@ -155,18 +255,82 @@ impl Shared {
             s.busy.load(Ordering::SeqCst),
             s.timeouts.load(Ordering::SeqCst),
             s.errors.load(Ordering::SeqCst),
+            accepted.saturating_sub(closed),
+            accepted,
+            closed,
+            s.conns_rejected.load(Ordering::SeqCst),
+            s.protocol_errors.load(Ordering::SeqCst),
+            s.reloads_ok.load(Ordering::SeqCst),
+            s.reloads_failed.load(Ordering::SeqCst),
             lat.count,
             lat.mean() as u64,
             lat.percentile(50.0),
             lat.percentile(90.0),
             lat.percentile(99.0),
             if lat.count == 0 { 0 } else { lat.max },
-        )
+            self.registry.len(),
+        );
+        for (id, entry) in self.registry.entries().iter().enumerate() {
+            let (generation, _) = self.registry.current(id as u32).expect("entry exists");
+            let mst = &entry.stats;
+            let mlat = mst.latency.lock().expect("model latency poisoned").clone();
+            text.push_str(&format!(
+                "model[{id}]: name={} generation={generation} served={} errors={} \
+                 timeouts={} reloads={} p50_ns={} p90_ns={} p99_ns={}\n",
+                entry.name,
+                mst.served.load(Ordering::SeqCst),
+                mst.errors.load(Ordering::SeqCst),
+                mst.timeouts.load(Ordering::SeqCst),
+                mst.reloads.load(Ordering::SeqCst),
+                mlat.percentile(50.0),
+                mlat.percentile(90.0),
+                mlat.percentile(99.0),
+            ));
+        }
+        text
     }
 
     fn begin_drain(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
+        self.waker.wake();
+    }
+
+    /// Spawns a background re-plan of `model` from `source`, swapping
+    /// the slot on success. The reply (new generation, or ERR) goes to
+    /// `conn`/`id` — or nowhere for signal-triggered reloads.
+    fn spawn_reload(self: &Arc<Self>, model: u32, source: String, conn: u64, id: u64) {
+        let shared = Arc::clone(self);
+        self.pending_reloads.fetch_add(1, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name(format!("mtsr-serve-reload{model}"))
+            .spawn(move || {
+                let planner = shared.planner.as_ref().expect("reload requires planner");
+                let resp = match planner(model, &source)
+                    .and_then(|plan| shared.registry.swap(model, plan, Some(source)))
+                {
+                    Ok(generation) => {
+                        shared.stats.reloads_ok.fetch_add(1, Ordering::SeqCst);
+                        mtsr_telemetry::add_counter("serve.reloads", 1);
+                        Response {
+                            status: RespStatus::Ok,
+                            id,
+                            payload: generation.to_le_bytes().to_vec(),
+                        }
+                    }
+                    Err(e) => {
+                        shared.stats.reloads_failed.fetch_add(1, Ordering::SeqCst);
+                        Response::error(id, format!("reload failed: {e}"))
+                    }
+                };
+                shared.complete(conn, resp);
+                shared.pending_reloads.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn reload thread");
+        self.reloaders
+            .lock()
+            .expect("reloaders poisoned")
+            .push(handle);
     }
 }
 
@@ -176,9 +340,8 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     batchers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -203,23 +366,45 @@ impl ServerHandle {
         self.shared.in_flight()
     }
 
-    /// Blocks until the accept loop, every batcher and every connection
-    /// thread have exited. Call after
+    /// Atomically swaps a freshly built plan into a model slot without
+    /// going over the wire — the programmatic face of hot reload.
+    /// Returns the new plan generation.
+    pub fn swap_model(
+        &self,
+        model: u32,
+        plan: Arc<InferPlan>,
+        source: Option<String>,
+    ) -> io::Result<u32> {
+        self.shared.registry.swap(model, plan, source)
+    }
+
+    /// The current plan generation of a registered model.
+    pub fn model_generation(&self, model: u32) -> Option<u32> {
+        self.shared.registry.current(model).map(|(g, _)| g)
+    }
+
+    /// Blocks until the event loop, every batcher and every reload
+    /// worker have exited. Call after
     /// [`request_shutdown`](Self::request_shutdown) (or after a client
     /// sent SHUTDOWN).
     pub fn join(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.event.take() {
             let _ = h.join();
         }
         for h in self.batchers.drain(..) {
             let _ = h.join();
         }
-        let conns: Vec<_> = {
-            let mut g = self.conns.lock().expect("conn list poisoned");
-            g.drain(..).collect()
-        };
-        for h in conns {
-            let _ = h.join();
+        loop {
+            let drained: Vec<_> = {
+                let mut g = self.shared.reloaders.lock().expect("reloaders poisoned");
+                g.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -228,306 +413,669 @@ impl ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Binds `cfg.addr` and starts serving `exec` (a generator inference
-    /// plan from [`zipnet_core::plan_zipnet`], shape `[batch, 1, S, cw,
-    /// cw]` → `[batch, 1, fh, fw]`). Returns once the listener is live.
-    pub fn start(cfg: &ServeConfig, exec: InferExec) -> io::Result<ServerHandle> {
-        let in_dims = exec.input_dims();
-        let out_dims = exec.output_dims();
-        if in_dims.len() != 5 || out_dims.len() != 4 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "serve needs a generator plan [batch,1,S,h,w] -> [batch,1,fh,fw], \
-                     got {in_dims:?} -> {out_dims:?}"
-                ),
-            ));
-        }
+    /// Binds `cfg.addr` and starts serving the registered `models`
+    /// (each a generator inference plan from
+    /// [`zipnet_core::plan_zipnet`], shape `[batch, 1, S, cw, cw]` →
+    /// `[batch, 1, fh, fw]`). `planner` enables over-the-wire `RELOAD`
+    /// and `SIGHUP` reloads; without it only
+    /// [`ServerHandle::swap_model`] can swap plans. Returns once the
+    /// listener is live.
+    pub fn start(
+        cfg: &ServeConfig,
+        models: Vec<ModelSpec>,
+        planner: Option<Planner>,
+    ) -> io::Result<ServerHandle> {
         if cfg.workers == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "serve needs at least one worker",
             ));
         }
-        let info = ServerInfo {
-            s: in_dims[2] as u32,
-            h: in_dims[3] as u32,
-            w: in_dims[4] as u32,
-            out_h: out_dims[2] as u32,
-            out_w: out_dims[3] as u32,
-            batch: in_dims[0] as u32,
-            queue_cap: cfg.queue_cap as u32,
-            deadline_ms: cfg.deadline.as_millis() as u32,
-        };
-
+        let registry = ModelRegistry::new(models)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = wake_pair()?;
 
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             queue: BoundedQueue::new(cfg.queue_cap),
             stats: Stats::default(),
+            registry,
+            planner,
+            completions: Mutex::new(Vec::new()),
+            waker,
+            reloaders: Mutex::new(Vec::new()),
+            pending_reloads: AtomicU64::new(0),
             latency: Mutex::new(HistStat::new()),
-            info,
+            queue_cap: cfg.queue_cap as u32,
+            deadline_ms: cfg.deadline.as_millis() as u32,
             started: Instant::now(),
             poll: cfg.poll,
+            linger: cfg.linger,
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let mut batchers = Vec::with_capacity(cfg.workers);
         for wi in 0..cfg.workers {
             let shared = Arc::clone(&shared);
-            let exec = exec.fork();
-            let linger = cfg.linger;
             batchers.push(
                 std::thread::Builder::new()
                     .name(format!("mtsr-serve-batch{wi}"))
-                    .spawn(move || batcher_loop(&shared, exec, linger))
+                    .spawn(move || batcher_loop(&shared))
                     .expect("spawn batcher"),
             );
         }
-        // The planning executor's arena is dropped here; batchers own
-        // their forks and the plan stays alive through them.
-        drop(exec);
 
-        let accept = {
+        let event = {
             let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
+            let max_conns = cfg.max_conns;
             std::thread::Builder::new()
-                .name("mtsr-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn accept loop")
+                .name("mtsr-serve-event".into())
+                .spawn(move || {
+                    let mut ev =
+                        EventLoop::new(shared.clone(), listener, poller, wake_rx, max_conns);
+                    if let Err(e) = ev.run() {
+                        // A dead event loop must still release the
+                        // batchers, or join() would hang forever.
+                        mtsr_telemetry::add_counter("serve.event_loop_errors", 1);
+                        let _ = e;
+                        shared.begin_drain();
+                    }
+                })
+                .expect("spawn event loop")
         };
 
         Ok(ServerHandle {
             shared,
             addr,
-            accept: Some(accept),
+            event: Some(event),
             batchers,
-            conns,
         })
+    }
+
+    /// Single-tenant convenience: registers `exec`'s plan as model 0
+    /// (named `default`) with no reload planner.
+    pub fn start_single(cfg: &ServeConfig, exec: InferExec) -> io::Result<ServerHandle> {
+        let plan = Arc::clone(exec.plan());
+        drop(exec);
+        Server::start(
+            cfg,
+            vec![ModelSpec {
+                name: "default".into(),
+                source: String::new(),
+                plan,
+            }],
+            None,
+        )
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: Token = u64::MAX;
+const TOKEN_WAKE: Token = u64::MAX - 1;
+
+/// One connection's state machine. No thread sleeps on its behalf: all
+/// progress happens on readiness events.
+struct Conn {
+    cid: u64,
+    stream: TcpStream,
+    asm: FrameAssembler,
+    /// Pending reply bytes: `out[out_start..]` is un-flushed.
+    out: Vec<u8>,
+    out_start: usize,
+    /// Peer sent EOF (or shut down its write half); we still flush and
+    /// answer everything already admitted before closing.
+    read_closed: bool,
+    /// Fatal protocol violation: flush the final ERR, then close.
+    closing: bool,
+    /// Jobs/reloads admitted from this connection not yet answered.
+    inflight: u64,
+    reg_read: bool,
+    reg_write: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_start
+    }
+
+    fn queue_reply(&mut self, resp: &Response) {
+        write_response(&mut self.out, resp).expect("Vec write is infallible");
+    }
+
+    fn paused(&self) -> bool {
+        self.pending_out() >= WRITE_PAUSE
+    }
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    by_cid: HashMap<u64, usize>,
+    next_cid: u64,
+    max_conns: usize,
+    listener_live: bool,
+    drain_flush_started: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(
+        shared: Arc<Shared>,
+        listener: TcpListener,
+        poller: Poller,
+        wake_rx: WakeReceiver,
+        max_conns: usize,
+    ) -> EventLoop {
+        EventLoop {
+            shared,
+            listener,
+            poller,
+            wake_rx,
+            conns: Vec::new(),
+            free: Vec::new(),
+            by_cid: HashMap::new(),
+            next_cid: 0,
+            max_conns: max_conns.max(1),
+            listener_live: false,
+            drain_flush_started: None,
+        }
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        self.poller
+            .register(raw_fd(&self.listener), TOKEN_LISTENER, true, false)?;
+        self.listener_live = true;
+        self.poller
+            .register(raw_fd(self.wake_rx.socket()), TOKEN_WAKE, true, false)?;
+
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            events.clear();
+            self.poller.wait(&mut events, Some(self.shared.poll))?;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.wake_rx.drain(),
+                    token => self.conn_ready(token as usize, ev),
+                }
+            }
+            self.deliver_completions();
+            if signals::take_hup() {
+                self.reload_all();
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                if self.listener_live {
+                    let _ = self.poller.deregister(raw_fd(&self.listener));
+                    self.listener_live = false;
+                }
+                if self.drain_complete() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// During a drain the loop exits once every admitted job and reload
+    /// is answered and every reply buffer is flushed — or after a grace
+    /// period if some peer stopped reading its replies.
+    fn drain_complete(&mut self) -> bool {
+        let answered = self.shared.in_flight() == 0
+            && self.shared.pending_reloads.load(Ordering::SeqCst) == 0
+            && self
+                .shared
+                .completions
+                .lock()
+                .expect("completions poisoned")
+                .is_empty();
+        if !answered {
+            return false;
+        }
+        let started = *self.drain_flush_started.get_or_insert_with(Instant::now);
+        let unflushed: Vec<usize> = (0..self.conns.len())
+            .filter(|&s| self.conns[s].as_ref().is_some_and(|c| c.pending_out() > 0))
+            .collect();
+        if unflushed.is_empty() {
+            return true;
+        }
+        for slot in unflushed {
+            self.try_flush(slot);
+            self.update_interest(slot);
+        }
+        started.elapsed() >= DRAIN_FLUSH_GRACE
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst)
+                        || self.by_cid.len() >= self.max_conns
+                    {
+                        self.shared
+                            .stats
+                            .conns_rejected
+                            .fetch_add(1, Ordering::SeqCst);
+                        continue; // stream drops: refused at capacity
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let slot = match self.free.pop() {
+                        Some(s) => s,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let cid = self.next_cid;
+                    self.next_cid += 1;
+                    if self
+                        .poller
+                        .register(raw_fd(&stream), slot as Token, true, false)
+                        .is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.shared
+                        .stats
+                        .conns_accepted
+                        .fetch_add(1, Ordering::SeqCst);
+                    self.by_cid.insert(cid, slot);
+                    self.conns[slot] = Some(Conn {
+                        cid,
+                        stream,
+                        asm: FrameAssembler::new(),
+                        out: Vec::new(),
+                        out_start: 0,
+                        read_closed: false,
+                        closing: false,
+                        inflight: 0,
+                        reg_read: true,
+                        reg_write: false,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, slot: usize, ev: PollEvent) {
+        if self.conns.get(slot).map(Option::is_some) != Some(true) {
+            return; // closed earlier in this batch
+        }
+        if ev.writable && !self.try_flush(slot) {
             return;
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("mtsr-serve-conn".into())
-                    .spawn(move || {
-                        if let Err(e) = connection_loop(stream, &shared) {
-                            // Protocol violations and peer resets end the
-                            // connection, never the daemon.
-                            mtsr_telemetry::add_counter("serve.conn_errors", 1);
-                            let _ = e;
-                        }
-                    })
-                    .expect("spawn connection thread");
-                conns.lock().expect("conn list poisoned").push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        if (ev.readable || ev.hangup) && !self.conn_read(slot) {
+            return;
         }
+        self.update_interest(slot);
     }
-}
 
-/// A reader that retries timeout-flavoured errors so a frame body can be
-/// read to completion on a stream whose read timeout is used only to
-/// make the *gap between frames* interruptible.
-struct RetryReader<'a>(&'a TcpStream);
-
-impl Read for RetryReader<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+    /// Reads until `WouldBlock`, feeding the frame assembler and
+    /// dispatching complete frames. Returns false if the slot closed.
+    fn conn_read(&mut self, slot: usize) -> bool {
+        let mut buf = [0u8; 16 * 1024];
         loop {
-            match self.0.read(buf) {
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue
+            let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+            if conn.closing || conn.read_closed || conn.paused() {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
                 }
-                other => return other,
+                Ok(n) => {
+                    conn.asm.push(&buf[..n]);
+                    self.process_frames(slot);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot, true);
+                    return false;
+                }
+            }
+        }
+        // Flush whatever the frames above queued; may close the slot
+        // (fatal protocol error with an empty backlog, or a finished
+        // half-closed connection).
+        self.try_flush(slot)
+    }
+
+    fn process_frames(&mut self, slot: usize) {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("conn alive in read loop");
+            match conn.asm.next() {
+                Ok(None) => return,
+                Ok(Some(Assembled::Frame(req))) => {
+                    let shared = Arc::clone(&self.shared);
+                    let conn = self.conns[slot].as_mut().expect("conn alive");
+                    dispatch(&shared, conn, req);
+                }
+                Ok(Some(Assembled::UnknownOpcode { op, id })) => {
+                    self.shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+                    conn.queue_reply(&Response::error(id, format!("unknown opcode {op}")));
+                }
+                Err(fatal) => {
+                    self.shared
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::SeqCst);
+                    mtsr_telemetry::add_counter("serve.conn_errors", 1);
+                    let id = match fatal {
+                        FrameFatal::Oversized { id, .. } => id,
+                        FrameFatal::BadMagic(_) => 0,
+                    };
+                    conn.queue_reply(&Response::error(id, fatal.to_string()));
+                    conn.closing = true;
+                    return;
+                }
             }
         }
     }
-}
 
-/// Waits for the next frame's 4 magic bytes, checking the drain flag
-/// between read timeouts. `Ok(None)` means clean EOF or drain with no
-/// partial frame pending.
-fn await_magic(mut stream: &TcpStream, shared: &Shared) -> io::Result<Option<u32>> {
-    let mut magic = [0u8; 4];
-    let mut got = 0usize;
-    loop {
-        match stream.read(&mut magic[got..]) {
-            Ok(0) => return Ok(None), // peer closed
-            Ok(n) => {
-                got += n;
-                if got == 4 {
-                    return Ok(Some(u32::from_le_bytes(magic)));
+    /// Writes as much buffered reply data as the socket accepts.
+    /// Returns false if the slot closed.
+    fn try_flush(&mut self, slot: usize) -> bool {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+            if conn.pending_out() == 0 {
+                break;
+            }
+            match conn.stream.write(&conn.out[conn.out_start..]) {
+                Ok(0) => {
+                    self.close_conn(slot, true);
+                    return false;
+                }
+                Ok(n) => {
+                    conn.out_start += n;
+                    if conn.out_start == conn.out.len() {
+                        conn.out.clear();
+                        conn.out_start = 0;
+                    } else if conn.out_start >= WRITE_PAUSE {
+                        conn.out.drain(..conn.out_start);
+                        conn.out_start = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot, true);
+                    return false;
                 }
             }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Only bail between frames: a half-read magic means the
-                // client is mid-send, so keep waiting for the rest.
-                if got == 0 && shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-            }
-            Err(e) => return Err(e),
         }
+        let conn = self.conns[slot].as_ref().expect("conn alive after flush");
+        let done = conn.pending_out() == 0;
+        if done && (conn.closing || (conn.read_closed && conn.inflight == 0)) {
+            self.close_conn(slot, false);
+            return false;
+        }
+        true
     }
-}
 
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
-    stream.set_read_timeout(Some(shared.poll))?;
-    stream.set_nodelay(true).ok();
-    let write_half = stream.try_clone()?;
-
-    let (tx, rx) = mpsc::channel::<Response>();
-    let writer = std::thread::Builder::new()
-        .name("mtsr-serve-write".into())
-        .spawn(move || {
-            let mut w = io::BufWriter::new(write_half);
-            // Exits when every sender (reader + queued jobs) is gone.
-            while let Ok(resp) = rx.recv() {
-                if write_response(&mut w, &resp).is_err() {
-                    // Peer went away; keep draining so job senders never
-                    // block and accounting completes.
-                    continue;
-                }
-            }
-        })
-        .expect("spawn connection writer");
-
-    let result = reader_loop(&stream, shared, &tx);
-    drop(tx);
-    let _ = writer.join();
-    result
-}
-
-fn reader_loop(
-    stream: &TcpStream,
-    shared: &Arc<Shared>,
-    tx: &mpsc::Sender<Response>,
-) -> io::Result<()> {
-    let expect = shared.info;
-    let window_elems = (expect.s * expect.h * expect.w) as usize;
-    loop {
-        let magic = match await_magic(stream, shared)? {
-            Some(m) => m,
-            None => return Ok(()),
+    fn update_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
         };
-        if magic != MAGIC_REQ {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad request magic {magic:#010x}"),
-            ));
+        let want_read = !conn.closing && !conn.read_closed && !conn.paused();
+        let want_write = conn.pending_out() > 0;
+        if (want_read, want_write) != (conn.reg_read, conn.reg_write)
+            && self
+                .poller
+                .reregister(raw_fd(&conn.stream), slot as Token, want_read, want_write)
+                .is_ok()
+        {
+            conn.reg_read = want_read;
+            conn.reg_write = want_write;
         }
-        let req = read_request_after_magic(&mut RetryReader(stream), magic)?;
-        match req.op {
-            Opcode::Info => {
-                let _ = tx.send(Response {
-                    status: RespStatus::Ok,
-                    id: req.id,
-                    payload: shared.info.encode(),
-                });
+    }
+
+    fn close_conn(&mut self, slot: usize, errored: bool) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        let _ = self.poller.deregister(raw_fd(&conn.stream));
+        self.by_cid.remove(&conn.cid);
+        self.free.push(slot);
+        self.shared
+            .stats
+            .conns_closed
+            .fetch_add(1, Ordering::SeqCst);
+        if errored {
+            mtsr_telemetry::add_counter("serve.conn_errors", 1);
+        }
+        // conn drops here, closing the socket.
+    }
+
+    /// Moves batcher/reload replies into their connections' write
+    /// buffers and flushes opportunistically.
+    fn deliver_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut g = self
+                .shared
+                .completions
+                .lock()
+                .expect("completions poisoned");
+            std::mem::take(&mut *g)
+        };
+        if done.is_empty() {
+            return;
+        }
+        let mut touched: Vec<usize> = Vec::with_capacity(done.len());
+        for c in done {
+            let Some(&slot) = self.by_cid.get(&c.conn) else {
+                continue; // client is gone; accounting already closed out
+            };
+            let conn = self.conns[slot].as_mut().expect("slot maps to live conn");
+            conn.inflight = conn.inflight.saturating_sub(1);
+            conn.queue_reply(&c.resp);
+            touched.push(slot);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for slot in touched {
+            if self.try_flush(slot) {
+                self.update_interest(slot);
             }
-            Opcode::Status => {
-                let _ = tx.send(Response {
-                    status: RespStatus::Ok,
-                    id: req.id,
-                    payload: shared.status_text().into_bytes(),
-                });
-            }
-            Opcode::Shutdown => {
-                shared.begin_drain();
-                let _ = tx.send(Response::empty(RespStatus::Ok, req.id));
-            }
-            Opcode::Infer => admit_infer(&req, shared, tx, window_elems),
+        }
+    }
+
+    /// SIGHUP semantics: re-plan every model from its recorded source.
+    fn reload_all(&mut self) {
+        if self.shared.planner.is_none() {
+            return;
+        }
+        for (id, entry) in self.shared.registry.entries().iter().enumerate() {
+            let source = entry.source.lock().expect("model source poisoned").clone();
+            self.shared.spawn_reload(id as u32, source, NO_CONN, 0);
         }
     }
 }
 
-fn admit_infer(
-    req: &Request,
-    shared: &Arc<Shared>,
-    tx: &mpsc::Sender<Response>,
-    window_elems: usize,
-) {
+/// Handles one complete, well-formed frame on the event loop. Only
+/// admission work happens here — anything heavier runs on batcher or
+/// reload threads.
+fn dispatch(shared: &Arc<Shared>, conn: &mut Conn, req: Request) {
+    match req.op {
+        Opcode::Info => {
+            let model = match req.payload.len() {
+                0 => Some(0u32),
+                4 => Some(u32::from_le_bytes([
+                    req.payload[0],
+                    req.payload[1],
+                    req.payload[2],
+                    req.payload[3],
+                ])),
+                _ => None,
+            };
+            let reply = match model.and_then(|m| shared.info_for(m).map(|i| (m, i))) {
+                Some((_, info)) => Response {
+                    status: RespStatus::Ok,
+                    id: req.id,
+                    payload: info.encode(),
+                },
+                None => {
+                    shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+                    Response::error(
+                        req.id,
+                        format!(
+                            "INFO wants an empty or 4-byte model-id payload naming one of \
+                             {} models",
+                            shared.registry.len()
+                        ),
+                    )
+                }
+            };
+            conn.queue_reply(&reply);
+        }
+        Opcode::Status => {
+            conn.queue_reply(&Response {
+                status: RespStatus::Ok,
+                id: req.id,
+                payload: shared.status_text().into_bytes(),
+            });
+        }
+        Opcode::Shutdown => {
+            shared.begin_drain();
+            conn.queue_reply(&Response::empty(RespStatus::Ok, req.id));
+        }
+        Opcode::Reload => match ReloadRequest::decode(&req.payload) {
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+                conn.queue_reply(&Response::error(req.id, e.to_string()));
+            }
+            Ok(parsed) => {
+                if shared.planner.is_none() {
+                    shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+                    conn.queue_reply(&Response::error(
+                        req.id,
+                        "this daemon has no reload planner configured",
+                    ));
+                    return;
+                }
+                let Some(entry) = shared.registry.entry(parsed.model) else {
+                    shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+                    conn.queue_reply(&Response::error(
+                        req.id,
+                        format!(
+                            "unknown model id {} ({} registered)",
+                            parsed.model,
+                            shared.registry.len()
+                        ),
+                    ));
+                    return;
+                };
+                let source = if parsed.source.is_empty() {
+                    entry.source.lock().expect("model source poisoned").clone()
+                } else {
+                    parsed.source
+                };
+                conn.inflight += 1;
+                shared.spawn_reload(parsed.model, source, conn.cid, req.id);
+            }
+        },
+        Opcode::Infer => admit_infer(shared, conn, &req),
+    }
+}
+
+fn admit_infer(shared: &Arc<Shared>, conn: &mut Conn, req: &Request) {
     let parsed = match InferRequest::decode(&req.payload) {
         Ok(p) => p,
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::SeqCst);
-            let _ = tx.send(Response::error(req.id, e.to_string()));
+            conn.queue_reply(&Response::error(req.id, e.to_string()));
             return;
         }
     };
-    let expect = shared.info;
-    if (parsed.s, parsed.h, parsed.w) != (expect.s, expect.h, expect.w)
-        || parsed.data.len() != window_elems
-    {
+    let Some((_, plan)) = shared.registry.current(parsed.model) else {
         shared.stats.errors.fetch_add(1, Ordering::SeqCst);
-        let _ = tx.send(Response::error(
+        conn.queue_reply(&Response::error(
             req.id,
             format!(
-                "window [{}, {}, {}] does not match the served plan [{}, {}, {}]",
-                parsed.s, parsed.h, parsed.w, expect.s, expect.h, expect.w
+                "unknown model id {} ({} registered)",
+                parsed.model,
+                shared.registry.len()
+            ),
+        ));
+        return;
+    };
+    let ind = plan.input_dims();
+    let (es, eh, ew) = (ind[2] as u32, ind[3] as u32, ind[4] as u32);
+    let window_elems: usize = ind[1..].iter().product();
+    if (parsed.s, parsed.h, parsed.w) != (es, eh, ew) || parsed.data.len() != window_elems {
+        shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+        if let Some(entry) = shared.registry.entry(parsed.model) {
+            entry.stats.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        conn.queue_reply(&Response::error(
+            req.id,
+            format!(
+                "window [{}, {}, {}] does not match model {} plan [{es}, {eh}, {ew}]",
+                parsed.s, parsed.h, parsed.w, parsed.model
             ),
         ));
         return;
     }
     let now = Instant::now();
     let deadline_ms = if parsed.deadline_ms == 0 {
-        expect.deadline_ms
+        shared.deadline_ms
     } else {
         parsed.deadline_ms
     };
     let job = Job {
+        conn: conn.cid,
         id: req.id,
+        model: parsed.model,
         data: parsed.data,
         enqueued: now,
         deadline: now + Duration::from_millis(u64::from(deadline_ms)),
-        reply: tx.clone(),
     };
     match shared.queue.try_push(job) {
         Ok(()) => {
             shared.stats.admitted.fetch_add(1, Ordering::SeqCst);
+            conn.inflight += 1;
             mtsr_telemetry::record_gauge("serve.queue_depth", shared.queue.depth() as f64);
         }
         Err(PushError::Full) => {
             shared.stats.busy.fetch_add(1, Ordering::SeqCst);
             mtsr_telemetry::add_counter("serve.busy", 1);
-            let _ = tx.send(Response::empty(RespStatus::Busy, req.id));
+            conn.queue_reply(&Response::empty(RespStatus::Busy, req.id));
         }
         Err(PushError::Closed) => {
-            let _ = tx.send(Response::empty(RespStatus::Draining, req.id));
+            conn.queue_reply(&Response::empty(RespStatus::Draining, req.id));
         }
     }
 }
 
-fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
-    let batch = exec.input_dims()[0];
-    let crop_len: usize = exec.input_dims()[1..].iter().product();
-    let win_len: usize = exec.output_dims()[1..].iter().product();
-    let (out_h, out_w) = (shared.info.out_h, shared.info.out_w);
-    let mut input = vec![0.0f32; batch * crop_len];
-    let mut output = vec![0.0f32; batch * win_len];
+// ---------------------------------------------------------------------------
+// Batchers
+// ---------------------------------------------------------------------------
 
+/// One batcher's cached executor for one model at one plan generation.
+struct CachedExec {
+    generation: u32,
+    exec: InferExec,
+    input: Vec<f32>,
+    output: Vec<f32>,
+}
+
+fn batcher_loop(shared: &Arc<Shared>) {
+    let mut cache: HashMap<u32, CachedExec> = HashMap::new();
     loop {
         let first = match shared.queue.pop(shared.poll) {
             Pop::Item(job) => job,
@@ -536,12 +1084,50 @@ fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
             // so exiting here completes the graceful-drain contract.
             Pop::Closed => return,
         };
+        let model = first.model;
+        let Some((generation, plan)) = shared.registry.current(model) else {
+            shared.finish(
+                first.conn,
+                Response::error(first.id, format!("model {model} is not registered")),
+                &shared.stats.errors,
+            );
+            continue;
+        };
+        // (Re)build the cached executor when this model's plan moved to
+        // a new generation — the moment a hot reload becomes visible to
+        // this batcher. Geometry is stable across reloads (registry
+        // invariant), so buffer sizes never change for a model.
+        let entry = cache.entry(model).or_insert_with(|| {
+            let exec = InferExec::from_plan(Arc::clone(&plan));
+            let in_len: usize = exec.input_dims().iter().product();
+            let out_len: usize = exec.output_dims().iter().product();
+            CachedExec {
+                generation,
+                exec,
+                input: vec![0.0f32; in_len],
+                output: vec![0.0f32; out_len],
+            }
+        });
+        if entry.generation != generation {
+            entry.exec = InferExec::from_plan(Arc::clone(&plan));
+            entry.generation = generation;
+        }
+        let batch = entry.exec.input_dims()[0];
+        let crop_len: usize = entry.exec.input_dims()[1..].iter().product();
+        let win_len: usize = entry.exec.output_dims()[1..].iter().product();
+        let (out_h, out_w) = (
+            entry.exec.output_dims()[2] as u32,
+            entry.exec.output_dims()[3] as u32,
+        );
+
         let mut jobs = vec![first];
         if batch > 1 {
-            if !linger.is_zero() && shared.queue.depth() == 0 {
-                std::thread::sleep(linger);
+            if !shared.linger.is_zero() && shared.queue.depth() == 0 {
+                std::thread::sleep(shared.linger);
             }
-            jobs.extend(shared.queue.drain_up_to(batch - 1));
+            // Same-model top-up only: other tenants' jobs keep their
+            // FIFO position for the next worker.
+            jobs.extend(shared.queue.drain_matching(batch - 1, |j| j.model == model));
         }
 
         // Expired jobs are answered TIMEOUT and never occupy a lane.
@@ -549,8 +1135,11 @@ fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
         let mut live = Vec::with_capacity(jobs.len());
         for job in jobs {
             if job.deadline <= now {
+                if let Some(me) = shared.registry.entry(job.model) {
+                    me.stats.timeouts.fetch_add(1, Ordering::SeqCst);
+                }
                 shared.finish(
-                    &job,
+                    job.conn,
                     Response::empty(RespStatus::Timeout, job.id),
                     &shared.stats.timeouts,
                 );
@@ -564,19 +1153,22 @@ fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
         }
 
         for (lane, job) in live.iter().enumerate() {
-            input[lane * crop_len..(lane + 1) * crop_len].copy_from_slice(&job.data);
+            entry.input[lane * crop_len..(lane + 1) * crop_len].copy_from_slice(&job.data);
         }
         // Stale data in unfilled tail lanes is harmless: batched kernels
         // are per-sample, and tail outputs are never read.
         let ran = {
             let _t = mtsr_telemetry::span("serve.exec");
-            exec.run_into(&input, &mut output)
+            entry.exec.run_into(&entry.input, &mut entry.output)
         };
         match ran {
             Ok(()) => {
+                let me = shared.registry.entry(model).expect("model exists");
                 for (lane, job) in live.iter().enumerate() {
-                    let data = output[lane * win_len..(lane + 1) * win_len].to_vec();
+                    let data = entry.output[lane * win_len..(lane + 1) * win_len].to_vec();
                     let payload = InferResponse {
+                        model,
+                        generation,
                         h: out_h,
                         w: out_w,
                         data,
@@ -588,9 +1180,11 @@ fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
                         .lock()
                         .expect("latency mutex poisoned")
                         .observe(ns);
+                    me.observe_latency(ns);
+                    me.stats.served.fetch_add(1, Ordering::SeqCst);
                     mtsr_telemetry::record_hist("serve.latency_ns", ns);
                     shared.finish(
-                        job,
+                        job.conn,
                         Response {
                             status: RespStatus::Ok,
                             id: job.id,
@@ -601,9 +1195,11 @@ fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
                 }
             }
             Err(e) => {
+                let me = shared.registry.entry(model).expect("model exists");
                 for job in &live {
+                    me.stats.errors.fetch_add(1, Ordering::SeqCst);
                     shared.finish(
-                        job,
+                        job.conn,
                         Response::error(job.id, format!("inference failed: {e}")),
                         &shared.stats.errors,
                     );
@@ -613,39 +1209,61 @@ fn batcher_loop(shared: &Arc<Shared>, mut exec: InferExec, linger: Duration) {
     }
 }
 
-/// SIGTERM/SIGINT → graceful drain, with no dependency beyond the libc
-/// that std already links. The handler only stores to an atomic; the
-/// serve binary polls [`triggered`] and forwards the drain request.
+/// SIGTERM/SIGINT → graceful drain, SIGHUP → hot reload of every model,
+/// with no dependency beyond the libc that std already links. Handlers
+/// only store to atomics; the serve binary polls [`triggered`] and the
+/// event loop polls [`take_hup`].
 ///
 /// [`triggered`]: signals::triggered
+/// [`take_hup`]: signals::take_hup
 #[cfg(unix)]
 pub mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static TERM: AtomicBool = AtomicBool::new(false);
+    static HUP: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_term(_signum: i32) {
         TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_hup(_signum: i32) {
+        HUP.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
-    /// Installs the termination handler for SIGTERM and SIGINT.
+    /// Installs the termination handler for SIGTERM and SIGINT and the
+    /// reload handler for SIGHUP.
     pub fn install() {
         unsafe {
             signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
             signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+            signal(SIGHUP, on_hup as extern "C" fn(i32) as usize);
         }
     }
 
     /// True once a termination signal has been delivered.
     pub fn triggered() -> bool {
         TERM.load(Ordering::SeqCst)
+    }
+
+    /// Consumes a pending SIGHUP, returning true at most once per
+    /// delivery — the event loop turns this into a reload of every
+    /// registered model from its recorded source.
+    pub fn take_hup() -> bool {
+        HUP.swap(false, Ordering::SeqCst)
+    }
+
+    /// Raises SIGHUP in-process (test hook for the reload path).
+    pub fn raise_hup() {
+        HUP.store(true, Ordering::SeqCst);
     }
 }
 
@@ -660,4 +1278,12 @@ pub mod signals {
     pub fn triggered() -> bool {
         false
     }
+
+    /// Always false off unix.
+    pub fn take_hup() -> bool {
+        false
+    }
+
+    /// No-op off unix.
+    pub fn raise_hup() {}
 }

@@ -1,0 +1,288 @@
+//! Zero-downtime hot reload, proven by bit-identity per plan
+//! generation: while a client streams INFER traffic, plans are swapped
+//! repeatedly (over the wire, programmatically, and via SIGHUP), and
+//! every single response must be bit-identical to offline inference
+//! under exactly the plan its stamped generation names — never a blend,
+//! never a torn plan, never a dropped request.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mtsr_serve::{
+    signals, InferOutcome, InferRequest, ModelSpec, Planner, ServeClient, ServeConfig, Server,
+};
+use mtsr_tensor::Rng;
+use zipnet_core::{plan_zipnet, FusePolicy, InferExec, InferPlan, ZipNet, ZipNetConfig};
+
+const S: usize = 2;
+const BATCH: usize = 2;
+
+/// SIGHUP state is process-global; serialize the tests that run servers
+/// so one test's raised signal cannot trigger reloads in another's.
+static HUP_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_plan(seed: u64, batch: usize) -> Arc<InferPlan> {
+    let mut gen = ZipNet::new(&ZipNetConfig::tiny(4, S), &mut Rng::seed_from(seed)).unwrap();
+    let exec = plan_zipnet(&mut gen, FusePolicy::Exact, batch, 3, 3).unwrap();
+    Arc::clone(exec.plan())
+}
+
+fn window(seed: u64) -> Vec<f32> {
+    let mut rng = Rng::seed_from(seed);
+    (0..S * 9).map(|_| rng.next_f32()).collect()
+}
+
+fn request(seed: u64) -> InferRequest {
+    InferRequest {
+        model: 0,
+        deadline_ms: 2000,
+        s: S as u32,
+        h: 3,
+        w: 3,
+        data: window(seed),
+    }
+}
+
+/// Offline reference: run one window through lane 0 of a fresh executor
+/// forked from `plan`. Per-sample batched kernels make lane 0
+/// independent of the other lanes' contents.
+fn offline(plan: &Arc<InferPlan>, win: &[f32]) -> Vec<f32> {
+    let mut exec = InferExec::from_plan(Arc::clone(plan));
+    let in_len: usize = exec.input_dims().iter().product();
+    let out_len: usize = exec.output_dims().iter().product();
+    let crop_len = in_len / BATCH;
+    let win_len = out_len / BATCH;
+    let mut input = vec![0.0f32; in_len];
+    let mut output = vec![0.0f32; out_len];
+    input[..crop_len].copy_from_slice(win);
+    exec.run_into(&input, &mut output).unwrap();
+    output[..win_len].to_vec()
+}
+
+fn named_planner(plans: HashMap<String, Arc<InferPlan>>) -> Planner {
+    Arc::new(move |_model, source| {
+        plans.get(source).cloned().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no checkpoint named `{source}`"),
+            )
+        })
+    })
+}
+
+/// The headline test: swap plans A <-> B six times under continuous
+/// traffic, then verify every response against offline inference under
+/// the plan its generation names, bit for bit.
+#[test]
+fn responses_stay_bit_identical_per_generation_across_reloads() {
+    let _guard = HUP_LOCK.lock().unwrap();
+    let plan_a = tiny_plan(1, BATCH);
+    let plan_b = tiny_plan(2, BATCH);
+    let planner = named_planner(HashMap::from([
+        ("ckpt-a".to_string(), Arc::clone(&plan_a)),
+        ("ckpt-b".to_string(), Arc::clone(&plan_b)),
+    ]));
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 8,
+        linger: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(
+        &cfg,
+        vec![ModelSpec {
+            name: "up4".into(),
+            source: "ckpt-a".into(),
+            plan: Arc::clone(&plan_a),
+        }],
+        Some(planner),
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = handle.local_addr();
+    let traffic = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).unwrap();
+            let mut got: Vec<(u64, u32, Vec<f32>)> = Vec::new();
+            let mut seed = 1000u64;
+            while !stop.load(Ordering::SeqCst) {
+                match client.infer(&request(seed)).unwrap() {
+                    InferOutcome::Ok(resp) => got.push((seed, resp.generation, resp.data)),
+                    // Explicit shedding is allowed; silent drops are not.
+                    InferOutcome::Busy | InferOutcome::Timeout => {}
+                    other => panic!("seed {seed}: unexpected {other:?}"),
+                }
+                seed += 1;
+            }
+            got
+        })
+    };
+
+    // generation -> source that planned it; generation 0 is the start.
+    let mut gen_source = vec!["ckpt-a"];
+    let mut ctl = ServeClient::connect(addr).unwrap();
+    for i in 0..6u32 {
+        let src = if i % 2 == 0 { "ckpt-b" } else { "ckpt-a" };
+        let generation = ctl.reload(0, src).unwrap();
+        assert_eq!(generation, i + 1, "reloads are serialized per model");
+        gen_source.push(src);
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    // Empty source re-plans the recorded checkpoint (last swap's).
+    let generation = ctl.reload(0, "").unwrap();
+    assert_eq!(generation, 7);
+    gen_source.push(gen_source[6]);
+    std::thread::sleep(Duration::from_millis(30));
+
+    stop.store(true, Ordering::SeqCst);
+    let got = traffic.join().unwrap();
+    ctl.shutdown().unwrap();
+    handle.join();
+
+    assert!(!got.is_empty(), "traffic thread served nothing");
+    let seen: std::collections::BTreeSet<u32> = got.iter().map(|g| g.1).collect();
+    assert!(
+        seen.len() >= 3,
+        "expected responses spanning several generations, saw {seen:?}"
+    );
+    for (seed, generation, data) in &got {
+        assert!(
+            (*generation as usize) < gen_source.len(),
+            "response stamped unknown generation {generation}"
+        );
+        let plan = match gen_source[*generation as usize] {
+            "ckpt-a" => &plan_a,
+            _ => &plan_b,
+        };
+        let want = offline(plan, &window(*seed));
+        assert_eq!(data.len(), want.len());
+        for (i, (a, b)) in data.iter().zip(&want).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "seed {seed} generation {generation} cell {i}: served {a} != offline {b}"
+            );
+        }
+    }
+}
+
+/// Programmatic swaps via the handle obey the same rules as wire
+/// reloads: generation bumps, geometry changes are refused, and a
+/// failed swap leaves the old plan and generation untouched.
+#[test]
+fn swap_model_bumps_generation_and_rejects_geometry_changes() {
+    let _guard = HUP_LOCK.lock().unwrap();
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        linger: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(
+        &cfg,
+        vec![ModelSpec {
+            name: "up4".into(),
+            source: String::new(),
+            plan: tiny_plan(1, BATCH),
+        }],
+        None,
+    )
+    .unwrap();
+    assert_eq!(handle.model_generation(0), Some(0));
+
+    let g = handle.swap_model(0, tiny_plan(2, BATCH), None).unwrap();
+    assert_eq!(g, 1);
+    assert_eq!(handle.model_generation(0), Some(1));
+
+    // A different batch lane count is a geometry change: refused.
+    let err = handle
+        .swap_model(0, tiny_plan(3, BATCH * 2), None)
+        .unwrap_err();
+    assert!(err.to_string().contains("changes geometry"), "{err}");
+    assert_eq!(handle.model_generation(0), Some(1), "no torn swap");
+
+    // The swapped plan serves immediately and stamps its generation.
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+    match client.infer(&request(42)).unwrap() {
+        InferOutcome::Ok(resp) => assert_eq!(resp.generation, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Without a planner, wire reloads are refused outright.
+    let err = client.reload(0, "anything").unwrap_err();
+    assert!(err.to_string().contains("no reload planner"), "{err}");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// SIGHUP re-plans every model from its recorded source — the
+/// operational "rotate checkpoints in place" path. A failing source
+/// counts as `reloads_failed` and leaves the serving plan untouched.
+#[test]
+fn sighup_reloads_all_models_from_recorded_sources() {
+    let _guard = HUP_LOCK.lock().unwrap();
+    let plan_a = tiny_plan(1, BATCH);
+    let planner = named_planner(HashMap::from([("ckpt-a".to_string(), Arc::clone(&plan_a))]));
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        linger: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(
+        &cfg,
+        vec![
+            ModelSpec {
+                name: "good".into(),
+                source: "ckpt-a".into(),
+                plan: Arc::clone(&plan_a),
+            },
+            ModelSpec {
+                name: "bad".into(),
+                source: "ckpt-missing".into(),
+                plan: tiny_plan(9, BATCH),
+            },
+        ],
+        Some(planner),
+    )
+    .unwrap();
+
+    signals::raise_hup();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.model_generation(0) != Some(1) {
+        assert!(Instant::now() < deadline, "SIGHUP reload never landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The model with a dead source keeps serving its old plan.
+    assert_eq!(handle.model_generation(1), Some(0));
+
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+    let mut status = String::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !status.contains("reloads_failed: 1") {
+        assert!(
+            Instant::now() < deadline,
+            "reload failure not counted:\n{status}"
+        );
+        status = client.status().unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(status.contains("reloads_ok: 1"), "{status}");
+
+    match client.infer(&request(7)).unwrap() {
+        InferOutcome::Ok(resp) => {
+            assert_eq!(resp.generation, 1);
+            let want = offline(&plan_a, &window(7));
+            for (a, b) in resp.data.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join();
+}

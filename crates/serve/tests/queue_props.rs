@@ -1,0 +1,232 @@
+//! Property tests for the [`BoundedQueue`] invariants the daemon's
+//! admission and drain guarantees rest on, hammered under real
+//! concurrency and verified over a seeded corpus:
+//!
+//! * `try_push` never blocks; `Full`/`Closed` are the only rejections.
+//! * `pop` reports `Closed` only when the queue is closed *and* empty —
+//!   every admitted item is drained to exactly one consumer.
+//! * `drain_up_to`/`drain_matching` never exceed their budget, never
+//!   invent or drop items, and never reorder items from one producer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mtsr_serve::queue::{BoundedQueue, Pop, PushError};
+use mtsr_tensor::Rng;
+
+fn case_rng(test_id: u64, case: u64) -> Rng {
+    Rng::seed_from(test_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
+}
+
+const POLL: Duration = Duration::from_millis(2);
+
+/// Producers race a mid-stream `close`: afterwards, the set of items
+/// consumers drained must equal exactly the set of successful pushes —
+/// `Closed` never fires while admitted items remain, and nothing is
+/// delivered twice.
+#[test]
+fn close_races_lose_no_admitted_items() {
+    for case in 0..20u64 {
+        let q = Arc::new(BoundedQueue::new(1 + (case as usize % 7)));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let mut producers = Vec::new();
+        for p in 0..3u64 {
+            let q = Arc::clone(&q);
+            let accepted = Arc::clone(&accepted);
+            producers.push(std::thread::spawn(move || loop {
+                let v = p * 1_000_000 + accepted.load(Ordering::SeqCst);
+                match q.try_push(v) {
+                    Ok(()) => {
+                        accepted.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(PushError::Full) => std::thread::yield_now(),
+                    Err(PushError::Closed) => return,
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut n = 0u64;
+                loop {
+                    match q.pop(POLL) {
+                        Pop::Item(_) => n += 1,
+                        Pop::Empty => continue,
+                        Pop::Closed => return n,
+                    }
+                }
+            }));
+        }
+        // Close at a case-dependent point mid-race.
+        std::thread::sleep(Duration::from_millis(1 + case % 5));
+        q.close();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let drained: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(
+            drained,
+            accepted.load(Ordering::SeqCst),
+            "case {case}: drained != admitted"
+        );
+        assert!(matches!(q.pop(POLL), Pop::Closed));
+        assert_eq!(q.depth(), 0);
+    }
+}
+
+/// `pop` must not report `Closed` while items remain, even when `close`
+/// lands between a push and the pop — the exact race the server's
+/// graceful drain depends on.
+#[test]
+fn closed_is_reported_only_after_drain() {
+    for case in 0..200u64 {
+        let q = Arc::new(BoundedQueue::new(8));
+        let k = 1 + (case as usize % 8);
+        for i in 0..k {
+            q.try_push(i).unwrap();
+        }
+        let closer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.close())
+        };
+        let mut got = 0;
+        loop {
+            match q.pop(POLL) {
+                Pop::Item(_) => got += 1,
+                Pop::Empty => continue,
+                Pop::Closed => break,
+            }
+        }
+        closer.join().unwrap();
+        assert_eq!(got, k, "case {case}: Closed fired with items remaining");
+    }
+}
+
+/// Seeded single-threaded property: `drain_matching(n, pred)` takes at
+/// most `n` items, takes only matching items in their queue order, and
+/// leaves the non-taken items in their exact original relative order.
+#[test]
+fn drain_matching_respects_budget_predicate_and_order() {
+    for case in 0..300u64 {
+        let mut rng = case_rng(3, case);
+        let len = rng.below(24);
+        let q = BoundedQueue::new(24);
+        // Items tagged (model, seq); seq is globally increasing.
+        let mut pushed = Vec::new();
+        for seq in 0..len {
+            let model = rng.below(3) as u64;
+            let item = (model, seq as u64);
+            q.try_push(item).unwrap();
+            pushed.push(item);
+        }
+        let want_model = rng.below(3) as u64;
+        let budget = rng.below(8);
+        let taken = q.drain_matching(budget, |&(m, _)| m == want_model);
+
+        assert!(taken.len() <= budget, "case {case}: budget exceeded");
+        assert!(
+            taken.iter().all(|&(m, _)| m == want_model),
+            "case {case}: predicate violated"
+        );
+        // Taken = the first `budget` matching items, in order.
+        let expect_taken: Vec<_> = pushed
+            .iter()
+            .copied()
+            .filter(|&(m, _)| m == want_model)
+            .take(budget)
+            .collect();
+        assert_eq!(taken, expect_taken, "case {case}");
+        // The remainder drains in original relative order.
+        let mut rest = Vec::new();
+        while let Pop::Item(it) = q.pop(Duration::ZERO) {
+            rest.push(it);
+        }
+        let expect_rest: Vec<_> = pushed
+            .iter()
+            .copied()
+            .filter(|it| !expect_taken.contains(it))
+            .collect();
+        assert_eq!(rest, expect_rest, "case {case}: survivors reordered");
+    }
+}
+
+/// Under concurrent producers and mixed `pop`/`drain_up_to`/
+/// `drain_matching` consumers, per-producer FIFO order is preserved and
+/// every admitted item arrives exactly once.
+#[test]
+fn concurrent_drains_preserve_per_producer_fifo() {
+    for case in 0..8u64 {
+        let q = Arc::new(BoundedQueue::new(4));
+        const PER: u64 = 200;
+        let mut producers = Vec::new();
+        for p in 0..3u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    loop {
+                        match q.try_push((p, i)) {
+                            Ok(()) => break,
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for c in 0..2u64 {
+            let q = Arc::clone(&q);
+            let seed = case * 16 + c;
+            consumers.push(std::thread::spawn(move || {
+                let mut rng = case_rng(4, seed);
+                let mut got: Vec<(u64, u64)> = Vec::new();
+                loop {
+                    match q.pop(POLL) {
+                        Pop::Item(it) => {
+                            got.push(it);
+                            // Mix in the batcher's top-up patterns.
+                            match rng.below(3) {
+                                0 => got.extend(q.drain_up_to(rng.below(4))),
+                                1 => {
+                                    let m = it.0;
+                                    got.extend(q.drain_matching(rng.below(4), |&(p, _)| p == m));
+                                }
+                                _ => {}
+                            }
+                        }
+                        Pop::Empty => continue,
+                        Pop::Closed => return got,
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let batches: Vec<Vec<(u64, u64)>> =
+            consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        let mut all: Vec<(u64, u64)> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..3u64)
+            .flat_map(|p| (0..PER).map(move |i| (p, i)))
+            .collect();
+        assert_eq!(all, want, "case {case}: items lost or duplicated");
+        // Within one consumer's stream, each producer's items ascend:
+        // no drain path reorders within a producer.
+        for (ci, got) in batches.iter().enumerate() {
+            let mut last = [None::<u64>; 3];
+            for &(p, i) in got {
+                if let Some(prev) = last[p as usize] {
+                    assert!(
+                        i > prev,
+                        "case {case} consumer {ci}: producer {p} reordered ({prev} then {i})"
+                    );
+                }
+                last[p as usize] = Some(i);
+            }
+        }
+    }
+}

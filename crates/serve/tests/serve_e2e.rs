@@ -6,9 +6,12 @@
 //! (explicit shedding, no silent drops), per-request deadline timeouts,
 //! and graceful drain answering every admitted request before exit.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use mtsr_serve::{InferOutcome, InferRequest, RemotePredictor, ServeClient, ServeConfig, Server};
+use mtsr_serve::{
+    InferOutcome, InferRequest, ModelSpec, RemotePredictor, ServeClient, ServeConfig, Server,
+};
 use mtsr_tensor::Rng;
 use mtsr_traffic::{
     CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, Split,
@@ -23,12 +26,13 @@ fn tiny_generator(s: usize) -> ZipNet {
 fn serve_tiny(cfg: &ServeConfig, s: usize, batch: usize) -> mtsr_serve::ServerHandle {
     let mut gen = tiny_generator(s);
     let exec = plan_zipnet(&mut gen, FusePolicy::Exact, batch, 3, 3).unwrap();
-    Server::start(cfg, exec).unwrap()
+    Server::start_single(cfg, exec).unwrap()
 }
 
 fn window_request(s: usize, deadline_ms: u32, seed: u64) -> InferRequest {
     let mut rng = Rng::seed_from(seed);
     InferRequest {
+        model: 0,
         deadline_ms,
         s: s as u32,
         h: 3,
@@ -63,7 +67,7 @@ fn served_frame_is_bit_identical_to_local_session() {
         ..ServeConfig::default()
     };
     let exec = plan_zipnet(&mut gen, FusePolicy::Exact, 3, 3, 3).unwrap();
-    let handle = Server::start(&cfg, exec).unwrap();
+    let handle = Server::start_single(&cfg, exec).unwrap();
 
     let t = ds.usable_indices(Split::Test)[0];
     let sample = ds.sample_at(t).unwrap();
@@ -220,6 +224,90 @@ fn graceful_drain_answers_all_admitted_requests() {
     assert_eq!(ok, vec![1, 2, 3], "admitted work drains to completion");
     assert_eq!(draining, vec![4], "post-drain submissions are refused");
 
+    handle.join();
+}
+
+/// Multi-model tenancy: one daemon serves two differently-shaped
+/// tenants over the shared batcher pool, routes by the model id in each
+/// INFER header, reports per-model geometry via INFO and per-model
+/// counters via STATUS, and rejects unknown model ids with ERR.
+#[test]
+fn two_tenants_route_by_model_id() {
+    let specs = [2usize, 3]
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut gen = tiny_generator(s);
+            let exec = plan_zipnet(&mut gen, FusePolicy::Exact, 2, 3, 3).unwrap();
+            ModelSpec {
+                name: format!("tenant{i}"),
+                source: String::new(),
+                plan: Arc::clone(exec.plan()),
+            }
+        })
+        .collect::<Vec<_>>();
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 8,
+        linger: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(&cfg, specs, None).unwrap();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    // Per-model INFO reports each tenant's own geometry.
+    for (model, s) in [(0u32, 2u32), (1, 3)] {
+        let info = client.info_for(model).unwrap();
+        assert_eq!((info.model, info.model_count), (model, 2));
+        assert_eq!((info.s, info.h, info.w), (s, 3, 3));
+        assert_eq!(info.generation, 0);
+    }
+
+    // Requests route by the id in their header: an s=3 window is valid
+    // for model 1 and a geometry error for model 0.
+    let mut req = window_request(3, 0, 21);
+    req.model = 1;
+    match client.infer(&req).unwrap() {
+        InferOutcome::Ok(resp) => {
+            assert_eq!((resp.model, resp.generation), (1, 0));
+            assert_eq!(resp.data.len(), 144);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    req.model = 0;
+    match client.infer(&req).unwrap() {
+        InferOutcome::Err(msg) => assert!(msg.contains("does not match"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match client.infer(&window_request(2, 0, 22)).unwrap() {
+        InferOutcome::Ok(resp) => assert_eq!((resp.model, resp.generation), (0, 0)),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Unknown tenant: ERR, connection stays usable.
+    req.model = 9;
+    match client.infer(&req).unwrap() {
+        InferOutcome::Err(msg) => assert!(msg.contains("unknown model id 9"), "{msg}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(client.info_for(9).is_err());
+
+    let mut status = String::new();
+    for _ in 0..100 {
+        status = client.status().unwrap();
+        if status.contains("in_flight: 0") && status.contains("served: 2") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for needle in [
+        "models: 2",
+        "model[0]: name=tenant0 generation=0 served=1 errors=1",
+        "model[1]: name=tenant1 generation=0 served=1 errors=0",
+    ] {
+        assert!(status.contains(needle), "missing `{needle}` in:\n{status}");
+    }
+
+    client.shutdown().unwrap();
     handle.join();
 }
 

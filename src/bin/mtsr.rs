@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 use zipnet_gan::core::checkpoint::{self, CheckpointPolicy};
 use zipnet_gan::core::{
@@ -28,7 +29,10 @@ use zipnet_gan::core::{
 };
 use zipnet_gan::metrics::{nrmse, psnr, ssim, MILAN_PEAK_MB};
 use zipnet_gan::prelude::*;
-use zipnet_gan::serve::{signals, RemotePredictor, ServeClient, ServeConfig, Server};
+use zipnet_gan::serve::{
+    signals, InferOutcome, InferRequest, ModelSpec, Planner, RemotePredictor, ServeClient,
+    ServeConfig, Server,
+};
 use zipnet_gan::telemetry::{PhaseReport, TelemetryReport};
 use zipnet_gan::tensor::TensorError;
 use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
@@ -313,7 +317,12 @@ fn cmd_train(args: &Args) -> CmdOutcome {
 /// Rebuilds the generator architecture for a dataset and loads weights
 /// from either a training container or a legacy weights-only checkpoint.
 fn load_generator(ds: &Dataset, path: &str, s: usize) -> Result<ZipNet, String> {
-    let upscale = ds.layout().grid / ds.layout().square;
+    load_generator_at(ds.layout().grid / ds.layout().square, path, s)
+}
+
+/// Geometry-only variant of [`load_generator`], used by the serve
+/// planner to re-plan checkpoints without rebuilding the dataset.
+fn load_generator_at(upscale: usize, path: &str, s: usize) -> Result<ZipNet, String> {
     let mut gen = ZipNet::new(&ZipNetConfig::tiny(upscale, s), &mut Rng::seed_from(0))
         .map_err(|e| e.to_string())?;
     checkpoint::load_generator_into(&mut gen, path).map_err(|e| e.to_string())?;
@@ -441,6 +450,7 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
         "serve",
         &[
             "model",
+            "models",
             "addr",
             "instance",
             "grid",
@@ -454,6 +464,7 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
             "queue",
             "deadline-ms",
             "linger-ms",
+            "max-conns",
             "exact",
             "telemetry",
         ],
@@ -463,12 +474,30 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
     let s = args.usize_flag("s", 3)?;
     let seed = args.u64_flag("seed", 42)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
-    let model_path = args.get("model").ok_or("--model <ckpt> required")?;
     let instance = parse_instance(args.get("instance"))?;
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
-    let mut gen = load_generator(&ds, model_path, s)?;
     let (_pipe, geo) = sliding_setup(args, &ds, grid)?;
     let cw = args.usize_flag("window", grid / 2)? / geo.probe;
+    let upscale = ds.layout().grid / ds.layout().square;
+
+    // Tenants: one model id per `name=ckpt` entry of --models (ids in
+    // listed order), or a single model 0 named `default` from --model.
+    let mut tenants: Vec<(String, String)> = Vec::new();
+    if let Some(spec) = args.get("models") {
+        for item in spec.split(',') {
+            let (name, path) = item.split_once('=').ok_or_else(|| {
+                format!("--models expects comma-separated name=ckpt entries, got `{item}`")
+            })?;
+            if name.is_empty() || path.is_empty() {
+                return Err(format!("--models entry `{item}` has an empty name or path"));
+            }
+            tenants.push((name.to_string(), path.to_string()));
+        }
+    } else if let Some(path) = args.get("model") {
+        tenants.push(("default".to_string(), path.to_string()));
+    } else {
+        return Err("--model <ckpt> or --models name=ckpt[,name=ckpt...] required".to_string());
+    }
 
     let batch = args.usize_flag("batch", 4)?;
     // BN folded into the weights by default (fastest); --exact keeps the
@@ -478,7 +507,23 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
     } else {
         FusePolicy::Folded
     };
-    let exec = plan_zipnet(&mut gen, policy, batch, cw, cw).map_err(|e| e.to_string())?;
+
+    // The planner both builds the initial plans and re-plans checkpoints
+    // for hot reload (RELOAD frames and SIGHUP), off the event loop.
+    let planner: Planner = Arc::new(move |_model, source| {
+        let mut gen = load_generator_at(upscale, source, s).map_err(std::io::Error::other)?;
+        let exec = plan_zipnet(&mut gen, policy, batch, cw, cw)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(Arc::clone(exec.plan()))
+    });
+    let mut specs = Vec::new();
+    for (name, path) in &tenants {
+        specs.push(ModelSpec {
+            name: name.clone(),
+            source: path.clone(),
+            plan: planner(0, path).map_err(|e| format!("planning `{name}` ({path}): {e}"))?,
+        });
+    }
 
     let cfg = ServeConfig {
         addr,
@@ -486,20 +531,27 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
         workers: args.usize_flag("workers", 2)?,
         deadline: Duration::from_millis(args.u64_flag("deadline-ms", 2_000)?),
         linger: Duration::from_millis(args.u64_flag("linger-ms", 2)?),
+        max_conns: args.usize_flag("max-conns", 4096)?,
         ..ServeConfig::default()
     };
-    let handle = Server::start(&cfg, exec).map_err(|e| e.to_string())?;
+    let handle = Server::start(&cfg, specs, Some(planner)).map_err(|e| e.to_string())?;
     signals::install();
     println!(
-        "serving {model_path} on {} ({} windows [S={s}, {cw}x{cw}] -> [{}x{}] per replay, \
-         queue {}, {} workers; SIGTERM or a SHUTDOWN frame drains gracefully)",
+        "serving {} model(s) on {} ({} windows [S={s}, {cw}x{cw}] -> [{}x{}] per replay, \
+         queue {}, {} workers, {} conns max; SIGHUP hot-reloads checkpoints, SIGTERM or a \
+         SHUTDOWN frame drains gracefully)",
+        tenants.len(),
         handle.local_addr(),
         batch,
         cw * geo.probe,
         cw * geo.probe,
         cfg.queue_cap,
         cfg.workers,
+        cfg.max_conns,
     );
+    for (id, (name, path)) in tenants.iter().enumerate() {
+        println!("  model {id}: {name} <- {path}");
+    }
     loop {
         if signals::triggered() {
             println!("termination signal: draining in-flight work...");
@@ -524,6 +576,10 @@ fn cmd_client(args: &Args) -> CmdOutcome {
             "addr",
             "status",
             "shutdown",
+            "reload",
+            "stress",
+            "requests",
+            "model-id",
             "frames",
             "instance",
             "grid",
@@ -536,6 +592,7 @@ fn cmd_client(args: &Args) -> CmdOutcome {
         ],
     )?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let model_id = args.usize_flag("model-id", 0)? as u32;
     let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
 
     if args.bool_flag("status")? {
@@ -546,6 +603,18 @@ fn cmd_client(args: &Args) -> CmdOutcome {
         client.shutdown().map_err(|e| e.to_string())?;
         println!("shutdown acknowledged by {addr}; daemon is draining");
         return Ok(Vec::new());
+    }
+    if let Some(spec) = args.get("reload") {
+        // Bare `--reload` re-plans the recorded checkpoint; a value
+        // swaps in a new checkpoint path. `--model-id` picks the slot.
+        let source = if spec == "true" { "" } else { spec };
+        let generation = client.reload(model_id, source).map_err(|e| e.to_string())?;
+        println!("model {model_id} reloaded; now serving plan generation {generation}");
+        return Ok(Vec::new());
+    }
+    if let Some(conns) = args.usize_opt("stress")? {
+        drop(client);
+        return cmd_stress(&addr, model_id, conns, args.usize_flag("requests", 4)?);
     }
 
     // Prediction mode: regenerate the dataset the daemon was started
@@ -559,8 +628,9 @@ fn cmd_client(args: &Args) -> CmdOutcome {
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
     let (_pipe, geo) = sliding_setup(args, &ds, grid)?;
     let window = args.usize_flag("window", grid / 2)?;
-    let mut remote = RemotePredictor::new(client, geo.origins, window, geo.grid, geo.probe)
-        .map_err(|e| e.to_string())?;
+    let mut remote =
+        RemotePredictor::for_model(client, model_id, geo.origins, window, geo.grid, geo.probe)
+            .map_err(|e| e.to_string())?;
 
     let idx = ds.usable_indices(Split::Test);
     let take = frames.min(idx.len());
@@ -581,6 +651,137 @@ fn cmd_client(args: &Args) -> CmdOutcome {
         );
     }
     println!("predicted {take} frame(s) via {addr}");
+    Ok(Vec::new())
+}
+
+/// Stress driver for the serving daemon: `conns` concurrent
+/// connections each submit `requests` random windows of the daemon's
+/// own reported geometry, retrying explicit shedding (`BUSY`/`TIMEOUT`)
+/// until served, while one extra slow-loris connection trickles a
+/// partial frame and then disconnects mid-frame. Fails unless every
+/// submitted request reaches a served reply — admitted work must never
+/// be dropped, reloads and signals included.
+fn cmd_stress(addr: &str, model: u32, conns: usize, requests: usize) -> CmdOutcome {
+    use std::io::Write as _;
+
+    let mut probe = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    let info = probe.info_for(model).map_err(|e| e.to_string())?;
+    let elems = (info.s * info.h * info.w) as usize;
+    println!(
+        "stressing {addr} model {model} (geometry [{}, {}, {}], generation {}) with \
+         {conns} connections x {requests} requests + 1 slow-loris...",
+        info.s, info.h, info.w, info.generation
+    );
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let loris = {
+        let addr = addr.to_string();
+        let stop = Arc::clone(&stop);
+        let (s, h, w) = (info.s, info.h, info.w);
+        std::thread::spawn(move || {
+            let Ok(mut stream) = std::net::TcpStream::connect(&addr) else {
+                return;
+            };
+            let req = InferRequest {
+                model,
+                deadline_ms: 0,
+                s,
+                h,
+                w,
+                data: vec![0.0; (s * h * w) as usize],
+            };
+            let mut frame = Vec::new();
+            zipnet_gan::serve::protocol::write_request(
+                &mut frame,
+                zipnet_gan::serve::protocol::Opcode::Infer,
+                1,
+                &req.encode(),
+            )
+            .expect("Vec write");
+            // Trickle a prefix one byte at a time, hold the socket open
+            // until the stress ends, then drop it mid-frame.
+            for b in &frame[..64.min(frame.len() - 1)] {
+                if stop.load(std::sync::atomic::Ordering::SeqCst)
+                    || stream.write_all(std::slice::from_ref(b)).is_err()
+                {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    let mut workers = Vec::with_capacity(conns);
+    for c in 0..conns {
+        let addr = addr.to_string();
+        let (s, h, w) = (info.s, info.h, info.w);
+        workers.push(std::thread::spawn(move || -> Result<(u64, u64), String> {
+            let mut client = ServeClient::connect(&addr).map_err(|e| e.to_string())?;
+            let mut rng = Rng::seed_from(0xbeef ^ c as u64);
+            let (mut served, mut shed) = (0u64, 0u64);
+            for r in 0..requests {
+                let req = InferRequest {
+                    model,
+                    deadline_ms: 10_000,
+                    s,
+                    h,
+                    w,
+                    data: (0..elems).map(|_| rng.next_f32()).collect(),
+                };
+                let deadline = std::time::Instant::now() + Duration::from_secs(120);
+                loop {
+                    if std::time::Instant::now() > deadline {
+                        return Err(format!("conn {c} request {r}: no reply within 120s"));
+                    }
+                    match client.infer(&req).map_err(|e| e.to_string())? {
+                        InferOutcome::Ok(_) => {
+                            served += 1;
+                            break;
+                        }
+                        // Explicit shedding: back off and resubmit.
+                        InferOutcome::Busy | InferOutcome::Timeout => {
+                            shed += 1;
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        other => return Err(format!("conn {c} request {r}: {other:?}")),
+                    }
+                }
+            }
+            Ok((served, shed))
+        }));
+    }
+
+    let (mut served, mut shed) = (0u64, 0u64);
+    let mut failures = Vec::new();
+    for worker in workers {
+        match worker.join().map_err(|_| "stress worker panicked")? {
+            Ok((ok, re)) => {
+                served += ok;
+                shed += re;
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    loris.join().map_err(|_| "slow-loris thread panicked")?;
+    if !failures.is_empty() {
+        return Err(format!(
+            "stress dropped requests: {} failure(s), first: {}",
+            failures.len(),
+            failures[0]
+        ));
+    }
+    let want = (conns * requests) as u64;
+    if served != want {
+        return Err(format!("stress served {served} of {want} requests"));
+    }
+    println!(
+        "stress complete: {served}/{want} requests served ({shed} shed-and-retried), \
+         0 dropped"
+    );
     Ok(Vec::new())
 }
 
@@ -622,19 +823,28 @@ fn usage() -> &'static str {
                      [--halt-after N]\n\
        mtsr eval     --model CKPT [--instance ...] [--grid N] [--seed S]\n\
        mtsr stream   --model CKPT [--frames N] [--instance ...] [--grid N] [--seed S]\n\
-       mtsr serve    --model CKPT [--addr HOST:PORT] [--batch B] [--workers W]\n\
-                     [--queue N] [--deadline-ms MS] [--linger-ms MS] [--exact]\n\
+       mtsr serve    (--model CKPT | --models NAME=CKPT[,NAME=CKPT...])\n\
+                     [--addr HOST:PORT] [--batch B] [--workers W] [--queue N]\n\
+                     [--deadline-ms MS] [--linger-ms MS] [--max-conns N] [--exact]\n\
                      [--window N] [--stride N] [--instance ...] [--grid N] [--seed S]\n\
-       mtsr client   [--addr HOST:PORT] (--status | --shutdown | [--frames N]\n\
+       mtsr client   [--addr HOST:PORT] [--model-id N] (--status | --shutdown |\n\
+                     --reload [CKPT] | --stress CONNS [--requests R] | [--frames N]\n\
                      [--window N] [--stride N] [--instance ...] [--grid N] [--seed S])\n\
      \n\
-     Serving: `serve` loads a checkpoint once, compiles a batched inference\n\
-     plan and answers low-res windows over a length-prefixed TCP protocol\n\
-     with dynamic batching, BUSY backpressure when the bounded queue is\n\
-     full, per-request deadlines and graceful drain on SIGTERM/SHUTDOWN.\n\
+     Serving: `serve` compiles each checkpoint into a batched inference plan\n\
+     and answers low-res windows over a length-prefixed TCP protocol. A\n\
+     single epoll/poll event loop fronts thousands of connections with a\n\
+     fixed thread count; a shared batcher pool routes requests to the model\n\
+     id in each INFER header, with BUSY backpressure when the bounded queue\n\
+     is full, per-request deadlines and graceful drain on SIGTERM/SHUTDOWN.\n\
+     Hot reload: `client --reload [CKPT]` (or SIGHUP for every model) swaps\n\
+     a freshly planned checkpoint atomically — in-flight batches finish on\n\
+     the old plan, replies are stamped with the plan generation, and each\n\
+     generation stays bit-identical to offline inference under its plan.\n\
      `client --frames N` reconstructs full test frames remotely (bit-\n\
      identical to local inference when the policies match); `--status`\n\
-     prints queue depth, in-flight count and latency percentiles.\n\
+     prints global and per-model counters and latency percentiles;\n\
+     `--stress CONNS` hammers the daemon and fails on any dropped request.\n\
      \n\
      Checkpointing: --out receives a crash-safe training container (weights,\n\
      Adam moments, RNG and schedule state). --checkpoint-every N also writes\n\
