@@ -2,7 +2,7 @@
 //! through the planned, fused, batched executor versus the layer-by-layer
 //! reference path.
 //!
-//! Four measurements of the same §4 workload (tiny Milan instance,
+//! Five measurements of the same §4 workload (tiny Milan instance,
 //! 20×20 grid, window 12, stride 4 → 9 overlapping windows per frame):
 //!
 //! 1. `pre_fastpath` — layer-by-layer `predict_full` with the unit-stride
@@ -18,7 +18,9 @@
 //! 3. `fused_exact` — the planned executor with the BN constants riding
 //!    the GEMM epilogue (bit-identical outputs);
 //! 4. `fused_folded` — BN folded into the weights at plan time (the
-//!    production default).
+//!    production default);
+//! 5. `quantized` — folded, then conv weights quantized to per-channel
+//!    int8 with integer-accumulating GEMMs (`FusePolicy::Quantized`).
 //!
 //! The headline is full-grid **snapshots/sec** (from the per-route
 //! minimum — see [`bench`] for why minima, not medians, drive the
@@ -94,7 +96,12 @@ struct Entry {
     snapshots_per_sec: f64,
 }
 
-fn write_json(entries: &[Entry], speedup_pre_pr: f64, speedup_layerwise: f64) {
+fn write_json(
+    entries: &[Entry],
+    speedup_pre_pr: f64,
+    speedup_layerwise: f64,
+    speedup_quantized: f64,
+) {
     // crates/bench → repo root.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let mut s = String::new();
@@ -108,6 +115,10 @@ fn write_json(entries: &[Entry], speedup_pre_pr: f64, speedup_layerwise: f64) {
     let _ = writeln!(
         s,
         r#"  "speedup_folded_vs_layerwise": {speedup_layerwise:.3},"#
+    );
+    let _ = writeln!(
+        s,
+        r#"  "speedup_quantized_vs_folded": {speedup_quantized:.3},"#
     );
     let _ = writeln!(s, r#"  "entries": ["#);
     let rows: Vec<String> = entries
@@ -233,12 +244,19 @@ fn main() {
     let folded_t = bench(budget, || {
         folded.predict_full(&ds, t).unwrap();
     });
+    let mut quantized = pipe
+        .session(&mut net, &ds, FusePolicy::Quantized, batch)
+        .unwrap();
+    let quantized_t = bench(budget, || {
+        quantized.predict_full(&ds, t).unwrap();
+    });
 
     let entries: Vec<Entry> = [
         ("pre_fastpath.full_grid", pre_pr),
         ("layerwise.full_grid", layer),
         ("fused_exact.full_grid", exact_t),
         ("fused_folded.full_grid", folded_t),
+        ("quantized.full_grid", quantized_t),
     ]
     .into_iter()
     .map(|(name, (min_ns, median_ns))| Entry {
@@ -250,6 +268,7 @@ fn main() {
     .collect();
     let speedup_pre_pr = pre_pr.0 as f64 / folded_t.0 as f64;
     let speedup_layerwise = layer.0 as f64 / folded_t.0 as f64;
+    let speedup_quantized = folded_t.0 as f64 / quantized_t.0 as f64;
     for e in &entries {
         println!(
             "{:<28} min {:>9.2} ms  median {:>9.2} ms  {:>8.1} snapshots/sec",
@@ -261,14 +280,28 @@ fn main() {
     }
     println!("fused-folded speedup over pre-fast-path route: {speedup_pre_pr:.2}x");
     println!("fused-folded speedup over current layer-by-layer: {speedup_layerwise:.2}x");
+    println!("quantized speedup over fused-folded: {speedup_quantized:.2}x");
     report_phase_spans();
-    write_json(&entries, speedup_pre_pr, speedup_layerwise);
+    write_json(
+        &entries,
+        speedup_pre_pr,
+        speedup_layerwise,
+        speedup_quantized,
+    );
 
     if folded_t.0 > layer.0 {
         eprintln!(
             "REGRESSION: fused full-grid minimum ({} ns) slower than \
              layer-by-layer ({} ns)",
             folded_t.0, layer.0
+        );
+        std::process::exit(1);
+    }
+    if quantized_t.0 > folded_t.0 {
+        eprintln!(
+            "REGRESSION: quantized full-grid minimum ({} ns) slower than \
+             fused-folded ({} ns)",
+            quantized_t.0, folded_t.0
         );
         std::process::exit(1);
     }

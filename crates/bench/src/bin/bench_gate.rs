@@ -25,9 +25,25 @@ use mtsr_telemetry::Json;
 /// Bench report files the gate checks when no `--file` is given.
 const DEFAULT_FILES: [&str; 3] = ["BENCH_GEMM.json", "BENCH_CONV.json", "BENCH_INFER.json"];
 
+/// Route-speedup floors checked *within the fresh run* — both sides are
+/// measured on the same host in the same process, so the floor holds on
+/// any machine speed, unlike a cross-run ratio against committed numbers:
+/// `(file, fast entry, reference entry, minimum speedup)`. The quantized
+/// int8 route must keep its acceptance margin over the exact folded route
+/// or the gate fails even if neither entry regressed in isolation.
+const SPEEDUP_FLOORS: [(&str, &str, &str, f64); 1] = [(
+    "BENCH_INFER.json",
+    "quantized.full_grid",
+    "fused_folded.full_grid",
+    1.5,
+)];
+
 struct Entry {
     name: String,
     median_ns: u64,
+    /// Per-route minimum; only the infer report emits it (the speedup
+    /// floors compare minima, which are robust to bursty runner load).
+    min_ns: Option<u64>,
 }
 
 fn load_entries(path: &Path) -> Result<Vec<Entry>, String> {
@@ -50,6 +66,7 @@ fn load_entries(path: &Path) -> Result<Vec<Entry>, String> {
         out.push(Entry {
             name: name.to_string(),
             median_ns,
+            min_ns: e.get("min_ns").and_then(Json::as_u64),
         });
     }
     Ok(out)
@@ -132,6 +149,26 @@ fn run(args: &Args) -> Result<bool, String> {
                     f.name, f.median_ns
                 );
             }
+        }
+        for (_, fast_name, ref_name, floor) in SPEEDUP_FLOORS.iter().filter(|(ff, ..)| ff == file) {
+            let min_of = |name: &str| {
+                fresh
+                    .iter()
+                    .find(|e| e.name == name)
+                    .and_then(|e| e.min_ns)
+                    .ok_or_else(|| format!("{file}: no `min_ns` for `{name}` in the fresh run"))
+            };
+            let (fast, reference) = (min_of(fast_name)?, min_of(ref_name)?);
+            let speedup = reference as f64 / fast as f64;
+            let verdict = if speedup < *floor {
+                ok = false;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {verdict:<4}  {fast_name} vs {ref_name}: {speedup:.2}x (floor {floor:.1}x)"
+            );
         }
     }
     Ok(ok)

@@ -20,7 +20,7 @@
 //!   through one executor invocation. Per-sample kernels make batched
 //!   results bit-identical to one-at-a-time runs.
 //!
-//! Two fusion policies trade exactness against speed:
+//! Three fusion policies trade exactness against speed:
 //!
 //! * [`FusePolicy::Exact`] carries the raw conv bias plus the BN running
 //!   statistics (`μ`, `1/√(σ²+ε)`, `γ`, `β`) into the epilogue. The
@@ -30,17 +30,31 @@
 //!   ([`mtsr_nn::fold`]), leaving a bias+LeakyReLU epilogue. Fewer
 //!   per-element ops, but the re-associated products match the layer
 //!   stack only to f32 round-off.
+//! * [`FusePolicy::Quantized`] folds like `Folded`, then quantizes the
+//!   folded conv weights to per-output-channel int8
+//!   ([`mtsr_tensor::qmatmul`]) and runs the conv GEMMs with exact `i32`
+//!   accumulation and dynamic per-call activation scales. Transposed-conv
+//!   weights are quantize-dequantized instead (their GEMMs reduce over a
+//!   handful of channels, so integer inner loops buy nothing) and run the
+//!   f32 kernels — the int8 representation error is still part of the
+//!   plan. Accuracy is bounded by NRMSE-delta acceptance tests against
+//!   the exact route, not bit-compared.
 
 use crate::config::{upscale_blocks, SkipMode};
 use crate::discriminator::Discriminator;
 use crate::zipnet::ZipNet;
-use mtsr_nn::fold::{bn_fold_constants, scale_channel_axis, CONV_CO_AXIS, DECONV_CO_AXIS};
+use mtsr_nn::fold::{
+    bn_fold_constants, quantize_dequantize_channel_axis, scale_channel_axis, CONV_CO_AXIS,
+    DECONV_CO_AXIS,
+};
 use mtsr_nn::layer::Layer;
 use mtsr_nn::layers::BN_EPS;
 use mtsr_tensor::conv::{
-    conv2d_forward_into, conv3d_forward_into, conv_transpose3d_forward_into, Conv2dSpec, Conv3dSpec,
+    conv2d_forward_into, conv2d_forward_q_into, conv3d_forward_into, conv3d_forward_q_into,
+    conv_transpose3d_forward_into, Conv2dSpec, Conv3dSpec,
 };
 use mtsr_tensor::matmul::{sgemm_nt, BnEpilogue, Epilogue};
+use mtsr_tensor::qmatmul::QuantizedMat;
 use mtsr_tensor::{Result, Tensor, TensorError};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -51,9 +65,35 @@ pub enum FusePolicy {
     /// Epilogue carries the BN constants; bit-identical to the layer
     /// stack's eval forward. Used by exactness tests.
     Exact,
-    /// BN folded into weights and bias at plan time; fastest, matches the
-    /// layer stack to f32 round-off. The default for production inference.
+    /// BN folded into weights and bias at plan time; fastest f32 route,
+    /// matches the layer stack to f32 round-off. The default for
+    /// production inference.
     Folded,
+    /// Folded, then conv weights quantized to per-channel int8 with
+    /// integer-accumulating GEMMs (deconv weights quantize-dequantized,
+    /// f32 kernels). Fastest route; accuracy bounded by NRMSE tests.
+    Quantized,
+}
+
+impl FusePolicy {
+    /// Stable lowercase name, used by the CLI and the serve INFO report.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusePolicy::Exact => "exact",
+            FusePolicy::Folded => "folded",
+            FusePolicy::Quantized => "quantized",
+        }
+    }
+
+    /// Parses the CLI spelling produced by [`FusePolicy::name`].
+    pub fn parse(s: &str) -> Option<FusePolicy> {
+        match s {
+            "exact" => Some(FusePolicy::Exact),
+            "folded" => Some(FusePolicy::Folded),
+            "quantized" => Some(FusePolicy::Quantized),
+            _ => None,
+        }
+    }
 }
 
 fn plan_err(reason: String) -> TensorError {
@@ -99,6 +139,20 @@ enum Kernel {
     },
     Conv3d {
         w: Tensor,
+        spec: Conv3dSpec,
+        ep: EpConsts,
+    },
+    /// [`FusePolicy::Quantized`] conv: per-channel int8 weight codes plus
+    /// the original weight dims (for the im2col geometry).
+    Conv2dQuant {
+        wq: QuantizedMat,
+        w_dims: Vec<usize>,
+        spec: Conv2dSpec,
+        ep: EpConsts,
+    },
+    Conv3dQuant {
+        wq: QuantizedMat,
+        w_dims: Vec<usize>,
         spec: Conv3dSpec,
         ep: EpConsts,
     },
@@ -209,7 +263,13 @@ impl GraphBuilder {
     /// skip-connection sources in particular — stay pinned to their slot
     /// until their last use; everything else ping-pongs through a handful
     /// of recycled buffers.
-    fn finish(self, output: usize, in_dims: Vec<usize>, out_dims: Vec<usize>) -> Result<InferExec> {
+    fn finish(
+        self,
+        output: usize,
+        in_dims: Vec<usize>,
+        out_dims: Vec<usize>,
+        fuse: FusePolicy,
+    ) -> Result<InferExec> {
         let nv = self.value_len.len();
         if self.steps.is_empty() || output == 0 {
             return Err(plan_err("empty inference graph".into()));
@@ -311,6 +371,7 @@ impl GraphBuilder {
             in_dims,
             out_dims,
             out_slot,
+            fuse,
         })))
     }
 }
@@ -327,12 +388,20 @@ pub struct InferPlan {
     in_dims: Vec<usize>,
     out_dims: Vec<usize>,
     out_slot: usize,
+    /// The policy the plan was built under; self-describing so serving
+    /// layers can report it without out-of-band bookkeeping.
+    fuse: FusePolicy,
 }
 
 impl InferPlan {
     /// The `[batch, …]` input shape the plan is specialised for.
     pub fn input_dims(&self) -> &[usize] {
         &self.in_dims
+    }
+
+    /// The fuse policy this plan was built under.
+    pub fn fuse_policy(&self) -> FusePolicy {
+        self.fuse
     }
 
     /// The output shape one run produces.
@@ -388,6 +457,18 @@ fn run_kernel(kernel: &Kernel, src: &[f32], dst: &mut [f32], in_dims: &[usize]) 
             dst,
             Some(&ep.epilogue()),
         ),
+        Kernel::Conv2dQuant {
+            wq,
+            w_dims,
+            spec,
+            ep,
+        } => conv2d_forward_q_into(src, in_dims, wq, w_dims, spec, dst, &ep.epilogue()),
+        Kernel::Conv3dQuant {
+            wq,
+            w_dims,
+            spec,
+            ep,
+        } => conv3d_forward_q_into(src, in_dims, wq, w_dims, spec, dst, &ep.epilogue()),
         Kernel::Deconv3d { w, spec, ep } => conv_transpose3d_forward_into(
             src,
             in_dims,
@@ -563,63 +644,104 @@ fn conv_stage(
 ) -> Result<(Tensor, EpConsts)> {
     let mut w = get(params, &format!("{conv}.weight"))?;
     let bias = get(params, &format!("{conv}.bias"))?.as_slice().to_vec();
-    let Some(bn) = bn else {
-        return Ok((
-            w,
-            EpConsts {
-                bias,
-                bn: None,
-                alpha,
-            },
-        ));
+    let ep = match bn {
+        None => EpConsts {
+            bias,
+            bn: None,
+            alpha,
+        },
+        Some(bn) => {
+            let gamma = get(params, &format!("{bn}.gamma"))?;
+            let beta = get(params, &format!("{bn}.beta"))?;
+            let mean = get(params, &format!("{bn}.running_mean"))?;
+            let var = get(params, &format!("{bn}.running_var"))?;
+            match policy {
+                FusePolicy::Exact => {
+                    // Same inv-std expression as the BatchNorm eval
+                    // forward, so the fused epilogue is bit-identical to
+                    // the layer stack.
+                    let inv_std = var.map(|v| 1.0 / (v + BN_EPS).sqrt());
+                    EpConsts {
+                        bias,
+                        bn: Some([
+                            mean.as_slice().to_vec(),
+                            inv_std.as_slice().to_vec(),
+                            gamma.as_slice().to_vec(),
+                            beta.as_slice().to_vec(),
+                        ]),
+                        alpha,
+                    }
+                }
+                FusePolicy::Folded | FusePolicy::Quantized => {
+                    let (scale, shift) = bn_fold_constants(
+                        gamma.as_slice(),
+                        beta.as_slice(),
+                        mean.as_slice(),
+                        var.as_slice(),
+                    );
+                    let dims = w.dims().to_vec();
+                    scale_channel_axis(&dims, w.as_mut_slice(), co_axis, &scale)?;
+                    let bias = bias
+                        .iter()
+                        .zip(&scale)
+                        .zip(&shift)
+                        .map(|((b, s), sh)| b * s + sh)
+                        .collect();
+                    EpConsts {
+                        bias,
+                        bn: None,
+                        alpha,
+                    }
+                }
+            }
+        }
     };
-    let gamma = get(params, &format!("{bn}.gamma"))?;
-    let beta = get(params, &format!("{bn}.beta"))?;
-    let mean = get(params, &format!("{bn}.running_mean"))?;
-    let var = get(params, &format!("{bn}.running_var"))?;
-    match policy {
-        FusePolicy::Exact => {
-            // Same inv-std expression as the BatchNorm eval forward, so
-            // the fused epilogue is bit-identical to the layer stack.
-            let inv_std = var.map(|v| 1.0 / (v + BN_EPS).sqrt());
-            Ok((
-                w,
-                EpConsts {
-                    bias,
-                    bn: Some([
-                        mean.as_slice().to_vec(),
-                        inv_std.as_slice().to_vec(),
-                        gamma.as_slice().to_vec(),
-                        beta.as_slice().to_vec(),
-                    ]),
-                    alpha,
-                },
-            ))
+    // Transposed convs under the quantized policy run f32 kernels over
+    // quantize-dequantized weights: the reduction extent is only the
+    // deconv input-channel count, too short for integer GEMM to pay.
+    if policy == FusePolicy::Quantized && co_axis == DECONV_CO_AXIS {
+        let dims = w.dims().to_vec();
+        quantize_dequantize_channel_axis(&dims, w.as_mut_slice(), co_axis)?;
+    }
+    Ok((w, ep))
+}
+
+/// Wraps a (possibly folded) conv2d weight as the policy's kernel:
+/// quantized policies reshape `[Co, Ci, kh, kw]` to `Co × (Ci·kh·kw)` and
+/// quantize per output channel — exactly the row layout the im2col GEMM
+/// multiplies against.
+fn conv2d_kernel(w: Tensor, spec: Conv2dSpec, ep: EpConsts, policy: FusePolicy) -> Kernel {
+    if policy == FusePolicy::Quantized {
+        let w_dims = w.dims().to_vec();
+        let co = w_dims[0];
+        let cols: usize = w_dims[1..].iter().product();
+        let wq = QuantizedMat::quantize_rows(w.as_slice(), co, cols);
+        Kernel::Conv2dQuant {
+            wq,
+            w_dims,
+            spec,
+            ep,
         }
-        FusePolicy::Folded => {
-            let (scale, shift) = bn_fold_constants(
-                gamma.as_slice(),
-                beta.as_slice(),
-                mean.as_slice(),
-                var.as_slice(),
-            );
-            let dims = w.dims().to_vec();
-            scale_channel_axis(&dims, w.as_mut_slice(), co_axis, &scale)?;
-            let bias = bias
-                .iter()
-                .zip(&scale)
-                .zip(&shift)
-                .map(|((b, s), sh)| b * s + sh)
-                .collect();
-            Ok((
-                w,
-                EpConsts {
-                    bias,
-                    bn: None,
-                    alpha,
-                },
-            ))
+    } else {
+        Kernel::Conv2d { w, spec, ep }
+    }
+}
+
+/// [`conv2d_kernel`] for `[Co, Ci, kd, kh, kw]` conv3d weights.
+fn conv3d_kernel(w: Tensor, spec: Conv3dSpec, ep: EpConsts, policy: FusePolicy) -> Kernel {
+    if policy == FusePolicy::Quantized {
+        let w_dims = w.dims().to_vec();
+        let co = w_dims[0];
+        let cols: usize = w_dims[1..].iter().product();
+        let wq = QuantizedMat::quantize_rows(w.as_slice(), co, cols);
+        Kernel::Conv3dQuant {
+            wq,
+            w_dims,
+            spec,
+            ep,
         }
+    } else {
+        Kernel::Conv3d { w, spec, ep }
     }
 }
 
@@ -684,11 +806,7 @@ pub fn plan_zipnet(
                 CONV_CO_AXIS,
             )?;
             v = gb.push(
-                Kernel::Conv3d {
-                    w: wt,
-                    spec: Conv3dSpec::same(3, 3),
-                    ep,
-                },
+                conv3d_kernel(wt, Conv3dSpec::same(3, 3), ep, policy),
                 v,
                 None,
                 vec![batch, ch, s, hh, ww],
@@ -711,14 +829,15 @@ pub fn plan_zipnet(
         CONV_CO_AXIS,
     )?;
     v = gb.push(
-        Kernel::Conv3d {
-            w: wt,
-            spec: Conv3dSpec {
+        conv3d_kernel(
+            wt,
+            Conv3dSpec {
                 stride: (1, 1, 1),
                 pad: (0, 0, 0),
             },
             ep,
-        },
+            policy,
+        ),
         v,
         None,
         vec![batch, ch, s, hh, ww],
@@ -742,11 +861,7 @@ pub fn plan_zipnet(
             CONV_CO_AXIS,
         )?;
         let mut b = gb.push(
-            Kernel::Conv2d {
-                w: wt,
-                spec: Conv2dSpec::same(3),
-                ep,
-            },
+            conv2d_kernel(wt, Conv2dSpec::same(3), ep, policy),
             acts[i],
             None,
             dims2.clone(),
@@ -800,11 +915,7 @@ pub fn plan_zipnet(
         CONV_CO_AXIS,
     )?;
     v = gb.push(
-        Kernel::Conv2d {
-            w: wt,
-            spec: Conv2dSpec::same(3),
-            ep,
-        },
+        conv2d_kernel(wt, Conv2dSpec::same(3), ep, policy),
         core,
         None,
         dims2,
@@ -820,11 +931,7 @@ pub fn plan_zipnet(
         CONV_CO_AXIS,
     )?;
     v = gb.push(
-        Kernel::Conv2d {
-            w: wt,
-            spec: Conv2dSpec::same(3),
-            ep,
-        },
+        conv2d_kernel(wt, Conv2dSpec::same(3), ep, policy),
         v,
         None,
         vec![batch, 2 * ch, hh, ww],
@@ -833,11 +940,7 @@ pub fn plan_zipnet(
     )?;
     let (wt, ep) = conv_stage(&params, "tail2", None, None, policy, CONV_CO_AXIS)?;
     v = gb.push(
-        Kernel::Conv2d {
-            w: wt,
-            spec: Conv2dSpec::same(3),
-            ep,
-        },
+        conv2d_kernel(wt, Conv2dSpec::same(3), ep, policy),
         v,
         None,
         vec![batch, 4 * ch, hh, ww],
@@ -845,7 +948,7 @@ pub fn plan_zipnet(
         false,
     )?;
 
-    gb.finish(v, in_dims, vec![batch, 1, hh, ww])
+    gb.finish(v, in_dims, vec![batch, 1, hh, ww], policy)
 }
 
 /// Plans the eval forward of a [`Discriminator`] for inputs
@@ -883,14 +986,15 @@ pub fn plan_discriminator(
         hh = (hh - 1) / stride + 1;
         ww = (ww - 1) / stride + 1;
         v = gb.push(
-            Kernel::Conv2d {
-                w: wt,
-                spec: Conv2dSpec {
+            conv2d_kernel(
+                wt,
+                Conv2dSpec {
                     stride: (stride, stride),
                     pad: (1, 1),
                 },
                 ep,
-            },
+                policy,
+            ),
             v,
             None,
             cur_dims,
@@ -920,7 +1024,7 @@ pub fn plan_discriminator(
         batch,
         false,
     )?;
-    gb.finish(v, in_dims, vec![batch, 1])
+    gb.finish(v, in_dims, vec![batch, 1], policy)
 }
 
 #[cfg(test)]

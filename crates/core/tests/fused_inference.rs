@@ -9,6 +9,7 @@
 //! * `fold_batchnorms` survives an `mtsr_nn::io` save/reload round-trip
 //!   and stays within f32 round-off of the unfolded eval model.
 
+use mtsr_metrics::nrmse;
 use mtsr_nn::layer::Layer;
 use mtsr_tensor::parallel::set_num_threads;
 use mtsr_tensor::{Rng, Tensor};
@@ -180,6 +181,69 @@ fn folded_session_within_roundoff() {
     let out = session.predict_full(&ds, t).unwrap();
     let diff = max_abs_diff(&out, &reference);
     assert!(diff < 1e-3, "folded full-grid drifted by {diff}");
+}
+
+/// Relative RMS error of `got` against `reference` — scale-free, defined
+/// even when the reference mean is ~0 (unlike the traffic NRMSE).
+fn rel_rms(got: &Tensor, reference: &Tensor) -> f64 {
+    let (mut se, mut sr) = (0.0f64, 0.0f64);
+    for (g, r) in got.as_slice().iter().zip(reference.as_slice()) {
+        se += ((g - r) as f64).powi(2);
+        sr += (*r as f64).powi(2);
+    }
+    (se / sr.max(1e-30)).sqrt()
+}
+
+/// The quantized policy tracks the exact plan within a small relative
+/// error at every paper upscaling factor (up-2 / up-4 / up-10), and its
+/// integer accumulation makes reruns bit-identical.
+#[test]
+fn quantized_plans_track_exact_at_all_upscales() {
+    for upscale in [2usize, 4, 10] {
+        let h = if upscale == 10 { 2 } else { 3 };
+        let cfg = ZipNetConfig::tiny(upscale, 2);
+        let mut net = warmed_zipnet(&cfg, 200 + upscale as u64, h);
+        let x = Tensor::rand_normal([2, 1, 2, h, h], 0.0, 1.0, &mut Rng::seed_from(201));
+        let y_ref = plan_zipnet(&mut net, FusePolicy::Exact, 2, h, h)
+            .unwrap()
+            .run(&x)
+            .unwrap();
+        let mut quant = plan_zipnet(&mut net, FusePolicy::Quantized, 2, h, h).unwrap();
+        let y_q = quant.run(&x).unwrap();
+        let rel = rel_rms(&y_q, &y_ref);
+        assert!(
+            rel < 0.05,
+            "upscale {upscale}: quantized rel RMS {rel} vs exact"
+        );
+        assert_eq!(
+            quant.run(&x).unwrap().as_slice(),
+            y_q.as_slice(),
+            "upscale {upscale}: quantized rerun must be bit-identical"
+        );
+    }
+}
+
+/// End-to-end NRMSE-delta acceptance: on a fitted model, the quantized
+/// session's full-grid NRMSE against ground truth may exceed the exact
+/// session's by at most a small margin. This is the gate the int8 route
+/// must clear to be a legitimate serving policy.
+#[test]
+fn quantized_session_nrmse_delta_is_bounded() {
+    let (ds, mut m, t) = fitted_tiny_model(73);
+    let pipe = MtsrPipeline::new(12, 4);
+    let truth = ds.fine_frame_raw(t).unwrap();
+    let mut exact = m.infer_session(&pipe, &ds, FusePolicy::Exact, 4).unwrap();
+    let pred_e = exact.predict_full(&ds, t).unwrap();
+    let e_exact = nrmse(&ds.denormalize(&pred_e), &truth).unwrap();
+    let mut quant = m
+        .infer_session(&pipe, &ds, FusePolicy::Quantized, 4)
+        .unwrap();
+    let pred_q = quant.predict_full(&ds, t).unwrap();
+    let e_quant = nrmse(&ds.denormalize(&pred_q), &truth).unwrap();
+    assert!(
+        e_quant - e_exact < 0.05,
+        "quantized NRMSE {e_quant} vs exact {e_exact}: delta too large"
+    );
 }
 
 /// Satellite (d): `fold_batchnorms` + `mtsr_nn::io` round-trip. The

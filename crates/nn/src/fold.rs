@@ -29,6 +29,7 @@
 
 use crate::layer::Layer;
 use crate::layers::BN_EPS;
+use mtsr_tensor::qmatmul::quantize_code;
 use mtsr_tensor::{Result, TensorError};
 
 /// Output channels live on axis 0 of `Conv2d`/`Conv3d` weights
@@ -95,6 +96,61 @@ pub fn scale_channel_axis(
         }
     }
     Ok(())
+}
+
+/// Quantize-dequantizes `w` in place with one symmetric int8 scale per
+/// channel along `co_axis`, returning the per-channel scales
+/// (`scale_c = max|W[.., c, ..]| / 127`, all-zero channels get scale 1).
+///
+/// This is how the quantized inference policy handles *transposed* conv
+/// weights: their GEMMs reduce over the deconv input channels — a handful
+/// of lanes — so an integer inner loop buys nothing, but running the f32
+/// kernels over Q/DQ'd weights makes the int8 representation error part
+/// of the planned model exactly as it is for the true-integer conv
+/// stages. Uses the same rounding as
+/// [`mtsr_tensor::qmatmul::QuantizedMat::quantize_rows`], so one rounding
+/// definition governs the whole quantized route.
+pub fn quantize_dequantize_channel_axis(
+    dims: &[usize],
+    data: &mut [f32],
+    co_axis: usize,
+) -> Result<Vec<f32>> {
+    if co_axis >= dims.len() {
+        return Err(fold_err(format!(
+            "weight dims {dims:?} have no axis {co_axis}"
+        )));
+    }
+    let co = dims[co_axis];
+    let inner: usize = dims[co_axis + 1..].iter().product();
+    let outer: usize = dims[..co_axis].iter().product();
+
+    let mut maxabs = vec![0.0f32; co];
+    for o in 0..outer {
+        for (c, mx) in maxabs.iter_mut().enumerate() {
+            let base = (o * co + c) * inner;
+            for &v in &data[base..base + inner] {
+                *mx = mx.max(v.abs());
+            }
+        }
+    }
+    let scales: Vec<f32> = maxabs
+        .iter()
+        .map(|&m| if m > 0.0 { m / 127.0 } else { 1.0 })
+        .collect();
+
+    for o in 0..outer {
+        for (c, (&mx, &s)) in maxabs.iter().zip(&scales).enumerate() {
+            if mx == 0.0 {
+                continue;
+            }
+            let inv = 127.0 / mx;
+            let base = (o * co + c) * inner;
+            for v in &mut data[base..base + inner] {
+                *v = quantize_code(*v, inv) as f32 * s;
+            }
+        }
+    }
+    Ok(scales)
 }
 
 /// Folds the batch-norm whose parameters are named `{bn_prefix}.*` into
@@ -323,6 +379,43 @@ mod tests {
                 assert!(p.value.as_slice().iter().all(|&v| v == 1.0));
             }
         });
+    }
+
+    #[test]
+    fn qdq_roundtrip_error_is_bounded_per_channel() {
+        let mut rng = Rng::seed_from(45);
+        // Deconv-shaped weight: [Ci, Co, kh, kw], channels on axis 1.
+        let dims = [3usize, 4, 3, 3];
+        let n: usize = dims.iter().product();
+        let orig: Vec<f32> = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut data = orig.clone();
+        let scales = quantize_dequantize_channel_axis(&dims, &mut data, DECONV_CO_AXIS).unwrap();
+        assert_eq!(scales.len(), 4);
+        // Each value moves by at most half a quantization step of its
+        // channel's scale.
+        let inner = 9;
+        for (i, (&q, &o)) in data.iter().zip(&orig).enumerate() {
+            let c = (i / inner) % 4;
+            assert!(
+                (q - o).abs() <= 0.5 * scales[c] + 1e-6,
+                "elem {i}: {o} -> {q} exceeds half-step {}",
+                scales[c]
+            );
+        }
+        // Idempotent: values already on the grid stay put.
+        let mut again = data.clone();
+        quantize_dequantize_channel_axis(&dims, &mut again, DECONV_CO_AXIS).unwrap();
+        assert_eq!(again, data, "Q/DQ must be idempotent");
+    }
+
+    #[test]
+    fn qdq_handles_zero_channels_and_bad_axis() {
+        let dims = [2usize, 2, 2];
+        let mut data = vec![0.0f32; 8];
+        let scales = quantize_dequantize_channel_axis(&dims, &mut data, 0).unwrap();
+        assert_eq!(scales, vec![1.0, 1.0]);
+        assert!(data.iter().all(|&v| v == 0.0));
+        assert!(quantize_dequantize_channel_axis(&dims, &mut data, 3).is_err());
     }
 
     #[test]

@@ -484,12 +484,25 @@ pub struct ServerInfo {
     pub queue_cap: u32,
     /// Server default deadline in milliseconds.
     pub deadline_ms: u32,
+    /// Fuse policy the model's plan was built with: 0 = exact,
+    /// 1 = folded, 2 = quantized (see [`ServerInfo::fuse_name`]).
+    pub fuse: u32,
 }
 
 impl ServerInfo {
+    /// Human-readable name of the [`ServerInfo::fuse`] code.
+    pub fn fuse_name(&self) -> &'static str {
+        match self.fuse {
+            0 => "exact",
+            1 => "folded",
+            2 => "quantized",
+            _ => "unknown",
+        }
+    }
+
     /// Serialises the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(44);
+        let mut out = Vec::with_capacity(48);
         for v in [
             self.model,
             self.generation,
@@ -502,6 +515,7 @@ impl ServerInfo {
             self.batch,
             self.queue_cap,
             self.deadline_ms,
+            self.fuse,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -510,9 +524,9 @@ impl ServerInfo {
 
     /// Parses the payload.
     pub fn decode(bytes: &[u8]) -> io::Result<ServerInfo> {
-        if bytes.len() != 44 {
+        if bytes.len() != 48 {
             return Err(bad_data(format!(
-                "INFO payload must be 44 bytes, got {}",
+                "INFO payload must be 48 bytes, got {}",
                 bytes.len()
             )));
         }
@@ -528,6 +542,7 @@ impl ServerInfo {
             batch: field_u32(bytes, 32),
             queue_cap: field_u32(bytes, 36),
             deadline_ms: field_u32(bytes, 40),
+            fuse: field_u32(bytes, 44),
         })
     }
 }
@@ -774,8 +789,10 @@ mod tests {
             batch: 8,
             queue_cap: 64,
             deadline_ms: 2000,
+            fuse: 2,
         };
         assert_eq!(ServerInfo::decode(&info.encode()).unwrap(), info);
+        assert_eq!(info.fuse_name(), "quantized");
         assert!(ServerInfo::decode(&[0u8; 31]).is_err());
     }
 

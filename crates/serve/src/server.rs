@@ -54,7 +54,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mtsr_telemetry::HistStat;
-use zipnet_core::{InferExec, InferPlan};
+use zipnet_core::{FusePolicy, InferExec, InferPlan};
 
 use crate::poller::{raw_fd, wake_pair, PollEvent, Poller, Token, WakeReceiver, Waker};
 use crate::protocol::{
@@ -171,12 +171,26 @@ struct Shared {
     linger: Duration,
 }
 
+/// Derives the in-flight count from the two monotonic counters.
+/// `finished > admitted` cannot happen in a correct server — every
+/// `finished` increment is preceded by exactly one `admitted` increment
+/// for the same job — so it is asserted in debug builds rather than
+/// silently clamped (release builds still clamp so a corrupted STATUS
+/// counter cannot wrap to ~2⁶⁴).
+fn in_flight_from(admitted: u64, finished: u64) -> u64 {
+    debug_assert!(
+        finished <= admitted,
+        "in_flight underflow: finished {finished} > admitted {admitted}"
+    );
+    admitted.saturating_sub(finished)
+}
+
 impl Shared {
     fn in_flight(&self) -> u64 {
-        self.stats
-            .admitted
-            .load(Ordering::SeqCst)
-            .saturating_sub(self.stats.finished.load(Ordering::SeqCst))
+        in_flight_from(
+            self.stats.admitted.load(Ordering::SeqCst),
+            self.stats.finished.load(Ordering::SeqCst),
+        )
     }
 
     /// Queues a reply for delivery by the event loop and nudges it.
@@ -200,6 +214,11 @@ impl Shared {
     /// The geometry report for one registered model.
     fn info_for(&self, model: u32) -> Option<ServerInfo> {
         let (generation, plan) = self.registry.current(model)?;
+        let fuse = match plan.fuse_policy() {
+            FusePolicy::Exact => 0,
+            FusePolicy::Folded => 1,
+            FusePolicy::Quantized => 2,
+        };
         let (ind, outd) = (plan.input_dims(), plan.output_dims());
         Some(ServerInfo {
             model,
@@ -213,6 +232,7 @@ impl Shared {
             batch: ind[0] as u32,
             queue_cap: self.queue_cap,
             deadline_ms: self.deadline_ms,
+            fuse,
         })
     }
 
@@ -271,13 +291,14 @@ impl Shared {
             self.registry.len(),
         );
         for (id, entry) in self.registry.entries().iter().enumerate() {
-            let (generation, _) = self.registry.current(id as u32).expect("entry exists");
+            let (generation, plan) = self.registry.current(id as u32).expect("entry exists");
             let mst = &entry.stats;
             let mlat = mst.latency.lock().expect("model latency poisoned").clone();
             text.push_str(&format!(
-                "model[{id}]: name={} generation={generation} served={} errors={} \
+                "model[{id}]: name={} fuse={} generation={generation} served={} errors={} \
                  timeouts={} reloads={} p50_ns={} p90_ns={} p99_ns={}\n",
                 entry.name,
+                plan.fuse_policy().name(),
                 mst.served.load(Ordering::SeqCst),
                 mst.errors.load(Ordering::SeqCst),
                 mst.timeouts.load(Ordering::SeqCst),
@@ -1286,4 +1307,26 @@ pub mod signals {
 
     /// No-op off unix.
     pub fn raise_hup() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::in_flight_from;
+
+    #[test]
+    fn in_flight_is_admitted_minus_finished() {
+        assert_eq!(in_flight_from(0, 0), 0);
+        assert_eq!(in_flight_from(5, 3), 2);
+        assert_eq!(in_flight_from(7, 7), 0);
+    }
+
+    /// Regression: an underflow (more jobs finished than admitted) is an
+    /// accounting bug and must trip loudly in debug builds instead of
+    /// being silently clamped to zero.
+    #[test]
+    #[should_panic(expected = "in_flight underflow")]
+    #[cfg(debug_assertions)]
+    fn in_flight_underflow_panics_in_debug() {
+        let _ = in_flight_from(1, 2);
+    }
 }

@@ -261,6 +261,7 @@ fn two_tenants_route_by_model_id() {
         assert_eq!((info.model, info.model_count), (model, 2));
         assert_eq!((info.s, info.h, info.w), (s, 3, 3));
         assert_eq!(info.generation, 0);
+        assert_eq!(info.fuse_name(), "exact");
     }
 
     // Requests route by the id in their header: an s=3 window is valid
@@ -301,10 +302,43 @@ fn two_tenants_route_by_model_id() {
     }
     for needle in [
         "models: 2",
-        "model[0]: name=tenant0 generation=0 served=1 errors=1",
-        "model[1]: name=tenant1 generation=0 served=1 errors=0",
+        "model[0]: name=tenant0 fuse=exact generation=0 served=1 errors=1",
+        "model[1]: name=tenant1 fuse=exact generation=0 served=1 errors=0",
     ] {
         assert!(status.contains(needle), "missing `{needle}` in:\n{status}");
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// A quantized plan serves over the wire like any other policy, INFO
+/// reports `quantized`, and repeated requests for the same window are
+/// bit-identical (integer accumulation is deterministic).
+#[test]
+fn quantized_plan_serves_and_reports_policy() {
+    let mut gen = tiny_generator(2);
+    let exec = plan_zipnet(&mut gen, FusePolicy::Quantized, 2, 3, 3).unwrap();
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start_single(&cfg, exec).unwrap();
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+    let info = client.info().unwrap();
+    assert_eq!(info.fuse_name(), "quantized");
+
+    let req = window_request(2, 0, 33);
+    let first = match client.infer(&req).unwrap() {
+        InferOutcome::Ok(resp) => {
+            assert_eq!(resp.data.len(), 144);
+            resp.data
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+    match client.infer(&req).unwrap() {
+        InferOutcome::Ok(resp) => assert_eq!(resp.data, first, "quantized replay must be stable"),
+        other => panic!("unexpected {other:?}"),
     }
 
     client.shutdown().unwrap();

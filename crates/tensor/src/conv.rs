@@ -23,7 +23,10 @@ use crate::error::{Result, TensorError};
 use crate::im2col::{col2im2d, col2im3d, with_im2col2d, with_im2col3d, Geom2d, Geom3d};
 use crate::matmul::{sgemm_nt_serial, sgemm_serial, sgemm_serial_fused, sgemm_tn_serial, Epilogue};
 use crate::parallel::{par_chunks_mut, par_fold_sum};
-use crate::scratch::with_scratch;
+use crate::qmatmul::{
+    encode_panel, max_abs, quant_scale, sgemm_q_serial_fused, sgemm_q_view_fused, QuantizedMat,
+};
+use crate::scratch::{with_scratch, with_scratch_i16, with_scratch_i32};
 use crate::tensor::Tensor;
 
 /// Validates that every per-channel epilogue array has one entry per
@@ -185,6 +188,51 @@ pub fn conv2d_forward_into(
         with_im2col2d(&x[ni * in_sz..(ni + 1) * in_sz], &g, |cols| match ep {
             Some(e) => sgemm_serial_fused(w, cols, o, co, g.col_rows(), g.col_cols(), e),
             None => sgemm_serial(w, cols, o, co, g.col_rows(), g.col_cols(), false),
+        });
+    });
+    Ok(())
+}
+
+/// Quantized-weight variant of [`conv2d_forward_into`]: the folded
+/// weight matrix arrives as a plan-time [`QuantizedMat`] (`co` rows ×
+/// `col_rows` columns, one int8 scale per output channel) and each
+/// per-sample product runs the integer GEMM with the f32 dequantizing
+/// epilogue. `w_dims` is the original `[Co,Ci,KH,KW]` (the codes alone
+/// cannot recover the kernel geometry).
+///
+/// Inference-only: there is no quantized backward pass, and unlike the
+/// exact route the result is *not* bit-identical to the layer stack —
+/// it is NRMSE-gated against it instead.
+pub fn conv2d_forward_q_into(
+    x: &[f32],
+    x_dims: &[usize],
+    wq: &QuantizedMat,
+    w_dims: &[usize],
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+    ep: &Epilogue<'_>,
+) -> Result<()> {
+    let g = geom2d(x_dims, w_dims, spec)?;
+    let (n, co) = (x_dims[0], w_dims[0]);
+    check_epilogue(Some(ep), co, "conv2d_forward_q")?;
+    let in_sz = g.c * g.h * g.w;
+    let out_sz = co * g.out_h() * g.out_w();
+    assert_eq!(x.len(), n * in_sz, "conv2d_forward_q_into: bad x length");
+    assert_eq!(
+        (wq.m(), wq.k()),
+        (co, g.col_rows()),
+        "conv2d_forward_q_into: quantized W does not match geometry"
+    );
+    assert_eq!(
+        out.len(),
+        n * out_sz,
+        "conv2d_forward_q_into: bad out length"
+    );
+    let _span = mtsr_telemetry::span("tensor.conv2d.forward_q");
+    mtsr_telemetry::add_counter("tensor.im2col2d.calls", n as u64);
+    par_chunks_mut(out, out_sz, |ni, o| {
+        with_im2col2d(&x[ni * in_sz..(ni + 1) * in_sz], &g, |cols| {
+            sgemm_q_serial_fused(wq, cols, o, g.col_cols(), ep);
         });
     });
     Ok(())
@@ -567,6 +615,126 @@ pub fn conv3d_forward_into(
     Ok(())
 }
 
+/// Quantized-weight variant of [`conv3d_forward_into`]; see
+/// [`conv2d_forward_q_into`] for the quantization contract.
+///
+/// Unlike the exact route, which lowers the full 3-D window, this path
+/// *decomposes the depth axis*: `conv3d = Σ_kd conv2d(x[·, iz], W[·, kd])`
+/// with `iz = oz·sd + kd − pd`. Exact integer accumulation makes the
+/// decomposition free of rounding drift — partial i32 products over any
+/// subset of `kd` blocks sum to exactly the full product minus the
+/// skipped terms — so the route both shrinks the lowering (each depth
+/// slice is encoded once instead of copied into up to `kd` panel row
+/// blocks) and skips the structurally-zero temporal taps at the clipped
+/// `oz` edges for free. Per sample: one [`max_abs`] scan of `x` fixes a
+/// single activation scale (legal because every panel value is either a
+/// copy of an `x` value or zero, and required so partial products from
+/// different depth slices share one dequantization), then each of the
+/// `d` depth slices is 2-D-lowered and encoded into one pair-interleaved
+/// panel, and each output depth runs one narrow GEMM over its valid-tap
+/// range against the regrouped per-`kd` weight blocks
+/// ([`QuantizedMat::regroup_mid_axis`]).
+pub fn conv3d_forward_q_into(
+    x: &[f32],
+    x_dims: &[usize],
+    wq: &QuantizedMat,
+    w_dims: &[usize],
+    spec: &Conv3dSpec,
+    out: &mut [f32],
+    ep: &Epilogue<'_>,
+) -> Result<()> {
+    let g = geom3d(x_dims, w_dims, spec)?;
+    let (n, co) = (x_dims[0], w_dims[0]);
+    check_epilogue(Some(ep), co, "conv3d_forward_q")?;
+    let in_sz = g.c * g.d * g.h * g.w;
+    let (od, oh, ow) = (g.out_d(), g.out_h(), g.out_w());
+    let ohw = oh * ow;
+    let out_sz = co * od * ohw;
+    assert_eq!(x.len(), n * in_sz, "conv3d_forward_q_into: bad x length");
+    assert_eq!(
+        (wq.m(), wq.k()),
+        (co, g.col_rows()),
+        "conv3d_forward_q_into: quantized W does not match geometry"
+    );
+    assert_eq!(
+        out.len(),
+        n * out_sz,
+        "conv3d_forward_q_into: bad out length"
+    );
+    let _span = mtsr_telemetry::span("tensor.conv3d.forward_q");
+    let g2 = Geom2d {
+        c: g.c,
+        h: g.h,
+        w: g.w,
+        kh: g.kh,
+        kw: g.kw,
+        sh: g.sh,
+        sw: g.sw,
+        ph: g.ph,
+        pw: g.pw,
+    };
+    let khw = g.kh * g.kw;
+    // Codes / pair words per kd block, and i16 panel elements per slice.
+    let k2 = g2.col_rows();
+    let bw = k2.div_ceil(2);
+    let row_words = g.kd * bw;
+    let chunk = bw * 2 * ohw;
+    let plane = g.h * g.w;
+    mtsr_telemetry::add_counter("tensor.im2col2d.calls", (n * g.d) as u64);
+    with_scratch_i32(co * row_words, |wkd| {
+        wq.regroup_mid_axis(g.c, g.kd, khw, wkd);
+        let wkd = &*wkd;
+        par_chunks_mut(out, out_sz, |ni, o| {
+            let xs = &x[ni * in_sz..(ni + 1) * in_sz];
+            let (bscale, inv) = quant_scale(max_abs(xs));
+            with_scratch_i16(g.d * chunk, |bt| {
+                // One encoded panel per input depth slice. The slice is
+                // gathered to contiguous [C, H, W] first (depth is the
+                // second axis of the sample, so channels are strided).
+                with_scratch(g.c * plane, |slice| {
+                    for (iz, pt) in bt.chunks_exact_mut(chunk).enumerate() {
+                        for c in 0..g.c {
+                            slice[c * plane..(c + 1) * plane]
+                                .copy_from_slice(&xs[(c * g.d + iz) * plane..][..plane]);
+                        }
+                        with_im2col2d(slice, &g2, |cols| {
+                            encode_panel(cols, pt, k2, ohw, inv);
+                        });
+                    }
+                });
+                for oz in 0..od {
+                    let (lo, hi) = tap_range3d(&g, oz);
+                    if hi <= lo {
+                        // No valid temporal tap: the product is the zero
+                        // matrix; the epilogue still applies per row.
+                        for r in 0..co {
+                            let z = ep.apply(r, 0.0);
+                            o[(r * od + oz) * ohw..][..ohw].fill(z);
+                        }
+                        continue;
+                    }
+                    let iz0 = oz * g.sd + lo - g.pd;
+                    sgemm_q_view_fused(
+                        wkd,
+                        lo * bw,
+                        row_words,
+                        (hi - lo) * bw,
+                        wq.scales(),
+                        bscale,
+                        &bt[iz0 * chunk..(iz0 + hi - lo) * chunk],
+                        &mut o[oz * ohw..],
+                        od * ohw,
+                        co,
+                        ohw,
+                        ep,
+                    );
+                }
+            });
+        });
+    });
+    Ok(())
+}
+
 /// Valid temporal-tap range `[lo, hi)` for output depth `oz`: the `kd`
 /// indices whose input depth `oz·sd + kd − pd` lands inside `[0, d)`.
 #[inline]
@@ -579,8 +747,9 @@ fn tap_range3d(g: &Geom3d, oz: usize) -> (usize, usize) {
 /// One conv3d sample as `out_d` narrow GEMMs, each over only the valid
 /// temporal taps of its output depth (see the range computation in
 /// [`conv3d_forward_into`]). Rows keep the full matrix's `(c, kd, kh,
-/// kw)` order, so each GEMM performs the full lowering's exact fmadd
-/// sequence minus the zero terms — results are bit-identical.
+/// kw)` order, so each GEMM performs the full lowering's exact
+/// contraction sequence — whatever the active ISA tier's kernel emits —
+/// minus the zero terms, and results are bit-identical to it.
 fn conv3d_sample_per_oz(
     xs: &[f32],
     w: &[f32],

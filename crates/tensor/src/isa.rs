@@ -1,0 +1,204 @@
+//! Runtime CPU-feature detection and instruction-set selection for the
+//! GEMM micro-kernels.
+//!
+//! The workspace used to pin `target-feature=+avx2,+fma` in
+//! `.cargo/config.toml`, which made every binary execute illegal
+//! instructions on x86-64 CPUs without AVX2 (pre-2013 silicon, trimmed VM
+//! profiles, heterogeneous fleet hardware). The kernels are now compiled
+//! three ways into one binary — a baseline safe-Rust tile, an AVX2+FMA
+//! variant and an AVX-512 variant, both `#[target_feature]`-gated — and
+//! the widest tier the running CPU supports is chosen once at first use
+//! via CPUID ([`std::arch::is_x86_feature_detected!`]).
+//!
+//! Selection is by hardware capability only, never by problem shape or
+//! worker count, so the per-binary determinism contract extends naturally:
+//! same binary, same seed, same *detected ISA*, any worker count → the
+//! same bytes. Absolute float values differ in the last ulps between tiers
+//! (FMA rounds once, the baseline tile rounds twice), exactly as they did
+//! between an SSE2 build and an AVX2 build before dispatch existed.
+//!
+//! Overrides, narrowest-wins:
+//! * `MTSR_FORCE_ISA=scalar|avx2|avx512` — environment override, read
+//!   once per process. Forcing a tier the CPU cannot execute panics with a
+//!   clear message at first use instead of dying with SIGILL mid-kernel.
+//! * [`set_forced_isa`] — runtime override for tests, mirroring
+//!   [`crate::parallel::set_num_threads`]; lets one process sweep every
+//!   dispatchable tier without re-exec.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// An instruction-set tier the micro-kernels are compiled for.
+///
+/// Ordered narrowest to widest; detection picks the widest supported
+/// tier, overrides may narrow (or widen, which panics if unsupported).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Isa {
+    /// The portable safe-Rust tile, compiled at the crate's baseline
+    /// target (plain multiply-then-add; SSE2 on x86-64). Runs anywhere.
+    Scalar,
+    /// 8-wide AVX2 with single-rounding FMA contraction.
+    Avx2,
+    /// AVX-512 (F/VL/DQ/BW) encoding of the same tile: the 32-register
+    /// EVEX file keeps the whole accumulator plus both operand streams
+    /// register-resident.
+    Avx512,
+}
+
+impl Isa {
+    /// Stable lowercase name, matching the `MTSR_FORCE_ISA` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses an `MTSR_FORCE_ISA` value.
+    pub fn parse(s: &str) -> Option<Isa> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "sse2" | "baseline" => Some(Isa::Scalar),
+            "avx2" => Some(Isa::Avx2),
+            "avx512" | "avx512f" => Some(Isa::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Whether the running CPU can execute this tier's kernels.
+    pub fn supported(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512vl")
+                    && std::arch::is_x86_feature_detected!("avx512dq")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// The widest tier the running CPU supports, resolved once per process.
+pub fn detected_isa() -> Isa {
+    static DETECTED: OnceLock<Isa> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if Isa::Avx512.supported() {
+            Isa::Avx512
+        } else if Isa::Avx2.supported() {
+            Isa::Avx2
+        } else {
+            Isa::Scalar
+        }
+    })
+}
+
+/// Every tier this host can actually execute, narrowest first. Test
+/// suites sweep this list via [`set_forced_isa`] so one run covers each
+/// dispatchable kernel set.
+pub fn dispatchable_isas() -> Vec<Isa> {
+    [Isa::Scalar, Isa::Avx2, Isa::Avx512]
+        .into_iter()
+        .filter(|isa| isa.supported())
+        .collect()
+}
+
+/// `MTSR_FORCE_ISA`, read once per process. Invalid spellings panic:
+/// silently falling back would hide the exact misconfiguration this
+/// override exists to diagnose.
+fn env_forced() -> Option<Isa> {
+    static ENV: OnceLock<Option<Isa>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("MTSR_FORCE_ISA").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match Isa::parse(&raw) {
+            Some(isa) => Some(isa),
+            None => panic!(
+                "MTSR_FORCE_ISA={raw:?} is not a known ISA (expected scalar, avx2 or avx512)"
+            ),
+        }
+    })
+}
+
+/// Runtime override installed by [`set_forced_isa`]:
+/// 0 = none, otherwise `Isa as u8 + 1`.
+static ISA_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the active ISA at runtime (`None` restores the default
+/// detect-or-env resolution). Intended for tests sweeping
+/// [`dispatchable_isas`]; deployments should use `MTSR_FORCE_ISA`.
+/// Forcing a tier the CPU lacks panics at the next kernel dispatch.
+pub fn set_forced_isa(isa: Option<Isa>) {
+    let code = match isa {
+        None => 0,
+        Some(Isa::Scalar) => 1,
+        Some(Isa::Avx2) => 2,
+        Some(Isa::Avx512) => 3,
+    };
+    ISA_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// The ISA the next kernel dispatch will use: the [`set_forced_isa`]
+/// override if installed, else `MTSR_FORCE_ISA`, else [`detected_isa`].
+/// A forced tier the CPU cannot execute panics here — before any wide
+/// instruction is issued — instead of SIGILLing inside the kernel.
+pub fn active_isa() -> Isa {
+    let forced = match ISA_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_forced(),
+        1 => Some(Isa::Scalar),
+        2 => Some(Isa::Avx2),
+        3 => Some(Isa::Avx512),
+        _ => unreachable!("invalid ISA override code"),
+    };
+    match forced {
+        None => detected_isa(),
+        Some(isa) => {
+            assert!(
+                isa.supported(),
+                "forced ISA {:?} is not supported by this CPU (detected {:?})",
+                isa.name(),
+                detected_isa().name()
+            );
+            isa
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_spellings() {
+        assert_eq!(Isa::parse("scalar"), Some(Isa::Scalar));
+        assert_eq!(Isa::parse(" AVX2 "), Some(Isa::Avx2));
+        assert_eq!(Isa::parse("avx512"), Some(Isa::Avx512));
+        assert_eq!(Isa::parse("neon"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_dispatchable() {
+        assert!(Isa::Scalar.supported());
+        assert_eq!(dispatchable_isas()[0], Isa::Scalar);
+        // The detected tier must itself be dispatchable.
+        assert!(dispatchable_isas().contains(&detected_isa()));
+    }
+
+    #[test]
+    fn forced_isa_overrides_detection() {
+        set_forced_isa(Some(Isa::Scalar));
+        assert_eq!(active_isa(), Isa::Scalar);
+        set_forced_isa(None);
+        assert!(active_isa().supported());
+    }
+}

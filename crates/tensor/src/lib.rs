@@ -10,9 +10,14 @@
 //!   elementwise/broadcast arithmetic and reductions;
 //! * [`matmul`] — a packed, cache-tiled, thread-parallel GEMM used to
 //!   lower convolutions ([`pack`] holds the panel packers and the
-//!   register-blocked micro-kernel; [`parallel`] provides a persistent
-//!   worker pool with deterministic work partitioning; [`scratch`]
-//!   provides the reusable thread-local workspaces);
+//!   register-blocked micro-kernel, compiled once per ISA tier; [`isa`]
+//!   detects CPU features at runtime and selects the widest dispatchable
+//!   tier; [`parallel`] provides a persistent worker pool with
+//!   deterministic work partitioning; [`scratch`] provides the reusable
+//!   thread-local workspaces);
+//! * [`qmatmul`] — the reduced-precision inference GEMM: per-channel
+//!   int8-quantized weights, dynamically quantized activations, exact
+//!   i32 accumulation and an f32 dequantizing epilogue;
 //! * [`im2col`] — 2D and 3D patch-gather/scatter (im2col / col2im);
 //! * [`conv`] — convolution primitives (forward, backward-data,
 //!   backward-weights) for 2D and 3D, plus transposed convolutions derived
@@ -27,10 +32,12 @@
 pub mod conv;
 pub mod error;
 pub mod im2col;
+pub mod isa;
 pub mod matmul;
 pub mod ops;
 pub mod pack;
 pub mod parallel;
+pub mod qmatmul;
 pub mod reduce;
 pub mod rng;
 pub mod scratch;

@@ -21,6 +21,7 @@
 //! bench harness can report the packed kernel's speedup against it.
 
 use crate::error::{Result, TensorError};
+use crate::isa::{active_isa, Isa};
 use crate::pack::{microkernel, microkernel_direct_b, pack_a, pack_b, KC, MC, MR, NC, NR};
 use crate::parallel::{num_threads, par_chunks_mut};
 use crate::scratch::with_scratch;
@@ -133,6 +134,75 @@ impl<'a> Epilogue<'a> {
 }
 
 // ---------------------------------------------------------------------------
+// Per-ISA register tiles
+// ---------------------------------------------------------------------------
+
+/// The register-tile pair one monomorphization of the blocked driver is
+/// built around. Implementations are zero-sized tier tokens; the driver
+/// is generic over this trait so each ISA gets a fully monomorphized copy
+/// — kernel *and* writeback/epilogue loops — compiled under a consistent
+/// feature assumption.
+trait TileKernel {
+    /// `acc += panel(A) · panel(B)`; see [`microkernel`].
+    fn tile(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]);
+    /// `acc += panel(A) · B[·, tile]` read in place; see
+    /// [`microkernel_direct_b`].
+    fn tile_direct_b(kc: usize, ap: &[f32], b: &[f32], bstride: usize, acc: &mut [[f32; NR]; MR]);
+}
+
+/// Portable fallback tier: baseline target features, runs anywhere.
+struct ScalarTile;
+
+impl TileKernel for ScalarTile {
+    #[inline(always)]
+    fn tile(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        microkernel(kc, ap, bp, acc);
+    }
+    #[inline(always)]
+    fn tile_direct_b(kc: usize, ap: &[f32], b: &[f32], bstride: usize, acc: &mut [[f32; NR]; MR]) {
+        microkernel_direct_b(kc, ap, b, bstride, acc);
+    }
+}
+
+/// AVX2+FMA tier. Only ever selected after CPUID confirms support.
+#[cfg(target_arch = "x86_64")]
+struct Avx2Tile;
+
+#[cfg(target_arch = "x86_64")]
+impl TileKernel for Avx2Tile {
+    #[inline(always)]
+    fn tile(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        // SAFETY: dispatch reaches this tier only when `active_isa()`
+        // returned `Isa::Avx2`, which requires CPUID-verified AVX2+FMA.
+        unsafe { crate::pack::tiers::microkernel_avx2(kc, ap, bp, acc) }
+    }
+    #[inline(always)]
+    fn tile_direct_b(kc: usize, ap: &[f32], b: &[f32], bstride: usize, acc: &mut [[f32; NR]; MR]) {
+        // SAFETY: as above.
+        unsafe { crate::pack::tiers::microkernel_direct_b_avx2(kc, ap, b, bstride, acc) }
+    }
+}
+
+/// AVX-512 tier. Only ever selected after CPUID confirms support.
+#[cfg(target_arch = "x86_64")]
+struct Avx512Tile;
+
+#[cfg(target_arch = "x86_64")]
+impl TileKernel for Avx512Tile {
+    #[inline(always)]
+    fn tile(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        // SAFETY: dispatch reaches this tier only when `active_isa()`
+        // returned `Isa::Avx512` (CPUID-verified AVX-512 F/VL/DQ/BW).
+        unsafe { crate::pack::tiers::microkernel_avx512(kc, ap, bp, acc) }
+    }
+    #[inline(always)]
+    fn tile_direct_b(kc: usize, ap: &[f32], b: &[f32], bstride: usize, acc: &mut [[f32; NR]; MR]) {
+        // SAFETY: as above.
+        unsafe { crate::pack::tiers::microkernel_direct_b_avx512(kc, ap, b, bstride, acc) }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Packed blocked driver
 // ---------------------------------------------------------------------------
 
@@ -180,8 +250,51 @@ pub fn sgemm_block(
 /// epilogue's row index is the *logical* row (`row0 + ` slab-local row),
 /// so per-row arrays index correctly from parallel slabs too. Requires
 /// `accumulate = false` when an epilogue is supplied.
+///
+/// This is the single choke point where runtime ISA dispatch happens:
+/// every packed path funnels through here, and the tier is resolved once
+/// per block call (amortized over the `O(mkn)` multiply). Selection
+/// depends only on CPU capability and the `MTSR_FORCE_ISA`/test
+/// overrides — never on shape, slab or worker count — so parallel slabs
+/// of one product always run the same kernel and the bit-identity
+/// contract holds per detected ISA.
 #[allow(clippy::too_many_arguments)]
 fn sgemm_block_ep(
+    a: &[f32],
+    ta: bool,
+    a_rstride: usize,
+    row0: usize,
+    b: &[f32],
+    tb: bool,
+    b_cstride: usize,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    ep: Option<&Epilogue<'_>>,
+) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => sgemm_block_tiled::<Avx2Tile>(
+            a, ta, a_rstride, row0, b, tb, b_cstride, c, m, k, n, accumulate, ep,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => sgemm_block_tiled::<Avx512Tile>(
+            a, ta, a_rstride, row0, b, tb, b_cstride, c, m, k, n, accumulate, ep,
+        ),
+        // `active_isa` never yields a wide tier off x86-64.
+        _ => sgemm_block_tiled::<ScalarTile>(
+            a, ta, a_rstride, row0, b, tb, b_cstride, c, m, k, n, accumulate, ep,
+        ),
+    }
+}
+
+/// One per-ISA monomorphization of the blocked driver; see
+/// [`sgemm_block_ep`] for the dispatch story and [`sgemm_block`] for the
+/// blocking scheme.
+#[allow(clippy::too_many_arguments)]
+fn sgemm_block_tiled<Tile: TileKernel>(
     a: &[f32],
     ta: bool,
     a_rstride: usize,
@@ -261,12 +374,12 @@ fn sgemm_block_ep(
                                 let mut acc = [[0.0f32; NR]; MR];
                                 if tb {
                                     let bp = &bbuf[(jr / NR) * NR * kc..][..NR * kc];
-                                    microkernel(kc, ap, bp, &mut acc);
+                                    Tile::tile(kc, ap, bp, &mut acc);
                                 } else if nr_eff == NR {
                                     let b_tile = &b[pc * b_cstride + jc + jr..];
-                                    microkernel_direct_b(kc, ap, b_tile, b_cstride, &mut acc);
+                                    Tile::tile_direct_b(kc, ap, b_tile, b_cstride, &mut acc);
                                 } else {
-                                    microkernel(kc, ap, &edge[..NR * kc], &mut acc);
+                                    Tile::tile(kc, ap, &edge[..NR * kc], &mut acc);
                                 }
                                 for (r, acc_r) in acc.iter().take(mr_eff).enumerate() {
                                     let crow = &mut c[(ic + ir + r) * n + jc + jr..][..nr_eff];

@@ -21,7 +21,10 @@
 //!    produces.
 //!
 //! Everything here is safe Rust: slices, `chunks_exact`, fixed-size
-//! arrays. The micro-kernel autovectorizes on the baseline x86-64 target.
+//! arrays. The micro-kernel body autovectorizes at whatever feature set
+//! it is compiled under: once at the crate's baseline target (the
+//! portable fallback) and once per `#[target_feature]`-widened tier in
+//! [`tiers`], selected at runtime by [`crate::isa`].
 
 /// Rows per register tile. 8 divides every channel count the ZipNet /
 /// discriminator stacks use (8, 16, 32, …), so row panels are rarely
@@ -36,21 +39,23 @@ pub const MR: usize = 8;
 /// `A` scalars.
 pub const NR: usize = 8;
 
-/// Fused multiply-add when the target has single-instruction FMA (one
-/// rounding, faster); plain multiply-then-add otherwise. Never the libm
-/// `fmaf` software fallback, which is orders of magnitude slower than
-/// either. Both microkernels use this helper, so they stay bit-identical
-/// to each other within any one build; absolute values differ in the last
-/// ulps between FMA and non-FMA builds, which the per-binary determinism
-/// contract allows.
+/// The per-kernel multiply-add contraction, bound by a const generic
+/// rather than the crate-wide `#[cfg(target_feature = "fma")]` the
+/// pre-dispatch code used. A crate-scope `cfg` is evaluated against the
+/// *baseline* target, so once kernels are selected at runtime it would
+/// hand every tier the same contraction: the AVX2/AVX-512 kernels would
+/// lose their single-rounding `vfmadd`, and — worse — a baseline build
+/// asking for `mul_add` would route through libm's software `fmaf`,
+/// orders of magnitude slower than either hardware path. Instead each
+/// per-ISA kernel wrapper picks its `FMA` statically: `true` only inside
+/// `#[target_feature(enable = "fma")]` regions (where `mul_add` lowers to
+/// the fused instruction), `false` for the portable fallback (plain
+/// multiply-then-add, never libm).
 #[inline(always)]
-pub fn fmadd(a: f32, b: f32, c: f32) -> f32 {
-    #[cfg(target_feature = "fma")]
-    {
+fn contract<const FMA: bool>(a: f32, b: f32, c: f32) -> f32 {
+    if FMA {
         a.mul_add(b, c)
-    }
-    #[cfg(not(target_feature = "fma"))]
-    {
+    } else {
         a * b + c
     }
 }
@@ -180,8 +185,13 @@ pub fn pack_b(
 /// The loops over `MR`/`NR` have constant trip counts, so the compiler
 /// fully unrolls them and carries `acc` in vector registers; there are no
 /// bounds checks (`chunks_exact`) and no data-dependent branches.
+///
+/// This body is compiled once per ISA tier: the `#[target_feature]`
+/// wrappers below inline it under their widened feature sets, and the
+/// public [`microkernel`] binds it at the crate's baseline target as the
+/// scalar fallback.
 #[inline(always)]
-pub fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+fn microkernel_body<const FMA: bool>(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
     debug_assert!(ap.len() >= kc * MR);
     debug_assert!(bp.len() >= kc * NR);
     // By-value local accumulator: see `microkernel_direct_b`.
@@ -190,7 +200,7 @@ pub fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR])
         for (r, acc_r) in local.iter_mut().enumerate() {
             let ar = a[r];
             for (q, acc_rq) in acc_r.iter_mut().enumerate() {
-                *acc_rq = fmadd(ar, b[q], *acc_rq);
+                *acc_rq = contract::<FMA>(ar, b[q], *acc_rq);
             }
         }
     }
@@ -206,9 +216,10 @@ pub fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR])
 /// huge `n`) skipping it roughly halves the bytes moved.
 ///
 /// Identical arithmetic to [`microkernel`] on a full tile — same values,
-/// same `p`-ascending order — so results are bit-equal to the packed path.
+/// same `p`-ascending order — so results are bit-equal to the packed path
+/// *within one ISA tier*.
 #[inline(always)]
-pub fn microkernel_direct_b(
+fn microkernel_direct_b_body<const FMA: bool>(
     kc: usize,
     ap: &[f32],
     b: &[f32],
@@ -228,11 +239,99 @@ pub fn microkernel_direct_b(
         for (r, acc_r) in local.iter_mut().enumerate() {
             let ar = a[r];
             for (q, acc_rq) in acc_r.iter_mut().enumerate() {
-                *acc_rq = fmadd(ar, br[q], *acc_rq);
+                *acc_rq = contract::<FMA>(ar, br[q], *acc_rq);
             }
         }
     }
     *acc = local;
+}
+
+/// The portable fallback tile: baseline target features (SSE2 on x86-64),
+/// plain multiply-then-add contraction. Runs on any CPU the binary runs
+/// on; also the reference the per-ISA variants are property-tested
+/// against.
+#[inline(always)]
+pub fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    microkernel_body::<false>(kc, ap, bp, acc);
+}
+
+/// Portable-fallback variant of `microkernel_direct_b_body`; see
+/// [`microkernel`].
+#[inline(always)]
+pub fn microkernel_direct_b(
+    kc: usize,
+    ap: &[f32],
+    b: &[f32],
+    bstride: usize,
+    acc: &mut [[f32; NR]; MR],
+) {
+    microkernel_direct_b_body::<false>(kc, ap, b, bstride, acc);
+}
+
+/// The `#[target_feature]`-gated kernel tiers behind
+/// [`crate::isa`]-driven dispatch. Each wrapper re-monomorphizes the safe
+/// tile bodies above under a widened feature set — the bodies are
+/// `#[inline(always)]`, so the autovectorizer sees them *inside* the
+/// widened region and emits AVX2/AVX-512 code with hardware `vfmadd`
+/// contraction. No hand-written intrinsics: the same ~30 lines of safe
+/// Rust are the single source of truth for all three tiers.
+#[cfg(target_arch = "x86_64")]
+pub mod tiers {
+    use super::{microkernel_body, microkernel_direct_b_body, MR, NR};
+
+    /// AVX2+FMA encoding of the tile.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA (callers dispatch via
+    /// [`crate::isa::active_isa`], which verifies support with CPUID
+    /// before ever selecting this tier).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn microkernel_avx2(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        microkernel_body::<true>(kc, ap, bp, acc);
+    }
+
+    /// AVX2+FMA encoding of the direct-`B` tile.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA; see [`microkernel_avx2`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn microkernel_direct_b_avx2(
+        kc: usize,
+        ap: &[f32],
+        b: &[f32],
+        bstride: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        microkernel_direct_b_body::<true>(kc, ap, b, bstride, acc);
+    }
+
+    /// AVX-512 encoding of the tile. The tile stays 8×8 (the accumulator
+    /// is eight 256-bit rows), but EVEX encoding opens the full
+    /// 32-register file, so both operand streams stay register-resident
+    /// alongside the accumulator.
+    ///
+    /// # Safety
+    /// The CPU must support AVX-512 F/VL/DQ/BW (callers dispatch via
+    /// [`crate::isa::active_isa`]).
+    #[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw,avx2,fma")]
+    pub unsafe fn microkernel_avx512(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        microkernel_body::<true>(kc, ap, bp, acc);
+    }
+
+    /// AVX-512 encoding of the direct-`B` tile.
+    ///
+    /// # Safety
+    /// The CPU must support AVX-512 F/VL/DQ/BW; see [`microkernel_avx512`].
+    #[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw,avx2,fma")]
+    pub unsafe fn microkernel_direct_b_avx512(
+        kc: usize,
+        ap: &[f32],
+        b: &[f32],
+        bstride: usize,
+        acc: &mut [[f32; NR]; MR],
+    ) {
+        microkernel_direct_b_body::<true>(kc, ap, b, bstride, acc);
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +405,72 @@ mod tests {
         for (pr, dr) in packed.iter().zip(&direct) {
             for (p, d) in pr.iter().zip(dr) {
                 assert_eq!(p.to_bits(), d.to_bits());
+            }
+        }
+    }
+
+    /// Each dispatchable wide tier must agree with the portable tile to
+    /// FMA-contraction tolerance (one rounding vs two per multiply-add),
+    /// and the packed/direct-B pair must stay bit-identical *within* a
+    /// tier — that pairing is what the blocked driver relies on when it
+    /// mixes the two kernels across column tiles.
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn wide_tiers_match_portable_tile() {
+        use crate::isa::Isa;
+        let kc = 37;
+        let n = NR + 3;
+        let ap: Vec<f32> = (0..MR * kc).map(|i| (i as f32) * 0.173 - 9.0).collect();
+        let b: Vec<f32> = (0..kc * n).map(|i| (i as f32) * 0.071 - 4.0).collect();
+        let mut bp = vec![0.0; NR * kc];
+        pack_b(&b, false, n, 0, 0, kc, NR, &mut bp);
+
+        let mut base = [[0.5f32; NR]; MR];
+        microkernel(kc, &ap, &bp, &mut base);
+
+        type KernelPair = (
+            unsafe fn(usize, &[f32], &[f32], &mut [[f32; NR]; MR]),
+            unsafe fn(usize, &[f32], &[f32], usize, &mut [[f32; NR]; MR]),
+        );
+        let cases: [(Isa, KernelPair); 2] = [
+            (
+                Isa::Avx2,
+                (tiers::microkernel_avx2, tiers::microkernel_direct_b_avx2),
+            ),
+            (
+                Isa::Avx512,
+                (
+                    tiers::microkernel_avx512,
+                    tiers::microkernel_direct_b_avx512,
+                ),
+            ),
+        ];
+        for (isa, (packed_k, direct_k)) in cases {
+            if !isa.supported() {
+                continue;
+            }
+            let mut packed = [[0.5f32; NR]; MR];
+            let mut direct = [[0.5f32; NR]; MR];
+            // SAFETY: `isa.supported()` confirmed the CPU executes this tier.
+            unsafe {
+                packed_k(kc, &ap, &bp, &mut packed);
+                direct_k(kc, &ap, &b, n, &mut direct);
+            }
+            for r in 0..MR {
+                for q in 0..NR {
+                    assert_eq!(
+                        packed[r][q].to_bits(),
+                        direct[r][q].to_bits(),
+                        "{}: packed/direct divergence at r={r} q={q}",
+                        isa.name()
+                    );
+                    let (got, want) = (packed[r][q], base[r][q]);
+                    assert!(
+                        (got - want).abs() <= 1e-3 * (1.0 + want.abs()),
+                        "{}: tile r={r} q={q}: {got} vs portable {want}",
+                        isa.name()
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,1168 @@
+//! Reduced-precision inference GEMM: per-channel int8 weights, exact
+//! integer accumulation, f32 dequantizing epilogue.
+//!
+//! The fused-folded f32 route (see [`crate::matmul`]) is compute-bound on
+//! the multiply-add throughput of one f32 lane set. Inference tolerates a
+//! controlled precision trade, so this module adds the classic int8 path:
+//!
+//! * **Weights** are quantized once at plan time, symmetrically, with one
+//!   scale per output channel (`scale[c] = max|W[c,·]| / 127`). Codes are
+//!   stored as *adjacent-pair words*: reduction positions `2p` and
+//!   `2p + 1` of one row pack into one `i32` (low half, high half), which
+//!   is exactly the operand shape the x86 `vpmaddwd` / `vpdpwssd`
+//!   instructions consume — one instruction multiplies 16 (AVX2) or 32
+//!   (AVX-512) int16 codes and sums adjacent products into i32 lanes. Odd
+//!   `k` pads the last pair with a zero code, which contributes nothing.
+//! * **Activations** are quantized dynamically with one symmetric
+//!   per-tensor scale (`max|B| / 127`) into a pair-interleaved panel: for
+//!   each weight pair `p`, a run of `2n` codes
+//!   `[B[2p][0], B[2p+1][0], B[2p][1], B[2p+1][1], …]`. A broadcast
+//!   weight pair against a contiguous panel load then updates 8–16
+//!   output columns per instruction. Dynamic scaling needs no calibration
+//!   data and adapts to the actual range of each window — important here
+//!   because traffic snapshots are heavy-tailed.
+//! * **Accumulation** is exact `i32` (no rounding inside the k-loop:
+//!   `2 · 127² · k/2` stays far below `2³¹` for every shape the conv
+//!   stack can produce), then one dequantizing multiply
+//!   `scale_w[row] · scale_b` and the standard fused bias/BN/LeakyReLU
+//!   [`Epilogue`] in f32.
+//!
+//! Because the integer accumulation is exact, the quantized route is
+//! bit-identical across *all* ISA tiers and worker counts — stronger than
+//! the f32 route's per-ISA contract. The scalar fallback, the AVX2
+//! `vpmaddwd` kernel, and the AVX-512 kernel (using `vpdpwssd` where the
+//! CPU has AVX-512 VNNI, detected independently of the dispatch tier)
+//! all compute the same integer sums and the same elementwise f32
+//! dequantization, so forcing any tier reproduces the same bytes. The
+//! only approximation is the two rounding steps at quantization time,
+//! which the NRMSE-delta acceptance tests in `zipnet-core` bound against
+//! the exact route.
+//!
+//! Exactness also buys *decomposability*: because partial products are
+//! plain i32 sums, a caller may split the reduction axis into blocks and
+//! multiply any contiguous subset of them, and the result equals the full
+//! product minus the skipped terms — with no rounding drift. The
+//! kd-decomposed quantized conv3d exploits this: it encodes one panel per
+//! input depth slice (instead of the 3-D lowering that copies each slice
+//! up to `kd` times), regroups the weight codes into per-`kd` blocks
+//! ([`QuantizedMat::regroup_mid_axis`]), and runs one narrow GEMM per
+//! output depth over the valid taps ([`sgemm_q_view_fused`]).
+
+use crate::isa::{active_isa, Isa};
+use crate::matmul::Epilogue;
+use crate::scratch::with_scratch_i16;
+
+/// A plan-time-quantized weight matrix: `m × k` row-major int8-range
+/// values, stored as adjacent-pair `i32` words (see module docs) with one
+/// dequantization scale per row.
+#[derive(Clone, Debug)]
+pub struct QuantizedMat {
+    /// `m × kp` pair words; word `p` of a row holds codes for reduction
+    /// positions `2p` (low 16 bits) and `2p + 1` (high 16 bits).
+    pairs: Vec<i32>,
+    scales: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+/// Rounds `v · inv_scale` to the nearest integer, half away from zero,
+/// clamped to the int8 range. Branch-free and elementwise, so the
+/// vectorized and scalar compilations agree bit-for-bit. Public so the
+/// weight-folding layer uses the *same* rounding when it
+/// quantize-dequantizes deconv weights — one rounding definition for the
+/// whole quantized route.
+#[inline(always)]
+pub fn quantize_code(v: f32, inv_scale: f32) -> i16 {
+    let scaled = v * inv_scale;
+    let rounded = (scaled + if scaled >= 0.0 { 0.5 } else { -0.5 }) as i32;
+    rounded.clamp(-127, 127) as i16
+}
+
+/// Packs two adjacent int8-range codes into the `i32` word layout the
+/// pair kernels consume.
+#[inline(always)]
+fn pair_word(lo: i16, hi: i16) -> i32 {
+    (lo as u16 as u32 | ((hi as u16 as u32) << 16)) as i32
+}
+
+/// Extracts the code at logical reduction position `l` from a row of
+/// pair words.
+#[inline(always)]
+fn unpair(row: &[i32], l: usize) -> i32 {
+    let word = row[l / 2];
+    if l.is_multiple_of(2) {
+        (word << 16) >> 16
+    } else {
+        word >> 16
+    }
+}
+
+impl QuantizedMat {
+    /// Quantizes a row-major `m × k` f32 matrix with one symmetric scale
+    /// per row. An all-zero row gets scale 1 (and all-zero codes), so
+    /// dequantization is always well-defined.
+    pub fn quantize_rows(w: &[f32], m: usize, k: usize) -> QuantizedMat {
+        assert_eq!(w.len(), m * k, "quantize_rows: bad W length");
+        let kp = k.div_ceil(2);
+        let mut pairs = vec![0i32; m * kp];
+        let mut scales = vec![1.0f32; m];
+        for r in 0..m {
+            let row = &w[r * k..(r + 1) * k];
+            let maxabs = row.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+            if maxabs > 0.0 {
+                let inv = 127.0 / maxabs;
+                for (p, dst) in pairs[r * kp..(r + 1) * kp].iter_mut().enumerate() {
+                    let lo = quantize_code(row[2 * p], inv);
+                    let hi = if 2 * p + 1 < k {
+                        quantize_code(row[2 * p + 1], inv)
+                    } else {
+                        0
+                    };
+                    *dst = pair_word(lo, hi);
+                }
+                scales[r] = maxabs / 127.0;
+            }
+        }
+        QuantizedMat {
+            pairs,
+            scales,
+            m,
+            k,
+        }
+    }
+
+    /// Logical rows (output channels).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Logical columns (reduction extent).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the f32 matrix the integer codes represent
+    /// (`q[r][l] · scale[r]`). This is the exact matrix the quantized
+    /// GEMM computes with, so an f32 reference product over it predicts
+    /// the integer path up to the activation quantization error.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let kp = self.k.div_ceil(2);
+        let mut w = vec![0.0f32; self.m * self.k];
+        for r in 0..self.m {
+            let s = self.scales[r];
+            let row = &self.pairs[r * kp..(r + 1) * kp];
+            for l in 0..self.k {
+                w[r * self.k + l] = unpair(row, l) as f32 * s;
+            }
+        }
+        w
+    }
+
+    /// In-memory footprint of the packed integer codes in bytes.
+    pub fn code_bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<i32>()
+    }
+
+    /// `i32` words per row produced by [`Self::regroup_mid_axis`]:
+    /// `mid` blocks of `ceil(outer·inner / 2)` pair words each.
+    pub fn regrouped_row_words(outer: usize, mid: usize, inner: usize) -> usize {
+        mid * (outer * inner).div_ceil(2)
+    }
+
+    /// Rewrites the codes with the reduction axis regrouped from
+    /// `(outer, mid, inner)` order into `mid`-major blocks, each padded
+    /// to whole pair words: row `r` of `out` is `mid` consecutive blocks,
+    /// block `b` holding the codes of positions `(o, b, i)` in `(o, i)`
+    /// order. For conv3d weights in `(c, kd, kh·kw)` order this yields
+    /// per-`kd` sub-matrices, and because the blocks of one row are
+    /// contiguous, any contiguous `kd` range is a valid strided operand
+    /// for [`sgemm_q_view_fused`] without further repacking. Codes are
+    /// copied verbatim (no requantization); `out` must hold
+    /// `m · regrouped_row_words(outer, mid, inner)` words.
+    pub fn regroup_mid_axis(&self, outer: usize, mid: usize, inner: usize, out: &mut [i32]) {
+        assert_eq!(
+            outer * mid * inner,
+            self.k,
+            "regroup_mid_axis: axes do not factor k"
+        );
+        let kp = self.k.div_ceil(2);
+        let bk = outer * inner;
+        let bw = bk.div_ceil(2);
+        assert_eq!(
+            out.len(),
+            self.m * mid * bw,
+            "regroup_mid_axis: bad output length"
+        );
+        for r in 0..self.m {
+            let row = &self.pairs[r * kp..(r + 1) * kp];
+            for b in 0..mid {
+                let dst = &mut out[(r * mid + b) * bw..][..bw];
+                for (p, d) in dst.iter_mut().enumerate() {
+                    // Position t within the block maps to source position
+                    // (o, b, i) with o = t / inner, i = t % inner.
+                    let src = |t: usize| ((t / inner) * mid + b) * inner + t % inner;
+                    let lo = unpair(row, src(2 * p)) as i16;
+                    let hi = if 2 * p + 1 < bk {
+                        unpair(row, src(2 * p + 1)) as i16
+                    } else {
+                        0
+                    };
+                    *d = pair_word(lo, hi);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Activation quantization: scan, scale, pair-interleaved encode
+// ---------------------------------------------------------------------------
+
+/// Largest magnitude of a slice, ISA-dispatched. `max` is exact and
+/// order-independent, so every tier returns the same value; the quantized
+/// route's determinism contract rests on that.
+pub fn max_abs(xs: &[f32]) -> f32 {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_isa` verified CPUID support for this tier.
+        Isa::Avx2 => unsafe { max_abs_avx2(xs) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe { max_abs_avx512(xs) },
+        _ => xs.iter().fold(0.0f32, |acc, &v| acc.max(v.abs())),
+    }
+}
+
+/// `(scale, inv_scale)` for a symmetric int8 quantization of a tensor
+/// whose largest magnitude is `maxabs`. An all-zero tensor gets scale 1
+/// and `inv = 0` (all codes quantize to zero).
+pub fn quant_scale(maxabs: f32) -> (f32, f32) {
+    if maxabs > 0.0 {
+        (maxabs / 127.0, 127.0 / maxabs)
+    } else {
+        (1.0, 0.0)
+    }
+}
+
+/// # Safety
+/// The CPU must support AVX2+FMA; callers dispatch via
+/// [`crate::isa::active_isa`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn max_abs_avx2(b: &[f32]) -> f32 {
+    use core::arch::x86_64::*;
+    let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let mut vmax = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= b.len() {
+        let v = _mm256_loadu_ps(b.as_ptr().add(i));
+        vmax = _mm256_max_ps(vmax, _mm256_and_ps(v, absmask));
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+    let mut maxabs = lanes.iter().fold(0.0f32, |a, &v| a.max(v));
+    for &v in &b[i..] {
+        maxabs = maxabs.max(v.abs());
+    }
+    maxabs
+}
+
+/// # Safety
+/// The CPU must support AVX-512 F/VL/DQ/BW; callers dispatch via
+/// [`crate::isa::active_isa`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw,avx2,fma")]
+unsafe fn max_abs_avx512(b: &[f32]) -> f32 {
+    use core::arch::x86_64::*;
+    let absmask = _mm512_castsi512_ps(_mm512_set1_epi32(0x7FFF_FFFF));
+    let mut vmax = _mm512_setzero_ps();
+    let mut i = 0;
+    while i + 16 <= b.len() {
+        let v = _mm512_loadu_ps(b.as_ptr().add(i));
+        vmax = _mm512_max_ps(vmax, _mm512_and_ps(v, absmask));
+        i += 16;
+    }
+    let mut maxabs = _mm512_reduce_max_ps(vmax);
+    for &v in &b[i..] {
+        maxabs = maxabs.max(v.abs());
+    }
+    maxabs
+}
+
+/// Quantizes `B` (`k × n` row-major f32) with the given inverse scale
+/// into the pair-interleaved `i16` panel `bt` (`kp` chunks of `2n`;
+/// odd `k` zero-pads the last chunk's odd lanes). ISA-dispatched; the
+/// quantization is elementwise, so every tier produces the same panel.
+/// The inverse scale normally comes from [`max_abs`] of the *source
+/// tensor* via [`quant_scale`] — which may be a superset of `B` (the
+/// kd-decomposed conv3d scans each input sample once and encodes all its
+/// depth-slice panels with that one scale, keeping partial products
+/// summable in i32).
+pub fn encode_panel(b: &[f32], bt: &mut [i16], k: usize, n: usize, inv: f32) {
+    debug_assert!(b.len() >= k * n, "encode_panel: bad B length");
+    debug_assert!(
+        bt.len() >= k.div_ceil(2) * 2 * n,
+        "encode_panel: bad panel length"
+    );
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_isa` verified CPUID support for this tier.
+        Isa::Avx2 => unsafe { encode_panel_avx2(b, bt, k, n, inv) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        Isa::Avx512 => unsafe { encode_panel_avx512(b, bt, k, n, inv) },
+        _ => encode_panel_body(b, bt, k, n, inv),
+    }
+}
+
+/// Portable [`encode_panel`] body.
+#[inline(always)]
+fn encode_panel_body(b: &[f32], bt: &mut [i16], k: usize, n: usize, inv: f32) {
+    let kp = k.div_ceil(2);
+    for lp in 0..kp {
+        let (l0, l1) = (2 * lp, 2 * lp + 1);
+        let dst = &mut bt[lp * 2 * n..(lp + 1) * 2 * n];
+        let row0 = &b[l0 * n..l0 * n + n];
+        if l1 < k {
+            let row1 = &b[l1 * n..l1 * n + n];
+            for ((d, &x0), &x1) in dst.chunks_exact_mut(2).zip(row0).zip(row1) {
+                d[0] = quantize_code(x0, inv);
+                d[1] = quantize_code(x1, inv);
+            }
+        } else {
+            for (d, &x0) in dst.chunks_exact_mut(2).zip(row0) {
+                d[0] = quantize_code(x0, inv);
+                d[1] = 0;
+            }
+        }
+    }
+}
+
+/// Hand-vectorized AVX2 [`encode_panel`]: the autovectorizer refuses both
+/// the saturating cast chain in [`quantize_code`] and the stride-2
+/// interleaved `i16` stores, so this path was the dominant cost of the
+/// whole quantized route until written explicitly. Numerically it is the
+/// scalar body lane-for-lane: `copysign(0.5, scaled)` is the same select
+/// `quantize_code` performs (they differ only at `-0.0`, where both round
+/// to `0`), truncation and clamp order match, and `|scaled| ≤ 127.0`
+/// whenever `inv` comes from [`quant_scale`] of a covering max, so the
+/// saturating and truncating casts agree. Two adjacent quantized rows
+/// interleave for free: each i32 code fits 16 bits, so `lo | (hi << 16)`
+/// *is* the pair-interleaved word.
+///
+/// # Safety
+/// The CPU must support AVX2+FMA; callers dispatch via
+/// [`crate::isa::active_isa`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn encode_panel_avx2(b: &[f32], bt: &mut [i16], k: usize, n: usize, inv: f32) {
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn qvec(v: __m256, inv: __m256) -> __m256i {
+        let scaled = _mm256_mul_ps(v, inv);
+        let half = _mm256_or_ps(
+            _mm256_set1_ps(0.5),
+            _mm256_and_ps(scaled, _mm256_set1_ps(-0.0)),
+        );
+        let r = _mm256_cvttps_epi32(_mm256_add_ps(scaled, half));
+        _mm256_min_epi32(
+            _mm256_max_epi32(r, _mm256_set1_epi32(-127)),
+            _mm256_set1_epi32(127),
+        )
+    }
+
+    let vinv = _mm256_set1_ps(inv);
+    let lomask = _mm256_set1_epi32(0xFFFF);
+    let kp = k.div_ceil(2);
+    for lp in 0..kp {
+        let (l0, l1) = (2 * lp, 2 * lp + 1);
+        let dst = bt.as_mut_ptr().add(lp * 2 * n);
+        let row0 = b.as_ptr().add(l0 * n);
+        let row1 = b.as_ptr().add(l1 * n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let q0 = qvec(_mm256_loadu_ps(row0.add(j)), vinv);
+            let q1 = if l1 < k {
+                qvec(_mm256_loadu_ps(row1.add(j)), vinv)
+            } else {
+                _mm256_setzero_si256()
+            };
+            let w = _mm256_or_si256(_mm256_and_si256(q0, lomask), _mm256_slli_epi32(q1, 16));
+            _mm256_storeu_si256(dst.add(2 * j) as *mut __m256i, w);
+            j += 8;
+        }
+        while j < n {
+            *dst.add(2 * j) = quantize_code(*row0.add(j), inv);
+            *dst.add(2 * j + 1) = if l1 < k {
+                quantize_code(*row1.add(j), inv)
+            } else {
+                0
+            };
+            j += 1;
+        }
+    }
+}
+
+/// AVX-512 variant of [`encode_panel_avx2`]; same lane-exact arithmetic
+/// on 16-wide vectors.
+///
+/// # Safety
+/// The CPU must support AVX-512 F/VL/DQ/BW; callers dispatch via
+/// [`crate::isa::active_isa`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw,avx2,fma")]
+unsafe fn encode_panel_avx512(b: &[f32], bt: &mut [i16], k: usize, n: usize, inv: f32) {
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn qvec(v: __m512, inv: __m512) -> __m512i {
+        let scaled = _mm512_mul_ps(v, inv);
+        let half = _mm512_or_ps(
+            _mm512_set1_ps(0.5),
+            _mm512_and_ps(scaled, _mm512_set1_ps(-0.0)),
+        );
+        let r = _mm512_cvttps_epi32(_mm512_add_ps(scaled, half));
+        _mm512_min_epi32(
+            _mm512_max_epi32(r, _mm512_set1_epi32(-127)),
+            _mm512_set1_epi32(127),
+        )
+    }
+
+    let vinv = _mm512_set1_ps(inv);
+    let lomask = _mm512_set1_epi32(0xFFFF);
+    let kp = k.div_ceil(2);
+    for lp in 0..kp {
+        let (l0, l1) = (2 * lp, 2 * lp + 1);
+        let dst = bt.as_mut_ptr().add(lp * 2 * n);
+        let row0 = b.as_ptr().add(l0 * n);
+        let row1 = b.as_ptr().add(l1 * n);
+        let mut j = 0;
+        while j + 16 <= n {
+            let q0 = qvec(_mm512_loadu_ps(row0.add(j)), vinv);
+            let q1 = if l1 < k {
+                qvec(_mm512_loadu_ps(row1.add(j)), vinv)
+            } else {
+                _mm512_setzero_si512()
+            };
+            let w = _mm512_or_si512(_mm512_and_si512(q0, lomask), _mm512_slli_epi32(q1, 16));
+            _mm512_storeu_si512(dst.add(2 * j) as *mut _, w);
+            j += 16;
+        }
+        while j < n {
+            *dst.add(2 * j) = quantize_code(*row0.add(j), inv);
+            *dst.add(2 * j + 1) = if l1 < k {
+                quantize_code(*row1.add(j), inv)
+            } else {
+                0
+            };
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+/// Operand view threading one kernel code path through both entry
+/// points: a plain `m × kp` matrix ([`sgemm_q_serial_fused`]) or a
+/// contiguous block range of each row of a regrouped matrix with strided
+/// output rows ([`sgemm_q_view_fused`]). Row `r`'s active words are
+/// `words[r·w_stride + w_off ..][.. kp]`; its output row starts at
+/// `c[r·c_stride]`.
+#[derive(Clone, Copy)]
+struct QOp<'a> {
+    words: &'a [i32],
+    w_off: usize,
+    w_stride: usize,
+    /// Active pair words per row — the iteration count of the k-loop.
+    kp: usize,
+    scales: &'a [f32],
+    bscale: f32,
+    c_stride: usize,
+}
+
+impl QOp<'_> {
+    #[inline(always)]
+    fn word(&self, row: usize, lp: usize) -> i32 {
+        self.words[row * self.w_stride + self.w_off + lp]
+    }
+
+    /// # Safety
+    /// [`qgemm_view`] validated `words` covers every `(row, lp)` the
+    /// kernels index.
+    #[inline(always)]
+    unsafe fn word_unchecked(&self, row: usize, lp: usize) -> i32 {
+        *self
+            .words
+            .get_unchecked(row * self.w_stride + self.w_off + lp)
+    }
+}
+
+/// Exact integer dot product of one weight row against one panel column —
+/// the reference reduction every kernel's edge handling falls back to.
+#[inline(always)]
+fn qdot(op: &QOp<'_>, row: usize, bt: &[i16], n: usize, j: usize) -> i32 {
+    let mut acc = 0i32;
+    for lp in 0..op.kp {
+        let word = op.word(row, lp);
+        let (a0, a1) = ((word << 16) >> 16, word >> 16);
+        let t = lp * 2 * n + 2 * j;
+        acc += a0 * bt[t] as i32 + a1 * bt[t + 1] as i32;
+    }
+    acc
+}
+
+/// Portable kernel: column blocks accumulated in a stack tile so the
+/// inner loop is a fixed-trip elementwise sweep (autovectorizable), with
+/// the same integer sums as the SIMD kernels.
+fn qgemm_scalar(op: QOp<'_>, bt: &[i16], c: &mut [f32], m: usize, n: usize, ep: &Epilogue<'_>) {
+    const JB: usize = 64;
+    let mut j = 0;
+    while j < n {
+        let jb = JB.min(n - j);
+        for r in 0..m {
+            let mut acc = [0i32; JB];
+            for lp in 0..op.kp {
+                let word = op.word(r, lp);
+                let (a0, a1) = ((word << 16) >> 16, word >> 16);
+                let chunk = &bt[lp * 2 * n + 2 * j..][..2 * jb];
+                for (av, d) in acc[..jb].iter_mut().zip(chunk.chunks_exact(2)) {
+                    *av += a0 * d[0] as i32 + a1 * d[1] as i32;
+                }
+            }
+            let dq = op.scales[r] * op.bscale;
+            for (cv, &av) in c[r * op.c_stride + j..][..jb].iter_mut().zip(&acc[..jb]) {
+                *cv = ep.apply(r, av as f32 * dq);
+            }
+        }
+        j += JB;
+    }
+}
+
+/// Dequantizes one flushed accumulator block through the epilogue. The
+/// f32 operations are elementwise and in the same order as the scalar
+/// kernel's store phase, so every kernel stores identical bytes.
+#[inline(always)]
+fn flush_block(acc: &[i32], c: &mut [f32], dq: f32, row: usize, ep: &Epilogue<'_>) {
+    for (cv, &av) in c.iter_mut().zip(acc) {
+        *cv = ep.apply(row, av as f32 * dq);
+    }
+}
+
+/// AVX2 kernel: `vpmaddwd` + `vpaddd` over 6-row × 16-column register
+/// tiles (12 accumulators + 2 panel vectors + 1 broadcast of 16 `ymm`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn qgemm_avx2(
+    op: QOp<'_>,
+    bt: &[i16],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    let mut r0 = 0;
+    while r0 < m {
+        match m - r0 {
+            1 => qrows_avx2::<1>(op, bt, c, r0, n, ep),
+            2 => qrows_avx2::<2>(op, bt, c, r0, n, ep),
+            3 => qrows_avx2::<3>(op, bt, c, r0, n, ep),
+            4 => qrows_avx2::<4>(op, bt, c, r0, n, ep),
+            5 => qrows_avx2::<5>(op, bt, c, r0, n, ep),
+            _ => qrows_avx2::<6>(op, bt, c, r0, n, ep),
+        }
+        r0 += (m - r0).min(6);
+    }
+}
+
+/// One AVX2 row-block pass: `R` rows against every column of the panel.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn qrows_avx2<const R: usize>(
+    op: QOp<'_>,
+    bt: &[i16],
+    c: &mut [f32],
+    r0: usize,
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    use core::arch::x86_64::*;
+    let mut j = 0;
+    // 16 columns per pass: two ymm panel loads cover 16 interleaved pairs.
+    while j + 16 <= n {
+        let mut acc0 = [_mm256_setzero_si256(); R];
+        let mut acc1 = [_mm256_setzero_si256(); R];
+        for lp in 0..op.kp {
+            let p = bt.as_ptr().add(lp * 2 * n + 2 * j);
+            let vb0 = _mm256_loadu_si256(p as *const __m256i);
+            let vb1 = _mm256_loadu_si256(p.add(16) as *const __m256i);
+            for r in 0..R {
+                let va = _mm256_set1_epi32(op.word_unchecked(r0 + r, lp));
+                acc0[r] = _mm256_add_epi32(acc0[r], _mm256_madd_epi16(va, vb0));
+                acc1[r] = _mm256_add_epi32(acc1[r], _mm256_madd_epi16(va, vb1));
+            }
+        }
+        let mut buf = [0i32; 16];
+        for r in 0..R {
+            let row = r0 + r;
+            _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, acc0[r]);
+            _mm256_storeu_si256(buf.as_mut_ptr().add(8) as *mut __m256i, acc1[r]);
+            let dq = op.scales[row] * op.bscale;
+            flush_block(&buf, &mut c[row * op.c_stride + j..][..16], dq, row, ep);
+        }
+        j += 16;
+    }
+    if j + 8 <= n {
+        let mut acc = [_mm256_setzero_si256(); R];
+        for lp in 0..op.kp {
+            let vb = _mm256_loadu_si256(bt.as_ptr().add(lp * 2 * n + 2 * j) as *const __m256i);
+            for (r, a) in acc.iter_mut().enumerate() {
+                let va = _mm256_set1_epi32(op.word_unchecked(r0 + r, lp));
+                *a = _mm256_add_epi32(*a, _mm256_madd_epi16(va, vb));
+            }
+        }
+        let mut buf = [0i32; 8];
+        for (r, a) in acc.iter().enumerate() {
+            let row = r0 + r;
+            _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, *a);
+            let dq = op.scales[row] * op.bscale;
+            flush_block(&buf, &mut c[row * op.c_stride + j..][..8], dq, row, ep);
+        }
+        j += 8;
+    }
+    while j < n {
+        for r in 0..R {
+            let row = r0 + r;
+            let acc = qdot(&op, row, bt, n, j);
+            let dq = op.scales[row] * op.bscale;
+            c[row * op.c_stride + j] = ep.apply(row, acc as f32 * dq);
+        }
+        j += 1;
+    }
+}
+
+/// Generates the two AVX-512 kernels: with VNNI (`vpdpwssd`, fused
+/// multiply-pair-accumulate) and without (`vpmaddwd` + `vpaddd`). Both
+/// compute identical integer sums over 6-row × 32-column zmm tiles.
+#[cfg(target_arch = "x86_64")]
+macro_rules! qgemm_avx512_kernels {
+    ($kernel:ident, $rows:ident, $feat:literal, $step:ident) => {
+        /// # Safety
+        /// The CPU must support the features in `target_feature`; callers
+        /// dispatch via [`crate::isa::active_isa`] (and a separate CPUID
+        /// check for VNNI).
+        #[target_feature(enable = $feat)]
+        unsafe fn $kernel(
+            op: QOp<'_>,
+            bt: &[i16],
+            c: &mut [f32],
+            m: usize,
+            n: usize,
+            ep: &Epilogue<'_>,
+        ) {
+            let mut r0 = 0;
+            while r0 < m {
+                match m - r0 {
+                    1 => $rows::<1>(op, bt, c, r0, n, ep),
+                    2 => $rows::<2>(op, bt, c, r0, n, ep),
+                    3 => $rows::<3>(op, bt, c, r0, n, ep),
+                    4 => $rows::<4>(op, bt, c, r0, n, ep),
+                    5 => $rows::<5>(op, bt, c, r0, n, ep),
+                    _ => $rows::<6>(op, bt, c, r0, n, ep),
+                }
+                r0 += (m - r0).min(6);
+            }
+        }
+
+        #[inline(always)]
+        unsafe fn $rows<const R: usize>(
+            op: QOp<'_>,
+            bt: &[i16],
+            c: &mut [f32],
+            r0: usize,
+            n: usize,
+            ep: &Epilogue<'_>,
+        ) {
+            use core::arch::x86_64::*;
+            let mut j = 0;
+            // 32 columns per pass: two zmm panel loads.
+            while j + 32 <= n {
+                let mut acc0 = [_mm512_setzero_si512(); R];
+                let mut acc1 = [_mm512_setzero_si512(); R];
+                for lp in 0..op.kp {
+                    let p = bt.as_ptr().add(lp * 2 * n + 2 * j);
+                    let vb0 = _mm512_loadu_si512(p as *const _);
+                    let vb1 = _mm512_loadu_si512(p.add(32) as *const _);
+                    for r in 0..R {
+                        let va = _mm512_set1_epi32(op.word_unchecked(r0 + r, lp));
+                        acc0[r] = $step(acc0[r], va, vb0);
+                        acc1[r] = $step(acc1[r], va, vb1);
+                    }
+                }
+                let mut buf = [0i32; 32];
+                for r in 0..R {
+                    let row = r0 + r;
+                    _mm512_storeu_si512(buf.as_mut_ptr() as *mut _, acc0[r]);
+                    _mm512_storeu_si512(buf.as_mut_ptr().add(16) as *mut _, acc1[r]);
+                    let dq = op.scales[row] * op.bscale;
+                    flush_block(&buf, &mut c[row * op.c_stride + j..][..32], dq, row, ep);
+                }
+                j += 32;
+            }
+            while j + 16 <= n {
+                let mut acc = [_mm512_setzero_si512(); R];
+                for lp in 0..op.kp {
+                    let vb = _mm512_loadu_si512(bt.as_ptr().add(lp * 2 * n + 2 * j) as *const _);
+                    for r in 0..R {
+                        let va = _mm512_set1_epi32(op.word_unchecked(r0 + r, lp));
+                        acc[r] = $step(acc[r], va, vb);
+                    }
+                }
+                let mut buf = [0i32; 16];
+                for r in 0..R {
+                    let row = r0 + r;
+                    _mm512_storeu_si512(buf.as_mut_ptr() as *mut _, acc[r]);
+                    let dq = op.scales[row] * op.bscale;
+                    flush_block(&buf, &mut c[row * op.c_stride + j..][..16], dq, row, ep);
+                }
+                j += 16;
+            }
+            while j < n {
+                for r in 0..R {
+                    let row = r0 + r;
+                    let acc = qdot(&op, row, bt, n, j);
+                    let dq = op.scales[row] * op.bscale;
+                    c[row * op.c_stride + j] = ep.apply(row, acc as f32 * dq);
+                }
+                j += 1;
+            }
+        }
+    };
+}
+
+/// `vpmaddwd` + `vpaddd` accumulation step for the plain AVX-512 kernel.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn step_madd(
+    acc: core::arch::x86_64::__m512i,
+    va: core::arch::x86_64::__m512i,
+    vb: core::arch::x86_64::__m512i,
+) -> core::arch::x86_64::__m512i {
+    use core::arch::x86_64::*;
+    _mm512_add_epi32(acc, _mm512_madd_epi16(va, vb))
+}
+
+/// `vpdpwssd` fused accumulation step for the VNNI kernel.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn step_vnni(
+    acc: core::arch::x86_64::__m512i,
+    va: core::arch::x86_64::__m512i,
+    vb: core::arch::x86_64::__m512i,
+) -> core::arch::x86_64::__m512i {
+    use core::arch::x86_64::*;
+    _mm512_dpwssd_epi32(acc, va, vb)
+}
+
+#[cfg(target_arch = "x86_64")]
+qgemm_avx512_kernels!(
+    qgemm_avx512,
+    qrows_avx512,
+    "avx512f,avx512vl,avx512dq,avx512bw,avx2,fma",
+    step_madd
+);
+
+#[cfg(target_arch = "x86_64")]
+qgemm_avx512_kernels!(
+    qgemm_avx512_vnni,
+    qrows_avx512_vnni,
+    "avx512f,avx512vl,avx512dq,avx512bw,avx512vnni,avx2,fma",
+    step_vnni
+);
+
+/// Whether the CPU exposes AVX-512 VNNI (`vpdpwssd`). Checked once,
+/// independently of the dispatch tier: VNNI is an extra instruction on
+/// top of the `Avx512` tier's feature set, and since every kernel
+/// computes the same exact integer sums, using it is invisible to the
+/// determinism contract.
+#[cfg(target_arch = "x86_64")]
+fn avx512_vnni_available() -> bool {
+    use std::sync::OnceLock;
+    static VNNI: OnceLock<bool> = OnceLock::new();
+    *VNNI.get_or_init(|| std::arch::is_x86_feature_detected!("avx512vnni"))
+}
+
+/// Validates the view's bounds (the SIMD kernels index weight words
+/// unchecked against them) and dispatches to the active tier's kernel.
+fn qgemm_view(op: QOp<'_>, bt: &[i16], c: &mut [f32], m: usize, n: usize, ep: &Epilogue<'_>) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(
+        op.words.len() >= (m - 1) * op.w_stride + op.w_off + op.kp,
+        "qgemm_view: weight words out of bounds"
+    );
+    assert!(bt.len() >= op.kp * 2 * n, "qgemm_view: panel too short");
+    assert!(op.c_stride >= n, "qgemm_view: output rows overlap");
+    assert!(
+        c.len() >= (m - 1) * op.c_stride + n,
+        "qgemm_view: output out of bounds"
+    );
+    assert!(op.scales.len() >= m, "qgemm_view: scales shorter than m");
+    assert!(ep.bias.len() >= m, "qgemm_view: bias shorter than m");
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_isa` verified CPUID support for this tier, and
+        // the asserts above establish the bounds the kernels rely on.
+        Isa::Avx2 => unsafe { qgemm_avx2(op, bt, c, m, n, ep) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; the VNNI kernel additionally requires the
+        // independent `avx512_vnni_available` CPUID check.
+        Isa::Avx512 => unsafe {
+            if avx512_vnni_available() {
+                qgemm_avx512_vnni(op, bt, c, m, n, ep);
+            } else {
+                qgemm_avx512(op, bt, c, m, n, ep);
+            }
+        },
+        _ => qgemm_scalar(op, bt, c, m, n, ep),
+    }
+}
+
+/// Serial quantized GEMM with fused epilogue:
+/// `C = epilogue(dequant(Wq · quant(B)))` where `Wq` is an `m × k`
+/// [`QuantizedMat`] and `B` is `k × n` f32 row-major.
+///
+/// Mirrors [`crate::matmul::sgemm_serial_fused`]'s calling convention so
+/// the conv lowering can swap routes per `FusePolicy`-like plan
+/// decisions; like it, this is the per-sample kernel inside
+/// batch-parallel conv loops. Integer accumulation is exact, so the
+/// result is bit-identical for every ISA tier and worker count.
+pub fn sgemm_q_serial_fused(
+    aq: &QuantizedMat,
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    let (m, k) = (aq.m, aq.k);
+    assert_eq!(b.len(), k * n, "sgemm_q_serial_fused: bad B length");
+    assert_eq!(c.len(), m * n, "sgemm_q_serial_fused: bad C length");
+    assert!(
+        ep.bias.len() >= m,
+        "sgemm_q_serial_fused: bias shorter than m"
+    );
+    // `2 · 127² · k/2` per pair word must stay within i32.
+    debug_assert!(
+        k < (i32::MAX / (127 * 127)) as usize,
+        "k too large for exact i32 accumulation"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        ep.apply_rows(c, n);
+        return;
+    }
+    let kp = k.div_ceil(2);
+    let (bscale, inv) = quant_scale(max_abs(b));
+    with_scratch_i16(kp * 2 * n, |bt| {
+        encode_panel(b, bt, k, n, inv);
+        let op = QOp {
+            words: &aq.pairs,
+            w_off: 0,
+            w_stride: kp,
+            kp,
+            scales: &aq.scales,
+            bscale,
+            c_stride: n,
+        };
+        qgemm_view(op, bt, c, m, n, ep);
+    });
+}
+
+/// Quantized GEMM over pre-encoded operands for reduction-split callers
+/// (the kd-decomposed conv3d): `words` is a regrouped code buffer
+/// ([`QuantizedMat::regroup_mid_axis`]) viewed at `w_stride` words per
+/// row with the product's `kp` active words starting `w_off` in; `bt` is
+/// a panel already encoded by [`encode_panel`] with activation scale
+/// `bscale` and exactly `kp` chunks of `2n` codes; output row `r` lands
+/// at `c[r·c_stride ..][.. n]`. Same exact-integer contract as
+/// [`sgemm_q_serial_fused`]: the result is bit-identical for every ISA
+/// tier and worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_q_view_fused(
+    words: &[i32],
+    w_off: usize,
+    w_stride: usize,
+    kp: usize,
+    scales: &[f32],
+    bscale: f32,
+    bt: &[i16],
+    c: &mut [f32],
+    c_stride: usize,
+    m: usize,
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    // `2 · 127² · kp` must stay within i32.
+    debug_assert!(
+        kp < (i32::MAX / (2 * 127 * 127)) as usize,
+        "kp too large for exact i32 accumulation"
+    );
+    let op = QOp {
+        words,
+        w_off,
+        w_stride,
+        kp,
+        scales,
+        bscale,
+        c_stride,
+    };
+    qgemm_view(op, bt, c, m, n, ep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{dispatchable_isas, set_forced_isa};
+    use crate::matmul::sgemm_serial;
+    use crate::rng::Rng;
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let mut rng = Rng::seed_from(7);
+        let (m, k) = (6, 50);
+        let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let q = QuantizedMat::quantize_rows(&w, m, k);
+        let back = q.dequantize();
+        for r in 0..m {
+            let row = &w[r * k..(r + 1) * k];
+            let maxabs = row.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            // Symmetric round-to-nearest: error at most half a step.
+            let bound = maxabs / 127.0 * 0.5 + 1e-6;
+            for (x, y) in row.iter().zip(&back[r * k..(r + 1) * k]) {
+                assert!((x - y).abs() <= bound, "r={r}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_gets_unit_scale() {
+        let w = vec![0.0f32; 8];
+        let q = QuantizedMat::quantize_rows(&w, 2, 4);
+        assert_eq!(q.scales(), &[1.0, 1.0]);
+        assert!(q.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn odd_k_pads_with_zero_codes() {
+        let mut rng = Rng::seed_from(11);
+        let (m, k) = (3, 7);
+        let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let q = QuantizedMat::quantize_rows(&w, m, k);
+        let back = q.dequantize();
+        assert_eq!(back.len(), m * k);
+        // Padding must not leak into the reconstruction.
+        for r in 0..m {
+            let maxabs = w[r * k..(r + 1) * k]
+                .iter()
+                .fold(0.0f32, |a, &v| a.max(v.abs()));
+            let bound = maxabs / 127.0 * 0.5 + 1e-6;
+            for (x, y) in w[r * k..(r + 1) * k].iter().zip(&back[r * k..(r + 1) * k]) {
+                assert!((x - y).abs() <= bound);
+            }
+        }
+    }
+
+    /// Regrouping must move codes without altering them: dequantizing a
+    /// regrouped block row-by-row reproduces the original values at the
+    /// permuted positions, and block pair padding stays zero.
+    #[test]
+    fn regroup_mid_axis_permutes_codes_exactly() {
+        let mut rng = Rng::seed_from(19);
+        // (outer, mid, inner) with odd outer·inner to exercise padding.
+        for &(m, outer, mid, inner) in
+            &[(4usize, 3usize, 3usize, 9usize), (2, 2, 4, 5), (1, 1, 3, 7)]
+        {
+            let k = outer * mid * inner;
+            let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let q = QuantizedMat::quantize_rows(&w, m, k);
+            let bk = outer * inner;
+            let bw = bk.div_ceil(2);
+            let row_words = QuantizedMat::regrouped_row_words(outer, mid, inner);
+            assert_eq!(row_words, mid * bw);
+            let mut out = vec![0i32; m * row_words];
+            q.regroup_mid_axis(outer, mid, inner, &mut out);
+            let kp = k.div_ceil(2);
+            for r in 0..m {
+                let row = &q.pairs[r * kp..(r + 1) * kp];
+                for b in 0..mid {
+                    let block = &out[(r * mid + b) * bw..][..bw];
+                    for t in 0..bk {
+                        let (o, i) = (t / inner, t % inner);
+                        let want = unpair(row, (o * mid + b) * inner + i);
+                        assert_eq!(unpair(block, t), want, "r={r} b={b} t={t}");
+                    }
+                    if bk % 2 == 1 {
+                        assert_eq!(block[bw - 1] >> 16, 0, "pad code must be zero");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A full-matrix view (`w_off = 0`, stride = `kp`, `c_stride = n`)
+    /// through the pre-encoded entry must reproduce
+    /// [`sgemm_q_serial_fused`] exactly, and a strided output view must
+    /// scatter the same rows at the wider pitch.
+    #[test]
+    fn view_entry_matches_packed_entry() {
+        let mut rng = Rng::seed_from(23);
+        let (m, k, n) = (5usize, 54usize, 37usize);
+        let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let bias = vec![0.25f32; m];
+        let ep = Epilogue::new(&bias).leaky(0.1);
+        let aq = QuantizedMat::quantize_rows(&w, m, k);
+
+        let mut want = vec![0.0f32; m * n];
+        sgemm_q_serial_fused(&aq, &b, &mut want, n, &ep);
+
+        let kp = k.div_ceil(2);
+        let (bscale, inv) = quant_scale(max_abs(&b));
+        let mut bt = vec![0i16; kp * 2 * n];
+        encode_panel(&b, &mut bt, k, n, inv);
+
+        let mut flat = vec![0.0f32; m * n];
+        sgemm_q_view_fused(
+            &aq.pairs,
+            0,
+            kp,
+            kp,
+            aq.scales(),
+            bscale,
+            &bt,
+            &mut flat,
+            n,
+            m,
+            n,
+            &ep,
+        );
+        assert_eq!(flat, want);
+
+        let stride = n + 11;
+        let mut wide = vec![f32::NAN; (m - 1) * stride + n];
+        sgemm_q_view_fused(
+            &aq.pairs,
+            0,
+            kp,
+            kp,
+            aq.scales(),
+            bscale,
+            &bt,
+            &mut wide,
+            stride,
+            m,
+            n,
+            &ep,
+        );
+        for r in 0..m {
+            assert_eq!(&wide[r * stride..r * stride + n], &want[r * n..(r + 1) * n]);
+        }
+    }
+
+    /// NRMSE of the quantized product against the f32 product must stay
+    /// within the two-sided int8 rounding budget on every tested shape.
+    /// Shapes cover odd `k` (pair padding) and every column-tail width of
+    /// the 32/16/8/scalar cascade.
+    #[test]
+    fn quantized_product_tracks_f32_product() {
+        let mut rng = Rng::seed_from(31);
+        for &(m, k, n) in &[
+            (8, 72, 144),
+            (16, 200, 41),
+            (3, 7, 5),
+            (9, 260, 33),
+            (7, 54, 61),
+            (1, 9, 17),
+        ] {
+            let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.5, 1.5)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let bias: Vec<f32> = (0..m).map(|_| rng.uniform(-0.5, 0.5)).collect();
+            let ep = Epilogue::new(&bias);
+
+            let mut exact = vec![0.0f32; m * n];
+            sgemm_serial(&w, &b, &mut exact, m, k, n, false);
+            ep.apply_rows(&mut exact, n);
+
+            let aq = QuantizedMat::quantize_rows(&w, m, k);
+            let mut quant = vec![0.0f32; m * n];
+            sgemm_q_serial_fused(&aq, &b, &mut quant, n, &ep);
+
+            let (mut se, mut norm) = (0.0f64, 0.0f64);
+            for (x, y) in quant.iter().zip(&exact) {
+                se += ((x - y) as f64).powi(2);
+                norm += (*y as f64).powi(2);
+            }
+            let nrmse = (se / se.max(norm).max(1e-12)).sqrt();
+            assert!(nrmse < 0.02, "m={m} k={k} n={n}: NRMSE {nrmse}");
+        }
+    }
+
+    /// Exact integer accumulation: every dispatchable tier must produce
+    /// the same bytes, not merely close values. Column counts cover the
+    /// vector-tail cascade of every kernel.
+    #[test]
+    fn quantized_route_is_bit_identical_across_isas() {
+        let mut rng = Rng::seed_from(47);
+        for &(m, k, n) in &[(8, 120, 90), (6, 27, 37), (5, 7, 19)] {
+            let w: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let bias = vec![0.1f32; m];
+            let ep = Epilogue::new(&bias).leaky(0.2);
+            let aq = QuantizedMat::quantize_rows(&w, m, k);
+
+            let mut reference: Option<Vec<f32>> = None;
+            for isa in dispatchable_isas() {
+                set_forced_isa(Some(isa));
+                let mut c = vec![0.0f32; m * n];
+                sgemm_q_serial_fused(&aq, &b, &mut c, n, &ep);
+                match &reference {
+                    None => reference = Some(c),
+                    Some(want) => {
+                        for (i, (x, y)) in c.iter().zip(want).enumerate() {
+                            assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "{}: m={m} k={k} n={n} elem {i} diverges",
+                                isa.name()
+                            );
+                        }
+                    }
+                }
+            }
+            set_forced_isa(None);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let aq = QuantizedMat::quantize_rows(&[], 2, 0);
+        let bias = vec![1.0f32; 2];
+        let ep = Epilogue::new(&bias);
+        let mut c = vec![9.0f32; 6];
+        sgemm_q_serial_fused(&aq, &[], &mut c, 3, &ep);
+        // k == 0: epilogue of the zero matrix.
+        assert!(c.iter().all(|&v| v == 1.0));
+    }
+}

@@ -26,6 +26,12 @@ use std::cell::RefCell;
 thread_local! {
     /// LIFO free-list of reusable buffers for this thread.
     static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    /// Separate free-list for the quantized kernels' `i16` workspaces
+    /// (activation panels); same ownership rules as the `f32` arena.
+    static FREE_I16: RefCell<Vec<Vec<i16>>> = const { RefCell::new(Vec::new()) };
+    /// Free-list for `i32` workspaces (regrouped weight code words of the
+    /// kd-decomposed quantized conv3d); same ownership rules.
+    static FREE_I32: RefCell<Vec<Vec<i32>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Maximum number of parked buffers per thread. Checkout depth in the
@@ -58,9 +64,69 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     r
 }
 
+/// [`with_scratch`] for `i16` workspaces: the quantized GEMM checks out
+/// one panel per call for the dynamically quantized activations, so the
+/// int8 inference route is also allocation-free in steady state.
+pub fn with_scratch_i16<R>(len: usize, f: impl FnOnce(&mut [i16]) -> R) -> R {
+    let mut buf = FREE_I16
+        .with(|free| free.borrow_mut().pop())
+        .unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    let r = f(&mut buf[..len]);
+    FREE_I16.with(|free| {
+        let mut free = free.borrow_mut();
+        if free.len() < MAX_PARKED {
+            free.push(buf);
+        }
+    });
+    r
+}
+
+/// [`with_scratch`] for `i32` workspaces: the kd-decomposed quantized
+/// conv3d checks out one buffer per stage call for the regrouped weight
+/// code words, keeping that route allocation-free in steady state too.
+pub fn with_scratch_i32<R>(len: usize, f: impl FnOnce(&mut [i32]) -> R) -> R {
+    let mut buf = FREE_I32
+        .with(|free| free.borrow_mut().pop())
+        .unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    let r = f(&mut buf[..len]);
+    FREE_I32.with(|free| {
+        let mut free = free.borrow_mut();
+        if free.len() < MAX_PARKED {
+            free.push(buf);
+        }
+    });
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn i32_checkout_reuses_buffers() {
+        let p0 = with_scratch_i32(64, |s| {
+            assert_eq!(s.len(), 64);
+            s.as_ptr() as usize
+        });
+        let p1 = with_scratch_i32(32, |s| s.as_ptr() as usize);
+        assert_eq!(p0, p1, "second i32 checkout must reuse the first buffer");
+    }
+
+    #[test]
+    fn i16_checkout_reuses_buffers() {
+        let p0 = with_scratch_i16(256, |s| {
+            assert_eq!(s.len(), 256);
+            s.as_ptr() as usize
+        });
+        let p1 = with_scratch_i16(128, |s| s.as_ptr() as usize);
+        assert_eq!(p0, p1, "second i16 checkout must reuse the first buffer");
+    }
 
     #[test]
     fn reuses_buffers_without_reallocating() {

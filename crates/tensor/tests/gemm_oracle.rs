@@ -6,11 +6,30 @@
 //! straddle the register tile (`MR`/`NR` ± 1), the small-shape fallback
 //! threshold, odd primes that divide nothing, and empty dimensions.
 
+use mtsr_tensor::isa::{dispatchable_isas, set_forced_isa, Isa};
 use mtsr_tensor::matmul::{
     sgemm, sgemm_acc, sgemm_nt, sgemm_nt_serial, sgemm_serial, sgemm_tn, sgemm_tn_serial,
 };
 use mtsr_tensor::pack::{MR, NR};
 use mtsr_tensor::Rng;
+use std::sync::{Mutex, MutexGuard};
+
+/// The forced-ISA override is process-global and the tests in this file
+/// run on the harness's thread pool, so each test holds this lock while
+/// sweeping tiers. (A poisoned lock just means an earlier test failed;
+/// the override state is still valid to reuse.)
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once per dispatchable ISA tier, serialized against the
+/// other tests in this file.
+fn for_each_isa(body: impl Fn(Isa)) {
+    let _guard: MutexGuard<'_, ()> = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for isa in dispatchable_isas() {
+        set_forced_isa(Some(isa));
+        body(isa);
+    }
+    set_forced_isa(None);
+}
 
 /// f64-accumulating reference: `C = A·B` with explicit strides so the
 /// transposed layouts are checked against the same ground truth.
@@ -62,6 +81,11 @@ fn shape_grid() -> Vec<(usize, usize, usize)> {
 
 #[test]
 fn parallel_variants_match_oracle_on_adversarial_shapes() {
+    for_each_isa(parallel_variants_case);
+}
+
+fn parallel_variants_case(isa: Isa) {
+    let tag = isa.name();
     let mut rng = Rng::seed_from(101);
     for (m, k, n) in shape_grid() {
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
@@ -73,7 +97,7 @@ fn parallel_variants_match_oracle_on_adversarial_shapes() {
         assert_close(
             &c,
             &naive(&a, &b, m, k, n, false, false),
-            &format!("nn {m}x{k}x{n}"),
+            &format!("[{tag}] nn {m}x{k}x{n}"),
         );
 
         // TN: reuse `a` as the k×m stored operand (lengths match).
@@ -82,7 +106,7 @@ fn parallel_variants_match_oracle_on_adversarial_shapes() {
         assert_close(
             &c,
             &naive(&a, &b, m, k, n, true, false),
-            &format!("tn {m}x{k}x{n}"),
+            &format!("[{tag}] tn {m}x{k}x{n}"),
         );
 
         // NT: reuse `b` reinterpreted as n×k storage.
@@ -92,13 +116,18 @@ fn parallel_variants_match_oracle_on_adversarial_shapes() {
         assert_close(
             &c,
             &naive(&a, &bt, m, k, n, false, true),
-            &format!("nt {m}x{k}x{n}"),
+            &format!("[{tag}] nt {m}x{k}x{n}"),
         );
     }
 }
 
 #[test]
 fn serial_variants_match_oracle_and_accumulate() {
+    for_each_isa(serial_variants_case);
+}
+
+fn serial_variants_case(isa: Isa) {
+    let tag = isa.name();
     let mut rng = Rng::seed_from(202);
     for (m, k, n) in shape_grid() {
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
@@ -109,24 +138,32 @@ fn serial_variants_match_oracle_and_accumulate() {
         let mut c = vec![bias; m * n];
         sgemm_serial(&a, &b, &mut c, m, k, n, true);
         let want_acc: Vec<f32> = want.iter().map(|w| w + bias).collect();
-        assert_close(&c, &want_acc, &format!("serial acc {m}x{k}x{n}"));
+        assert_close(&c, &want_acc, &format!("[{tag}] serial acc {m}x{k}x{n}"));
 
         let want_tn = naive(&a, &b, m, k, n, true, false);
         let mut c = vec![bias; m * n];
         sgemm_tn_serial(&a, &b, &mut c, m, k, n, false);
-        assert_close(&c, &want_tn, &format!("serial tn {m}x{k}x{n}"));
+        assert_close(&c, &want_tn, &format!("[{tag}] serial tn {m}x{k}x{n}"));
 
         let bt: Vec<f32> = (0..n * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let want_nt = naive(&a, &bt, m, k, n, false, true);
         let mut c = vec![bias; m * n];
         sgemm_nt_serial(&a, &bt, &mut c, m, k, n, true);
         let want_nt_acc: Vec<f32> = want_nt.iter().map(|w| w + bias).collect();
-        assert_close(&c, &want_nt_acc, &format!("serial nt acc {m}x{k}x{n}"));
+        assert_close(
+            &c,
+            &want_nt_acc,
+            &format!("[{tag}] serial nt acc {m}x{k}x{n}"),
+        );
     }
 }
 
 #[test]
 fn sgemm_acc_is_sgemm_plus_bias() {
+    for_each_isa(sgemm_acc_case);
+}
+
+fn sgemm_acc_case(_isa: Isa) {
     let mut rng = Rng::seed_from(303);
     let (m, k, n) = (33, 29, 41);
     let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();

@@ -8,13 +8,22 @@
 //! this test pins the guarantee down for every conv entry point, forward
 //! and backward, 2D and 3D, by comparing raw `f32` bit patterns.
 //!
-//! One `#[test]` fn (not one per case): the worker-count override is
-//! process-global, so the scenarios must not run concurrently.
+//! Since ISA dispatch landed, the guarantee is *per selected ISA*: the
+//! whole scenario sweep runs once for every tier this host can execute
+//! (scalar fallback, AVX2+FMA, AVX-512), each forced via the same
+//! override hook `MTSR_FORCE_ISA` uses. Bit-identity must hold across
+//! worker counts within each tier; tiers differ from each other in the
+//! last ulps (FMA contraction), which is exactly the documented contract.
+//!
+//! One `#[test]` fn (not one per case): the worker-count and ISA
+//! overrides are process-global, so the scenarios must not run
+//! concurrently.
 
 use mtsr_tensor::conv::{
     conv2d_backward_data, conv2d_backward_weights, conv2d_forward, conv3d_backward_data,
     conv3d_backward_weights, conv3d_forward, conv_transpose3d_forward, Conv2dSpec, Conv3dSpec,
 };
+use mtsr_tensor::isa::{dispatchable_isas, set_forced_isa};
 use mtsr_tensor::matmul::{sgemm, sgemm_nt, sgemm_tn};
 use mtsr_tensor::parallel::set_num_threads;
 use mtsr_tensor::{Rng, Tensor};
@@ -72,9 +81,6 @@ fn conv_and_gemm_outputs_are_bit_identical_across_worker_counts() {
         out
     };
 
-    set_num_threads(1);
-    let reference = run_all();
-
     // 2 and 8 bracket the realistic range; the max available count catches
     // whatever this machine would pick by default.
     let max = std::thread::available_parallelism()
@@ -84,16 +90,25 @@ fn conv_and_gemm_outputs_are_bit_identical_across_worker_counts() {
     if !counts.contains(&max) {
         counts.push(max);
     }
-    for workers in counts {
-        set_num_threads(workers);
-        let got = run_all();
-        set_num_threads(0);
-        for (op, (g, r)) in got.iter().zip(&reference).enumerate() {
-            assert_eq!(
-                g, r,
-                "op {op} produced different bits at {workers} workers vs 1"
-            );
+
+    for isa in dispatchable_isas() {
+        set_forced_isa(Some(isa));
+        set_num_threads(1);
+        let reference = run_all();
+        for &workers in &counts {
+            set_num_threads(workers);
+            let got = run_all();
+            set_num_threads(0);
+            for (op, (g, r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    g,
+                    r,
+                    "[{}] op {op} produced different bits at {workers} workers vs 1",
+                    isa.name()
+                );
+            }
         }
+        set_num_threads(0);
     }
-    set_num_threads(0);
+    set_forced_isa(None);
 }

@@ -465,6 +465,7 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
             "deadline-ms",
             "linger-ms",
             "max-conns",
+            "fuse",
             "exact",
             "telemetry",
         ],
@@ -500,12 +501,15 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
     }
 
     let batch = args.usize_flag("batch", 4)?;
-    // BN folded into the weights by default (fastest); --exact keeps the
-    // BN-in-epilogue plan that is bit-identical to the eval forward.
-    let policy = if args.bool_flag("exact")? {
-        FusePolicy::Exact
-    } else {
-        FusePolicy::Folded
+    // BN folded into the weights by default (fastest f32 route); --fuse
+    // selects exact (bit-identical to the eval forward), folded, or
+    // quantized (int8 conv weights). --exact is kept as an alias for
+    // `--fuse exact`.
+    let policy = match args.get("fuse") {
+        Some(name) => FusePolicy::parse(name)
+            .ok_or_else(|| format!("--fuse must be exact|folded|quantized, got `{name}`"))?,
+        None if args.bool_flag("exact")? => FusePolicy::Exact,
+        None => FusePolicy::Folded,
     };
 
     // The planner both builds the initial plans and re-plans checkpoints
@@ -537,11 +541,12 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
     let handle = Server::start(&cfg, specs, Some(planner)).map_err(|e| e.to_string())?;
     signals::install();
     println!(
-        "serving {} model(s) on {} ({} windows [S={s}, {cw}x{cw}] -> [{}x{}] per replay, \
-         queue {}, {} workers, {} conns max; SIGHUP hot-reloads checkpoints, SIGTERM or a \
-         SHUTDOWN frame drains gracefully)",
+        "serving {} model(s) on {} (fuse policy {}, {} windows [S={s}, {cw}x{cw}] -> [{}x{}] \
+         per replay, queue {}, {} workers, {} conns max; SIGHUP hot-reloads checkpoints, \
+         SIGTERM or a SHUTDOWN frame drains gracefully)",
         tenants.len(),
         handle.local_addr(),
+        policy.name(),
         batch,
         cw * geo.probe,
         cw * geo.probe,
@@ -825,7 +830,8 @@ fn usage() -> &'static str {
        mtsr stream   --model CKPT [--frames N] [--instance ...] [--grid N] [--seed S]\n\
        mtsr serve    (--model CKPT | --models NAME=CKPT[,NAME=CKPT...])\n\
                      [--addr HOST:PORT] [--batch B] [--workers W] [--queue N]\n\
-                     [--deadline-ms MS] [--linger-ms MS] [--max-conns N] [--exact]\n\
+                     [--deadline-ms MS] [--linger-ms MS] [--max-conns N]\n\
+                     [--fuse exact|folded|quantized] [--exact]\n\
                      [--window N] [--stride N] [--instance ...] [--grid N] [--seed S]\n\
        mtsr client   [--addr HOST:PORT] [--model-id N] (--status | --shutdown |\n\
                      --reload [CKPT] | --stress CONNS [--requests R] | [--frames N]\n\

@@ -266,4 +266,13 @@ fn malformed_and_unknown_flags_are_usage_errors() {
     // eval does not grow train-only flags silently.
     let err = run_err(&["eval", "--model", "x.ckpt", "--halt-after", "3"]);
     assert!(err.contains("unknown flag --halt-after"), "{err}");
+
+    // `serve --fuse` is a known flag (it once missed the known list and
+    // was rejected before reaching the policy parser); a bad value must
+    // fail on the value, not the flag name.
+    let err = run_err(&["serve", "--model", "x.ckpt", "--fuse", "nope"]);
+    assert!(
+        err.contains("--fuse must be exact|folded|quantized"),
+        "{err}"
+    );
 }
