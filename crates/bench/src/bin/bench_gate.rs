@@ -15,7 +15,10 @@
 //! missing from the fresh run fails the gate (a silently dropped
 //! benchmark is itself a regression); entries only in the fresh run are
 //! reported but pass (new benchmarks land with their first baseline).
-//! Improvements are never gated.
+//! Improvements are never gated. Unreadable or missing report files and
+//! speedup-floor routes that vanished from the fresh run also fail with
+//! a named `FAIL` line — the gate keeps scanning the remaining files
+//! instead of aborting on the first broken one.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -114,12 +117,26 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn run(args: &Args) -> Result<bool, String> {
+fn run(args: &Args) -> bool {
     let mut ok = true;
     for file in &args.files {
-        let base = load_entries(&args.baseline.join(file))?;
-        let fresh = load_entries(&args.fresh.join(file))?;
         println!("== {file} (fail above +{:.0}%) ==", args.threshold_pct);
+        // A missing or malformed report is a gate failure, not an
+        // abort: the remaining files still get scanned, so one broken
+        // bench run reports every problem it has at once.
+        let (base, fresh) = match (
+            load_entries(&args.baseline.join(file)),
+            load_entries(&args.fresh.join(file)),
+        ) {
+            (Ok(base), Ok(fresh)) => (base, fresh),
+            (base, fresh) => {
+                for err in [base.err(), fresh.err()].into_iter().flatten() {
+                    ok = false;
+                    println!("  FAIL  {err}");
+                }
+                continue;
+            }
+        };
         for b in &base {
             match fresh.iter().find(|f| f.name == b.name) {
                 None => {
@@ -151,14 +168,22 @@ fn run(args: &Args) -> Result<bool, String> {
             }
         }
         for (_, fast_name, ref_name, floor) in SPEEDUP_FLOORS.iter().filter(|(ff, ..)| ff == file) {
-            let min_of = |name: &str| {
-                fresh
-                    .iter()
-                    .find(|e| e.name == name)
-                    .and_then(|e| e.min_ns)
-                    .ok_or_else(|| format!("{file}: no `min_ns` for `{name}` in the fresh run"))
+            let min_of = |name: &str| fresh.iter().find(|e| e.name == name).and_then(|e| e.min_ns);
+            let (Some(fast), Some(reference)) = (min_of(fast_name), min_of(ref_name)) else {
+                // A floor route that vanished from the fresh run (or
+                // lost its `min_ns`) is a dropped benchmark — fail it
+                // by name instead of crashing out of the scan.
+                ok = false;
+                for name in [fast_name, ref_name] {
+                    if min_of(name).is_none() {
+                        println!(
+                            "  FAIL  {name:<44} no `min_ns` in the fresh run (speedup floor \
+                             unchecked)"
+                        );
+                    }
+                }
+                continue;
             };
-            let (fast, reference) = (min_of(fast_name)?, min_of(ref_name)?);
             let speedup = reference as f64 / fast as f64;
             let verdict = if speedup < *floor {
                 ok = false;
@@ -171,7 +196,7 @@ fn run(args: &Args) -> Result<bool, String> {
             );
         }
     }
-    Ok(ok)
+    ok
 }
 
 fn main() -> ExitCode {
@@ -182,21 +207,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
-        Ok(true) => {
-            println!("bench gate: all medians within +{:.0}%", args.threshold_pct);
-            ExitCode::SUCCESS
-        }
-        Ok(false) => {
-            eprintln!(
-                "bench gate: regression beyond +{:.0}% (or a dropped benchmark) — see above",
-                args.threshold_pct
-            );
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+    if run(&args) {
+        println!("bench gate: all medians within +{:.0}%", args.threshold_pct);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench gate: regression beyond +{:.0}%, a dropped benchmark, or an unreadable \
+             report — see above",
+            args.threshold_pct
+        );
+        ExitCode::FAILURE
     }
 }

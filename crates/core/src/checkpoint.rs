@@ -237,6 +237,72 @@ impl TrainState {
         }
         Ok(())
     }
+
+    /// Geometry-only fingerprint check for **online adaptation**.
+    ///
+    /// Exact resume ([`TrainState::validate_fingerprint`]) requires the
+    /// whole fingerprint to match, including the data *window* (`days`,
+    /// `seed`) and the training plan (`steps`, `adv`, `gan`). Adaptation
+    /// deliberately fine-tunes on a *new* window of frames, so only the
+    /// keys that pin the model/data geometry — [`GEOMETRY_KEYS`] plus the
+    /// bare version token — must match; anything else may differ. A
+    /// checkpoint with a different grid, instance, temporal length or
+    /// architecture cannot be adapted and is rejected with the offending
+    /// keys named.
+    pub fn validate_geometry(&self, expected: &str) -> Result<()> {
+        let (ckpt_bare, ckpt_kv) = fingerprint_fields(&self.fingerprint);
+        let (want_bare, want_kv) = fingerprint_fields(expected);
+        let mut bad: Vec<String> = Vec::new();
+        if ckpt_bare != want_bare {
+            bad.push(format!(
+                "version tokens `{}` vs `{}`",
+                ckpt_bare.join(" "),
+                want_bare.join(" ")
+            ));
+        }
+        for key in GEOMETRY_KEYS {
+            let (have, want) = (ckpt_kv.get(key), want_kv.get(key));
+            if have != want {
+                fn show<'a>(v: Option<&&'a str>) -> &'a str {
+                    v.map_or("<missing>", |s| s)
+                }
+                bad.push(format!("{key}={} vs {key}={}", show(have), show(want)));
+            }
+        }
+        if !bad.is_empty() {
+            return Err(TensorError::Serde {
+                reason: format!(
+                    "checkpoint geometry mismatch ({}):\n  checkpoint: {}\n  this run:   \
+                     {expected}\nonline adaptation may change the data window \
+                     (days/seed/steps) but never the geometry keys {GEOMETRY_KEYS:?}",
+                    bad.join(", "),
+                    self.fingerprint
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fingerprint keys that pin the model/data *geometry*: a checkpoint may
+/// be fine-tuned on a different data window only when all of these agree
+/// (see [`TrainState::validate_geometry`]).
+pub const GEOMETRY_KEYS: [&str; 4] = ["instance", "grid", "s", "arch"];
+
+/// Splits a whitespace-separated fingerprint into its bare tokens (the
+/// version prefix) and its `key=value` fields, in order of appearance.
+fn fingerprint_fields(fp: &str) -> (Vec<&str>, std::collections::BTreeMap<&str, &str>) {
+    let mut bare = Vec::new();
+    let mut kv = std::collections::BTreeMap::new();
+    for tok in fp.split_whitespace() {
+        match tok.split_once('=') {
+            Some((k, v)) => {
+                kv.insert(k, v);
+            }
+            None => bare.push(tok),
+        }
+    }
+    (bare, kv)
 }
 
 /// Canonical description of the effective LR schedule of a config (the
@@ -458,6 +524,60 @@ mod tests {
         let err = st.validate_fingerprint("fp/v1 grid=40").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("grid=20") && msg.contains("grid=40"), "{msg}");
+    }
+
+    #[test]
+    fn geometry_check_allows_new_window_but_rejects_new_geometry() {
+        let mut st = dummy_state();
+        st.fingerprint =
+            "mtsr-train/v1 instance=up2 grid=20 days=3 s=3 seed=7 steps=100 adv=0 gan=false \
+             batch=8 arch=tiny"
+                .into();
+
+        // Same geometry, new data window / plan: allowed for adaptation …
+        let new_window =
+            "mtsr-train/v1 instance=up2 grid=20 days=9 s=3 seed=99 steps=5000 adv=40 gan=true \
+             batch=8 arch=tiny";
+        st.validate_geometry(new_window).unwrap();
+        // … even though the exact-resume check rightly refuses it.
+        assert!(st.validate_fingerprint(new_window).is_err());
+
+        // Any geometry key changing is rejected, with the key named.
+        for (bad, key) in [
+            (
+                "mtsr-train/v1 instance=up4 grid=20 days=3 s=3 seed=7 steps=100 adv=0 \
+                 gan=false batch=8 arch=tiny",
+                "instance",
+            ),
+            (
+                "mtsr-train/v1 instance=up2 grid=40 days=3 s=3 seed=7 steps=100 adv=0 \
+                 gan=false batch=8 arch=tiny",
+                "grid",
+            ),
+            (
+                "mtsr-train/v1 instance=up2 grid=20 days=3 s=6 seed=7 steps=100 adv=0 \
+                 gan=false batch=8 arch=tiny",
+                "s",
+            ),
+            (
+                "mtsr-train/v1 instance=up2 grid=20 days=3 s=3 seed=7 steps=100 adv=0 \
+                 gan=false batch=8 arch=small",
+                "arch",
+            ),
+        ] {
+            let err = st.validate_geometry(bad).unwrap_err().to_string();
+            assert!(err.contains(key), "`{key}` not named in: {err}");
+            assert!(err.contains("geometry mismatch"), "{err}");
+        }
+
+        // A different version prefix is never adaptation-compatible, and a
+        // missing geometry key reads as a mismatch rather than a wildcard.
+        assert!(st.validate_geometry("mtsr-train/v2 instance=up2").is_err());
+        let err = st
+            .validate_geometry("mtsr-train/v1 instance=up2 grid=20 s=3")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("<missing>"), "{err}");
     }
 
     #[test]

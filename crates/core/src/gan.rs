@@ -402,6 +402,34 @@ impl GanTrainer {
         Ok((trace, phase))
     }
 
+    /// One MSE fine-tune step on an explicit `(x, y)` batch — the online
+    /// adaptation entry point (see [`crate::online`]).
+    ///
+    /// Identical arithmetic to one [`GanTrainer::pretrain`] step except
+    /// the batch is supplied by the caller (e.g. live pairs buffered by
+    /// the serve daemon) instead of drawn from a [`Dataset`]. Advances
+    /// the LR schedule, the generator's Adam moments and the
+    /// `pretrain_done` counter, so a subsequent
+    /// [`GanTrainer::snapshot_state`] yields a container that later
+    /// adaptation rounds can themselves resume from.
+    pub fn finetune_batch(&mut self, x: &Tensor, y: &Tensor) -> Result<f32> {
+        let pred = self.gen.forward(x, true)?;
+        let (loss, grad) = mse_loss(&pred, y)?;
+        if !loss.is_finite() {
+            return Err(TensorError::NonFinite {
+                op: "finetune_batch",
+            });
+        }
+        self.gen.backward(&grad)?;
+        self.tick_schedule(false);
+        if let Some(c) = self.cfg.clip_norm {
+            clip_grad_norm(&mut self.gen, c);
+        }
+        self.opt_g.step(&mut self.gen);
+        self.pretrain_done += 1;
+        Ok(loss)
+    }
+
     /// One discriminator update (Algorithm 1 lines 4–8). Returns the total
     /// BCE loss plus the step's telemetry observables.
     fn discriminator_step(&mut self, ds: &Dataset, rng: &mut Rng) -> Result<DStepStats> {

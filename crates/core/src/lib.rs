@@ -43,6 +43,7 @@ pub mod detector;
 pub mod discriminator;
 pub mod gan;
 pub mod infer;
+pub mod online;
 pub mod pipeline;
 pub mod saliency;
 pub mod streaming;
@@ -54,6 +55,7 @@ pub use detector::{Detection, TrafficAnomalyDetector};
 pub use discriminator::Discriminator;
 pub use gan::{GanLoss, GanTrainer, GanTrainingConfig, TrainingReport};
 pub use infer::{plan_discriminator, plan_zipnet, FusePolicy, InferExec, InferPlan};
+pub use online::{fine_tune_container, AdaptPair, OnlineTuneConfig, TuneOutcome};
 pub use pipeline::{ArchScale, InferSession, MtsrModel, MtsrPipeline, SlidingGeometry};
 pub use streaming::StreamingPredictor;
 pub use zipnet::ZipNet;

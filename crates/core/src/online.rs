@@ -1,0 +1,345 @@
+//! Online adaptation: incremental fine-tuning from a live checkpoint.
+//!
+//! Production traffic drifts away from the distribution a model was
+//! trained on. The serve daemon buffers recent `(coarse window, fine
+//! truth)` pairs (submitted over the wire via the `TRUTH` opcode) and,
+//! when its drift monitor trips, hands them to
+//! [`fine_tune_container`]: the training container (PR 3 format —
+//! weights, per-parameter Adam moments, LR-schedule position and data
+//! RNG) is resumed exactly as a crash-resume would, a short MSE
+//! fine-tune runs over the buffered pairs, and a *new* container plus
+//! the tuned generator come back for planning and hot-promotion.
+//!
+//! Resume compatibility is deliberately looser than crash-resume:
+//! [`crate::checkpoint::TrainState::validate_geometry`] requires only
+//! the geometry keys (`instance`, `grid`, `s`, `arch`) to match — the
+//! data *window* (`days`, `seed`) and plan (`steps`, `adv`, `gan`) may
+//! differ, because adapting to a new window is the whole point.
+
+use crate::checkpoint::{load_train_state, TrainState};
+use crate::discriminator::Discriminator;
+use crate::gan::{GanTrainer, GanTrainingConfig};
+use crate::pipeline::ArchScale;
+use crate::zipnet::ZipNet;
+use mtsr_nn::io as model_io;
+use mtsr_nn::layer::Layer;
+use mtsr_tensor::{Result, Rng, Tensor, TensorError};
+use std::path::Path;
+
+/// One live supervised pair buffered by the daemon: a normalised coarse
+/// input window `[S, cw, cw]` (row-major) and the later-arriving
+/// normalised fine ground-truth window `[w, w]` with `w = cw · upscale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptPair {
+    /// Coarse input stack, `S · cw · cw` values.
+    pub input: Vec<f32>,
+    /// Fine ground truth, `w · w` values.
+    pub target: Vec<f32>,
+}
+
+/// Configuration for one [`fine_tune_container`] round.
+#[derive(Debug, Clone)]
+pub struct OnlineTuneConfig {
+    /// Architecture preset the checkpoint was trained with.
+    pub scale: ArchScale,
+    /// Training configuration of the original run — the LR schedule must
+    /// match the container's or the resume is rejected, exactly as for
+    /// crash-resume. Step counts are overridden internally.
+    pub base: GanTrainingConfig,
+    /// Upscaling factor (`grid / square`).
+    pub upscale: usize,
+    /// Temporal input length `S`.
+    pub s: usize,
+    /// Fine-tune steps to run over the buffered pairs.
+    pub steps: usize,
+    /// When set, the container's fingerprint is geometry-checked against
+    /// this expected fingerprint before any training
+    /// ([`TrainState::validate_geometry`]).
+    pub expected_fingerprint: Option<String>,
+}
+
+/// What a fine-tune round produced. (No `Debug` derive: the generator
+/// holds the full weight set.)
+pub struct TuneOutcome {
+    /// The fine-tuned generator, ready for `plan_zipnet`.
+    pub generator: ZipNet,
+    /// Per-step MSE trace of the fine-tune.
+    pub losses: Vec<f32>,
+    /// The post-tune training state: a valid container (original
+    /// fingerprint, advanced counters/moments/RNG) that the *next*
+    /// adaptation round resumes from.
+    pub state: TrainState,
+}
+
+/// Validates that every pair shares one consistent geometry and returns
+/// `(cw, w)` — the coarse and fine window sides.
+pub fn pair_geometry(s: usize, upscale: usize, pairs: &[AdaptPair]) -> Result<(usize, usize)> {
+    let first = pairs.first().ok_or(TensorError::InvalidShape {
+        op: "online::pair_geometry",
+        reason: "no buffered pairs to fine-tune on".into(),
+    })?;
+    if s == 0 || !first.input.len().is_multiple_of(s) {
+        return Err(TensorError::InvalidShape {
+            op: "online::pair_geometry",
+            reason: format!(
+                "input of {} values is not S = {s} frames",
+                first.input.len()
+            ),
+        });
+    }
+    let per = first.input.len() / s;
+    let cw = (per as f64).sqrt().round() as usize;
+    let w = cw * upscale;
+    if cw * cw != per || w * w != first.target.len() {
+        return Err(TensorError::InvalidShape {
+            op: "online::pair_geometry",
+            reason: format!(
+                "pair geometry is not square windows at upscale {upscale}: input {} values \
+                 (S = {s}), target {} values",
+                first.input.len(),
+                first.target.len()
+            ),
+        });
+    }
+    for (i, p) in pairs.iter().enumerate() {
+        if p.input.len() != first.input.len() || p.target.len() != first.target.len() {
+            return Err(TensorError::InvalidShape {
+                op: "online::pair_geometry",
+                reason: format!("pair {i} geometry differs from pair 0"),
+            });
+        }
+    }
+    Ok((cw, w))
+}
+
+/// Mean full-forward MSE of a generator over buffered pairs (evaluation
+/// helper for gates and tests; `eval`-mode forward, no state mutation
+/// beyond layer scratch).
+pub fn pairs_mse(gen: &mut ZipNet, s: usize, upscale: usize, pairs: &[AdaptPair]) -> Result<f32> {
+    let (cw, w) = pair_geometry(s, upscale, pairs)?;
+    let mut total = 0.0f64;
+    for p in pairs {
+        let x = Tensor::from_vec([1, 1, s, cw, cw], p.input.clone())?;
+        let y = Tensor::from_vec([1, 1, w, w], p.target.clone())?;
+        let pred = gen.forward(&x, false)?;
+        total += pred.mse(&y)? as f64;
+    }
+    Ok((total / pairs.len() as f64) as f32)
+}
+
+/// Resumes the training container at `source` and fine-tunes its
+/// generator for `cfg.steps` MSE steps on minibatches drawn (with the
+/// container's own RNG) from `pairs`.
+///
+/// The resume path is the PR 3 crash-resume machinery verbatim —
+/// weights, Adam moments, schedule position and RNG all restored — with
+/// the step plan extended by `cfg.steps` and the fingerprint check
+/// relaxed to geometry-only. When `out` is given the post-tune
+/// container is written there atomically *before* returning, so a later
+/// adaptation (or a crash inspection) always sees a complete container.
+/// The source file is never modified; a failed or rejected fine-tune
+/// leaves the live checkpoint untouched.
+pub fn fine_tune_container(
+    source: impl AsRef<Path>,
+    out: Option<&Path>,
+    cfg: &OnlineTuneConfig,
+    pairs: &[AdaptPair],
+) -> Result<TuneOutcome> {
+    let st = load_train_state(source)?;
+    if let Some(fp) = &cfg.expected_fingerprint {
+        st.validate_geometry(fp)?;
+    }
+    let (cw, w) = pair_geometry(cfg.s, cfg.upscale, pairs)?;
+
+    let mut train_cfg = cfg.base;
+    train_cfg.pretrain_steps = st.pretrain_done + cfg.steps;
+    train_cfg.adversarial_steps = st.adversarial_done;
+
+    // Construction draws are overwritten by restore; the container's RNG
+    // then drives minibatch sampling, as in a crash-resume.
+    let mut init_rng = Rng::seed_from(0);
+    let gen = ZipNet::new(&cfg.scale.gen_config(cfg.upscale, cfg.s), &mut init_rng)?;
+    let disc = Discriminator::new(&cfg.scale.disc_config(), &mut init_rng)?;
+    let mut trainer = GanTrainer::new(gen, disc, train_cfg);
+    trainer.restore(&st)?;
+    let mut rng = st.rng();
+
+    let batch = cfg.base.batch.clamp(1, pairs.len());
+    let crop_len = cfg.s * cw * cw;
+    let win_len = w * w;
+    let mut losses = Vec::with_capacity(cfg.steps);
+    let mut xbuf = vec![0.0f32; batch * crop_len];
+    let mut ybuf = vec![0.0f32; batch * win_len];
+    for _ in 0..cfg.steps {
+        for lane in 0..batch {
+            let p = &pairs[rng.below(pairs.len())];
+            xbuf[lane * crop_len..(lane + 1) * crop_len].copy_from_slice(&p.input);
+            ybuf[lane * win_len..(lane + 1) * win_len].copy_from_slice(&p.target);
+        }
+        let x = Tensor::from_vec([batch, 1, cfg.s, cw, cw], xbuf.clone())?;
+        let y = Tensor::from_vec([batch, 1, w, w], ybuf.clone())?;
+        losses.push(trainer.finetune_batch(&x, &y)?);
+    }
+
+    let state = trainer.snapshot_state(&st.fingerprint, &rng);
+    if let Some(path) = out {
+        model_io::write_atomic(path, &state.to_bytes())?;
+    }
+    Ok(TuneOutcome {
+        generator: trainer.into_generator(),
+        losses,
+        state,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::CheckpointPolicy;
+    use crate::config::ZipNetConfig;
+    use mtsr_traffic::{
+        CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout, RegimeShift,
+        Split,
+    };
+
+    const FP: &str = "mtsr-train/v1 instance=up2 grid=20 days=1 s=3 seed=1 steps=40 adv=0 \
+                      gan=false batch=4 arch=tiny";
+
+    /// Trains a tiny up-2 model on an unshifted movie, writes its final
+    /// container, and returns `(container path, shifted-regime dataset)`.
+    fn trained_container_and_shifted_ds(tag: &str) -> (std::path::PathBuf, Dataset) {
+        let mut rng = Rng::seed_from(21);
+        let gen_data = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+        let ds_cfg = DatasetConfig::tiny();
+        let movie = gen_data.generate(ds_cfg.total(), &mut rng).unwrap();
+        let layout = ProbeLayout::for_instance(gen_data.city(), MtsrInstance::Up2).unwrap();
+        let ds = Dataset::build(&movie, layout.clone(), ds_cfg).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("mtsr_online_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.ckpt");
+        let g = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut rng).unwrap();
+        let d = Discriminator::new(&ArchScale::Tiny.disc_config(), &mut rng).unwrap();
+        let mut cfg = GanTrainingConfig::tiny();
+        cfg.pretrain_steps = 40;
+        cfg.adversarial_steps = 0;
+        let mut trainer = GanTrainer::new(g, d, cfg);
+        trainer.set_checkpoint_policy(CheckpointPolicy::final_only(&path, FP));
+        let mut train_rng = Rng::seed_from(22);
+        trainer.pretrain(&ds, &mut train_rng).unwrap();
+        trainer.write_final_checkpoint(&train_rng).unwrap();
+
+        // The regime shifts from the start of the test split onward; the
+        // training window (and hence the normalisation moments) is
+        // untouched, so both datasets share one normalised space.
+        let mut shifted = movie.clone();
+        RegimeShift::gain(ds.range(Split::Test).start, 3.0)
+            .apply(&mut shifted)
+            .unwrap();
+        let ds_shift = Dataset::build(&shifted, layout, ds_cfg).unwrap();
+        (path, ds_shift)
+    }
+
+    fn pairs_from(ds: &Dataset, n: usize) -> Vec<AdaptPair> {
+        ds.usable_indices(Split::Test)
+            .iter()
+            .cycle()
+            .take(n)
+            .map(|&t| {
+                let s = ds.sample_at(t).unwrap();
+                AdaptPair {
+                    input: s.input.as_slice().to_vec(),
+                    target: s.target.as_slice().to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fine_tune_recovers_on_a_shifted_regime() {
+        let (path, ds_shift) = trained_container_and_shifted_ds("recover");
+        let pairs = pairs_from(&ds_shift, 24);
+
+        let mut base = GanTrainingConfig::tiny();
+        base.pretrain_steps = 40;
+        base.adversarial_steps = 0;
+        let cfg = OnlineTuneConfig {
+            scale: ArchScale::Tiny,
+            base,
+            upscale: 2,
+            s: 3,
+            steps: 60,
+            // Same geometry, different window/plan keys: allowed.
+            expected_fingerprint: Some(
+                "mtsr-train/v1 instance=up2 grid=20 days=9 s=3 seed=777 steps=9999 adv=5 \
+                 gan=true batch=4 arch=tiny"
+                    .into(),
+            ),
+        };
+
+        // Pre-tune error of the live generator on the shifted regime.
+        let mut live = ZipNet::new(&ZipNetConfig::tiny(2, 3), &mut Rng::seed_from(0)).unwrap();
+        crate::checkpoint::load_generator_into(&mut live, &path).unwrap();
+        let pre = pairs_mse(&mut live, 3, 2, &pairs).unwrap();
+
+        let out = path.with_extension("adapt");
+        let outcome = fine_tune_container(&path, Some(&out), &cfg, &pairs).unwrap();
+        assert_eq!(outcome.losses.len(), 60);
+        let mut tuned = outcome.generator;
+        let post = pairs_mse(&mut tuned, 3, 2, &pairs).unwrap();
+        assert!(
+            post < pre * 0.7,
+            "fine-tune did not adapt to the shift: MSE {pre} → {post}"
+        );
+
+        // The written container is itself resumable: a second adaptation
+        // round starts from the adapted state, not the original.
+        assert_eq!(outcome.state.pretrain_done, 40 + 60);
+        let again = fine_tune_container(&out, None, &cfg, &pairs).unwrap();
+        assert_eq!(again.state.pretrain_done, 40 + 60 + 60);
+        // The live checkpoint on disk was never touched.
+        let st = load_train_state(&path).unwrap();
+        assert_eq!(st.pretrain_done, 40);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn geometry_mismatch_and_bad_pairs_are_rejected() {
+        let (path, ds_shift) = trained_container_and_shifted_ds("reject");
+        let pairs = pairs_from(&ds_shift, 8);
+        let mut base = GanTrainingConfig::tiny();
+        base.pretrain_steps = 40;
+        base.adversarial_steps = 0;
+        let mut cfg = OnlineTuneConfig {
+            scale: ArchScale::Tiny,
+            base,
+            upscale: 2,
+            s: 3,
+            steps: 2,
+            expected_fingerprint: Some(
+                "mtsr-train/v1 instance=up4 grid=40 days=1 s=3 seed=1 steps=40 adv=0 \
+                 gan=false batch=4 arch=tiny"
+                    .into(),
+            ),
+        };
+        // Different geometry keys: refused before any training.
+        let err = fine_tune_container(&path, None, &cfg, &pairs)
+            .err()
+            .unwrap()
+            .to_string();
+        assert!(err.contains("geometry mismatch"), "{err}");
+
+        cfg.expected_fingerprint = None;
+        // No pairs at all.
+        assert!(fine_tune_container(&path, None, &cfg, &[]).is_err());
+        // Inconsistent pair geometry.
+        let mut bad = pairs.clone();
+        bad[1].target.pop();
+        let err = fine_tune_container(&path, None, &cfg, &bad)
+            .err()
+            .unwrap()
+            .to_string();
+        assert!(err.contains("pair 1"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -26,7 +26,11 @@ pub enum ArchScale {
 }
 
 impl ArchScale {
-    fn gen_config(&self, upscale: usize, s: usize) -> ZipNetConfig {
+    /// The generator configuration of this preset for a given upscaling
+    /// factor and temporal length (public so checkpoint consumers — the
+    /// online fine-tune driver, external tools — can rebuild the exact
+    /// network a container was trained with).
+    pub fn gen_config(&self, upscale: usize, s: usize) -> ZipNetConfig {
         match self {
             ArchScale::Paper => ZipNetConfig::paper(upscale, s),
             ArchScale::Small => ZipNetConfig::small(upscale, s),
@@ -34,7 +38,8 @@ impl ArchScale {
         }
     }
 
-    fn disc_config(&self) -> DiscriminatorConfig {
+    /// The discriminator configuration of this preset.
+    pub fn disc_config(&self) -> DiscriminatorConfig {
         match self {
             ArchScale::Paper => DiscriminatorConfig::paper(),
             ArchScale::Small => DiscriminatorConfig::small(),

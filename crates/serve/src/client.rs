@@ -23,7 +23,7 @@ use zipnet_core::pipeline::crop_coarse;
 
 use crate::protocol::{
     read_response, write_request, InferRequest, InferResponse, Opcode, ReloadRequest, RespStatus,
-    Response, ServerInfo,
+    Response, ServerInfo, TruthAck, TruthRequest,
 };
 
 /// Terminal outcome of one INFER request.
@@ -62,6 +62,16 @@ impl ServeClient {
 
     fn fresh_id(&mut self) -> u64 {
         self.next_id += 1;
+        self.next_id
+    }
+
+    /// The id the most recent single-shot request (e.g. [`infer`]) went
+    /// out under — what a later [`truth`] submission must reuse to pair
+    /// with that prediction.
+    ///
+    /// [`infer`]: ServeClient::infer
+    /// [`truth`]: ServeClient::truth
+    pub fn last_id(&self) -> u64 {
         self.next_id
     }
 
@@ -139,6 +149,29 @@ impl ServeClient {
     /// without waiting.
     pub fn send_infer(&mut self, id: u64, req: &InferRequest) -> io::Result<()> {
         write_request(&mut self.stream, Opcode::Infer, id, &req.encode())
+    }
+
+    /// Submits the later-arriving fine-grained ground truth for the
+    /// earlier `INFER` whose id was `infer_id` (see
+    /// [`last_id`](ServeClient::last_id), or the caller-chosen id from
+    /// [`send_infer`](ServeClient::send_infer)). Returns `Some(ack)`
+    /// when the daemon still held that prediction and scored the pair,
+    /// `None` when it was unmatched (late, evicted, or never served).
+    pub fn truth(&mut self, infer_id: u64, req: &TruthRequest) -> io::Result<Option<TruthAck>> {
+        write_request(&mut self.stream, Opcode::Truth, infer_id, &req.encode())?;
+        let resp = read_response(&mut self.stream)?;
+        if resp.id != infer_id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {} for TRUTH request id {infer_id}", resp.id),
+            ));
+        }
+        expect_ok(&resp, "TRUTH")?;
+        if resp.payload.is_empty() {
+            Ok(None)
+        } else {
+            TruthAck::decode(&resp.payload).map(Some)
+        }
     }
 
     /// Pipelining half: receives the next reply, whichever request it

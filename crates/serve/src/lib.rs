@@ -1,7 +1,7 @@
 //! `mtsr-serve`: a zero-dependency concurrent inference daemon for
 //! compiled ZipNet plans, plus the matching protocol client.
 //!
-//! The crate splits into five layers:
+//! The crate splits into six layers:
 //!
 //! * [`protocol`] — the length-prefixed binary wire format (framing,
 //!   opcodes, payload codecs) plus the incremental [`FrameAssembler`]
@@ -16,6 +16,10 @@
 //!   slots of atomically swappable plans with generation counters, the
 //!   substrate of hot reload. Its public faces are [`ModelSpec`] and
 //!   [`Planner`].
+//! * [`drift`] — live-accuracy tracking: `TRUTH` frames pair
+//!   later-arriving ground truth with served predictions, a rolling
+//!   NRMSE gauge per model trips a background fine-tune ([`Tuner`]),
+//!   and the candidate is hot-promoted through an acceptance gate.
 //! * [`server`] / [`client`] — the daemon (event-loop front-end, shared
 //!   batcher pool over per-model executors, `RELOAD`/`SIGHUP` hot
 //!   reload) and the client (single-shot calls plus a pipelined
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod drift;
 pub mod poller;
 pub mod protocol;
 pub mod queue;
@@ -35,9 +40,11 @@ mod registry;
 pub mod server;
 
 pub use client::{InferOutcome, RemotePredictor, ServeClient};
+pub use drift::{holdout_nrmse, window_nrmse, DriftMonitor, TruthOutcome};
 pub use protocol::{
     Assembled, FrameAssembler, FrameFatal, InferRequest, InferResponse, Opcode, ReloadRequest,
-    RespStatus, ServerInfo,
+    RespStatus, ServerInfo, TruthAck, TruthRequest,
 };
 pub use registry::{ModelSpec, Planner};
-pub use server::{signals, ServeConfig, Server, ServerHandle};
+pub use server::{signals, AdaptConfig, ServeConfig, Server, ServerHandle, TunedModel, Tuner};
+pub use zipnet_core::AdaptPair;

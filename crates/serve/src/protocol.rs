@@ -67,6 +67,13 @@ pub enum Opcode {
     /// dropping a request ([`ReloadRequest`] payload). The `OK` reply
     /// carries the new plan generation as a little-endian `u32`.
     Reload,
+    /// Submit the later-arriving fine-grained ground truth for an
+    /// earlier `INFER` — the frame's `id` **reuses the `INFER`'s id** to
+    /// pair them ([`TruthRequest`] payload). When the daemon still holds
+    /// that prediction, the `OK` reply carries a [`TruthAck`] with the
+    /// pair's score and the model's rolling drift gauge; when the
+    /// prediction is unknown (late, evicted) the `OK` reply is empty.
+    Truth,
 }
 
 impl Opcode {
@@ -78,6 +85,7 @@ impl Opcode {
             Opcode::Status => 3,
             Opcode::Shutdown => 4,
             Opcode::Reload => 5,
+            Opcode::Truth => 6,
         }
     }
 
@@ -90,6 +98,7 @@ impl Opcode {
             3 => Ok(Opcode::Status),
             4 => Ok(Opcode::Shutdown),
             5 => Ok(Opcode::Reload),
+            6 => Ok(Opcode::Truth),
             other => Err(bad_data(format!("unknown opcode {other}"))),
         }
     }
@@ -456,6 +465,91 @@ impl ReloadRequest {
     }
 }
 
+/// Payload of an [`Opcode::Truth`] request: the fine-grained `[h, w]`
+/// ground-truth window for the `INFER` whose id this frame reuses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthRequest {
+    /// Model the paired `INFER` was routed to.
+    pub model: u32,
+    /// Truth window height (fine cells).
+    pub h: u32,
+    /// Truth window width (fine cells).
+    pub w: u32,
+    /// `h·w` row-major normalized ground-truth values.
+    pub data: Vec<f32>,
+}
+
+impl TruthRequest {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.data.len() * 4);
+        for v in [self.model, self.h, self.w] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        push_f32s(&mut out, &self.data);
+        out
+    }
+
+    /// Parses the payload, validating the element count.
+    pub fn decode(bytes: &[u8]) -> io::Result<TruthRequest> {
+        if bytes.len() < 12 {
+            return Err(bad_data("TRUTH payload shorter than its header".into()));
+        }
+        let (model, h, w) = (
+            field_u32(bytes, 0),
+            field_u32(bytes, 4),
+            field_u32(bytes, 8),
+        );
+        let data = parse_f32s(&bytes[12..])?;
+        if data.len() as u64 != (h as u64) * (w as u64) {
+            return Err(bad_data(format!(
+                "TRUTH window [{h}, {w}] wants {} values, payload has {}",
+                (h as u64) * (w as u64),
+                data.len()
+            )));
+        }
+        Ok(TruthRequest { model, h, w, data })
+    }
+}
+
+/// Payload of a *matched* [`Opcode::Truth`] `OK` response. An unmatched
+/// truth gets an empty `OK` payload instead — clients distinguish the
+/// two by payload length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthAck {
+    /// Range-normalised RMSE of this one prediction↔truth pair.
+    pub window_nrmse: f32,
+    /// The model's rolling drift gauge after folding this pair in.
+    pub rolling_nrmse: f32,
+}
+
+impl TruthAck {
+    /// Serialises the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        out.extend_from_slice(&self.window_nrmse.to_le_bytes());
+        out.extend_from_slice(&self.rolling_nrmse.to_le_bytes());
+        out
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> io::Result<TruthAck> {
+        if bytes.len() != 8 {
+            return Err(bad_data(format!(
+                "TRUTH ack must be 8 bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let bits = |off: usize| {
+            f32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+        };
+        Ok(TruthAck {
+            window_nrmse: bits(0),
+            rolling_nrmse: bits(4),
+        })
+    }
+}
+
 /// Payload of an [`Opcode::Info`] response: the geometry one registered
 /// model's plan is specialised for, so clients can size windows without
 /// out-of-band configuration. An [`Opcode::Info`] *request* carries
@@ -773,6 +867,28 @@ mod tests {
         assert_eq!(ReloadRequest::decode(&empty.encode()).unwrap(), empty);
         assert!(ReloadRequest::decode(&[0u8; 3]).is_err());
         assert!(ReloadRequest::decode(&[0, 0, 0, 0, 0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn truth_payloads_roundtrip_and_validate() {
+        let req = TruthRequest {
+            model: 1,
+            h: 4,
+            w: 4,
+            data: (0..16).map(|i| i as f32 * 0.25).collect(),
+        };
+        assert_eq!(TruthRequest::decode(&req.encode()).unwrap(), req);
+        let mut short = req.clone();
+        short.data.pop();
+        assert!(TruthRequest::decode(&short.encode()).is_err());
+        assert!(TruthRequest::decode(&[0u8; 11]).is_err());
+
+        let ack = TruthAck {
+            window_nrmse: 0.25,
+            rolling_nrmse: 0.75,
+        };
+        assert_eq!(TruthAck::decode(&ack.encode()).unwrap(), ack);
+        assert!(TruthAck::decode(&[0u8; 7]).is_err());
     }
 
     #[test]

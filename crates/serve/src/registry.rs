@@ -11,11 +11,13 @@
 //! the new generation on their next batch.
 
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use mtsr_telemetry::HistStat;
+use mtsr_telemetry::WindowedHist;
 use zipnet_core::InferPlan;
+
+use crate::drift::DriftMonitor;
 
 /// Re-plans a model from a checkpoint source (a path, for the CLI) —
 /// how the daemon turns a `RELOAD` frame or `SIGHUP` into a fresh
@@ -41,7 +43,21 @@ pub(crate) struct ModelStats {
     pub errors: AtomicU64,
     pub timeouts: AtomicU64,
     pub reloads: AtomicU64,
-    pub latency: Mutex<HistStat>,
+    /// `TRUTH` frames that matched a buffered prediction.
+    pub truth_matched: AtomicU64,
+    /// `TRUTH` frames with no matching prediction (late, wrong id, or
+    /// the prediction was evicted).
+    pub truth_unmatched: AtomicU64,
+    /// Times the drift gauge tripped and a fine-tune was started.
+    pub drift_triggers: AtomicU64,
+    /// Fine-tuned candidates that passed the gate and were promoted.
+    pub promotions_ok: AtomicU64,
+    /// Candidates rejected by the gate (or whose fine-tune failed).
+    pub promotions_rejected: AtomicU64,
+    /// A fine-tune thread is currently running for this model — at most
+    /// one per model; further triggers are suppressed until it clears.
+    pub adapting: AtomicBool,
+    pub latency: Mutex<WindowedHist>,
 }
 
 pub(crate) struct ModelEntry {
@@ -50,6 +66,8 @@ pub(crate) struct ModelEntry {
     /// `(generation, plan)` — swapped as one unit under the write lock.
     slot: RwLock<(u32, Arc<InferPlan>)>,
     pub stats: ModelStats,
+    /// Prediction↔truth pairing and the rolling drift gauge.
+    pub drift: Mutex<DriftMonitor>,
 }
 
 impl ModelEntry {
@@ -99,6 +117,7 @@ impl ModelRegistry {
                 source: Mutex::new(spec.source),
                 slot: RwLock::new((0, spec.plan)),
                 stats: ModelStats::default(),
+                drift: Mutex::new(DriftMonitor::new(32, 32, 8)),
             });
         }
         Ok(ModelRegistry { entries })

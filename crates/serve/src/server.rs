@@ -53,13 +53,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mtsr_telemetry::HistStat;
-use zipnet_core::{FusePolicy, InferExec, InferPlan};
+use mtsr_telemetry::WindowedHist;
+use zipnet_core::{AdaptPair, FusePolicy, InferExec, InferPlan};
 
+use crate::drift::{holdout_nrmse, TruthOutcome};
 use crate::poller::{raw_fd, wake_pair, PollEvent, Poller, Token, WakeReceiver, Waker};
 use crate::protocol::{
     write_response, Assembled, FrameAssembler, FrameFatal, InferRequest, InferResponse, Opcode,
-    ReloadRequest, Request, RespStatus, Response, ServerInfo,
+    ReloadRequest, Request, RespStatus, Response, ServerInfo, TruthAck, TruthRequest,
 };
 use crate::queue::{BoundedQueue, Pop, PushError};
 use crate::registry::{ModelRegistry, ModelSpec, Planner};
@@ -84,6 +85,9 @@ pub struct ServeConfig {
     /// Maximum simultaneously open connections; excess accepts are
     /// closed immediately (counted as `conns_rejected`).
     pub max_conns: usize,
+    /// Online-adaptation parameters; `None` (the default) disables the
+    /// drift monitor and `TRUTH` frames are refused.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for ServeConfig {
@@ -96,9 +100,55 @@ impl Default for ServeConfig {
             linger: Duration::from_millis(2),
             poll: Duration::from_millis(10),
             max_conns: 4096,
+            adapt: None,
         }
     }
 }
+
+/// Drift-monitor and fine-tune trigger parameters (per daemon, applied
+/// to every registered model).
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Rolling-NRMSE level above which a fine-tune is triggered.
+    pub threshold: f32,
+    /// Matched pairs in the rolling gauge; the trigger needs a full
+    /// window of evidence.
+    pub window: usize,
+    /// Minimum buffered pairs for the fine-tune corpus (beyond the
+    /// holdout) before a trigger can fire.
+    pub min_pairs: usize,
+    /// Newest matched pairs held out as the promotion gate's
+    /// evaluation slice.
+    pub holdout: usize,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            threshold: 0.5,
+            window: 32,
+            min_pairs: 32,
+            holdout: 8,
+        }
+    }
+}
+
+/// What a [`Tuner`] hands back: a freshly planned candidate and the
+/// checkpoint source it was written to (recorded in the registry on
+/// promotion so later reloads and adaptations resume from it).
+pub struct TunedModel {
+    /// The candidate plan (same geometry as the live slot).
+    pub plan: Arc<InferPlan>,
+    /// Source string for the registry (a path for the CLI tuner).
+    pub source: String,
+}
+
+/// Fine-tunes a model from buffered `(input, truth)` pairs — how the
+/// daemon turns a drift trigger into a candidate plan. Invoked on a
+/// background adaptation thread, never on the event loop or a batcher.
+/// Arguments are the model id, its recorded checkpoint source, and the
+/// fine-tune corpus.
+pub type Tuner = Arc<dyn Fn(u32, &str, &[AdaptPair]) -> io::Result<TunedModel> + Send + Sync>;
 
 /// One admitted inference job, routed by model id.
 struct Job {
@@ -154,16 +204,22 @@ struct Shared {
     stats: Stats,
     registry: ModelRegistry,
     planner: Option<Planner>,
+    /// Drift/adaptation parameters; `None` disables `TRUTH` handling.
+    adapt: Option<AdaptConfig>,
+    /// Fine-tune driver; without it drift is monitored but never acted on.
+    tuner: Option<Tuner>,
     completions: Mutex<Vec<Completion>>,
     waker: Waker,
-    /// Reload worker threads, joined by [`ServerHandle::join`].
+    /// Reload and adaptation worker threads, joined by
+    /// [`ServerHandle::join`].
     reloaders: Mutex<Vec<JoinHandle<()>>>,
     pending_reloads: AtomicU64,
     /// Server-local latency histogram for STATUS percentiles (all
-    /// models). Kept apart from the process-global telemetry registry
+    /// models), with a windowed shadow reset by every STATUS read.
+    /// Kept apart from the process-global telemetry registry
     /// (which tests may reset concurrently); mirrored into the registry
     /// when telemetry is on.
-    latency: Mutex<HistStat>,
+    latency: Mutex<WindowedHist>,
     queue_cap: u32,
     deadline_ms: u32,
     started: Instant,
@@ -237,7 +293,13 @@ impl Shared {
     }
 
     fn status_text(&self) -> String {
-        let lat = self.latency.lock().expect("latency mutex poisoned").clone();
+        // Cumulative percentiles describe the whole lifetime; the
+        // windowed pair covers exactly the interval since the previous
+        // STATUS read (consecutive reads partition the stream).
+        let (lat, lat_w) = {
+            let mut g = self.latency.lock().expect("latency mutex poisoned");
+            (g.cumulative().clone(), g.take_window())
+        };
         let s = &self.stats;
         let accepted = s.conns_accepted.load(Ordering::SeqCst);
         let closed = s.conns_closed.load(Ordering::SeqCst);
@@ -265,6 +327,12 @@ impl Shared {
              latency_p90_ns: {}\n\
              latency_p99_ns: {}\n\
              latency_max_ns: {}\n\
+             latency_w_count: {}\n\
+             latency_w_mean_ns: {}\n\
+             latency_w_p50_ns: {}\n\
+             latency_w_p90_ns: {}\n\
+             latency_w_p99_ns: {}\n\
+             latency_w_max_ns: {}\n\
              models: {}\n",
             self.started.elapsed().as_millis(),
             self.shutdown.load(Ordering::SeqCst),
@@ -288,15 +356,31 @@ impl Shared {
             lat.percentile(90.0),
             lat.percentile(99.0),
             if lat.count == 0 { 0 } else { lat.max },
+            lat_w.count,
+            lat_w.mean() as u64,
+            lat_w.percentile(50.0),
+            lat_w.percentile(90.0),
+            lat_w.percentile(99.0),
+            if lat_w.count == 0 { 0 } else { lat_w.max },
             self.registry.len(),
         );
         for (id, entry) in self.registry.entries().iter().enumerate() {
             let (generation, plan) = self.registry.current(id as u32).expect("entry exists");
             let mst = &entry.stats;
-            let mlat = mst.latency.lock().expect("model latency poisoned").clone();
+            let (mlat, mlat_w) = {
+                let mut g = mst.latency.lock().expect("model latency poisoned");
+                (g.cumulative().clone(), g.take_window())
+            };
+            let (drift, drift_n, pairs) = {
+                let mon = entry.drift.lock().expect("drift monitor poisoned");
+                (mon.rolling(), mon.samples(), mon.pairs_len())
+            };
             text.push_str(&format!(
                 "model[{id}]: name={} fuse={} generation={generation} served={} errors={} \
-                 timeouts={} reloads={} p50_ns={} p90_ns={} p99_ns={}\n",
+                 timeouts={} reloads={} p50_ns={} p90_ns={} p99_ns={} w_p50_ns={} w_p90_ns={} \
+                 w_p99_ns={} drift={drift:.4} drift_n={drift_n} pairs={pairs} truth_ok={} \
+                 truth_miss={} adapting={} drift_triggers={} promotions_ok={} \
+                 promotions_rejected={}\n",
                 entry.name,
                 plan.fuse_policy().name(),
                 mst.served.load(Ordering::SeqCst),
@@ -306,6 +390,15 @@ impl Shared {
                 mlat.percentile(50.0),
                 mlat.percentile(90.0),
                 mlat.percentile(99.0),
+                mlat_w.percentile(50.0),
+                mlat_w.percentile(90.0),
+                mlat_w.percentile(99.0),
+                mst.truth_matched.load(Ordering::SeqCst),
+                mst.truth_unmatched.load(Ordering::SeqCst),
+                mst.adapting.load(Ordering::SeqCst),
+                mst.drift_triggers.load(Ordering::SeqCst),
+                mst.promotions_ok.load(Ordering::SeqCst),
+                mst.promotions_rejected.load(Ordering::SeqCst),
             ));
         }
         text
@@ -348,6 +441,80 @@ impl Shared {
                 shared.pending_reloads.fetch_sub(1, Ordering::SeqCst);
             })
             .expect("spawn reload thread");
+        self.reloaders
+            .lock()
+            .expect("reloaders poisoned")
+            .push(handle);
+    }
+
+    /// Spawns the background fine-tune → gate → promote sequence for
+    /// `model`. Caller has already set the model's `adapting` flag (the
+    /// single-flight guard) and bumped `drift_triggers`. The thread is
+    /// tracked like a reload worker: a graceful drain waits for it, and
+    /// `join` reaps it. The live model keeps serving throughout; a
+    /// failed or rejected candidate changes nothing but counters.
+    fn spawn_adapt(self: &Arc<Self>, model: u32) {
+        let shared = Arc::clone(self);
+        self.pending_reloads.fetch_add(1, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name(format!("mtsr-serve-adapt{model}"))
+            .spawn(move || {
+                let entry = shared.registry.entry(model).expect("model exists");
+                let source = entry.source.lock().expect("model source poisoned").clone();
+                let (train, held) = entry
+                    .drift
+                    .lock()
+                    .expect("drift monitor poisoned")
+                    .take_pairs();
+                let tuner = shared.tuner.as_ref().expect("adapt requires tuner");
+                let promoted = (|| -> io::Result<u32> {
+                    let tuned = tuner(model, &source, &train)?;
+                    let (_, live_plan) = shared
+                        .registry
+                        .current(model)
+                        .ok_or_else(|| io::Error::other("model vanished"))?;
+                    // The acceptance gate: the candidate must beat the
+                    // live plan on the held-out newest pairs, else the
+                    // fine-tune is discarded wholesale.
+                    let live_score = holdout_nrmse(&live_plan, &held)?;
+                    let cand_score = holdout_nrmse(&tuned.plan, &held)?;
+                    if cand_score >= live_score {
+                        return Err(io::Error::other(format!(
+                            "candidate holdout NRMSE {cand_score:.4} does not beat live \
+                             {live_score:.4}"
+                        )));
+                    }
+                    shared.registry.swap(model, tuned.plan, Some(tuned.source))
+                })();
+                match promoted {
+                    Ok(_generation) => {
+                        shared.stats.reloads_ok.fetch_add(1, Ordering::SeqCst);
+                        entry.stats.promotions_ok.fetch_add(1, Ordering::SeqCst);
+                        // The gauge and pairs scored the *old* weights;
+                        // start clean for the promoted generation.
+                        entry.drift.lock().expect("drift monitor poisoned").reset();
+                        mtsr_telemetry::add_counter("serve.promotions", 1);
+                    }
+                    Err(_e) => {
+                        entry
+                            .stats
+                            .promotions_rejected
+                            .fetch_add(1, Ordering::SeqCst);
+                        // Rejection cooldown: demand a fresh full window
+                        // of bad scores before the next attempt.
+                        entry
+                            .drift
+                            .lock()
+                            .expect("drift monitor poisoned")
+                            .reset_gauge();
+                        mtsr_telemetry::add_counter("serve.promotions_rejected", 1);
+                    }
+                }
+                entry.stats.adapting.store(false, Ordering::SeqCst);
+                shared.pending_reloads.fetch_sub(1, Ordering::SeqCst);
+                shared.waker.wake();
+            })
+            .expect("spawn adapt thread");
         self.reloaders
             .lock()
             .expect("reloaders poisoned")
@@ -446,6 +613,20 @@ impl Server {
         models: Vec<ModelSpec>,
         planner: Option<Planner>,
     ) -> io::Result<ServerHandle> {
+        Server::start_adaptive(cfg, models, planner, None)
+    }
+
+    /// [`Server::start`] plus online adaptation: when `cfg.adapt` is set
+    /// the daemon pairs `TRUTH` frames with served predictions, tracks a
+    /// rolling drift gauge per model, and — when the gauge trips and a
+    /// `tuner` is present — fine-tunes in the background and
+    /// hot-promotes the candidate through the acceptance gate.
+    pub fn start_adaptive(
+        cfg: &ServeConfig,
+        models: Vec<ModelSpec>,
+        planner: Option<Planner>,
+        tuner: Option<Tuner>,
+    ) -> io::Result<ServerHandle> {
         if cfg.workers == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -453,6 +634,21 @@ impl Server {
             ));
         }
         let registry = ModelRegistry::new(models)?;
+        if let Some(ac) = &cfg.adapt {
+            if ac.threshold <= 0.0 || !ac.threshold.is_finite() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "adapt threshold must be a positive finite NRMSE",
+                ));
+            }
+            for entry in registry.entries() {
+                entry
+                    .drift
+                    .lock()
+                    .expect("drift monitor poisoned")
+                    .configure(ac.window, ac.min_pairs, ac.holdout);
+            }
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -465,11 +661,13 @@ impl Server {
             stats: Stats::default(),
             registry,
             planner,
+            adapt: cfg.adapt.clone(),
+            tuner,
             completions: Mutex::new(Vec::new()),
             waker,
             reloaders: Mutex::new(Vec::new()),
             pending_reloads: AtomicU64::new(0),
-            latency: Mutex::new(HistStat::new()),
+            latency: Mutex::new(WindowedHist::new()),
             queue_cap: cfg.queue_cap as u32,
             deadline_ms: cfg.deadline.as_millis() as u32,
             started: Instant::now(),
@@ -1010,7 +1208,92 @@ fn dispatch(shared: &Arc<Shared>, conn: &mut Conn, req: Request) {
                 shared.spawn_reload(parsed.model, source, conn.cid, req.id);
             }
         },
+        Opcode::Truth => observe_truth(shared, conn, &req),
         Opcode::Infer => admit_infer(shared, conn, &req),
+    }
+}
+
+/// Handles a `TRUTH` frame on the event loop: pair the ground truth
+/// with the buffered prediction sharing its id, fold the score into the
+/// model's drift gauge, and — when the gauge trips — kick off the
+/// background fine-tune. All O(buffer) work; the fine-tune itself runs
+/// on its own thread.
+fn observe_truth(shared: &Arc<Shared>, conn: &mut Conn, req: &Request) {
+    let parsed = match TruthRequest::decode(&req.payload) {
+        Ok(p) => p,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+            conn.queue_reply(&Response::error(req.id, e.to_string()));
+            return;
+        }
+    };
+    let Some(ac) = shared.adapt.as_ref() else {
+        shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+        conn.queue_reply(&Response::error(
+            req.id,
+            "online adaptation disabled (start the daemon with --adapt)",
+        ));
+        return;
+    };
+    let Some(entry) = shared.registry.entry(parsed.model) else {
+        shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+        conn.queue_reply(&Response::error(
+            req.id,
+            format!(
+                "unknown model id {} ({} registered)",
+                parsed.model,
+                shared.registry.len()
+            ),
+        ));
+        return;
+    };
+    let (outcome, trigger) = {
+        let mut mon = entry.drift.lock().expect("drift monitor poisoned");
+        let outcome = mon.observe_truth(req.id, &parsed.data);
+        let trigger = matches!(outcome, TruthOutcome::Scored { .. })
+            && shared.tuner.is_some()
+            && mon.should_trigger(ac.threshold);
+        (outcome, trigger)
+    };
+    match outcome {
+        TruthOutcome::Unmatched => {
+            entry.stats.truth_unmatched.fetch_add(1, Ordering::SeqCst);
+            conn.queue_reply(&Response::empty(RespStatus::Ok, req.id));
+        }
+        TruthOutcome::BadLength { have, want } => {
+            shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+            entry.stats.errors.fetch_add(1, Ordering::SeqCst);
+            conn.queue_reply(&Response::error(
+                req.id,
+                format!(
+                    "TRUTH window has {have} values but prediction {} has {want}",
+                    req.id
+                ),
+            ));
+        }
+        TruthOutcome::Scored {
+            window_nrmse,
+            rolling,
+        } => {
+            entry.stats.truth_matched.fetch_add(1, Ordering::SeqCst);
+            mtsr_telemetry::record_gauge("serve.drift_nrmse", f64::from(rolling));
+            conn.queue_reply(&Response {
+                status: RespStatus::Ok,
+                id: req.id,
+                payload: TruthAck {
+                    window_nrmse,
+                    rolling_nrmse: rolling,
+                }
+                .encode(),
+            });
+            // Single-flight: only the thread that flips `adapting` may
+            // spawn; concurrent triggers on other truths are no-ops.
+            if trigger && !entry.stats.adapting.swap(true, Ordering::SeqCst) {
+                entry.stats.drift_triggers.fetch_add(1, Ordering::SeqCst);
+                mtsr_telemetry::add_counter("serve.drift_triggers", 1);
+                shared.spawn_adapt(parsed.model);
+            }
+        }
     }
 }
 
@@ -1187,6 +1470,14 @@ fn batcher_loop(shared: &Arc<Shared>) {
                 let me = shared.registry.entry(model).expect("model exists");
                 for (lane, job) in live.iter().enumerate() {
                     let data = entry.output[lane * win_len..(lane + 1) * win_len].to_vec();
+                    // Drift monitoring buffers the served prediction so a
+                    // later TRUTH frame with this job's id can score it.
+                    if shared.adapt.is_some() {
+                        me.drift
+                            .lock()
+                            .expect("drift monitor poisoned")
+                            .record_prediction(job.id, &job.data, &data);
+                    }
                     let payload = InferResponse {
                         model,
                         generation,

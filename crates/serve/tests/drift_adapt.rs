@@ -1,0 +1,524 @@
+//! Live-drift operations, end to end: a regime shift degrades the
+//! served model's rolling NRMSE past the trigger, the daemon fine-tunes
+//! in the background from buffered `(input, truth)` pairs, the gated
+//! candidate is hot-promoted, and accuracy recovers to the pre-shift
+//! level — without a restart and without dropping a single request.
+//! The companion test proves the failure modes: a gate-rejected or
+//! crashed fine-tune leaves the live generation serving bit-identical
+//! results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mtsr_serve::{
+    holdout_nrmse, window_nrmse, AdaptConfig, AdaptPair, InferOutcome, InferRequest, ModelSpec,
+    ServeClient, ServeConfig, Server, ServerHandle, TruthRequest, TunedModel, Tuner,
+};
+use mtsr_tensor::Rng;
+use mtsr_traffic::{
+    AnomalyEvent, CityConfig, Dataset, DatasetConfig, MilanGenerator, MtsrInstance, ProbeLayout,
+    RegimeShift, Split,
+};
+use zipnet_core::checkpoint::load_generator_into;
+use zipnet_core::{
+    fine_tune_container, plan_zipnet, ArchScale, CheckpointPolicy, Discriminator, FusePolicy,
+    GanTrainer, GanTrainingConfig, InferExec, InferPlan, OnlineTuneConfig, ZipNet, ZipNetConfig,
+};
+
+/// SIGHUP state is process-global; serialize server tests.
+static HUP_LOCK: Mutex<()> = Mutex::new(());
+
+const UPSCALE: usize = 2;
+const S: usize = 3;
+const SQ: usize = 10; // coarse frame side; served whole as one window
+const FINE: usize = SQ * UPSCALE;
+const BATCH: usize = 2;
+const FP: &str = "mtsr-train/v1 instance=up2 grid=20 days=1 s=3 seed=1 steps=40 adv=0 \
+                  gan=false batch=4 arch=tiny";
+
+struct Scenario {
+    dir: std::path::PathBuf,
+    ckpt: std::path::PathBuf,
+    /// `(coarse input, fine truth)` pairs from the unshifted test range.
+    base: Vec<AdaptPair>,
+    /// Same time steps after the regime shift (sustained hotspot from
+    /// the test range start; normalisation moments are train-only, so
+    /// both share one normalised space).
+    shifted: Vec<AdaptPair>,
+}
+
+/// Trains a tiny up-2 model on an unshifted movie, writes its container
+/// checkpoint, and extracts full-frame pairs from the unshifted and
+/// regime-shifted test ranges.
+fn scenario(tag: &str) -> Scenario {
+    let mut rng = Rng::seed_from(21);
+    let generator = MilanGenerator::new(&CityConfig::tiny(), &mut rng).unwrap();
+    let ds_cfg = DatasetConfig::tiny();
+    let movie = generator.generate(ds_cfg.total(), &mut rng).unwrap();
+    let layout = ProbeLayout::for_instance(generator.city(), MtsrInstance::Up2).unwrap();
+    let ds = Dataset::build(&movie, layout.clone(), ds_cfg).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("mtsr_drift_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("live.ckpt");
+    let g = ZipNet::new(&ZipNetConfig::tiny(UPSCALE, S), &mut rng).unwrap();
+    let d = Discriminator::new(&ArchScale::Tiny.disc_config(), &mut rng).unwrap();
+    let mut cfg = GanTrainingConfig::tiny();
+    cfg.pretrain_steps = 40;
+    cfg.adversarial_steps = 0;
+    let mut trainer = GanTrainer::new(g, d, cfg);
+    trainer.set_checkpoint_policy(CheckpointPolicy::final_only(&ckpt, FP));
+    let mut train_rng = Rng::seed_from(22);
+    trainer.pretrain(&ds, &mut train_rng).unwrap();
+    trainer.write_final_checkpoint(&train_rng).unwrap();
+
+    // A pure gain shift is (nearly) invisible to the range-normalised
+    // gauge — the model rescales with its input. The broad sustained
+    // hotspot (a venue opening, Fig. 13 style) is a structural change
+    // the trained model has never seen: it roughly doubles the served
+    // NRMSE on this seed.
+    let mut shifted_movie = movie.clone();
+    RegimeShift {
+        from: ds.range(Split::Test).start,
+        gain: 1.0,
+        hotspot: Some(AnomalyEvent {
+            y: 10,
+            x: 10,
+            radius: 6.0,
+            magnitude_mb: 20000.0,
+        }),
+    }
+    .apply(&mut shifted_movie)
+    .unwrap();
+    let ds_shift = Dataset::build(&shifted_movie, layout, ds_cfg).unwrap();
+
+    let pairs_of = |d: &Dataset| -> Vec<AdaptPair> {
+        d.usable_indices(Split::Test)
+            .iter()
+            .map(|&t| {
+                let s = d.sample_at(t).unwrap();
+                AdaptPair {
+                    input: s.input.as_slice().to_vec(),
+                    target: s.target.as_slice().to_vec(),
+                }
+            })
+            .collect()
+    };
+    Scenario {
+        dir,
+        ckpt,
+        base: pairs_of(&ds),
+        shifted: pairs_of(&ds_shift),
+    }
+}
+
+fn live_plan(ckpt: &std::path::Path) -> Arc<InferPlan> {
+    let mut gen = ZipNet::new(&ZipNetConfig::tiny(UPSCALE, S), &mut Rng::seed_from(0)).unwrap();
+    load_generator_into(&mut gen, ckpt).unwrap();
+    let exec = plan_zipnet(&mut gen, FusePolicy::Exact, BATCH, SQ, SQ).unwrap();
+    Arc::clone(exec.plan())
+}
+
+fn infer_request(pair: &AdaptPair) -> InferRequest {
+    InferRequest {
+        model: 0,
+        deadline_ms: 5000,
+        s: S as u32,
+        h: SQ as u32,
+        w: SQ as u32,
+        data: pair.input.clone(),
+    }
+}
+
+/// One blocking INFER, retrying explicit shedding (BUSY/TIMEOUT) —
+/// never a silent drop — and returning the served prediction.
+fn infer_ok(client: &mut ServeClient, pair: &AdaptPair) -> Vec<f32> {
+    loop {
+        match client.infer(&infer_request(pair)).unwrap() {
+            InferOutcome::Ok(resp) => {
+                assert_eq!(resp.data.len(), FINE * FINE);
+                return resp.data;
+            }
+            InferOutcome::Busy | InferOutcome::Timeout => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+/// INFER followed by the TRUTH for the same id. Returns the ack with
+/// this window's score and the rolling gauge.
+fn infer_then_truth(client: &mut ServeClient, pair: &AdaptPair) -> mtsr_serve::TruthAck {
+    infer_ok(client, pair);
+    client
+        .truth(
+            client.last_id(),
+            &TruthRequest {
+                model: 0,
+                h: FINE as u32,
+                w: FINE as u32,
+                data: pair.target.clone(),
+            },
+        )
+        .unwrap()
+        .expect("truth for a just-served prediction must match")
+}
+
+fn wait_status(client: &mut ServeClient, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = client.status().unwrap();
+        if pred(&status) {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} never happened:\n{status}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn model_field(status: &str, key: &str) -> String {
+    let line = status
+        .lines()
+        .find(|l| l.starts_with("model[0]:"))
+        .unwrap_or_else(|| panic!("no model[0] line in:\n{status}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key} in: {line}"))
+        .to_string()
+}
+
+fn offline(plan: &Arc<InferPlan>, win: &[f32]) -> Vec<f32> {
+    let mut exec = InferExec::from_plan(Arc::clone(plan));
+    let in_len: usize = exec.input_dims().iter().product();
+    let out_len: usize = exec.output_dims().iter().product();
+    let (crop_len, win_len) = (in_len / BATCH, out_len / BATCH);
+    let mut input = vec![0.0f32; in_len];
+    let mut output = vec![0.0f32; out_len];
+    input[..crop_len].copy_from_slice(win);
+    exec.run_into(&input, &mut output).unwrap();
+    output[..win_len].to_vec()
+}
+
+fn start_adaptive(
+    adapt: AdaptConfig,
+    plan: Arc<InferPlan>,
+    source: String,
+    tuner: Tuner,
+) -> ServerHandle {
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        linger: Duration::ZERO,
+        adapt: Some(adapt),
+        ..ServeConfig::default()
+    };
+    Server::start_adaptive(
+        &cfg,
+        vec![ModelSpec {
+            name: "up2".into(),
+            source,
+            plan,
+        }],
+        None,
+        Some(tuner),
+    )
+    .unwrap()
+}
+
+/// The headline scenario: shift → degrade past trigger → background
+/// fine-tune → gated hot-promotion → recovery, no restart, no drops.
+#[test]
+fn regime_shift_triggers_finetune_promotion_and_recovery() {
+    let _guard = HUP_LOCK.lock().unwrap();
+    let sc = scenario("recover");
+    let plan0 = live_plan(&sc.ckpt);
+
+    // Sanity-check the scenario offline: the shift must actually break
+    // the trained model, or the trigger threshold means nothing.
+    let pre_score = holdout_nrmse(&plan0, &sc.base).unwrap();
+    let shift_score = holdout_nrmse(&plan0, &sc.shifted).unwrap();
+    assert!(
+        shift_score > pre_score * 1.5,
+        "regime shift did not degrade accuracy: {pre_score} -> {shift_score}"
+    );
+    let threshold = pre_score + 0.25 * (shift_score - pre_score);
+
+    // Real tuner: resume the training container, fine-tune on the
+    // daemon's buffered pairs, write the adapted container alongside the
+    // live one, and hand back a freshly planned candidate.
+    let tuner: Tuner = {
+        let scale = ArchScale::Tiny;
+        let mut base = GanTrainingConfig::tiny();
+        base.pretrain_steps = 40;
+        base.adversarial_steps = 0;
+        Arc::new(move |_model, source, pairs| {
+            let src = std::path::Path::new(source);
+            let out = src.with_extension("adapt");
+            let cfg = OnlineTuneConfig {
+                scale,
+                base,
+                upscale: UPSCALE,
+                s: S,
+                steps: 300,
+                expected_fingerprint: Some(FP.to_string()),
+            };
+            let outcome = fine_tune_container(src, Some(&out), &cfg, pairs)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let mut gen = outcome.generator;
+            let exec = plan_zipnet(&mut gen, FusePolicy::Exact, BATCH, SQ, SQ)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Ok(TunedModel {
+                plan: Arc::clone(exec.plan()),
+                source: out.to_string_lossy().into_owned(),
+            })
+        })
+    };
+
+    let adapt = AdaptConfig {
+        threshold,
+        window: 6,
+        min_pairs: 16,
+        holdout: 4,
+    };
+    let handle = start_adaptive(
+        adapt,
+        Arc::clone(&plan0),
+        sc.ckpt.to_string_lossy().into_owned(),
+        tuner,
+    );
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    // Phase 1 — healthy serving. Score the served predictions locally
+    // with the daemon's own scorer instead of submitting TRUTH frames:
+    // the pre-shift baseline gets measured without seeding the
+    // fine-tune corpus with old-regime pairs.
+    let mut pre_roll = 0.0;
+    for pair in &sc.base {
+        let served = infer_ok(&mut client, pair);
+        pre_roll += window_nrmse(&served, &pair.target) / sc.base.len() as f32;
+    }
+    assert!(
+        pre_roll < threshold,
+        "healthy serving {pre_roll} already past trigger {threshold}"
+    );
+    let status = client.status().unwrap();
+    assert_eq!(model_field(&status, "drift_triggers"), "0");
+    assert_eq!(model_field(&status, "truth_ok"), "0");
+
+    // Phase 2 — the regime shifts and truth starts flowing. Stream
+    // shifted windows until the gauge trips (rolling past the
+    // threshold with a full window AND a full pair buffer).
+    let mut peak_roll = 0.0f32;
+    let mut tripped = false;
+    for pair in sc.shifted.iter().cycle().take(60) {
+        peak_roll = peak_roll.max(infer_then_truth(&mut client, pair).rolling_nrmse);
+        let status = client.status().unwrap();
+        if model_field(&status, "drift_triggers") != "0" {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(
+        tripped,
+        "gauge never degraded past the trigger (peak {peak_roll}, threshold {threshold})"
+    );
+    assert!(peak_roll > threshold);
+
+    // Phase 3 — the background fine-tune resumes the training
+    // container on the buffered pairs and the gate promotes the
+    // candidate: generation bumps, reloads_ok counts it.
+    let status = wait_status(&mut client, "fine-tune verdict", |s| {
+        let ok: u64 = model_field(s, "promotions_ok").parse().unwrap();
+        let no: u64 = model_field(s, "promotions_rejected").parse().unwrap();
+        model_field(s, "adapting") == "false" && ok + no == 1
+    });
+    assert_eq!(
+        model_field(&status, "promotions_ok"),
+        "1",
+        "the fine-tuned candidate was rejected instead of promoted:\n{status}"
+    );
+    assert_eq!(model_field(&status, "generation"), "1");
+    assert!(status.contains("reloads_ok: 1"), "{status}");
+    assert!(sc.ckpt.with_extension("adapt").exists());
+
+    // Phase 4 — recovery: the promoted weights serve the shifted
+    // regime at (near) pre-shift accuracy, on the same daemon.
+    let mut recovered = 0.0;
+    let post_n = 12usize;
+    for pair in sc.shifted.iter().cycle().take(post_n) {
+        recovered += infer_then_truth(&mut client, pair).window_nrmse / post_n as f32;
+    }
+    assert!(
+        recovered <= pre_roll * 1.10,
+        "served NRMSE {recovered} did not recover to within 10% of pre-shift {pre_roll}"
+    );
+    // And the live gauge itself is back under the trigger.
+    let drift: f32 = model_field(&client.status().unwrap(), "drift")
+        .parse()
+        .unwrap();
+    assert!(
+        drift < threshold,
+        "gauge {drift} still past trigger {threshold}"
+    );
+    match client.infer(&infer_request(&sc.shifted[0])).unwrap() {
+        InferOutcome::Ok(resp) => assert_eq!(resp.generation, 1, "promotion bumped generation"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // No restart, no drops: every admitted request got a terminal reply.
+    let status = wait_status(&mut client, "drain of in-flight work", |s| {
+        s.contains("in_flight: 0")
+    });
+    assert!(status.contains("timeouts: 0"), "{status}");
+    assert_eq!(model_field(&status, "truth_miss"), "0");
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&sc.dir).ok();
+}
+
+/// Failure modes: a candidate that does not beat the live model is
+/// rejected (counted, generation unchanged) and a crashing fine-tune
+/// changes nothing either — in both cases the live generation keeps
+/// serving bit-identical results. Also pins down TRUTH edge cases.
+#[test]
+fn rejected_candidate_leaves_live_model_bit_identical() {
+    let _guard = HUP_LOCK.lock().unwrap();
+    // No training needed: any plan drifts once truths disagree with it.
+    let mut gen = ZipNet::new(&ZipNetConfig::tiny(UPSCALE, S), &mut Rng::seed_from(3)).unwrap();
+    let exec = plan_zipnet(&mut gen, FusePolicy::Exact, BATCH, SQ, SQ).unwrap();
+    let plan0 = Arc::clone(exec.plan());
+
+    // Round 1: the tuner returns the live plan itself — the gate demands
+    // a strict improvement, so an equal candidate is rejected. Round 2:
+    // the tuner crashes outright.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let tuner: Tuner = {
+        let plan = Arc::clone(&plan0);
+        let calls = Arc::clone(&calls);
+        Arc::new(move |_model, _source, _pairs| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                Ok(TunedModel {
+                    plan: Arc::clone(&plan),
+                    source: "unchanged".into(),
+                })
+            } else {
+                Err(std::io::Error::other("fine-tune crashed"))
+            }
+        })
+    };
+    let adapt = AdaptConfig {
+        threshold: 0.05,
+        window: 3,
+        min_pairs: 3,
+        holdout: 2,
+    };
+    let handle = start_adaptive(adapt, Arc::clone(&plan0), "live".into(), tuner);
+    let mut client = ServeClient::connect(handle.local_addr()).unwrap();
+
+    let mut rng = Rng::seed_from(77);
+    let pair = |seed: &mut Rng| AdaptPair {
+        input: (0..S * SQ * SQ).map(|_| seed.next_f32()).collect(),
+        target: (0..FINE * FINE).map(|_| seed.next_f32() * 4.0).collect(),
+    };
+
+    // A truth that matches no prediction is an explicit miss, not an error.
+    assert!(client
+        .truth(
+            9999,
+            &TruthRequest {
+                model: 0,
+                h: FINE as u32,
+                w: FINE as u32,
+                data: vec![0.0; FINE * FINE],
+            },
+        )
+        .unwrap()
+        .is_none());
+
+    let before = pair(&mut rng);
+    let served_before = match client.infer(&infer_request(&before)).unwrap() {
+        InferOutcome::Ok(resp) => resp.data,
+        other => panic!("unexpected {other:?}"),
+    };
+
+    for round in 1..=2u64 {
+        // Random truths against a random model: huge NRMSE, instant
+        // trigger once the window and pair buffer fill.
+        for _ in 0..5 {
+            let p = pair(&mut rng);
+            infer_then_truth(&mut client, &p);
+        }
+        let status = wait_status(&mut client, "rejection", |s| {
+            s.lines().any(|l| {
+                l.starts_with("model[0]:")
+                    && l.contains("adapting=false")
+                    && l.contains(&format!("promotions_rejected={round}"))
+            })
+        });
+        assert_eq!(model_field(&status, "generation"), "0", "{status}");
+        assert_eq!(model_field(&status, "promotions_ok"), "0");
+        assert_eq!(model_field(&status, "drift_triggers"), round.to_string());
+    }
+    assert_eq!(calls.load(Ordering::SeqCst), 2, "tuner ran twice");
+    let status = client.status().unwrap();
+    assert!(status.contains("reloads_ok: 0"), "{status}");
+
+    // The live generation still serves, bit-identical to before the
+    // rejected rounds and to offline inference under plan0.
+    let served_after = match client.infer(&infer_request(&before)).unwrap() {
+        InferOutcome::Ok(resp) => {
+            assert_eq!(resp.generation, 0, "rejection must not bump generation");
+            resp.data
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+    let want = offline(&plan0, &before.input);
+    for (i, (a, b)) in served_after.iter().zip(&served_before).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {i} changed after rejection");
+    }
+    for (i, (a, b)) in served_after.iter().zip(&want).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {i} differs from offline");
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+
+    // And on a daemon without --adapt, TRUTH is refused outright.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 4,
+        linger: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let plain = Server::start(
+        &cfg,
+        vec![ModelSpec {
+            name: "up2".into(),
+            source: String::new(),
+            plan: plan0,
+        }],
+        None,
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(plain.local_addr()).unwrap();
+    let err = client
+        .truth(
+            1,
+            &TruthRequest {
+                model: 0,
+                h: FINE as u32,
+                w: FINE as u32,
+                data: vec![0.0; FINE * FINE],
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("adaptation disabled"), "{err}");
+    client.shutdown().unwrap();
+    plain.join();
+}

@@ -27,7 +27,7 @@ pub mod span;
 pub use json::Json;
 pub use registry::{
     add_counter, enabled, record_gauge, record_hist, record_span_ns, reset, set_enabled, snapshot,
-    HistStat, Snapshot, SpanStat,
+    HistStat, Snapshot, SpanStat, WindowedHist,
 };
 pub use report::{
     EpochRecord, HistReport, PhaseReport, SpanReport, TelemetryReport, SCHEMA_VERSION,

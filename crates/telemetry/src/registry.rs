@@ -125,6 +125,52 @@ impl HistStat {
     }
 }
 
+/// A cumulative histogram paired with a resettable *window* histogram
+/// over the same sample stream.
+///
+/// Long-lived services (the `mtsr-serve` STATUS endpoint) need both
+/// views: lifetime percentiles answer "how has this server behaved",
+/// but after days of uptime they are history-dominated and hide what
+/// is happening *now*. `observe` folds every sample into both
+/// histograms; [`WindowedHist::take_window`] hands out the samples seen
+/// since the previous take and starts a fresh window, so consecutive
+/// reads partition the stream exactly (no sample is counted in two
+/// windows, none is lost).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowedHist {
+    cumulative: HistStat,
+    window: HistStat,
+}
+
+impl WindowedHist {
+    /// An empty pair of histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample into both the cumulative and the window view.
+    pub fn observe(&mut self, v: u64) {
+        self.cumulative.observe(v);
+        self.window.observe(v);
+    }
+
+    /// The lifetime histogram (all samples since construction).
+    pub fn cumulative(&self) -> &HistStat {
+        &self.cumulative
+    }
+
+    /// Returns the histogram of samples observed since the previous
+    /// `take_window` (or construction) and resets the window.
+    pub fn take_window(&mut self) -> HistStat {
+        std::mem::take(&mut self.window)
+    }
+
+    /// The current window without resetting it (tests, debugging).
+    pub fn window(&self) -> &HistStat {
+        &self.window
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     counters: HashMap<String, u64>,
@@ -341,6 +387,28 @@ mod tests {
         assert!(snapshot().counters.is_empty());
         assert!(snapshot().hists.is_empty());
         set_enabled(false);
+    }
+
+    #[test]
+    fn windowed_hist_partitions_the_stream() {
+        let mut w = WindowedHist::new();
+        for v in [10u64, 20, 30] {
+            w.observe(v);
+        }
+        assert_eq!(w.cumulative().count, 3);
+        assert_eq!(w.window().count, 3);
+        let first = w.take_window();
+        assert_eq!((first.count, first.min, first.max), (3, 10, 30));
+        // The window is fresh; the cumulative view keeps everything.
+        assert_eq!(w.window().count, 0);
+        assert_eq!(w.cumulative().count, 3);
+        w.observe(1_000);
+        let second = w.take_window();
+        assert_eq!((second.count, second.min, second.max), (1, 1_000, 1_000));
+        assert_eq!(w.cumulative().count, 4);
+        assert_eq!(w.cumulative().max, 1_000);
+        // An idle window reads as empty rather than repeating history.
+        assert_eq!(w.take_window().count, 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod dataset;
 pub mod generator;
 pub mod milan_csv;
 pub mod probe;
+pub mod regime;
 pub mod sr;
 
 pub use anomaly::AnomalyEvent;
@@ -40,4 +41,5 @@ pub use city::CityConfig;
 pub use dataset::{Dataset, DatasetConfig, Sample, Split};
 pub use generator::MilanGenerator;
 pub use probe::{MtsrInstance, Probe, ProbeLayout};
+pub use regime::RegimeShift;
 pub use sr::SuperResolver;

@@ -1,0 +1,137 @@
+//! Sustained regime-shift injection for drift experiments.
+//!
+//! [`crate::anomaly`] models the paper's §5.5 *transient* events — a bump
+//! on a handful of frames. A **regime shift** is different: from some
+//! frame onward the traffic process itself changes (pricing change,
+//! new venue, seasonal migration) and *stays* changed, so a model
+//! trained on the old regime goes persistently stale. This is the
+//! workload the serve daemon's drift monitor and online fine-tune loop
+//! are tested against.
+
+use crate::anomaly::AnomalyEvent;
+use mtsr_tensor::{Result, Tensor, TensorError};
+
+/// A persistent change to the traffic process from frame `from` onward:
+/// a multiplicative city-wide gain plus an optional sustained hotspot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeShift {
+    /// First affected frame index; every frame `t >= from` is shifted.
+    pub from: usize,
+    /// City-wide multiplicative traffic gain (1.0 = no scaling).
+    pub gain: f32,
+    /// Optional sustained localised surge applied to every shifted frame
+    /// (an [`AnomalyEvent`] that never ends).
+    pub hotspot: Option<AnomalyEvent>,
+}
+
+impl RegimeShift {
+    /// A pure gain shift starting at `from`.
+    pub fn gain(from: usize, gain: f32) -> Self {
+        RegimeShift {
+            from,
+            gain,
+            hotspot: None,
+        }
+    }
+
+    /// Applies the shift to a `[T, g, g]` movie in place: frames
+    /// `from..T` are scaled by `gain`, then the hotspot (if any) is
+    /// added. Frames before `from` are untouched, so dataset
+    /// normalisation moments estimated on an earlier training window
+    /// stay identical to the unshifted movie's — exactly the production
+    /// situation where a live model meets data its normalisation never
+    /// saw.
+    pub fn apply(&self, movie: &mut Tensor) -> Result<()> {
+        let dims = movie.dims().to_vec();
+        if dims.len() != 3 {
+            return Err(TensorError::InvalidShape {
+                op: "RegimeShift::apply",
+                reason: format!("expected [T, g, g] movie, got {}", movie.shape()),
+            });
+        }
+        if self.from > dims[0] {
+            return Err(TensorError::InvalidShape {
+                op: "RegimeShift::apply",
+                reason: format!("shift start {} exceeds T = {}", self.from, dims[0]),
+            });
+        }
+        if !self.gain.is_finite() || self.gain < 0.0 {
+            return Err(TensorError::InvalidShape {
+                op: "RegimeShift::apply",
+                reason: format!("gain {} must be finite and non-negative", self.gain),
+            });
+        }
+        let cells = dims[1] * dims[2];
+        let tail = &mut movie.as_mut_slice()[self.from * cells..];
+        if self.gain != 1.0 {
+            for v in tail.iter_mut() {
+                *v *= self.gain;
+            }
+        }
+        if let Some(ev) = self.hotspot {
+            ev.apply_to_movie(movie, self.from..dims[0])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_movie() -> Tensor {
+        let data: Vec<f32> = (0..4 * 4 * 4).map(|i| i as f32).collect();
+        Tensor::from_vec([4, 4, 4], data).unwrap()
+    }
+
+    #[test]
+    fn gain_shift_scales_only_the_tail() {
+        let mut movie = ramp_movie();
+        let before = movie.as_slice().to_vec();
+        RegimeShift::gain(2, 3.0).apply(&mut movie).unwrap();
+        let after = movie.as_slice();
+        for i in 0..2 * 16 {
+            assert_eq!(after[i], before[i], "pre-shift frame changed at {i}");
+        }
+        for i in 2 * 16..4 * 16 {
+            assert_eq!(after[i], before[i] * 3.0, "tail not scaled at {i}");
+        }
+    }
+
+    #[test]
+    fn hotspot_is_sustained_across_all_shifted_frames() {
+        let mut movie = Tensor::zeros([3, 10, 10]);
+        let shift = RegimeShift {
+            from: 1,
+            gain: 1.0,
+            hotspot: Some(AnomalyEvent {
+                y: 5,
+                x: 5,
+                radius: 1.5,
+                magnitude_mb: 100.0,
+            }),
+        };
+        shift.apply(&mut movie).unwrap();
+        assert_eq!(movie.get(&[0, 5, 5]).unwrap(), 0.0);
+        assert!(movie.get(&[1, 5, 5]).unwrap() > 99.0);
+        assert!(movie.get(&[2, 5, 5]).unwrap() > 99.0);
+    }
+
+    #[test]
+    fn shift_from_the_end_is_a_no_op() {
+        let mut movie = ramp_movie();
+        let before = movie.as_slice().to_vec();
+        RegimeShift::gain(4, 9.0).apply(&mut movie).unwrap();
+        assert_eq!(movie.as_slice(), &before[..]);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut frame = Tensor::zeros([4, 4]);
+        assert!(RegimeShift::gain(0, 2.0).apply(&mut frame).is_err());
+        let mut movie = Tensor::zeros([2, 4, 4]);
+        assert!(RegimeShift::gain(3, 2.0).apply(&mut movie).is_err());
+        assert!(RegimeShift::gain(0, f32::NAN).apply(&mut movie).is_err());
+        assert!(RegimeShift::gain(0, -1.0).apply(&mut movie).is_err());
+    }
+}

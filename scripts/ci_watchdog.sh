@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Watchdog helpers for CI steps that drive the serving daemon. Sourced,
+# not executed, so the functions run in the step's own shell with its
+# `set -euxo pipefail` in force.
+#
+# The failure mode these guard against: a wedged daemon makes the
+# client block forever, the step idles until the job-level
+# timeout-minutes fires, and the post-mortem is an empty log. Every
+# helper bounds the wait itself and, on expiry, kill -QUITs the daemon
+# (an abnormal exit, so nothing keeps serving behind a broken step) and
+# tails its captured output so the failing run carries its own
+# diagnosis.
+
+# drive SECS SERVE_PID SERVE_LOG CMD...
+#   Run CMD under `timeout SECS`. On timeout or failure, dump the
+#   daemon's state and fail the step.
+drive() {
+  local secs=$1 serve_pid=$2 serve_log=$3
+  shift 3
+  if ! timeout "$secs" "$@"; then
+    echo "watchdog: command timed out or failed after ${secs}s: $*" >&2
+    kill -QUIT "$serve_pid" 2>/dev/null || true
+    sleep 1
+    tail -n 80 "$serve_log" >&2 || true
+    return 1
+  fi
+}
+
+# await_pid SECS PID SERVE_PID SERVE_LOG
+#   Bounded wait for a backgrounded driver PID; on exit, reap it and
+#   propagate its status. On a hang, QUIT both it and the daemon.
+await_pid() {
+  local secs=$1 pid=$2 serve_pid=$3 serve_log=$4
+  local waited=0
+  while kill -0 "$pid" 2>/dev/null; do
+    if [ "$waited" -ge "$secs" ]; then
+      echo "watchdog: pid $pid still running after ${secs}s" >&2
+      kill -QUIT "$pid" 2>/dev/null || true
+      kill -QUIT "$serve_pid" 2>/dev/null || true
+      sleep 1
+      tail -n 80 "$serve_log" >&2 || true
+      return 1
+    fi
+    sleep 1
+    waited=$((waited + 1))
+  done
+  wait "$pid"
+}
+
+# drain SECS SERVE_PID SERVE_LOG
+#   SIGTERM the daemon and require a clean drain-and-exit within SECS.
+drain() {
+  local secs=$1 serve_pid=$2 serve_log=$3
+  kill -TERM "$serve_pid"
+  local waited=0
+  while kill -0 "$serve_pid" 2>/dev/null; do
+    if [ "$waited" -ge "$secs" ]; then
+      echo "watchdog: daemon failed to drain within ${secs}s" >&2
+      kill -QUIT "$serve_pid" 2>/dev/null || true
+      sleep 1
+      tail -n 80 "$serve_log" >&2 || true
+      return 1
+    fi
+    sleep 1
+    waited=$((waited + 1))
+  done
+  wait "$serve_pid"
+}

@@ -24,18 +24,19 @@ use std::sync::Arc;
 use std::time::Duration;
 use zipnet_gan::core::checkpoint::{self, CheckpointPolicy};
 use zipnet_gan::core::{
-    plan_zipnet, ArchScale, FusePolicy, GanTrainingConfig, MtsrModel, MtsrPipeline,
-    StreamingPredictor, TrafficAnomalyDetector, ZipNet, ZipNetConfig,
+    fine_tune_container, plan_zipnet, ArchScale, FusePolicy, GanTrainingConfig, MtsrModel,
+    MtsrPipeline, OnlineTuneConfig, StreamingPredictor, TrafficAnomalyDetector, ZipNet,
+    ZipNetConfig,
 };
 use zipnet_gan::metrics::{nrmse, psnr, ssim, MILAN_PEAK_MB};
 use zipnet_gan::prelude::*;
 use zipnet_gan::serve::{
-    signals, InferOutcome, InferRequest, ModelSpec, Planner, RemotePredictor, ServeClient,
-    ServeConfig, Server,
+    signals, window_nrmse, AdaptConfig, InferOutcome, InferRequest, ModelSpec, Planner,
+    RemotePredictor, ServeClient, ServeConfig, Server, TruthRequest, TunedModel, Tuner,
 };
 use zipnet_gan::telemetry::{PhaseReport, TelemetryReport};
 use zipnet_gan::tensor::TensorError;
-use zipnet_gan::traffic::{Dataset, Split, SuperResolver};
+use zipnet_gan::traffic::{AnomalyEvent, Dataset, RegimeShift, Split, SuperResolver};
 
 /// What a subcommand hands back for the optional telemetry report:
 /// training phases when it trained, nothing otherwise.
@@ -128,6 +129,15 @@ impl Args {
         }
     }
 
+    fn f32_flag(&self, name: &str, default: f32) -> Result<f32, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{name}: expected a number")),
+        }
+    }
+
     fn bool_flag(&self, name: &str) -> Result<bool, String> {
         match self.get(name) {
             None => Ok(false),
@@ -149,14 +159,15 @@ fn parse_instance(s: Option<&str>) -> Result<MtsrInstance, String> {
     }
 }
 
-/// City + traffic + dataset, deterministic in (grid, days, instance, seed).
-fn build_dataset(
+/// City + traffic movie, deterministic in (grid, days, instance, seed).
+/// The last two days are held out as validation and test.
+fn generate_movie(
     grid: usize,
     days: usize,
     instance: MtsrInstance,
     s: usize,
     seed: u64,
-) -> Result<Dataset, TensorError> {
+) -> Result<(Tensor, ProbeLayout, DatasetConfig), TensorError> {
     let mut rng = Rng::seed_from(seed);
     let mut city = CityConfig::small();
     city.grid = grid;
@@ -172,7 +183,57 @@ fn build_dataset(
     };
     let movie = gen.generate(cfg.total(), &mut rng)?;
     let layout = ProbeLayout::for_instance(gen.city(), instance)?;
+    Ok((movie, layout, cfg))
+}
+
+/// City + traffic + dataset, deterministic in (grid, days, instance, seed).
+fn build_dataset(
+    grid: usize,
+    days: usize,
+    instance: MtsrInstance,
+    s: usize,
+    seed: u64,
+) -> Result<Dataset, TensorError> {
+    let (movie, layout, cfg) = generate_movie(grid, days, instance, s, seed)?;
     Dataset::build(&movie, layout, cfg)
+}
+
+/// The training plan shared by `train` and the online fine-tune behind
+/// `serve --adapt`: a container written by one must restore under the
+/// other's config (the LR schedule is part of the container, and a
+/// schedule mismatch is rejected on restore).
+fn train_config(steps: usize, adv: usize) -> GanTrainingConfig {
+    let mut cfg = GanTrainingConfig::paper(steps, adv, 8);
+    cfg.lr = 1e-3;
+    cfg.schedule = Some(zipnet_gan::nn::LrSchedule::Exponential {
+        lr: 1e-3,
+        period: 200,
+        factor: 0.5,
+    });
+    cfg.clip_norm = Some(5.0);
+    cfg
+}
+
+/// The container fingerprint for a training run. Everything that shapes
+/// the data or the training plan goes in — resuming against different
+/// data is rejected, while online fine-tuning only insists on the
+/// geometry keys (instance/grid/s/arch).
+#[allow(clippy::too_many_arguments)]
+fn train_fingerprint(
+    instance: MtsrInstance,
+    grid: usize,
+    days: usize,
+    s: usize,
+    seed: u64,
+    steps: usize,
+    adv: usize,
+    gan: bool,
+) -> String {
+    format!(
+        "mtsr-train/v1 instance={} grid={grid} days={days} s={s} seed={seed} \
+         steps={steps} adv={adv} gan={gan} batch=8 arch=tiny",
+        instance.label()
+    )
 }
 
 fn cmd_simulate(args: &Args) -> CmdOutcome {
@@ -242,15 +303,10 @@ fn cmd_train(args: &Args) -> CmdOutcome {
     let instance = parse_instance(args.get("instance"))?;
     let ds = build_dataset(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
 
-    // Everything that shapes the data or the training plan goes into the
-    // fingerprint — resuming against different data is rejected. The
-    // checkpoint cadence flags deliberately do not: an interrupted run and
-    // its uninterrupted twin must share a fingerprint.
-    let fingerprint = format!(
-        "mtsr-train/v1 instance={} grid={grid} days={days} s={s} seed={seed} \
-         steps={steps} adv={adv} gan={gan} batch=8 arch=tiny",
-        instance.label()
-    );
+    // The checkpoint cadence flags deliberately stay out of the
+    // fingerprint: an interrupted run and its uninterrupted twin must
+    // share one.
+    let fingerprint = train_fingerprint(instance, grid, days, s, seed, steps, adv, gan);
     let policy = CheckpointPolicy {
         path: PathBuf::from(&out),
         every,
@@ -272,14 +328,7 @@ fn cmd_train(args: &Args) -> CmdOutcome {
         None => None,
     };
 
-    let mut cfg = GanTrainingConfig::paper(steps, adv, 8);
-    cfg.lr = 1e-3;
-    cfg.schedule = Some(zipnet_gan::nn::LrSchedule::Exponential {
-        lr: 1e-3,
-        period: 200,
-        factor: 0.5,
-    });
-    cfg.clip_norm = Some(5.0);
+    let cfg = train_config(steps, adv);
     let mut model = if gan {
         MtsrModel::zipnet_gan(ArchScale::Tiny, cfg)
     } else {
@@ -467,6 +516,12 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
             "max-conns",
             "fuse",
             "exact",
+            "adapt",
+            "drift-threshold",
+            "drift-window",
+            "adapt-pairs",
+            "adapt-holdout",
+            "adapt-steps",
             "telemetry",
         ],
     )?;
@@ -529,6 +584,47 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
         });
     }
 
+    // Online adaptation: TRUTH frames feed a rolling drift gauge; past
+    // the threshold the daemon fine-tunes the recorded container on the
+    // buffered pairs in a sidecar thread and hot-promotes the candidate
+    // through the acceptance gate. The adapted container is written
+    // next to the original (`<ckpt>.adapt`) so a promotion survives a
+    // later RELOAD of the slot.
+    let adapt = args.bool_flag("adapt")?;
+    let adapt_cfg = AdaptConfig {
+        threshold: args.f32_flag("drift-threshold", 0.5)?,
+        window: args.usize_flag("drift-window", 32)?,
+        min_pairs: args.usize_flag("adapt-pairs", 32)?,
+        holdout: args.usize_flag("adapt-holdout", 8)?,
+    };
+    let adapt_steps = args.usize_flag("adapt-steps", 300)?;
+    let tuner: Option<Tuner> = if adapt {
+        let geometry = train_fingerprint(instance, grid, days, s, seed, 0, 0, false);
+        Some(Arc::new(move |_model, source, pairs| {
+            let out = format!("{}.adapt", source.trim_end_matches(".adapt"));
+            let tune = OnlineTuneConfig {
+                scale: ArchScale::Tiny,
+                base: train_config(0, 0),
+                upscale,
+                s,
+                steps: adapt_steps,
+                expected_fingerprint: Some(geometry.clone()),
+            };
+            let outcome =
+                fine_tune_container(source, Some(std::path::Path::new(&out)), &tune, pairs)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+            let mut gen = outcome.generator;
+            let exec = plan_zipnet(&mut gen, policy, batch, cw, cw)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Ok(TunedModel {
+                plan: Arc::clone(exec.plan()),
+                source: out,
+            })
+        }))
+    } else {
+        None
+    };
+
     let cfg = ServeConfig {
         addr,
         queue_cap: args.usize_flag("queue", 64)?,
@@ -536,9 +632,11 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
         deadline: Duration::from_millis(args.u64_flag("deadline-ms", 2_000)?),
         linger: Duration::from_millis(args.u64_flag("linger-ms", 2)?),
         max_conns: args.usize_flag("max-conns", 4096)?,
+        adapt: adapt.then_some(adapt_cfg),
         ..ServeConfig::default()
     };
-    let handle = Server::start(&cfg, specs, Some(planner)).map_err(|e| e.to_string())?;
+    let handle =
+        Server::start_adaptive(&cfg, specs, Some(planner), tuner).map_err(|e| e.to_string())?;
     signals::install();
     println!(
         "serving {} model(s) on {} (fuse policy {}, {} windows [S={s}, {cw}x{cw}] -> [{}x{}] \
@@ -556,6 +654,14 @@ fn cmd_serve(args: &Args) -> CmdOutcome {
     );
     for (id, (name, path)) in tenants.iter().enumerate() {
         println!("  model {id}: {name} <- {path}");
+    }
+    if let Some(ac) = &cfg.adapt {
+        println!(
+            "online adaptation on: drift threshold {:.4} over a {}-window rolling NRMSE \
+             gauge; fine-tune {adapt_steps} steps from {} buffered pairs (+{} holdout), \
+             promotion gated on beating the live model",
+            ac.threshold, ac.window, ac.min_pairs, ac.holdout
+        );
     }
     loop {
         if signals::triggered() {
@@ -585,6 +691,12 @@ fn cmd_client(args: &Args) -> CmdOutcome {
             "stress",
             "requests",
             "model-id",
+            "truth",
+            "shift-at",
+            "shift-gain",
+            "shift-hotspot",
+            "interval-ms",
+            "drift-out",
             "frames",
             "instance",
             "grid",
@@ -621,6 +733,9 @@ fn cmd_client(args: &Args) -> CmdOutcome {
         drop(client);
         return cmd_stress(&addr, model_id, conns, args.usize_flag("requests", 4)?);
     }
+    if let Some(windows) = args.usize_opt("truth")? {
+        return cmd_truth_stream(args, client, model_id, windows);
+    }
 
     // Prediction mode: regenerate the dataset the daemon was started
     // with (same flags, same seed) and stream test frames through it.
@@ -656,6 +771,257 @@ fn cmd_client(args: &Args) -> CmdOutcome {
         );
     }
     println!("predicted {take} frame(s) via {addr}");
+    Ok(Vec::new())
+}
+
+/// Drift-scenario driver behind `client --truth N`: streams `N` coarse
+/// test frames as INFER requests. The first `--shift-at` windows are
+/// scored client-side (pre-shift baseline); from `--shift-at` onward
+/// the frames come from a regime-shifted twin of the dataset
+/// (multiplicative gain plus a sustained central hotspot) and each is
+/// followed by a TRUTH frame under the same request id, so the
+/// daemon's rolling gauge degrades on the new regime only, trips the
+/// background fine-tune, and — the stream extends itself until the
+/// promotion decision resolves — the gated candidate is hot-promoted.
+/// Reports pre-shift / peak / final NRMSE and whether accuracy
+/// recovered.
+fn cmd_truth_stream(
+    args: &Args,
+    mut client: ServeClient,
+    model_id: u32,
+    windows: usize,
+) -> CmdOutcome {
+    let grid = args.usize_flag("grid", 40)?;
+    let days = args.usize_flag("days", 4)?;
+    let s = args.usize_flag("s", 3)?;
+    let seed = args.u64_flag("seed", 42)?;
+    let shift_at = args.usize_flag("shift-at", windows / 3)?;
+    let gain = args.f32_flag("shift-gain", 1.0)?;
+    let hotspot_mb = args.f32_flag("shift-hotspot", 20_000.0)?;
+    // A live feed has inter-frame spacing; pacing the stream gives the
+    // background fine-tune wall-clock time to land mid-stream.
+    let interval = Duration::from_millis(args.u64_flag("interval-ms", 0)?);
+    let instance = parse_instance(args.get("instance"))?;
+    if shift_at == 0 || shift_at >= windows {
+        return Err(format!(
+            "--truth {windows} needs 0 < --shift-at < {windows} (got {shift_at}): the stream \
+             must cover both regimes"
+        ));
+    }
+
+    let (movie, layout, dcfg) =
+        generate_movie(grid, days, instance, s, seed).map_err(|e| e.to_string())?;
+    let base = Dataset::build(&movie, layout.clone(), dcfg).map_err(|e| e.to_string())?;
+    // The shift starts at the test range, so the daemon's normalisation
+    // (training moments) never saw it — the production drift situation.
+    let mut shifted_movie = movie.clone();
+    RegimeShift {
+        from: base.range(Split::Test).start,
+        gain,
+        hotspot: (hotspot_mb != 0.0).then_some(AnomalyEvent {
+            y: grid / 2,
+            x: grid / 2,
+            radius: grid as f32 * 0.3,
+            magnitude_mb: hotspot_mb,
+        }),
+    }
+    .apply(&mut shifted_movie)
+    .map_err(|e| e.to_string())?;
+    let shifted = Dataset::build(&shifted_movie, layout, dcfg).map_err(|e| e.to_string())?;
+
+    // The stream serves whole coarse frames, one window per frame, so
+    // prediction and truth line up one-to-one for the drift gauge.
+    let sq = base.layout().square;
+    let info = client.info_for(model_id).map_err(|e| e.to_string())?;
+    if (info.s as usize, info.h as usize, info.w as usize) != (s, sq, sq) {
+        return Err(format!(
+            "daemon serves [{}, {}, {}] windows but --truth streams whole [{s}, {sq}, {sq}] \
+             coarse frames; start `mtsr serve` with --window {grid}",
+            info.s, info.h, info.w
+        ));
+    }
+    println!(
+        "truth stream: {windows} frames to {} (regime shift at {shift_at}: gain {gain}, \
+         hotspot {hotspot_mb} MB)...",
+        info.model
+    );
+
+    let idx = base.usable_indices(Split::Test);
+    if idx.is_empty() {
+        return Err("dataset has no usable test frames".to_string());
+    }
+    let mut scores: Vec<f32> = Vec::with_capacity(windows);
+    let mut misses = 0usize;
+    let mut shed = 0u64;
+    // Pre-shift windows are scored client-side from the INFER reply
+    // (no TRUTH frame), so the daemon's fine-tune corpus only ever
+    // holds post-shift pairs — the fine-tune trains on the regime it
+    // must adapt to, not on a mixture diluted by the old one. The
+    // scoring function is the same `window_nrmse` the daemon applies
+    // server-side, so the pre/post numbers are directly comparable.
+    let mut stream_one = |client: &mut ServeClient,
+                          ds: &Dataset,
+                          frame: usize,
+                          send_truth: bool,
+                          scores: &mut Vec<f32>|
+     -> Result<(), String> {
+        let sample = ds
+            .sample_at(idx[frame % idx.len()])
+            .map_err(|e| e.to_string())?;
+        let req = InferRequest {
+            model: model_id,
+            deadline_ms: 10_000,
+            s: s as u32,
+            h: sq as u32,
+            w: sq as u32,
+            data: sample.input.as_slice().to_vec(),
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        let pred = loop {
+            if std::time::Instant::now() > deadline {
+                return Err(format!("window {frame}: no reply within 120s"));
+            }
+            match client.infer(&req).map_err(|e| e.to_string())? {
+                InferOutcome::Ok(data) => break data,
+                // Explicit shedding: back off and resubmit.
+                InferOutcome::Busy | InferOutcome::Timeout => {
+                    shed += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => return Err(format!("window {frame}: {other:?}")),
+            }
+        };
+        if send_truth {
+            let truth = TruthRequest {
+                model: model_id,
+                h: grid as u32,
+                w: grid as u32,
+                data: sample.target.as_slice().to_vec(),
+            };
+            match client
+                .truth(client.last_id(), &truth)
+                .map_err(|e| e.to_string())?
+            {
+                Some(ack) => scores.push(ack.window_nrmse),
+                None => {
+                    misses += 1;
+                    scores.push(f32::NAN);
+                }
+            }
+        } else {
+            scores.push(window_nrmse(&pred.data, sample.target.as_slice()));
+        }
+        if !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+        Ok(())
+    };
+    for k in 0..windows {
+        let ds = if k < shift_at { &base } else { &shifted };
+        stream_one(&mut client, ds, k, k >= shift_at, &mut scores)?;
+    }
+
+    // A fine-tune takes wall-clock seconds, so the scheduled stream
+    // usually ends before the promotion decision lands. Keep the
+    // shifted feed alive while the daemon is still resolving the drift
+    // — fine-tune in flight, or a trigger that has not produced a
+    // promotion yet (a rejected candidate refills the gauge and
+    // retries) — then measure a fresh tail on whichever model is live
+    // afterwards. Bounded by wall clock, not by guessing how many
+    // windows a fine-tune spans.
+    let adapt_state = |client: &mut ServeClient| -> Result<(bool, u64, u64, u64), String> {
+        let status = client.status().map_err(|e| e.to_string())?;
+        let line = status
+            .lines()
+            .find(|l| l.starts_with(&format!("model[{model_id}]")))
+            .unwrap_or("")
+            .to_string();
+        let num = |key: &str| -> u64 {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        };
+        Ok((
+            line.contains("adapting=true"),
+            num("drift_triggers="),
+            num("promotions_ok="),
+            num("promotions_rejected="),
+        ))
+    };
+    let mut extended = 0usize;
+    let ext_deadline = std::time::Instant::now() + Duration::from_secs(180);
+    loop {
+        let (adapting, triggers, promoted, rejected) = adapt_state(&mut client)?;
+        let unresolved = adapting || (triggers > 0 && promoted == 0 && rejected < 3);
+        if !unresolved || std::time::Instant::now() > ext_deadline {
+            break;
+        }
+        stream_one(&mut client, &shifted, windows + extended, true, &mut scores)?;
+        if interval.is_zero() {
+            // Pace the extension even when the main stream was unpaced:
+            // its purpose is to span fine-tune wall time, not bandwidth.
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        extended += 1;
+    }
+    if extended > 0 {
+        for j in 0..8 {
+            stream_one(
+                &mut client,
+                &shifted,
+                windows + extended + j,
+                true,
+                &mut scores,
+            )?;
+        }
+    }
+
+    let mean = |xs: &[f32]| {
+        let good: Vec<f32> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+        good.iter().sum::<f32>() / good.len().max(1) as f32
+    };
+    let total = scores.len();
+    let pre = mean(&scores[..shift_at]);
+    let peak = scores[shift_at..]
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, f32::max);
+    let tail = (total - shift_at).min(8);
+    let fin = mean(&scores[total - tail..]);
+    let recovered = fin <= pre * 1.10;
+    println!("drift scenario: pre={pre:.4} peak={peak:.4} final={fin:.4} recovered={recovered}");
+    println!(
+        "truth stream complete: {total} windows ({shift_at} pre-shift, {extended} extended while \
+         adapting), {misses} unmatched, {shed} shed-and-retried, 0 dropped"
+    );
+
+    if let Some(path) = args.get("drift-out") {
+        let nums = |xs: &[f32]| {
+            xs.iter()
+                .map(|v| {
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "null".to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let json = format!(
+            "{{\n  \"windows\": {total},\n  \"shift_at\": {shift_at},\n  \
+             \"extended\": {extended},\n  \"gain\": {gain},\n  \"hotspot_mb\": {hotspot_mb},\n  \
+             \"pre\": {pre},\n  \"peak\": {peak},\n  \"final\": {fin},\n  \
+             \"recovered\": {recovered},\n  \"unmatched\": {misses},\n  \"shed\": {shed},\n  \
+             \"scores\": [{}]\n}}\n",
+            nums(&scores)
+        );
+        std::fs::write(path, json)
+            .map_err(|e| format!("writing drift telemetry to {path}: {e}"))?;
+        println!("wrote drift telemetry to {path}");
+    }
     Ok(Vec::new())
 }
 
@@ -832,9 +1198,14 @@ fn usage() -> &'static str {
                      [--addr HOST:PORT] [--batch B] [--workers W] [--queue N]\n\
                      [--deadline-ms MS] [--linger-ms MS] [--max-conns N]\n\
                      [--fuse exact|folded|quantized] [--exact]\n\
+                     [--adapt] [--drift-threshold T] [--drift-window N]\n\
+                     [--adapt-pairs N] [--adapt-holdout N] [--adapt-steps N]\n\
                      [--window N] [--stride N] [--instance ...] [--grid N] [--seed S]\n\
        mtsr client   [--addr HOST:PORT] [--model-id N] (--status | --shutdown |\n\
-                     --reload [CKPT] | --stress CONNS [--requests R] | [--frames N]\n\
+                     --reload [CKPT] | --stress CONNS [--requests R] |\n\
+                     --truth N [--shift-at K] [--shift-gain G] [--shift-hotspot MB]\n\
+                     [--interval-ms MS]
+                     [--drift-out REPORT.json] | [--frames N]\n\
                      [--window N] [--stride N] [--instance ...] [--grid N] [--seed S])\n\
      \n\
      Serving: `serve` compiles each checkpoint into a batched inference plan\n\
@@ -849,8 +1220,21 @@ fn usage() -> &'static str {
      generation stays bit-identical to offline inference under its plan.\n\
      `client --frames N` reconstructs full test frames remotely (bit-\n\
      identical to local inference when the policies match); `--status`\n\
-     prints global and per-model counters and latency percentiles;\n\
-     `--stress CONNS` hammers the daemon and fails on any dropped request.\n\
+     prints global and per-model counters plus lifetime and since-last-\n\
+     STATUS latency percentiles; `--stress CONNS` hammers the daemon and\n\
+     fails on any dropped request.\n\
+     \n\
+     Online adaptation: with `serve --adapt`, clients follow each served\n\
+     prediction with a TRUTH frame under the same request id; the daemon\n\
+     scores every pair into a rolling per-model NRMSE gauge (STATUS:\n\
+     drift=). Past --drift-threshold, a sidecar thread resumes the\n\
+     recorded training container, fine-tunes --adapt-steps on the last\n\
+     --adapt-pairs buffered pairs, and hot-promotes the result through\n\
+     the RELOAD path — only if it beats the live model on the freshest\n\
+     --adapt-holdout pairs (else promotions_rejected counts it and the\n\
+     live plan is untouched). `client --truth N` drives the whole drift\n\
+     scenario: healthy windows, then a regime-shifted workload from\n\
+     --shift-at onward, reporting pre/peak/final NRMSE and recovery.\n\
      \n\
      Checkpointing: --out receives a crash-safe training container (weights,\n\
      Adam moments, RNG and schedule state). --checkpoint-every N also writes\n\
